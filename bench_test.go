@@ -1,0 +1,267 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// performance study (DESIGN.md §4 maps IDs to artifacts), plus ablation and
+// micro benchmarks. Each experiment benchmark prints the regenerated
+// rows/series in the paper's layout; absolute values come from the
+// synthetic stand-in corpora (DESIGN.md §2), so the *shape* — who wins, by
+// roughly what factor, where the rows order — is the comparison target
+// (EXPERIMENTS.md records paper-vs-measured).
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks are heavyweight (minutes, single iteration);
+// -short skips them and runs only the micro benchmarks.
+package chassis_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"chassis"
+	"chassis/internal/experiments"
+	"chassis/internal/hawkes"
+	"chassis/internal/kernel"
+	"chassis/internal/rng"
+	"chassis/internal/timeline"
+)
+
+// benchOptions is the shared experiment configuration: scale 0.5 keeps the
+// full Figure 5 grid tractable on one machine while preserving orderings.
+func benchOptions() experiments.Options {
+	return experiments.Options{Seed: 2020, Scale: 0.5, EMIters: 8}
+}
+
+// E1 — Figure 5: model fitness (held-out LogLike), full 10-strategy grid,
+// plus the companion RankCorr table from the same sweep.
+func BenchmarkFigure5ModelFitness(b *testing.B) {
+	if testing.Short() {
+		b.Skip("experiment benchmark")
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunModelFitness(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.PrintSeries(os.Stdout, "Figure 5: model fitness (held-out LogLike)", res.LogLike, "")
+		experiments.PrintSeries(os.Stdout, "RankCorr study (avg Kendall tau)", res.RankCorr, "%10.4f")
+	}
+}
+
+// E2 — RankCorr on a focused strategy subset (the full sweep above also
+// prints RankCorr; this target isolates the metric for quick reruns).
+func BenchmarkRankCorr(b *testing.B) {
+	if testing.Short() {
+		b.Skip("experiment benchmark")
+	}
+	opts := benchOptions()
+	opts.Strategies = []string{"ADM4", "MMEL", "CHASSIS-L", "CHASSIS-E"}
+	opts.Fractions = []float64{0.5, 0.8}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunModelFitness(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.PrintSeries(os.Stdout, "RankCorr study (avg Kendall tau)", res.RankCorr, "%10.4f")
+	}
+}
+
+// E3 — Convergence: training LL per EM iteration for CHASSIS-L/E.
+func BenchmarkConvergence(b *testing.B) {
+	if testing.Short() {
+		b.Skip("experiment benchmark")
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunConvergence(benchOptions(), 20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.PrintConvergence(os.Stdout, res)
+	}
+}
+
+// E4 — Table 1: branching-structure inference F1 on the five PHEME-like
+// rumour events.
+func BenchmarkTable1BranchingF1(b *testing.B) {
+	if testing.Short() {
+		b.Skip("experiment benchmark")
+	}
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.RunTable1(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.PrintTable1(os.Stdout, rows)
+	}
+}
+
+// E5 — Scalability: fit wall-clock against corpus size.
+func BenchmarkScalability(b *testing.B) {
+	if testing.Short() {
+		b.Skip("experiment benchmark")
+	}
+	opts := benchOptions()
+	opts.Strategies = []string{"CHASSIS-L"}
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.RunScalability(opts, []float64{0.5, 1, 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.PrintScalability(os.Stdout, pts)
+	}
+}
+
+// E6a — Ablation: Scenario-2 LCA recalibration in the normative influence.
+func BenchmarkAblationLCA(b *testing.B) {
+	if testing.Short() {
+		b.Skip("experiment benchmark")
+	}
+	for i := 0; i < b.N; i++ {
+		lca, err := experiments.RunAblationLCA(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.PrintAblations(os.Stdout, lca, nil)
+	}
+}
+
+// E6b — Ablation: Papangelou-drop vs linear-ratio E-step scoring under the
+// nonlinear link.
+func BenchmarkAblationEStep(b *testing.B) {
+	if testing.Short() {
+		b.Skip("experiment benchmark")
+	}
+	opts := benchOptions()
+	opts.Datasets = []string{"SF"}
+	for i := 0; i < b.N; i++ {
+		estep, err := experiments.RunAblationEStep(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.PrintAblations(os.Stdout, nil, estep)
+	}
+}
+
+// E6c — Ablation: Theorem 7.1 adaptive Euler compensator vs the closed form
+// available under the linear link — error and cost of the general path.
+func BenchmarkAblationCompensator(b *testing.B) {
+	proc, seq := benchProcess(b)
+	exact, err := proc.Compensator(seq, 0, seq.Horizon, hawkes.DefaultCompensator())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := hawkes.CompensatorOptions{Accuracy: 1e-4, InitSteps: 128, MaxDoublings: 8, ForceEuler: true}
+	var euler float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		euler, err = proc.Compensator(seq, 0, seq.Horizon, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rel := (euler - exact) / exact
+	b.ReportMetric(rel, "rel-err")
+	fmt.Printf("Ablation compensator: closed-form %.6f vs Euler %.6f (rel err %.2e)\n", exact, euler, rel)
+}
+
+// E7 — Behaviour prediction (the tech report's application study):
+// next-actor accuracy and count-forecast error, CHASSIS vs L-HP.
+func BenchmarkPrediction(b *testing.B) {
+	if testing.Short() {
+		b.Skip("experiment benchmark")
+	}
+	opts := benchOptions()
+	opts.Datasets = []string{"SF"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPrediction(opts, 8, 80)
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.PrintPrediction(os.Stdout, res)
+	}
+}
+
+// benchProcess builds a moderate 1-dim Hawkes realization for micro
+// benchmarks.
+func benchProcess(b *testing.B) (*hawkes.Process, *timeline.Sequence) {
+	b.Helper()
+	exc, err := hawkes.NewConstExcitation([][]float64{{0.5}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := kernel.NewExponential(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proc := &hawkes.Process{
+		M: 1, Mu: []float64{0.5}, Exc: exc,
+		Kernels: hawkes.SharedKernel{K: k}, Link: hawkes.LinearLink{},
+	}
+	seq, err := proc.Simulate(rng.New(1), hawkes.SimOptions{Horizon: 400})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return proc, seq
+}
+
+// Micro benchmark: full log-likelihood evaluation on a ~400-event stream.
+func BenchmarkLogLikelihood(b *testing.B) {
+	proc, seq := benchProcess(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := proc.LogLikelihood(seq, hawkes.DefaultCompensator()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro benchmark: Ogata simulation of a multivariate process.
+func BenchmarkSimulate(b *testing.B) {
+	ds, err := chassis.GenerateFacebookLike(0.3, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = ds
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chassis.GenerateFacebookLike(0.3, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro benchmark: one CHASSIS-L fit at unit-test scale.
+func BenchmarkFitChassisL(b *testing.B) {
+	ds, err := chassis.GenerateFacebookLike(0.3, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, _, err := ds.Seq.Split(0.7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chassis.Fit(train, chassis.FitConfig{
+			Variant: chassis.VariantL, EMIters: 6, Seed: int64(i), UseObservedTrees: true,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Micro benchmark: stance analysis throughput.
+func BenchmarkStanceAnalyzer(b *testing.B) {
+	texts := []string{
+		"honestly this movie is absolutely fantastic, loved it",
+		"what a terrible hoax, do not trust this story",
+		"update on the match thoughts?",
+		"not bad at all, pretty solid work :)",
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chassis.AnalyzePolarity(texts[i%len(texts)])
+	}
+}

@@ -1,0 +1,240 @@
+// Package chassis is the public API of the CHASSIS reproduction —
+// "Conformity Meets Online Information Diffusion" (SIGMOD 2020): a
+// conformity-aware multivariate Hawkes framework for modeling online
+// information diffusion, together with the conformity-unaware baselines it
+// is evaluated against, synthetic stand-ins for the paper's corpora, and
+// runners for every table and figure of its performance study.
+//
+// The typical flow:
+//
+//	ds, _ := chassis.GenerateFacebookLike(1, 42)       // corpus with ground truth
+//	train, test, _ := ds.Seq.Split(0.7)
+//	model, _ := chassis.Fit(train, chassis.FitConfig{Variant: chassis.VariantL})
+//	ll, _ := model.HeldOutLogLikelihood(test)           // Figure 5's metric
+//	forest, _ := model.InferForest(test)                // diffusion trees
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results.
+package chassis
+
+import (
+	"chassis/internal/baselines"
+	"chassis/internal/branching"
+	"chassis/internal/cascade"
+	"chassis/internal/core"
+	"chassis/internal/diffusion"
+	"chassis/internal/eval"
+	"chassis/internal/experiments"
+	"chassis/internal/hawkes"
+	"chassis/internal/predict"
+	"chassis/internal/rng"
+	"chassis/internal/socialnet"
+	"chassis/internal/stance"
+	"chassis/internal/timeline"
+)
+
+// Re-exported core types. Aliases keep the internal packages as the single
+// source of truth while giving users one import path.
+type (
+	// Sequence is a chronologically ordered activity stream over M users.
+	Sequence = timeline.Sequence
+	// Activity is one timestamped social activity.
+	Activity = timeline.Activity
+	// UserID indexes a dimension of the point process.
+	UserID = timeline.UserID
+	// ActivityID indexes an activity within a sequence.
+	ActivityID = timeline.ActivityID
+	// Kind is the activity type (post, retweet, comment, reply, like, angry).
+	Kind = timeline.Kind
+
+	// Dataset is a generated corpus with full ground truth.
+	Dataset = cascade.Dataset
+	// DatasetConfig parameterizes corpus generation.
+	DatasetConfig = cascade.Config
+	// PHEMEEvent parameterizes one rumour event of the Table 1 benchmark.
+	PHEMEEvent = cascade.PHEMEEvent
+
+	// Model is a fitted CHASSIS (or HP-baseline) model.
+	Model = core.Model
+	// FitConfig tunes the semi-parametric EM fit.
+	FitConfig = core.Config
+	// Variant selects a strategy from the paper's grid.
+	Variant = core.Variant
+
+	// Forest is a branching structure (collection of diffusion trees).
+	Forest = branching.Forest
+	// ForestScore is a precision/recall/F1 comparison of two forests.
+	ForestScore = branching.Score
+
+	// ADM4 is the fitted low-rank+sparse Hawkes baseline.
+	ADM4 = baselines.ADM4
+	// ADM4Config tunes the ADM4 fit.
+	ADM4Config = baselines.ADM4Config
+	// MMEL is the fitted multi-pattern nonparametric-kernel baseline.
+	MMEL = baselines.MMEL
+	// MMELConfig tunes the MMEL fit.
+	MMELConfig = baselines.MMELConfig
+
+	// Graph is a directed follower graph.
+	Graph = socialnet.Graph
+
+	// NextActivity is a next-event forecast.
+	NextActivity = predict.NextActivity
+	// CountForecast is a per-user expected-count forecast.
+	CountForecast = predict.CountForecast
+
+	// ExperimentOptions configures the table/figure runners.
+	ExperimentOptions = experiments.Options
+)
+
+// NoParent marks immigrant activities.
+const NoParent = timeline.NoParent
+
+// Activity kinds.
+const (
+	Post    = timeline.Post
+	Retweet = timeline.Retweet
+	Comment = timeline.Comment
+	Reply   = timeline.Reply
+	Like    = timeline.Like
+	Angry   = timeline.Angry
+)
+
+// The paper's strategy grid: full CHASSIS under linear/exponential links,
+// single-flavor ablations, and the conformity-unaware HP controls.
+var (
+	VariantL   = core.VariantL
+	VariantE   = core.VariantE
+	VariantLI  = core.VariantLI
+	VariantLN  = core.VariantLN
+	VariantEI  = core.VariantEI
+	VariantEN  = core.VariantEN
+	VariantLHP = core.VariantLHP
+	VariantEHP = core.VariantEHP
+)
+
+// GenerateDataset builds a synthetic conformity-aware corpus.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return cascade.Generate(cfg) }
+
+// GenerateFacebookLike builds the SF-analogue corpus (scale 1 ≈ laptop
+// size; see DESIGN.md §2 for the substitution argument).
+func GenerateFacebookLike(scale float64, seed int64) (*Dataset, error) {
+	return cascade.Generate(cascade.FacebookLike(scale, seed))
+}
+
+// GenerateTwitterLike builds the ST-analogue corpus.
+func GenerateTwitterLike(scale float64, seed int64) (*Dataset, error) {
+	return cascade.Generate(cascade.TwitterLike(scale, seed))
+}
+
+// PHEMEEvents returns the five Table 1 rumour events in paper order.
+func PHEMEEvents(seed int64) []PHEMEEvent { return cascade.PHEMEEvents(seed) }
+
+// GeneratePHEME builds one rumour event's conversation threads with
+// ground-truth reply trees.
+func GeneratePHEME(ev PHEMEEvent) (*Dataset, error) { return cascade.GeneratePHEME(ev) }
+
+// Fit runs the semi-parametric EM of Sections 6–7 and returns the fitted
+// model.
+func Fit(seq *Sequence, cfg FitConfig) (*Model, error) { return core.Fit(seq, cfg) }
+
+// LoadModel deserializes a model written by Model.Save and rebinds it to
+// its training sequence.
+var LoadModel = core.LoadModel
+
+// FitADM4 fits the ADM4 baseline.
+func FitADM4(seq *Sequence, cfg ADM4Config) (*ADM4, error) { return baselines.FitADM4(seq, cfg) }
+
+// FitMMEL fits the MMEL baseline.
+func FitMMEL(seq *Sequence, cfg MMELConfig) (*MMEL, error) { return baselines.FitMMEL(seq, cfg) }
+
+// GroundTruthForest extracts a dataset's recorded diffusion trees.
+func GroundTruthForest(seq *Sequence) (*Forest, error) { return branching.FromSequence(seq) }
+
+// CompareForests scores an inferred branching structure against ground
+// truth (Table 1's F1).
+func CompareForests(inferred, truth *Forest) (ForestScore, error) {
+	return branching.CompareForests(inferred, truth)
+}
+
+// RankCorr computes the average per-row Kendall τ between ground-truth and
+// estimated influence matrices.
+func RankCorr(truth, est [][]float64) (float64, error) { return eval.RankCorr(truth, est) }
+
+// AnalyzePolarity scores a post's opinion polarity in [-1, 1] with the
+// built-in stance analyzer (the NLTK stand-in).
+func AnalyzePolarity(text string) float64 { return stance.NewAnalyzer().Polarity(text) }
+
+// AnnotatePolarities fills every activity's Polarity from its kind and text.
+func AnnotatePolarities(seq *Sequence) { stance.NewAnalyzer().AnnotateSequence(seq) }
+
+// PredictNext forecasts the next activity after the history under a fitted
+// model by Monte-Carlo forward simulation.
+func PredictNext(m *Model, history *Sequence, lookahead float64, draws int, seed int64) (NextActivity, error) {
+	return predict.PredictNext(m.Process(), history, lookahead, draws, rng.New(seed))
+}
+
+// ForecastCounts estimates per-user activity counts over the next window.
+func ForecastCounts(m *Model, history *Sequence, window float64, draws int, seed int64) (CountForecast, error) {
+	return predict.ForecastCounts(m.Process(), history, window, draws, rng.New(seed))
+}
+
+// EvaluateNextUser walks a held-out continuation and scores next-actor
+// prediction accuracy.
+func EvaluateNextUser(m *Model, history, test *Sequence, steps, draws int, seed int64) (float64, int, error) {
+	return predict.EvaluateNextUser(m.Process(), history, test, steps, draws, rng.New(seed))
+}
+
+// Experiment runners — one per table/figure; see EXPERIMENTS.md.
+var (
+	// RunModelFitness executes the Figure 5 sweep (held-out LogLike) and
+	// the companion RankCorr study.
+	RunModelFitness = experiments.RunModelFitness
+	// RunConvergence records training LL per EM iteration.
+	RunConvergence = experiments.RunConvergence
+	// RunTable1 reproduces the branching-structure F1 table.
+	RunTable1 = experiments.RunTable1
+	// RunScalability measures fit time against corpus size.
+	RunScalability = experiments.RunScalability
+)
+
+// IC/LT predictive-model substrate (Example 1.1 and the viral-marketing
+// example).
+var (
+	// ClassicIC is the structure-only weighted-cascade rule.
+	ClassicIC = diffusion.ClassicIC
+	// ConformityIC modulates activation by pairwise conformity.
+	ConformityIC = diffusion.ConformityIC
+	// SimulateIC runs one Independent Cascade.
+	SimulateIC = diffusion.SimulateIC
+	// SimulateLT runs one Linear Threshold cascade.
+	SimulateLT = diffusion.SimulateLT
+	// EstimateSpread Monte-Carlo-estimates expected cascade size.
+	EstimateSpread = diffusion.EstimateSpread
+	// GreedySeeds picks seeds by greedy marginal gain.
+	GreedySeeds = diffusion.GreedySeeds
+)
+
+// NewGraphBarabasiAlbert generates a scale-free follower graph.
+func NewGraphBarabasiAlbert(seed int64, n, m int, reciprocity float64) (*Graph, error) {
+	return socialnet.BarabasiAlbert(rng.New(seed), n, m, reciprocity)
+}
+
+// NewRNG returns the deterministic random source used across the library.
+func NewRNG(seed int64) *rng.RNG { return rng.New(seed) }
+
+// DefaultCompensator exposes the adaptive Theorem-7.1 integrator options
+// used by likelihood evaluations.
+func DefaultCompensator() hawkes.CompensatorOptions { return hawkes.DefaultCompensator() }
+
+// GoodnessOfFit applies the time-rescaling theorem to a fitted model over a
+// sequence: it returns the compensator residuals (Exp(1) under a correct
+// model) and their Kolmogorov–Smirnov distance from the unit exponential
+// (≈1.36/√n at the 5% level).
+func GoodnessOfFit(m *Model, seq *Sequence) (residuals []float64, ks float64, err error) {
+	residuals, err = m.Process().Rescale(seq, hawkes.DefaultCompensator())
+	if err != nil {
+		return nil, 0, err
+	}
+	return residuals, hawkes.KSExponential(residuals), nil
+}

@@ -1,0 +1,158 @@
+package chassis_test
+
+import (
+	"math"
+	"testing"
+
+	"chassis"
+)
+
+func smallDataset(t *testing.T) *chassis.Dataset {
+	t.Helper()
+	ds, err := chassis.GenerateDataset(chassis.DatasetConfig{
+		Name: "api", M: 15, Horizon: 700, Seed: 99,
+		Graph:       chassis.DatasetConfig{}.Graph, // BarabasiAlbert zero value
+		GraphDegree: 2, Reciprocity: 0.5,
+		BaseRateLo: 0.01, BaseRateHi: 0.025,
+		KernelRate: 0.8, TargetBranching: 0.55,
+		ConformityWeight: 0.7, PolarityNoise: 0.15, LikeFraction: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ds := smallDataset(t)
+	train, test, err := ds.Seq.Split(0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := chassis.Fit(train, chassis.FitConfig{Variant: chassis.VariantL, EMIters: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := m.HeldOutLogLikelihood(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(ll) || ll >= 0 {
+		t.Errorf("held-out LL = %g", ll)
+	}
+	truth, err := chassis.GroundTruthForest(ds.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inferred, err := m.InferForest(ds.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score, err := chassis.CompareForests(inferred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score.F1 <= 0 || score.F1 > 1 {
+		t.Errorf("forest F1 = %g", score.F1)
+	}
+	tau, err := chassis.RankCorr(ds.Influence, m.EstimatedInfluence())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tau < -1 || tau > 1 {
+		t.Errorf("RankCorr = %g", tau)
+	}
+}
+
+func TestPublicAPIBaselines(t *testing.T) {
+	ds := smallDataset(t)
+	adm4, err := chassis.FitADM4(ds.Seq, chassis.ADM4Config{Iters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(adm4.Influence()) != ds.Seq.M {
+		t.Error("ADM4 influence sized wrong")
+	}
+	mmel, err := chassis.FitMMEL(ds.Seq, chassis.MMELConfig{Iters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mmel.Influence()) != ds.Seq.M {
+		t.Error("MMEL influence sized wrong")
+	}
+}
+
+func TestPublicAPIPrediction(t *testing.T) {
+	ds := smallDataset(t)
+	train, test, err := ds.Seq.Split(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := chassis.Fit(train, chassis.FitConfig{Variant: chassis.VariantLHP, EMIters: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := chassis.PredictNext(m, train, 100, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.Draws > 0 && (int(next.User) < 0 || int(next.User) >= ds.Seq.M) {
+		t.Errorf("predicted user %d out of range", next.User)
+	}
+	fc, err := chassis.ForecastCounts(m, train, 100, 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.PerUser) != ds.Seq.M || fc.Total < 0 {
+		t.Errorf("forecast malformed: %+v", fc)
+	}
+	acc, n, err := chassis.EvaluateNextUser(m, train, test, 3, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n > 0 && (acc < 0 || acc > 1) {
+		t.Errorf("accuracy = %g", acc)
+	}
+}
+
+func TestPublicAPIDiffusionAndStance(t *testing.T) {
+	g, err := chassis.NewGraphBarabasiAlbert(7, 30, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := chassis.NewRNG(8)
+	spread := chassis.EstimateSpread(g, chassis.ClassicIC(g), []int{0}, 50, r)
+	if spread < 1 {
+		t.Errorf("spread = %g", spread)
+	}
+	seeds, _, err := chassis.GreedySeeds(g, chassis.ClassicIC(g), 2, 30, r)
+	if err != nil || len(seeds) != 2 {
+		t.Errorf("GreedySeeds = %v, %v", seeds, err)
+	}
+	if p := chassis.AnalyzePolarity("what a fantastic result"); p <= 0 {
+		t.Errorf("polarity = %g, want positive", p)
+	}
+	if p := chassis.AnalyzePolarity("this is a terrible hoax"); p >= 0 {
+		t.Errorf("polarity = %g, want negative", p)
+	}
+	seq := &chassis.Sequence{M: 1, Horizon: 10}
+	seq.Activities = []chassis.Activity{{ID: 0, Time: 1, Kind: chassis.Post, Text: "awful", Parent: chassis.NoParent}}
+	chassis.AnnotatePolarities(seq)
+	if seq.Activities[0].Polarity >= 0 {
+		t.Error("AnnotatePolarities did not run")
+	}
+}
+
+func TestPHEMEPublicAPI(t *testing.T) {
+	events := chassis.PHEMEEvents(1)
+	if len(events) != 5 {
+		t.Fatalf("want 5 events, got %d", len(events))
+	}
+	ds, err := chassis.GeneratePHEME(events[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Name != "Charlie Hebdo" || ds.Seq.Len() == 0 {
+		t.Errorf("PHEME dataset malformed: %s, %d", ds.Name, ds.Seq.Len())
+	}
+}

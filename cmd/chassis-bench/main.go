@@ -1,0 +1,110 @@
+// chassis-bench regenerates every table and figure of the paper's
+// performance study against the synthetic stand-in corpora (DESIGN.md §4
+// maps experiment IDs to paper artifacts).
+//
+// Usage:
+//
+//	chassis-bench -exp fig5            # Figure 5: model fitness (LogLike)
+//	chassis-bench -exp rankcorr        # companion RankCorr study
+//	chassis-bench -exp convergence     # LL per EM iteration
+//	chassis-bench -exp table1          # branching-structure F1
+//	chassis-bench -exp scale           # scalability
+//	chassis-bench -exp ablation        # design-choice ablations
+//	chassis-bench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chassis/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: fig5, rankcorr, convergence, table1, scale, ablation, all")
+		scale   = flag.Float64("scale", 1, "dataset size multiplier")
+		seed    = flag.Int64("seed", 2020, "random seed")
+		em      = flag.Int("em", 10, "EM iterations")
+		iters   = flag.Int("conv-iters", 30, "EM iterations for the convergence study")
+		quiet   = flag.Bool("quiet", false, "suppress progress lines")
+		strlist = flag.String("strategies", "", "comma-separated strategy subset (default: all)")
+	)
+	flag.Parse()
+	opts := experiments.Options{Seed: *seed, Scale: *scale, EMIters: *em}
+	if !*quiet {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	if *strlist != "" {
+		opts.Strategies = strings.Split(*strlist, ",")
+	}
+	if err := run(*exp, opts, *iters); err != nil {
+		fmt.Fprintln(os.Stderr, "chassis-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string, opts experiments.Options, convIters int) error {
+	w := os.Stdout
+	wantFitness := exp == "fig5" || exp == "rankcorr" || exp == "all"
+	if wantFitness {
+		res, err := experiments.RunModelFitness(opts)
+		if err != nil {
+			return err
+		}
+		if exp == "fig5" || exp == "all" {
+			experiments.PrintSeries(w, "Figure 5: model fitness (held-out LogLike)", res.LogLike, "")
+		}
+		if exp == "rankcorr" || exp == "all" {
+			experiments.PrintSeries(w, "RankCorr study (avg Kendall tau vs ground-truth A)", res.RankCorr, "%10.4f")
+		}
+	}
+	if exp == "convergence" || exp == "all" {
+		res, err := experiments.RunConvergence(opts, convIters)
+		if err != nil {
+			return err
+		}
+		experiments.PrintConvergence(w, res)
+	}
+	if exp == "table1" || exp == "all" {
+		rows, err := experiments.RunTable1(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintTable1(w, rows)
+	}
+	if exp == "scale" || exp == "all" {
+		pts, err := experiments.RunScalability(opts, nil)
+		if err != nil {
+			return err
+		}
+		experiments.PrintScalability(w, pts)
+	}
+	if exp == "ablation" || exp == "all" {
+		lca, err := experiments.RunAblationLCA(opts)
+		if err != nil {
+			return err
+		}
+		estep, err := experiments.RunAblationEStep(opts)
+		if err != nil {
+			return err
+		}
+		experiments.PrintAblations(w, lca, estep)
+	}
+	if exp == "predict" || exp == "all" {
+		res, err := experiments.RunPrediction(opts, 10, 100)
+		if err != nil {
+			return err
+		}
+		experiments.PrintPrediction(w, res)
+	}
+	switch exp {
+	case "fig5", "rankcorr", "convergence", "table1", "scale", "ablation", "predict", "all":
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}

@@ -1,0 +1,86 @@
+// chassis-sim generates the synthetic corpora the reproduction uses in
+// place of the paper's Facebook/Twitter crawls and the PHEME rumour
+// dataset, writing them as JSON (and optionally CSV) for chassis-fit and
+// chassis-predict.
+//
+// Usage:
+//
+//	chassis-sim -dataset SF -scale 1 -seed 42 -out sf.json
+//	chassis-sim -dataset pheme -seed 42 -out pheme   # writes pheme-<event>.json per event
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"chassis"
+	"chassis/internal/dataio"
+)
+
+func main() {
+	var (
+		dataset = flag.String("dataset", "SF", "corpus to generate: SF, ST, or pheme")
+		scale   = flag.Float64("scale", 1, "dataset size multiplier")
+		seed    = flag.Int64("seed", 42, "random seed")
+		out     = flag.String("out", "", "output path (JSON); for pheme, a path prefix")
+		csvPath = flag.String("csv", "", "also export activities as CSV to this path")
+	)
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "chassis-sim: -out is required")
+		os.Exit(2)
+	}
+	if err := run(*dataset, *scale, *seed, *out, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "chassis-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dataset string, scale float64, seed int64, out, csvPath string) error {
+	switch strings.ToUpper(dataset) {
+	case "SF", "ST":
+		var ds *chassis.Dataset
+		var err error
+		if strings.ToUpper(dataset) == "SF" {
+			ds, err = chassis.GenerateFacebookLike(scale, seed)
+		} else {
+			ds, err = chassis.GenerateTwitterLike(scale, seed)
+		}
+		if err != nil {
+			return err
+		}
+		if err := dataio.SaveDataset(out, ds); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d activities, %d users -> %s\n", ds.Name, ds.Seq.Len(), ds.Seq.M, out)
+		if csvPath != "" {
+			f, err := os.Create(csvPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if err := dataio.WriteActivitiesCSV(f, ds.Seq); err != nil {
+				return err
+			}
+			fmt.Printf("wrote CSV -> %s\n", csvPath)
+		}
+		return nil
+	case "PHEME":
+		for _, ev := range chassis.PHEMEEvents(seed) {
+			ds, err := chassis.GeneratePHEME(ev)
+			if err != nil {
+				return err
+			}
+			slug := strings.ToLower(strings.ReplaceAll(ds.Name, " ", "-"))
+			path := fmt.Sprintf("%s-%s.json", out, slug)
+			if err := dataio.SaveDataset(path, ds); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s: %d activities -> %s\n", ds.Name, ds.Seq.Len(), path)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown dataset %q (want SF, ST, or pheme)", dataset)
+}

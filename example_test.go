@@ -1,0 +1,74 @@
+package chassis_test
+
+import (
+	"fmt"
+
+	"chassis"
+)
+
+// ExampleFit shows the paper's model-fitness protocol end to end: generate
+// a corpus, train CHASSIS on the chronological prefix, and evaluate the
+// held-out log-likelihood.
+func ExampleFit() {
+	ds, err := chassis.GenerateFacebookLike(0.3, 42)
+	if err != nil {
+		panic(err)
+	}
+	train, test, err := ds.Seq.Split(0.7)
+	if err != nil {
+		panic(err)
+	}
+	model, err := chassis.Fit(train, chassis.FitConfig{
+		Variant:          chassis.VariantL,
+		EMIters:          4,
+		Seed:             1,
+		UseObservedTrees: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ll, err := model.HeldOutLogLikelihood(test)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("held-out LL is finite and negative:", ll < 0)
+	// Output: held-out LL is finite and negative: true
+}
+
+// ExampleModel_InferForest shows Table 1's setting: connectivity hidden,
+// diffusion trees inferred, scored against ground truth.
+func ExampleModel_InferForest() {
+	ds, err := chassis.GenerateFacebookLike(0.3, 7)
+	if err != nil {
+		panic(err)
+	}
+	model, err := chassis.Fit(ds.Seq, chassis.FitConfig{
+		Variant: chassis.VariantL, EMIters: 4, Seed: 2, UseObservedTrees: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	truth, err := chassis.GroundTruthForest(ds.Seq)
+	if err != nil {
+		panic(err)
+	}
+	inferred, err := model.InferForest(ds.Seq.StripParents())
+	if err != nil {
+		panic(err)
+	}
+	score, err := chassis.CompareForests(inferred, truth)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("recovered more than half the parents:", score.F1 > 0.5)
+	// Output: recovered more than half the parents: true
+}
+
+// ExampleAnalyzePolarity shows the stance analyzer (the NLTK stand-in).
+func ExampleAnalyzePolarity() {
+	fmt.Println(chassis.AnalyzePolarity("what a fantastic movie, loved it") > 0)
+	fmt.Println(chassis.AnalyzePolarity("this story is a terrible hoax") < 0)
+	// Output:
+	// true
+	// true
+}

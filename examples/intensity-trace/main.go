@@ -1,0 +1,68 @@
+// Intensity-trace: the Figure 2 view of a fitted model. Fit CHASSIS to an
+// observed stream, then (a) dump one user's conditional intensity λᵢ(t) as
+// CSV — every activity produces a jump followed by a kernel-shaped decay —
+// and (b) run the time-rescaling goodness-of-fit test: under a correct
+// model the compensator increments between a user's events are Exp(1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"chassis"
+)
+
+func main() {
+	ds, err := chassis.GenerateTwitterLike(0.4, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := chassis.Fit(ds.Seq, chassis.FitConfig{
+		Variant: chassis.VariantL, EMIters: 8, Seed: 4, UseObservedTrees: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Busiest user's trajectory over the first tenth of the window.
+	counts := ds.Seq.CountByUser()
+	user, best := 0, -1
+	for u, c := range counts {
+		if c > best {
+			user, best = u, c
+		}
+	}
+	to := ds.Seq.Horizon / 10
+	const points = 60
+	series, err := model.Process().IntensitySeries(ds.Seq, user, 0, to, points)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("# λ_U%d(t) over [0, %.0f] — CSV (t, intensity)\n", user, to)
+	for k, v := range series {
+		t := float64(k) * to / float64(points-1)
+		fmt.Printf("%.2f,%.5f\n", t, v)
+	}
+	var events int
+	for _, a := range ds.Seq.Activities {
+		if int(a.User) == user && a.Time <= to {
+			events++
+		}
+	}
+	fmt.Printf("# (%d activities of U%d fall in this window — each one is a jump)\n\n", events, user)
+
+	// Goodness of fit by time rescaling.
+	residuals, ks, err := chassis.GoodnessOfFit(model, ds.Seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := len(residuals)
+	threshold := 1.36 / math.Sqrt(float64(n))
+	fmt.Printf("time-rescaling GOF: %d residuals, KS = %.4f (5%% threshold ≈ %.4f)\n", n, ks, threshold)
+	if ks < 2*threshold {
+		fmt.Println("-> the fitted intensity explains the stream's timing structure")
+	} else {
+		fmt.Println("-> residual structure remains; consider more EM iterations")
+	}
+}

@@ -1,0 +1,75 @@
+// Viral-marketing: Example 1.1 end to end. A brand wants to seed a campaign
+// on a follower network. The classic Independent Cascade model activates
+// followers with probability 1/indegree — blind to conformity. Here we
+// learn pairwise conformity from observed activity with CHASSIS and plug it
+// into the activation probabilities, then compare the seed sets and spreads
+// the two models produce.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chassis"
+)
+
+func main() {
+	// Observed world: a Twitter-like corpus with its follower graph.
+	ds, err := chassis.GenerateTwitterLike(0.5, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := ds.Graph
+	fmt.Printf("network: %d users, %d follow edges; %d observed activities\n",
+		g.N, g.NumEdges(), ds.Seq.Len())
+
+	// Learn conformity-aware influence from the activity stream.
+	model, err := chassis.Fit(ds.Seq, chassis.FitConfig{
+		Variant: chassis.VariantL, EMIters: 8, Seed: 3, UseObservedTrees: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	learned := model.EstimatedInfluence()
+
+	classic := chassis.ClassicIC(g)
+	aware := chassis.ConformityIC(g, func(receiver, source int) float64 {
+		return learned[receiver][source]
+	})
+
+	r := chassis.NewRNG(99)
+	const k, rounds = 3, 150
+
+	classicSeeds, classicSpread, err := chassis.GreedySeeds(g, classic, k, rounds, r.Split(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	awareSeeds, awareSpread, err := chassis.GreedySeeds(g, aware, k, rounds, r.Split(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nclassic IC        seeds %v  expected spread %.1f users\n", classicSeeds, classicSpread)
+	fmt.Printf("conformity-aware  seeds %v  expected spread %.1f users\n", awareSeeds, awareSpread)
+
+	// Cross-evaluate: how would each seed set fare if the world actually
+	// follows the conformity-aware dynamics (the ground truth here, since
+	// the corpus was generated with conformity-modulated excitation)?
+	truthProb := chassis.ConformityIC(g, func(receiver, source int) float64 {
+		return ds.Influence[receiver][source]
+	})
+	classicUnderTruth := chassis.EstimateSpread(g, truthProb, classicSeeds, 400, r.Split(3))
+	awareUnderTruth := chassis.EstimateSpread(g, truthProb, awareSeeds, 400, r.Split(4))
+	fmt.Printf("\nunder the true conformity dynamics:\n")
+	fmt.Printf("  classic seeds reach %.1f users\n", classicUnderTruth)
+	fmt.Printf("  conformity-aware seeds reach %.1f users\n", awareUnderTruth)
+	if awareUnderTruth >= classicUnderTruth {
+		fmt.Println("  -> accounting for conformity picked better seeds (Example 1.1)")
+	} else {
+		fmt.Println("  -> estimates within Monte-Carlo noise; increase rounds to separate")
+	}
+
+	// LT comparison for reference.
+	lt := chassis.SimulateLT(g, awareSeeds, r.Split(5))
+	fmt.Printf("\nLinear Threshold reference: the same seeds activate %d users in one LT draw\n", len(lt))
+}

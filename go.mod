@@ -1,0 +1,3 @@
+module chassis
+
+go 1.22

@@ -1,0 +1,268 @@
+package baselines
+
+import (
+	"errors"
+	"fmt"
+
+	"chassis/internal/branching"
+	"chassis/internal/kernel"
+	"chassis/internal/timeline"
+)
+
+// MMELConfig tunes the MMEL fit.
+type MMELConfig struct {
+	// Patterns is the number of shared base kernels D (default 2).
+	Patterns int
+	// Bins discretizes each base kernel (default 24).
+	Bins int
+	// Support is the kernel horizon; 0 auto-selects ~12 median inter-event
+	// gaps (capped at Horizon/10) so the bins actually resolve the decay
+	// the data exhibits.
+	Support float64
+	// Iters is the number of EM rounds (default 25).
+	Iters int
+}
+
+func (c *MMELConfig) fill(seq *timeline.Sequence) {
+	if c.Patterns <= 0 {
+		c.Patterns = 2
+	}
+	if c.Bins <= 0 {
+		c.Bins = 24
+	}
+	if c.Support <= 0 {
+		// Same heuristic as the CHASSIS family: upper-quantile gap scale
+		// with a median floor, so bursty streams keep their slow tails.
+		c.Support = supportHeuristic(seq)
+	}
+	if c.Iters <= 0 {
+		c.Iters = 25
+	}
+}
+
+// MMEL is a fitted MMEL model: φᵢⱼ(t) = Σ_d aᵢⱼᵈ·g_d(t) with nonparametric
+// base kernels g_d shared across pairs.
+type MMEL struct {
+	M int
+	// Mu is the exogenous intensity per dimension.
+	Mu []float64
+	// Coef[d][i][j] are the per-pattern mixture coefficients aᵢⱼᵈ.
+	Coef [][][]float64
+	// Base holds the learned base kernels (unit mass each).
+	Base []*kernel.Discrete
+
+	cfg     MMELConfig
+	seq     *timeline.Sequence
+	horizon float64
+}
+
+// FitMMEL learns μ, the coefficients, and the discretized base kernels by
+// EM: responsibilities split each event's probability mass over {immigrant}
+// ∪ {(parent event, pattern)}; the M-step re-estimates μ and aᵢⱼᵈ in closed
+// form and re-bins the base kernels from the pattern-attributed lags —
+// Zhou et al.'s multi-pattern nonparametric estimator in its discretized
+// form.
+func FitMMEL(seq *timeline.Sequence, cfg MMELConfig) (*MMEL, error) {
+	if seq == nil || seq.Len() == 0 {
+		return nil, errors.New("baselines: empty sequence for MMEL")
+	}
+	if err := seq.Validate(); err != nil {
+		return nil, fmt.Errorf("baselines: MMEL input: %w", err)
+	}
+	cfg.fill(seq)
+	m := seq.M
+	model := &MMEL{
+		M: m, Mu: make([]float64, m),
+		Coef: make([][][]float64, cfg.Patterns),
+		Base: make([]*kernel.Discrete, cfg.Patterns),
+		cfg:  cfg, seq: seq, horizon: seq.Horizon,
+	}
+	counts := seq.CountByUser()
+	for i := 0; i < m; i++ {
+		model.Mu[i] = (float64(counts[i]) + 1) / seq.Horizon / 2
+	}
+	step := cfg.Support / float64(cfg.Bins)
+	for d := 0; d < cfg.Patterns; d++ {
+		model.Coef[d] = make([][]float64, m)
+		for i := 0; i < m; i++ {
+			model.Coef[d][i] = make([]float64, m)
+			for j := 0; j < m; j++ {
+				model.Coef[d][i][j] = 0.05 / float64(cfg.Patterns)
+			}
+		}
+		// Distinct initial shapes so the patterns can specialize: pattern 0
+		// is sharp recency, pattern 1 a uniform plateau (slow triggering
+		// tails — e.g. replies to a thread's root — need a pattern that
+		// does not start at zero there), further patterns intermediate
+		// exponentials.
+		var init kernel.Kernel
+		if d == 1 {
+			flat := make([]float64, cfg.Bins+1)
+			for b := range flat {
+				flat[b] = 1
+			}
+			fk, err := kernel.NewDiscrete(step, flat)
+			if err != nil {
+				return nil, err
+			}
+			init = fk
+		} else {
+			exp, err := kernel.NewExponential(float64(d+1) * 3 / cfg.Support)
+			if err != nil {
+				return nil, err
+			}
+			init = exp
+		}
+		samp, err := kernel.Sample(init, step, cfg.Bins+1)
+		if err != nil {
+			return nil, err
+		}
+		samp.Normalize()
+		model.Base[d] = samp
+	}
+
+	n := seq.Len()
+	lam := make([]float64, n)
+	// Per-source-dimension kernel-mass denominators per pattern.
+	den := make([][]float64, cfg.Patterns)
+
+	for iter := 0; iter < cfg.Iters; iter++ {
+		for d := range den {
+			den[d] = make([]float64, m)
+			for w := range seq.Activities {
+				j := int(seq.Activities[w].User)
+				den[d][j] += model.Base[d].Integral(seq.Horizon - seq.Activities[w].Time)
+			}
+		}
+		// E: intensities.
+		for k := range lam {
+			lam[k] = model.Mu[seq.Activities[k].User]
+		}
+		window(seq, cfg.Support, func(k, w int, dt float64) {
+			i := int(seq.Activities[k].User)
+			j := int(seq.Activities[w].User)
+			for d := 0; d < cfg.Patterns; d++ {
+				lam[k] += model.Coef[d][i][j] * model.Base[d].Eval(dt)
+			}
+		})
+		for k := range lam {
+			if lam[k] < lambdaFloor {
+				lam[k] = lambdaFloor
+			}
+		}
+		// M: accumulate responsibilities.
+		muNum := make([]float64, m)
+		for k, a := range seq.Activities {
+			muNum[a.User] += model.Mu[a.User] / lam[k]
+		}
+		coefNum := make([][][]float64, cfg.Patterns)
+		kernelHist := make([][]float64, cfg.Patterns)
+		for d := range coefNum {
+			coefNum[d] = make([][]float64, m)
+			for i := range coefNum[d] {
+				coefNum[d][i] = make([]float64, m)
+			}
+			kernelHist[d] = make([]float64, cfg.Bins+1)
+		}
+		window(seq, cfg.Support, func(k, w int, dt float64) {
+			i := int(seq.Activities[k].User)
+			j := int(seq.Activities[w].User)
+			for d := 0; d < cfg.Patterns; d++ {
+				p := model.Coef[d][i][j] * model.Base[d].Eval(dt) / lam[k]
+				if p <= 0 {
+					continue
+				}
+				coefNum[d][i][j] += p
+				bin := int(dt / step)
+				if bin > cfg.Bins {
+					bin = cfg.Bins
+				}
+				kernelHist[d][bin] += p
+			}
+		})
+		for i := 0; i < m; i++ {
+			model.Mu[i] = muNum[i] / seq.Horizon
+			if model.Mu[i] < 1e-8 {
+				model.Mu[i] = 1e-8
+			}
+		}
+		for d := 0; d < cfg.Patterns; d++ {
+			for i := 0; i < m; i++ {
+				for j := 0; j < m; j++ {
+					if den[d][j] <= 0 {
+						model.Coef[d][i][j] = 0
+						continue
+					}
+					model.Coef[d][i][j] = coefNum[d][i][j] / den[d][j]
+				}
+			}
+			// Re-estimate the base kernel from the attributed lags
+			// (density over bins), keeping unit mass.
+			vals := make([]float64, cfg.Bins+1)
+			for b := range vals {
+				vals[b] = kernelHist[d][b] / step
+			}
+			nk, err := kernel.NewDiscrete(step, vals)
+			if err == nil && nk.Mass() > 0 {
+				nk.Normalize()
+				model.Base[d] = nk
+			}
+		}
+	}
+	return model, nil
+}
+
+// phi evaluates the mixed triggering kernel for pair (i, j).
+func (m *MMEL) phi(i, j int, dt float64) float64 {
+	var v float64
+	for d := range m.Base {
+		v += m.Coef[d][i][j] * m.Base[d].Eval(dt)
+	}
+	return v
+}
+
+// phiInt evaluates ∫₀^dt of the mixed kernel.
+func (m *MMEL) phiInt(i, j int, dt float64) float64 {
+	var v float64
+	for d := range m.Base {
+		v += m.Coef[d][i][j] * m.Base[d].Integral(dt)
+	}
+	return v
+}
+
+// Influence returns Â (total kernel mass per pair) for RankCorr.
+func (m *MMEL) Influence() [][]float64 {
+	out := make([][]float64, m.M)
+	for i := range out {
+		out[i] = make([]float64, m.M)
+		for j := 0; j < m.M; j++ {
+			for d := range m.Base {
+				out[i][j] += m.Coef[d][i][j]
+			}
+		}
+	}
+	return out
+}
+
+// TrainLogLikelihood evaluates the fitted model on its training window.
+func (m *MMEL) TrainLogLikelihood() float64 {
+	return m.logLik(m.seq, 0, m.horizon)
+}
+
+// HeldOutLogLikelihood evaluates ln L(X_test | Θ, H_train).
+func (m *MMEL) HeldOutLogLikelihood(test *timeline.Sequence) (float64, error) {
+	if test == nil || test.Len() == 0 {
+		return 0, errors.New("baselines: empty test sequence")
+	}
+	combined := timeline.Merge(m.M, m.seq.StripParents(), test.StripParents())
+	return m.logLik(combined, m.horizon, combined.Horizon), nil
+}
+
+func (m *MMEL) logLik(seq *timeline.Sequence, from, to float64) float64 {
+	return logLikelihoodWindowLinear(seq, from, to, m.cfg.Support, m.Mu, m.phi, m.phiInt)
+}
+
+// InferForest produces the MAP branching structure for Table 1.
+func (m *MMEL) InferForest(seq *timeline.Sequence) (*branching.Forest, error) {
+	return inferForest(seq, m.cfg.Support, m.Mu, m.phi)
+}

@@ -1,0 +1,296 @@
+package cascade
+
+import (
+	"math"
+	"testing"
+
+	"chassis/internal/branching"
+	"chassis/internal/stance"
+	"chassis/internal/timeline"
+)
+
+func smallConfig(seed int64) Config {
+	return Config{
+		Name: "test", M: 20, Horizon: 300, Seed: seed,
+		Graph: BarabasiAlbert, GraphDegree: 2, Reciprocity: 0.4,
+		Topics: 2, BaseRateLo: 0.005, BaseRateHi: 0.02,
+		KernelRate: 1, TargetBranching: 0.5,
+		ConformityWeight: 0.7, PolarityNoise: 0.15, LikeFraction: 0.2,
+	}
+}
+
+func TestGenerateBasics(t *testing.T) {
+	d, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Seq.Validate(); err != nil {
+		t.Fatalf("generated sequence invalid: %v", err)
+	}
+	if d.Seq.Len() < 30 {
+		t.Fatalf("too few activities: %d", d.Seq.Len())
+	}
+	if len(d.Influence) != 20 || len(d.Opinions) != 20 || len(d.Conformity) != 20 {
+		t.Error("ground truth arrays sized wrong")
+	}
+	for u, tr := range d.Conformity {
+		if tr < 0 || tr > 1 {
+			t.Errorf("conformity trait[%d] = %g outside [0,1]", u, tr)
+		}
+		for _, o := range d.Opinions[u] {
+			if o < -1 || o > 1 {
+				t.Errorf("opinion of %d = %g outside [-1,1]", u, o)
+			}
+		}
+	}
+	// Influence matrix respects the graph: nonzero only on follow edges.
+	for i := 0; i < 20; i++ {
+		for j := 0; j < 20; j++ {
+			if d.Influence[i][j] > 0 && !d.Graph.HasEdge(j, i) {
+				t.Errorf("influence %d<-%d without a follow edge", i, j)
+			}
+			if d.Influence[i][j] < 0 {
+				t.Errorf("negative ground-truth influence at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Seq.Len() != b.Seq.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Seq.Len(), b.Seq.Len())
+	}
+	for i := range a.Seq.Activities {
+		x, y := a.Seq.Activities[i], b.Seq.Activities[i]
+		if x.Time != y.Time || x.User != y.User || x.Text != y.Text || x.Parent != y.Parent {
+			t.Fatalf("activity %d differs between same-seed runs", i)
+		}
+	}
+	c, err := Generate(smallConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Seq.Len() == a.Seq.Len() && c.Seq.Activities[0].Time == a.Seq.Activities[0].Time {
+		t.Error("different seeds should give different corpora")
+	}
+}
+
+func TestGenerateValidatesConfig(t *testing.T) {
+	bad := smallConfig(1)
+	bad.M = 1
+	if _, err := Generate(bad); err == nil {
+		t.Error("M=1 must fail")
+	}
+	bad = smallConfig(1)
+	bad.Horizon = 0
+	if _, err := Generate(bad); err == nil {
+		t.Error("zero horizon must fail")
+	}
+	bad = smallConfig(1)
+	bad.TargetBranching = 0.99
+	if _, err := Generate(bad); err == nil {
+		t.Error("near-critical branching must fail")
+	}
+	bad = smallConfig(1)
+	bad.ConformityWeight = 2
+	if _, err := Generate(bad); err == nil {
+		t.Error("conformity weight > 1 must fail")
+	}
+}
+
+func TestGeneratedKindsAndText(t *testing.T) {
+	d, err := Generate(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var posts, likes, texty int
+	for _, a := range d.Seq.Activities {
+		if a.IsImmigrant() {
+			if a.Kind != timeline.Post {
+				t.Fatalf("immigrant with kind %v", a.Kind)
+			}
+			posts++
+		} else if a.Kind == timeline.Post {
+			t.Fatal("offspring typed as Post")
+		}
+		if a.Kind.Explicit() {
+			likes++
+			if a.Text != "" {
+				t.Fatal("explicit reactions carry no text")
+			}
+			if a.Polarity != 1 && a.Polarity != -1 {
+				t.Fatalf("explicit reaction polarity = %g", a.Polarity)
+			}
+		}
+		if a.Text != "" {
+			texty++
+		}
+	}
+	if posts == 0 {
+		t.Error("no immigrant posts")
+	}
+	if likes == 0 {
+		t.Error("no explicit reactions despite LikeFraction > 0")
+	}
+	if texty < d.Seq.Len()/2 {
+		t.Error("most activities should carry text")
+	}
+}
+
+// The generated corpus must contain recoverable conformity signal: a child
+// whose author has a high conformity trait should have polarity closer to
+// its parent's than a low-trait child, on average.
+func TestConformitySignalPresent(t *testing.T) {
+	cfg := smallConfig(3)
+	cfg.M = 40
+	cfg.Horizon = 800
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hiDiff, loDiff []float64
+	for _, a := range d.Seq.Activities {
+		if a.IsImmigrant() || a.Kind.Explicit() {
+			continue
+		}
+		parent := d.Seq.Activities[a.Parent]
+		diff := math.Abs(a.Polarity - parent.Polarity)
+		if d.Conformity[a.User] > 0.65 {
+			hiDiff = append(hiDiff, diff)
+		} else if d.Conformity[a.User] < 0.35 {
+			loDiff = append(loDiff, diff)
+		}
+	}
+	if len(hiDiff) < 10 || len(loDiff) < 10 {
+		t.Skip("not enough samples in trait buckets")
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	if mean(hiDiff) >= mean(loDiff) {
+		t.Errorf("high-conformity users should echo parents: hi=%.3f lo=%.3f",
+			mean(hiDiff), mean(loDiff))
+	}
+}
+
+func TestAnalyzerRecoversExpressedPolarity(t *testing.T) {
+	// Text rendered from a strongly positive polarity should analyze
+	// positive far more often than not (and symmetrically for negative).
+	d, err := Generate(smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d
+	a := stance.NewAnalyzer()
+	var agree, total int
+	r := newTestRNG()
+	for trial := 0; trial < 300; trial++ {
+		want := 0.8
+		if trial%2 == 1 {
+			want = -0.8
+		}
+		text := renderText(r, want, false)
+		got := a.Polarity(text)
+		if got*want > 0 {
+			agree++
+		}
+		total++
+	}
+	if frac := float64(agree) / float64(total); frac < 0.85 {
+		t.Errorf("analyzer agrees with rendered polarity only %.0f%%", frac*100)
+	}
+}
+
+func TestPHEMEGeneration(t *testing.T) {
+	events := PHEMEEvents(99)
+	if len(events) != 5 {
+		t.Fatalf("want 5 PHEME events, got %d", len(events))
+	}
+	names := map[string]bool{}
+	for _, ev := range events {
+		d, err := GeneratePHEME(ev)
+		if err != nil {
+			t.Fatalf("%s: %v", ev.Name, err)
+		}
+		names[d.Name] = true
+		if err := d.Seq.Validate(); err != nil {
+			t.Fatalf("%s: invalid sequence: %v", ev.Name, err)
+		}
+		f, err := branching.FromSequence(d.Seq)
+		if err != nil {
+			t.Fatalf("%s: %v", ev.Name, err)
+		}
+		if f.NumTrees() != ev.Threads {
+			t.Errorf("%s: %d trees, want %d", ev.Name, f.NumTrees(), ev.Threads)
+		}
+		st := f.Summarize()
+		if st.MeanTreeSize < 3 {
+			t.Errorf("%s: threads too short (mean %.1f)", ev.Name, st.MeanTreeSize)
+		}
+		// Every activity has a polarity assigned (explicit or analyzed);
+		// roots are posts, replies are not.
+		for _, a := range d.Seq.Activities {
+			if a.IsImmigrant() && a.Kind != timeline.Post {
+				t.Fatalf("%s: root with kind %v", ev.Name, a.Kind)
+			}
+		}
+	}
+	if len(names) != 5 {
+		t.Error("event names must be distinct")
+	}
+	if _, err := GeneratePHEME(PHEMEEvent{}); err == nil {
+		t.Error("empty event must fail")
+	}
+}
+
+func TestPHEMEDeterministic(t *testing.T) {
+	ev := PHEMEEvents(5)[0]
+	a, _ := GeneratePHEME(ev)
+	b, _ := GeneratePHEME(ev)
+	if a.Seq.Len() != b.Seq.Len() {
+		t.Fatal("same-seed PHEME runs differ")
+	}
+	for i := range a.Seq.Activities {
+		if a.Seq.Activities[i].Parent != b.Seq.Activities[i].Parent {
+			t.Fatal("same-seed PHEME parents differ")
+		}
+	}
+}
+
+func TestOpinionSimilarity(t *testing.T) {
+	if got := opinionSimilarity([]float64{1}, []float64{1}); got != 1 {
+		t.Errorf("identical opinions similarity = %g", got)
+	}
+	if got := opinionSimilarity([]float64{1}, []float64{-1}); got != 0 {
+		t.Errorf("opposite opinions similarity = %g", got)
+	}
+	if got := opinionSimilarity([]float64{1, 0}, []float64{0, 0}); got != 0.75 {
+		t.Errorf("mixed similarity = %g, want 0.75", got)
+	}
+}
+
+func TestRescaleToBranching(t *testing.T) {
+	a := [][]float64{{0, 2}, {2, 0}}
+	rescaleToBranching(a, 0.5, 0.92)
+	// Column sums were 2; now must be 0.5.
+	if a[1][0] != 0.5 || a[0][1] != 0.5 {
+		t.Errorf("rescaled matrix = %v", a)
+	}
+	z := [][]float64{{0}}
+	rescaleToBranching(z, 0.5, 0.92) // must not divide by zero
+	if z[0][0] != 0 {
+		t.Error("zero matrix must stay zero")
+	}
+}

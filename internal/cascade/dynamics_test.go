@@ -1,0 +1,121 @@
+package cascade
+
+import (
+	"math"
+	"testing"
+
+	"chassis/internal/branching"
+)
+
+func TestDynamicStatePhiShape(t *testing.T) {
+	s := newDynamicState(3)
+	// No interactions: Φ = 0 everywhere.
+	if s.at(0, 1, 5) != 0 {
+		t.Error("cold state must be 0")
+	}
+	s.bump(0, 1, 10)
+	// Right after the bump: pair count 1, ℕ₀ = 1 → Φ = 1/(1+1).
+	got := s.at(0, 1, 10)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Φ after first bump = %g, want 0.5", got)
+	}
+	// Decays with elapsed time (β = 0.05).
+	later := s.at(0, 1, 30)
+	want := math.Exp(-0.05*20) / 2
+	if math.Abs(later-want) > 1e-12 {
+		t.Errorf("decayed Φ = %g, want %g", later, want)
+	}
+	// Another pair's interaction grows the receiver's normalizer and
+	// dilutes this pair.
+	s.bump(0, 2, 30)
+	diluted := s.at(0, 1, 30)
+	if diluted >= later {
+		t.Errorf("normalizer growth must dilute: %g vs %g", diluted, later)
+	}
+	// The other receiver is unaffected.
+	if s.at(1, 0, 30) != 0 {
+		t.Error("cross-receiver state must stay 0")
+	}
+}
+
+func TestDynamicAlpha(t *testing.T) {
+	// Zero base stays zero.
+	if dynamicAlpha(0, 1, 0.7) != 0 {
+		t.Error("zero base must give zero")
+	}
+	// Zero conformity weight reduces to the static base.
+	if got := dynamicAlpha(0.4, 0.9, 0); got != 0.4 {
+		t.Errorf("w=0 gives %g, want base", got)
+	}
+	// Cold pair under full weight: (1-w) + w·0 → base·(1−w).
+	if got := dynamicAlpha(0.4, 0, 1); math.Abs(got) > 1e-12 {
+		t.Errorf("cold full-weight pair = %g, want 0", got)
+	}
+	// Hot pair saturates at the cap.
+	hot := dynamicAlpha(0.4, 10, 1)
+	if math.Abs(hot-0.4*dynamicHotCap) > 1e-12 {
+		t.Errorf("hot pair = %g, want base·cap", hot)
+	}
+	// Monotone in phi.
+	prev := -1.0
+	for phi := 0.0; phi < 0.5; phi += 0.01 {
+		v := dynamicAlpha(0.4, phi, 0.7)
+		if v < prev {
+			t.Fatalf("dynamicAlpha not monotone at phi=%g", phi)
+		}
+		prev = v
+	}
+}
+
+func TestSimulateDynamicProducesConformityRamps(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.M = 30
+	cfg.Horizon = 2000
+	cfg.BaseRateLo, cfg.BaseRateHi = 0.01, 0.03
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := branching.FromSequence(d.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The dynamic process must produce offspring and repeated pairs:
+	// pairs with ≥3 interactions should exist (the ramp rewards repeats).
+	pairCounts := map[[2]int]int{}
+	for k := range d.Seq.Activities {
+		p := f.Parent(k)
+		if p < 0 {
+			continue
+		}
+		pairCounts[[2]int{int(d.Seq.Activities[k].User), int(d.Seq.Activities[p].User)}]++
+	}
+	repeats := 0
+	for _, c := range pairCounts {
+		if c >= 2 {
+			repeats++
+		}
+	}
+	if repeats < 3 {
+		t.Errorf("dynamic ramp should concentrate interactions: %d pairs with ≥2", repeats)
+	}
+	if f.NumTrees() == f.Len() {
+		t.Error("dynamic simulation produced no offspring")
+	}
+}
+
+func TestSimulateDynamicSubcritical(t *testing.T) {
+	// Even at full conformity weight the capped multiplier keeps the
+	// process finite well below MaxEvents.
+	cfg := smallConfig(6)
+	cfg.ConformityWeight = 1
+	cfg.Horizon = 600
+	cfg.MaxEvents = 50_000
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatalf("full-weight generation exploded: %v", err)
+	}
+	if d.Seq.Len() >= cfg.MaxEvents {
+		t.Errorf("hit the event cap: %d", d.Seq.Len())
+	}
+}

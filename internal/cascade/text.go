@@ -1,0 +1,80 @@
+package cascade
+
+import (
+	"strings"
+
+	"chassis/internal/rng"
+)
+
+// Text rendering: templates whose sentiment-bearing slots draw from
+// vocabulary the stance analyzer's lexicon covers (plus distractors it does
+// not), so the analyzer recovers a noisy version of the expressed polarity
+// — the same signal/noise structure NLTK sees on real posts.
+
+var (
+	strongPositive = []string{"amazing", "fantastic", "brilliant", "masterpiece", "outstanding", "phenomenal", "incredible", "superb"}
+	mildPositive   = []string{"good", "nice", "solid", "enjoyable", "fun", "decent", "cool", "helpful"}
+	strongNegative = []string{"terrible", "awful", "horrible", "disgusting", "pathetic", "unwatchable", "disaster"}
+	mildNegative   = []string{"boring", "weak", "mediocre", "bland", "disappointing", "flawed", "dull"}
+	neutralWords   = []string{"report", "update", "thread", "coverage", "footage", "statement", "details", "story"}
+	subjects       = []string{"this movie", "the news", "that article", "the match", "this story", "the announcement", "her post", "his take"}
+	positiveTails  = []string{"loved it", "highly recommend", "so happy about it", "great stuff", "totally agree", ":)", "well worth it"}
+	negativeTails  = []string{"what a mess", "cannot believe this", "such a letdown", "do not trust it", ":(", "complete waste", "avoid it"}
+	neutralTails   = []string{"more details soon", "still reading", "sharing for visibility", "thoughts?", "as reported", "see thread"}
+	openers        = []string{"honestly", "wow", "ok so", "just saw", "breaking", "fwiw", "hm", "so"}
+)
+
+func pick(r *rng.RNG, xs []string) string { return xs[r.Intn(len(xs))] }
+
+// renderText produces a post or response whose lexical sentiment tracks the
+// expressed polarity. Intensity buckets: |p| > 0.55 strong, > 0.15 mild,
+// else neutral. Negated constructions ("not good") appear occasionally so
+// the analyzer's negation path is exercised by real data.
+func renderText(r *rng.RNG, polarity float64, isPost bool) string {
+	var parts []string
+	if r.Bernoulli(0.4) {
+		parts = append(parts, pick(r, openers))
+	}
+	subject := pick(r, subjects)
+	switch {
+	case polarity > 0.55:
+		parts = append(parts, subject, "is", maybeIntensify(r, pick(r, strongPositive)))
+		if r.Bernoulli(0.5) {
+			parts = append(parts, pick(r, positiveTails))
+		}
+	case polarity > 0.15:
+		if r.Bernoulli(0.25) {
+			// Negated negative reads mildly positive: "not bad at all".
+			parts = append(parts, subject, "is", "not", pick(r, mildNegative), "at all")
+		} else {
+			parts = append(parts, subject, "is", pick(r, mildPositive))
+		}
+	case polarity < -0.55:
+		parts = append(parts, subject, "is", maybeIntensify(r, pick(r, strongNegative)))
+		if r.Bernoulli(0.5) {
+			parts = append(parts, pick(r, negativeTails))
+		}
+	case polarity < -0.15:
+		if r.Bernoulli(0.25) {
+			parts = append(parts, subject, "is", "not", pick(r, mildPositive))
+		} else {
+			parts = append(parts, subject, "is", pick(r, mildNegative))
+		}
+	default:
+		parts = append(parts, pick(r, neutralWords), "on", subject)
+		if r.Bernoulli(0.5) {
+			parts = append(parts, pick(r, neutralTails))
+		}
+	}
+	if isPost && r.Bernoulli(0.3) {
+		parts = append(parts, pick(r, neutralTails))
+	}
+	return strings.Join(parts, " ")
+}
+
+func maybeIntensify(r *rng.RNG, word string) string {
+	if r.Bernoulli(0.4) {
+		return pick(r, []string{"really", "absolutely", "truly", "extremely"}) + " " + word
+	}
+	return word
+}

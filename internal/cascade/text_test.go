@@ -1,0 +1,58 @@
+package cascade
+
+import (
+	"strings"
+	"testing"
+
+	"chassis/internal/rng"
+)
+
+func newTestRNG() *rng.RNG { return rng.New(1234) }
+
+func TestRenderTextNonEmpty(t *testing.T) {
+	r := newTestRNG()
+	for _, p := range []float64{0.9, 0.3, 0, -0.3, -0.9} {
+		for i := 0; i < 20; i++ {
+			text := renderText(r, p, i%2 == 0)
+			if strings.TrimSpace(text) == "" {
+				t.Fatalf("empty text for polarity %g", p)
+			}
+		}
+	}
+}
+
+func TestRenderTextVocabularyTracksSign(t *testing.T) {
+	r := newTestRNG()
+	posHits, negHits := 0, 0
+	for i := 0; i < 200; i++ {
+		pos := renderText(r, 0.9, false)
+		for _, w := range strongPositive {
+			if strings.Contains(pos, w) {
+				posHits++
+				break
+			}
+		}
+		neg := renderText(r, -0.9, false)
+		for _, w := range strongNegative {
+			if strings.Contains(neg, w) {
+				negHits++
+				break
+			}
+		}
+	}
+	if posHits < 150 || negHits < 150 {
+		t.Errorf("strong polarity should use strong vocabulary: pos %d/200, neg %d/200", posHits, negHits)
+	}
+}
+
+func TestRenderTextNeutralAvoidsSentiment(t *testing.T) {
+	r := newTestRNG()
+	for i := 0; i < 100; i++ {
+		text := renderText(r, 0, false)
+		for _, w := range append(append([]string{}, strongPositive...), strongNegative...) {
+			if strings.Contains(text, w) {
+				t.Fatalf("neutral text %q contains sentiment word %q", text, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,329 @@
+// Package conformity quantifies the two flavors of conformity CHASSIS
+// injects into the Hawkes excitation (Section 5 of the paper), from a
+// sequence of polarity-annotated activities and a branching structure
+// (diffusion forest):
+//
+//   - Informational influence αᴵᵢⱼ(t) = Φᵢⱼ(t)·Ψᵢⱼ(t): the influence degree
+//     Φ (Eq. 5.1) — an exponentially decayed, normalized count of
+//     parent-child interactions j→i — times the context stance Ψ — the
+//     Pearson correlation of the polarities exchanged in those
+//     interactions.
+//   - Normative influence αᴺᵢⱼ(t) (Eq. 5.2): the Pearson correlation of
+//     polarity vectors accumulated over whole cascades, via Scenario 1
+//     (aligned same-path pairs) and Scenario 2 (cross-path pairs
+//     recalibrated through their lowest common ancestor, capturing
+//     "fashion leader" opinion shifts).
+//
+// All quantities are time-varying; a Computer answers point-in-time queries
+// against prefix structures built once per (sequence, forest) pair, so the
+// EM loop can rebuild them cheaply after each E-step.
+package conformity
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"chassis/internal/branching"
+	"chassis/internal/stats"
+	"chassis/internal/timeline"
+)
+
+// Options tunes conformity extraction.
+type Options struct {
+	// MaxTreePairs caps the ordered activity pairs enumerated per cascade
+	// for normative conformity; larger trees fall back to all ancestor
+	// (Scenario 1) pairs plus a deterministic stride sample of cross-path
+	// (Scenario 2) pairs. 0 means the default of 20000.
+	MaxTreePairs int
+	// IncludeSelf also tracks a user's conformity to themselves. The paper
+	// pairs distinct individuals, so the default is false.
+	IncludeSelf bool
+	// DisableLCA turns off Scenario 2 (cross-path pairs recalibrated
+	// through their lowest common ancestor), leaving only same-path
+	// Scenario 1 pairs in the normative influence — the ablation knob for
+	// the "fashion leader" mechanism.
+	DisableLCA bool
+}
+
+func (o *Options) fill() {
+	if o.MaxTreePairs <= 0 {
+		o.MaxTreePairs = 20000
+	}
+}
+
+type pairKey struct{ i, j int32 }
+
+// PairKey identifies an ordered (receiver, source) user pair with recorded
+// interactions.
+type PairKey struct{ Receiver, Source int }
+
+type pairData struct {
+	info *series // parent-child interactions j→i: (p_parent, p_child)
+	norm *series // cascade-level contributions: (x_j, y_i)
+}
+
+// Computer answers conformity queries for one (sequence, forest) pair.
+type Computer struct {
+	seq    *timeline.Sequence
+	forest *branching.Forest
+	opts   Options
+	pairs  map[pairKey]*pairData
+	// offspringTimes[i] holds the (sorted) times of user i's offspring
+	// activities: the denominator ℕᵢ(t) of Eq. 5.1.
+	offspringTimes [][]float64
+}
+
+// New extracts conformity structures. Activities must carry polarities
+// (see stance.AnnotateSequence); the forest must cover the same activities.
+func New(seq *timeline.Sequence, forest *branching.Forest, opts Options) (*Computer, error) {
+	if seq == nil || forest == nil {
+		return nil, errors.New("conformity: nil sequence or forest")
+	}
+	if forest.Len() != seq.Len() {
+		return nil, fmt.Errorf("conformity: forest covers %d nodes, sequence has %d", forest.Len(), seq.Len())
+	}
+	opts.fill()
+	c := &Computer{
+		seq:            seq,
+		forest:         forest,
+		opts:           opts,
+		pairs:          make(map[pairKey]*pairData),
+		offspringTimes: make([][]float64, seq.M),
+	}
+	c.buildInformational()
+	c.buildNormative()
+	return c, nil
+}
+
+func (c *Computer) pair(i, j int32, create bool) *pairData {
+	k := pairKey{i, j}
+	p, ok := c.pairs[k]
+	if !ok && create {
+		p = &pairData{info: newSeries(), norm: newSeries()}
+		c.pairs[k] = p
+	}
+	return p
+}
+
+// buildInformational walks parent-child pairs in chronological (index)
+// order, feeding both the per-pair interaction series and the per-user
+// offspring counters.
+func (c *Computer) buildInformational() {
+	acts := c.seq.Activities
+	for k := range acts {
+		parent := c.forest.Parent(k)
+		if parent == timeline.NoParent {
+			continue
+		}
+		child := &acts[k]
+		i := int32(child.User)
+		c.offspringTimes[i] = append(c.offspringTimes[i], child.Time)
+		p := &acts[parent]
+		j := int32(p.User)
+		if i == j && !c.opts.IncludeSelf {
+			continue
+		}
+		c.pair(i, j, true).info.add(child.Time, p.Polarity, child.Polarity)
+	}
+	// Activity order is chronological, but guard against ties reordering.
+	for i := range c.offspringTimes {
+		sort.Float64s(c.offspringTimes[i])
+	}
+}
+
+// normContribution is one (x, y) sample destined for a pair's normative
+// series, timestamped by the later activity.
+type normContribution struct {
+	t    float64
+	i, j int32
+	e1   int32 // earlier activity (by j)
+	e2   int32 // later activity (by i)
+	lca  int32 // -1 for Scenario 1 (same path)
+}
+
+// buildNormative enumerates, per cascade, ordered activity pairs of
+// distinct users, splits them into Scenario 1 (ancestor) and Scenario 2
+// (cross-path, recalibrated through the LCA), sorts all contributions
+// globally by time, and streams them through running accumulators so each
+// pair's normative series grows chronologically — exactly the "scanning all
+// information cascades up to time t" procedure of Section 5.2.
+func (c *Computer) buildNormative() {
+	acts := c.seq.Activities
+	var contribs []normContribution
+	for treeID := 0; treeID < c.forest.NumTrees(); treeID++ {
+		nodes := c.forest.Tree(treeID)
+		n := len(nodes)
+		if n < 2 {
+			continue
+		}
+		total := n * (n - 1) / 2
+		stride := 1
+		if total > c.opts.MaxTreePairs {
+			stride = (total + c.opts.MaxTreePairs - 1) / c.opts.MaxTreePairs
+		}
+		count := 0
+		for b := 1; b < n; b++ {
+			e2 := nodes[b]
+			a2 := &acts[e2]
+			for a := 0; a < b; a++ {
+				e1 := nodes[a]
+				a1 := &acts[e1]
+				if a1.User == a2.User && !c.opts.IncludeSelf {
+					continue
+				}
+				if a1.Time >= a2.Time {
+					continue
+				}
+				isAncestor := c.forest.IsAncestor(e1, e2)
+				if !isAncestor && c.opts.DisableLCA {
+					continue
+				}
+				if !isAncestor {
+					// Scenario 2 pairs are the ones subsampled under the cap;
+					// ancestor pairs always survive (they carry the direct
+					// chain-of-influence signal).
+					count++
+					if stride > 1 && count%stride != 0 {
+						continue
+					}
+				}
+				nc := normContribution{
+					t: a2.Time, i: int32(a2.User), j: int32(a1.User),
+					e1: int32(e1), e2: int32(e2), lca: -1,
+				}
+				if !isAncestor {
+					nc.lca = int32(c.forest.LCA(e1, e2))
+				}
+				contribs = append(contribs, nc)
+			}
+		}
+	}
+	sort.SliceStable(contribs, func(a, b int) bool { return contribs[a].t < contribs[b].t })
+
+	// Scenario-2 running accumulators: polarity-vs-LCA-polarity streams per
+	// ordered pair, from which the recalibrated correlations are drawn.
+	type accKey struct{ i, j int32 }
+	qj := make(map[accKey]*stats.PearsonAcc) // source-side vs LCA
+	qi := make(map[accKey]*stats.PearsonAcc) // receiver-side vs LCA
+	getAcc := func(m map[accKey]*stats.PearsonAcc, k accKey) *stats.PearsonAcc {
+		a, ok := m[k]
+		if !ok {
+			a = &stats.PearsonAcc{}
+			m[k] = a
+		}
+		return a
+	}
+	for _, nc := range contribs {
+		p := c.pair(nc.i, nc.j, true)
+		if nc.lca < 0 {
+			// Scenario 1: direct polarity pair.
+			p.norm.add(nc.t, acts[nc.e1].Polarity, acts[nc.e2].Polarity)
+			continue
+		}
+		// Scenario 2: recalibrate through the LCA.
+		k := accKey{nc.i, nc.j}
+		lcaPol := acts[nc.lca].Polarity
+		aj := getAcc(qj, k)
+		ai := getAcc(qi, k)
+		aj.Add(acts[nc.e1].Polarity, lcaPol)
+		ai.Add(acts[nc.e2].Polarity, lcaPol)
+		p.norm.add(nc.t, aj.Corr(), ai.Corr())
+	}
+}
+
+// offspringCountAt returns ℕᵢ(t): user i's offspring activities up to t.
+func (c *Computer) offspringCountAt(i int, t float64) int {
+	ts := c.offspringTimes[i]
+	lo, hi := 0, len(ts)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ts[mid] <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// InfluenceDegree returns Φᵢⱼ(t) of Eq. 5.1 under decay rate β: the
+// normalized, exponentially decayed count of j→i parent-child interactions.
+// Always in [0, 1].
+func (c *Computer) InfluenceDegree(i, j int, t, beta float64) float64 {
+	phi, _ := c.InfluenceDegreeGrad(i, j, t, beta)
+	return phi
+}
+
+// InfluenceDegreeGrad returns Φᵢⱼ(t) and ∂Φᵢⱼ(t)/∂β.
+func (c *Computer) InfluenceDegreeGrad(i, j int, t, beta float64) (phi, dBeta float64) {
+	p := c.pair(int32(i), int32(j), false)
+	if p == nil || p.info.len() == 0 {
+		return 0, 0
+	}
+	n := c.offspringCountAt(i, t)
+	if n == 0 {
+		return 0, 0
+	}
+	sum, dsum := p.info.decaySumAt(t, beta)
+	inv := 1 / float64(n)
+	return sum * inv, dsum * inv
+}
+
+// ContextStance returns Ψᵢⱼ(t): the Pearson correlation of polarities over
+// the j→i parent-child interactions up to t, in [-1, 1].
+func (c *Computer) ContextStance(i, j int, t float64) float64 {
+	p := c.pair(int32(i), int32(j), false)
+	if p == nil {
+		return 0
+	}
+	return p.info.corrAt(t)
+}
+
+// Informational returns αᴵᵢⱼ(t) = Φᵢⱼ(t)·Ψᵢⱼ(t).
+func (c *Computer) Informational(i, j int, t, beta float64) float64 {
+	return c.InfluenceDegree(i, j, t, beta) * c.ContextStance(i, j, t)
+}
+
+// InformationalGrad returns αᴵᵢⱼ(t) and its derivative with respect to β.
+func (c *Computer) InformationalGrad(i, j int, t, beta float64) (alpha, dBeta float64) {
+	phi, dphi := c.InfluenceDegreeGrad(i, j, t, beta)
+	psi := c.ContextStance(i, j, t)
+	return phi * psi, dphi * psi
+}
+
+// Normative returns αᴺᵢⱼ(t) of Eq. 5.2.
+func (c *Computer) Normative(i, j int, t float64) float64 {
+	p := c.pair(int32(i), int32(j), false)
+	if p == nil {
+		return 0
+	}
+	return p.norm.corrAt(t)
+}
+
+// InteractionCount returns how many parent-child interactions j→i exist in
+// the whole window (the size of N_ij(T)).
+func (c *Computer) InteractionCount(i, j int) int {
+	p := c.pair(int32(i), int32(j), false)
+	if p == nil {
+		return 0
+	}
+	return p.info.len()
+}
+
+// ActivePairs lists every ordered pair with at least one informational or
+// normative sample — the sparse support the M-step iterates instead of all
+// M² pairs.
+func (c *Computer) ActivePairs() []PairKey {
+	out := make([]PairKey, 0, len(c.pairs))
+	for k := range c.pairs {
+		out = append(out, PairKey{Receiver: int(k.i), Source: int(k.j)})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Receiver != out[b].Receiver {
+			return out[a].Receiver < out[b].Receiver
+		}
+		return out[a].Source < out[b].Source
+	})
+	return out
+}

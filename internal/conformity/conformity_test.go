@@ -1,0 +1,337 @@
+package conformity
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chassis/internal/branching"
+	"chassis/internal/rng"
+	"chassis/internal/stats"
+	"chassis/internal/timeline"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+// fixture builds two cascades over 4 users:
+//
+//	tree 1: a0(u0,+0.8) ─ a1(u1,+0.6) ─ a2(u2,−0.5) ─ a3(u1,−0.6)
+//	                    ├ a4(u3,+0.7)
+//	                    └ a5(u1,+0.5)
+//	tree 2: a6(u0,−0.7) ─ a7(u1,−0.4)
+func fixture(t *testing.T) (*timeline.Sequence, *branching.Forest) {
+	t.Helper()
+	np := timeline.NoParent
+	seq := &timeline.Sequence{M: 4, Horizon: 10}
+	add := func(user int, tm, pol float64, parent timeline.ActivityID) {
+		seq.Activities = append(seq.Activities, timeline.Activity{
+			ID: timeline.ActivityID(len(seq.Activities)), User: timeline.UserID(user),
+			Time: tm, Polarity: pol, Parent: parent,
+		})
+	}
+	add(0, 1, 0.8, np)    // a0
+	add(1, 2, 0.6, 0)     // a1
+	add(2, 3, -0.5, 1)    // a2
+	add(1, 4, -0.6, 2)    // a3
+	add(3, 5, 0.7, 0)     // a4
+	add(1, 6, 0.5, 0)     // a5
+	add(0, 6.5, -0.7, np) // a6
+	add(1, 7, -0.4, 6)    // a7
+	if err := seq.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := branching.FromSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq, f
+}
+
+func TestNewValidation(t *testing.T) {
+	seq, f := fixture(t)
+	if _, err := New(nil, f, Options{}); err == nil {
+		t.Error("nil sequence must fail")
+	}
+	if _, err := New(seq, nil, Options{}); err == nil {
+		t.Error("nil forest must fail")
+	}
+	short, _ := branching.FromParents([]timeline.ActivityID{timeline.NoParent})
+	if _, err := New(seq, short, Options{}); err == nil {
+		t.Error("size mismatch must fail")
+	}
+}
+
+func TestInteractionCounts(t *testing.T) {
+	seq, f := fixture(t)
+	c, err := New(seq, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair (1,0): children a1 (parent a0), a5 (parent a0), a7 (parent a6).
+	if got := c.InteractionCount(1, 0); got != 3 {
+		t.Errorf("InteractionCount(1,0) = %d, want 3", got)
+	}
+	if got := c.InteractionCount(1, 2); got != 1 {
+		t.Errorf("InteractionCount(1,2) = %d, want 1", got)
+	}
+	if got := c.InteractionCount(0, 1); got != 0 {
+		t.Errorf("InteractionCount(0,1) = %d, want 0", got)
+	}
+}
+
+func TestInfluenceDegree(t *testing.T) {
+	seq, f := fixture(t)
+	c, err := New(seq, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := 0.5
+	// User 1 offspring activities: a1(t2), a3(t4), a5(t6), a7(t7) → ℕ₁(6)=3.
+	// j=0 interactions by t=6: child times 2, 6.
+	want := (math.Exp(-beta*4) + 1) / 3.0
+	approx(t, c.InfluenceDegree(1, 0, 6, beta), want, 1e-12, "Φ(1,0,6)")
+	// At t=7 all four offspring count; interactions at 2, 6, 7.
+	want = (math.Exp(-beta*5) + math.Exp(-beta*1) + 1) / 4.0
+	approx(t, c.InfluenceDegree(1, 0, 7, beta), want, 1e-12, "Φ(1,0,7)")
+	// Before any offspring of user 1: zero.
+	approx(t, c.InfluenceDegree(1, 0, 1.5, beta), 0, 0, "Φ before interactions")
+	// Unknown pair: zero.
+	approx(t, c.InfluenceDegree(0, 3, 9, beta), 0, 0, "Φ of empty pair")
+	// Domain: [0, 1].
+	for _, tm := range []float64{2, 4, 6, 8, 10} {
+		phi := c.InfluenceDegree(1, 0, tm, beta)
+		if phi < 0 || phi > 1 {
+			t.Errorf("Φ(1,0,%g) = %g outside [0,1]", tm, phi)
+		}
+	}
+}
+
+func TestInfluenceDegreeGradMatchesFiniteDiff(t *testing.T) {
+	seq, f := fixture(t)
+	c, _ := New(seq, f, Options{})
+	beta := 0.7
+	const h = 1e-6
+	phi, grad := c.InfluenceDegreeGrad(1, 0, 7, beta)
+	plus := c.InfluenceDegree(1, 0, 7, beta+h)
+	minus := c.InfluenceDegree(1, 0, 7, beta-h)
+	approx(t, grad, (plus-minus)/(2*h), 1e-6, "dΦ/dβ")
+	if phi <= 0 {
+		t.Error("Φ should be positive here")
+	}
+}
+
+func TestContextStance(t *testing.T) {
+	seq, f := fixture(t)
+	c, _ := New(seq, f, Options{})
+	// Pair (1,0) info samples: (0.8,0.6)@t2, (0.8,0.5)@t6, (−0.7,−0.4)@t7.
+	// At t=6: parent polarity constant 0.8 → Pearson degenerate → mean
+	// sign-agreement (1 + 1)/2 = 1.
+	approx(t, c.ContextStance(1, 0, 6), 1, 1e-12, "degenerate Ψ falls back to sign agreement")
+	// At t=7: three samples, Pearson shrunk toward full agreement:
+	// (3·Pcc + 3·1)/6.
+	pcc, _ := stats.Pearson([]float64{0.8, 0.8, -0.7}, []float64{0.6, 0.5, -0.4})
+	want := (3*pcc + 3*1) / 6
+	approx(t, c.ContextStance(1, 0, 7), want, 1e-12, "Ψ(1,0,7)")
+	if c.ContextStance(1, 0, 7) <= 0.9 {
+		t.Error("aligned polarities should give strongly positive stance")
+	}
+	// Single sample: sign agreement of (−0.5, −0.6) = 1.
+	approx(t, c.ContextStance(1, 2, 10), 1, 1e-12, "single-sample Ψ")
+}
+
+func TestInformational(t *testing.T) {
+	seq, f := fixture(t)
+	c, _ := New(seq, f, Options{})
+	beta := 0.5
+	got := c.Informational(1, 0, 7, beta)
+	want := c.InfluenceDegree(1, 0, 7, beta) * c.ContextStance(1, 0, 7)
+	approx(t, got, want, 1e-12, "αI = Φ·Ψ")
+	a, db := c.InformationalGrad(1, 0, 7, beta)
+	approx(t, a, want, 1e-12, "InformationalGrad value")
+	_, dphi := c.InfluenceDegreeGrad(1, 0, 7, beta)
+	approx(t, db, dphi*c.ContextStance(1, 0, 7), 1e-12, "InformationalGrad dβ")
+}
+
+func TestNormativeScenario1(t *testing.T) {
+	seq, f := fixture(t)
+	c, _ := New(seq, f, Options{})
+	// Pair (1,0): ancestor pairs (a0→a1), (a0→a3), (a0→a5), (a6→a7);
+	// all are Scenario 1 since a0/a6 are roots. Sign agreements:
+	// +1, −1, +1, +1 → 0.5; shrunk Pearson blend over 4 samples.
+	pcc, _ := stats.Pearson(
+		[]float64{0.8, 0.8, 0.8, -0.7},
+		[]float64{0.6, -0.6, 0.5, -0.4},
+	)
+	want := (4*pcc + 3*0.5) / 7
+	approx(t, c.Normative(1, 0, 10), want, 1e-12, "αN(1,0)")
+	// Prefix query at t=4: two samples (0.8,0.6), (0.8,−0.6) — x constant,
+	// so the sign-agreement fallback gives (1 − 1)/2 = 0.
+	approx(t, c.Normative(1, 0, 4), 0, 1e-12, "degenerate αN prefix")
+	// Unknown pair.
+	approx(t, c.Normative(2, 3, 10), 0, 0, "empty αN")
+}
+
+func TestNormativeScenario2UsesLCA(t *testing.T) {
+	// Build a tree where user pairs interact repeatedly across branches so
+	// the LCA recalibration accumulates signal:
+	//
+	//	root(u0,+0.9)
+	//	  ├ b1(u1,+0.8)   ├ b2(u2,+0.7)    (both branches echo the root)
+	//	  ├ b3(u1,−0.6)   ├ b4(u2,−0.5)    (second root flips)
+	np := timeline.NoParent
+	seq := &timeline.Sequence{M: 3, Horizon: 20}
+	add := func(user int, tm, pol float64, parent timeline.ActivityID) {
+		seq.Activities = append(seq.Activities, timeline.Activity{
+			ID: timeline.ActivityID(len(seq.Activities)), User: timeline.UserID(user),
+			Time: tm, Polarity: pol, Parent: parent,
+		})
+	}
+	add(0, 1, 0.9, np) // 0: root
+	add(1, 2, 0.8, 0)  // 1: branch A
+	add(2, 3, 0.7, 0)  // 2: branch B — cross-path with 1, LCA = root
+	add(0, 10, -0.9, np)
+	add(1, 11, -0.6, 3)
+	add(2, 12, -0.5, 3)
+	f, err := branching.FromSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(seq, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair (2,1): cross-path contributions at t=3 and t=12 (Scenario 2).
+	// After the second contribution both q-series hold two aligned points,
+	// so the recalibrated correlations are +1/+1 → the final normative
+	// series is ((0,0) then (1,1)): Pearson 1, sign agreements (0, +1) →
+	// 0.5, blended (2·1 + 3·0.5)/5 = 0.7.
+	got := c.Normative(2, 1, 20)
+	approx(t, got, 0.7, 1e-9, "Scenario-2 αN(2,1)")
+	// Prefix before the second cascade: single (0,0) sample → 0.
+	approx(t, c.Normative(2, 1, 5), 0, 0, "Scenario-2 prefix")
+}
+
+func TestActivePairs(t *testing.T) {
+	seq, f := fixture(t)
+	c, _ := New(seq, f, Options{})
+	pairs := c.ActivePairs()
+	if len(pairs) == 0 {
+		t.Fatal("no active pairs")
+	}
+	seen := map[PairKey]bool{}
+	for _, p := range pairs {
+		if seen[p] {
+			t.Fatalf("duplicate pair %+v", p)
+		}
+		seen[p] = true
+		if p.Receiver == p.Source {
+			t.Fatalf("self pair %+v with IncludeSelf=false", p)
+		}
+	}
+	if !seen[PairKey{Receiver: 1, Source: 0}] {
+		t.Error("pair (1,0) must be active")
+	}
+}
+
+func TestMaxTreePairsCap(t *testing.T) {
+	// A long chain alternating two users: uncapped, it generates ~n²/2
+	// normative pairs; capped, far fewer — but ancestor pairs all survive
+	// (a chain is all Scenario 1, so the cap must NOT drop them).
+	np := timeline.NoParent
+	seq := &timeline.Sequence{M: 2, Horizon: 1000}
+	for i := 0; i < 60; i++ {
+		parent := timeline.ActivityID(i - 1)
+		if i == 0 {
+			parent = np
+		}
+		seq.Activities = append(seq.Activities, timeline.Activity{
+			ID: timeline.ActivityID(i), User: timeline.UserID(i % 2),
+			Time: float64(i + 1), Polarity: math.Sin(float64(i)), Parent: parent,
+		})
+	}
+	f, _ := branching.FromSequence(seq)
+	capped, err := New(seq, f, Options{MaxTreePairs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(seq, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All pairs in a chain are ancestor pairs, so capping must not change
+	// the result.
+	approx(t, capped.Normative(0, 1, 1000), full.Normative(0, 1, 1000), 1e-12,
+		"chain αN capped vs full")
+}
+
+func TestIncludeSelf(t *testing.T) {
+	np := timeline.NoParent
+	seq := &timeline.Sequence{M: 1, Horizon: 10}
+	seq.Activities = []timeline.Activity{
+		{ID: 0, User: 0, Time: 1, Polarity: 0.5, Parent: np},
+		{ID: 1, User: 0, Time: 2, Polarity: 0.4, Parent: 0},
+	}
+	f, _ := branching.FromSequence(seq)
+	noSelf, _ := New(seq, f, Options{})
+	if noSelf.InteractionCount(0, 0) != 0 {
+		t.Error("self interactions must be excluded by default")
+	}
+	withSelf, _ := New(seq, f, Options{IncludeSelf: true})
+	if withSelf.InteractionCount(0, 0) != 1 {
+		t.Error("IncludeSelf must track self interactions")
+	}
+}
+
+// Property: on random forests with random polarities, every conformity
+// quantity stays in its documented domain at every query time.
+func TestDomainsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		n := r.Intn(60) + 5
+		m := r.Intn(5) + 2
+		np := timeline.NoParent
+		seq := &timeline.Sequence{M: m, Horizon: float64(n) + 1}
+		for i := 0; i < n; i++ {
+			parent := np
+			if i > 0 && r.Bernoulli(0.7) {
+				parent = timeline.ActivityID(r.Intn(i))
+			}
+			seq.Activities = append(seq.Activities, timeline.Activity{
+				ID: timeline.ActivityID(i), User: timeline.UserID(r.Intn(m)),
+				Time: float64(i) + r.Float64()*0.5, Polarity: r.Uniform(-1, 1),
+				Parent: parent,
+			})
+		}
+		forest, err := branching.FromSequence(seq)
+		if err != nil {
+			return false
+		}
+		c, err := New(seq, forest, Options{})
+		if err != nil {
+			return false
+		}
+		beta := r.Uniform(0.01, 2)
+		for trial := 0; trial < 30; trial++ {
+			i, j := r.Intn(m), r.Intn(m)
+			tm := r.Uniform(0, seq.Horizon)
+			phi := c.InfluenceDegree(i, j, tm, beta)
+			if phi < 0 || phi > 1+1e-12 {
+				return false
+			}
+			for _, v := range []float64{c.ContextStance(i, j, tm), c.Normative(i, j, tm), c.Informational(i, j, tm, beta)} {
+				if v < -1-1e-9 || v > 1+1e-9 || math.IsNaN(v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

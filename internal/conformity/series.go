@@ -1,0 +1,99 @@
+package conformity
+
+import (
+	"math"
+	"sort"
+)
+
+// series is a chronologically ordered stream of paired polarity samples
+// with prefix moments, so the Pearson correlation restricted to any prefix
+// [0, t] — the time-varying context stance — is an O(log n) query.
+type series struct {
+	times []float64
+	// Cumulative moments; index k holds sums over the first k samples, so
+	// len = len(times)+1 with a leading zero entry. ssgn accumulates
+	// sign(x·y): the per-sample agreement indicator.
+	sx, sy, sxx, syy, sxy, ssgn []float64
+}
+
+func newSeries() *series {
+	return &series{
+		sx: []float64{0}, sy: []float64{0}, sxx: []float64{0},
+		syy: []float64{0}, sxy: []float64{0}, ssgn: []float64{0},
+	}
+}
+
+// add appends a sample at time t (which must be >= the last time).
+func (s *series) add(t, x, y float64) {
+	n := len(s.times)
+	s.times = append(s.times, t)
+	s.sx = append(s.sx, s.sx[n]+x)
+	s.sy = append(s.sy, s.sy[n]+y)
+	s.sxx = append(s.sxx, s.sxx[n]+x*x)
+	s.syy = append(s.syy, s.syy[n]+y*y)
+	s.sxy = append(s.sxy, s.sxy[n]+x*y)
+	sg := 0.0
+	if p := x * y; p > 0 {
+		sg = 1
+	} else if p < 0 {
+		sg = -1
+	}
+	s.ssgn = append(s.ssgn, s.ssgn[n]+sg)
+}
+
+// countAt returns how many samples have time ≤ t.
+func (s *series) countAt(t float64) int {
+	return sort.SearchFloat64s(s.times, math.Nextafter(t, math.Inf(1)))
+}
+
+// corrAt returns the context-stance of the samples with time ≤ t: the
+// Pearson correlation shrunk toward the mean sign-agreement
+// (1/k)·Σ sign(xᵢyᵢ) with pseudo-count 3,
+//
+//	Ψ̂ = (k·Pcc + 3·signAgree) / (k + 3),
+//
+// and the pure sign-agreement when Pearson is undefined (fewer than two
+// samples, or a zero-variance side). Raw small-sample Pearson is extremely
+// noisy — and exactly zero for a pair that always agrees with the same
+// polarity — while sign-agreement is the stable, psychologically faithful
+// reading of "i's stance aligns with j's"; the blend converges to Pcc as
+// evidence accumulates. Without a fallback every pair would contribute
+// zero excitation until its stance history is rich, starving the EM loop.
+func (s *series) corrAt(t float64) float64 {
+	k := s.countAt(t)
+	if k == 0 {
+		return 0
+	}
+	n := float64(k)
+	agree := s.ssgn[k] / n
+	cov := s.sxy[k] - s.sx[k]*s.sy[k]/n
+	vx := s.sxx[k] - s.sx[k]*s.sx[k]/n
+	vy := s.syy[k] - s.sy[k]*s.sy[k]/n
+	if k < 2 || vx <= 1e-15 || vy <= 1e-15 {
+		return agree
+	}
+	r := cov / math.Sqrt(vx*vy)
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return (n*r + 3*agree) / (n + 3)
+}
+
+// len returns the total number of samples.
+func (s *series) len() int { return len(s.times) }
+
+// decaySumAt returns Σ_{times[k] ≤ t} e^{−β(t−times[k])} and its derivative
+// with respect to β, −Σ (t−times[k])·e^{−β(t−times[k])} — the numerator of
+// the influence degree Φ (Eq. 5.1) and what the M-step's β-gradient needs.
+func (s *series) decaySumAt(t, beta float64) (sum, dBeta float64) {
+	k := s.countAt(t)
+	for idx := 0; idx < k; idx++ {
+		dt := t - s.times[idx]
+		e := math.Exp(-beta * dt)
+		sum += e
+		dBeta -= dt * e
+	}
+	return sum, dBeta
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"chassis/internal/branching"
+	"chassis/internal/conformity"
+	"chassis/internal/rng"
+	"chassis/internal/timeline"
+)
+
+// bootstrapForest samples an initial branching structure (the EM
+// initialization of Section 6): each activity either stays an immigrant or
+// attaches to a preceding activity with probability proportional to the
+// initial kernel's decay — no model parameters involved yet.
+func (m *Model) bootstrapForest(seq *timeline.Sequence) (*branching.Forest, error) {
+	r := rng.New(m.cfg.Seed).Split(101)
+	n := seq.Len()
+	parents := make([]timeline.ActivityID, n)
+	ker := m.Kernels[0]
+	support := ker.Support()
+	weights := make([]float64, 0, 64)
+	cands := make([]int, 0, 64)
+	lo := 0
+	for k := 0; k < n; k++ {
+		parents[k] = timeline.NoParent
+		ak := &seq.Activities[k]
+		for lo < n && seq.Activities[lo].Time < ak.Time-support {
+			lo++
+		}
+		weights = weights[:0]
+		cands = cands[:0]
+		// Immigrant weight: roughly one immigrant per kernel support of
+		// quiet time; concretely the kernel's mean height over its support
+		// works well as a scale-free prior.
+		imm := 1.0 / (support + 1)
+		weights = append(weights, imm)
+		for w := lo; w < k; w++ {
+			aw := &seq.Activities[w]
+			dt := ak.Time - aw.Time
+			if dt <= 0 {
+				continue
+			}
+			if v := ker.Eval(dt); v > 0 {
+				weights = append(weights, v)
+				cands = append(cands, w)
+			}
+		}
+		if pick := r.Categorical(weights); pick > 0 {
+			parents[k] = timeline.ActivityID(cands[pick-1])
+		}
+	}
+	return branching.FromParents(parents)
+}
+
+// eStep infers the branching structure under the current parameters: for
+// every activity a_{ik}, candidate parents are scored by the Papangelou
+// intensity drop F(g) − F(g − c_e), where g is the pre-link aggregate at
+// t_{ik} and c_e the candidate's additive contribution; the immigrant
+// option is scored F(μᵢ). For the linear link the drop reduces to c_e and
+// the rule coincides with the classical triggering-probability ratio of
+// linear-Hawkes EM; for nonlinear links it remains well-defined, which is
+// the relaxation the paper's Section 6 calls for.
+func (m *Model) eStep(seq *timeline.Sequence, conf *conformity.Computer) (*branching.Forest, error) {
+	return m.eStepMode(seq, conf, m.cfg.MAPEStep, nil)
+}
+
+// eStepMode lets the EM driver anneal: sampled assignments early (explore
+// the posterior while parameters are uninformative), MAP later (converge
+// the trees so the conformity quantities — and with them the likelihood —
+// stop jittering between iterations). When prev is non-nil only a random
+// half of the events re-assign, the rest keep their previous parent — the
+// asynchronous update that breaks the period-2 forest↔conformity cycles
+// hard EM is prone to.
+func (m *Model) eStepMode(seq *timeline.Sequence, conf *conformity.Computer, mapMode bool, prev *branching.Forest) (*branching.Forest, error) {
+	m.estepCalls++
+	r := rng.New(m.cfg.Seed).Split(211 + int64(m.estepCalls))
+	exc := excitation{m: m, conf: conf}
+	n := seq.Len()
+	parents := make([]timeline.ActivityID, n)
+	weights := make([]float64, 0, 64)
+	cands := make([]int, 0, 64)
+	contribs := make([]float64, 0, 64)
+	lo := 0
+	maxSupport := 0.0
+	for _, ker := range m.Kernels {
+		if s := ker.Support(); s > maxSupport {
+			maxSupport = s
+		}
+	}
+	for k := 0; k < n; k++ {
+		parents[k] = timeline.NoParent
+		ak := &seq.Activities[k]
+		if prev != nil && r.Bernoulli(0.5) {
+			parents[k] = prev.Parent(k)
+			continue
+		}
+		i := int(ak.User)
+		ker := m.Kernels[i]
+		for lo < n && seq.Activities[lo].Time < ak.Time-maxSupport {
+			lo++
+		}
+		g := m.Mu[i]
+		cands = cands[:0]
+		contribs = contribs[:0]
+		for w := lo; w < k; w++ {
+			aw := &seq.Activities[w]
+			dt := ak.Time - aw.Time
+			if dt <= 0 || dt > ker.Support() {
+				continue
+			}
+			phi := ker.Eval(dt)
+			if phi <= 0 {
+				continue
+			}
+			// Smoothed excitation: negative (inhibitory) conformity rules a
+			// candidate out of parenthood; the Laplace term keeps the first
+			// EM iterations from collapsing to all-immigrant (see Config).
+			alpha := exc.Alpha(i, int(aw.User), aw.Time)
+			if alpha < 0 {
+				alpha = 0
+			}
+			c := (alpha + m.cfg.EStepSmoothing) * phi
+			if c <= 0 {
+				continue
+			}
+			g += c
+			cands = append(cands, w)
+			contribs = append(contribs, c)
+		}
+		weights = weights[:0]
+		if m.cfg.LinearRatioEStep {
+			weights = append(weights, m.Mu[i])
+			weights = append(weights, contribs...)
+		} else {
+			weights = append(weights, m.link.Apply(m.Mu[i]))
+			fg := m.link.Apply(g)
+			for _, c := range contribs {
+				weights = append(weights, fg-m.link.Apply(g-c))
+			}
+		}
+		pick := 0
+		if mapMode {
+			best := weights[0]
+			for idx := 1; idx < len(weights); idx++ {
+				if weights[idx] > best {
+					best = weights[idx]
+					pick = idx
+				}
+			}
+		} else {
+			pick = r.Categorical(weights)
+		}
+		if pick > 0 {
+			parents[k] = timeline.ActivityID(cands[pick-1])
+		}
+	}
+	return branching.FromParents(parents)
+}

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"chassis/internal/branching"
+	"chassis/internal/conformity"
+	"chassis/internal/hawkes"
+	"chassis/internal/kernel"
+	"chassis/internal/rng"
+	"chassis/internal/timeline"
+)
+
+// MaxSourcesPerDim caps the optimizer's per-dimension pair support: the
+// strongest co-occurring source users are kept, the long tail (which
+// carries almost no likelihood signal but linear cost) is dropped.
+const MaxSourcesPerDim = 15
+
+// Fit runs the semi-parametric EM of Sections 6–7 on a training sequence
+// and returns the fitted model.
+func Fit(seq *timeline.Sequence, cfg Config) (*Model, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if seq == nil || seq.Len() == 0 {
+		return nil, errors.New("core: empty training sequence")
+	}
+	if err := seq.Validate(); err != nil {
+		return nil, fmt.Errorf("core: invalid training sequence: %w", err)
+	}
+	if cfg.KernelSupport <= 0 {
+		// Data-driven kernel horizon. Bursty streams make the median gap
+		// collapse to the intra-burst spacing, which would cut slow
+		// triggering tails (replies to a cascade's root minutes later), so
+		// the scale comes from an upper gap quantile with a median-based
+		// floor, capped so sparse streams don't blow the support up to the
+		// whole window.
+		cfg.KernelSupport = supportHeuristic(seq)
+	}
+	if cfg.InitKernelRate <= 0 {
+		cfg.InitKernelRate = 5 / cfg.KernelSupport
+	}
+	link, err := cfg.Variant.Link()
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Model{
+		M: seq.M, Variant: cfg.Variant, Horizon: seq.Horizon,
+		Mu:     make([]float64, seq.M),
+		GammaI: dense(seq.M), GammaN: dense(seq.M),
+		Beta: dense(seq.M), Alpha: dense(seq.M),
+		Kernels: make([]kernel.Kernel, seq.M),
+		cfg:     cfg, link: link, seq: seq,
+	}
+
+	// Initial kernels: a normalized exponential-plus-uniform mixture
+	// tabulated onto the support grid. The uniform floor matters: a purely
+	// recency-shaped initial kernel makes early E-steps attribute
+	// everything to the most recent candidate, and the nonparametric
+	// updates then reinforce that choice — the floor keeps slow triggering
+	// tails (replies to a cascade's root long after it was posted)
+	// representable from the start.
+	initKer, err := kernel.NewExponential(cfg.InitKernelRate)
+	if err != nil {
+		return nil, err
+	}
+	const taps = 24
+	step := cfg.KernelSupport / float64(taps)
+	vals := make([]float64, taps+1)
+	for k := range vals {
+		vals[k] = 0.7*initKer.Eval(float64(k)*step) + 0.3/cfg.KernelSupport
+	}
+	sampled, err := kernel.NewDiscrete(step, vals)
+	if err != nil {
+		return nil, err
+	}
+	sampled.Normalize()
+	for i := range m.Kernels {
+		m.Kernels[i] = sampled
+	}
+
+	m.sources = cooccurrenceSources(seq, cfg.KernelSupport)
+	m.initParams(seq)
+
+	// Unless the platform exposes connectivity, the sequence must be
+	// treated as unlabeled: inference never reads the ground-truth parents.
+	work := seq.StripParents()
+	var observed *branching.Forest
+	if cfg.UseObservedTrees {
+		observed, err = branching.FromSequence(seq)
+		if err != nil {
+			return nil, fmt.Errorf("core: UseObservedTrees: %w", err)
+		}
+	}
+
+	var forest *branching.Forest
+	_, linear := m.link.(hawkes.LinearLink)
+	// The warm start (L-HP pilot + μ band) exists to bootstrap *tree
+	// inference*: without credible first trees, conformity is zero and EM
+	// collapses to the all-immigrant fixed point. When the platform exposes
+	// connectivity the trees are given, conformity is informative from the
+	// first iteration, and the unconstrained fit is strictly better — so
+	// observed-tree fits skip the pilot entirely.
+	needWarm := (cfg.Variant.ConformityAware || !linear) && !cfg.NoWarmStart && observed == nil
+	if observed != nil {
+		forest = observed
+	} else if needWarm {
+		// Conformity quantities are computed from diffusion trees, and the
+		// first trees come from an uninformed model — a cold EM start can
+		// settle at the near-Poisson fixed point. Warm-starting from a
+		// short L-HP fit (the paper's "parametric evaluation procedure
+		// assists in identifying conformity") seeds the loop with credible
+		// trees, kernels, and — crucially — a clean exogenous/endogenous
+		// split: the linear model's μ is the exogenous rate, which
+		// nonlinear links (whose μ is a log-rate that would otherwise
+		// absorb the whole stream) inherit as ln(μ_linear).
+		hpCfg := cfg
+		hpCfg.Variant = VariantLHP
+		hpCfg.EMIters = cfg.EMIters/3 + 2
+		hpCfg.NoWarmStart = true
+		hpCfg.TrackHistory = false
+		hp, err := Fit(seq, hpCfg)
+		if err != nil {
+			return nil, err
+		}
+		copy(m.Kernels, hp.Kernels)
+		forest = hp.Forest
+		// Pin μ to a band around the pilot's exogenous estimate (see the
+		// muLo field comment).
+		m.muLo = make([]float64, m.M)
+		m.muHi = make([]float64, m.M)
+		for i, mu := range hp.Mu {
+			if linear {
+				m.Mu[i] = mu
+				m.muLo[i] = mu * 0.25
+				m.muHi[i] = mu*cfg.MuBandHigh + 1e-6
+			} else {
+				lmu := math.Log(math.Max(mu, 1e-6))
+				m.Mu[i] = lmu
+				m.muLo[i] = lmu - 0.7
+				m.muHi[i] = lmu + 0.7
+			}
+		}
+	} else {
+		forest, err = m.bootstrapForest(work)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Conformity variants draw their pair support from the diffusion trees:
+	// those are the pairs with interaction history, hence nonzero
+	// conformity. (Co-occurrence ranks fill the remaining slots.)
+	if cfg.Variant.ConformityAware && forest != nil {
+		src := seq
+		if observed == nil {
+			src = work
+		}
+		m.sources = forestSources(src, forest, m.sources)
+		m.initParams(seq)
+		if m.muLo != nil {
+			// Re-initializing overwrote the pinned μ; restore the band
+			// centers.
+			for i := range m.Mu {
+				m.Mu[i] = (m.muLo[i] + m.muHi[i]) / 2
+			}
+		}
+	}
+
+	// Alternation schedule: conformity (and the diffusion trees beneath it)
+	// is a *slow* variable — refreshing it every iteration couples two
+	// stochastic fixed-point updates and oscillates. Instead the trees and
+	// conformity snapshot are held fixed for a phase of M-step iterations
+	// (parametric + nonparametric), then refreshed by one MAP E-step.
+	refreshEvery := cfg.EMIters / 3
+	if refreshEvery < 2 {
+		refreshEvery = 2
+	}
+	if testRefreshEvery > 0 {
+		refreshEvery = testRefreshEvery
+	}
+	var conf *conformity.Computer
+	rebuildConf := func() error {
+		if !cfg.Variant.ConformityAware {
+			return nil
+		}
+		var err error
+		conf, err = conformity.New(work, forest, cfg.Conformity)
+		return err
+	}
+	if err := rebuildConf(); err != nil {
+		return nil, err
+	}
+	for iter := 0; iter < cfg.EMIters; iter++ {
+		m.mStep(work, conf)
+		if !cfg.FixedKernel {
+			m.updateKernels(work, conf)
+		}
+		if observed == nil && (iter+1)%refreshEvery == 0 && iter+1 < cfg.EMIters {
+			// Phase boundary: annealed E-step (sampled in the first half of
+			// the run, MAP later; asynchronous against the previous forest),
+			// then a fresh conformity snapshot.
+			mapMode := cfg.MAPEStep || iter >= cfg.EMIters/2
+			forest, err = m.eStepMode(work, conf, mapMode, forest)
+			if err != nil {
+				return nil, err
+			}
+			if err := rebuildConf(); err != nil {
+				return nil, err
+			}
+		}
+		m.Iterations = iter + 1
+		if cfg.TrackHistory {
+			ll, err := m.processWith(conf).LogLikelihood(work, hawkes.DefaultCompensator())
+			if err != nil {
+				return nil, err
+			}
+			m.History = append(m.History, ll)
+		}
+	}
+	// Final tree readout under the converged parameters (observed trees
+	// are kept verbatim).
+	if observed == nil {
+		forest, err = m.eStepMode(work, conf, true, nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	m.Forest = forest
+	if cfg.Variant.ConformityAware {
+		m.Conf, err = conformity.New(work, forest, cfg.Conformity)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// initParams follows the paper's initialization: μ sampled from U[0, 0.01]
+// (linear link; the exp link uses the log event rate so eᵘ starts at the
+// right scale) and the coefficients {γᴵ, β, γᴺ} — or α for HP baselines —
+// from U[0, 0.1], restricted to the active pair support.
+func (m *Model) initParams(seq *timeline.Sequence) {
+	r := rng.New(m.cfg.Seed).Split(307)
+	counts := seq.CountByUser()
+	_, linear := m.link.(hawkes.LinearLink)
+	for i := 0; i < m.M; i++ {
+		if linear {
+			m.Mu[i] = r.Uniform(1e-4, 0.01)
+		} else {
+			rate := float64(counts[i])/seq.Horizon + 1e-4
+			m.Mu[i] = math.Log(rate)
+		}
+		for _, j := range m.sources[i] {
+			if !m.Variant.ConformityAware {
+				m.Alpha[i][j] = r.Uniform(0, 0.1)
+				continue
+			}
+			if m.Variant.UseInformational {
+				m.GammaI[i][j] = r.Uniform(0, 0.1)
+				m.Beta[i][j] = r.Uniform(0.05, 0.5)
+			}
+			if m.Variant.UseNormative {
+				m.GammaN[i][j] = r.Uniform(0, 0.1)
+			}
+		}
+	}
+}
+
+// medianGap returns the median gap between consecutive activities.
+func medianGap(seq *timeline.Sequence) float64 {
+	n := seq.Len()
+	if n < 2 {
+		return 0
+	}
+	gaps := make([]float64, 0, n-1)
+	for k := 1; k < n; k++ {
+		if g := seq.Activities[k].Time - seq.Activities[k-1].Time; g > 0 {
+			gaps = append(gaps, g)
+		}
+	}
+	if len(gaps) == 0 {
+		return 0
+	}
+	sort.Float64s(gaps)
+	return gaps[len(gaps)/2]
+}
+
+// supportHeuristic picks the triggering-kernel horizon from the inter-event
+// gap distribution: max(15×q80, 20×median), capped at Horizon/10.
+func supportHeuristic(seq *timeline.Sequence) float64 {
+	n := seq.Len()
+	hi := seq.Horizon / 10
+	if n < 2 {
+		return hi
+	}
+	gaps := make([]float64, 0, n-1)
+	for k := 1; k < n; k++ {
+		if g := seq.Activities[k].Time - seq.Activities[k-1].Time; g > 0 {
+			gaps = append(gaps, g)
+		}
+	}
+	if len(gaps) == 0 {
+		return hi
+	}
+	sort.Float64s(gaps)
+	med := gaps[len(gaps)/2]
+	q80 := gaps[len(gaps)*4/5]
+	s := math.Max(15*q80, 20*med)
+	if s <= 0 || s > hi {
+		return hi
+	}
+	return s
+}
+
+// forestSources ranks, per receiver, the users whose activities actually
+// parented the receiver's responses in the given forest — the pairs that
+// carry conformity signal. Remaining slots (up to MaxSourcesPerDim) are
+// filled from the temporal co-occurrence ranking so newly-forming pairs can
+// still be picked up.
+func forestSources(seq *timeline.Sequence, forest *branching.Forest, coocc [][]int) [][]int {
+	m := seq.M
+	counts := make([]map[int]int, m)
+	for i := range counts {
+		counts[i] = make(map[int]int)
+	}
+	for k := range seq.Activities {
+		p := forest.Parent(k)
+		if p == timeline.NoParent {
+			continue
+		}
+		i := int(seq.Activities[k].User)
+		j := int(seq.Activities[p].User)
+		if i != j {
+			counts[i][j]++
+		}
+	}
+	out := make([][]int, m)
+	for i := range out {
+		type jc struct{ j, c int }
+		var list []jc
+		for j, c := range counts[i] {
+			list = append(list, jc{j, c})
+		}
+		sort.Slice(list, func(a, b int) bool {
+			if list[a].c != list[b].c {
+				return list[a].c > list[b].c
+			}
+			return list[a].j < list[b].j
+		})
+		if len(list) > MaxSourcesPerDim {
+			list = list[:MaxSourcesPerDim]
+		}
+		js := make([]int, 0, MaxSourcesPerDim)
+		seen := make(map[int]bool, MaxSourcesPerDim)
+		for _, e := range list {
+			js = append(js, e.j)
+			seen[e.j] = true
+		}
+		for _, j := range coocc[i] {
+			if len(js) >= MaxSourcesPerDim {
+				break
+			}
+			if !seen[j] {
+				js = append(js, j)
+				seen[j] = true
+			}
+		}
+		sort.Ints(js)
+		out[i] = js
+	}
+	return out
+}
+
+// cooccurrenceSources finds, per receiver i, the source users whose events
+// most often precede i's events within the kernel support — the sparse
+// support the M-step optimizes over.
+func cooccurrenceSources(seq *timeline.Sequence, support float64) [][]int {
+	m := seq.M
+	counts := make([]map[int]int, m)
+	for i := range counts {
+		counts[i] = make(map[int]int)
+	}
+	acts := seq.Activities
+	lo := 0
+	for k := range acts {
+		i := int(acts[k].User)
+		t := acts[k].Time
+		for lo < len(acts) && acts[lo].Time < t-support {
+			lo++
+		}
+		for w := lo; w < k; w++ {
+			j := int(acts[w].User)
+			if j != i {
+				counts[i][j]++
+			}
+		}
+	}
+	out := make([][]int, m)
+	for i := range out {
+		type jc struct{ j, c int }
+		var list []jc
+		for j, c := range counts[i] {
+			if c >= 2 {
+				list = append(list, jc{j, c})
+			}
+		}
+		sort.Slice(list, func(a, b int) bool {
+			if list[a].c != list[b].c {
+				return list[a].c > list[b].c
+			}
+			return list[a].j < list[b].j
+		})
+		if len(list) > MaxSourcesPerDim {
+			list = list[:MaxSourcesPerDim]
+		}
+		js := make([]int, len(list))
+		for idx, e := range list {
+			js[idx] = e.j
+		}
+		sort.Ints(js)
+		out[i] = js
+	}
+	return out
+}
+
+// HeldOutLogLikelihood evaluates the fitted model on a held-out sequence:
+// ln L(X_test | Θ_train, H_train) of the Model Fitness experiment. Test
+// activities keep their absolute times (timeline.Split preserves them), so
+// the training history legitimately excites the test window: the combined
+// train+test stream is re-assembled, its diffusion trees are inferred with
+// the trained parameters, conformity is recomputed on those trees, and
+// Eq. 7.1 is evaluated over the test window only, conditioned on everything
+// before it.
+func (m *Model) HeldOutLogLikelihood(test *timeline.Sequence) (float64, error) {
+	if test == nil || test.Len() == 0 {
+		return 0, errors.New("core: empty test sequence")
+	}
+	if test.M != m.M {
+		return 0, fmt.Errorf("core: test sequence has %d dimensions, model has %d", test.M, m.M)
+	}
+	var combined *timeline.Sequence
+	if m.cfg.UseObservedTrees {
+		// Connectivity-aware setting: the platform exposes parent links at
+		// evaluation time too.
+		combined = timeline.Merge(m.M, m.seq, test)
+	} else {
+		combined = timeline.Merge(m.M, m.seq.StripParents(), test.StripParents())
+	}
+	from := m.seq.Horizon // end of the training window
+	to := combined.Horizon
+	if to <= from {
+		to = combined.Activities[combined.Len()-1].Time + 1e-9
+		combined.Horizon = to
+	}
+	var conf *conformity.Computer
+	if m.Variant.ConformityAware {
+		var forest *branching.Forest
+		var err error
+		if m.cfg.UseObservedTrees {
+			forest, err = branching.FromSequence(combined)
+		} else {
+			forest, err = m.InferForest(combined)
+		}
+		if err != nil {
+			return 0, err
+		}
+		conf, err = conformity.New(combined, forest, m.cfg.Conformity)
+		if err != nil {
+			return 0, err
+		}
+	}
+	return m.processWith(conf).LogLikelihoodWindow(combined, from, to, hawkes.DefaultCompensator())
+}
+
+// InferredForest returns the branching structure the final E-step assigned
+// to the training sequence.
+func (m *Model) InferredForest() *branching.Forest { return m.Forest }

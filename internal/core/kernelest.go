@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"math/cmplx"
+
+	"chassis/internal/conformity"
+	"chassis/internal/dft"
+	"chassis/internal/kernel"
+	"chassis/internal/timeline"
+)
+
+// updateKernels is the nonparametric half of the M-step (Eqs. 7.5–7.8):
+// per receiving dimension i,
+//
+//  1. bin the counting process into N slots and DFT it (Eq. 7.5 gives
+//     Λᵢ[n]);
+//  2. divide out the excitation: the denominator of Eq. 7.6 is the
+//     Taylor-linearized transform of the excitation train,
+//     Fᵢ'(μᵢ)·Σₑ αᵢⱼₑ(tₑ)·e^{−jωₙtₑ}, with the DC bin first corrected for
+//     the exogenous mass 2π·Fᵢ(μᵢ)δ(ω) → Fᵢ(μᵢ)·T (Eq. 7.7);
+//  3. IDFT back (Eq. 7.8), truncate to the kernel support, clamp the
+//     (noise-induced) negative ripple, and renormalize to unit mass so
+//     the excitation coefficients keep carrying the branching magnitude.
+//
+// The spectral division is Tikhonov-regularized — the raw division of
+// Eq. 7.6 explodes wherever the excitation spectrum has a near-zero bin —
+// and the result is blended with the previous kernel (KernelDamping) so the
+// alternating EM procedure cannot oscillate.
+func (m *Model) updateKernels(seq *timeline.Sequence, conf *conformity.Computer) {
+	const fftBins = 256
+	const tikhonov = 1e-3
+	exc := excitation{m: m, conf: conf}
+	T := seq.Horizon
+	delta := T / fftBins
+	taps := int(math.Ceil(m.cfg.KernelSupport / delta))
+	if taps < 2 {
+		taps = 2
+	}
+	if taps > fftBins/2 {
+		taps = fftBins / 2
+	}
+
+	for i := 0; i < m.M; i++ {
+		counts := seq.CountingProcess(timeline.UserID(i), fftBins)
+		var total float64
+		for _, c := range counts {
+			total += c
+		}
+		if total < 4 {
+			continue // not enough signal to estimate a kernel for i
+		}
+		lam := dft.ForwardReal(counts)
+
+		// Excitation train of dimension i in bin units.
+		denom := make([]complex128, fftBins)
+		fpmu := m.link.Deriv(m.Mu[i])
+		var alphaMass float64
+		for k := range seq.Activities {
+			a := &seq.Activities[k]
+			alpha := exc.Alpha(i, int(a.User), a.Time)
+			if alpha <= 0 {
+				continue
+			}
+			alphaMass += alpha
+			pos := a.Time / delta
+			// e^{−jωₙ·pos} for ωₙ = 2πn/N, built by repeated
+			// multiplication instead of per-bin trig.
+			step := cmplx.Rect(1, -2*math.Pi*pos/fftBins)
+			w := complex(alpha, 0)
+			for n := 0; n < fftBins; n++ {
+				denom[n] += w
+				w *= step
+			}
+		}
+		if alphaMass <= 0 || fpmu <= 0 {
+			continue
+		}
+		// DC correction (Eq. 7.7): remove the expected exogenous count.
+		lam[0] -= complex(m.link.Apply(m.Mu[i])*T, 0)
+
+		var maxD float64
+		for n := range denom {
+			denom[n] *= complex(fpmu, 0)
+			if a := cmplx.Abs(denom[n]); a > maxD {
+				maxD = a
+			}
+		}
+		if maxD == 0 {
+			continue
+		}
+		eps := tikhonov * maxD * maxD
+		phiF := make([]complex128, fftBins)
+		for n := range phiF {
+			d := denom[n]
+			phiF[n] = lam[n] * cmplx.Conj(d) / complex(real(d)*real(d)+imag(d)*imag(d)+eps, 0)
+		}
+		phiT := dft.Inverse(phiF)
+
+		values := make([]float64, taps)
+		for k := 0; k < taps; k++ {
+			v := real(phiT[k])
+			if v < 0 || math.IsNaN(v) {
+				v = 0
+			}
+			values[k] = v
+		}
+		est, err := kernel.NewDiscrete(delta, values)
+		if err != nil || est.Mass() <= 0 {
+			continue
+		}
+		est.Normalize()
+
+		// Damped blend with the previous kernel on the same grid.
+		blended := make([]float64, taps)
+		d := m.cfg.KernelDamping
+		for k := 0; k < taps; k++ {
+			t := float64(k) * delta
+			blended[k] = d*m.Kernels[i].Eval(t) + (1-d)*est.Eval(t)
+		}
+		nk, err := kernel.NewDiscrete(delta, blended)
+		if err != nil || nk.Mass() <= 0 {
+			continue
+		}
+		nk.Normalize()
+		m.Kernels[i] = nk
+	}
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"chassis/internal/conformity"
+	"chassis/internal/hawkes"
+	"chassis/internal/infer"
+	"chassis/internal/timeline"
+)
+
+const lambdaFloor = 1e-12
+
+// srcEvent is one activity that can excite the dimension being optimized.
+type srcEvent struct {
+	j    int32   // source user
+	jIdx int32   // index into sources[i]
+	t    float64 // occurrence time
+	kInt float64 // ∫₀^{T−t} φᵢ — the linear-link compensator weight
+	aN   float64 // αᴺᵢⱼ(t) (β-free, cached per M-step)
+}
+
+// winEntry is one (source event, kernel value) pair inside a target's or
+// grid point's excitation window.
+type winEntry struct {
+	src int32
+	phi float64
+}
+
+// dimData is everything the per-dimension objective needs, precomputed once
+// per M-step (the forest, conformity state, and kernels are fixed within
+// one M-step).
+type dimData struct {
+	i       int
+	T       float64
+	src     []srcEvent
+	targets [][]winEntry // one window per event of dimension i
+	grid    [][]winEntry // Euler-grid windows (nonlinear links only)
+	gridH   float64
+}
+
+// buildDimData assembles the fitting structures for dimension i.
+func (m *Model) buildDimData(seq *timeline.Sequence, conf *conformity.Computer, i int, needGrid bool) *dimData {
+	d := &dimData{i: i, T: seq.Horizon}
+	ker := m.Kernels[i]
+	support := ker.Support()
+
+	jIdx := make(map[int32]int32, len(m.sources[i]))
+	for idx, j := range m.sources[i] {
+		jIdx[int32(j)] = int32(idx)
+	}
+	acts := seq.Activities
+	srcOf := make([]int32, len(acts)) // index into d.src, or -1
+	for k := range acts {
+		srcOf[k] = -1
+		j := int32(acts[k].User)
+		idx, ok := jIdx[j]
+		if !ok {
+			continue
+		}
+		e := srcEvent{
+			j: j, jIdx: idx, t: acts[k].Time,
+			kInt: ker.Integral(seq.Horizon - acts[k].Time),
+		}
+		if m.Variant.ConformityAware && m.Variant.UseNormative {
+			e.aN = conf.Normative(i, int(j), acts[k].Time)
+		}
+		srcOf[k] = int32(len(d.src))
+		d.src = append(d.src, e)
+	}
+
+	// Target windows: for each event of dimension i, the preceding source
+	// events inside the kernel support.
+	lo := 0
+	for k := range acts {
+		if int(acts[k].User) != i {
+			continue
+		}
+		t := acts[k].Time
+		for lo < len(acts) && acts[lo].Time < t-support {
+			lo++
+		}
+		var win []winEntry
+		for w := lo; w < k; w++ {
+			if srcOf[w] < 0 {
+				continue
+			}
+			dt := t - acts[w].Time
+			if dt <= 0 || dt > support {
+				continue
+			}
+			if phi := ker.Eval(dt); phi > 0 {
+				win = append(win, winEntry{src: srcOf[w], phi: phi})
+			}
+		}
+		d.targets = append(d.targets, win)
+	}
+
+	if needGrid {
+		g := m.cfg.IntegrationGrid
+		d.gridH = seq.Horizon / float64(g)
+		d.grid = make([][]winEntry, g)
+		lo = 0
+		for s := 0; s < g; s++ {
+			ts := float64(s) * d.gridH // left endpoints
+			for lo < len(acts) && acts[lo].Time < ts-support {
+				lo++
+			}
+			var win []winEntry
+			for w := lo; w < len(acts); w++ {
+				if acts[w].Time >= ts {
+					break
+				}
+				if srcOf[w] < 0 {
+					continue
+				}
+				dt := ts - acts[w].Time
+				if dt > support {
+					continue
+				}
+				if phi := ker.Eval(dt); phi > 0 {
+					win = append(win, winEntry{src: srcOf[w], phi: phi})
+				}
+			}
+			d.grid[s] = win
+		}
+	}
+	return d
+}
+
+// layout describes how one dimension's parameters pack into a flat vector:
+// x[0] = μ, then per source the enabled blocks.
+type layout struct {
+	conformityAware  bool
+	useInformational bool
+	useNormative     bool
+	perSrc           int
+}
+
+func (m *Model) layout() layout {
+	l := layout{
+		conformityAware:  m.Variant.ConformityAware,
+		useInformational: m.Variant.UseInformational,
+		useNormative:     m.Variant.UseNormative,
+	}
+	if !l.conformityAware {
+		l.perSrc = 1 // α
+		return l
+	}
+	if l.useInformational {
+		l.perSrc += 2 // γI, β
+	}
+	if l.useNormative {
+		l.perSrc++ // γN
+	}
+	return l
+}
+
+func (l layout) gammaIIdx(s int) int { return 1 + s*l.perSrc }
+func (l layout) betaIdx(s int) int   { return 2 + s*l.perSrc }
+func (l layout) gammaNIdx(s int) int {
+	base := 1 + s*l.perSrc
+	if l.useInformational {
+		return base + 2
+	}
+	return base
+}
+func (l layout) alphaIdx(s int) int { return 1 + s*l.perSrc }
+
+// pack collects dimension i's current parameters.
+func (m *Model) pack(i int) []float64 {
+	l := m.layout()
+	x := make([]float64, 1+len(m.sources[i])*l.perSrc)
+	x[0] = m.Mu[i]
+	for s, j := range m.sources[i] {
+		if !l.conformityAware {
+			x[l.alphaIdx(s)] = m.Alpha[i][j]
+			continue
+		}
+		if l.useInformational {
+			x[l.gammaIIdx(s)] = m.GammaI[i][j]
+			x[l.betaIdx(s)] = m.Beta[i][j]
+		}
+		if l.useNormative {
+			x[l.gammaNIdx(s)] = m.GammaN[i][j]
+		}
+	}
+	return x
+}
+
+// unpack writes an optimized vector back into the model.
+func (m *Model) unpack(i int, x []float64) {
+	l := m.layout()
+	m.Mu[i] = x[0]
+	for s, j := range m.sources[i] {
+		if !l.conformityAware {
+			m.Alpha[i][j] = x[l.alphaIdx(s)]
+			continue
+		}
+		if l.useInformational {
+			m.GammaI[i][j] = x[l.gammaIIdx(s)]
+			m.Beta[i][j] = x[l.betaIdx(s)]
+		}
+		if l.useNormative {
+			m.GammaN[i][j] = x[l.gammaNIdx(s)]
+		}
+	}
+}
+
+// bounds returns box constraints matching pack's layout. Nonlinear links
+// get a much tighter excitation ceiling: the pre-link aggregate enters an
+// exponential, so coefficients the fixed integration grid cannot veto would
+// otherwise blow the held-out compensator up (e^g) on unseen bursts.
+func (m *Model) bounds(i int) (lower, upper []float64) {
+	l := m.layout()
+	n := 1 + len(m.sources[i])*l.perSrc
+	lower = make([]float64, n)
+	upper = make([]float64, n)
+	_, linear := m.link.(hawkes.LinearLink)
+	coefCap := 8.0
+	if testCoefCap > 0 {
+		coefCap = testCoefCap
+	}
+	if linear {
+		lower[0], upper[0] = 1e-8, 10
+	} else {
+		lower[0], upper[0] = -12, 3
+		coefCap = 4
+	}
+	if m.muLo != nil {
+		lower[0], upper[0] = m.muLo[i], m.muHi[i]
+	}
+	for s := range m.sources[i] {
+		if !l.conformityAware {
+			lower[l.alphaIdx(s)], upper[l.alphaIdx(s)] = 0, coefCap
+			continue
+		}
+		if l.useInformational {
+			lower[l.gammaIIdx(s)], upper[l.gammaIIdx(s)] = 0, coefCap
+			lower[l.betaIdx(s)], upper[l.betaIdx(s)] = 0.01, 20
+		}
+		if l.useNormative {
+			lower[l.gammaNIdx(s)], upper[l.gammaNIdx(s)] = 0, coefCap
+		}
+	}
+	return lower, upper
+}
+
+// objective builds dimension i's log-likelihood Objective over the packed
+// parameters. For the linear link the compensator is closed-form; for
+// nonlinear links it is a fixed-grid Euler sum (the final reported
+// likelihoods use the adaptive Theorem 7.1 integrator via the hawkes
+// engine; the fixed grid keeps the inner loop fast).
+func (m *Model) objective(d *dimData, conf *conformity.Computer) infer.Objective {
+	l := m.layout()
+	_, linear := m.link.(hawkes.LinearLink)
+	// Scratch reused across calls (objectives run single-threaded within
+	// one dimension's optimization).
+	w := make([]float64, len(d.src))    // per-source-event excitation weight
+	aI := make([]float64, len(d.src))   // αᴵ at the source event (current β)
+	daI := make([]float64, len(d.src))  // ∂αᴵ/∂β
+	clamped := make([]bool, len(d.src)) // linear-link zero-clamp mask
+
+	return func(x, grad []float64) float64 {
+		mu := x[0]
+		// Refresh per-source-event weights under the current parameters.
+		for idx := range d.src {
+			e := &d.src[idx]
+			var wt float64
+			clamped[idx] = false
+			if !l.conformityAware {
+				wt = x[l.alphaIdx(int(e.jIdx))]
+			} else {
+				if l.useInformational {
+					beta := x[l.betaIdx(int(e.jIdx))]
+					ai, dai := conf.InformationalGrad(d.i, int(e.j), e.t, beta)
+					aI[idx], daI[idx] = ai, dai
+					wt += x[l.gammaIIdx(int(e.jIdx))] * ai
+				}
+				if l.useNormative {
+					wt += x[l.gammaNIdx(int(e.jIdx))] * e.aN
+				}
+				// Mirror excitation.Alpha: linear-link clamp with zero
+				// subgradient while clamped.
+				if linear && wt < 0 {
+					wt = 0
+					clamped[idx] = true
+				}
+			}
+			w[idx] = wt
+		}
+		if grad != nil {
+			for i := range grad {
+				grad[i] = 0
+			}
+		}
+		var value float64
+
+		// Event term: Σ ln λ(t_k).
+		for _, win := range d.targets {
+			g := mu
+			for _, en := range win {
+				g += w[en.src] * en.phi
+			}
+			lam := m.link.Apply(g)
+			if lam < lambdaFloor {
+				lam = lambdaFloor
+			}
+			value += math.Log(lam)
+			if grad == nil {
+				continue
+			}
+			c := m.link.Deriv(g) / lam
+			grad[0] += c
+			for _, en := range win {
+				if clamped[en.src] {
+					continue
+				}
+				m.accumGrad(grad, l, d, en.src, c*en.phi, x, aI, daI)
+			}
+		}
+
+		// Compensator term.
+		if linear {
+			value -= math.Max(mu, 0) * d.T
+			if grad != nil {
+				grad[0] -= d.T
+			}
+			for idx := range d.src {
+				value -= w[idx] * d.src[idx].kInt
+				if grad != nil && !clamped[idx] {
+					m.accumGrad(grad, l, d, int32(idx), -d.src[idx].kInt, x, aI, daI)
+				}
+			}
+		} else {
+			for _, win := range d.grid {
+				g := mu
+				for _, en := range win {
+					g += w[en.src] * en.phi
+				}
+				lam := m.link.Apply(g)
+				value -= d.gridH * lam
+				if grad == nil {
+					continue
+				}
+				c := -d.gridH * m.link.Deriv(g)
+				grad[0] += c
+				for _, en := range win {
+					if clamped[en.src] {
+						continue
+					}
+					m.accumGrad(grad, l, d, en.src, c*en.phi, x, aI, daI)
+				}
+			}
+		}
+		return value
+	}
+}
+
+// accumGrad adds scale·∂(w_e)/∂θ into the parameter gradient for source
+// event e (w_e = γI·αᴵ + γN·αᴺ, or α for HP baselines).
+func (m *Model) accumGrad(grad []float64, l layout, d *dimData, e int32, scale float64, x, aI, daI []float64) {
+	s := int(d.src[e].jIdx)
+	if !l.conformityAware {
+		grad[l.alphaIdx(s)] += scale
+		return
+	}
+	if l.useInformational {
+		grad[l.gammaIIdx(s)] += scale * aI[e]
+		grad[l.betaIdx(s)] += scale * x[l.gammaIIdx(s)] * daI[e]
+	}
+	if l.useNormative {
+		grad[l.gammaNIdx(s)] += scale * d.src[e].aN
+	}
+}
+
+// mStep optimizes every dimension's parameters in parallel against the
+// current forest/conformity state.
+func (m *Model) mStep(seq *timeline.Sequence, conf *conformity.Computer) {
+	_, linear := m.link.(hawkes.LinearLink)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m.M {
+		workers = m.M
+	}
+	var wg sync.WaitGroup
+	dims := make(chan int)
+	for wkr := 0; wkr < workers; wkr++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range dims {
+				d := m.buildDimData(seq, conf, i, !linear)
+				x0 := m.pack(i)
+				lower, upper := m.bounds(i)
+				res, err := infer.MaximizeProjected(x0, m.objective(d, conf), infer.Options{
+					MaxIter: m.cfg.MStepIters,
+					Lower:   lower, Upper: upper,
+					InitStep: 0.05, Tol: 1e-7,
+				})
+				if err != nil {
+					continue // leave this dimension's parameters unchanged
+				}
+				// Damped update: the E-step's sampled trees make the
+				// objective a noisy target; blending iterates stabilizes
+				// the alternation.
+				damp := m.cfg.ParamDamping
+				for p := range res.X {
+					res.X[p] = damp*x0[p] + (1-damp)*res.X[p]
+				}
+				m.unpack(i, res.X)
+			}
+		}()
+	}
+	for i := 0; i < m.M; i++ {
+		dims <- i
+	}
+	close(dims)
+	wg.Wait()
+}

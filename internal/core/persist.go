@@ -1,0 +1,135 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"chassis/internal/branching"
+	"chassis/internal/conformity"
+	"chassis/internal/kernel"
+	"chassis/internal/timeline"
+)
+
+// modelJSON is the wire form of a fitted model. The training sequence is
+// not embedded — it is the caller's dataset file — so model files stay
+// small; Load rebinds the parameters to the sequence and rebuilds the
+// conformity state from the persisted forest.
+type modelJSON struct {
+	Variant    Variant     `json:"variant"`
+	M          int         `json:"m"`
+	Horizon    float64     `json:"horizon"`
+	Mu         []float64   `json:"mu"`
+	GammaI     [][]float64 `json:"gamma_i,omitempty"`
+	GammaN     [][]float64 `json:"gamma_n,omitempty"`
+	Beta       [][]float64 `json:"beta,omitempty"`
+	Alpha      [][]float64 `json:"alpha,omitempty"`
+	Sources    [][]int     `json:"sources"`
+	Parents    []int       `json:"parents"`
+	KernelStep []float64   `json:"kernel_step"`
+	KernelVals [][]float64 `json:"kernel_values"`
+	Iterations int         `json:"iterations"`
+	Config     Config      `json:"config"`
+}
+
+// Save serializes the fitted model (parameters, kernels, inferred forest,
+// configuration) as JSON. The training sequence itself is not embedded;
+// pass it again to Load.
+func (m *Model) Save(w io.Writer) error {
+	out := modelJSON{
+		Variant: m.Variant, M: m.M, Horizon: m.Horizon,
+		Mu: m.Mu, Sources: m.sources, Iterations: m.Iterations,
+		Config: m.cfg,
+	}
+	if m.Variant.ConformityAware {
+		out.GammaI, out.GammaN, out.Beta = m.GammaI, m.GammaN, m.Beta
+	} else {
+		out.Alpha = m.Alpha
+	}
+	if m.Forest != nil {
+		parents := m.Forest.Parents()
+		out.Parents = make([]int, len(parents))
+		for i, p := range parents {
+			out.Parents[i] = int(p)
+		}
+	}
+	out.KernelStep = make([]float64, m.M)
+	out.KernelVals = make([][]float64, m.M)
+	for i, k := range m.Kernels {
+		d, ok := k.(*kernel.Discrete)
+		if !ok {
+			// Tabulate non-discrete kernels onto their support.
+			var err error
+			d, err = kernel.Sample(k, k.Support()/24, 25)
+			if err != nil {
+				return fmt.Errorf("core: serializing kernel %d: %w", i, err)
+			}
+		}
+		out.KernelStep[i] = d.Step
+		out.KernelVals[i] = d.Values
+	}
+	return json.NewEncoder(w).Encode(out)
+}
+
+// LoadModel deserializes a model saved by Save and rebinds it to its
+// training sequence (the same one passed to Fit; Load validates the shape).
+func LoadModel(r io.Reader, train *timeline.Sequence) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if train == nil || train.M != in.M {
+		return nil, errors.New("core: LoadModel needs the original training sequence")
+	}
+	if len(in.Parents) != train.Len() {
+		return nil, fmt.Errorf("core: persisted forest covers %d activities, sequence has %d", len(in.Parents), train.Len())
+	}
+	link, err := in.Variant.Link()
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		M: in.M, Variant: in.Variant, Horizon: in.Horizon,
+		Mu: in.Mu, GammaI: in.GammaI, GammaN: in.GammaN,
+		Beta: in.Beta, Alpha: in.Alpha,
+		Kernels: make([]kernel.Kernel, in.M),
+		cfg:     in.Config, link: link, seq: train,
+		sources: in.Sources, Iterations: in.Iterations,
+	}
+	if m.GammaI == nil {
+		m.GammaI = dense(in.M)
+	}
+	if m.GammaN == nil {
+		m.GammaN = dense(in.M)
+	}
+	if m.Beta == nil {
+		m.Beta = dense(in.M)
+	}
+	if m.Alpha == nil {
+		m.Alpha = dense(in.M)
+	}
+	for i := range m.Kernels {
+		d, err := kernel.NewDiscrete(in.KernelStep[i], in.KernelVals[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: kernel %d: %w", i, err)
+		}
+		m.Kernels[i] = d
+	}
+	parents := make([]timeline.ActivityID, len(in.Parents))
+	for i, p := range in.Parents {
+		parents[i] = timeline.ActivityID(p)
+	}
+	m.Forest, err = branching.FromParents(parents)
+	if err != nil {
+		return nil, fmt.Errorf("core: persisted forest invalid: %w", err)
+	}
+	if m.Variant.ConformityAware {
+		work := train.StripParents()
+		m.Conf, err = conformity.New(work, m.Forest, m.cfg.Conformity)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"chassis/internal/timeline"
+)
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	d := smallDataset(t, 61)
+	cfg := quickCfg(VariantL)
+	cfg.UseObservedTrees = true
+	m, err := Fit(d.Seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf, d.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parameters survive exactly.
+	for i := 0; i < m.M; i++ {
+		if back.Mu[i] != m.Mu[i] {
+			t.Fatalf("Mu[%d] changed: %g vs %g", i, back.Mu[i], m.Mu[i])
+		}
+		for j := 0; j < m.M; j++ {
+			if back.GammaI[i][j] != m.GammaI[i][j] || back.GammaN[i][j] != m.GammaN[i][j] {
+				t.Fatalf("gamma changed at (%d,%d)", i, j)
+			}
+		}
+	}
+	// Derived quantities reproduce.
+	llA, err := m.TrainLogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	llB, err := back.TrainLogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(llA-llB) > 1e-6*math.Abs(llA) {
+		t.Errorf("train LL changed: %g vs %g", llA, llB)
+	}
+	infA, infB := m.EstimatedInfluence(), back.EstimatedInfluence()
+	for i := range infA {
+		for j := range infA[i] {
+			if math.Abs(infA[i][j]-infB[i][j]) > 1e-9 {
+				t.Fatalf("influence changed at (%d,%d): %g vs %g", i, j, infA[i][j], infB[i][j])
+			}
+		}
+	}
+}
+
+func TestModelSaveLoadHPVariant(t *testing.T) {
+	d := smallDataset(t, 62)
+	m, err := Fit(d.Seq, quickCfg(VariantLHP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(&buf, d.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < m.M; i++ {
+		for j := 0; j < m.M; j++ {
+			if back.Alpha[i][j] != m.Alpha[i][j] {
+				t.Fatalf("alpha changed at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestLoadModelValidation(t *testing.T) {
+	d := smallDataset(t, 63)
+	m, err := Fit(d.Seq, quickCfg(VariantLHP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+	if _, err := LoadModel(strings.NewReader("not json"), d.Seq); err == nil {
+		t.Error("garbage must fail")
+	}
+	if _, err := LoadModel(strings.NewReader(saved), nil); err == nil {
+		t.Error("nil sequence must fail")
+	}
+	wrong := &timeline.Sequence{M: d.Seq.M, Horizon: 5}
+	if _, err := LoadModel(strings.NewReader(saved), wrong); err == nil {
+		t.Error("mismatched sequence length must fail")
+	}
+}

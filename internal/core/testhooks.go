@@ -1,0 +1,7 @@
+package core
+
+// Temporary experiment hooks (unexported; zero values are no-ops).
+var (
+	testRefreshEvery int
+	testCoefCap      float64
+)

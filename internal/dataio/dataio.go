@@ -1,0 +1,179 @@
+// Package dataio serializes datasets and fitted-model summaries so the
+// command-line tools can pass corpora between generation, fitting, and
+// evaluation runs. JSON is the interchange format; activities can also be
+// exported as CSV for external analysis.
+package dataio
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"chassis/internal/cascade"
+	"chassis/internal/timeline"
+)
+
+// activityJSON is the wire form of one activity.
+type activityJSON struct {
+	ID       int     `json:"id"`
+	User     int     `json:"user"`
+	Time     float64 `json:"time"`
+	Kind     string  `json:"kind"`
+	Text     string  `json:"text,omitempty"`
+	Polarity float64 `json:"polarity"`
+	Parent   int     `json:"parent"` // -1 = immigrant
+	Topic    int     `json:"topic"`
+}
+
+// datasetJSON is the wire form of a dataset.
+type datasetJSON struct {
+	Name       string         `json:"name"`
+	M          int            `json:"m"`
+	Horizon    float64        `json:"horizon"`
+	Activities []activityJSON `json:"activities"`
+	Influence  [][]float64    `json:"influence,omitempty"`
+	Opinions   [][]float64    `json:"opinions,omitempty"`
+	Conformity []float64      `json:"conformity,omitempty"`
+}
+
+// WriteDataset encodes the dataset as JSON.
+func WriteDataset(w io.Writer, d *cascade.Dataset) error {
+	out := datasetJSON{
+		Name: d.Name, M: d.Seq.M, Horizon: d.Seq.Horizon,
+		Influence: d.Influence, Opinions: d.Opinions, Conformity: d.Conformity,
+	}
+	out.Activities = make([]activityJSON, len(d.Seq.Activities))
+	for i, a := range d.Seq.Activities {
+		out.Activities[i] = activityJSON{
+			ID: int(a.ID), User: int(a.User), Time: a.Time,
+			Kind: a.Kind.String(), Text: a.Text, Polarity: a.Polarity,
+			Parent: int(a.Parent), Topic: a.Topic,
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadDataset decodes a dataset written by WriteDataset and validates it.
+func ReadDataset(r io.Reader) (*cascade.Dataset, error) {
+	var in datasetJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataio: decoding dataset: %w", err)
+	}
+	seq := &timeline.Sequence{M: in.M, Horizon: in.Horizon}
+	seq.Activities = make([]timeline.Activity, len(in.Activities))
+	for i, a := range in.Activities {
+		kind, err := timeline.ParseKind(a.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("dataio: activity %d: %w", i, err)
+		}
+		seq.Activities[i] = timeline.Activity{
+			ID: timeline.ActivityID(a.ID), User: timeline.UserID(a.User),
+			Time: a.Time, Kind: kind, Text: a.Text, Polarity: a.Polarity,
+			Parent: timeline.ActivityID(a.Parent), Topic: a.Topic,
+		}
+	}
+	if err := seq.Validate(); err != nil {
+		return nil, fmt.Errorf("dataio: dataset %q invalid: %w", in.Name, err)
+	}
+	return &cascade.Dataset{
+		Name: in.Name, Seq: seq, Influence: in.Influence,
+		Opinions: in.Opinions, Conformity: in.Conformity,
+	}, nil
+}
+
+// SaveDataset writes the dataset to a file.
+func SaveDataset(path string, d *cascade.Dataset) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return WriteDataset(f, d)
+}
+
+// LoadDataset reads a dataset from a file.
+func LoadDataset(path string) (*cascade.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadDataset(f)
+}
+
+// WriteActivitiesCSV exports the activity table with a header row.
+func WriteActivitiesCSV(w io.Writer, seq *timeline.Sequence) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "user", "time", "kind", "polarity", "parent", "topic", "text"}); err != nil {
+		return err
+	}
+	for _, a := range seq.Activities {
+		rec := []string{
+			strconv.Itoa(int(a.ID)),
+			strconv.Itoa(int(a.User)),
+			strconv.FormatFloat(a.Time, 'g', -1, 64),
+			a.Kind.String(),
+			strconv.FormatFloat(a.Polarity, 'g', -1, 64),
+			strconv.Itoa(int(a.Parent)),
+			strconv.Itoa(a.Topic),
+			a.Text,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ModelSummary is the serializable result of a fit: the parameters a
+// downstream consumer needs to reconstruct intensities.
+type ModelSummary struct {
+	Strategy  string      `json:"strategy"`
+	Dataset   string      `json:"dataset"`
+	M         int         `json:"m"`
+	Mu        []float64   `json:"mu"`
+	Influence [][]float64 `json:"influence,omitempty"`
+	// KernelStep/KernelValues describe the estimated (discrete) triggering
+	// kernel when the strategy learns one nonparametrically.
+	KernelStep   float64     `json:"kernel_step,omitempty"`
+	KernelValues [][]float64 `json:"kernel_values,omitempty"`
+	LogLike      float64     `json:"loglike"`
+	Iterations   int         `json:"iterations"`
+}
+
+// SaveModel writes a model summary as JSON.
+func SaveModel(path string, m *ModelSummary) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	return json.NewEncoder(f).Encode(m)
+}
+
+// LoadModel reads a model summary.
+func LoadModel(path string) (*ModelSummary, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var m ModelSummary
+	if err := json.NewDecoder(f).Decode(&m); err != nil {
+		return nil, fmt.Errorf("dataio: decoding model: %w", err)
+	}
+	return &m, nil
+}

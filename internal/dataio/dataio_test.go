@@ -1,0 +1,138 @@
+package dataio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chassis/internal/cascade"
+	"chassis/internal/timeline"
+)
+
+func sampleDataset(t *testing.T) *cascade.Dataset {
+	t.Helper()
+	cfg := cascade.Config{
+		Name: "roundtrip", M: 10, Horizon: 200, Seed: 42,
+		Graph: cascade.BarabasiAlbert, GraphDegree: 2,
+		BaseRateLo: 0.01, BaseRateHi: 0.03,
+		KernelRate: 1, TargetBranching: 0.5,
+		ConformityWeight: 0.5, PolarityNoise: 0.1, LikeFraction: 0.2,
+	}
+	d, err := cascade.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	d := sampleDataset(t)
+	var buf bytes.Buffer
+	if err := WriteDataset(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDataset(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != d.Name || back.Seq.M != d.Seq.M || back.Seq.Len() != d.Seq.Len() {
+		t.Fatal("header fields lost in round trip")
+	}
+	for i := range d.Seq.Activities {
+		a, b := d.Seq.Activities[i], back.Seq.Activities[i]
+		if a.Time != b.Time || a.User != b.User || a.Kind != b.Kind ||
+			a.Text != b.Text || a.Polarity != b.Polarity || a.Parent != b.Parent || a.Topic != b.Topic {
+			t.Fatalf("activity %d changed in round trip:\n%+v\n%+v", i, a, b)
+		}
+	}
+	if len(back.Influence) != len(d.Influence) {
+		t.Error("influence matrix lost")
+	}
+	if len(back.Opinions) != len(d.Opinions) || len(back.Conformity) != len(d.Conformity) {
+		t.Error("latent traits lost")
+	}
+}
+
+func TestSaveLoadDatasetFile(t *testing.T) {
+	d := sampleDataset(t)
+	path := filepath.Join(t.TempDir(), "ds.json")
+	if err := SaveDataset(path, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seq.Len() != d.Seq.Len() {
+		t.Error("file round trip changed length")
+	}
+	if _, err := LoadDataset(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must fail")
+	}
+}
+
+func TestReadDatasetRejectsGarbage(t *testing.T) {
+	if _, err := ReadDataset(strings.NewReader("not json")); err == nil {
+		t.Error("garbage must fail")
+	}
+	// Valid JSON, bad kind.
+	bad := `{"name":"x","m":1,"horizon":10,"activities":[{"id":0,"user":0,"time":1,"kind":"nope","parent":-1}]}`
+	if _, err := ReadDataset(strings.NewReader(bad)); err == nil {
+		t.Error("unknown kind must fail")
+	}
+	// Valid JSON, invalid sequence (out-of-order times).
+	bad = `{"name":"x","m":1,"horizon":10,"activities":[` +
+		`{"id":0,"user":0,"time":5,"kind":"post","parent":-1},` +
+		`{"id":1,"user":0,"time":1,"kind":"post","parent":-1}]}`
+	if _, err := ReadDataset(strings.NewReader(bad)); err == nil {
+		t.Error("invalid sequence must fail")
+	}
+}
+
+func TestWriteActivitiesCSV(t *testing.T) {
+	seq := &timeline.Sequence{M: 2, Horizon: 10}
+	seq.Activities = []timeline.Activity{
+		{ID: 0, User: 0, Time: 1, Kind: timeline.Post, Text: "hello, world", Polarity: 0.5, Parent: timeline.NoParent},
+		{ID: 1, User: 1, Time: 2, Kind: timeline.Like, Polarity: 1, Parent: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteActivitiesCSV(&buf, seq); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3 (header + 2)", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "id,user,time") {
+		t.Errorf("header = %q", lines[0])
+	}
+	// Comma inside text must be quoted.
+	if !strings.Contains(lines[1], `"hello, world"`) {
+		t.Errorf("text quoting lost: %q", lines[1])
+	}
+}
+
+func TestModelSummaryRoundTrip(t *testing.T) {
+	m := &ModelSummary{
+		Strategy: "CHASSIS-L", Dataset: "SF", M: 2,
+		Mu:         []float64{0.1, 0.2},
+		Influence:  [][]float64{{0, 1}, {0.5, 0}},
+		KernelStep: 0.5, KernelValues: [][]float64{{1, 0.5}, {0.8, 0.2}},
+		LogLike: -123.4, Iterations: 80,
+	}
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveModel(path, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Strategy != m.Strategy || back.LogLike != m.LogLike || back.Mu[1] != 0.2 {
+		t.Errorf("model round trip lost fields: %+v", back)
+	}
+	if _, err := LoadModel(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Error("missing model file must fail")
+	}
+}

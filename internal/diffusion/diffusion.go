@@ -1,0 +1,176 @@
+// Package diffusion implements the predictive diffusion models the paper's
+// introduction builds on: the Independent Cascade (IC) and Linear Threshold
+// (LT) models, plus the conformity-aware IC variant of Example 1.1 —
+// activation probabilities modulated by pairwise conformity instead of the
+// structure-only 1/indegree rule. Monte-Carlo spread estimation and greedy
+// seed selection support the viral-marketing example.
+package diffusion
+
+import (
+	"errors"
+	"fmt"
+
+	"chassis/internal/rng"
+	"chassis/internal/socialnet"
+)
+
+// EdgeProb returns the probability that active user u activates follower v.
+type EdgeProb func(u, v int) float64
+
+// ClassicIC is the standard weighted-cascade rule p(u→v) = 1/indegree(v),
+// where indegree counts how many users v follows (Example 1.1's
+// conformity-unaware control).
+func ClassicIC(g *socialnet.Graph) EdgeProb {
+	return func(u, v int) float64 {
+		d := g.InDegree(v)
+		if d == 0 {
+			return 0
+		}
+		return 1 / float64(d)
+	}
+}
+
+// ConformityIC modulates the weighted-cascade rule by the receiver's
+// conformity to the sender: p(u→v) ∝ conf(v, u), renormalized so each
+// receiver's incoming probabilities still sum to one — Example 1.1's
+// conformity-aware variant (U₃ becomes likelier to activate than U₂ when
+// it conforms more to U₅, regardless of degree).
+func ConformityIC(g *socialnet.Graph, conf func(receiver, source int) float64) EdgeProb {
+	// Precompute per-receiver normalizers.
+	norm := make([]float64, g.N)
+	for v := 0; v < g.N; v++ {
+		for _, u := range g.Followees(v) {
+			c := conf(v, u)
+			if c > 0 {
+				norm[v] += c
+			}
+		}
+	}
+	return func(u, v int) float64 {
+		if norm[v] <= 0 {
+			return ClassicIC(g)(u, v)
+		}
+		c := conf(v, u)
+		if c < 0 {
+			c = 0
+		}
+		return c / norm[v]
+	}
+}
+
+// SimulateIC runs one Independent Cascade from the seed set: each newly
+// activated user gets one chance to activate each follower. Returns the
+// activated set (including seeds).
+func SimulateIC(g *socialnet.Graph, prob EdgeProb, seeds []int, r *rng.RNG) map[int]bool {
+	active := make(map[int]bool, len(seeds))
+	frontier := make([]int, 0, len(seeds))
+	for _, s := range seeds {
+		if s >= 0 && s < g.N && !active[s] {
+			active[s] = true
+			frontier = append(frontier, s)
+		}
+	}
+	for len(frontier) > 0 {
+		var next []int
+		for _, u := range frontier {
+			for _, v := range g.Followers(u) {
+				if active[v] {
+					continue
+				}
+				if r.Bernoulli(prob(u, v)) {
+					active[v] = true
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	return active
+}
+
+// SimulateLT runs one Linear Threshold cascade: each user draws a uniform
+// threshold; a user activates when the summed weights of its active
+// followees exceed it. Edge weights are 1/#followees (the uniform LT
+// instantiation).
+func SimulateLT(g *socialnet.Graph, seeds []int, r *rng.RNG) map[int]bool {
+	threshold := make([]float64, g.N)
+	for v := range threshold {
+		threshold[v] = r.Float64()
+	}
+	active := make(map[int]bool, len(seeds))
+	for _, s := range seeds {
+		if s >= 0 && s < g.N {
+			active[s] = true
+		}
+	}
+	for {
+		changed := false
+		for v := 0; v < g.N; v++ {
+			if active[v] {
+				continue
+			}
+			followees := g.Followees(v)
+			if len(followees) == 0 {
+				continue
+			}
+			var mass float64
+			for _, u := range followees {
+				if active[u] {
+					mass += 1 / float64(len(followees))
+				}
+			}
+			if mass >= threshold[v] {
+				active[v] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return active
+		}
+	}
+}
+
+// EstimateSpread Monte-Carlo-estimates the expected IC cascade size of a
+// seed set.
+func EstimateSpread(g *socialnet.Graph, prob EdgeProb, seeds []int, rounds int, r *rng.RNG) float64 {
+	if rounds <= 0 {
+		rounds = 100
+	}
+	var total float64
+	for i := 0; i < rounds; i++ {
+		total += float64(len(SimulateIC(g, prob, seeds, r.Split(int64(i)))))
+	}
+	return total / float64(rounds)
+}
+
+// GreedySeeds picks k seeds by greedy marginal-gain maximization under
+// Monte-Carlo spread estimation — the standard (1−1/e) influence
+// maximization baseline the IM literature the paper cites builds on.
+func GreedySeeds(g *socialnet.Graph, prob EdgeProb, k, rounds int, r *rng.RNG) ([]int, float64, error) {
+	if k <= 0 || k > g.N {
+		return nil, 0, fmt.Errorf("diffusion: k=%d outside [1,%d]", k, g.N)
+	}
+	if g.N == 0 {
+		return nil, 0, errors.New("diffusion: empty graph")
+	}
+	var seeds []int
+	chosen := make(map[int]bool)
+	var bestSpread float64
+	for len(seeds) < k {
+		bestU, bestGain := -1, -1.0
+		for u := 0; u < g.N; u++ {
+			if chosen[u] {
+				continue
+			}
+			sp := EstimateSpread(g, prob, append(seeds[:len(seeds):len(seeds)], u), rounds, r.Split(int64(u)))
+			if gain := sp - bestSpread; gain > bestGain {
+				bestGain = gain
+				bestU = u
+			}
+		}
+		seeds = append(seeds, bestU)
+		chosen[bestU] = true
+		bestSpread += bestGain
+	}
+	return seeds, bestSpread, nil
+}

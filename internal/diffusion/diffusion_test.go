@@ -1,0 +1,159 @@
+package diffusion
+
+import (
+	"math"
+	"testing"
+
+	"chassis/internal/rng"
+	"chassis/internal/socialnet"
+)
+
+// lineGraph builds 0 → 1 → 2 → ... → n-1 (each next user follows the
+// previous one).
+func lineGraph(n int) *socialnet.Graph {
+	g, _ := socialnet.ErdosRenyi(rng.New(1), n, 0)
+	for u := 0; u < n-1; u++ {
+		g.AddEdge(u, u+1)
+	}
+	return g
+}
+
+func TestClassicICProbs(t *testing.T) {
+	g := lineGraph(3)
+	p := ClassicIC(g)
+	// User 1 follows exactly one user (0): p(0→1) = 1.
+	if p(0, 1) != 1 {
+		t.Errorf("p(0,1) = %g, want 1", p(0, 1))
+	}
+	// User 0 follows nobody: p(x→0) = 0.
+	if p(1, 0) != 0 {
+		t.Errorf("p(1,0) = %g, want 0", p(1, 0))
+	}
+}
+
+func TestSimulateICDeterministicChain(t *testing.T) {
+	g := lineGraph(5)
+	always := func(u, v int) float64 { return 1 }
+	active := SimulateIC(g, always, []int{0}, rng.New(2))
+	if len(active) != 5 {
+		t.Errorf("full chain should activate, got %d", len(active))
+	}
+	never := func(u, v int) float64 { return 0 }
+	active = SimulateIC(g, never, []int{0}, rng.New(2))
+	if len(active) != 1 {
+		t.Errorf("only the seed should activate, got %d", len(active))
+	}
+	// Invalid and duplicate seeds are ignored.
+	active = SimulateIC(g, always, []int{-1, 99, 2, 2}, rng.New(2))
+	if !active[2] || !active[4] || active[0] {
+		t.Errorf("seeding mid-chain wrong: %v", active)
+	}
+}
+
+func TestSimulateICSpreadProbability(t *testing.T) {
+	// Two-node graph with p = 0.3: activation frequency ≈ 0.3.
+	g, _ := socialnet.ErdosRenyi(rng.New(1), 2, 0)
+	g.AddEdge(0, 1)
+	p := func(u, v int) float64 { return 0.3 }
+	r := rng.New(3)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if SimulateIC(g, p, []int{0}, r.Split(int64(i)))[1] {
+			hits++
+		}
+	}
+	if f := float64(hits) / n; math.Abs(f-0.3) > 0.02 {
+		t.Errorf("activation frequency = %g, want ~0.3", f)
+	}
+}
+
+func TestConformityICRedistributes(t *testing.T) {
+	// Star: user 2 follows users 0 and 1. Classic IC gives each 1/2;
+	// conformity 3:1 toward user 0 gives 0.75/0.25.
+	g, _ := socialnet.ErdosRenyi(rng.New(1), 3, 0)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	conf := func(receiver, source int) float64 {
+		if receiver == 2 && source == 0 {
+			return 0.9
+		}
+		if receiver == 2 && source == 1 {
+			return 0.3
+		}
+		return 0
+	}
+	p := ConformityIC(g, conf)
+	if math.Abs(p(0, 2)-0.75) > 1e-12 || math.Abs(p(1, 2)-0.25) > 1e-12 {
+		t.Errorf("conformity probs = %g, %g; want 0.75, 0.25", p(0, 2), p(1, 2))
+	}
+	// Receiver with no conformity signal falls back to classic.
+	g.AddEdge(0, 1)
+	p = ConformityIC(g, conf)
+	if p(0, 1) != 1 {
+		t.Errorf("fallback p(0,1) = %g, want 1 (classic)", p(0, 1))
+	}
+}
+
+func TestSimulateLT(t *testing.T) {
+	// Chain with single followee: threshold ~U(0,1) vs weight 1 — each hop
+	// activates iff threshold ≤ 1, i.e. always.
+	g := lineGraph(4)
+	active := SimulateLT(g, []int{0}, rng.New(4))
+	if len(active) != 4 {
+		t.Errorf("LT chain should fully activate, got %d", len(active))
+	}
+	// No seeds: nothing activates.
+	if n := len(SimulateLT(g, nil, rng.New(4))); n != 0 {
+		t.Errorf("LT with no seeds activated %d", n)
+	}
+}
+
+func TestEstimateSpreadMonotoneInProb(t *testing.T) {
+	g, err := socialnet.BarabasiAlbert(rng.New(5), 60, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := EstimateSpread(g, func(u, v int) float64 { return 0.05 }, []int{0}, 200, rng.New(6))
+	high := EstimateSpread(g, func(u, v int) float64 { return 0.4 }, []int{0}, 200, rng.New(6))
+	if high <= low {
+		t.Errorf("spread should grow with probability: %g vs %g", low, high)
+	}
+	if low < 1 {
+		t.Errorf("spread must include the seed: %g", low)
+	}
+}
+
+func TestGreedySeeds(t *testing.T) {
+	g, err := socialnet.BarabasiAlbert(rng.New(7), 40, 2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := ClassicIC(g)
+	seeds, spread, err := GreedySeeds(g, prob, 3, 60, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 3 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	seen := map[int]bool{}
+	for _, s := range seeds {
+		if s < 0 || s >= g.N || seen[s] {
+			t.Fatalf("bad seed set %v", seeds)
+		}
+		seen[s] = true
+	}
+	// Greedy should beat an arbitrary low-degree seed set.
+	worst := []int{g.N - 1, g.N - 2, g.N - 3}
+	base := EstimateSpread(g, prob, worst, 200, rng.New(9))
+	if spread < base {
+		t.Errorf("greedy spread %g below arbitrary baseline %g", spread, base)
+	}
+	if _, _, err := GreedySeeds(g, prob, 0, 10, rng.New(1)); err == nil {
+		t.Error("k=0 must fail")
+	}
+	if _, _, err := GreedySeeds(g, prob, 999, 10, rng.New(1)); err == nil {
+		t.Error("k>N must fail")
+	}
+}

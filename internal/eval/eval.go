@@ -1,0 +1,85 @@
+// Package eval implements the evaluation metrics of the paper's
+// performance study: RankCorr (average Kendall rank correlation between
+// rows of the ground-truth and estimated influence matrices), the
+// branching-structure F1 of Table 1, and prediction-quality measures.
+package eval
+
+import (
+	"errors"
+	"fmt"
+
+	"chassis/internal/branching"
+	"chassis/internal/stats"
+)
+
+// RankCorr computes the average Kendall τ between corresponding rows of the
+// ground-truth influence matrix A and the estimate Â — "whether the
+// relative order of the estimated social influences is correctly
+// recovered". Rows whose ground truth carries no ranking information (all
+// entries tied) are skipped; if every row is skipped the result is 0.
+func RankCorr(truth, est [][]float64) (float64, error) {
+	if len(truth) != len(est) {
+		return 0, fmt.Errorf("eval: influence matrices have %d vs %d rows", len(truth), len(est))
+	}
+	if len(truth) == 0 {
+		return 0, errors.New("eval: empty influence matrices")
+	}
+	var sum float64
+	var used int
+	for i := range truth {
+		if len(truth[i]) != len(est[i]) {
+			return 0, fmt.Errorf("eval: row %d has %d vs %d entries", i, len(truth[i]), len(est[i]))
+		}
+		if allTied(truth[i]) {
+			continue
+		}
+		tau, err := stats.KendallTau(truth[i], est[i])
+		if err != nil {
+			return 0, err
+		}
+		sum += tau
+		used++
+	}
+	if used == 0 {
+		return 0, nil
+	}
+	return sum / float64(used), nil
+}
+
+func allTied(xs []float64) bool {
+	for _, x := range xs[1:] {
+		if x != xs[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// ForestF1 scores an inferred branching structure against ground truth by
+// per-node parent agreement (Table 1's metric).
+func ForestF1(inferred, truth *branching.Forest) (float64, error) {
+	sc, err := branching.CompareForests(inferred, truth)
+	if err != nil {
+		return 0, err
+	}
+	return sc.F1, nil
+}
+
+// CountError summarizes a count forecast against realized counts.
+type CountError struct {
+	MAE  float64
+	MAPE float64
+}
+
+// CountForecastError compares predicted and realized per-user counts.
+func CountForecastError(pred, actual []float64) (CountError, error) {
+	mae, err := stats.MAE(pred, actual)
+	if err != nil {
+		return CountError{}, err
+	}
+	mape, err := stats.MAPE(pred, actual)
+	if err != nil {
+		return CountError{}, err
+	}
+	return CountError{MAE: mae, MAPE: mape}, nil
+}

@@ -1,0 +1,93 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"chassis/internal/branching"
+	"chassis/internal/timeline"
+)
+
+func TestRankCorrPerfect(t *testing.T) {
+	truth := [][]float64{{0, 1, 2}, {3, 0, 1}}
+	est := [][]float64{{0.1, 0.5, 0.9}, {0.7, 0.05, 0.3}}
+	rc, err := RankCorr(truth, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rc-1) > 1e-12 {
+		t.Errorf("RankCorr = %g, want 1", rc)
+	}
+}
+
+func TestRankCorrInverted(t *testing.T) {
+	truth := [][]float64{{0, 1, 2}}
+	est := [][]float64{{2, 1, 0}}
+	rc, _ := RankCorr(truth, est)
+	if math.Abs(rc+1) > 1e-12 {
+		t.Errorf("RankCorr = %g, want -1", rc)
+	}
+}
+
+func TestRankCorrSkipsTiedRows(t *testing.T) {
+	truth := [][]float64{{0, 0, 0}, {0, 1, 2}}
+	est := [][]float64{{5, 2, 9}, {0, 1, 2}}
+	rc, err := RankCorr(truth, est)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rc-1) > 1e-12 {
+		t.Errorf("tied row must be skipped: RankCorr = %g", rc)
+	}
+	allTiedM := [][]float64{{1, 1}, {2, 2}}
+	rc, err = RankCorr(allTiedM, allTiedM)
+	if err != nil || rc != 0 {
+		t.Errorf("all-tied matrices should give 0, got %g (%v)", rc, err)
+	}
+}
+
+func TestRankCorrValidation(t *testing.T) {
+	if _, err := RankCorr(nil, nil); err == nil {
+		t.Error("empty matrices must fail")
+	}
+	if _, err := RankCorr([][]float64{{1}}, [][]float64{{1}, {2}}); err == nil {
+		t.Error("row-count mismatch must fail")
+	}
+	if _, err := RankCorr([][]float64{{1, 2}}, [][]float64{{1}}); err == nil {
+		t.Error("row-length mismatch must fail")
+	}
+}
+
+func TestForestF1(t *testing.T) {
+	np := timeline.NoParent
+	truth, _ := branching.FromParents([]timeline.ActivityID{np, 0, 1})
+	same, err := ForestF1(truth, truth)
+	if err != nil || same != 1 {
+		t.Errorf("self F1 = %g (%v)", same, err)
+	}
+	other, _ := branching.FromParents([]timeline.ActivityID{np, 0, 0})
+	f1, _ := ForestF1(other, truth)
+	if math.Abs(f1-2.0/3.0) > 1e-12 {
+		t.Errorf("F1 = %g, want 2/3", f1)
+	}
+	short, _ := branching.FromParents([]timeline.ActivityID{np})
+	if _, err := ForestF1(short, truth); err == nil {
+		t.Error("size mismatch must fail")
+	}
+}
+
+func TestCountForecastError(t *testing.T) {
+	ce, err := CountForecastError([]float64{10, 20}, []float64{8, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ce.MAE-3.5) > 1e-12 {
+		t.Errorf("MAE = %g, want 3.5", ce.MAE)
+	}
+	if math.Abs(ce.MAPE-(0.25+0.2)/2) > 1e-12 {
+		t.Errorf("MAPE = %g", ce.MAPE)
+	}
+	if _, err := CountForecastError([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch must fail")
+	}
+}

@@ -1,0 +1,352 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"chassis/internal/branching"
+	"chassis/internal/cascade"
+	"chassis/internal/core"
+	"chassis/internal/eval"
+)
+
+// Options configures the experiment runners.
+type Options struct {
+	// Seed drives dataset generation and model initialization.
+	Seed int64
+	// Scale multiplies dataset size (1 = the default laptop-scale corpora;
+	// the paper's SF/ST are ~400× larger, see DESIGN.md §2).
+	Scale float64
+	// EMIters for the CHASSIS/HP strategies (default 10).
+	EMIters int
+	// Strategies restricts the compared methods (default AllStrategies).
+	Strategies []string
+	// Fractions are the training splits (default 0.3/0.5/0.6/0.7/0.8,
+	// matching Figure 5's x-axis).
+	Fractions []float64
+	// Datasets restricts the corpora (default SF and ST).
+	Datasets []string
+	// Progress, when set, receives human-readable progress lines.
+	Progress func(format string, args ...any)
+}
+
+func (o *Options) fill() {
+	if o.Seed == 0 {
+		o.Seed = 2020
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.EMIters <= 0 {
+		o.EMIters = 10
+	}
+	if len(o.Strategies) == 0 {
+		o.Strategies = AllStrategies
+	}
+	if len(o.Fractions) == 0 {
+		o.Fractions = []float64{0.3, 0.5, 0.6, 0.7, 0.8}
+	}
+	if len(o.Datasets) == 0 {
+		o.Datasets = []string{"SF", "ST"}
+	}
+	if o.Progress == nil {
+		o.Progress = func(string, ...any) {}
+	}
+}
+
+// BuildDataset materializes one of the named corpora.
+func BuildDataset(name string, scale float64, seed int64) (*cascade.Dataset, error) {
+	switch name {
+	case "SF":
+		return cascade.Generate(cascade.FacebookLike(scale, seed))
+	case "ST":
+		return cascade.Generate(cascade.TwitterLike(scale, seed+1))
+	}
+	return nil, fmt.Errorf("experiments: unknown dataset %q (want SF or ST)", name)
+}
+
+// SeriesResult is one dataset's strategy→per-fraction series (the data
+// behind one panel of Figure 5 or the RankCorr study).
+type SeriesResult struct {
+	Dataset   string
+	Fractions []float64
+	// Values[strategy][k] corresponds to Fractions[k].
+	Values map[string][]float64
+}
+
+// FitnessResult bundles the two metrics computed from one sweep: held-out
+// LogLike (Figure 5) and RankCorr (the tech-report companion study).
+type FitnessResult struct {
+	LogLike  []SeriesResult
+	RankCorr []SeriesResult
+}
+
+// RunModelFitness executes the Figure 5 sweep: for each corpus and training
+// fraction, fit every strategy and record the held-out log-likelihood and
+// the RankCorr of its influence estimate against the ground-truth matrix.
+func RunModelFitness(o Options) (*FitnessResult, error) {
+	o.fill()
+	res := &FitnessResult{}
+	for _, dsName := range o.Datasets {
+		ds, err := BuildDataset(dsName, o.Scale, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		o.Progress("dataset %s: %d activities, %d users", dsName, ds.Seq.Len(), ds.Seq.M)
+		ll := SeriesResult{Dataset: dsName, Fractions: o.Fractions, Values: map[string][]float64{}}
+		rc := SeriesResult{Dataset: dsName, Fractions: o.Fractions, Values: map[string][]float64{}}
+		for _, frac := range o.Fractions {
+			train, test, err := ds.Seq.Split(frac)
+			if err != nil {
+				return nil, err
+			}
+			for _, name := range o.Strategies {
+				s, err := NewStrategy(name, FitOptions{EMIters: o.EMIters})
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				if err := s.Fit(train, o.Seed); err != nil {
+					return nil, fmt.Errorf("experiments: fitting %s on %s@%.0f%%: %w", name, dsName, frac*100, err)
+				}
+				held, err := s.HeldOut(test)
+				if err != nil {
+					return nil, err
+				}
+				inf, err := s.Influence()
+				if err != nil {
+					return nil, err
+				}
+				tau, err := eval.RankCorr(ds.Influence, inf)
+				if err != nil {
+					return nil, err
+				}
+				ll.Values[name] = append(ll.Values[name], held)
+				rc.Values[name] = append(rc.Values[name], tau)
+				o.Progress("  %s train=%.0f%%: %s LL=%.1f RankCorr=%.3f (%.1fs)",
+					dsName, frac*100, name, held, tau, time.Since(start).Seconds())
+			}
+		}
+		res.LogLike = append(res.LogLike, ll)
+		res.RankCorr = append(res.RankCorr, rc)
+	}
+	return res, nil
+}
+
+// ConvergenceResult holds per-iteration training log-likelihoods.
+type ConvergenceResult struct {
+	Dataset string
+	// Series[strategy][i] is the training LL after EM iteration i+1.
+	Series map[string][]float64
+}
+
+// RunConvergence reproduces the convergence study: CHASSIS-L and CHASSIS-E
+// training LL per EM iteration on both corpora (the paper observes
+// convergence by ~80 iterations; the synthetic corpora flatten sooner).
+func RunConvergence(o Options, iters int) ([]ConvergenceResult, error) {
+	o.fill()
+	if iters <= 0 {
+		iters = 40
+	}
+	var out []ConvergenceResult
+	for _, dsName := range o.Datasets {
+		ds, err := BuildDataset(dsName, o.Scale, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		res := ConvergenceResult{Dataset: dsName, Series: map[string][]float64{}}
+		for _, name := range []string{"CHASSIS-L", "CHASSIS-E"} {
+			s, err := NewStrategy(name, FitOptions{EMIters: iters, TrackHistory: true})
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Fit(ds.Seq, o.Seed); err != nil {
+				return nil, err
+			}
+			res.Series[name] = s.History()
+			o.Progress("convergence %s/%s: %d iterations recorded", dsName, name, len(s.History()))
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Table1Row is one PHEME event's F1 per strategy.
+type Table1Row struct {
+	Event string
+	F1    map[string]float64
+}
+
+// RunTable1 reproduces the branching-structure inference experiment: fit
+// each strategy on each PHEME-like event and score its inferred diffusion
+// trees against the ground-truth reply trees.
+func RunTable1(o Options) ([]Table1Row, error) {
+	o.fill()
+	var rows []Table1Row
+	for _, ev := range cascade.PHEMEEvents(o.Seed) {
+		ds, err := cascade.GeneratePHEME(ev)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := branching.FromSequence(ds.Seq)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{Event: ds.Name, F1: map[string]float64{}}
+		for _, name := range Table1Strategies {
+			s, err := NewStrategy(name, FitOptions{EMIters: o.EMIters, InferTrees: true})
+			if err != nil {
+				return nil, err
+			}
+			if err := s.Fit(ds.Seq, o.Seed); err != nil {
+				return nil, fmt.Errorf("experiments: fitting %s on %s: %w", name, ds.Name, err)
+			}
+			forest, err := s.InferForest(ds.Seq.StripParents())
+			if err != nil {
+				return nil, err
+			}
+			f1, err := eval.ForestF1(forest, truth)
+			if err != nil {
+				return nil, err
+			}
+			row.F1[name] = f1
+			o.Progress("table1 %s: %s F1=%.4f", ds.Name, name, f1)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ScalePoint is one scalability measurement.
+type ScalePoint struct {
+	Scale      float64
+	Users      int
+	Activities int
+	Strategy   string
+	Seconds    float64
+}
+
+// RunScalability measures wall-clock fit time as the corpus grows (the
+// paper's scalability study on the full SF/ST).
+func RunScalability(o Options, scales []float64) ([]ScalePoint, error) {
+	o.fill()
+	if len(scales) == 0 {
+		scales = []float64{0.5, 1, 2, 4}
+	}
+	strategies := o.Strategies
+	if len(strategies) == len(AllStrategies) {
+		strategies = []string{"CHASSIS-L", "CHASSIS-E"}
+	}
+	var out []ScalePoint
+	for _, sc := range scales {
+		ds, err := BuildDataset(o.Datasets[0], sc, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range strategies {
+			s, err := NewStrategy(name, FitOptions{EMIters: o.EMIters})
+			if err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			if err := s.Fit(ds.Seq, o.Seed); err != nil {
+				return nil, err
+			}
+			secs := time.Since(start).Seconds()
+			out = append(out, ScalePoint{
+				Scale: sc, Users: ds.Seq.M, Activities: ds.Seq.Len(),
+				Strategy: name, Seconds: secs,
+			})
+			o.Progress("scale %.2g (%d acts): %s %.2fs", sc, ds.Seq.Len(), name, secs)
+		}
+	}
+	return out, nil
+}
+
+// AblationLCAResult compares CHASSIS-L with and without Scenario 2 (LCA
+// recalibration) in the normative influence.
+type AblationLCAResult struct {
+	Dataset             string
+	WithLCA, WithoutLCA float64 // held-out LL
+}
+
+// RunAblationLCA quantifies the Scenario-2 design choice.
+func RunAblationLCA(o Options) ([]AblationLCAResult, error) {
+	o.fill()
+	var out []AblationLCAResult
+	for _, dsName := range o.Datasets {
+		ds, err := BuildDataset(dsName, o.Scale, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		train, test, err := ds.Seq.Split(0.7)
+		if err != nil {
+			return nil, err
+		}
+		res := AblationLCAResult{Dataset: dsName}
+		for _, disable := range []bool{false, true} {
+			cfg := core.Config{Variant: core.VariantL, EMIters: o.EMIters, Seed: o.Seed, UseObservedTrees: true}
+			cfg.Conformity.DisableLCA = disable
+			m, err := core.Fit(train, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ll, err := m.HeldOutLogLikelihood(test)
+			if err != nil {
+				return nil, err
+			}
+			if disable {
+				res.WithoutLCA = ll
+			} else {
+				res.WithLCA = ll
+			}
+		}
+		o.Progress("ablation LCA %s: with=%.1f without=%.1f", dsName, res.WithLCA, res.WithoutLCA)
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// AblationEStepResult compares Papangelou-drop against linear-ratio E-step
+// candidate scoring for the nonlinear link (they coincide for the linear
+// one), measured by branching-structure F1 on training data.
+type AblationEStepResult struct {
+	Dataset                 string
+	Papangelou, LinearRatio float64
+}
+
+// RunAblationEStep quantifies the E-step scoring rule for CHASSIS-E.
+func RunAblationEStep(o Options) ([]AblationEStepResult, error) {
+	o.fill()
+	var out []AblationEStepResult
+	for _, dsName := range o.Datasets {
+		ds, err := BuildDataset(dsName, o.Scale, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		truth, err := branching.FromSequence(ds.Seq)
+		if err != nil {
+			return nil, err
+		}
+		res := AblationEStepResult{Dataset: dsName}
+		for _, ratio := range []bool{false, true} {
+			cfg := core.Config{Variant: core.VariantE, EMIters: o.EMIters, Seed: o.Seed, LinearRatioEStep: ratio}
+			m, err := core.Fit(ds.Seq, cfg)
+			if err != nil {
+				return nil, err
+			}
+			f1, err := eval.ForestF1(m.InferredForest(), truth)
+			if err != nil {
+				return nil, err
+			}
+			if ratio {
+				res.LinearRatio = f1
+			} else {
+				res.Papangelou = f1
+			}
+		}
+		o.Progress("ablation estep %s: papangelou=%.4f ratio=%.4f", dsName, res.Papangelou, res.LinearRatio)
+		out = append(out, res)
+	}
+	return out, nil
+}

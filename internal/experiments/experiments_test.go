@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNewStrategyAllNames(t *testing.T) {
+	for _, name := range AllStrategies {
+		s, err := NewStrategy(name, FitOptions{})
+		if err != nil {
+			t.Fatalf("NewStrategy(%q): %v", name, err)
+		}
+		if s.Name() != name {
+			t.Errorf("strategy %q reports name %q", name, s.Name())
+		}
+	}
+	if _, err := NewStrategy("bogus", FitOptions{}); err == nil {
+		t.Error("unknown strategy must fail")
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	for _, name := range []string{"SF", "ST"} {
+		ds, err := BuildDataset(name, 0.3, 7)
+		if err != nil {
+			t.Fatalf("BuildDataset(%s): %v", name, err)
+		}
+		if ds.Seq.Len() < 50 {
+			t.Errorf("%s too small: %d activities", name, ds.Seq.Len())
+		}
+		if err := ds.Seq.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+	if _, err := BuildDataset("nope", 1, 1); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestRunModelFitnessSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fits")
+	}
+	opts := Options{
+		Seed: 5, Scale: 0.35, EMIters: 4,
+		Strategies: []string{"ADM4", "CHASSIS-L"},
+		Fractions:  []float64{0.6},
+		Datasets:   []string{"SF"},
+	}
+	res, err := RunModelFitness(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LogLike) != 1 || len(res.RankCorr) != 1 {
+		t.Fatalf("want one dataset series, got %d/%d", len(res.LogLike), len(res.RankCorr))
+	}
+	ll := res.LogLike[0]
+	if len(ll.Values["ADM4"]) != 1 || len(ll.Values["CHASSIS-L"]) != 1 {
+		t.Fatalf("series shapes wrong: %+v", ll.Values)
+	}
+	for s, vs := range ll.Values {
+		if vs[0] >= 0 {
+			t.Errorf("%s LL = %g, expected negative", s, vs[0])
+		}
+	}
+	for s, vs := range res.RankCorr[0].Values {
+		if vs[0] < -1 || vs[0] > 1 {
+			t.Errorf("%s RankCorr = %g outside [-1,1]", s, vs[0])
+		}
+	}
+	var buf bytes.Buffer
+	PrintSeries(&buf, "Figure 5 (LogLike)", res.LogLike, "")
+	out := buf.String()
+	if !strings.Contains(out, "CHASSIS-L") || !strings.Contains(out, "60%") {
+		t.Errorf("printer output missing fields:\n%s", out)
+	}
+}
+
+func TestRunTable1RowOrderAndPrinter(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fits")
+	}
+	opts := Options{Seed: 5, EMIters: 4}
+	rows, err := RunTable1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("want 5 PHEME rows, got %d", len(rows))
+	}
+	if rows[0].Event != "Charlie Hebdo" || rows[4].Event != "Germanwings-crash" {
+		t.Errorf("row order wrong: %s ... %s", rows[0].Event, rows[4].Event)
+	}
+	for _, row := range rows {
+		for _, s := range Table1Strategies {
+			f1, ok := row.F1[s]
+			if !ok {
+				t.Fatalf("%s missing strategy %s", row.Event, s)
+			}
+			if f1 < 0 || f1 > 1 {
+				t.Errorf("%s/%s F1 = %g", row.Event, s, f1)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "Charlie Hebdo") {
+		t.Error("Table 1 printer lost rows")
+	}
+}
+
+func TestRunConvergenceSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fits")
+	}
+	opts := Options{Seed: 5, Scale: 0.3, Datasets: []string{"SF"}}
+	res, err := RunConvergence(opts, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("want 1 dataset, got %d", len(res))
+	}
+	for _, name := range []string{"CHASSIS-L", "CHASSIS-E"} {
+		if len(res[0].Series[name]) != 6 {
+			t.Errorf("%s history length = %d, want 6", name, len(res[0].Series[name]))
+		}
+	}
+	var buf bytes.Buffer
+	PrintConvergence(&buf, res)
+	if !strings.Contains(buf.String(), "CHASSIS-E") {
+		t.Error("convergence printer lost series")
+	}
+}
+
+func TestRunScalabilitySmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fits")
+	}
+	opts := Options{Seed: 5, EMIters: 3, Strategies: []string{"CHASSIS-L"}, Datasets: []string{"SF"}}
+	pts, err := RunScalability(opts, []float64{0.25, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("want 2 points, got %d", len(pts))
+	}
+	if pts[0].Activities >= pts[1].Activities {
+		t.Errorf("activity counts should grow with scale: %d vs %d", pts[0].Activities, pts[1].Activities)
+	}
+	for _, p := range pts {
+		if p.Seconds <= 0 {
+			t.Errorf("non-positive timing: %+v", p)
+		}
+	}
+	var buf bytes.Buffer
+	PrintScalability(&buf, pts)
+	if !strings.Contains(buf.String(), "CHASSIS-L") {
+		t.Error("scalability printer lost rows")
+	}
+}
+
+func TestOrderedStrategies(t *testing.T) {
+	vals := map[string][]float64{
+		"CHASSIS-L": nil, "ADM4": nil, "ZZZ": nil, "MMEL": nil,
+	}
+	got := orderedStrategies(vals)
+	want := []string{"ADM4", "MMEL", "CHASSIS-L", "ZZZ"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRunPredictionSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fits")
+	}
+	opts := Options{Seed: 5, Scale: 0.3, EMIters: 3, Datasets: []string{"SF"}}
+	res, err := RunPrediction(opts, 3, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("want CHASSIS-L and L-HP rows, got %d", len(res))
+	}
+	for _, r := range res {
+		if r.NextActorAccuracy < 0 || r.NextActorAccuracy > 1 {
+			t.Errorf("%s accuracy = %g", r.Strategy, r.NextActorAccuracy)
+		}
+		if r.CountMAE < 0 || r.CountMAPE < 0 {
+			t.Errorf("%s negative error: %+v", r.Strategy, r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintPrediction(&buf, res)
+	if !strings.Contains(buf.String(), "next-actor") {
+		t.Error("prediction printer lost header")
+	}
+}
+
+func TestRunAblationsSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fits")
+	}
+	opts := Options{Seed: 5, Scale: 0.3, EMIters: 3, Datasets: []string{"SF"}}
+	lca, err := RunAblationLCA(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lca) != 1 || lca[0].WithLCA >= 0 || lca[0].WithoutLCA >= 0 {
+		t.Errorf("LCA ablation malformed: %+v", lca)
+	}
+	estep, err := RunAblationEStep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(estep) != 1 {
+		t.Fatalf("estep ablation rows = %d", len(estep))
+	}
+	if estep[0].Papangelou < 0 || estep[0].Papangelou > 1 ||
+		estep[0].LinearRatio < 0 || estep[0].LinearRatio > 1 {
+		t.Errorf("estep ablation out of range: %+v", estep)
+	}
+	var buf bytes.Buffer
+	PrintAblations(&buf, lca, estep)
+	if !strings.Contains(buf.String(), "papangelou") {
+		t.Error("ablation printer lost rows")
+	}
+}
+
+// TestRankCorrShape pins the clearest conformity win of the study: at a
+// well-trained split, CHASSIS-L recovers the influence ranking better than
+// the conformity-unaware ADM4 (EXPERIMENTS.md §E2).
+func TestRankCorrShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fits")
+	}
+	opts := Options{
+		Seed: 2020, Scale: 0.5, EMIters: 8,
+		Strategies: []string{"ADM4", "CHASSIS-L"},
+		Fractions:  []float64{0.8},
+		Datasets:   []string{"SF"},
+	}
+	res, err := RunModelFitness(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := res.RankCorr[0].Values
+	if rc["CHASSIS-L"][0] <= rc["ADM4"][0] {
+		t.Errorf("CHASSIS-L RankCorr %.4f should beat ADM4 %.4f",
+			rc["CHASSIS-L"][0], rc["ADM4"][0])
+	}
+}

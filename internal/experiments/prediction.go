@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"chassis/internal/core"
+	"chassis/internal/eval"
+	"chassis/internal/predict"
+	"chassis/internal/rng"
+)
+
+// PredictionResult scores behaviour prediction (the tech report's
+// application study): sequential next-actor accuracy and future-count error
+// over the held-out window, CHASSIS vs the conformity-unaware control.
+type PredictionResult struct {
+	Dataset  string
+	Strategy string
+	// NextActorAccuracy over Steps sequential predictions.
+	NextActorAccuracy float64
+	Steps             int
+	// CountMAPE/CountMAE compare per-user forecast counts with realized
+	// counts over the held-out window.
+	CountMAPE, CountMAE float64
+}
+
+// RunPrediction fits CHASSIS-L and L-HP on the training prefix and scores
+// both applications on the held-out continuation.
+func RunPrediction(o Options, steps, draws int) ([]PredictionResult, error) {
+	o.fill()
+	if steps <= 0 {
+		steps = 10
+	}
+	if draws <= 0 {
+		draws = 100
+	}
+	var out []PredictionResult
+	for _, dsName := range o.Datasets {
+		ds, err := BuildDataset(dsName, o.Scale, o.Seed)
+		if err != nil {
+			return nil, err
+		}
+		train, test, err := ds.Seq.Split(0.8)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range []core.Variant{core.VariantL, core.VariantLHP} {
+			m, err := core.Fit(train, core.Config{
+				Variant: v, EMIters: o.EMIters, Seed: o.Seed, UseObservedTrees: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			proc := m.Process()
+			acc, n, err := predict.EvaluateNextUser(proc, train, test, steps, draws, rng.New(o.Seed+7))
+			if err != nil {
+				return nil, err
+			}
+			window := ds.Seq.Horizon - train.Horizon
+			fc, err := predict.ForecastCounts(proc, train, window, draws, rng.New(o.Seed+8))
+			if err != nil {
+				return nil, err
+			}
+			actual := make([]float64, ds.Seq.M)
+			for _, a := range test.Activities {
+				actual[a.User]++
+			}
+			ce, err := eval.CountForecastError(fc.PerUser, actual)
+			if err != nil {
+				return nil, err
+			}
+			res := PredictionResult{
+				Dataset: dsName, Strategy: v.Name(),
+				NextActorAccuracy: acc, Steps: n,
+				CountMAPE: ce.MAPE, CountMAE: ce.MAE,
+			}
+			o.Progress("prediction %s/%s: acc=%.2f mape=%.2f", dsName, v.Name(), acc, ce.MAPE)
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// PrintPrediction renders the behaviour-prediction table.
+func PrintPrediction(w interface{ Write([]byte) (int, error) }, results []PredictionResult) {
+	fmt.Fprintln(w, "Behaviour prediction (held-out continuation)")
+	fmt.Fprintf(w, "%-10s%-12s%12s%12s%12s\n", "dataset", "strategy", "next-actor", "count MAPE", "count MAE")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-10s%-12s%11.0f%%%12.2f%12.2f\n",
+			r.Dataset, r.Strategy, r.NextActorAccuracy*100, r.CountMAPE, r.CountMAE)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// orderedStrategies returns the keys of a value map in AllStrategies order,
+// with unknown names appended alphabetically.
+func orderedStrategies(values map[string][]float64) []string {
+	rank := make(map[string]int, len(AllStrategies))
+	for i, s := range AllStrategies {
+		rank[s] = i
+	}
+	out := make([]string, 0, len(values))
+	for s := range values {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		ra, okA := rank[out[a]]
+		rb, okB := rank[out[b]]
+		switch {
+		case okA && okB:
+			return ra < rb
+		case okA:
+			return true
+		case okB:
+			return false
+		}
+		return out[a] < out[b]
+	})
+	return out
+}
+
+// PrintSeries renders a Figure-5-style table: one row per strategy, one
+// column per training fraction.
+func PrintSeries(w io.Writer, title string, results []SeriesResult, format string) {
+	if format == "" {
+		format = "%10.1f"
+	}
+	for _, res := range results {
+		fmt.Fprintf(w, "%s — dataset %s\n", title, res.Dataset)
+		fmt.Fprintf(w, "%-12s", "strategy")
+		for _, f := range res.Fractions {
+			fmt.Fprintf(w, "%10s", fmt.Sprintf("%.0f%%", f*100))
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, strings.Repeat("-", 12+10*len(res.Fractions)))
+		for _, s := range orderedStrategies(res.Values) {
+			fmt.Fprintf(w, "%-12s", s)
+			for _, v := range res.Values[s] {
+				fmt.Fprintf(w, format, v)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintTable1 renders the branching-structure F1 table in the paper's
+// layout.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table 1: branching structure inference performance (F1)")
+	fmt.Fprintf(w, "%-20s", "Dataset")
+	for _, s := range Table1Strategies {
+		fmt.Fprintf(w, "%12s", s)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 20+12*len(Table1Strategies)))
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-20s", row.Event)
+		for _, s := range Table1Strategies {
+			fmt.Fprintf(w, "%12.4f", row.F1[s])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintConvergence renders LL-per-iteration series.
+func PrintConvergence(w io.Writer, results []ConvergenceResult) {
+	for _, res := range results {
+		fmt.Fprintf(w, "Convergence — dataset %s (training LL per EM iteration)\n", res.Dataset)
+		for _, s := range orderedStrategies(res.Series) {
+			fmt.Fprintf(w, "%-12s", s)
+			for i, v := range res.Series[s] {
+				if i > 0 && i%8 == 0 {
+					fmt.Fprintf(w, "\n%-12s", "")
+				}
+				fmt.Fprintf(w, "%10.1f", v)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintScalability renders the runtime table.
+func PrintScalability(w io.Writer, points []ScalePoint) {
+	fmt.Fprintln(w, "Scalability: fit wall-clock vs corpus size")
+	fmt.Fprintf(w, "%8s%8s%12s%12s%12s\n", "scale", "users", "activities", "strategy", "seconds")
+	fmt.Fprintln(w, strings.Repeat("-", 52))
+	for _, p := range points {
+		fmt.Fprintf(w, "%8.2g%8d%12d%12s%12.2f\n", p.Scale, p.Users, p.Activities, p.Strategy, p.Seconds)
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintAblations renders the ablation results.
+func PrintAblations(w io.Writer, lca []AblationLCAResult, estep []AblationEStepResult) {
+	if len(lca) > 0 {
+		fmt.Fprintln(w, "Ablation: Scenario-2 LCA recalibration (held-out LL, CHASSIS-L)")
+		fmt.Fprintf(w, "%-10s%14s%14s\n", "dataset", "with LCA", "without LCA")
+		for _, r := range lca {
+			fmt.Fprintf(w, "%-10s%14.1f%14.1f\n", r.Dataset, r.WithLCA, r.WithoutLCA)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(estep) > 0 {
+		fmt.Fprintln(w, "Ablation: E-step scoring rule (training-forest F1, CHASSIS-E)")
+		fmt.Fprintf(w, "%-10s%14s%14s\n", "dataset", "papangelou", "linear-ratio")
+		for _, r := range estep {
+			fmt.Fprintf(w, "%-10s%14.4f%14.4f\n", r.Dataset, r.Papangelou, r.LinearRatio)
+		}
+		fmt.Fprintln(w)
+	}
+}

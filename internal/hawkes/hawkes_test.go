@@ -1,0 +1,222 @@
+package hawkes
+
+import (
+	"math"
+	"testing"
+
+	"chassis/internal/kernel"
+	"chassis/internal/timeline"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+func expKernel(t *testing.T, rate float64) kernel.Exponential {
+	t.Helper()
+	k, err := kernel.NewExponential(rate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// oneDim builds a 1-dimensional process with μ, α and an exponential kernel.
+func oneDim(t *testing.T, mu, alpha, rate float64, link Link) *Process {
+	t.Helper()
+	exc, err := NewConstExcitation([][]float64{{alpha}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Process{
+		M: 1, Mu: []float64{mu}, Exc: exc,
+		Kernels: SharedKernel{K: expKernel(t, rate)},
+		Link:    link,
+	}
+}
+
+func seqAt(m int, events ...[2]float64) *timeline.Sequence {
+	// events are (user, time) pairs.
+	s := &timeline.Sequence{M: m, Horizon: 0}
+	for i, e := range events {
+		s.Activities = append(s.Activities, timeline.Activity{
+			ID: timeline.ActivityID(i), User: timeline.UserID(int(e[0])),
+			Time: e[1], Parent: timeline.NoParent,
+		})
+		if e[1] > s.Horizon {
+			s.Horizon = e[1]
+		}
+	}
+	s.Horizon += 1
+	return s
+}
+
+func TestLinks(t *testing.T) {
+	lin := LinearLink{}
+	approx(t, lin.Apply(2), 2, 0, "linear apply")
+	approx(t, lin.Apply(-1), 0, 0, "linear clamp")
+	approx(t, lin.Deriv(2), 1, 0, "linear deriv")
+	approx(t, lin.Deriv(-1), 0, 0, "linear deriv clamp")
+
+	e := ExpLink{}
+	approx(t, e.Apply(0), 1, 1e-12, "exp apply")
+	approx(t, e.Apply(1), math.E, 1e-12, "exp apply 1")
+	approx(t, e.Deriv(1), math.E, 1e-12, "exp deriv")
+	if v := e.Apply(1000); math.IsInf(v, 1) {
+		t.Error("exp link must clamp overflow")
+	}
+
+	sp := SoftplusLink{}
+	approx(t, sp.Apply(0), math.Log(2), 1e-12, "softplus apply")
+	approx(t, sp.Deriv(0), 0.5, 1e-12, "softplus deriv")
+	approx(t, sp.Apply(100), 100, 1e-9, "softplus large-x")
+	if sp.Apply(-100) <= 0 {
+		t.Error("softplus must stay positive")
+	}
+
+	for _, name := range []string{"linear", "exp", "softplus"} {
+		l, err := LinkByName(name)
+		if err != nil || l.Name() != name {
+			t.Errorf("LinkByName(%q) = %v, %v", name, l, err)
+		}
+	}
+	if _, err := LinkByName("nope"); err == nil {
+		t.Error("unknown link must fail")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := oneDim(t, 0.5, 0.3, 1, LinearLink{})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := *p
+	bad.M = 0
+	if bad.Validate() == nil {
+		t.Error("M=0 must fail")
+	}
+	bad = *p
+	bad.Mu = []float64{1, 2}
+	if bad.Validate() == nil {
+		t.Error("Mu length mismatch must fail")
+	}
+	bad = *p
+	bad.Mu = []float64{-1}
+	if bad.Validate() == nil {
+		t.Error("negative Mu must fail")
+	}
+	bad = *p
+	bad.Link = nil
+	if bad.Validate() == nil {
+		t.Error("nil link must fail")
+	}
+}
+
+func TestIntensityKnownValue(t *testing.T) {
+	p := oneDim(t, 1, 0.5, 1, LinearLink{})
+	s := seqAt(1, [2]float64{0, 1})
+	// λ(2) = μ + α·φ(1) = 1 + 0.5·1·e⁻¹.
+	approx(t, p.Intensity(s, 0, 2), 1+0.5*math.Exp(-1), 1e-12, "λ(2)")
+	// Before any event: just μ.
+	approx(t, p.Intensity(s, 0, 0.5), 1, 1e-12, "λ before events")
+	// At the event's own time it does not excite itself.
+	approx(t, p.Intensity(s, 0, 1), 1, 1e-12, "λ at event time")
+	// Exp link wraps the same aggregate.
+	pe := oneDim(t, 0.1, 0.5, 1, ExpLink{})
+	approx(t, pe.Intensity(s, 0, 2), math.Exp(0.1+0.5*math.Exp(-1)), 1e-12, "exp-link λ")
+}
+
+func TestIntensityMultiDim(t *testing.T) {
+	exc, _ := NewConstExcitation([][]float64{{0, 0.8}, {0.2, 0}})
+	p := &Process{
+		M: 2, Mu: []float64{0.3, 0.4}, Exc: exc,
+		Kernels: SharedKernel{K: expKernel(t, 2)},
+		Link:    LinearLink{},
+	}
+	s := seqAt(2, [2]float64{1, 0.5}) // user 1 fires at 0.5
+	// λ₀(1) = 0.3 + 0.8·2·e^{−2·0.5}.
+	approx(t, p.Intensity(s, 0, 1), 0.3+0.8*2*math.Exp(-1), 1e-12, "cross excitation")
+	// λ₁(1): user 1 is not self-excited (α₁₁ = 0).
+	approx(t, p.Intensity(s, 1, 1), 0.4, 1e-12, "no self excitation")
+}
+
+func TestEventIntensitiesMatchDirect(t *testing.T) {
+	exc, _ := NewConstExcitation([][]float64{{0.2, 0.5}, {0.4, 0.1}})
+	p := &Process{
+		M: 2, Mu: []float64{0.3, 0.4}, Exc: exc,
+		Kernels: SharedKernel{K: expKernel(t, 1.5)},
+		Link:    ExpLink{},
+	}
+	s := seqAt(2, [2]float64{0, 0.5}, [2]float64{1, 1.0}, [2]float64{0, 1.7}, [2]float64{1, 2.2}, [2]float64{0, 3.0})
+	fast := p.eventIntensities(s)
+	for k, a := range s.Activities {
+		direct := p.Intensity(s, int(a.User), a.Time)
+		approx(t, fast[k], direct, 1e-10, "eventIntensities vs direct")
+	}
+}
+
+func TestUniformExcitationAndPerReceiver(t *testing.T) {
+	u := UniformExcitation{Value: 0.7}
+	if u.Alpha(3, 9, 1.0) != 0.7 {
+		t.Error("uniform excitation wrong")
+	}
+	k1 := expKernel(t, 1)
+	k2 := expKernel(t, 5)
+	bank := PerReceiverKernels{Ks: []kernel.Kernel{k1, k2}}
+	if bank.Kernel(0, 1) != kernel.Kernel(k1) || bank.Kernel(1, 0) != kernel.Kernel(k2) {
+		t.Error("per-receiver bank wrong")
+	}
+	if _, err := NewConstExcitation([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged excitation must fail")
+	}
+}
+
+func TestPoissonLogLikelihoodExact(t *testing.T) {
+	// With α = 0 the process is homogeneous Poisson:
+	// LL = n·ln μ − μ·T.
+	p := oneDim(t, 0.5, 0, 1, LinearLink{})
+	s := seqAt(1, [2]float64{0, 1}, [2]float64{0, 2}, [2]float64{0, 3})
+	s.Horizon = 10
+	ll, err := p.LogLikelihood(s, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, ll, 3*math.Log(0.5)-0.5*10, 1e-9, "Poisson LL")
+}
+
+func TestLogLikelihoodOrdersModels(t *testing.T) {
+	// Data generated with self-excitation should score higher under the
+	// true α than under α = 0 with the same μ... only if μ is refit; here
+	// simply check LL is finite and the self-excited model beats a
+	// wildly wrong μ.
+	p := oneDim(t, 0.5, 0.5, 1, LinearLink{})
+	s := seqAt(1, [2]float64{0, 1}, [2]float64{0, 1.1}, [2]float64{0, 1.2}, [2]float64{0, 5})
+	s.Horizon = 6
+	good, err := p.LogLikelihood(s, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := oneDim(t, 1e-6, 0, 1, LinearLink{})
+	worse, err := bad.LogLikelihood(s, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good <= worse {
+		t.Errorf("plausible model LL %g should beat degenerate %g", good, worse)
+	}
+	if math.IsNaN(good) || math.IsInf(good, 0) {
+		t.Errorf("LL must be finite, got %g", good)
+	}
+}
+
+func TestEventLogIntensitiesFloor(t *testing.T) {
+	p := oneDim(t, 0, 0, 1, LinearLink{}) // zero intensity everywhere
+	s := seqAt(1, [2]float64{0, 1})
+	logs := p.EventLogIntensities(s)
+	if math.IsInf(logs[0], -1) {
+		t.Error("log intensity must be floored, not -Inf")
+	}
+}

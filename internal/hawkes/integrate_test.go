@@ -1,0 +1,129 @@
+package hawkes
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"chassis/internal/rng"
+	"chassis/internal/timeline"
+)
+
+func TestClosedFormCompensatorPoisson(t *testing.T) {
+	p := oneDim(t, 0.7, 0, 1, LinearLink{})
+	s := &timeline.Sequence{M: 1, Horizon: 10}
+	c, err := p.Compensator(s, 0, 10, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, c, 7, 1e-12, "Poisson compensator")
+	c, _ = p.Compensator(s, 0, 0, DefaultCompensator())
+	approx(t, c, 0, 0, "t=0 compensator")
+	if _, err := p.Compensator(s, 5, 10, DefaultCompensator()); err == nil {
+		t.Error("out-of-range dimension must fail")
+	}
+}
+
+func TestClosedFormCompensatorWithEvents(t *testing.T) {
+	p := oneDim(t, 0.5, 0.4, 2, LinearLink{})
+	s := seqAt(1, [2]float64{0, 1}, [2]float64{0, 3})
+	s.Horizon = 5
+	c, err := p.Compensator(s, 0, 5, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// μT + α(K(4) + K(2)), K(dt) = 1 − e^{−2·dt}.
+	want := 0.5*5 + 0.4*((1-math.Exp(-8))+(1-math.Exp(-4)))
+	approx(t, c, want, 1e-12, "closed-form with events")
+}
+
+func TestEulerMatchesClosedFormLinear(t *testing.T) {
+	p := oneDim(t, 0.5, 0.6, 1.5, LinearLink{})
+	s := seqAt(1, [2]float64{0, 0.5}, [2]float64{0, 1.1}, [2]float64{0, 2.7}, [2]float64{0, 4.0})
+	s.Horizon = 6
+	exact, err := p.Compensator(s, 0, 6, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := CompensatorOptions{Accuracy: 1e-5, InitSteps: 128, MaxDoublings: 10, ForceEuler: true}
+	euler, err := p.Compensator(s, 0, 6, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(euler-exact) / exact; rel > 5e-3 {
+		t.Errorf("Euler %g vs closed form %g (rel err %g)", euler, exact, rel)
+	}
+}
+
+func TestEulerConvergesWithSteps(t *testing.T) {
+	p := oneDim(t, 0.2, 0.5, 1, ExpLink{})
+	s := seqAt(1, [2]float64{0, 1}, [2]float64{0, 2})
+	s.Horizon = 4
+	coarse := p.eulerOnce(s, 0, 4, 32)
+	fine := p.eulerOnce(s, 0, 4, 4096)
+	finer := p.eulerOnce(s, 0, 4, 8192)
+	if math.Abs(fine-finer) > math.Abs(coarse-finer) {
+		t.Errorf("refinement must reduce error: |%g−%g| vs |%g−%g|", fine, finer, coarse, finer)
+	}
+	// Adaptive path lands near the fine value.
+	got, err := p.Compensator(s, 0, 4, CompensatorOptions{Accuracy: 1e-5, InitSteps: 64, MaxDoublings: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(got-finer) / finer; rel > 1e-2 {
+		t.Errorf("adaptive Euler %g vs reference %g (rel %g)", got, finer, rel)
+	}
+}
+
+func TestEulerExpLinkPoissonExact(t *testing.T) {
+	// With no events and exp link, λ = e^μ constant, so ∫ = e^μ·T.
+	p := oneDim(t, 0.3, 0, 1, ExpLink{})
+	s := &timeline.Sequence{M: 1, Horizon: 8}
+	got, err := p.Compensator(s, 0, 8, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, got, math.Exp(0.3)*8, 1e-6, "exp-link Poisson compensator")
+}
+
+func TestDefaultCompensatorFill(t *testing.T) {
+	var o CompensatorOptions
+	o.fill()
+	if o.Accuracy <= 0 || o.InitSteps <= 0 || o.MaxDoublings <= 0 {
+		t.Errorf("fill must set defaults: %+v", o)
+	}
+}
+
+// Property: the compensator is non-negative and monotone in t.
+func TestCompensatorMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rng.New(seed)
+		p := oneDimQuick(r.Uniform(0.1, 1), r.Uniform(0, 0.8), r.Uniform(0.5, 3))
+		s := &timeline.Sequence{M: 1, Horizon: 10}
+		n := r.Intn(10)
+		for i := 0; i < n; i++ {
+			s.Activities = append(s.Activities, timeline.Activity{
+				ID: timeline.ActivityID(i), Time: r.Uniform(0, 9), Parent: timeline.NoParent,
+			})
+		}
+		s.Normalize()
+		prev := 0.0
+		for _, tt := range []float64{1, 2, 5, 10} {
+			c, err := p.Compensator(s, 0, tt, DefaultCompensator())
+			if err != nil || c < prev-1e-9 {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func oneDimQuick(mu, alpha, rate float64) *Process {
+	exc := &ConstExcitation{A: [][]float64{{alpha}}}
+	k, _ := kernelExp(rate)
+	return &Process{M: 1, Mu: []float64{mu}, Exc: exc, Kernels: SharedKernel{K: k}, Link: LinearLink{}}
+}

@@ -1,0 +1,97 @@
+package hawkes
+
+import (
+	"math"
+	"testing"
+
+	"chassis/internal/rng"
+)
+
+func TestRescaleWellSpecifiedModel(t *testing.T) {
+	// Simulate from a known process and rescale under the true model: the
+	// residuals must look Exp(1) — KS well under the 5% threshold.
+	p := oneDim(t, 0.8, 0.5, 2, LinearLink{})
+	seq, err := p.Simulate(rng.New(11), SimOptions{Horizon: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Rescale(seq, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != seq.Len() {
+		t.Fatalf("got %d residuals for %d events", len(res), seq.Len())
+	}
+	var mean float64
+	for _, r := range res {
+		if r < 0 {
+			t.Fatalf("negative residual %g", r)
+		}
+		mean += r
+	}
+	mean /= float64(len(res))
+	if math.Abs(mean-1) > 0.15 {
+		t.Errorf("residual mean = %g, want ~1", mean)
+	}
+	ks := KSExponential(res)
+	threshold := 1.36 / math.Sqrt(float64(len(res)))
+	if ks > 1.8*threshold {
+		t.Errorf("KS = %g exceeds ~threshold %g for the true model", ks, threshold)
+	}
+}
+
+func TestRescaleMisspecifiedModelScoresWorse(t *testing.T) {
+	truth := oneDim(t, 0.8, 0.6, 2, LinearLink{})
+	seq, err := truth.Simulate(rng.New(12), SimOptions{Horizon: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := truth.Rescale(seq, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A Poisson model with a wildly wrong rate.
+	bad := oneDim(t, 0.1, 0, 2, LinearLink{})
+	poor, err := bad.Rescale(seq, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if KSExponential(poor) <= KSExponential(good) {
+		t.Errorf("misspecified KS %g should exceed true-model KS %g",
+			KSExponential(poor), KSExponential(good))
+	}
+}
+
+func TestKSExponential(t *testing.T) {
+	if KSExponential(nil) != 1 {
+		t.Error("empty residuals must give 1")
+	}
+	// Exact Exp(1) quantiles give a tiny statistic.
+	n := 1000
+	qs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		u := (float64(i) + 0.5) / float64(n)
+		qs[i] = -math.Log(1 - u)
+	}
+	if ks := KSExponential(qs); ks > 0.01 {
+		t.Errorf("quantile grid KS = %g, want ~0", ks)
+	}
+	// Constant residuals are far from exponential.
+	flat := make([]float64, 100)
+	for i := range flat {
+		flat[i] = 1
+	}
+	if ks := KSExponential(flat); ks < 0.3 {
+		t.Errorf("degenerate residuals KS = %g, want large", ks)
+	}
+}
+
+func TestRescaleValidation(t *testing.T) {
+	p := oneDim(t, 0.5, 0, 1, LinearLink{})
+	bad := *p
+	bad.Mu = nil
+	s := seqAt(1, [2]float64{0, 1})
+	if _, err := bad.Rescale(s, DefaultCompensator()); err == nil {
+		t.Error("invalid process must fail")
+	}
+}

@@ -1,0 +1,111 @@
+package hawkes
+
+import (
+	"math"
+	"testing"
+
+	"chassis/internal/timeline"
+)
+
+func TestLogLikelihoodWindowPoisson(t *testing.T) {
+	// Poisson(μ=0.5): events at 1,2,3,6,7; window (5, 10]:
+	// LL = 2·ln 0.5 − 0.5·5.
+	p := oneDim(t, 0.5, 0, 1, LinearLink{})
+	s := seqAt(1, [2]float64{0, 1}, [2]float64{0, 2}, [2]float64{0, 3}, [2]float64{0, 6}, [2]float64{0, 7})
+	s.Horizon = 10
+	ll, err := p.LogLikelihoodWindow(s, 5, 10, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, ll, 2*math.Log(0.5)-0.5*5, 1e-9, "windowed Poisson LL")
+}
+
+func TestLogLikelihoodWindowAdditivity(t *testing.T) {
+	// LL(0,T] = LL(0,c] + LL(c,T] for any cut c.
+	p := oneDim(t, 0.4, 0.5, 1.5, LinearLink{})
+	s := seqAt(1, [2]float64{0, 0.5}, [2]float64{0, 1.2}, [2]float64{0, 3}, [2]float64{0, 5.5}, [2]float64{0, 8})
+	s.Horizon = 10
+	full, err := p.LogLikelihood(s, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []float64{2, 4, 7} {
+		a, err := p.LogLikelihoodWindow(s, 0, cut, DefaultCompensator())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := p.LogLikelihoodWindow(s, cut, 10, DefaultCompensator())
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, a+b, full, 1e-9, "window additivity")
+	}
+}
+
+func TestLogLikelihoodWindowUsesHistory(t *testing.T) {
+	// Events before the window excite events inside it: the windowed LL of
+	// a self-exciting model must differ from the same window without the
+	// earlier history.
+	p := oneDim(t, 0.2, 0.7, 1, LinearLink{})
+	withHistory := seqAt(1, [2]float64{0, 4.5}, [2]float64{0, 4.8}, [2]float64{0, 5.2})
+	withHistory.Horizon = 10
+	bare := seqAt(1, [2]float64{0, 5.2})
+	bare.Horizon = 10
+	a, err := p.LogLikelihoodWindow(withHistory, 5, 10, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.LogLikelihoodWindow(bare, 5, 10, DefaultCompensator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a <= b {
+		t.Errorf("history-boosted LL %g should exceed bare %g (event at 5.2 sits in the burst)", a, b)
+	}
+}
+
+func TestLogLikelihoodWindowValidation(t *testing.T) {
+	p := oneDim(t, 0.5, 0, 1, LinearLink{})
+	s := &timeline.Sequence{M: 1, Horizon: 10}
+	if _, err := p.LogLikelihoodWindow(s, 5, 5, DefaultCompensator()); err == nil {
+		t.Error("empty window must fail")
+	}
+	if _, err := p.LogLikelihoodWindow(s, 7, 3, DefaultCompensator()); err == nil {
+		t.Error("inverted window must fail")
+	}
+	bad := *p
+	bad.Mu = nil
+	if _, err := bad.LogLikelihoodWindow(s, 0, 5, DefaultCompensator()); err == nil {
+		t.Error("invalid process must fail")
+	}
+}
+
+func TestIntensitySeries(t *testing.T) {
+	p := oneDim(t, 0.5, 0.6, 2, LinearLink{})
+	s := seqAt(1, [2]float64{0, 2})
+	s.Horizon = 10
+	series, err := p.IntensitySeries(s, 0, 0, 10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 11 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	// Before the event: baseline; right after: jump; then decay.
+	approx(t, series[0], 0.5, 1e-12, "baseline")
+	approx(t, series[1], 0.5, 1e-12, "pre-event")
+	if series[3] <= series[5] {
+		t.Error("intensity should decay after the event")
+	}
+	for k, v := range series {
+		if v < 0.5-1e-12 {
+			t.Errorf("series[%d] = %g below baseline", k, v)
+		}
+	}
+	if _, err := p.IntensitySeries(s, 0, 5, 5, 10); err == nil {
+		t.Error("empty interval must fail")
+	}
+	if _, err := p.IntensitySeries(s, 0, 0, 10, 1); err == nil {
+		t.Error("single point must fail")
+	}
+}

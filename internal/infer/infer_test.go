@@ -1,0 +1,201 @@
+package infer
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// concave quadratic: f(x) = -(x0-3)² - 2(x1+1)².
+func quadratic(x, grad []float64) float64 {
+	if grad != nil {
+		grad[0] = -2 * (x[0] - 3)
+		grad[1] = -4 * (x[1] + 1)
+	}
+	return -(x[0]-3)*(x[0]-3) - 2*(x[1]+1)*(x[1]+1)
+}
+
+func TestMaximizeUnconstrained(t *testing.T) {
+	res, err := MaximizeProjected([]float64{0, 0}, quadratic, Options{MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-3) > 1e-3 || math.Abs(res.X[1]+1) > 1e-3 {
+		t.Errorf("optimum = %v, want (3, -1)", res.X)
+	}
+	if res.Value < -1e-5 {
+		t.Errorf("value = %g, want ~0", res.Value)
+	}
+}
+
+func TestMaximizeBoxConstrained(t *testing.T) {
+	// Optimum (3, -1) but box forces x0 ≤ 2, x1 ≥ 0 -> solution (2, 0).
+	res, err := MaximizeProjected([]float64{0.5, 0.5}, quadratic, Options{
+		MaxIter: 300,
+		Lower:   []float64{0, 0},
+		Upper:   []float64{2, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.X[0]-2) > 1e-3 || math.Abs(res.X[1]) > 1e-3 {
+		t.Errorf("constrained optimum = %v, want (2, 0)", res.X)
+	}
+}
+
+func TestStartPointProjected(t *testing.T) {
+	// Start outside the box: must be projected in before evaluating.
+	res, err := MaximizeProjected([]float64{-5, 99}, quadratic, Options{
+		MaxIter: 50,
+		Lower:   []float64{0, 0},
+		Upper:   []float64{2, 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.X[0] < 0 || res.X[0] > 2 || res.X[1] < 0 || res.X[1] > 10 {
+		t.Errorf("result escaped the box: %v", res.X)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := MaximizeProjected(nil, quadratic, Options{}); err == nil {
+		t.Error("empty vector must fail")
+	}
+	if _, err := MaximizeProjected([]float64{0, 0}, quadratic, Options{Lower: []float64{0}}); err == nil {
+		t.Error("mis-sized Lower must fail")
+	}
+	if _, err := MaximizeProjected([]float64{0, 0}, quadratic, Options{Upper: []float64{0}}); err == nil {
+		t.Error("mis-sized Upper must fail")
+	}
+	nan := func(x, g []float64) float64 { return math.NaN() }
+	if _, err := MaximizeProjected([]float64{1}, nan, Options{}); err == nil {
+		t.Error("NaN start must fail")
+	}
+}
+
+func TestConvergenceFlagAndMonotonicity(t *testing.T) {
+	var values []float64
+	wrapped := func(x, g []float64) float64 {
+		v := quadratic(x, g)
+		if g != nil {
+			values = append(values, v)
+		}
+		return v
+	}
+	res, err := MaximizeProjected([]float64{10, 10}, wrapped, Options{MaxIter: 500, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Error("quadratic should converge")
+	}
+	for i := 1; i < len(values); i++ {
+		if values[i] < values[i-1]-1e-12 {
+			t.Fatalf("objective decreased at accepted step %d: %g -> %g", i, values[i-1], values[i])
+		}
+	}
+}
+
+func TestRosenbrockRidge(t *testing.T) {
+	// A harder curved ridge (negated Rosenbrock): optimizer should make
+	// solid progress toward (1,1) even if it doesn't fully converge.
+	f := func(x, grad []float64) float64 {
+		a, b := x[0], x[1]
+		if grad != nil {
+			grad[0] = 2*(1-a) + 400*a*(b-a*a)
+			grad[1] = -200 * (b - a*a)
+		}
+		return -((1-a)*(1-a) + 100*(b-a*a)*(b-a*a))
+	}
+	res, err := MaximizeProjected([]float64{-1, 1}, f, Options{MaxIter: 3000, Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := -4.0 // f(-1,1) = -((1-(-1))² + 100·(1-1)²) = -4
+	if res.Value <= start {
+		t.Errorf("no progress on Rosenbrock: %g", res.Value)
+	}
+	if res.Value < -1.0 {
+		t.Errorf("Rosenbrock value %g too far from 0", res.Value)
+	}
+}
+
+func TestCheckGradient(t *testing.T) {
+	if worst := CheckGradient([]float64{0.7, -0.3}, quadratic, 1e-6); worst > 1e-5 {
+		t.Errorf("analytic gradient off by %g", worst)
+	}
+	// A deliberately wrong gradient is caught.
+	bad := func(x, grad []float64) float64 {
+		if grad != nil {
+			grad[0] = 42
+			grad[1] = 42
+		}
+		return quadratic(x, nil)
+	}
+	if worst := CheckGradient([]float64{0, 0}, bad, 1e-6); worst < 1 {
+		t.Error("CheckGradient should flag a wrong gradient")
+	}
+}
+
+func TestConstantVec(t *testing.T) {
+	v := ConstantVec(3, 1.5)
+	if len(v) != 3 || v[0] != 1.5 || v[2] != 1.5 {
+		t.Errorf("ConstantVec = %v", v)
+	}
+}
+
+// Property: for random concave quadratics with random boxes, the result
+// stays inside the box and the objective never ends below its start.
+func TestBoxInvariantProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := newRand(seed)
+		n := r.Intn(5) + 1
+		center := make([]float64, n)
+		scale := make([]float64, n)
+		lower := make([]float64, n)
+		upper := make([]float64, n)
+		x0 := make([]float64, n)
+		for i := 0; i < n; i++ {
+			center[i] = r.NormFloat64() * 3
+			scale[i] = 0.5 + r.Float64()*3
+			lower[i] = -2 - r.Float64()
+			upper[i] = 2 + r.Float64()
+			x0[i] = r.NormFloat64()
+		}
+		obj := func(x, grad []float64) float64 {
+			var v float64
+			for i := range x {
+				d := x[i] - center[i]
+				v -= scale[i] * d * d
+				if grad != nil {
+					grad[i] = -2 * scale[i] * d
+				}
+			}
+			return v
+		}
+		start := obj(clamp(x0, lower, upper), nil)
+		res, err := MaximizeProjected(x0, obj, Options{MaxIter: 200, Lower: lower, Upper: upper})
+		if err != nil {
+			return false
+		}
+		for i := range res.X {
+			if res.X[i] < lower[i]-1e-12 || res.X[i] > upper[i]+1e-12 {
+				return false
+			}
+		}
+		return res.Value >= start-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp(x, lo, hi []float64) []float64 {
+	out := append([]float64(nil), x...)
+	project(out, lo, hi)
+	return out
+}

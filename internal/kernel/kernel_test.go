@@ -1,0 +1,245 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+// numIntegral integrates k.Eval over [0, to] with Simpson's rule.
+func numIntegral(k Kernel, to float64) float64 {
+	const n = 20000
+	h := to / n
+	sum := k.Eval(0) + k.Eval(to)
+	for i := 1; i < n; i++ {
+		w := 2.0
+		if i%2 == 1 {
+			w = 4
+		}
+		sum += w * k.Eval(float64(i)*h)
+	}
+	return sum * h / 3
+}
+
+func TestExponentialBasics(t *testing.T) {
+	k, err := NewExponential(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, k.Eval(0), 2, 1e-12, "exp φ(0)")
+	approx(t, k.Eval(1), 2*math.Exp(-2), 1e-12, "exp φ(1)")
+	if k.Eval(-1) != 0 {
+		t.Error("causality: φ(-1) must be 0")
+	}
+	approx(t, k.Integral(math.Inf(1)), 1, 1e-12, "exp total mass")
+	approx(t, k.Integral(1), 1-math.Exp(-2), 1e-12, "exp partial mass")
+	if k.Integral(-1) != 0 {
+		t.Error("Integral of negative dt must be 0")
+	}
+	if _, err := NewExponential(0); err == nil {
+		t.Error("zero rate must fail")
+	}
+	if _, err := NewExponential(math.NaN()); err == nil {
+		t.Error("NaN rate must fail")
+	}
+	if k.String() == "" {
+		t.Error("String must be non-empty")
+	}
+}
+
+func TestPowerLawBasics(t *testing.T) {
+	k, err := NewPowerLaw(1.5, 2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Eval(-1) != 0 || k.Integral(0) != 0 {
+		t.Error("causality broken")
+	}
+	approx(t, k.Integral(1e9), 1, 1e-4, "power-law total mass")
+	// Support covers 99.9% of the mass.
+	approx(t, k.Integral(k.Support()), 0.999, 1e-9, "power-law support mass")
+	if _, err := NewPowerLaw(0, 2); err == nil {
+		t.Error("zero cutoff must fail")
+	}
+	if _, err := NewPowerLaw(1, 1); err == nil {
+		t.Error("exponent <= 1 must fail")
+	}
+}
+
+func TestRayleighBasics(t *testing.T) {
+	k, err := NewRayleigh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Eval(0) != 0 {
+		t.Error("Rayleigh starts at 0")
+	}
+	// Mode at t = sigma.
+	if k.Eval(2) <= k.Eval(1) || k.Eval(2) <= k.Eval(3.5) {
+		t.Error("Rayleigh mode should be at sigma")
+	}
+	approx(t, k.Integral(1e6), 1, 1e-12, "rayleigh total mass")
+	if _, err := NewRayleigh(-1); err == nil {
+		t.Error("negative sigma must fail")
+	}
+}
+
+func TestAnalyticIntegralsMatchNumeric(t *testing.T) {
+	exp, _ := NewExponential(1.3)
+	pl, _ := NewPowerLaw(0.8, 3)
+	ray, _ := NewRayleigh(1.1)
+	for _, k := range []Kernel{exp, pl, ray} {
+		for _, to := range []float64{0.1, 0.5, 1, 2, 5} {
+			got := k.Integral(to)
+			want := numIntegral(k, to)
+			approx(t, got, want, 1e-6, k.String()+" ∫ to "+formatF(to))
+		}
+	}
+}
+
+func formatF(f float64) string { return string(rune('0' + int(f))) }
+
+func TestDiscreteEvalInterpolation(t *testing.T) {
+	d, err := NewDiscrete(1, []float64{0, 2, 4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, d.Eval(0), 0, 1e-12, "φ(0)")
+	approx(t, d.Eval(0.5), 1, 1e-12, "interpolated φ(0.5)")
+	approx(t, d.Eval(1), 2, 1e-12, "grid φ(1)")
+	approx(t, d.Eval(2.25), 3, 1e-12, "interpolated φ(2.25)")
+	approx(t, d.Eval(3), 0, 1e-12, "last grid point")
+	if d.Eval(3.5) != 0 || d.Eval(-1) != 0 {
+		t.Error("out-of-support Eval must be 0")
+	}
+}
+
+func TestDiscreteIntegral(t *testing.T) {
+	d, _ := NewDiscrete(1, []float64{0, 2, 4, 0})
+	// Trapezoid cumsum: [0,1,4,6].
+	approx(t, d.Integral(1), 1, 1e-12, "∫ to 1")
+	approx(t, d.Integral(2), 4, 1e-12, "∫ to 2")
+	approx(t, d.Integral(3), 6, 1e-12, "∫ to 3")
+	approx(t, d.Integral(100), 6, 1e-12, "∫ beyond support")
+	approx(t, d.Mass(), 6, 1e-12, "Mass")
+	// Partial-cell integral: from 1 to 1.5, φ goes 2 -> 3, area 1.25.
+	approx(t, d.Integral(1.5), 1+1.25, 1e-12, "partial cell")
+	if d.Integral(0) != 0 {
+		t.Error("∫ to 0 must be 0")
+	}
+}
+
+func TestDiscreteConstruction(t *testing.T) {
+	if _, err := NewDiscrete(0, []float64{1}); err == nil {
+		t.Error("zero step must fail")
+	}
+	if _, err := NewDiscrete(1, nil); err == nil {
+		t.Error("empty values must fail")
+	}
+	d, _ := NewDiscrete(1, []float64{-5, math.NaN(), 3})
+	if d.Values[0] != 0 || d.Values[1] != 0 {
+		t.Error("negative/NaN values must clamp to 0")
+	}
+}
+
+func TestDiscreteNormalize(t *testing.T) {
+	d, _ := NewDiscrete(1, []float64{0, 2, 4, 0})
+	m := d.Normalize()
+	approx(t, m, 6, 1e-12, "returned mass")
+	approx(t, d.Mass(), 1, 1e-12, "normalized mass")
+	z, _ := NewDiscrete(1, []float64{0, 0})
+	if z.Normalize() != 0 {
+		t.Error("zero-mass Normalize must return 0 and not blow up")
+	}
+}
+
+func TestSampleRecoversKernel(t *testing.T) {
+	exp, _ := NewExponential(1)
+	d, err := Sample(exp, 0.01, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pointwise match on the grid.
+	for _, dt := range []float64{0, 0.5, 1, 3} {
+		approx(t, d.Eval(dt), exp.Eval(dt), 1e-3, "sampled kernel")
+	}
+	// Mass ≈ integral up to support end.
+	approx(t, d.Mass(), exp.Integral(9.99), 1e-3, "sampled mass")
+	if _, err := Sample(exp, 0.1, 0); err == nil {
+		t.Error("Sample with n=0 must fail")
+	}
+}
+
+func TestL2Distance(t *testing.T) {
+	a, _ := NewExponential(1)
+	b, _ := NewExponential(1)
+	if d := L2Distance(a, b, 0.1, 100); d != 0 {
+		t.Errorf("identical kernels distance = %g", d)
+	}
+	c, _ := NewExponential(5)
+	if d := L2Distance(a, c, 0.1, 100); d <= 0 {
+		t.Error("different kernels must have positive distance")
+	}
+}
+
+// Property: all parametric kernels are causal, non-negative, with monotone
+// integrals bounded by their scale.
+func TestKernelInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rate := 0.1 + 5*r.Float64()
+		exp, _ := NewExponential(rate)
+		pl, _ := NewPowerLaw(0.1+2*r.Float64(), 1.1+3*r.Float64())
+		ray, _ := NewRayleigh(0.1 + 3*r.Float64())
+		for _, k := range []Kernel{exp, pl, ray} {
+			prev := 0.0
+			for dt := 0.0; dt < 10; dt += 0.37 {
+				if k.Eval(dt) < 0 {
+					return false
+				}
+				in := k.Integral(dt)
+				if in < prev-1e-12 || in > 1+1e-9 {
+					return false
+				}
+				prev = in
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Discrete Integral is consistent with numerically integrating
+// Discrete Eval.
+func TestDiscreteIntegralConsistencyProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(20) + 2
+		vs := make([]float64, n)
+		for i := range vs {
+			vs[i] = r.Float64() * 3
+		}
+		step := 0.1 + r.Float64()
+		d, err := NewDiscrete(step, vs)
+		if err != nil {
+			return false
+		}
+		to := r.Float64() * step * float64(n+2)
+		got := d.Integral(to)
+		want := numIntegral(d, to)
+		return math.Abs(got-want) < 1e-4*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,310 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape = %dx%d", m.Rows, m.Cols)
+	}
+	if m.At(1, 0) != 3 || m.At(2, 1) != 6 {
+		t.Error("At wrong")
+	}
+	m.Set(0, 1, 9)
+	m.Add(0, 1, 1)
+	if m.At(0, 1) != 10 {
+		t.Error("Set/Add wrong")
+	}
+	if got := m.Col(0); got[0] != 1 || got[1] != 3 || got[2] != 5 {
+		t.Errorf("Col = %v", got)
+	}
+	if _, err := FromRows([][]float64{{1}, {1, 2}}); err == nil {
+		t.Error("ragged rows must fail")
+	}
+	if e, _ := FromRows(nil); e.Rows != 0 {
+		t.Error("empty FromRows should give 0x0")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("Mul[%d][%d] = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); err == nil {
+		t.Error("mismatched Mul must fail")
+	}
+}
+
+func TestIdentityAndTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	id := Identity(3)
+	c, _ := a.Mul(id)
+	for i := range a.Data {
+		if c.Data[i] != a.Data[i] {
+			t.Fatal("A·I != A")
+		}
+	}
+	at := a.T()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 {
+		t.Error("transpose wrong")
+	}
+}
+
+func TestAddSubScaleNorms(t *testing.T) {
+	a, _ := FromRows([][]float64{{3, -4}})
+	if a.Frobenius() != 5 {
+		t.Errorf("Frobenius = %g, want 5", a.Frobenius())
+	}
+	if a.L1() != 7 {
+		t.Errorf("L1 = %g, want 7", a.L1())
+	}
+	if a.MaxAbs() != 4 {
+		t.Errorf("MaxAbs = %g, want 4", a.MaxAbs())
+	}
+	b := a.Clone().Scale(2)
+	if b.At(0, 0) != 6 {
+		t.Error("Scale wrong")
+	}
+	sum, err := a.AddM(b)
+	if err != nil || sum.At(0, 1) != -12 {
+		t.Errorf("AddM wrong: %v %v", sum, err)
+	}
+	diff, err := b.SubM(a)
+	if err != nil || diff.At(0, 0) != 3 {
+		t.Errorf("SubM wrong: %v %v", diff, err)
+	}
+	if _, err := a.AddM(NewMatrix(2, 2)); err == nil {
+		t.Error("mismatched AddM must fail")
+	}
+	if _, err := a.SubM(NewMatrix(2, 2)); err == nil {
+		t.Error("mismatched SubM must fail")
+	}
+	neg, _ := FromRows([][]float64{{-1, 2}, {3, -4}})
+	neg.ClampNonNegative()
+	if neg.At(0, 0) != 0 || neg.At(1, 1) != 0 || neg.At(0, 1) != 2 {
+		t.Error("ClampNonNegative wrong")
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Error("Norm2 wrong")
+	}
+	y := []float64{1, 1}
+	AXPY(2, []float64{3, 4}, y)
+	if y[0] != 7 || y[1] != 9 {
+		t.Errorf("AXPY = %v", y)
+	}
+}
+
+func randomMatrix(r *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = r.NormFloat64()
+	}
+	return m
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, shape := range [][2]int{{4, 4}, {6, 3}, {3, 6}, {1, 5}, {5, 1}, {10, 10}} {
+		a := randomMatrix(r, shape[0], shape[1])
+		res, err := SVD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := res.Reconstruct()
+		diff, _ := back.SubM(a)
+		if rel := diff.Frobenius() / (a.Frobenius() + 1e-300); rel > 1e-10 {
+			t.Errorf("SVD reconstruction error %g for shape %v", rel, shape)
+		}
+		// Singular values sorted decreasing and non-negative.
+		for i := 1; i < len(res.S); i++ {
+			if res.S[i] > res.S[i-1]+1e-12 {
+				t.Errorf("singular values not sorted: %v", res.S)
+			}
+		}
+		for _, s := range res.S {
+			if s < 0 {
+				t.Errorf("negative singular value %g", s)
+			}
+		}
+	}
+}
+
+func TestSVDOrthonormal(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	a := randomMatrix(r, 8, 5)
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	utu, _ := res.U.T().Mul(res.U)
+	vtv, _ := res.V.T().Mul(res.V)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(utu.At(i, j)-want) > 1e-10 {
+				t.Errorf("UᵀU[%d][%d] = %g", i, j, utu.At(i, j))
+			}
+			if math.Abs(vtv.At(i, j)-want) > 1e-10 {
+				t.Errorf("VᵀV[%d][%d] = %g", i, j, vtv.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSVDKnownValues(t *testing.T) {
+	// diag(3, 2) has singular values 3, 2.
+	a, _ := FromRows([][]float64{{3, 0}, {0, 2}})
+	res, err := SVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.S[0]-3) > 1e-12 || math.Abs(res.S[1]-2) > 1e-12 {
+		t.Errorf("singular values = %v, want [3 2]", res.S)
+	}
+	// Rank-1 matrix: second singular value 0.
+	b, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	res, _ = SVD(b)
+	if math.Abs(res.S[1]) > 1e-10 {
+		t.Errorf("rank-1 matrix second sv = %g, want 0", res.S[1])
+	}
+	if _, err := SVD(NewMatrix(0, 0)); err == nil {
+		t.Error("empty SVD must fail")
+	}
+}
+
+func TestNuclearNormAndRank(t *testing.T) {
+	a, _ := FromRows([][]float64{{3, 0}, {0, 2}})
+	nn, err := NuclearNorm(a)
+	if err != nil || math.Abs(nn-5) > 1e-10 {
+		t.Errorf("NuclearNorm = %g, want 5 (%v)", nn, err)
+	}
+	rank, err := EffectiveRank(a, 1e-9)
+	if err != nil || rank != 2 {
+		t.Errorf("EffectiveRank = %d, want 2", rank)
+	}
+	b, _ := FromRows([][]float64{{1, 2}, {2, 4}})
+	rank, _ = EffectiveRank(b, 1e-9)
+	if rank != 1 {
+		t.Errorf("rank-1 EffectiveRank = %d", rank)
+	}
+	z := NewMatrix(2, 2)
+	rank, _ = EffectiveRank(z, 1e-9)
+	if rank != 0 {
+		t.Errorf("zero matrix rank = %d", rank)
+	}
+}
+
+func TestSoftThreshold(t *testing.T) {
+	a, _ := FromRows([][]float64{{2, -0.5}, {0.3, -3}})
+	out := SoftThreshold(a, 1)
+	want := [][]float64{{1, 0}, {0, -2}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if out.At(i, j) != want[i][j] {
+				t.Errorf("SoftThreshold[%d][%d] = %g, want %g", i, j, out.At(i, j), want[i][j])
+			}
+		}
+	}
+	if a.At(0, 0) != 2 {
+		t.Error("SoftThreshold must not mutate input")
+	}
+}
+
+func TestSVT(t *testing.T) {
+	a, _ := FromRows([][]float64{{3, 0}, {0, 1}})
+	out, err := SVT(a, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Singular values 3, 1 -> 1.5, 0: result ≈ diag(1.5, 0).
+	if math.Abs(out.At(0, 0)-1.5) > 1e-10 || math.Abs(out.At(1, 1)) > 1e-10 {
+		t.Errorf("SVT = %v", out.Data)
+	}
+	// SVT with tau=0 is identity.
+	same, _ := SVT(a, 0)
+	diff, _ := same.SubM(a)
+	if diff.Frobenius() > 1e-10 {
+		t.Error("SVT(.,0) must reproduce input")
+	}
+}
+
+// Property: SVD reconstructs arbitrary random matrices and the Frobenius
+// norm equals the L2 norm of the singular values.
+func TestSVDProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows := r.Intn(8) + 1
+		cols := r.Intn(8) + 1
+		a := randomMatrix(r, rows, cols)
+		res, err := SVD(a)
+		if err != nil {
+			return false
+		}
+		back := res.Reconstruct()
+		diff, _ := back.SubM(a)
+		if diff.Frobenius() > 1e-9*(1+a.Frobenius()) {
+			return false
+		}
+		var svNorm float64
+		for _, s := range res.S {
+			svNorm += s * s
+		}
+		return math.Abs(math.Sqrt(svNorm)-a.Frobenius()) < 1e-9*(1+a.Frobenius())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: soft-thresholding shrinks the L1 norm and never flips signs.
+func TestSoftThresholdProperty(t *testing.T) {
+	f := func(seed int64, tauRaw float64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tau := math.Abs(tauRaw)
+		if math.IsNaN(tau) || math.IsInf(tau, 0) {
+			tau = 1
+		}
+		a := randomMatrix(r, 3, 3)
+		out := SoftThreshold(a, tau)
+		if out.L1() > a.L1()+1e-12 {
+			return false
+		}
+		for i := range a.Data {
+			if out.Data[i]*a.Data[i] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

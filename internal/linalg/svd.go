@@ -1,0 +1,212 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// SVDResult holds a thin singular value decomposition A = U·diag(S)·Vᵀ with
+// U (m×k), S (k), V (n×k), k = min(m, n). Singular values are sorted in
+// decreasing order.
+type SVDResult struct {
+	U *Matrix
+	S []float64
+	V *Matrix
+}
+
+// SVD computes the thin singular value decomposition of A using the
+// one-sided Jacobi method: Jacobi rotations orthogonalize the columns of a
+// working copy of A (tall orientation), after which column norms are the
+// singular values and the accumulated rotations give V. It is O(n²·m·sweeps)
+// — entirely adequate for the influence matrices (M ≤ a few hundred) ADM4's
+// singular-value thresholding operates on.
+func SVD(a *Matrix) (*SVDResult, error) {
+	if a.Rows == 0 || a.Cols == 0 {
+		return nil, errors.New("linalg: SVD of empty matrix")
+	}
+	// Work on a tall matrix; if wide, decompose the transpose and swap U/V.
+	if a.Rows < a.Cols {
+		r, err := SVD(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return &SVDResult{U: r.V, S: r.S, V: r.U}, nil
+	}
+	m, n := a.Rows, a.Cols
+	u := a.Clone()
+	v := Identity(n)
+
+	const (
+		maxSweeps = 60
+		eps       = 1e-14
+	)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		offDiag := 0.0
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				// Compute the 2x2 Gram entries for columns p, q.
+				var app, aqq, apq float64
+				for i := 0; i < m; i++ {
+					up, uq := u.At(i, p), u.At(i, q)
+					app += up * up
+					aqq += uq * uq
+					apq += up * uq
+				}
+				if math.Abs(apq) <= eps*math.Sqrt(app*aqq) {
+					continue
+				}
+				offDiag += math.Abs(apq)
+				// Jacobi rotation annihilating the (p,q) Gram entry.
+				tau := (aqq - app) / (2 * apq)
+				var t float64
+				if tau >= 0 {
+					t = 1 / (tau + math.Sqrt(1+tau*tau))
+				} else {
+					t = -1 / (-tau + math.Sqrt(1+tau*tau))
+				}
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				for i := 0; i < m; i++ {
+					up, uq := u.At(i, p), u.At(i, q)
+					u.Set(i, p, c*up-s*uq)
+					u.Set(i, q, s*up+c*uq)
+				}
+				for i := 0; i < n; i++ {
+					vp, vq := v.At(i, p), v.At(i, q)
+					v.Set(i, p, c*vp-s*vq)
+					v.Set(i, q, s*vp+c*vq)
+				}
+			}
+		}
+		if offDiag == 0 {
+			break
+		}
+	}
+
+	// Column norms are singular values; normalize U's columns.
+	s := make([]float64, n)
+	for j := 0; j < n; j++ {
+		var norm float64
+		for i := 0; i < m; i++ {
+			norm += u.At(i, j) * u.At(i, j)
+		}
+		norm = math.Sqrt(norm)
+		s[j] = norm
+		if norm > 0 {
+			inv := 1 / norm
+			for i := 0; i < m; i++ {
+				u.Set(i, j, u.At(i, j)*inv)
+			}
+		}
+	}
+
+	// Sort by decreasing singular value.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n-1; i++ {
+		best := i
+		for j := i + 1; j < n; j++ {
+			if s[order[j]] > s[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	su := NewMatrix(m, n)
+	sv := NewMatrix(n, n)
+	ss := make([]float64, n)
+	for newJ, oldJ := range order {
+		ss[newJ] = s[oldJ]
+		for i := 0; i < m; i++ {
+			su.Set(i, newJ, u.At(i, oldJ))
+		}
+		for i := 0; i < n; i++ {
+			sv.Set(i, newJ, v.At(i, oldJ))
+		}
+	}
+	return &SVDResult{U: su, S: ss, V: sv}, nil
+}
+
+// Reconstruct returns U·diag(S)·Vᵀ.
+func (r *SVDResult) Reconstruct() *Matrix {
+	m, k := r.U.Rows, len(r.S)
+	n := r.V.Rows
+	out := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var sum float64
+			for l := 0; l < k; l++ {
+				sum += r.U.At(i, l) * r.S[l] * r.V.At(j, l)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+// NuclearNorm returns the sum of singular values of A.
+func NuclearNorm(a *Matrix) (float64, error) {
+	r, err := SVD(a)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, v := range r.S {
+		s += v
+	}
+	return s, nil
+}
+
+// SoftThreshold applies the L1 proximal operator sign(x)·max(|x|−tau, 0)
+// elementwise, returning a new matrix. This is the sparsity prox of ADM4.
+func SoftThreshold(a *Matrix, tau float64) *Matrix {
+	out := a.Clone()
+	for i, v := range out.Data {
+		switch {
+		case v > tau:
+			out.Data[i] = v - tau
+		case v < -tau:
+			out.Data[i] = v + tau
+		default:
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// SVT applies singular value thresholding — the proximal operator of the
+// nuclear norm: shrink every singular value by tau (clamping at zero) and
+// reconstruct. This is the low-rank prox of ADM4.
+func SVT(a *Matrix, tau float64) (*Matrix, error) {
+	r, err := SVD(a)
+	if err != nil {
+		return nil, err
+	}
+	for i := range r.S {
+		r.S[i] -= tau
+		if r.S[i] < 0 {
+			r.S[i] = 0
+		}
+	}
+	return r.Reconstruct(), nil
+}
+
+// EffectiveRank counts singular values above tol·s_max.
+func EffectiveRank(a *Matrix, tol float64) (int, error) {
+	r, err := SVD(a)
+	if err != nil {
+		return 0, err
+	}
+	if len(r.S) == 0 || r.S[0] == 0 {
+		return 0, nil
+	}
+	count := 0
+	for _, s := range r.S {
+		if s > tol*r.S[0] {
+			count++
+		}
+	}
+	return count, nil
+}

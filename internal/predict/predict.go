@@ -1,0 +1,148 @@
+// Package predict implements the user-behaviour applications the paper
+// builds on top of a fitted CHASSIS model: next-activity prediction (who
+// acts next, and when) and future activity-count forecasting, both by
+// forward simulation of the fitted point process conditioned on the
+// observed history.
+package predict
+
+import (
+	"errors"
+	"fmt"
+
+	"chassis/internal/hawkes"
+	"chassis/internal/rng"
+	"chassis/internal/timeline"
+)
+
+// NextActivity is a next-event forecast.
+type NextActivity struct {
+	// User is the most probable next actor.
+	User timeline.UserID
+	// ExpectedTime is the mean arrival time of the next activity.
+	ExpectedTime float64
+	// Probability is the estimated probability that User acts first.
+	Probability float64
+	// Draws is how many simulated futures produced an event.
+	Draws int
+}
+
+// PredictNext forecasts the next activity after the history by drawing
+// `draws` futures from the process and aggregating the first event of each.
+func PredictNext(proc *hawkes.Process, history *timeline.Sequence, lookahead float64, draws int, r *rng.RNG) (NextActivity, error) {
+	if draws <= 0 {
+		draws = 200
+	}
+	if lookahead <= 0 {
+		return NextActivity{}, errors.New("predict: lookahead must be positive")
+	}
+	counts := make(map[timeline.UserID]int)
+	var timeSum float64
+	hits := 0
+	for d := 0; d < draws; d++ {
+		ext, err := proc.Continue(r.Split(int64(d)), history, history.Horizon+lookahead, hawkes.SimOptions{})
+		if err != nil && ext == nil {
+			return NextActivity{}, fmt.Errorf("predict: simulating future %d: %w", d, err)
+		}
+		if ext.Len() <= history.Len() {
+			continue // quiet future
+		}
+		first := ext.Activities[history.Len()]
+		counts[first.User]++
+		timeSum += first.Time
+		hits++
+	}
+	if hits == 0 {
+		return NextActivity{Draws: 0}, nil
+	}
+	best := timeline.UserID(0)
+	bestC := -1
+	for u, c := range counts {
+		if c > bestC || (c == bestC && u < best) {
+			best, bestC = u, c
+		}
+	}
+	return NextActivity{
+		User:         best,
+		ExpectedTime: timeSum / float64(hits),
+		Probability:  float64(bestC) / float64(hits),
+		Draws:        hits,
+	}, nil
+}
+
+// CountForecast is a per-user expected activity count over a future window.
+type CountForecast struct {
+	// PerUser[i] is the expected number of activities of user i in
+	// (history.Horizon, history.Horizon+window].
+	PerUser []float64
+	// Total is the expected total count.
+	Total float64
+}
+
+// ForecastCounts estimates per-user activity counts over the next window by
+// Monte-Carlo forward simulation.
+func ForecastCounts(proc *hawkes.Process, history *timeline.Sequence, window float64, draws int, r *rng.RNG) (CountForecast, error) {
+	if draws <= 0 {
+		draws = 100
+	}
+	if window <= 0 {
+		return CountForecast{}, errors.New("predict: window must be positive")
+	}
+	per := make([]float64, proc.M)
+	for d := 0; d < draws; d++ {
+		ext, err := proc.Continue(r.Split(int64(d)), history, history.Horizon+window, hawkes.SimOptions{})
+		if err != nil && ext == nil {
+			return CountForecast{}, fmt.Errorf("predict: simulating future %d: %w", d, err)
+		}
+		for _, a := range ext.Activities[history.Len():] {
+			per[a.User]++
+		}
+	}
+	out := CountForecast{PerUser: per}
+	for i := range per {
+		per[i] /= float64(draws)
+		out.Total += per[i]
+	}
+	return out, nil
+}
+
+// EvaluateNextUser scores next-actor prediction against a held-out
+// continuation: walking through the test events in order, it predicts the
+// next actor from the history so far and counts hits. Returns accuracy over
+// `steps` predictions (capped at the number of test events).
+func EvaluateNextUser(proc *hawkes.Process, history *timeline.Sequence, test *timeline.Sequence, steps, draws int, r *rng.RNG) (float64, int, error) {
+	if test.Len() == 0 {
+		return 0, 0, errors.New("predict: empty test sequence")
+	}
+	if steps <= 0 || steps > test.Len() {
+		steps = test.Len()
+	}
+	cur := history.Clone()
+	hits, total := 0, 0
+	for s := 0; s < steps; s++ {
+		actual := test.Activities[s]
+		lookahead := (actual.Time - cur.Horizon) * 3
+		if lookahead <= 0 {
+			lookahead = 1
+		}
+		pred, err := PredictNext(proc, cur, lookahead, draws, r.Split(int64(s)))
+		if err != nil {
+			return 0, 0, err
+		}
+		if pred.Draws > 0 {
+			total++
+			if pred.User == actual.User {
+				hits++
+			}
+		}
+		// Reveal the actual event and continue.
+		a := actual
+		a.ID = timeline.ActivityID(cur.Len())
+		a.Parent = timeline.NoParent
+		cur.Activities = append(cur.Activities, a)
+		cur.Horizon = a.Time
+	}
+	if total == 0 {
+		return 0, 0, nil
+	}
+	return float64(hits) / float64(total), total, nil
+}

@@ -1,0 +1,165 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"chassis/internal/hawkes"
+	"chassis/internal/kernel"
+	"chassis/internal/rng"
+	"chassis/internal/timeline"
+)
+
+func poisson2(t *testing.T, mu0, mu1 float64) *hawkes.Process {
+	t.Helper()
+	exc, err := hawkes.NewConstExcitation([][]float64{{0, 0}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, _ := kernel.NewExponential(1)
+	return &hawkes.Process{
+		M: 2, Mu: []float64{mu0, mu1}, Exc: exc,
+		Kernels: hawkes.SharedKernel{K: k}, Link: hawkes.LinearLink{},
+	}
+}
+
+func emptyHistory(m int, horizon float64) *timeline.Sequence {
+	return &timeline.Sequence{M: m, Horizon: horizon}
+}
+
+func TestPredictNextPrefersHigherRate(t *testing.T) {
+	proc := poisson2(t, 0.05, 0.5) // user 1 ten times as active
+	pred, err := PredictNext(proc, emptyHistory(2, 10), 50, 400, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Draws < 300 {
+		t.Fatalf("too few productive draws: %d", pred.Draws)
+	}
+	if pred.User != 1 {
+		t.Errorf("predicted user %d, want 1", pred.User)
+	}
+	if pred.Probability < 0.8 {
+		t.Errorf("P(user 1 first) = %g, want > 0.8", pred.Probability)
+	}
+	// Next-event time for total rate 0.55 ≈ 10 + 1/0.55.
+	want := 10 + 1/0.55
+	if math.Abs(pred.ExpectedTime-want) > 0.5 {
+		t.Errorf("expected time %g, want ~%g", pred.ExpectedTime, want)
+	}
+}
+
+func TestPredictNextValidation(t *testing.T) {
+	proc := poisson2(t, 0.1, 0.1)
+	if _, err := PredictNext(proc, emptyHistory(2, 10), 0, 10, rng.New(1)); err == nil {
+		t.Error("zero lookahead must fail")
+	}
+	// Quiet process: no draws produce events in a tiny window.
+	quiet := poisson2(t, 1e-9, 1e-9)
+	pred, err := PredictNext(quiet, emptyHistory(2, 10), 0.001, 20, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Draws != 0 {
+		t.Errorf("quiet process should produce no draws, got %d", pred.Draws)
+	}
+}
+
+func TestForecastCounts(t *testing.T) {
+	proc := poisson2(t, 0.2, 0.4)
+	fc, err := ForecastCounts(proc, emptyHistory(2, 0.0001), 100, 200, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fc.PerUser[0]-20) > 2 {
+		t.Errorf("user 0 count = %g, want ~20", fc.PerUser[0])
+	}
+	if math.Abs(fc.PerUser[1]-40) > 3 {
+		t.Errorf("user 1 count = %g, want ~40", fc.PerUser[1])
+	}
+	if math.Abs(fc.Total-(fc.PerUser[0]+fc.PerUser[1])) > 1e-9 {
+		t.Error("total must equal the per-user sum")
+	}
+	if _, err := ForecastCounts(proc, emptyHistory(2, 1), -1, 10, rng.New(1)); err == nil {
+		t.Error("negative window must fail")
+	}
+}
+
+func TestForecastSelfExcitingExceedsPoisson(t *testing.T) {
+	exc, _ := hawkes.NewConstExcitation([][]float64{{0.6}})
+	k, _ := kernel.NewExponential(1)
+	hp := &hawkes.Process{
+		M: 1, Mu: []float64{0.2}, Exc: exc,
+		Kernels: hawkes.SharedKernel{K: k}, Link: hawkes.LinearLink{},
+	}
+	fc, err := ForecastCounts(hp, emptyHistory(1, 0.0001), 200, 150, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E[N] ≈ μT/(1−0.6) = 100 vs Poisson 40.
+	if fc.Total < 70 {
+		t.Errorf("self-exciting forecast %g too low", fc.Total)
+	}
+}
+
+func TestEvaluateNextUser(t *testing.T) {
+	// Strongly asymmetric rates: predicting "user 1" is right whenever the
+	// actual actor is user 1, which dominates the test stream.
+	proc := poisson2(t, 0.02, 0.5)
+	history := emptyHistory(2, 5)
+	test := &timeline.Sequence{M: 2, Horizon: 40}
+	r := rng.New(4)
+	tt := 5.0
+	for i := 0; i < 15; i++ {
+		tt += r.Exp(0.5)
+		u := timeline.UserID(1)
+		if r.Bernoulli(0.05) {
+			u = 0
+		}
+		test.Activities = append(test.Activities, timeline.Activity{
+			ID: timeline.ActivityID(i), User: u, Time: tt, Parent: timeline.NoParent,
+		})
+	}
+	acc, n, err := EvaluateNextUser(proc, history, test, 10, 100, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no predictions scored")
+	}
+	if acc < 0.7 {
+		t.Errorf("accuracy = %g, want > 0.7 under a 10:1 rate skew", acc)
+	}
+	if _, _, err := EvaluateNextUser(proc, history, &timeline.Sequence{M: 2}, 1, 10, rng.New(1)); err == nil {
+		t.Error("empty test must fail")
+	}
+}
+
+func TestContinueRespectsHistory(t *testing.T) {
+	// Strong self-excitation: a burst in history should raise the
+	// continuation count versus an empty history.
+	exc, _ := hawkes.NewConstExcitation([][]float64{{0.8}})
+	k, _ := kernel.NewExponential(0.3)
+	proc := &hawkes.Process{
+		M: 1, Mu: []float64{0.05}, Exc: exc,
+		Kernels: hawkes.SharedKernel{K: k}, Link: hawkes.LinearLink{},
+	}
+	burst := emptyHistory(1, 10)
+	for i := 0; i < 8; i++ {
+		burst.Activities = append(burst.Activities, timeline.Activity{
+			ID: timeline.ActivityID(i), Time: 9 + float64(i)*0.1, Parent: timeline.NoParent,
+		})
+	}
+	quiet := emptyHistory(1, 10)
+	burstC, err := ForecastCounts(proc, burst, 10, 150, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quietC, err := ForecastCounts(proc, quiet, 10, 150, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if burstC.Total <= quietC.Total {
+		t.Errorf("burst history should raise the forecast: %g vs %g", burstC.Total, quietC.Total)
+	}
+}

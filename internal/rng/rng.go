@@ -1,0 +1,156 @@
+// Package rng provides the deterministic random-number utilities used across
+// the CHASSIS reproduction: a splittable source so independent subsystems
+// (graph generation, cascade simulation, text rendering, inference
+// initialization) draw from decorrelated streams of one master seed, plus
+// the sampling distributions the simulators need.
+package rng
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG wraps math/rand with the distributions used by the simulators. The
+// zero value is not usable; construct with New.
+type RNG struct {
+	*rand.Rand
+	seed int64
+}
+
+// New returns a deterministic RNG for the given seed.
+func New(seed int64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed returns the seed the RNG was created with.
+func (r *RNG) Seed() int64 { return r.seed }
+
+// Split derives an independent child stream. The label decorrelates children
+// split from the same parent: Split(1) and Split(2) never share a stream.
+// Mixing uses splitmix64 so nearby seeds and labels diverge immediately.
+func (r *RNG) Split(label int64) *RNG {
+	return New(int64(splitmix64(uint64(r.seed)) ^ splitmix64(uint64(label)*0x9E3779B97F4A7C15+1)))
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Exp draws from the exponential distribution with the given rate (mean
+// 1/rate). Rates must be positive.
+func (r *RNG) Exp(rate float64) float64 {
+	return r.ExpFloat64() / rate
+}
+
+// Uniform draws uniformly from [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Poisson draws from the Poisson distribution with the given mean using
+// Knuth's method for small means and a normal approximation (rounded,
+// clamped at zero) for large ones.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 60 {
+		n := int(math.Round(mean + math.Sqrt(mean)*r.NormFloat64()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Categorical samples an index proportionally to the non-negative weights.
+// It returns -1 if all weights are zero (or the slice is empty).
+func (r *RNG) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return -1
+	}
+	x := r.Float64() * total
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		x -= w
+		if x < 0 {
+			return i
+		}
+	}
+	// Floating-point slack: return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Normal draws from N(mean, stddev²).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// TruncNormal draws from N(mean, stddev²) truncated to [lo, hi] by
+// rejection, falling back to clamping after 64 attempts (which only happens
+// for pathological intervals far in the tail).
+func (r *RNG) TruncNormal(mean, stddev, lo, hi float64) float64 {
+	for i := 0; i < 64; i++ {
+		x := r.Normal(mean, stddev)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(hi, math.Max(lo, mean))
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.Rand.Perm(n) }
+
+// PickN samples n distinct integers from [0, universe) (all of them if
+// n >= universe) in random order.
+func (r *RNG) PickN(n, universe int) []int {
+	if n >= universe {
+		return r.Perm(universe)
+	}
+	// Partial Fisher-Yates over a lazily materialized array.
+	swapped := make(map[int]int, n*2)
+	get := func(i int) int {
+		if v, ok := swapped[i]; ok {
+			return v
+		}
+		return i
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		j := i + r.Intn(universe-i)
+		out[i] = get(j)
+		swapped[j] = get(i)
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+}
+
+func TestSplitDecorrelates(t *testing.T) {
+	r := New(7)
+	c1, c2 := r.Split(1), r.Split(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if c1.Float64() == c2.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("split streams collide %d/64 times", same)
+	}
+	// Splitting again with the same label reproduces the stream.
+	d1 := New(7).Split(1)
+	e1 := New(7).Split(1)
+	for i := 0; i < 16; i++ {
+		if d1.Float64() != e1.Float64() {
+			t.Fatal("Split must be deterministic in (seed, label)")
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(1)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Exp(2) mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := New(2)
+	for i := 0; i < 1000; i++ {
+		x := r.Uniform(-3, 5)
+		if x < -3 || x >= 5 {
+			t.Fatalf("Uniform(-3,5) = %g out of range", x)
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, mean := range []float64{0.5, 4, 30, 200} {
+		r := New(3)
+		const n = 50000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			x := float64(r.Poisson(mean))
+			sum += x
+			sq += x * x
+		}
+		m := sum / n
+		v := sq/n - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.1 {
+			t.Errorf("Poisson(%g) mean = %g", mean, m)
+		}
+		if math.Abs(v-mean) > 0.15*mean+0.3 {
+			t.Errorf("Poisson(%g) variance = %g", mean, v)
+		}
+	}
+	if New(1).Poisson(0) != 0 || New(1).Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean must be 0")
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := New(4)
+	w := []float64{0, 1, 3, 0, 6}
+	counts := make([]int, len(w))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k := r.Categorical(w)
+		if k < 0 || k >= len(w) {
+			t.Fatalf("Categorical out of range: %d", k)
+		}
+		counts[k]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Error("zero-weight categories must never be drawn")
+	}
+	p2 := float64(counts[2]) / n
+	if math.Abs(p2-0.3) > 0.01 {
+		t.Errorf("P(2) = %g, want ~0.3", p2)
+	}
+	if r.Categorical(nil) != -1 || r.Categorical([]float64{0, 0}) != -1 {
+		t.Error("degenerate weights must return -1")
+	}
+}
+
+func TestCategoricalNegativeWeightsIgnored(t *testing.T) {
+	r := New(5)
+	w := []float64{-5, 2, -1}
+	for i := 0; i < 1000; i++ {
+		if k := r.Categorical(w); k != 1 {
+			t.Fatalf("only index 1 has positive weight, got %d", k)
+		}
+	}
+}
+
+func TestTruncNormal(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 2000; i++ {
+		x := r.TruncNormal(0, 1, -0.5, 0.5)
+		if x < -0.5 || x > 0.5 {
+			t.Fatalf("TruncNormal out of range: %g", x)
+		}
+	}
+	// Pathological far-tail interval: must clamp, not loop forever.
+	x := r.TruncNormal(0, 0.001, 50, 51)
+	if x < 50 || x > 51 {
+		t.Errorf("pathological TruncNormal = %g, want in [50,51]", x)
+	}
+}
+
+func TestPickN(t *testing.T) {
+	r := New(8)
+	for trial := 0; trial < 200; trial++ {
+		got := r.PickN(5, 20)
+		if len(got) != 5 {
+			t.Fatalf("PickN length = %d", len(got))
+		}
+		seen := map[int]bool{}
+		for _, v := range got {
+			if v < 0 || v >= 20 {
+				t.Fatalf("PickN value out of range: %d", v)
+			}
+			if seen[v] {
+				t.Fatalf("PickN duplicate: %v", got)
+			}
+			seen[v] = true
+		}
+	}
+	if got := r.PickN(10, 3); len(got) != 3 {
+		t.Errorf("PickN(n>=universe) should return a full permutation, got %v", got)
+	}
+}
+
+func TestPickNUniform(t *testing.T) {
+	r := New(9)
+	counts := make([]int, 10)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		for _, v := range r.PickN(3, 10) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * 3 / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("element %d drawn %d times, want ~%g", i, c, want)
+		}
+	}
+}
+
+// Property: Categorical never returns an index whose weight is zero.
+func TestCategoricalSupportProperty(t *testing.T) {
+	f := func(seed int64, raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		anyPos := false
+		for i, v := range raw {
+			w[i] = math.Abs(v)
+			if math.IsNaN(w[i]) || math.IsInf(w[i], 0) {
+				w[i] = 0
+			}
+			if w[i] > 0 {
+				anyPos = true
+			}
+		}
+		k := New(seed).Categorical(w)
+		if !anyPos {
+			return k == -1
+		}
+		return k >= 0 && k < len(w) && w[k] > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+// Package socialnet generates and represents the follower graphs the
+// datasets are simulated over. The paper crawls who-follows-whom
+// relationships and converts them into the ground-truth excitation matrix A
+// used by the RankCorr metric; this substitute produces graphs with the
+// topological signatures of real social networks (Barabási–Albert
+// heavy-tailed degrees, Watts–Strogatz clustering, Erdős–Rényi as the
+// structureless control).
+package socialnet
+
+import (
+	"fmt"
+
+	"chassis/internal/rng"
+)
+
+// Graph is a directed follower graph on N users: an edge u→v means v
+// follows u, i.e. u's activities reach v's feed and can excite v.
+type Graph struct {
+	N int
+	// out[u] lists the followers of u (v such that u→v).
+	out [][]int32
+	// in[v] lists the followees of v (u such that u→v).
+	in [][]int32
+	// edge set for O(1) membership.
+	edges map[int64]struct{}
+}
+
+func newGraph(n int) *Graph {
+	return &Graph{
+		N:     n,
+		out:   make([][]int32, n),
+		in:    make([][]int32, n),
+		edges: make(map[int64]struct{}),
+	}
+}
+
+func key(u, v int) int64 { return int64(u)<<32 | int64(v) }
+
+// AddEdge inserts u→v (v follows u). Self-loops and duplicates are ignored.
+func (g *Graph) AddEdge(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= g.N || v >= g.N {
+		return
+	}
+	k := key(u, v)
+	if _, dup := g.edges[k]; dup {
+		return
+	}
+	g.edges[k] = struct{}{}
+	g.out[u] = append(g.out[u], int32(v))
+	g.in[v] = append(g.in[v], int32(u))
+}
+
+// HasEdge reports whether v follows u.
+func (g *Graph) HasEdge(u, v int) bool {
+	_, ok := g.edges[key(u, v)]
+	return ok
+}
+
+// Followers returns the users following u.
+func (g *Graph) Followers(u int) []int {
+	out := make([]int, len(g.out[u]))
+	for i, v := range g.out[u] {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Followees returns the users v follows.
+func (g *Graph) Followees(v int) []int {
+	out := make([]int, len(g.in[v]))
+	for i, u := range g.in[v] {
+		out[i] = int(u)
+	}
+	return out
+}
+
+// OutDegree returns the follower count of u.
+func (g *Graph) OutDegree(u int) int { return len(g.out[u]) }
+
+// InDegree returns how many users v follows.
+func (g *Graph) InDegree(v int) int { return len(g.in[v]) }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// InfluenceMatrix converts the graph into a ground-truth excitation matrix:
+// A[i][j] = scale when i follows j (j's activities excite i), 0 otherwise —
+// the conversion the paper applies to its crawled relationships.
+func (g *Graph) InfluenceMatrix(scale float64) [][]float64 {
+	a := make([][]float64, g.N)
+	for i := range a {
+		a[i] = make([]float64, g.N)
+	}
+	for k := range g.edges {
+		u, v := int(k>>32), int(k&0xffffffff)
+		a[v][u] = scale
+	}
+	return a
+}
+
+// BarabasiAlbert grows a scale-free graph by preferential attachment: each
+// new user follows m existing users chosen proportionally to their current
+// follower counts (plus one smoothing). Edges are made reciprocal with
+// probability recip, mirroring the mutual-follow fraction of real networks.
+func BarabasiAlbert(r *rng.RNG, n, m int, recip float64) (*Graph, error) {
+	if n <= 0 || m <= 0 {
+		return nil, fmt.Errorf("socialnet: BarabasiAlbert needs n>0, m>0 (got n=%d m=%d)", n, m)
+	}
+	g := newGraph(n)
+	// Attachment weights: follower count + 1.
+	weight := make([]float64, n)
+	seed := m + 1
+	if seed > n {
+		seed = n
+	}
+	// Fully connect the seed clique.
+	for u := 0; u < seed; u++ {
+		weight[u] = 1
+		for v := 0; v < seed; v++ {
+			if u != v {
+				g.AddEdge(u, v)
+				weight[u]++
+			}
+		}
+	}
+	for v := seed; v < n; v++ {
+		weight[v] = 1
+		seen := map[int]bool{}
+		var targets []int // insertion-ordered so edge draws are deterministic
+		for len(targets) < m {
+			u := r.Categorical(weight[:v])
+			if u < 0 || seen[u] {
+				// Degenerate or duplicate draw; fall back to uniform.
+				u = r.Intn(v)
+				if seen[u] {
+					continue
+				}
+			}
+			seen[u] = true
+			targets = append(targets, u)
+		}
+		for _, u := range targets {
+			g.AddEdge(u, v) // v follows the popular u
+			weight[u]++
+			if r.Bernoulli(recip) {
+				g.AddEdge(v, u)
+				weight[v]++
+			}
+		}
+	}
+	return g, nil
+}
+
+// ErdosRenyi draws each directed edge independently with probability p.
+func ErdosRenyi(r *rng.RNG, n int, p float64) (*Graph, error) {
+	if n <= 0 || p < 0 || p > 1 {
+		return nil, fmt.Errorf("socialnet: ErdosRenyi needs n>0 and p in [0,1] (got n=%d p=%g)", n, p)
+	}
+	g := newGraph(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && r.Bernoulli(p) {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// WattsStrogatz builds a small-world graph: a ring where every user follows
+// its k nearest neighbors on each side, with each edge rewired to a random
+// target with probability beta. Edges are directed u→v (v follows u).
+func WattsStrogatz(r *rng.RNG, n, k int, beta float64) (*Graph, error) {
+	if n <= 0 || k <= 0 || 2*k >= n || beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("socialnet: WattsStrogatz needs n>2k>0 and beta in [0,1] (got n=%d k=%d beta=%g)", n, k, beta)
+	}
+	g := newGraph(n)
+	for v := 0; v < n; v++ {
+		for d := 1; d <= k; d++ {
+			for _, u := range []int{(v + d) % n, (v - d + n) % n} {
+				target := u
+				if r.Bernoulli(beta) {
+					target = r.Intn(n)
+					for target == v {
+						target = r.Intn(n)
+					}
+				}
+				g.AddEdge(target, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// DegreeHistogram returns follower-count frequencies (index = degree).
+func (g *Graph) DegreeHistogram() []int {
+	maxDeg := 0
+	for u := 0; u < g.N; u++ {
+		if d := g.OutDegree(u); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	h := make([]int, maxDeg+1)
+	for u := 0; u < g.N; u++ {
+		h[g.OutDegree(u)]++
+	}
+	return h
+}

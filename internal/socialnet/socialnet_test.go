@@ -1,0 +1,181 @@
+package socialnet
+
+import (
+	"testing"
+	"testing/quick"
+
+	"chassis/internal/rng"
+)
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := newGraph(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1) // duplicate
+	g.AddEdge(1, 1) // self loop
+	g.AddEdge(-1, 2)
+	g.AddEdge(0, 99)
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("edge direction wrong")
+	}
+	if g.OutDegree(0) != 1 || g.InDegree(1) != 1 {
+		t.Error("degrees wrong")
+	}
+	if f := g.Followers(0); len(f) != 1 || f[0] != 1 {
+		t.Errorf("Followers = %v", f)
+	}
+	if f := g.Followees(1); len(f) != 1 || f[0] != 0 {
+		t.Errorf("Followees = %v", f)
+	}
+}
+
+func TestInfluenceMatrix(t *testing.T) {
+	g := newGraph(3)
+	g.AddEdge(0, 1) // 1 follows 0
+	g.AddEdge(2, 0) // 0 follows 2
+	a := g.InfluenceMatrix(0.5)
+	// A[i][j] = 0.5 iff i follows j.
+	if a[1][0] != 0.5 || a[0][2] != 0.5 {
+		t.Errorf("influence matrix misses edges: %v", a)
+	}
+	var total float64
+	for i := range a {
+		for j := range a[i] {
+			total += a[i][j]
+		}
+	}
+	if total != 1.0 {
+		t.Errorf("matrix mass = %g, want 1.0 (two edges × 0.5)", total)
+	}
+}
+
+func TestBarabasiAlbert(t *testing.T) {
+	r := rng.New(1)
+	g, err := BarabasiAlbert(r, 300, 3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 300 {
+		t.Fatalf("N = %d", g.N)
+	}
+	// Every non-seed user follows at least m users.
+	for v := 4; v < g.N; v++ {
+		if g.InDegree(v) < 3 {
+			t.Fatalf("user %d follows only %d users", v, g.InDegree(v))
+		}
+	}
+	// Heavy tail: the max follower count should far exceed the mean.
+	maxDeg, sum := 0, 0
+	for u := 0; u < g.N; u++ {
+		d := g.OutDegree(u)
+		sum += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	mean := float64(sum) / float64(g.N)
+	if float64(maxDeg) < 4*mean {
+		t.Errorf("no heavy tail: max %d vs mean %.1f", maxDeg, mean)
+	}
+	if _, err := BarabasiAlbert(r, 0, 3, 0); err == nil {
+		t.Error("n=0 must fail")
+	}
+	if _, err := BarabasiAlbert(r, 10, 0, 0); err == nil {
+		t.Error("m=0 must fail")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	r := rng.New(2)
+	g, err := ErdosRenyi(r, 100, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.05 * 100 * 99
+	got := float64(g.NumEdges())
+	if got < want*0.7 || got > want*1.3 {
+		t.Errorf("edges = %g, want ~%g", got, want)
+	}
+	if _, err := ErdosRenyi(r, 10, 1.5); err == nil {
+		t.Error("p>1 must fail")
+	}
+	if _, err := ErdosRenyi(r, -1, 0.5); err == nil {
+		t.Error("n<0 must fail")
+	}
+}
+
+func TestWattsStrogatz(t *testing.T) {
+	r := rng.New(3)
+	// beta = 0: pure ring, everyone follows exactly 2k users.
+	g, err := WattsStrogatz(r, 50, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N; v++ {
+		if g.InDegree(v) != 4 {
+			t.Fatalf("ring in-degree of %d = %d, want 4", v, g.InDegree(v))
+		}
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(49, 0) {
+		t.Error("ring neighbors missing")
+	}
+	// beta = 1: heavily rewired, still n·2k edges at most (dedup may drop).
+	g2, err := WattsStrogatz(r, 50, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() == 0 || g2.NumEdges() > 200 {
+		t.Errorf("rewired edges = %d", g2.NumEdges())
+	}
+	if _, err := WattsStrogatz(r, 10, 5, 0); err == nil {
+		t.Error("2k >= n must fail")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	g := newGraph(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	h := g.DegreeHistogram()
+	// Degrees: u0=2, u1=1, u2=0, u3=0.
+	if h[0] != 2 || h[1] != 1 || h[2] != 1 {
+		t.Errorf("histogram = %v", h)
+	}
+	var mass int
+	for _, c := range h {
+		mass += c
+	}
+	if mass != 4 {
+		t.Errorf("histogram mass = %d, want 4", mass)
+	}
+}
+
+// Property: generators are deterministic in the seed and influence matrices
+// mirror the edge set exactly.
+func TestGeneratorDeterminismProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		g1, err1 := BarabasiAlbert(rng.New(seed), 60, 2, 0.2)
+		g2, err2 := BarabasiAlbert(rng.New(seed), 60, 2, 0.2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if g1.NumEdges() != g2.NumEdges() {
+			return false
+		}
+		a := g1.InfluenceMatrix(1)
+		for i := 0; i < g1.N; i++ {
+			for j := 0; j < g1.N; j++ {
+				if (a[i][j] == 1) != g1.HasEdge(j, i) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,88 @@
+package stance
+
+// Built-in sentiment lexicon. The paper obtains implicit stances with NLTK;
+// this offline substitute follows the same design as NLTK's VADER analyzer:
+// a word-valence dictionary plus negation and intensity heuristics. Values
+// are in [-1, 1].
+
+var lexicon = map[string]float64{
+	// Positive.
+	"good": 0.6, "great": 0.8, "excellent": 0.9, "amazing": 0.9,
+	"awesome": 0.9, "fantastic": 0.9, "wonderful": 0.85, "brilliant": 0.85,
+	"love": 0.8, "loved": 0.8, "loves": 0.8, "like": 0.5, "liked": 0.5,
+	"likes": 0.5, "enjoy": 0.6, "enjoyed": 0.6, "best": 0.8, "better": 0.5,
+	"nice": 0.5, "cool": 0.5, "fun": 0.6, "happy": 0.7, "glad": 0.6,
+	"beautiful": 0.7, "perfect": 0.9, "impressive": 0.7, "recommend": 0.6,
+	"recommended": 0.6, "win": 0.5, "winner": 0.6, "winning": 0.5,
+	"masterpiece": 0.95, "stunning": 0.8, "superb": 0.85, "delightful": 0.8,
+	"favorite": 0.7, "favourite": 0.7, "positive": 0.5, "support": 0.4,
+	"supports": 0.4, "agree": 0.5, "agreed": 0.5, "true": 0.3, "right": 0.3,
+	"correct": 0.4, "yes": 0.3, "thanks": 0.4, "thank": 0.4, "grateful": 0.6,
+	"exciting": 0.7, "excited": 0.7, "hope": 0.3, "hopeful": 0.4,
+	"inspiring": 0.7, "solid": 0.4, "strong": 0.4, "safe": 0.3,
+	"trust": 0.5, "trustworthy": 0.6, "credible": 0.5, "accurate": 0.5,
+	"helpful": 0.6, "useful": 0.5, "valuable": 0.5, "worth": 0.4,
+	"worthy": 0.4, "incredible": 0.8, "thrilled": 0.8, "epic": 0.7,
+	"gem": 0.6, "smart": 0.5, "clever": 0.5, "genius": 0.8,
+	"heartwarming": 0.8, "uplifting": 0.7, "fresh": 0.4, "crisp": 0.3,
+	"smooth": 0.4, "legendary": 0.8, "flawless": 0.9, "charming": 0.6,
+	"adore": 0.8, "adorable": 0.7, "spectacular": 0.85, "magnificent": 0.85,
+	"outstanding": 0.85, "remarkable": 0.7, "phenomenal": 0.9,
+	"satisfying": 0.6, "pleased": 0.6, "pleasant": 0.5, "lovely": 0.6,
+
+	// Negative.
+	"bad": -0.6, "terrible": -0.9, "awful": -0.9, "horrible": -0.9,
+	"worst": -0.9, "worse": -0.5, "hate": -0.8, "hated": -0.8,
+	"hates": -0.8, "dislike": -0.6, "disliked": -0.6, "boring": -0.6,
+	"dull": -0.5, "sad": -0.6, "angry": -0.7, "furious": -0.85,
+	"disappointing": -0.7, "disappointed": -0.7, "disappointment": -0.7,
+	"fail": -0.6, "fails": -0.6, "failed": -0.6, "failure": -0.7,
+	"fake": -0.7, "hoax": -0.8, "lie": -0.7, "lies": -0.7, "liar": -0.8,
+	"lying": -0.7, "false": -0.5, "wrong": -0.5, "incorrect": -0.5,
+	"no": -0.2, "never": -0.3, "nothing": -0.3, "mess": -0.6,
+	"disaster": -0.8, "tragic": -0.7, "tragedy": -0.7, "horrific": -0.9,
+	"scary": -0.5, "afraid": -0.5, "fear": -0.5, "panic": -0.6,
+	"ugly": -0.6, "stupid": -0.7, "dumb": -0.6, "idiotic": -0.8,
+	"nonsense": -0.6, "rubbish": -0.7, "trash": -0.7, "garbage": -0.7,
+	"waste": -0.6, "wasted": -0.6, "broken": -0.5, "annoying": -0.6,
+	"annoyed": -0.6, "pathetic": -0.8, "shame": -0.6, "shameful": -0.7,
+	"disgusting": -0.85, "disgrace": -0.8, "corrupt": -0.7, "scam": -0.8,
+	"fraud": -0.8, "dangerous": -0.5, "threat": -0.5, "violence": -0.6,
+	"violent": -0.6, "attack": -0.5, "killed": -0.7, "dead": -0.6,
+	"death": -0.6, "crisis": -0.5, "doubt": -0.4, "doubtful": -0.5,
+	"suspicious": -0.5, "misleading": -0.6, "unreliable": -0.6,
+	"untrue": -0.6, "debunked": -0.6, "rumor": -0.4, "rumour": -0.4,
+	"overrated": -0.6, "mediocre": -0.5, "bland": -0.4, "weak": -0.4,
+	"poor": -0.5, "poorly": -0.5, "cheap": -0.3, "flawed": -0.5,
+	"cringe": -0.6, "painful": -0.6, "unwatchable": -0.9, "avoid": -0.5,
+	"skip": -0.4, "regret": -0.6, "sorry": -0.3, "unfortunately": -0.4,
+}
+
+// negators flip the valence of the next sentiment-bearing word within the
+// negation window.
+var negators = map[string]bool{
+	"not": true, "no": true, "never": true, "neither": true, "nor": true,
+	"cannot": true, "cant": true, "dont": true, "doesnt": true,
+	"didnt": true, "isnt": true, "wasnt": true, "wont": true,
+	"wouldnt": true, "couldnt": true, "shouldnt": true, "aint": true,
+	"hardly": true, "barely": true, "scarcely": true, "without": true,
+}
+
+// intensifiers scale the valence of the next sentiment-bearing word.
+var intensifiers = map[string]float64{
+	"very": 1.4, "really": 1.3, "extremely": 1.7, "incredibly": 1.6,
+	"absolutely": 1.6, "totally": 1.4, "completely": 1.5, "utterly": 1.6,
+	"so": 1.3, "super": 1.4, "quite": 1.15, "pretty": 1.1, "fairly": 1.05,
+	"somewhat": 0.8, "slightly": 0.6, "barely": 0.5, "kinda": 0.8,
+	"rather": 1.1, "truly": 1.4, "deeply": 1.4, "highly": 1.4,
+	"insanely": 1.7, "mildly": 0.7, "moderately": 0.85,
+}
+
+// emoticons carry explicit valence and survive tokenization as whole
+// tokens.
+var emoticons = map[string]float64{
+	":)": 0.7, ":-)": 0.7, ":))": 0.8, ":d": 0.9, ":-d": 0.9, "xd": 0.8,
+	";)": 0.5, ";-)": 0.5, "<3": 0.9, ":p": 0.4, ":-p": 0.4,
+	":(": -0.7, ":-(": -0.7, ":((": -0.8, ":'(": -0.9, "d:": -0.5,
+	":/": -0.4, ":-/": -0.4, ":|": -0.2, ">:(": -0.8, ":@": -0.8,
+}

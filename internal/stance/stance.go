@@ -1,0 +1,189 @@
+// Package stance extracts opinion polarity from social activities — the
+// offline stand-in for the NLTK sentiment analysis the paper applies in
+// Section 5.1. Explicit stances (a Like or an Angry reaction) map directly
+// to ±1; implicit stances are scored by a lexicon analyzer with negation,
+// intensifier, and emoticon handling, squashed to [-1, 1].
+package stance
+
+import (
+	"math"
+	"strings"
+	"unicode"
+
+	"chassis/internal/timeline"
+)
+
+// Label is the discrete opinion class used by stance detection.
+type Label int8
+
+// Stance classes, mirroring the favor/against/none labels of the stance
+// detection literature the paper cites.
+const (
+	Against Label = iota - 1
+	None
+	Favor
+)
+
+// String returns the lowercase label name.
+func (l Label) String() string {
+	switch l {
+	case Favor:
+		return "favor"
+	case Against:
+		return "against"
+	default:
+		return "none"
+	}
+}
+
+// labelThreshold separates None from Favor/Against.
+const labelThreshold = 0.1
+
+// Analyzer scores text polarity. The zero value is not usable; construct
+// with NewAnalyzer. Analyzers are safe for concurrent use (all state is
+// read-only after construction).
+type Analyzer struct {
+	lexicon      map[string]float64
+	negators     map[string]bool
+	intensifiers map[string]float64
+	emoticons    map[string]float64
+	// negationWindow is how many tokens a negator reaches forward.
+	negationWindow int
+}
+
+// NewAnalyzer returns an analyzer with the built-in lexicon.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		lexicon:        lexicon,
+		negators:       negators,
+		intensifiers:   intensifiers,
+		emoticons:      emoticons,
+		negationWindow: 3,
+	}
+}
+
+// LexiconSize reports how many sentiment-bearing words the analyzer knows
+// (useful for sanity checks and docs).
+func (a *Analyzer) LexiconSize() int { return len(a.lexicon) }
+
+// Polarity scores text in [-1, 1]: the signed sentiment strength.
+func (a *Analyzer) Polarity(text string) float64 {
+	tokens := tokenize(text)
+	var total float64
+	var hits int
+	for idx, tok := range tokens {
+		val, ok := a.emoticons[tok]
+		if !ok {
+			val, ok = a.lexicon[tok]
+			if !ok {
+				continue
+			}
+			// Look back for intensifiers and negators. The nearest
+			// intensifier scales; any negator in the window flips.
+			mult := 1.0
+			flipped := false
+			for back := 1; back <= a.negationWindow && idx-back >= 0; back++ {
+				prev := tokens[idx-back]
+				if back == 1 {
+					if m, ok := a.intensifiers[prev]; ok {
+						mult = m
+					}
+				}
+				if a.negators[prev] {
+					flipped = true
+				}
+			}
+			val *= mult
+			if flipped {
+				val *= -0.8 // negation dampens as well as flips ("not great" < "bad")
+			}
+		}
+		total += val
+		hits++
+	}
+	if hits == 0 {
+		return 0
+	}
+	// Squash: average strength through tanh keeps composite posts bounded.
+	return math.Tanh(total / math.Sqrt(float64(hits)))
+}
+
+// LabelOf maps a polarity score to the discrete stance label.
+func LabelOf(polarity float64) Label {
+	switch {
+	case polarity > labelThreshold:
+		return Favor
+	case polarity < -labelThreshold:
+		return Against
+	default:
+		return None
+	}
+}
+
+// Classify scores text and returns both the continuous polarity and the
+// discrete label.
+func (a *Analyzer) Classify(text string) (float64, Label) {
+	p := a.Polarity(text)
+	return p, LabelOf(p)
+}
+
+// ActivityPolarity resolves an activity's opinion polarity: explicit
+// reactions short-circuit (Like = +1, Angry = −1, the "explicit stance"
+// path of Section 5.1); everything else is scored from text. A Retweet with
+// empty text inherits polarity 1 — retweeting is endorsement by default in
+// the stance-detection literature.
+func (a *Analyzer) ActivityPolarity(act timeline.Activity) float64 {
+	switch act.Kind {
+	case timeline.Like:
+		return 1
+	case timeline.Angry:
+		return -1
+	case timeline.Retweet:
+		if strings.TrimSpace(act.Text) == "" {
+			return 1
+		}
+	}
+	return a.Polarity(act.Text)
+}
+
+// AnnotateSequence fills the Polarity field of every activity in place from
+// its kind and text. Activities that already carry a nonzero polarity are
+// left untouched so generators can inject ground-truth labels.
+func (a *Analyzer) AnnotateSequence(seq *timeline.Sequence) {
+	for i := range seq.Activities {
+		if seq.Activities[i].Polarity != 0 {
+			continue
+		}
+		seq.Activities[i].Polarity = a.ActivityPolarity(seq.Activities[i])
+	}
+}
+
+// tokenize lowercases and splits text into word and emoticon tokens.
+// Whitespace-delimited chunks are checked against the emoticon table
+// before being stripped to letters, so ":)" survives while "movie!"
+// becomes "movie".
+func tokenize(text string) []string {
+	fields := strings.Fields(strings.ToLower(text))
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		if _, ok := emoticons[f]; ok {
+			out = append(out, f)
+			continue
+		}
+		var b strings.Builder
+		for _, r := range f {
+			if unicode.IsLetter(r) || r == '\'' {
+				if r != '\'' { // drop apostrophes: don't -> dont
+					b.WriteRune(r)
+				}
+			} else if b.Len() > 0 {
+				out = append(out, b.String())
+				b.Reset()
+			}
+		}
+		if b.Len() > 0 {
+			out = append(out, b.String())
+		}
+	}
+	return out
+}

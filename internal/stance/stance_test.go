@@ -1,0 +1,190 @@
+package stance
+
+import (
+	"testing"
+
+	"chassis/internal/timeline"
+)
+
+func TestPolaritySigns(t *testing.T) {
+	a := NewAnalyzer()
+	cases := []struct {
+		text string
+		sign int
+	}{
+		{"this movie is great", 1},
+		{"what a masterpiece, absolutely loved it", 1},
+		{"terrible film, total waste of time", -1},
+		{"this is fake news, a complete hoax", -1},
+		{"the movie screens at 8pm", 0},
+		{"", 0},
+		{"I really enjoyed it :)", 1},
+		{"ugh :(", -1},
+	}
+	for _, c := range cases {
+		p := a.Polarity(c.text)
+		switch {
+		case c.sign > 0 && p <= 0:
+			t.Errorf("Polarity(%q) = %g, want positive", c.text, p)
+		case c.sign < 0 && p >= 0:
+			t.Errorf("Polarity(%q) = %g, want negative", c.text, p)
+		case c.sign == 0 && (p > 0.15 || p < -0.15):
+			t.Errorf("Polarity(%q) = %g, want near zero", c.text, p)
+		}
+		if p < -1 || p > 1 {
+			t.Errorf("Polarity(%q) = %g out of [-1,1]", c.text, p)
+		}
+	}
+}
+
+func TestNegationFlips(t *testing.T) {
+	a := NewAnalyzer()
+	pos := a.Polarity("the plot was good")
+	neg := a.Polarity("the plot was not good")
+	if pos <= 0 {
+		t.Fatalf("baseline should be positive, got %g", pos)
+	}
+	if neg >= 0 {
+		t.Errorf("negated phrase = %g, want negative", neg)
+	}
+	// Negation dampens: |not good| < |good|.
+	if -neg >= pos {
+		t.Errorf("|not good| = %g should be < |good| = %g", -neg, pos)
+	}
+	// Negation window covers a couple of tokens back.
+	far := a.Polarity("never seen such good acting")
+	if far >= 0 {
+		t.Errorf("windowed negation = %g, want negative", far)
+	}
+	// But not beyond the window: the negator 5 tokens back does not reach.
+	out := a.Polarity("never have i ever seen acting this good")
+	if out <= 0 {
+		t.Errorf("out-of-window negation = %g, want positive", out)
+	}
+}
+
+func TestIntensifiers(t *testing.T) {
+	a := NewAnalyzer()
+	base := a.Polarity("good")
+	strong := a.Polarity("extremely good")
+	weak := a.Polarity("slightly good")
+	if strong <= base {
+		t.Errorf("intensified %g should exceed base %g", strong, base)
+	}
+	if weak >= base {
+		t.Errorf("diminished %g should be below base %g", weak, base)
+	}
+}
+
+func TestEmoticonsSurviveTokenization(t *testing.T) {
+	a := NewAnalyzer()
+	if a.Polarity(":)") <= 0 {
+		t.Error("smiley must be positive")
+	}
+	if a.Polarity(":( :(") >= 0 {
+		t.Error("frowns must be negative")
+	}
+	if a.Polarity("interesting <3") <= 0 {
+		t.Error("heart must push positive")
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := tokenize("Don't PANIC!! it's fine :)")
+	want := []string{"dont", "panic", "its", "fine", ":)"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if LabelOf(0.5) != Favor || LabelOf(-0.5) != Against || LabelOf(0.02) != None {
+		t.Error("LabelOf thresholds wrong")
+	}
+	if Favor.String() != "favor" || Against.String() != "against" || None.String() != "none" {
+		t.Error("Label strings wrong")
+	}
+	a := NewAnalyzer()
+	p, l := a.Classify("this is wonderful")
+	if p <= 0 || l != Favor {
+		t.Errorf("Classify = %g, %v", p, l)
+	}
+}
+
+func TestActivityPolarityExplicit(t *testing.T) {
+	a := NewAnalyzer()
+	if a.ActivityPolarity(timeline.Activity{Kind: timeline.Like}) != 1 {
+		t.Error("Like must be +1")
+	}
+	if a.ActivityPolarity(timeline.Activity{Kind: timeline.Angry}) != -1 {
+		t.Error("Angry must be -1")
+	}
+	if a.ActivityPolarity(timeline.Activity{Kind: timeline.Retweet}) != 1 {
+		t.Error("bare retweet is an endorsement")
+	}
+	rt := timeline.Activity{Kind: timeline.Retweet, Text: "this is a hoax, do not trust it"}
+	if a.ActivityPolarity(rt) >= 0 {
+		t.Error("quoted retweet must use its text")
+	}
+	cm := timeline.Activity{Kind: timeline.Comment, Text: "brilliant work"}
+	if a.ActivityPolarity(cm) <= 0 {
+		t.Error("comment text must be scored")
+	}
+}
+
+func TestAnnotateSequence(t *testing.T) {
+	a := NewAnalyzer()
+	seq := &timeline.Sequence{M: 1, Horizon: 10}
+	seq.Activities = []timeline.Activity{
+		{ID: 0, Time: 1, Kind: timeline.Post, Text: "awful idea", Parent: timeline.NoParent},
+		{ID: 1, Time: 2, Kind: timeline.Like, Parent: 0},
+		{ID: 2, Time: 3, Kind: timeline.Comment, Text: "so true", Parent: 0, Polarity: -0.33},
+	}
+	a.AnnotateSequence(seq)
+	if seq.Activities[0].Polarity >= 0 {
+		t.Error("negative post must annotate negative")
+	}
+	if seq.Activities[1].Polarity != 1 {
+		t.Error("Like must annotate +1")
+	}
+	if seq.Activities[2].Polarity != -0.33 {
+		t.Error("pre-set polarity must be preserved")
+	}
+}
+
+func TestLexiconSanity(t *testing.T) {
+	a := NewAnalyzer()
+	if a.LexiconSize() < 150 {
+		t.Errorf("lexicon too small: %d entries", a.LexiconSize())
+	}
+	for w, v := range lexicon {
+		if v < -1 || v > 1 || v == 0 {
+			t.Errorf("lexicon[%q] = %g out of range", w, v)
+		}
+	}
+	for w, m := range intensifiers {
+		if m <= 0 {
+			t.Errorf("intensifier %q has non-positive multiplier", w)
+		}
+	}
+}
+
+func TestPolarityBoundedOnLongText(t *testing.T) {
+	a := NewAnalyzer()
+	long := ""
+	for i := 0; i < 200; i++ {
+		long += "amazing wonderful great "
+	}
+	p := a.Polarity(long)
+	if p > 1 || p < -1 {
+		t.Errorf("long text polarity %g escapes [-1,1]", p)
+	}
+	if p < 0.9 {
+		t.Errorf("uniformly positive wall of text should saturate, got %g", p)
+	}
+}

@@ -1,0 +1,301 @@
+// Package stats implements the statistical primitives CHASSIS relies on:
+// Pearson correlation (the context-stance measure of Section 5), Kendall's
+// rank correlation (the RankCorr evaluation metric), and assorted summary
+// and error measures. Everything is pure Go over float64 slices.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrLength is returned when paired-sample functions receive slices of
+// different lengths.
+var ErrLength = errors.New("stats: paired samples must have equal length")
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance, or 0 for fewer than two samples.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Pearson returns the Pearson correlation coefficient of the paired samples.
+// Degenerate inputs (length < 2, or a zero-variance side) yield 0, matching
+// the paper's convention that no co-variation means no measurable stance
+// alignment.
+func Pearson(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrLength
+	}
+	return pearson(x, y), nil
+}
+
+func pearson(x, y []float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return 0
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	r := sxy / math.Sqrt(sxx*syy)
+	// Clamp round-off.
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r
+}
+
+// PearsonAcc accumulates paired samples and reports their Pearson
+// correlation incrementally. It is the workhorse behind the per-pair stance
+// vectors p_i(t), p_j(t): conformity updates append one polarity pair per
+// parent-child interaction and re-read the correlation in O(1).
+//
+// The zero value is ready to use.
+type PearsonAcc struct {
+	n                int
+	sx, sy, sxx, syy float64
+	sxy              float64
+}
+
+// Add appends one (x, y) pair.
+func (p *PearsonAcc) Add(x, y float64) {
+	p.n++
+	p.sx += x
+	p.sy += y
+	p.sxx += x * x
+	p.syy += y * y
+	p.sxy += x * y
+}
+
+// N returns the number of accumulated pairs.
+func (p *PearsonAcc) N() int { return p.n }
+
+// Corr returns the current correlation (0 while degenerate).
+func (p *PearsonAcc) Corr() float64 {
+	if p.n < 2 {
+		return 0
+	}
+	n := float64(p.n)
+	cov := p.sxy - p.sx*p.sy/n
+	vx := p.sxx - p.sx*p.sx/n
+	vy := p.syy - p.sy*p.sy/n
+	if vx <= 0 || vy <= 0 {
+		return 0
+	}
+	r := cov / math.Sqrt(vx*vy)
+	if r > 1 {
+		r = 1
+	} else if r < -1 {
+		r = -1
+	}
+	return r
+}
+
+// Reset clears the accumulator.
+func (p *PearsonAcc) Reset() { *p = PearsonAcc{} }
+
+// KendallTau returns Kendall's τ-b rank correlation of the paired samples,
+// handling ties in either ranking. Degenerate inputs yield 0. The O(n²)
+// algorithm is fine for the row-at-a-time influence-matrix comparisons the
+// RankCorr metric performs.
+func KendallTau(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrLength
+	}
+	n := len(x)
+	if n < 2 {
+		return 0, nil
+	}
+	var concordant, discordant, tiesX, tiesY float64
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := x[i] - x[j]
+			dy := y[i] - y[j]
+			switch {
+			case dx == 0 && dy == 0:
+				// Joint tie: contributes to neither denominator term.
+			case dx == 0:
+				tiesX++
+			case dy == 0:
+				tiesY++
+			case dx*dy > 0:
+				concordant++
+			default:
+				discordant++
+			}
+		}
+	}
+	denom := math.Sqrt((concordant + discordant + tiesX) * (concordant + discordant + tiesY))
+	if denom == 0 {
+		return 0, nil
+	}
+	return (concordant - discordant) / denom, nil
+}
+
+// Spearman returns Spearman's rank correlation (Pearson over ranks with
+// average-rank tie handling).
+func Spearman(x, y []float64) (float64, error) {
+	if len(x) != len(y) {
+		return 0, ErrLength
+	}
+	return pearson(Ranks(x), Ranks(y)), nil
+}
+
+// Ranks returns the 1-based average ranks of the samples.
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// MAE returns the mean absolute error between predictions and truth.
+func MAE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, ErrLength
+	}
+	if len(pred) == 0 {
+		return 0, nil
+	}
+	var s float64
+	for i := range pred {
+		s += math.Abs(pred[i] - truth[i])
+	}
+	return s / float64(len(pred)), nil
+}
+
+// MAPE returns the mean absolute percentage error, skipping zero-truth
+// entries (and returning 0 if every entry is skipped).
+func MAPE(pred, truth []float64) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, ErrLength
+	}
+	var s float64
+	var n int
+	for i := range pred {
+		if truth[i] == 0 {
+			continue
+		}
+		s += math.Abs((pred[i] - truth[i]) / truth[i])
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return s / float64(n), nil
+}
+
+// Summary holds the basic descriptive statistics of a sample.
+type Summary struct {
+	N         int
+	Mean, Std float64
+	Min, Max  float64
+	Median    float64
+}
+
+// Summarize computes descriptive statistics; the zero Summary is returned
+// for empty input.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Mean: Mean(xs), Std: StdDev(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the sample using linear
+// interpolation between order statistics, or 0 for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// F1 combines precision and recall. Zero denominators yield 0.
+func F1(precision, recall float64) float64 {
+	if precision+recall == 0 {
+		return 0
+	}
+	return 2 * precision * recall / (precision + recall)
+}

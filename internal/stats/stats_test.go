@@ -1,0 +1,272 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %g, want %g (±%g)", what, got, want, tol)
+	}
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "Mean")
+	approx(t, Variance(xs), 4, 1e-12, "Variance")
+	approx(t, StdDev(xs), 2, 1e-12, "StdDev")
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{3}) != 0 {
+		t.Error("degenerate inputs must give 0")
+	}
+}
+
+func TestPearsonExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, r, 1, 1e-12, "Pearson perfect positive")
+
+	yneg := []float64{10, 8, 6, 4, 2}
+	r, _ = Pearson(x, yneg)
+	approx(t, r, -1, 1e-12, "Pearson perfect negative")
+
+	flat := []float64{3, 3, 3, 3, 3}
+	r, _ = Pearson(x, flat)
+	approx(t, r, 0, 1e-12, "Pearson vs constant")
+}
+
+func TestPearsonKnownValue(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{2, 1, 4, 3, 7, 5}
+	r, _ := Pearson(x, y)
+	// Hand-computed: sxy=16, sxx=17.5, syy=70/3 -> r = 16/sqrt(1225/3).
+	approx(t, r, 16/math.Sqrt(1225.0/3.0), 1e-12, "Pearson known")
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err != ErrLength {
+		t.Error("length mismatch must return ErrLength")
+	}
+	r, _ := Pearson([]float64{1}, []float64{2})
+	if r != 0 {
+		t.Error("single pair correlation must be 0")
+	}
+}
+
+func TestPearsonAccMatchesBatch(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	var acc PearsonAcc
+	var xs, ys []float64
+	for i := 0; i < 500; i++ {
+		x := r.NormFloat64()
+		y := 0.6*x + 0.4*r.NormFloat64()
+		acc.Add(x, y)
+		xs = append(xs, x)
+		ys = append(ys, y)
+		if i > 2 && i%97 == 0 {
+			batch, _ := Pearson(xs, ys)
+			approx(t, acc.Corr(), batch, 1e-9, "incremental vs batch Pearson")
+		}
+	}
+	if acc.N() != 500 {
+		t.Errorf("N = %d, want 500", acc.N())
+	}
+	acc.Reset()
+	if acc.N() != 0 || acc.Corr() != 0 {
+		t.Error("Reset must clear the accumulator")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	up := []float64{10, 20, 30, 40, 50}
+	tau, err := KendallTau(x, up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, tau, 1, 1e-12, "tau monotone increasing")
+
+	down := []float64{5, 4, 3, 2, 1}
+	tau, _ = KendallTau(x, down)
+	approx(t, tau, -1, 1e-12, "tau monotone decreasing")
+
+	// Known small case: x=1,2,3 y=1,3,2 -> 2 concordant, 1 discordant, tau=1/3.
+	tau, _ = KendallTau([]float64{1, 2, 3}, []float64{1, 3, 2})
+	approx(t, tau, 1.0/3.0, 1e-12, "tau known")
+}
+
+func TestKendallTauTies(t *testing.T) {
+	// τ-b with ties: x = 1,2,2,3  y = 1,2,3,4
+	// Pairs: 5 concordant, 0 discordant, 1 tie in x.
+	tau, _ := KendallTau([]float64{1, 2, 2, 3}, []float64{1, 2, 3, 4})
+	want := 5.0 / math.Sqrt(6*5)
+	approx(t, tau, want, 1e-12, "tau-b with ties")
+
+	// All tied on one side -> 0.
+	tau, _ = KendallTau([]float64{1, 1, 1}, []float64{1, 2, 3})
+	approx(t, tau, 0, 1e-12, "tau all-tied side")
+	if _, err := KendallTau([]float64{1}, []float64{1, 2}); err != ErrLength {
+		t.Error("length mismatch must return ErrLength")
+	}
+}
+
+func TestRanks(t *testing.T) {
+	got := Ranks([]float64{10, 20, 20, 40})
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		approx(t, got[i], want[i], 1e-12, "rank")
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	// Monotone nonlinear relation gives Spearman 1 but Pearson < 1.
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{1, 8, 27, 64, 125}
+	rho, err := Spearman(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, rho, 1, 1e-12, "Spearman monotone")
+	p, _ := Pearson(x, y)
+	if p >= 1 {
+		t.Error("Pearson of cubic should be < 1")
+	}
+}
+
+func TestMAEMAPE(t *testing.T) {
+	mae, err := MAE([]float64{1, 2, 3}, []float64{2, 2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, mae, 1, 1e-12, "MAE")
+	mape, _ := MAPE([]float64{110, 90, 5}, []float64{100, 100, 0})
+	approx(t, mape, 0.1, 1e-12, "MAPE skips zero truth")
+	if _, err := MAE([]float64{1}, nil); err != ErrLength {
+		t.Error("MAE length mismatch")
+	}
+	m, _ := MAPE([]float64{1}, []float64{0})
+	if m != 0 {
+		t.Error("all-zero-truth MAPE must be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summary basics wrong: %+v", s)
+	}
+	approx(t, s.Median, 3, 1e-12, "odd median")
+	s = Summarize([]float64{1, 2, 3, 4})
+	approx(t, s.Median, 2.5, 1e-12, "even median")
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty Summarize must be zero")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, Quantile(xs, 0), 1, 1e-12, "q0")
+	approx(t, Quantile(xs, 1), 5, 1e-12, "q1")
+	approx(t, Quantile(xs, 0.5), 3, 1e-12, "q50")
+	approx(t, Quantile(xs, 0.25), 2, 1e-12, "q25")
+	approx(t, Quantile(xs, 0.1), 1.4, 1e-12, "q10 interpolated")
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile must be 0")
+	}
+}
+
+func TestF1(t *testing.T) {
+	approx(t, F1(1, 1), 1, 1e-12, "perfect F1")
+	approx(t, F1(0.5, 0.5), 0.5, 1e-12, "balanced F1")
+	approx(t, F1(0, 0), 0, 1e-12, "degenerate F1")
+	approx(t, F1(1, 0.5), 2.0/3.0, 1e-12, "harmonic mean")
+}
+
+// Property: Pearson is bounded, symmetric, and invariant under positive
+// affine transforms.
+func TestPearsonProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(50) + 3
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		rxy, _ := Pearson(x, y)
+		ryx, _ := Pearson(y, x)
+		if math.Abs(rxy-ryx) > 1e-12 {
+			return false
+		}
+		if rxy < -1 || rxy > 1 {
+			return false
+		}
+		// Affine transform x' = 3x + 7.
+		x2 := make([]float64, n)
+		for i := range x {
+			x2[i] = 3*x[i] + 7
+		}
+		r2, _ := Pearson(x2, y)
+		return math.Abs(rxy-r2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Kendall's tau is antisymmetric under negation of one side.
+func TestKendallAntisymmetryProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(30) + 3
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+			y[i] = r.NormFloat64()
+		}
+		tau, _ := KendallTau(x, y)
+		negY := make([]float64, n)
+		for i := range y {
+			negY[i] = -y[i]
+		}
+		tau2, _ := KendallTau(x, negY)
+		return math.Abs(tau+tau2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(40) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0001; q += 0.05 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		s := Summarize(xs)
+		return Quantile(xs, 0) == s.Min && Quantile(xs, 1) == s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,381 @@
+package timeline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func seq(times ...float64) *Sequence {
+	s := &Sequence{M: 3, Horizon: 100}
+	for i, t := range times {
+		s.Activities = append(s.Activities, Activity{
+			ID: ActivityID(i), User: UserID(i % 3), Time: t, Parent: NoParent,
+		})
+	}
+	return s
+}
+
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{Post, "post"}, {Retweet, "retweet"}, {Comment, "comment"},
+		{Reply, "reply"}, {Like, "like"}, {Angry, "angry"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", c.k, got, c.want)
+		}
+		back, err := ParseKind(c.want)
+		if err != nil || back != c.k {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", c.want, back, err, c.k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) should fail")
+	}
+	if Kind(99).String() == "" {
+		t.Error("out-of-range Kind should still stringify")
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if Post.IsResponse() {
+		t.Error("Post must not be a response")
+	}
+	for _, k := range []Kind{Retweet, Comment, Reply, Like, Angry} {
+		if !k.IsResponse() {
+			t.Errorf("%v must be a response", k)
+		}
+	}
+	if !Like.Explicit() || !Angry.Explicit() {
+		t.Error("Like and Angry carry explicit stance")
+	}
+	if Comment.Explicit() {
+		t.Error("Comment stance is implicit")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	s := seq(1, 2, 3, 10)
+	s.Activities[2].Parent = 0
+	if err := s.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Sequence)
+	}{
+		{"zero M", func(s *Sequence) { s.M = 0 }},
+		{"zero horizon", func(s *Sequence) { s.Horizon = 0 }},
+		{"bad ID", func(s *Sequence) { s.Activities[1].ID = 7 }},
+		{"bad user", func(s *Sequence) { s.Activities[0].User = 5 }},
+		{"negative time", func(s *Sequence) { s.Activities[0].Time = -1 }},
+		{"beyond horizon", func(s *Sequence) { s.Activities[3].Time = 1000 }},
+		{"out of order", func(s *Sequence) { s.Activities[0].Time = 50 }},
+		{"parent range", func(s *Sequence) { s.Activities[1].Parent = 99 }},
+		{"self parent", func(s *Sequence) { s.Activities[1].Parent = 1 }},
+		{"future parent", func(s *Sequence) { s.Activities[1].Parent = 3 }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := seq(1, 2, 3, 10)
+			c.mut(s)
+			if err := s.Validate(); err == nil {
+				t.Errorf("Validate should reject %s", c.name)
+			}
+		})
+	}
+}
+
+func TestNormalizeSortsAndRemaps(t *testing.T) {
+	s := &Sequence{M: 2, Horizon: 10}
+	s.Activities = []Activity{
+		{ID: 0, User: 0, Time: 5, Parent: 1},
+		{ID: 1, User: 1, Time: 2, Parent: NoParent},
+		{ID: 2, User: 0, Time: 8, Parent: 0},
+	}
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("normalized sequence invalid: %v", err)
+	}
+	if s.Activities[0].Time != 2 || s.Activities[1].Time != 5 || s.Activities[2].Time != 8 {
+		t.Fatalf("wrong order after Normalize: %+v", s.Activities)
+	}
+	// Old ID 1 (t=2) is now index 0; old 0 (t=5) now 1; old 2 (t=8) now 2.
+	if s.Activities[1].Parent != 0 {
+		t.Errorf("parent of t=5 should remap to 0, got %d", s.Activities[1].Parent)
+	}
+	if s.Activities[2].Parent != 1 {
+		t.Errorf("parent of t=8 should remap to 1, got %d", s.Activities[2].Parent)
+	}
+}
+
+func TestNormalizeStable(t *testing.T) {
+	s := &Sequence{M: 2, Horizon: 10}
+	s.Activities = []Activity{
+		{ID: 0, User: 0, Time: 3, Text: "first"},
+		{ID: 1, User: 1, Time: 3, Text: "second"},
+	}
+	for i := range s.Activities {
+		s.Activities[i].Parent = NoParent
+	}
+	s.Normalize()
+	if s.Activities[0].Text != "first" || s.Activities[1].Text != "second" {
+		t.Error("Normalize must be stable for ties")
+	}
+}
+
+func TestByUserAndCounts(t *testing.T) {
+	s := seq(1, 2, 3, 4, 5, 6)
+	by := s.ByUser()
+	if len(by) != 3 {
+		t.Fatalf("ByUser length = %d, want 3", len(by))
+	}
+	for u, idxs := range by {
+		for _, i := range idxs {
+			if s.Activities[i].User != UserID(u) {
+				t.Errorf("ByUser[%d] contains activity of user %d", u, s.Activities[i].User)
+			}
+		}
+	}
+	counts := s.CountByUser()
+	if counts[0] != 2 || counts[1] != 2 || counts[2] != 2 {
+		t.Errorf("CountByUser = %v, want [2 2 2]", counts)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	s := seq(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	s.Activities[5].Parent = 2 // crosses a 50% boundary? index 5 is in test half when cut=5
+	train, test, err := s.Split(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if train.Len() != 5 || test.Len() != 5 {
+		t.Fatalf("split sizes = %d/%d, want 5/5", train.Len(), test.Len())
+	}
+	if train.Horizon != 5 {
+		t.Errorf("train horizon = %g, want 5 (time of last train activity)", train.Horizon)
+	}
+	if test.Activities[0].Parent != NoParent {
+		t.Errorf("cross-boundary parent must be cut, got %d", test.Activities[0].Parent)
+	}
+	if err := train.Validate(); err != nil {
+		t.Errorf("train invalid: %v", err)
+	}
+	if err := test.Validate(); err != nil {
+		t.Errorf("test invalid: %v", err)
+	}
+	if _, _, err := s.Split(0); err == nil {
+		t.Error("Split(0) should fail")
+	}
+	if _, _, err := s.Split(1); err == nil {
+		t.Error("Split(1) should fail")
+	}
+}
+
+func TestSplitWithinParentPreserved(t *testing.T) {
+	s := seq(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	s.Activities[8].Parent = 6
+	_, test, err := s.Split(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Old index 8 -> new 3; old parent 6 -> new 1.
+	if test.Activities[3].Parent != 1 {
+		t.Errorf("within-test parent should remap to 1, got %d", test.Activities[3].Parent)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := seq(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	s.Activities[4].Parent = 3
+	s.Activities[5].Parent = 1
+	w := s.Window(4, 8)
+	if w.Len() != 4 {
+		t.Fatalf("window length = %d, want 4", w.Len())
+	}
+	if w.Activities[0].Time != 4 || w.Activities[3].Time != 7 {
+		t.Errorf("window bounds wrong: %+v", w.Activities)
+	}
+	// Activity originally index 4 (t=5) had parent 3 (t=4), both inside.
+	if w.Activities[1].Parent != 0 {
+		t.Errorf("in-window parent should remap, got %d", w.Activities[1].Parent)
+	}
+	// Activity originally index 5 (t=6) had parent 1 (t=2), outside.
+	if w.Activities[2].Parent != NoParent {
+		t.Errorf("out-of-window parent should be cut, got %d", w.Activities[2].Parent)
+	}
+}
+
+func TestCountingProcess(t *testing.T) {
+	s := &Sequence{M: 1, Horizon: 10}
+	for i, tm := range []float64{0.5, 1.5, 2.5, 9.99, 10} {
+		s.Activities = append(s.Activities, Activity{ID: ActivityID(i), Time: tm, Parent: NoParent})
+	}
+	n := s.CountingProcess(0, 10)
+	if n[0] != 1 || n[1] != 1 || n[2] != 1 {
+		t.Errorf("early bins wrong: %v", n)
+	}
+	if n[9] != 2 { // t=9.99 and the boundary t=10 clamp into the last bin
+		t.Errorf("last bin = %g, want 2", n[9])
+	}
+	var total float64
+	for _, v := range n {
+		total += v
+	}
+	if total != 5 {
+		t.Errorf("bin mass = %g, want 5", total)
+	}
+	if got := s.CountingProcess(0, 0); len(got) != 0 {
+		t.Errorf("zero bins should give empty slice")
+	}
+}
+
+func TestStripParents(t *testing.T) {
+	s := seq(1, 2, 3)
+	s.Activities[1].Parent = 0
+	st := s.StripParents()
+	for i, a := range st.Activities {
+		if a.Parent != NoParent {
+			t.Errorf("activity %d still has parent after strip", i)
+		}
+	}
+	if s.Activities[1].Parent != 0 {
+		t.Error("StripParents must not mutate the original")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := seq(1, 3, 5)
+	a.Activities[1].Parent = 0
+	b := seq(2, 4, 6)
+	b.Activities[2].Parent = 1
+	m := Merge(3, a, b)
+	if m.Len() != 6 {
+		t.Fatalf("merged length = %d, want 6", m.Len())
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("merged invalid: %v", err)
+	}
+	// Activity originally a[1] (t=3) must still point at t=1.
+	var found bool
+	for _, act := range m.Activities {
+		if act.Time == 3 && act.Parent != NoParent {
+			if m.Activities[act.Parent].Time != 1 {
+				t.Errorf("merged parent of t=3 points at t=%g, want 1", m.Activities[act.Parent].Time)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("merged sequence lost a parent link")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := seq(1, 2, 3)
+	c := s.Clone()
+	c.Activities[0].Time = 99
+	if s.Activities[0].Time == 99 {
+		t.Error("Clone must deep-copy activities")
+	}
+}
+
+// Property: Normalize always yields a Validate-clean sequence for random
+// inputs with in-range users and times.
+func TestNormalizeProperty(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%40) + 1
+		s := &Sequence{M: 5, Horizon: 100}
+		for i := 0; i < count; i++ {
+			s.Activities = append(s.Activities, Activity{
+				ID:     ActivityID(i),
+				User:   UserID(r.Intn(5)),
+				Time:   r.Float64() * 100,
+				Parent: NoParent,
+			})
+		}
+		// Random backwards-in-ID parents (may be later in time; Normalize
+		// only remaps, so only set temporally valid ones).
+		s.Normalize()
+		for i := 1; i < count; i++ {
+			if r.Intn(3) == 0 {
+				s.Activities[i].Parent = ActivityID(r.Intn(i))
+			}
+		}
+		s.Normalize()
+		return s.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Split preserves every activity exactly once and keeps both
+// halves chronologically valid.
+func TestSplitProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := r.Intn(50) + 10
+		s := &Sequence{M: 4, Horizon: 1000}
+		for i := 0; i < n; i++ {
+			s.Activities = append(s.Activities, Activity{
+				ID: ActivityID(i), User: UserID(r.Intn(4)),
+				Time: r.Float64() * 999, Parent: NoParent,
+			})
+		}
+		s.Normalize()
+		frac := 0.2 + 0.6*r.Float64()
+		train, test, err := s.Split(frac)
+		if err != nil {
+			return false
+		}
+		if train.Len()+test.Len() != n {
+			return false
+		}
+		if train.Validate() != nil || test.Validate() != nil {
+			return false
+		}
+		// Boundary: every train time <= every test time.
+		lastTrain := train.Activities[train.Len()-1].Time
+		return test.Activities[0].Time >= lastTrain-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountingProcessMassProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := &Sequence{M: 2, Horizon: 50}
+		n := r.Intn(100)
+		for i := 0; i < n; i++ {
+			s.Activities = append(s.Activities, Activity{
+				ID: ActivityID(i), User: UserID(r.Intn(2)),
+				Time: r.Float64() * 50, Parent: NoParent,
+			})
+		}
+		s.Normalize()
+		bins := r.Intn(30) + 1
+		var mass float64
+		for u := 0; u < 2; u++ {
+			for _, v := range s.CountingProcess(UserID(u), bins) {
+				mass += v
+			}
+		}
+		return math.Abs(mass-float64(n)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
