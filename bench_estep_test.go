@@ -1,0 +1,158 @@
+// E-step parallelism study: wall-clock of the sharded parent-assignment
+// pass (the EM hot loop) at increasing worker counts, through the public
+// API. BenchmarkEStepParallel is the interactive view; TestRecordEStepBench
+// writes the checked-in BENCH_estep.json snapshot when asked:
+//
+//	CHASSIS_BENCH_ESTEP=1 go test -run TestRecordEStepBench -v .
+//
+// Worker counts change only the wall-clock — the determinism suite in
+// internal/core proves the outputs bit-identical — so the recorder also
+// cross-checks the inferred forests while it times them.
+package chassis_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"chassis"
+	"chassis/internal/timeline"
+)
+
+// estepFixture fits a model on the SF-analogue corpus and returns it with
+// a stripped inference target (scale 1 ≈ the largest single-machine
+// setting the unit suite uses).
+func estepFixture(tb testing.TB) (*chassis.Model, *chassis.Sequence) {
+	tb.Helper()
+	ds, err := chassis.GenerateFacebookLike(1, 7)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	train, _, err := ds.Seq.Split(0.7)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, err := chassis.Fit(train, chassis.FitConfig{
+		Variant: chassis.VariantL, EMIters: 4, Seed: 7, UseObservedTrees: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return m, ds.Seq.StripParents()
+}
+
+// BenchmarkEStepParallel: full forest inference (bootstrap + two E-step
+// passes + conformity rebuilds) per worker count.
+func BenchmarkEStepParallel(b *testing.B) {
+	if testing.Short() {
+		b.Skip("experiment benchmark")
+	}
+	m, work := estepFixture(b)
+	b.Logf("events: %d, NumCPU: %d", work.Len(), runtime.NumCPU())
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			m.SetWorkers(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.InferForest(work); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchResult is one row of BENCH_estep.json.
+type benchResult struct {
+	Workers  int     `json:"workers"`
+	MedianMS float64 `json:"median_ms"`
+	Speedup  float64 `json:"speedup_vs_1"`
+}
+
+type benchReport struct {
+	GeneratedBy string        `json:"generated_by"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	GOMAXPROCS  int           `json:"gomaxprocs"`
+	Events      int           `json:"events"`
+	Reps        int           `json:"reps"`
+	Results     []benchResult `json:"results"`
+	Note        string        `json:"note"`
+}
+
+// TestRecordEStepBench measures forest-inference wall-clock at worker
+// counts 1..NumCPU-and-beyond and rewrites BENCH_estep.json. Gated behind
+// CHASSIS_BENCH_ESTEP=1 so ordinary test runs never touch the checked-in
+// numbers or depend on machine speed.
+func TestRecordEStepBench(t *testing.T) {
+	if os.Getenv("CHASSIS_BENCH_ESTEP") == "" {
+		t.Skip("set CHASSIS_BENCH_ESTEP=1 to record BENCH_estep.json")
+	}
+	m, work := estepFixture(t)
+	workerSet := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		workerSet = append(workerSet, n)
+	}
+	const reps = 5
+	var baseline []timeline.ActivityID
+	var medians []float64
+	report := benchReport{
+		GeneratedBy: "CHASSIS_BENCH_ESTEP=1 go test -run TestRecordEStepBench -v .",
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Events:      work.Len(),
+		Reps:        reps,
+	}
+	for _, w := range workerSet {
+		m.SetWorkers(w)
+		if _, err := m.InferForest(work); err != nil { // warm-up
+			t.Fatal(err)
+		}
+		times := make([]float64, 0, reps)
+		var parents []timeline.ActivityID
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			f, err := m.InferForest(work)
+			if err != nil {
+				t.Fatal(err)
+			}
+			times = append(times, float64(time.Since(start).Microseconds())/1000)
+			parents = f.Parents()
+		}
+		// The timing study doubles as a determinism spot-check.
+		if baseline == nil {
+			baseline = parents
+		} else {
+			for k := range baseline {
+				if baseline[k] != parents[k] {
+					t.Fatalf("workers=%d: parent[%d] diverged from workers=%d run", w, k, workerSet[0])
+				}
+			}
+		}
+		sort.Float64s(times)
+		med := times[len(times)/2]
+		medians = append(medians, med)
+		report.Results = append(report.Results, benchResult{
+			Workers: w, MedianMS: med, Speedup: medians[0] / med,
+		})
+		t.Logf("workers=%d: median %.2f ms (speedup %.2fx)", w, med, medians[0]/med)
+	}
+	if runtime.NumCPU() < 4 {
+		report.Note = fmt.Sprintf("recorded on a %d-CPU machine: worker counts above NumCPU cannot speed up and speedups near 1.0x are expected; the determinism cross-check (identical forests at every worker count) is the machine-independent part of this record", runtime.NumCPU())
+	} else {
+		report.Note = "median of reps; forests cross-checked identical at every worker count"
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_estep.json", append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote BENCH_estep.json")
+}

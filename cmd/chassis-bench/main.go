@@ -29,11 +29,12 @@ func main() {
 		seed    = flag.Int64("seed", 2020, "random seed")
 		em      = flag.Int("em", 10, "EM iterations")
 		iters   = flag.Int("conv-iters", 30, "EM iterations for the convergence study")
+		workers = flag.Int("workers", 0, "worker goroutines for the parallel fits (0 = all cores); results are identical at any setting")
 		quiet   = flag.Bool("quiet", false, "suppress progress lines")
 		strlist = flag.String("strategies", "", "comma-separated strategy subset (default: all)")
 	)
 	flag.Parse()
-	opts := experiments.Options{Seed: *seed, Scale: *scale, EMIters: *em}
+	opts := experiments.Options{Seed: *seed, Scale: *scale, EMIters: *em, Workers: *workers}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -25,6 +25,7 @@ func main() {
 		split    = flag.Float64("split", 0.7, "training fraction (0 < f < 1)")
 		em       = flag.Int("em", 10, "EM iterations for the CHASSIS/HP family")
 		seed     = flag.Int64("seed", 42, "random seed")
+		workers  = flag.Int("workers", 0, "worker goroutines for the parallel fit (0 = all cores); results are identical at any setting")
 		out      = flag.String("out", "", "optional output path for a model summary (JSON)")
 		savefull = flag.String("savefull", "", "optional output path for the full fitted model (CHASSIS/HP family only; reload with chassis.LoadModel)")
 	)
@@ -33,13 +34,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chassis-fit: -in is required")
 		os.Exit(2)
 	}
-	if err := run(*in, *strategy, *split, *em, *seed, *out, *savefull); err != nil {
+	if err := run(*in, *strategy, *split, *em, *seed, *workers, *out, *savefull); err != nil {
 		fmt.Fprintln(os.Stderr, "chassis-fit:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, strategy string, split float64, em int, seed int64, out, savefull string) error {
+func run(in, strategy string, split float64, em int, seed int64, workers int, out, savefull string) error {
 	ds, err := dataio.LoadDataset(in)
 	if err != nil {
 		return err
@@ -50,7 +51,7 @@ func run(in, strategy string, split float64, em int, seed int64, out, savefull s
 	if err != nil {
 		return err
 	}
-	s, err := experiments.NewStrategy(strategy, experiments.FitOptions{EMIters: em})
+	s, err := experiments.NewStrategy(strategy, experiments.FitOptions{EMIters: em, Workers: workers})
 	if err != nil {
 		return err
 	}

@@ -24,7 +24,16 @@ func newSeries() *series {
 }
 
 // add appends a sample at time t (which must be >= the last time).
+// A non-finite polarity on either side voids the whole pair — both values
+// are recorded as 0 ("no measurable stance"). A NaN would otherwise poison
+// every prefix sum after it and make corrAt return NaN for all later
+// queries, and zeroing only the bad side would fabricate stance from the
+// surviving one; the timestamp is kept either way so decay sums still see
+// the interaction.
 func (s *series) add(t, x, y float64) {
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+		x, y = 0, 0
+	}
 	n := len(s.times)
 	s.times = append(s.times, t)
 	s.sx = append(s.sx, s.sx[n]+x)
@@ -73,6 +82,11 @@ func (s *series) corrAt(t float64) float64 {
 		return agree
 	}
 	r := cov / math.Sqrt(vx*vy)
+	if math.IsNaN(r) {
+		// Unreachable with sanitized samples, but a stance query must never
+		// return NaN — fall back to the sign-agreement read.
+		return agree
+	}
 	if r > 1 {
 		r = 1
 	} else if r < -1 {

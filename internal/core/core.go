@@ -119,6 +119,13 @@ type Config struct {
 	IntegrationGrid int
 	// Seed drives initialization and E-step sampling.
 	Seed int64
+	// Workers caps the goroutines used by the parallel E-step, the
+	// per-dimension M-step and kernel updates, and likelihood/compensator
+	// evaluations. 0 (the default) uses runtime.GOMAXPROCS. Fitted
+	// parameters and inferred forests are bit-identical at every setting:
+	// work is sharded into chunks whose boundaries and RNG streams depend
+	// only on the data, never on the worker count (see internal/parallel).
+	Workers int
 	// MAPEStep takes the argmax of the triggering distribution instead of
 	// sampling from it. The default (sampling) matches the paper — parents
 	// are "obtained probabilistically" — and avoids the argmax's bias
@@ -290,6 +297,26 @@ func (e excitation) Alpha(i, j int, t float64) float64 {
 	return a
 }
 
+// SetWorkers retunes the parallelism of subsequent operations on the model
+// (InferForest, likelihood evaluations): n <= 0 restores the GOMAXPROCS
+// default. Results are unaffected — only wall-clock changes — so a model
+// loaded on a different machine can be re-tuned freely.
+func (m *Model) SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	m.cfg.Workers = n
+}
+
+// compensatorOpts returns the adaptive Theorem-7.1 integrator options with
+// the model's worker budget threaded through, so likelihood evaluations fan
+// their per-dimension compensators out over the same pool as the fit.
+func (m *Model) compensatorOpts() hawkes.CompensatorOptions {
+	o := hawkes.DefaultCompensator()
+	o.Workers = m.cfg.Workers
+	return o
+}
+
 // Process materializes the fitted model as a Hawkes process bound to the
 // training-time conformity state.
 func (m *Model) Process() *hawkes.Process {
@@ -339,7 +366,7 @@ func (m *Model) EstimatedInfluence() [][]float64 {
 // TrainLogLikelihood evaluates Eq. 7.1 on the training sequence under the
 // fitted parameters (reference implementation via the hawkes engine).
 func (m *Model) TrainLogLikelihood() (float64, error) {
-	return m.Process().LogLikelihood(m.seq, hawkes.DefaultCompensator())
+	return m.Process().LogLikelihood(m.seq, m.compensatorOpts())
 }
 
 // InferForest runs the E-step tree inference against an arbitrary

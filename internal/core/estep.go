@@ -1,52 +1,85 @@
 package core
 
 import (
+	"sort"
+
 	"chassis/internal/branching"
 	"chassis/internal/conformity"
+	"chassis/internal/parallel"
 	"chassis/internal/rng"
 	"chassis/internal/timeline"
 )
 
+// estepChunkSize is the shard width of the parallel E-step and bootstrap
+// loops. It is fixed at runtime so chunk boundaries — and with them the
+// per-chunk RNG streams — depend only on the sequence length, never on the
+// worker count: Workers=1 and Workers=64 visit the same events with the
+// same random draws and produce bit-identical forests. 512 events amortize
+// the per-chunk window re-seek (a binary search) to noise while still
+// slicing laptop-scale sequences into enough shards to occupy every core.
+// (A variable only so the determinism tests can shrink it and force many
+// chunks on small fixtures; production code never writes it.)
+var estepChunkSize = 512
+
+// windowStart returns the first activity index whose time is >= t — the
+// left edge of a kernel-support window. Each parallel chunk re-derives its
+// own sliding `lo` from this instead of inheriting one from a serial scan.
+func windowStart(seq *timeline.Sequence, t float64) int {
+	return sort.Search(len(seq.Activities), func(k int) bool {
+		return seq.Activities[k].Time >= t
+	})
+}
+
 // bootstrapForest samples an initial branching structure (the EM
 // initialization of Section 6): each activity either stays an immigrant or
 // attaches to a preceding activity with probability proportional to the
-// initial kernel's decay — no model parameters involved yet.
+// initial kernel's decay — no model parameters involved yet. Events are
+// sharded into fixed chunks, each drawing from its own Split-derived RNG
+// stream, so the sampled forest is identical at any worker count.
 func (m *Model) bootstrapForest(seq *timeline.Sequence) (*branching.Forest, error) {
-	r := rng.New(m.cfg.Seed).Split(101)
+	base := rng.New(m.cfg.Seed).Split(101)
 	n := seq.Len()
 	parents := make([]timeline.ActivityID, n)
 	ker := m.Kernels[0]
 	support := ker.Support()
-	weights := make([]float64, 0, 64)
-	cands := make([]int, 0, 64)
-	lo := 0
-	for k := 0; k < n; k++ {
-		parents[k] = timeline.NoParent
-		ak := &seq.Activities[k]
-		for lo < n && seq.Activities[lo].Time < ak.Time-support {
-			lo++
-		}
-		weights = weights[:0]
-		cands = cands[:0]
-		// Immigrant weight: roughly one immigrant per kernel support of
-		// quiet time; concretely the kernel's mean height over its support
-		// works well as a scale-free prior.
-		imm := 1.0 / (support + 1)
-		weights = append(weights, imm)
-		for w := lo; w < k; w++ {
-			aw := &seq.Activities[w]
-			dt := ak.Time - aw.Time
-			if dt <= 0 {
-				continue
+	workers := parallel.Workers(m.cfg.Workers)
+	err := parallel.ForEachChunk(workers, n, estepChunkSize, func(c parallel.Range) error {
+		r := base.Split(int64(c.Index) + 1)
+		weights := make([]float64, 0, 64)
+		cands := make([]int, 0, 64)
+		lo := windowStart(seq, seq.Activities[c.Lo].Time-support)
+		for k := c.Lo; k < c.Hi; k++ {
+			parents[k] = timeline.NoParent
+			ak := &seq.Activities[k]
+			for lo < n && seq.Activities[lo].Time < ak.Time-support {
+				lo++
 			}
-			if v := ker.Eval(dt); v > 0 {
-				weights = append(weights, v)
-				cands = append(cands, w)
+			weights = weights[:0]
+			cands = cands[:0]
+			// Immigrant weight: roughly one immigrant per kernel support of
+			// quiet time; concretely the kernel's mean height over its support
+			// works well as a scale-free prior.
+			imm := 1.0 / (support + 1)
+			weights = append(weights, imm)
+			for w := lo; w < k; w++ {
+				aw := &seq.Activities[w]
+				dt := ak.Time - aw.Time
+				if dt <= 0 {
+					continue
+				}
+				if v := ker.Eval(dt); v > 0 {
+					weights = append(weights, v)
+					cands = append(cands, w)
+				}
+			}
+			if pick := r.Categorical(weights); pick > 0 {
+				parents[k] = timeline.ActivityID(cands[pick-1])
 			}
 		}
-		if pick := r.Categorical(weights); pick > 0 {
-			parents[k] = timeline.ActivityID(cands[pick-1])
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return branching.FromParents(parents)
 }
@@ -70,88 +103,103 @@ func (m *Model) eStep(seq *timeline.Sequence, conf *conformity.Computer) (*branc
 // half of the events re-assign, the rest keep their previous parent — the
 // asynchronous update that breaks the period-2 forest↔conformity cycles
 // hard EM is prone to.
+//
+// Parent assignments are embarrassingly parallel: each event's triggering
+// distribution reads only the (frozen) parameters, kernels, and conformity
+// state, and writes one disjoint parents slot. The loop is therefore
+// sharded into fixed estepChunkSize chunks; chunk c draws from the stream
+// Split(211+call).Split(c+1) and re-derives its own sliding support window,
+// so the inferred forest is bit-identical for any Workers/GOMAXPROCS.
 func (m *Model) eStepMode(seq *timeline.Sequence, conf *conformity.Computer, mapMode bool, prev *branching.Forest) (*branching.Forest, error) {
 	m.estepCalls++
-	r := rng.New(m.cfg.Seed).Split(211 + int64(m.estepCalls))
+	base := rng.New(m.cfg.Seed).Split(211 + int64(m.estepCalls))
 	exc := excitation{m: m, conf: conf}
 	n := seq.Len()
 	parents := make([]timeline.ActivityID, n)
-	weights := make([]float64, 0, 64)
-	cands := make([]int, 0, 64)
-	contribs := make([]float64, 0, 64)
-	lo := 0
 	maxSupport := 0.0
 	for _, ker := range m.Kernels {
 		if s := ker.Support(); s > maxSupport {
 			maxSupport = s
 		}
 	}
-	for k := 0; k < n; k++ {
-		parents[k] = timeline.NoParent
-		ak := &seq.Activities[k]
-		if prev != nil && r.Bernoulli(0.5) {
-			parents[k] = prev.Parent(k)
-			continue
-		}
-		i := int(ak.User)
-		ker := m.Kernels[i]
-		for lo < n && seq.Activities[lo].Time < ak.Time-maxSupport {
-			lo++
-		}
-		g := m.Mu[i]
-		cands = cands[:0]
-		contribs = contribs[:0]
-		for w := lo; w < k; w++ {
-			aw := &seq.Activities[w]
-			dt := ak.Time - aw.Time
-			if dt <= 0 || dt > ker.Support() {
+	workers := parallel.Workers(m.cfg.Workers)
+	err := parallel.ForEachChunk(workers, n, estepChunkSize, func(c parallel.Range) error {
+		r := base.Split(int64(c.Index) + 1)
+		weights := make([]float64, 0, 64)
+		cands := make([]int, 0, 64)
+		contribs := make([]float64, 0, 64)
+		lo := windowStart(seq, seq.Activities[c.Lo].Time-maxSupport)
+		for k := c.Lo; k < c.Hi; k++ {
+			parents[k] = timeline.NoParent
+			ak := &seq.Activities[k]
+			if prev != nil && r.Bernoulli(0.5) {
+				parents[k] = prev.Parent(k)
 				continue
 			}
-			phi := ker.Eval(dt)
-			if phi <= 0 {
-				continue
+			i := int(ak.User)
+			ker := m.Kernels[i]
+			for lo < n && seq.Activities[lo].Time < ak.Time-maxSupport {
+				lo++
 			}
-			// Smoothed excitation: negative (inhibitory) conformity rules a
-			// candidate out of parenthood; the Laplace term keeps the first
-			// EM iterations from collapsing to all-immigrant (see Config).
-			alpha := exc.Alpha(i, int(aw.User), aw.Time)
-			if alpha < 0 {
-				alpha = 0
+			g := m.Mu[i]
+			cands = cands[:0]
+			contribs = contribs[:0]
+			for w := lo; w < k; w++ {
+				aw := &seq.Activities[w]
+				dt := ak.Time - aw.Time
+				if dt <= 0 || dt > ker.Support() {
+					continue
+				}
+				phi := ker.Eval(dt)
+				if phi <= 0 {
+					continue
+				}
+				// Smoothed excitation: negative (inhibitory) conformity rules a
+				// candidate out of parenthood; the Laplace term keeps the first
+				// EM iterations from collapsing to all-immigrant (see Config).
+				alpha := exc.Alpha(i, int(aw.User), aw.Time)
+				if alpha < 0 {
+					alpha = 0
+				}
+				cw := (alpha + m.cfg.EStepSmoothing) * phi
+				if cw <= 0 {
+					continue
+				}
+				g += cw
+				cands = append(cands, w)
+				contribs = append(contribs, cw)
 			}
-			c := (alpha + m.cfg.EStepSmoothing) * phi
-			if c <= 0 {
-				continue
-			}
-			g += c
-			cands = append(cands, w)
-			contribs = append(contribs, c)
-		}
-		weights = weights[:0]
-		if m.cfg.LinearRatioEStep {
-			weights = append(weights, m.Mu[i])
-			weights = append(weights, contribs...)
-		} else {
-			weights = append(weights, m.link.Apply(m.Mu[i]))
-			fg := m.link.Apply(g)
-			for _, c := range contribs {
-				weights = append(weights, fg-m.link.Apply(g-c))
-			}
-		}
-		pick := 0
-		if mapMode {
-			best := weights[0]
-			for idx := 1; idx < len(weights); idx++ {
-				if weights[idx] > best {
-					best = weights[idx]
-					pick = idx
+			weights = weights[:0]
+			if m.cfg.LinearRatioEStep {
+				weights = append(weights, m.Mu[i])
+				weights = append(weights, contribs...)
+			} else {
+				weights = append(weights, m.link.Apply(m.Mu[i]))
+				fg := m.link.Apply(g)
+				for _, cw := range contribs {
+					weights = append(weights, fg-m.link.Apply(g-cw))
 				}
 			}
-		} else {
-			pick = r.Categorical(weights)
+			pick := 0
+			if mapMode {
+				best := weights[0]
+				for idx := 1; idx < len(weights); idx++ {
+					if weights[idx] > best {
+						best = weights[idx]
+						pick = idx
+					}
+				}
+			} else {
+				pick = r.Categorical(weights)
+			}
+			if pick > 0 {
+				parents[k] = timeline.ActivityID(cands[pick-1])
+			}
 		}
-		if pick > 0 {
-			parents[k] = timeline.ActivityID(cands[pick-1])
-		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return branching.FromParents(parents)
 }

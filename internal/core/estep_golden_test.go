@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// goldenParents is the serialized form of an inferred branching structure:
+// parents[k] is the index of event k's triggering parent, -1 for
+// immigrants. The fixture parameters are recorded so a drive-by change to
+// the generator or config shows up as a loud mismatch, not a silent one.
+type goldenParents struct {
+	Dataset string `json:"dataset"`
+	Seed    int64  `json:"seed"`
+	EMIters int    `json:"em_iters"`
+	Events  int    `json:"events"`
+	Parents []int  `json:"parents"`
+}
+
+// TestEStepGoldenParents is a regression pin on the E-step posteriors: a
+// fixed seeded fit followed by MAP forest inference must reproduce the
+// checked-in parent assignments exactly. The E-step is deterministic at
+// every worker count (see determinism_test.go), so this golden holds on
+// any machine; it changes only when the model itself changes, in which
+// case regenerate with:
+//
+//	go test ./internal/core/ -run TestEStepGoldenParents -update
+func TestEStepGoldenParents(t *testing.T) {
+	d := smallDataset(t, 42)
+	cfg := quickCfg(VariantL)
+	cfg.EMIters = 3
+	m, err := Fit(d.Seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.InferForest(d.Seq.StripParents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := goldenParents{
+		Dataset: "smallDataset(42)", Seed: cfg.Seed, EMIters: cfg.EMIters,
+		Events: d.Seq.Len(), Parents: make([]int, 0, d.Seq.Len()),
+	}
+	for _, p := range f.Parents() {
+		got.Parents = append(got.Parents, int(p))
+	}
+
+	path := filepath.Join("testdata", "estep_parents.golden.json")
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d events)", path, got.Events)
+		return
+	}
+
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	var want goldenParents
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("corrupt golden file: %v", err)
+	}
+	if want.Dataset != got.Dataset || want.Seed != got.Seed || want.EMIters != got.EMIters {
+		t.Fatalf("golden fixture mismatch: file is for %s/seed=%d/em=%d, test builds %s/seed=%d/em=%d — regenerate with -update",
+			want.Dataset, want.Seed, want.EMIters, got.Dataset, got.Seed, got.EMIters)
+	}
+	if want.Events != got.Events {
+		t.Fatalf("event count drifted: golden %d, got %d — the generator changed; regenerate with -update if intended", want.Events, got.Events)
+	}
+	diffs := 0
+	for k := range want.Parents {
+		if want.Parents[k] != got.Parents[k] {
+			if diffs == 0 {
+				t.Errorf("parent[%d] = %d, golden %d", k, got.Parents[k], want.Parents[k])
+			}
+			diffs++
+		}
+	}
+	if diffs > 0 {
+		t.Errorf("%d/%d parent assignments drifted from golden — the E-step changed; regenerate with -update if intended", diffs, len(want.Parents))
+	}
+}

@@ -195,9 +195,13 @@ func Fit(seq *timeline.Sequence, cfg Config) (*Model, error) {
 		return nil, err
 	}
 	for iter := 0; iter < cfg.EMIters; iter++ {
-		m.mStep(work, conf)
+		if err := m.mStep(work, conf); err != nil {
+			return nil, err
+		}
 		if !cfg.FixedKernel {
-			m.updateKernels(work, conf)
+			if err := m.updateKernels(work, conf); err != nil {
+				return nil, err
+			}
 		}
 		if observed == nil && (iter+1)%refreshEvery == 0 && iter+1 < cfg.EMIters {
 			// Phase boundary: annealed E-step (sampled in the first half of
@@ -214,7 +218,7 @@ func Fit(seq *timeline.Sequence, cfg Config) (*Model, error) {
 		}
 		m.Iterations = iter + 1
 		if cfg.TrackHistory {
-			ll, err := m.processWith(conf).LogLikelihood(work, hawkes.DefaultCompensator())
+			ll, err := m.processWith(conf).LogLikelihood(work, m.compensatorOpts())
 			if err != nil {
 				return nil, err
 			}
@@ -473,7 +477,7 @@ func (m *Model) HeldOutLogLikelihood(test *timeline.Sequence) (float64, error) {
 			return 0, err
 		}
 	}
-	return m.processWith(conf).LogLikelihoodWindow(combined, from, to, hawkes.DefaultCompensator())
+	return m.processWith(conf).LogLikelihoodWindow(combined, from, to, m.compensatorOpts())
 }
 
 // InferredForest returns the branching structure the final E-step assigned

@@ -7,6 +7,7 @@ import (
 	"chassis/internal/conformity"
 	"chassis/internal/dft"
 	"chassis/internal/kernel"
+	"chassis/internal/parallel"
 	"chassis/internal/timeline"
 )
 
@@ -27,7 +28,12 @@ import (
 // Eq. 7.6 explodes wherever the excitation spectrum has a near-zero bin —
 // and the result is blended with the previous kernel (KernelDamping) so the
 // alternating EM procedure cannot oscillate.
-func (m *Model) updateKernels(seq *timeline.Sequence, conf *conformity.Computer) {
+//
+// Each receiving dimension's estimate is independent — it reads the frozen
+// parameters/conformity state and replaces only m.Kernels[i] — so the loop
+// fans out over the worker pool. The returned error only surfaces worker
+// panics; estimation failures keep the previous kernel, as before.
+func (m *Model) updateKernels(seq *timeline.Sequence, conf *conformity.Computer) error {
 	const fftBins = 256
 	const tikhonov = 1e-3
 	exc := excitation{m: m, conf: conf}
@@ -41,14 +47,14 @@ func (m *Model) updateKernels(seq *timeline.Sequence, conf *conformity.Computer)
 		taps = fftBins / 2
 	}
 
-	for i := 0; i < m.M; i++ {
+	return parallel.Do(parallel.Workers(m.cfg.Workers), m.M, func(i int) error {
 		counts := seq.CountingProcess(timeline.UserID(i), fftBins)
 		var total float64
 		for _, c := range counts {
 			total += c
 		}
 		if total < 4 {
-			continue // not enough signal to estimate a kernel for i
+			return nil // not enough signal to estimate a kernel for i
 		}
 		lam := dft.ForwardReal(counts)
 
@@ -74,7 +80,7 @@ func (m *Model) updateKernels(seq *timeline.Sequence, conf *conformity.Computer)
 			}
 		}
 		if alphaMass <= 0 || fpmu <= 0 {
-			continue
+			return nil
 		}
 		// DC correction (Eq. 7.7): remove the expected exogenous count.
 		lam[0] -= complex(m.link.Apply(m.Mu[i])*T, 0)
@@ -87,7 +93,7 @@ func (m *Model) updateKernels(seq *timeline.Sequence, conf *conformity.Computer)
 			}
 		}
 		if maxD == 0 {
-			continue
+			return nil
 		}
 		eps := tikhonov * maxD * maxD
 		phiF := make([]complex128, fftBins)
@@ -107,7 +113,7 @@ func (m *Model) updateKernels(seq *timeline.Sequence, conf *conformity.Computer)
 		}
 		est, err := kernel.NewDiscrete(delta, values)
 		if err != nil || est.Mass() <= 0 {
-			continue
+			return nil
 		}
 		est.Normalize()
 
@@ -120,9 +126,10 @@ func (m *Model) updateKernels(seq *timeline.Sequence, conf *conformity.Computer)
 		}
 		nk, err := kernel.NewDiscrete(delta, blended)
 		if err != nil || nk.Mass() <= 0 {
-			continue
+			return nil
 		}
 		nk.Normalize()
 		m.Kernels[i] = nk
-	}
+		return nil
+	})
 }

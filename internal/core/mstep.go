@@ -2,12 +2,11 @@ package core
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"chassis/internal/conformity"
 	"chassis/internal/hawkes"
 	"chassis/internal/infer"
+	"chassis/internal/parallel"
 	"chassis/internal/timeline"
 )
 
@@ -377,45 +376,33 @@ func (m *Model) accumGrad(grad []float64, l layout, d *dimData, e int32, scale f
 }
 
 // mStep optimizes every dimension's parameters in parallel against the
-// current forest/conformity state.
-func (m *Model) mStep(seq *timeline.Sequence, conf *conformity.Computer) {
+// current forest/conformity state. Dimensions are independent — each reads
+// the frozen forest/conformity snapshot and writes only its own parameter
+// rows — so they fan out over the shared worker pool; the per-dimension
+// optimization itself is deterministic, which keeps the fitted parameters
+// identical at any worker count. The returned error only reports worker
+// panics: a dimension whose optimizer fails simply keeps its parameters.
+func (m *Model) mStep(seq *timeline.Sequence, conf *conformity.Computer) error {
 	_, linear := m.link.(hawkes.LinearLink)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m.M {
-		workers = m.M
-	}
-	var wg sync.WaitGroup
-	dims := make(chan int)
-	for wkr := 0; wkr < workers; wkr++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range dims {
-				d := m.buildDimData(seq, conf, i, !linear)
-				x0 := m.pack(i)
-				lower, upper := m.bounds(i)
-				res, err := infer.MaximizeProjected(x0, m.objective(d, conf), infer.Options{
-					MaxIter: m.cfg.MStepIters,
-					Lower:   lower, Upper: upper,
-					InitStep: 0.05, Tol: 1e-7,
-				})
-				if err != nil {
-					continue // leave this dimension's parameters unchanged
-				}
-				// Damped update: the E-step's sampled trees make the
-				// objective a noisy target; blending iterates stabilizes
-				// the alternation.
-				damp := m.cfg.ParamDamping
-				for p := range res.X {
-					res.X[p] = damp*x0[p] + (1-damp)*res.X[p]
-				}
-				m.unpack(i, res.X)
-			}
-		}()
-	}
-	for i := 0; i < m.M; i++ {
-		dims <- i
-	}
-	close(dims)
-	wg.Wait()
+	return parallel.Do(parallel.Workers(m.cfg.Workers), m.M, func(i int) error {
+		d := m.buildDimData(seq, conf, i, !linear)
+		x0 := m.pack(i)
+		lower, upper := m.bounds(i)
+		res, err := infer.MaximizeProjected(x0, m.objective(d, conf), infer.Options{
+			MaxIter: m.cfg.MStepIters,
+			Lower:   lower, Upper: upper,
+			InitStep: 0.05, Tol: 1e-7,
+		})
+		if err != nil {
+			return nil // leave this dimension's parameters unchanged
+		}
+		// Damped update: the E-step's sampled trees make the objective a
+		// noisy target; blending iterates stabilizes the alternation.
+		damp := m.cfg.ParamDamping
+		for p := range res.X {
+			res.X[p] = damp*x0[p] + (1-damp)*res.X[p]
+		}
+		m.unpack(i, res.X)
+		return nil
+	})
 }

@@ -26,6 +26,10 @@ type Options struct {
 	Fractions []float64
 	// Datasets restricts the corpora (default SF and ST).
 	Datasets []string
+	// Workers caps fit parallelism (0 = GOMAXPROCS). Every reported number
+	// is identical at any setting — the fit pipeline is deterministic
+	// across worker counts — so this only trades wall-clock for cores.
+	Workers int
 	// Progress, when set, receives human-readable progress lines.
 	Progress func(format string, args ...any)
 }
@@ -101,7 +105,7 @@ func RunModelFitness(o Options) (*FitnessResult, error) {
 				return nil, err
 			}
 			for _, name := range o.Strategies {
-				s, err := NewStrategy(name, FitOptions{EMIters: o.EMIters})
+				s, err := NewStrategy(name, FitOptions{EMIters: o.EMIters, Workers: o.Workers})
 				if err != nil {
 					return nil, err
 				}
@@ -156,7 +160,7 @@ func RunConvergence(o Options, iters int) ([]ConvergenceResult, error) {
 		}
 		res := ConvergenceResult{Dataset: dsName, Series: map[string][]float64{}}
 		for _, name := range []string{"CHASSIS-L", "CHASSIS-E"} {
-			s, err := NewStrategy(name, FitOptions{EMIters: iters, TrackHistory: true})
+			s, err := NewStrategy(name, FitOptions{EMIters: iters, TrackHistory: true, Workers: o.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -194,7 +198,7 @@ func RunTable1(o Options) ([]Table1Row, error) {
 		}
 		row := Table1Row{Event: ds.Name, F1: map[string]float64{}}
 		for _, name := range Table1Strategies {
-			s, err := NewStrategy(name, FitOptions{EMIters: o.EMIters, InferTrees: true})
+			s, err := NewStrategy(name, FitOptions{EMIters: o.EMIters, InferTrees: true, Workers: o.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -244,7 +248,7 @@ func RunScalability(o Options, scales []float64) ([]ScalePoint, error) {
 			return nil, err
 		}
 		for _, name := range strategies {
-			s, err := NewStrategy(name, FitOptions{EMIters: o.EMIters})
+			s, err := NewStrategy(name, FitOptions{EMIters: o.EMIters, Workers: o.Workers})
 			if err != nil {
 				return nil, err
 			}

@@ -54,6 +54,9 @@ type FitOptions struct {
 	// matching the paper's Facebook/Twitter experiments, whose crawls
 	// expose parent links — reads the observed trees.
 	InferTrees bool
+	// Workers caps fit parallelism (0 = GOMAXPROCS); results are identical
+	// at every setting, see core.Config.Workers.
+	Workers int
 }
 
 // NewStrategy constructs a strategy by its paper label.
@@ -104,6 +107,7 @@ func (s *chassisStrategy) Fit(train *timeline.Sequence, seed int64) error {
 		Variant:          s.variant,
 		EMIters:          s.opts.EMIters,
 		Seed:             seed,
+		Workers:          s.opts.Workers,
 		TrackHistory:     s.opts.TrackHistory,
 		UseObservedTrees: !s.opts.InferTrees,
 	})

@@ -11,8 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"chassis/internal/kernel"
+	"chassis/internal/parallel"
 	"chassis/internal/timeline"
 )
 
@@ -264,10 +266,21 @@ func (p *Process) TotalIntensity(seq *timeline.Sequence, t float64) float64 {
 	return sum
 }
 
-// eventIntensities returns λ_{uₖ}(tₖ) evaluated at each event of seq in one
-// forward pass: a sliding window over the history bounded by the maximum
-// kernel support keeps the cost near O(n·window).
-func (p *Process) eventIntensities(seq *timeline.Sequence) []float64 {
+// intensityChunkSize shards the event-intensity pass. A fixed width keeps
+// chunk boundaries a pure function of the sequence length, so the
+// per-event intensities — and every likelihood built from them — are
+// identical at any worker count. (A variable only so tests can shrink it
+// and exercise chunk seams on small fixtures; production code never
+// writes it.)
+var intensityChunkSize = 512
+
+// eventIntensities returns λ_{uₖ}(tₖ) evaluated at each event of seq:
+// events are sharded into fixed chunks, each chunk re-derives its own
+// sliding history window bounded by the maximum kernel support (a binary
+// search), and chunks fan out over up to workers goroutines. Each event's
+// intensity depends only on the immutable history, so the pass stays
+// O(n·window) in total work and bit-identical to the serial scan.
+func (p *Process) eventIntensities(seq *timeline.Sequence, workers int) ([]float64, error) {
 	n := len(seq.Activities)
 	out := make([]float64, n)
 	// Maximum support across pairs; for shared banks this is exact.
@@ -281,55 +294,76 @@ func (p *Process) eventIntensities(seq *timeline.Sequence) []float64 {
 			break
 		}
 	}
-	lo := 0
-	for k := 0; k < n; k++ {
-		ak := &seq.Activities[k]
-		i := int(ak.User)
-		t := ak.Time
-		for lo < n && seq.Activities[lo].Time < t-maxSupport {
-			lo++
-		}
-		x := p.Mu[i]
-		for w := lo; w < k; w++ {
-			aw := &seq.Activities[w]
-			dt := t - aw.Time
-			if dt <= 0 {
-				// Simultaneous earlier-ordered events do not contribute.
-				continue
+	err := parallel.ForEachChunk(workers, n, intensityChunkSize, func(c parallel.Range) error {
+		from := seq.Activities[c.Lo].Time - maxSupport
+		lo := sort.Search(n, func(k int) bool { return seq.Activities[k].Time >= from })
+		for k := c.Lo; k < c.Hi; k++ {
+			ak := &seq.Activities[k]
+			i := int(ak.User)
+			t := ak.Time
+			for lo < n && seq.Activities[lo].Time < t-maxSupport {
+				lo++
 			}
-			j := int(aw.User)
-			if v := p.Kernels.Kernel(i, j).Eval(dt); v != 0 {
-				x += p.Exc.Alpha(i, j, aw.Time) * v
+			x := p.Mu[i]
+			for w := lo; w < k; w++ {
+				aw := &seq.Activities[w]
+				dt := t - aw.Time
+				if dt <= 0 {
+					// Simultaneous earlier-ordered events do not contribute.
+					continue
+				}
+				j := int(aw.User)
+				if v := p.Kernels.Kernel(i, j).Eval(dt); v != 0 {
+					x += p.Exc.Alpha(i, j, aw.Time) * v
+				}
 			}
+			out[k] = p.Link.Apply(x)
 		}
-		out[k] = p.Link.Apply(x)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 // LogLikelihood evaluates Eq. 7.1 summed over all dimensions:
 // Σᵢ [ Σₖ ln λᵢ(t_{ik}) − ∫₀ᵀ λᵢ(s) ds ]. The compensator is computed by
 // opts (closed-form when available, otherwise the Theorem 7.1 Euler
-// scheme). Intensities are floored at a tiny epsilon inside the log so a
-// model that assigns zero rate to an observed event is penalized steeply
-// but finitely.
+// scheme); the M per-dimension compensators fan out over opts.Workers
+// goroutines and reduce in dimension order, so the sum carries no
+// scheduling-dependent rounding. Intensities are floored at a tiny epsilon
+// inside the log so a model that assigns zero rate to an observed event is
+// penalized steeply but finitely.
 func (p *Process) LogLikelihood(seq *timeline.Sequence, opts CompensatorOptions) (float64, error) {
 	if err := p.Validate(); err != nil {
 		return 0, err
 	}
 	const floor = 1e-12
 	var ll float64
-	for _, lam := range p.eventIntensities(seq) {
+	lams, err := p.eventIntensities(seq, opts.Workers)
+	if err != nil {
+		return 0, err
+	}
+	for _, lam := range lams {
 		if lam < floor {
 			lam = floor
 		}
 		ll += math.Log(lam)
 	}
-	for i := 0; i < p.M; i++ {
+	comps := make([]float64, p.M)
+	err = parallel.Do(opts.Workers, p.M, func(i int) error {
 		comp, err := p.Compensator(seq, i, seq.Horizon, opts)
 		if err != nil {
-			return 0, err
+			return err
 		}
+		comps[i] = comp
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, comp := range comps {
 		ll -= comp
 	}
 	return ll, nil
@@ -349,7 +383,10 @@ func (p *Process) LogLikelihoodWindow(seq *timeline.Sequence, from, to float64, 
 	}
 	const floor = 1e-12
 	var ll float64
-	lams := p.eventIntensities(seq)
+	lams, err := p.eventIntensities(seq, opts.Workers)
+	if err != nil {
+		return 0, err
+	}
 	for k, a := range seq.Activities {
 		if a.Time <= from || a.Time > to {
 			continue
@@ -360,16 +397,26 @@ func (p *Process) LogLikelihoodWindow(seq *timeline.Sequence, from, to float64, 
 		}
 		ll += math.Log(lam)
 	}
-	for i := 0; i < p.M; i++ {
+	// Per-dimension window compensators Λᵢ(to) − Λᵢ(from) fan out over the
+	// pool; the reduction runs in dimension order for reproducible rounding.
+	comps := make([]float64, p.M)
+	err = parallel.Do(opts.Workers, p.M, func(i int) error {
 		hi, err := p.Compensator(seq, i, to, opts)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		lo, err := p.Compensator(seq, i, from, opts)
 		if err != nil {
-			return 0, err
+			return err
 		}
-		ll -= hi - lo
+		comps[i] = hi - lo
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, comp := range comps {
+		ll -= comp
 	}
 	return ll, nil
 }
@@ -392,9 +439,14 @@ func (p *Process) IntensitySeries(seq *timeline.Sequence, i int, from, to float6
 }
 
 // EventLogIntensities returns ln λ at each event (floored), exposed for
-// diagnostics and the convergence experiment.
+// diagnostics and the convergence experiment. The only possible failure of
+// the sharded intensity pass is a worker panic, which is re-raised here to
+// keep the historical signature.
 func (p *Process) EventLogIntensities(seq *timeline.Sequence) []float64 {
-	lams := p.eventIntensities(seq)
+	lams, err := p.eventIntensities(seq, 0)
+	if err != nil {
+		panic(err)
+	}
 	out := make([]float64, len(lams))
 	for i, lam := range lams {
 		if lam < 1e-12 {

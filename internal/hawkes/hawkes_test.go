@@ -151,10 +151,20 @@ func TestEventIntensitiesMatchDirect(t *testing.T) {
 		Link:    ExpLink{},
 	}
 	s := seqAt(2, [2]float64{0, 0.5}, [2]float64{1, 1.0}, [2]float64{0, 1.7}, [2]float64{1, 2.2}, [2]float64{0, 3.0})
-	fast := p.eventIntensities(s)
-	for k, a := range s.Activities {
-		direct := p.Intensity(s, int(a.User), a.Time)
-		approx(t, fast[k], direct, 1e-10, "eventIntensities vs direct")
+	// Width 2 splits the five events across three chunks, so the seams —
+	// each chunk re-deriving its own support window — are exercised too.
+	oldChunk := intensityChunkSize
+	intensityChunkSize = 2
+	defer func() { intensityChunkSize = oldChunk }()
+	for _, workers := range []int{1, 4} {
+		fast, err := p.eventIntensities(s, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, a := range s.Activities {
+			direct := p.Intensity(s, int(a.User), a.Time)
+			approx(t, fast[k], direct, 1e-10, "eventIntensities vs direct")
+		}
 	}
 }
 

@@ -19,6 +19,12 @@ type CompensatorOptions struct {
 	// ForceEuler disables the closed form available for linear links, so
 	// the ablation bench can compare the two paths.
 	ForceEuler bool
+	// Workers caps the goroutines used by the per-dimension fan-out of
+	// LogLikelihood/LogLikelihoodWindow and the sharded event-intensity
+	// pass; <= 0 uses runtime.GOMAXPROCS. Every setting produces identical
+	// values: each dimension (and each event chunk) is evaluated
+	// independently and the partial results are reduced in index order.
+	Workers int
 }
 
 // DefaultCompensator returns the options used throughout the experiments.

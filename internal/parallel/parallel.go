@@ -1,0 +1,142 @@
+// Package parallel is the work-sharding layer behind the fit pipeline's
+// parallel loops: the E-step's sharded parent assignment, the per-dimension
+// M-step fan-out, and the compensator/log-likelihood reductions.
+//
+// The design constraint throughout is *determinism at any parallelism
+// level*: chunk boundaries are a pure function of the problem size (never of
+// the worker count), every job writes only to its own disjoint output slots,
+// and callers reduce partial results in job-index order. Randomized loops
+// additionally key an independent RNG stream off each chunk's index (see
+// rng.RNG.Split), so the same seed produces bit-identical results whether
+// the pool runs one goroutine or sixteen.
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"runtime/debug"
+)
+
+// Workers resolves a configured worker count: values <= 0 select
+// runtime.GOMAXPROCS(0), anything positive is used as-is. Callers thread a
+// user-facing knob (core.Config.Workers, the CLIs' -workers flag) through
+// this so 0 means "use the machine".
+func Workers(configured int) int {
+	if configured > 0 {
+		return configured
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Range is one half-open shard [Lo, Hi) of an index space, tagged with its
+// position in the chunk list. Index is the stable per-chunk identity that
+// randomized loops feed to rng.Split — it depends only on the data layout,
+// so RNG streams survive any change in worker count.
+type Range struct {
+	Lo, Hi int
+	Index  int
+}
+
+// Chunks splits [0, n) into consecutive ranges of at most size elements.
+// Boundaries depend only on n and size — never on the worker count — which
+// is what makes chunk-keyed RNG streams and per-chunk scratch reproducible
+// at any parallelism level. size <= 0 yields a single chunk.
+func Chunks(n, size int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if size <= 0 {
+		size = n
+	}
+	out := make([]Range, 0, (n+size-1)/size)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Range{Lo: lo, Hi: hi, Index: len(out)})
+	}
+	return out
+}
+
+// PanicError wraps a panic recovered inside a worker so the pool can
+// surface it as an ordinary error instead of tearing the process down from
+// a bare goroutine.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// Do runs fn(i) for every i in [0, jobs) across up to workers goroutines
+// (resolved via Workers, capped at jobs) and returns the error of the
+// lowest-indexed failing job — a deterministic choice, so error reporting
+// does not depend on goroutine scheduling. Panics inside fn are captured as
+// *PanicError. Jobs are claimed from a shared counter, so callers must make
+// fn(i) independent of execution order; with one worker the jobs simply run
+// in order on the calling goroutine.
+func Do(workers, jobs int, fn func(i int) error) error {
+	if jobs <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers == 1 {
+		for i := 0; i < jobs; i++ {
+			if err := runJob(i, fn); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, jobs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= jobs {
+					return
+				}
+				errs[i] = runJob(i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runJob invokes fn(i) with panic capture.
+func runJob(i int, fn func(int) error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
+// ForEachChunk shards [0, n) into fixed-size chunks (Chunks) and runs fn on
+// each across the pool. The chunk list — and therefore each chunk's Index —
+// is identical for every worker count.
+func ForEachChunk(workers, n, size int, fn func(Range) error) error {
+	chunks := Chunks(n, size)
+	return Do(workers, len(chunks), func(i int) error { return fn(chunks[i]) })
+}

@@ -1,0 +1,211 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestChunksCoverDisjointly(t *testing.T) {
+	cases := []struct{ n, size int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {1000, 7}, {1000, 256}, {3, 0}, {3, -1},
+	}
+	for _, c := range cases {
+		chunks := Chunks(c.n, c.size)
+		seen := make([]bool, c.n)
+		for idx, r := range chunks {
+			if r.Index != idx {
+				t.Errorf("Chunks(%d,%d)[%d].Index = %d", c.n, c.size, idx, r.Index)
+			}
+			if r.Lo >= r.Hi {
+				t.Errorf("Chunks(%d,%d): empty range %+v", c.n, c.size, r)
+			}
+			for i := r.Lo; i < r.Hi; i++ {
+				if seen[i] {
+					t.Fatalf("Chunks(%d,%d): index %d covered twice", c.n, c.size, i)
+				}
+				seen[i] = true
+			}
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Errorf("Chunks(%d,%d): index %d never covered", c.n, c.size, i)
+			}
+		}
+	}
+}
+
+func TestChunksIndependentOfWorkers(t *testing.T) {
+	// The chunk list is a pure function of (n, size): nothing about the
+	// worker count can change boundaries or indices. This is the property
+	// the deterministic E-step's RNG streams rest on.
+	a := Chunks(1234, 97)
+	b := Chunks(1234, 97)
+	if len(a) != len(b) {
+		t.Fatal("chunking not reproducible")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("chunk %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDoRunsEveryJob(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8, 100} {
+		const jobs = 250
+		out := make([]int32, jobs)
+		err := Do(workers, jobs, func(i int) error {
+			atomic.AddInt32(&out[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestDoDeterministicOutput(t *testing.T) {
+	// Jobs write to disjoint slots; the assembled output must be identical
+	// at any worker count even though scheduling differs.
+	build := func(workers int) []float64 {
+		out := make([]float64, 500)
+		if err := Do(workers, len(out), func(i int) error {
+			out[i] = float64(i*i) / 3
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := build(1)
+	for _, w := range []int{2, 3, 16} {
+		got := build(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestDoErrorPropagation(t *testing.T) {
+	sentinel := errors.New("boom")
+	other := errors.New("other")
+	// The lowest-indexed failure wins regardless of scheduling.
+	for _, workers := range []int{1, 4} {
+		err := Do(workers, 64, func(i int) error {
+			switch i {
+			case 7:
+				return sentinel
+			case 40:
+				return other
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("workers=%d: got %v, want lowest-index error %v", workers, err, sentinel)
+		}
+	}
+}
+
+func TestDoPanicCapture(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := Do(workers, 16, func(i int) error {
+			if i == 3 {
+				panic("kaboom")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v, want *PanicError", workers, err)
+		}
+		if pe.Value != "kaboom" {
+			t.Errorf("panic value = %v", pe.Value)
+		}
+		if !strings.Contains(pe.Error(), "kaboom") || len(pe.Stack) == 0 {
+			t.Error("panic error should carry the value and a stack trace")
+		}
+	}
+}
+
+func TestDoZeroJobs(t *testing.T) {
+	if err := Do(4, 0, func(int) error { t.Error("must not run"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := Do(4, -3, func(int) error { t.Error("must not run"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachChunk(t *testing.T) {
+	const n = 1000
+	out := make([]int, n)
+	err := ForEachChunk(4, n, 64, func(r Range) error {
+		for i := r.Lo; i < r.Hi; i++ {
+			out[i] = r.Index + 1
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i/64+1 {
+			t.Fatalf("index %d tagged with chunk %d, want %d", i, v-1, i/64)
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-1); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-1) = %d", got)
+	}
+}
+
+// TestDoConcurrentStress exercises the pool under -race: many rounds of
+// disjoint writes plus a shared atomic, looking for data races rather than
+// asserting timing.
+func TestDoConcurrentStress(t *testing.T) {
+	var total atomic.Int64
+	for round := 0; round < 20; round++ {
+		out := make([]int64, 333)
+		if err := Do(8, len(out), func(i int) error {
+			out[i] = int64(i)
+			total.Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := total.Load(); got != 20*333 {
+		t.Fatalf("ran %d jobs, want %d", got, 20*333)
+	}
+}
+
+func ExampleForEachChunk() {
+	sums := make([]int, len(Chunks(10, 4)))
+	_ = ForEachChunk(2, 10, 4, func(r Range) error {
+		for i := r.Lo; i < r.Hi; i++ {
+			sums[r.Index] += i
+		}
+		return nil
+	})
+	fmt.Println(sums)
+	// Output: [6 22 17]
+}

@@ -67,10 +67,13 @@ func pearson(x, y []float64) float64 {
 		sxx += dx * dx
 		syy += dy * dy
 	}
-	if sxx == 0 || syy == 0 {
+	if !(sxx > 0) || !(syy > 0) {
 		return 0
 	}
 	r := sxy / math.Sqrt(sxx*syy)
+	if math.IsNaN(r) {
+		return 0
+	}
 	// Clamp round-off.
 	if r > 1 {
 		r = 1
@@ -114,10 +117,16 @@ func (p *PearsonAcc) Corr() float64 {
 	cov := p.sxy - p.sx*p.sy/n
 	vx := p.sxx - p.sx*p.sx/n
 	vy := p.syy - p.sy*p.sy/n
-	if vx <= 0 || vy <= 0 {
+	// The positivity check is written so a NaN variance (from a NaN or Inf
+	// sample poisoning the sums) also lands in the degenerate branch:
+	// NaN > 0 is false, whereas NaN <= 0 would be false too.
+	if !(vx > 0) || !(vy > 0) {
 		return 0
 	}
 	r := cov / math.Sqrt(vx*vy)
+	if math.IsNaN(r) {
+		return 0
+	}
 	if r > 1 {
 		r = 1
 	} else if r < -1 {
