@@ -1,0 +1,68 @@
+// Benchmark guard for the observability layer: the instrumented hot path
+// with NO observer and NO metrics registry attached (the "no-op observer
+// path" — every call site pays one nil check and nothing else) must stay
+// within 2% of the wall-clock recorded in BENCH_estep.json before/at
+// instrumentation time. Gated behind CHASSIS_BENCH_GUARD=1: absolute
+// wall-clock only means something on hardware comparable to (or faster
+// than) the recording machine, so the guard runs as a dedicated CI job
+// rather than inside the ordinary unit pass.
+package chassis_test
+
+import (
+	"encoding/json"
+	"os"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestEStepNoopObserverGuard re-times the BENCH_estep.json fixture —
+// full forest inference at workers=1, the EM hot loop — through the
+// instrumented code with observability disabled, and fails if the median
+// exceeds the recorded baseline by more than 2%.
+func TestEStepNoopObserverGuard(t *testing.T) {
+	if os.Getenv("CHASSIS_BENCH_GUARD") == "" {
+		t.Skip("set CHASSIS_BENCH_GUARD=1 to compare the no-op observer path against BENCH_estep.json")
+	}
+	blob, err := os.ReadFile("BENCH_estep.json")
+	if err != nil {
+		t.Fatalf("missing baseline (record with CHASSIS_BENCH_ESTEP=1): %v", err)
+	}
+	var report benchReport
+	if err := json.Unmarshal(blob, &report); err != nil {
+		t.Fatalf("corrupt BENCH_estep.json: %v", err)
+	}
+	baseline := 0.0
+	for _, r := range report.Results {
+		if r.Workers == 1 {
+			baseline = r.MedianMS
+		}
+	}
+	if baseline <= 0 {
+		t.Fatal("BENCH_estep.json has no workers=1 row")
+	}
+
+	m, work := estepFixture(t)
+	m.SetWorkers(1)
+	if _, err := m.InferForest(work); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	const reps = 9
+	times := make([]float64, 0, reps)
+	for r := 0; r < reps; r++ {
+		start := time.Now()
+		if _, err := m.InferForest(work); err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, float64(time.Since(start).Microseconds())/1000)
+	}
+	sort.Float64s(times)
+	med := times[len(times)/2]
+	limit := baseline * 1.02
+	t.Logf("no-op observer path: median %.3f ms over %d reps (baseline %.3f ms, limit %.3f ms)",
+		med, reps, baseline, limit)
+	if med > limit {
+		t.Fatalf("disabled-observability hot path regressed: median %.3f ms > %.3f ms (baseline %.3f ms + 2%%) — the nil-observer/nil-metrics path must stay free",
+			med, limit, baseline)
+	}
+}

@@ -18,6 +18,8 @@
 package chassis
 
 import (
+	"context"
+
 	"chassis/internal/baselines"
 	"chassis/internal/branching"
 	"chassis/internal/cascade"
@@ -26,6 +28,7 @@ import (
 	"chassis/internal/eval"
 	"chassis/internal/experiments"
 	"chassis/internal/hawkes"
+	"chassis/internal/obs"
 	"chassis/internal/predict"
 	"chassis/internal/rng"
 	"chassis/internal/socialnet"
@@ -82,10 +85,39 @@ type (
 	NextActivity = predict.NextActivity
 	// CountForecast is a per-user expected-count forecast.
 	CountForecast = predict.CountForecast
+	// PredictOptions bundles every knob of the prediction entry points
+	// (Predict, Forecast, EvaluatePrediction): simulation horizon/window,
+	// Monte-Carlo draw count, evaluation steps, RNG seed, worker budget,
+	// cancellation context, and a draw-progress observer. The zero value is
+	// usable wherever a field has a documented default.
+	PredictOptions = predict.Options
 
 	// ExperimentOptions configures the table/figure runners.
 	ExperimentOptions = experiments.Options
+
+	// FitOption adjusts a fit's observability hooks (see Observe and
+	// ObserveMetrics) without touching FitConfig's exported surface.
+	FitOption = core.Option
+	// FitObserver receives lifecycle callbacks from a running EM fit:
+	// OnIterStart → OnMStep → [OnEStep] → OnIterEnd per iteration.
+	FitObserver = obs.FitObserver
+	// PredictObserver receives OnDraw progress from Monte-Carlo loops.
+	PredictObserver = obs.PredictObserver
+	// EStepStats, MStepStats, and IterStats are the callback payloads.
+	EStepStats = obs.EStepStats
+	MStepStats = obs.MStepStats
+	IterStats  = obs.IterStats
+	// Metrics is the lightweight counter/gauge/timer registry engine
+	// instrumentation reports into; MetricsSnapshot its JSON-encodable copy.
+	Metrics         = obs.Metrics
+	MetricsSnapshot = obs.Snapshot
+	// CanceledError reports a fit aborted by context cancellation, naming
+	// the EM iteration and phase it was honored in.
+	CanceledError = core.CanceledError
 )
+
+// NewMetrics returns an enabled, empty metrics registry.
+var NewMetrics = obs.NewMetrics
 
 // NoParent marks immigrant activities.
 const NoParent = timeline.NoParent
@@ -135,8 +167,28 @@ func PHEMEEvents(seed int64) []PHEMEEvent { return cascade.PHEMEEvents(seed) }
 func GeneratePHEME(ev PHEMEEvent) (*Dataset, error) { return cascade.GeneratePHEME(ev) }
 
 // Fit runs the semi-parametric EM of Sections 6–7 and returns the fitted
-// model.
+// model. It is FitContext with a background context and no options.
 func Fit(seq *Sequence, cfg FitConfig) (*Model, error) { return core.Fit(seq, cfg) }
+
+// FitContext is Fit with lifecycle control: ctx cancels the EM loop
+// cooperatively at the worker pool's chunk boundaries — the error is a
+// *CanceledError wrapping ctx.Err() and naming the iteration it aborted
+// in, and no partial model is returned — and opts attach observability
+// (Observe, ObserveMetrics). Observation is read-only: an observed fit
+// produces bit-identical parameters and forests to an unobserved one at
+// every Workers setting. ctx may be nil.
+func FitContext(ctx context.Context, seq *Sequence, cfg FitConfig, opts ...FitOption) (*Model, error) {
+	return core.FitContext(ctx, seq, cfg, opts...)
+}
+
+// Observe attaches a lifecycle observer to a fit (per-phase wall times,
+// training LL, E-step entropy, M-step gradient norms, compensator
+// Euler-step counts). Multiple Observe options compose.
+func Observe(o FitObserver) FitOption { return core.WithObserver(o) }
+
+// ObserveMetrics directs the fit's engine instrumentation (phase timers,
+// compensator Euler-step counters) into reg for later Snapshot().
+func ObserveMetrics(reg *Metrics) FitOption { return core.WithMetrics(reg) }
 
 // LoadModel deserializes a model written by Model.Save and rebinds it to
 // its training sequence.
@@ -168,21 +220,48 @@ func AnalyzePolarity(text string) float64 { return stance.NewAnalyzer().Polarity
 // AnnotatePolarities fills every activity's Polarity from its kind and text.
 func AnnotatePolarities(seq *Sequence) { stance.NewAnalyzer().AnnotateSequence(seq) }
 
-// PredictNext forecasts the next activity after the history under a fitted
-// model by Monte-Carlo forward simulation.
+// Predict forecasts the next activity after the history under a fitted
+// model by Monte-Carlo forward simulation of o.Draws futures over
+// o.Lookahead. Draws fan out over o.Workers goroutines and reduce in draw
+// order, so the forecast is bit-identical at every Workers setting.
+func Predict(m *Model, history *Sequence, o PredictOptions) (NextActivity, error) {
+	return predict.Next(m.Process(), history, o)
+}
+
+// Forecast estimates per-user activity counts over the next o.Window.
+func Forecast(m *Model, history *Sequence, o PredictOptions) (CountForecast, error) {
+	return predict.Counts(m.Process(), history, o)
+}
+
+// EvaluatePrediction walks a held-out continuation and scores next-actor
+// prediction accuracy over o.Steps predictions of o.Draws futures each.
+func EvaluatePrediction(m *Model, history, test *Sequence, o PredictOptions) (float64, int, error) {
+	return predict.NextUserAccuracy(m.Process(), history, test, o)
+}
+
+// PredictNext forecasts the next activity after the history.
+//
+// Deprecated: use Predict with PredictOptions; this wrapper produces
+// bit-identical results.
 func PredictNext(m *Model, history *Sequence, lookahead float64, draws int, seed int64) (NextActivity, error) {
-	return predict.PredictNext(m.Process(), history, lookahead, draws, rng.New(seed))
+	return Predict(m, history, PredictOptions{Lookahead: lookahead, Draws: draws, Seed: seed})
 }
 
 // ForecastCounts estimates per-user activity counts over the next window.
+//
+// Deprecated: use Forecast with PredictOptions; this wrapper produces
+// bit-identical results.
 func ForecastCounts(m *Model, history *Sequence, window float64, draws int, seed int64) (CountForecast, error) {
-	return predict.ForecastCounts(m.Process(), history, window, draws, rng.New(seed))
+	return Forecast(m, history, PredictOptions{Window: window, Draws: draws, Seed: seed})
 }
 
 // EvaluateNextUser walks a held-out continuation and scores next-actor
 // prediction accuracy.
+//
+// Deprecated: use EvaluatePrediction with PredictOptions; this wrapper
+// produces bit-identical results.
 func EvaluateNextUser(m *Model, history, test *Sequence, steps, draws int, seed int64) (float64, int, error) {
-	return predict.EvaluateNextUser(m.Process(), history, test, steps, draws, rng.New(seed))
+	return EvaluatePrediction(m, history, test, PredictOptions{Steps: steps, Draws: draws, Seed: seed})
 }
 
 // Experiment runners — one per table/figure; see EXPERIMENTS.md.

@@ -11,6 +11,10 @@
 //	chassis-bench -exp scale           # scalability
 //	chassis-bench -exp ablation        # design-choice ablations
 //	chassis-bench -exp all
+//
+// Ctrl-C cancels the current fit cooperatively and exits; -progress,
+// -metrics-json, and -pprof surface the fits' observability layer
+// (per-iteration lines and snapshots across every fit the run performs).
 package main
 
 import (
@@ -19,22 +23,32 @@ import (
 	"os"
 	"strings"
 
+	"chassis/internal/cliobs"
 	"chassis/internal/experiments"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: fig5, rankcorr, convergence, table1, scale, ablation, all")
-		scale   = flag.Float64("scale", 1, "dataset size multiplier")
-		seed    = flag.Int64("seed", 2020, "random seed")
-		em      = flag.Int("em", 10, "EM iterations")
-		iters   = flag.Int("conv-iters", 30, "EM iterations for the convergence study")
-		workers = flag.Int("workers", 0, "worker goroutines for the parallel fits (0 = all cores); results are identical at any setting")
-		quiet   = flag.Bool("quiet", false, "suppress progress lines")
-		strlist = flag.String("strategies", "", "comma-separated strategy subset (default: all)")
+		exp      = flag.String("exp", "all", "experiment: fig5, rankcorr, convergence, table1, scale, ablation, all")
+		scale    = flag.Float64("scale", 1, "dataset size multiplier")
+		seed     = flag.Int64("seed", 2020, "random seed")
+		em       = flag.Int("em", 10, "EM iterations")
+		iters    = flag.Int("conv-iters", 30, "EM iterations for the convergence study")
+		workers  = flag.Int("workers", 0, "worker goroutines for the parallel fits (0 = all cores); results are identical at any setting")
+		quiet    = flag.Bool("quiet", false, "suppress progress lines")
+		strlist  = flag.String("strategies", "", "comma-separated strategy subset (default: all)")
+		obsFlags = cliobs.Register(flag.CommandLine)
 	)
 	flag.Parse()
-	opts := experiments.Options{Seed: *seed, Scale: *scale, EMIters: *em, Workers: *workers}
+	sess, err := obsFlags.Start("chassis-bench")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chassis-bench:", err)
+		os.Exit(1)
+	}
+	opts := experiments.Options{
+		Seed: *seed, Scale: *scale, EMIters: *em, Workers: *workers,
+		Ctx: sess.Ctx, Observer: sess.Observer, Metrics: sess.Metrics,
+	}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -43,10 +57,9 @@ func main() {
 	if *strlist != "" {
 		opts.Strategies = strings.Split(*strlist, ",")
 	}
-	if err := run(*exp, opts, *iters); err != nil {
-		fmt.Fprintln(os.Stderr, "chassis-bench:", err)
-		os.Exit(1)
-	}
+	err = run(*exp, opts, *iters)
+	sess.Close()
+	os.Exit(cliobs.ExitCode(os.Stderr, "chassis-bench", err))
 }
 
 func run(exp string, opts experiments.Options, convIters int) error {

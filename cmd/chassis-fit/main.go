@@ -5,6 +5,11 @@
 // Usage:
 //
 //	chassis-fit -in sf.json -strategy CHASSIS-L -split 0.7 -em 10 -out model.json
+//	chassis-fit -in sf.json -progress -metrics-json metrics.jsonl
+//
+// Ctrl-C cancels the fit cooperatively at the next parallel-chunk boundary;
+// -progress, -metrics-json, and -pprof surface the fit's observability layer
+// (see README "Observability").
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"strings"
 
 	"chassis"
+	"chassis/internal/cliobs"
 	"chassis/internal/dataio"
 	"chassis/internal/experiments"
 )
@@ -28,19 +34,24 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines for the parallel fit (0 = all cores); results are identical at any setting")
 		out      = flag.String("out", "", "optional output path for a model summary (JSON)")
 		savefull = flag.String("savefull", "", "optional output path for the full fitted model (CHASSIS/HP family only; reload with chassis.LoadModel)")
+		obsFlags = cliobs.Register(flag.CommandLine)
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "chassis-fit: -in is required")
 		os.Exit(2)
 	}
-	if err := run(*in, *strategy, *split, *em, *seed, *workers, *out, *savefull); err != nil {
+	sess, err := obsFlags.Start("chassis-fit")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "chassis-fit:", err)
 		os.Exit(1)
 	}
+	err = run(sess, *in, *strategy, *split, *em, *seed, *workers, *out, *savefull)
+	sess.Close()
+	os.Exit(cliobs.ExitCode(os.Stderr, "chassis-fit", err))
 }
 
-func run(in, strategy string, split float64, em int, seed int64, workers int, out, savefull string) error {
+func run(sess *cliobs.Session, in, strategy string, split float64, em int, seed int64, workers int, out, savefull string) error {
 	ds, err := dataio.LoadDataset(in)
 	if err != nil {
 		return err
@@ -51,12 +62,18 @@ func run(in, strategy string, split float64, em int, seed int64, workers int, ou
 	if err != nil {
 		return err
 	}
-	s, err := experiments.NewStrategy(strategy, experiments.FitOptions{EMIters: em, Workers: workers})
+	s, err := experiments.NewStrategy(strategy, experiments.FitOptions{
+		EMIters: em, Workers: workers,
+		Observer: sess.Observer, Metrics: sess.Metrics,
+	})
 	if err != nil {
 		return err
 	}
-	if err := s.Fit(train, seed); err != nil {
+	if err := s.Fit(sess.Ctx, train, seed); err != nil {
 		return err
+	}
+	if n := sess.Snapshots(); n > 0 {
+		fmt.Printf("wrote %d iteration snapshots\n", n)
 	}
 	held, err := s.HeldOut(test)
 	if err != nil {

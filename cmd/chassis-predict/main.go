@@ -5,6 +5,10 @@
 // Usage:
 //
 //	chassis-predict -in sf.json -variant CHASSIS-L -split 0.8 -draws 150
+//
+// Ctrl-C cancels the fit and the Monte-Carlo loops cooperatively;
+// -progress, -metrics-json, and -pprof surface the fit's observability
+// layer (see README "Observability").
 package main
 
 import (
@@ -14,28 +18,35 @@ import (
 	"sort"
 
 	"chassis"
+	"chassis/internal/cliobs"
 	"chassis/internal/dataio"
 )
 
 func main() {
 	var (
-		in      = flag.String("in", "", "input dataset (JSON from chassis-sim)")
-		variant = flag.String("variant", "CHASSIS-L", "model variant: CHASSIS-L, CHASSIS-E, L-HP, E-HP")
-		split   = flag.Float64("split", 0.8, "training fraction")
-		em      = flag.Int("em", 8, "EM iterations")
-		draws   = flag.Int("draws", 150, "Monte-Carlo futures per prediction")
-		steps   = flag.Int("steps", 10, "next-actor predictions to score")
-		seed    = flag.Int64("seed", 42, "random seed")
+		in       = flag.String("in", "", "input dataset (JSON from chassis-sim)")
+		variant  = flag.String("variant", "CHASSIS-L", "model variant: CHASSIS-L, CHASSIS-E, L-HP, E-HP")
+		split    = flag.Float64("split", 0.8, "training fraction")
+		em       = flag.Int("em", 8, "EM iterations")
+		draws    = flag.Int("draws", 150, "Monte-Carlo futures per prediction")
+		steps    = flag.Int("steps", 10, "next-actor predictions to score")
+		seed     = flag.Int64("seed", 42, "random seed")
+		workers  = flag.Int("workers", 0, "worker goroutines for the fit and the Monte-Carlo draws (0 = all cores); results are identical at any setting")
+		obsFlags = cliobs.Register(flag.CommandLine)
 	)
 	flag.Parse()
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "chassis-predict: -in is required")
 		os.Exit(2)
 	}
-	if err := run(*in, *variant, *split, *em, *draws, *steps, *seed); err != nil {
+	sess, err := obsFlags.Start("chassis-predict")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "chassis-predict:", err)
 		os.Exit(1)
 	}
+	err = run(sess, *in, *variant, *split, *em, *draws, *steps, *seed, *workers)
+	sess.Close()
+	os.Exit(cliobs.ExitCode(os.Stderr, "chassis-predict", err))
 }
 
 func variantByName(name string) (chassis.Variant, error) {
@@ -50,7 +61,7 @@ func variantByName(name string) (chassis.Variant, error) {
 	return chassis.Variant{}, fmt.Errorf("unknown variant %q", name)
 }
 
-func run(in, variant string, split float64, em, draws, steps int, seed int64) error {
+func run(sess *cliobs.Session, in, variant string, split float64, em, draws, steps int, seed int64, workers int) error {
 	ds, err := dataio.LoadDataset(in)
 	if err != nil {
 		return err
@@ -64,15 +75,25 @@ func run(in, variant string, split float64, em, draws, steps int, seed int64) er
 		return err
 	}
 	fmt.Printf("dataset %s: training on %d activities, forecasting %d\n", ds.Name, train.Len(), test.Len())
-	m, err := chassis.Fit(train, chassis.FitConfig{
-		Variant: v, EMIters: em, Seed: seed,
+	var fitOpts []chassis.FitOption
+	if sess.Observer != nil {
+		fitOpts = append(fitOpts, chassis.Observe(sess.Observer))
+	}
+	if sess.Metrics != nil {
+		fitOpts = append(fitOpts, chassis.ObserveMetrics(sess.Metrics))
+	}
+	m, err := chassis.FitContext(sess.Ctx, train, chassis.FitConfig{
+		Variant: v, EMIters: em, Seed: seed, Workers: workers,
 		UseObservedTrees: true, // chassis-sim corpora expose reply links
-	})
+	}, fitOpts...)
 	if err != nil {
 		return err
 	}
 
-	next, err := chassis.PredictNext(m, train, (ds.Seq.Horizon-train.Horizon)/2+1, draws, seed)
+	next, err := chassis.Predict(m, train, chassis.PredictOptions{
+		Lookahead: (ds.Seq.Horizon-train.Horizon)/2 + 1,
+		Draws:     draws, Seed: seed, Workers: workers, Ctx: sess.Ctx,
+	})
 	if err != nil {
 		return err
 	}
@@ -86,7 +107,9 @@ func run(in, variant string, split float64, em, draws, steps int, seed int64) er
 	}
 
 	window := ds.Seq.Horizon - train.Horizon
-	fc, err := chassis.ForecastCounts(m, train, window, draws, seed+1)
+	fc, err := chassis.Forecast(m, train, chassis.PredictOptions{
+		Window: window, Draws: draws, Seed: seed + 1, Workers: workers, Ctx: sess.Ctx,
+	})
 	if err != nil {
 		return err
 	}
@@ -114,7 +137,9 @@ func run(in, variant string, split float64, em, draws, steps int, seed int64) er
 	}
 	fmt.Printf("total: predicted %.1f vs actual %.0f\n", fc.Total, totActual)
 
-	acc, n, err := chassis.EvaluateNextUser(m, train, test, steps, draws/2, seed+2)
+	acc, n, err := chassis.EvaluatePrediction(m, train, test, chassis.PredictOptions{
+		Steps: steps, Draws: draws / 2, Seed: seed + 2, Workers: workers, Ctx: sess.Ctx,
+	})
 	if err != nil {
 		return err
 	}

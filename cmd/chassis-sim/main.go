@@ -7,6 +7,11 @@
 //
 //	chassis-sim -dataset SF -scale 1 -seed 42 -out sf.json
 //	chassis-sim -dataset pheme -seed 42 -out pheme   # writes pheme-<event>.json per event
+//
+// Ctrl-C cancels between generated corpora; the shared -progress,
+// -metrics-json, and -pprof flags are accepted for CLI uniformity (-pprof is
+// the useful one here — generation performs no EM iterations, so the
+// snapshot file stays empty).
 package main
 
 import (
@@ -16,29 +21,35 @@ import (
 	"strings"
 
 	"chassis"
+	"chassis/internal/cliobs"
 	"chassis/internal/dataio"
 )
 
 func main() {
 	var (
-		dataset = flag.String("dataset", "SF", "corpus to generate: SF, ST, or pheme")
-		scale   = flag.Float64("scale", 1, "dataset size multiplier")
-		seed    = flag.Int64("seed", 42, "random seed")
-		out     = flag.String("out", "", "output path (JSON); for pheme, a path prefix")
-		csvPath = flag.String("csv", "", "also export activities as CSV to this path")
+		dataset  = flag.String("dataset", "SF", "corpus to generate: SF, ST, or pheme")
+		scale    = flag.Float64("scale", 1, "dataset size multiplier")
+		seed     = flag.Int64("seed", 42, "random seed")
+		out      = flag.String("out", "", "output path (JSON); for pheme, a path prefix")
+		csvPath  = flag.String("csv", "", "also export activities as CSV to this path")
+		obsFlags = cliobs.Register(flag.CommandLine)
 	)
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "chassis-sim: -out is required")
 		os.Exit(2)
 	}
-	if err := run(*dataset, *scale, *seed, *out, *csvPath); err != nil {
+	sess, err := obsFlags.Start("chassis-sim")
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "chassis-sim:", err)
 		os.Exit(1)
 	}
+	err = run(sess, *dataset, *scale, *seed, *out, *csvPath)
+	sess.Close()
+	os.Exit(cliobs.ExitCode(os.Stderr, "chassis-sim", err))
 }
 
-func run(dataset string, scale float64, seed int64, out, csvPath string) error {
+func run(sess *cliobs.Session, dataset string, scale float64, seed int64, out, csvPath string) error {
 	switch strings.ToUpper(dataset) {
 	case "SF", "ST":
 		var ds *chassis.Dataset
@@ -69,6 +80,9 @@ func run(dataset string, scale float64, seed int64, out, csvPath string) error {
 		return nil
 	case "PHEME":
 		for _, ev := range chassis.PHEMEEvents(seed) {
+			if err := sess.Ctx.Err(); err != nil {
+				return err
+			}
 			ds, err := chassis.GeneratePHEME(ev)
 			if err != nil {
 				return err

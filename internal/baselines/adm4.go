@@ -1,13 +1,17 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
+	"time"
 
 	"chassis/internal/branching"
 	"chassis/internal/kernel"
 	"chassis/internal/linalg"
+	"chassis/internal/obs"
 	"chassis/internal/timeline"
 )
 
@@ -25,6 +29,11 @@ type ADM4Config struct {
 	// (defaults 0.3 and 0.1 — the regularization is the method's defining
 	// feature, so the defaults are deliberately non-trivial).
 	LambdaNuclear, LambdaL1 float64
+	// Observer, when non-nil, receives OnIterStart/OnIterEnd per EM round
+	// (with wall time and training LL; the baseline has no separate
+	// E/M-phase or E-step callbacks). Observation is read-only: it does not
+	// change the fitted parameters.
+	Observer obs.FitObserver
 }
 
 func (c *ADM4Config) fill(seq *timeline.Sequence) {
@@ -70,6 +79,13 @@ type ADM4 struct {
 // iterate (the fixed points coincide in the small-step limit and the
 // qualitative behaviour — a low-rank, sparse Â — is preserved).
 func FitADM4(seq *timeline.Sequence, cfg ADM4Config) (*ADM4, error) {
+	return FitADM4Context(nil, seq, cfg)
+}
+
+// FitADM4Context is FitADM4 with cooperative cancellation: ctx (which may
+// be nil) is polled at every round boundary, and a cancelled fit returns
+// ctx.Err() — never a partially updated model.
+func FitADM4Context(ctx context.Context, seq *timeline.Sequence, cfg ADM4Config) (*ADM4, error) {
 	if seq == nil || seq.Len() == 0 {
 		return nil, errors.New("baselines: empty sequence for ADM4")
 	}
@@ -107,6 +123,13 @@ func FitADM4(seq *timeline.Sequence, cfg ADM4Config) (*ADM4, error) {
 	}
 
 	for iter := 0; iter < cfg.Iters; iter++ {
+		if err := pollCtx(ctx); err != nil {
+			return nil, fmt.Errorf("baselines: ADM4 canceled in round %d: %w", iter+1, err)
+		}
+		if cfg.Observer != nil {
+			cfg.Observer.OnIterStart(iter + 1)
+		}
+		iterStart := time.Now()
 		// E: intensities at events and immigrant responsibilities.
 		for k := range lam {
 			lam[k] = model.Mu[seq.Activities[k].User]
@@ -159,8 +182,23 @@ func FitADM4(seq *timeline.Sequence, cfg ADM4Config) (*ADM4, error) {
 			return nil, err
 		}
 		model.A = lowRank.ClampNonNegative()
+		if cfg.Observer != nil {
+			cfg.Observer.OnIterEnd(obs.IterStats{
+				Iter: iter + 1, Seconds: time.Since(iterStart).Seconds(),
+				TrainLL: model.TrainLogLikelihood(),
+				Entropy: math.NaN(), GradNorm: math.NaN(),
+			})
+		}
 	}
 	return model, nil
+}
+
+// pollCtx polls a possibly-nil context at a loop boundary.
+func pollCtx(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 // medianGap returns the median gap between consecutive activities.

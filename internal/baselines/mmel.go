@@ -1,11 +1,15 @@
 package baselines
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
+	"time"
 
 	"chassis/internal/branching"
 	"chassis/internal/kernel"
+	"chassis/internal/obs"
 	"chassis/internal/timeline"
 )
 
@@ -21,6 +25,11 @@ type MMELConfig struct {
 	Support float64
 	// Iters is the number of EM rounds (default 25).
 	Iters int
+	// Observer, when non-nil, receives OnIterStart/OnIterEnd per EM round
+	// (with wall time and training LL; the baseline has no separate
+	// E/M-phase or E-step callbacks). Observation is read-only: it does not
+	// change the fitted parameters.
+	Observer obs.FitObserver
 }
 
 func (c *MMELConfig) fill(seq *timeline.Sequence) {
@@ -63,6 +72,13 @@ type MMEL struct {
 // Zhou et al.'s multi-pattern nonparametric estimator in its discretized
 // form.
 func FitMMEL(seq *timeline.Sequence, cfg MMELConfig) (*MMEL, error) {
+	return FitMMELContext(nil, seq, cfg)
+}
+
+// FitMMELContext is FitMMEL with cooperative cancellation: ctx (which may
+// be nil) is polled at every round boundary, and a cancelled fit returns
+// ctx.Err() — never a partially updated model.
+func FitMMELContext(ctx context.Context, seq *timeline.Sequence, cfg MMELConfig) (*MMEL, error) {
 	if seq == nil || seq.Len() == 0 {
 		return nil, errors.New("baselines: empty sequence for MMEL")
 	}
@@ -127,6 +143,13 @@ func FitMMEL(seq *timeline.Sequence, cfg MMELConfig) (*MMEL, error) {
 	den := make([][]float64, cfg.Patterns)
 
 	for iter := 0; iter < cfg.Iters; iter++ {
+		if err := pollCtx(ctx); err != nil {
+			return nil, fmt.Errorf("baselines: MMEL canceled in round %d: %w", iter+1, err)
+		}
+		if cfg.Observer != nil {
+			cfg.Observer.OnIterStart(iter + 1)
+		}
+		iterStart := time.Now()
 		for d := range den {
 			den[d] = make([]float64, m)
 			for w := range seq.Activities {
@@ -207,6 +230,13 @@ func FitMMEL(seq *timeline.Sequence, cfg MMELConfig) (*MMEL, error) {
 				nk.Normalize()
 				model.Base[d] = nk
 			}
+		}
+		if cfg.Observer != nil {
+			cfg.Observer.OnIterEnd(obs.IterStats{
+				Iter: iter + 1, Seconds: time.Since(iterStart).Seconds(),
+				TrainLL: model.TrainLogLikelihood(),
+				Entropy: math.NaN(), GradNorm: math.NaN(),
+			})
 		}
 	}
 	return model, nil

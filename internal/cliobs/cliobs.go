@@ -1,0 +1,127 @@
+// Package cliobs wires the observability and lifecycle surface shared by
+// the chassis CLIs: -progress (human-readable per-iteration fit lines on
+// stderr), -metrics-json (one JSON snapshot per EM iteration, flushed as it
+// completes), -pprof (a net/http/pprof endpoint), and SIGINT/SIGTERM-driven
+// cooperative cancellation — the first signal cancels the context, the fit
+// unwinds at the next parallel-chunk boundary, and the tool exits cleanly.
+package cliobs
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"chassis/internal/obs"
+)
+
+// Flags holds the parsed shared observability flags. Register binds them to
+// a FlagSet before flag.Parse; Start then activates whatever was set.
+type Flags struct {
+	Progress    bool
+	MetricsJSON string
+	Pprof       string
+}
+
+// Register declares -progress, -metrics-json, and -pprof on fs (the CLIs
+// pass flag.CommandLine).
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Progress, "progress", false,
+		"print per-iteration fit progress to stderr")
+	fs.StringVar(&f.MetricsJSON, "metrics-json", "",
+		"write one JSON metrics snapshot per EM iteration to this file")
+	fs.StringVar(&f.Pprof, "pprof", "",
+		"serve net/http/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Session is the activated observability state: a signal-cancelled context
+// plus the observer/metrics registry the flags requested (both nil when the
+// corresponding flags are off). Close releases everything; defer it in main.
+type Session struct {
+	// Ctx is cancelled by the first SIGINT/SIGTERM; thread it into every
+	// fit/predict call so the tool unwinds cooperatively.
+	Ctx context.Context
+	// Observer chains the progress printer and the snapshot writer (nil when
+	// neither flag is set).
+	Observer obs.FitObserver
+	// Metrics is the registry backing -metrics-json (nil without the flag).
+	Metrics *obs.Metrics
+
+	writer *obs.IterJSONWriter
+	stop   context.CancelFunc
+}
+
+// Start activates the flags for a tool named label: installs the signal →
+// context bridge, opens the snapshot file, starts the pprof server, and
+// builds the observer chain.
+func (f *Flags) Start(label string) (*Session, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	s := &Session{Ctx: ctx, stop: stop}
+	var observers []obs.FitObserver
+	if f.Progress {
+		observers = append(observers, obs.ProgressObserver(os.Stderr, label))
+	}
+	if f.MetricsJSON != "" {
+		w, err := obs.NewIterJSONWriter(f.MetricsJSON)
+		if err != nil {
+			stop()
+			return nil, err
+		}
+		s.writer = w
+		s.Metrics = obs.NewMetrics()
+		w.Attach(s.Metrics)
+		observers = append(observers, w)
+	}
+	if f.Pprof != "" {
+		addr, err := obs.StartPprof(f.Pprof)
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: pprof listening on http://%s/debug/pprof/\n", label, addr)
+	}
+	if len(observers) > 0 {
+		s.Observer = obs.Observers(observers...)
+	}
+	return s, nil
+}
+
+// Snapshots reports how many per-iteration lines -metrics-json has written.
+func (s *Session) Snapshots() int {
+	if s.writer == nil {
+		return 0
+	}
+	return s.writer.Lines()
+}
+
+// Close restores the default signal behaviour and flushes the snapshot file.
+// Safe to call more than once.
+func (s *Session) Close() error {
+	s.stop()
+	w := s.writer
+	s.writer = nil
+	if w != nil {
+		return w.Close()
+	}
+	return nil
+}
+
+// ExitCode maps a run error to a process exit status, printing the error to
+// w: cooperative cancellation (Ctrl-C) exits 130 — the conventional
+// 128+SIGINT — while any other failure exits 1.
+func ExitCode(w io.Writer, label string, err error) int {
+	if err == nil {
+		return 0
+	}
+	fmt.Fprintf(w, "%s: %v\n", label, err)
+	if errors.Is(err, context.Canceled) {
+		return 130
+	}
+	return 1
+}

@@ -30,6 +30,7 @@ import (
 	"chassis/internal/conformity"
 	"chassis/internal/hawkes"
 	"chassis/internal/kernel"
+	"chassis/internal/obs"
 	"chassis/internal/timeline"
 )
 
@@ -173,6 +174,13 @@ type Config struct {
 	// TrackHistory records the training log-likelihood after every EM
 	// iteration (the convergence experiment).
 	TrackHistory bool
+
+	// observer/metrics are the observability hooks, settable only through
+	// FitContext's Options (WithObserver/WithMetrics). Unexported on
+	// purpose: the exported Config surface — and the zero value every
+	// existing caller constructs — is unchanged by the observability layer.
+	observer obs.FitObserver
+	metrics  *obs.Metrics
 }
 
 func (c *Config) fill() error {
@@ -309,11 +317,13 @@ func (m *Model) SetWorkers(n int) {
 }
 
 // compensatorOpts returns the adaptive Theorem-7.1 integrator options with
-// the model's worker budget threaded through, so likelihood evaluations fan
-// their per-dimension compensators out over the same pool as the fit.
+// the model's worker budget (and, when the fit was observed, its metrics
+// registry) threaded through, so likelihood evaluations fan their
+// per-dimension compensators out over the same pool as the fit.
 func (m *Model) compensatorOpts() hawkes.CompensatorOptions {
 	o := hawkes.DefaultCompensator()
 	o.Workers = m.cfg.Workers
+	o.Metrics = m.cfg.metrics
 	return o
 }
 
@@ -385,7 +395,7 @@ func (m *Model) InferForest(seq *timeline.Sequence) (*branching.Forest, error) {
 	// Bootstrap conformity from an initial heuristic forest, then one
 	// parameter-driven pass (two passes let conformity-based excitation
 	// inform the final trees).
-	f, err := m.bootstrapForest(seq)
+	f, err := m.bootstrapForest(nil, seq)
 	if err != nil {
 		return nil, err
 	}

@@ -101,7 +101,7 @@ func buildModelForGradCheck(t *testing.T, v Variant, seed int64) (*Model, *dimDa
 	m.initParams(d.Seq)
 
 	work := d.Seq.StripParents()
-	forest, err := m.bootstrapForest(work)
+	forest, err := m.bootstrapForest(nil, work)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestEStepBeatsRandomOnSimulatedTrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	boot, err := m.bootstrapForest(d.Seq.StripParents())
+	boot, err := m.bootstrapForest(nil, d.Seq.StripParents())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"math"
 	"sort"
 
 	"chassis/internal/branching"
@@ -36,14 +38,14 @@ func windowStart(seq *timeline.Sequence, t float64) int {
 // initial kernel's decay — no model parameters involved yet. Events are
 // sharded into fixed chunks, each drawing from its own Split-derived RNG
 // stream, so the sampled forest is identical at any worker count.
-func (m *Model) bootstrapForest(seq *timeline.Sequence) (*branching.Forest, error) {
+func (m *Model) bootstrapForest(ctx context.Context, seq *timeline.Sequence) (*branching.Forest, error) {
 	base := rng.New(m.cfg.Seed).Split(101)
 	n := seq.Len()
 	parents := make([]timeline.ActivityID, n)
 	ker := m.Kernels[0]
 	support := ker.Support()
 	workers := parallel.Workers(m.cfg.Workers)
-	err := parallel.ForEachChunk(workers, n, estepChunkSize, func(c parallel.Range) error {
+	err := parallel.ForEachChunkContext(ctx, workers, n, estepChunkSize, func(c parallel.Range) error {
 		r := base.Split(int64(c.Index) + 1)
 		weights := make([]float64, 0, 64)
 		cands := make([]int, 0, 64)
@@ -93,7 +95,17 @@ func (m *Model) bootstrapForest(seq *timeline.Sequence) (*branching.Forest, erro
 // linear-Hawkes EM; for nonlinear links it remains well-defined, which is
 // the relaxation the paper's Section 6 calls for.
 func (m *Model) eStep(seq *timeline.Sequence, conf *conformity.Computer) (*branching.Forest, error) {
-	return m.eStepMode(seq, conf, m.cfg.MAPEStep, nil)
+	return m.eStepMode(nil, seq, conf, m.cfg.MAPEStep, nil, nil)
+}
+
+// estepStats is the per-pass measurement eStepMode fills when the fit is
+// observed: the mean entropy (nats) of the scored triggering distributions
+// and how many events were scored. Collecting it reads the weights the
+// E-step already built — no RNG draws, no extra passes — so observed and
+// unobserved fits assign identical parents.
+type estepStats struct {
+	entropy float64 // mean nats per scored event; NaN when none scored
+	events  int
 }
 
 // eStepMode lets the EM driver anneal: sampled assignments early (explore
@@ -110,7 +122,12 @@ func (m *Model) eStep(seq *timeline.Sequence, conf *conformity.Computer) (*branc
 // sharded into fixed estepChunkSize chunks; chunk c draws from the stream
 // Split(211+call).Split(c+1) and re-derives its own sliding support window,
 // so the inferred forest is bit-identical for any Workers/GOMAXPROCS.
-func (m *Model) eStepMode(seq *timeline.Sequence, conf *conformity.Computer, mapMode bool, prev *branching.Forest) (*branching.Forest, error) {
+//
+// ctx is polled at chunk boundaries; a cancelled pass returns ctx.Err().
+// When stats is non-nil the pass also measures the scored triggering
+// distributions (per-chunk entropy accumulators, reduced in chunk order so
+// the reported number is itself deterministic).
+func (m *Model) eStepMode(ctx context.Context, seq *timeline.Sequence, conf *conformity.Computer, mapMode bool, prev *branching.Forest, stats *estepStats) (*branching.Forest, error) {
 	m.estepCalls++
 	base := rng.New(m.cfg.Seed).Split(211 + int64(m.estepCalls))
 	exc := excitation{m: m, conf: conf}
@@ -122,8 +139,15 @@ func (m *Model) eStepMode(seq *timeline.Sequence, conf *conformity.Computer, map
 			maxSupport = s
 		}
 	}
+	var entSum []float64
+	var entCnt []int
+	if stats != nil {
+		chunks := len(parallel.Chunks(n, estepChunkSize))
+		entSum = make([]float64, chunks)
+		entCnt = make([]int, chunks)
+	}
 	workers := parallel.Workers(m.cfg.Workers)
-	err := parallel.ForEachChunk(workers, n, estepChunkSize, func(c parallel.Range) error {
+	err := parallel.ForEachChunkContext(ctx, workers, n, estepChunkSize, func(c parallel.Range) error {
 		r := base.Split(int64(c.Index) + 1)
 		weights := make([]float64, 0, 64)
 		cands := make([]int, 0, 64)
@@ -180,6 +204,27 @@ func (m *Model) eStepMode(seq *timeline.Sequence, conf *conformity.Computer, map
 					weights = append(weights, fg-m.link.Apply(g-cw))
 				}
 			}
+			if stats != nil {
+				// Triggering-distribution entropy, from the weights already in
+				// hand: a pure read that leaves the RNG stream untouched.
+				var total float64
+				for _, wv := range weights {
+					if wv > 0 {
+						total += wv
+					}
+				}
+				if total > 0 {
+					var h float64
+					for _, wv := range weights {
+						if wv > 0 {
+							p := wv / total
+							h -= p * math.Log(p)
+						}
+					}
+					entSum[c.Index] += h
+					entCnt[c.Index]++
+				}
+			}
 			pick := 0
 			if mapMode {
 				best := weights[0]
@@ -200,6 +245,19 @@ func (m *Model) eStepMode(seq *timeline.Sequence, conf *conformity.Computer, map
 	})
 	if err != nil {
 		return nil, err
+	}
+	if stats != nil {
+		var sum float64
+		var cnt int
+		for idx := range entSum { // chunk order: the stat is reproducible too
+			sum += entSum[idx]
+			cnt += entCnt[idx]
+		}
+		stats.events = cnt
+		stats.entropy = math.NaN()
+		if cnt > 0 {
+			stats.entropy = sum / float64(cnt)
+		}
 	}
 	return branching.FromParents(parents)
 }

@@ -1,15 +1,18 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"chassis/internal/branching"
 	"chassis/internal/conformity"
 	"chassis/internal/hawkes"
 	"chassis/internal/kernel"
+	"chassis/internal/obs"
 	"chassis/internal/rng"
 	"chassis/internal/timeline"
 )
@@ -20,8 +23,27 @@ import (
 const MaxSourcesPerDim = 15
 
 // Fit runs the semi-parametric EM of Sections 6–7 on a training sequence
-// and returns the fitted model.
+// and returns the fitted model. It is FitContext without cancellation or
+// observability hooks.
 func Fit(seq *timeline.Sequence, cfg Config) (*Model, error) {
+	return FitContext(nil, seq, cfg)
+}
+
+// FitContext is Fit with lifecycle control: ctx cancels the EM loop
+// cooperatively — the cancellation is honored at the chunk/job boundaries
+// of the parallel worker pool, the error is a *CanceledError wrapping
+// ctx.Err() and naming the iteration and phase it aborted in, and no model
+// (partial state) is returned — and opts attach observability
+// (WithObserver, WithMetrics). An attached observer or registry only reads
+// fitted state, so the fitted parameters and forest are bit-identical to an
+// unobserved Fit at every Workers setting. ctx may be nil (never
+// cancelled).
+func FitContext(ctx context.Context, seq *timeline.Sequence, cfg Config, opts ...Option) (*Model, error) {
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
@@ -46,6 +68,15 @@ func Fit(seq *timeline.Sequence, cfg Config) (*Model, error) {
 	link, err := cfg.Variant.Link()
 	if err != nil {
 		return nil, err
+	}
+
+	obsv := cfg.observer
+	metrics := cfg.metrics
+	if obsv != nil && metrics == nil {
+		// Observer without registry: instrument into a private registry so
+		// per-iteration Euler-step counts still reach IterStats.
+		metrics = obs.NewMetrics()
+		cfg.metrics = metrics
 	}
 
 	m := &Model{
@@ -123,9 +154,13 @@ func Fit(seq *timeline.Sequence, cfg Config) (*Model, error) {
 		hpCfg.EMIters = cfg.EMIters/3 + 2
 		hpCfg.NoWarmStart = true
 		hpCfg.TrackHistory = false
-		hp, err := Fit(seq, hpCfg)
+		// The pilot shares the metrics registry (its compensator work is part
+		// of this fit) but not the observer: the observer contract promises
+		// strictly increasing iteration numbers for *this* fit only.
+		hpCfg.observer = nil
+		hp, err := FitContext(ctx, seq, hpCfg)
 		if err != nil {
-			return nil, err
+			return nil, wrapCancel("warmstart", 0, err)
 		}
 		copy(m.Kernels, hp.Kernels)
 		forest = hp.Forest
@@ -146,9 +181,9 @@ func Fit(seq *timeline.Sequence, cfg Config) (*Model, error) {
 			}
 		}
 	} else {
-		forest, err = m.bootstrapForest(work)
+		forest, err = m.bootstrapForest(ctx, work)
 		if err != nil {
-			return nil, err
+			return nil, wrapCancel("bootstrap", 0, err)
 		}
 	}
 	// Conformity variants draw their pair support from the diffusion trees:
@@ -194,43 +229,108 @@ func Fit(seq *timeline.Sequence, cfg Config) (*Model, error) {
 	if err := rebuildConf(); err != nil {
 		return nil, err
 	}
+	// The training LL is evaluated per iteration when either the caller
+	// asked for the history or an observer wants to report it — a pure
+	// computation either way, so observing a fit cannot change it.
+	trackLL := cfg.TrackHistory || obsv != nil
+	eulerCounter := metrics.Counter("hawkes.euler_steps")
 	for iter := 0; iter < cfg.EMIters; iter++ {
-		if err := m.mStep(work, conf); err != nil {
-			return nil, err
+		iterNo := iter + 1
+		if obsv != nil {
+			obsv.OnIterStart(iterNo)
 		}
+		iterStart := time.Now()
+		st := obs.IterStats{
+			Iter:    iterNo,
+			TrainLL: math.NaN(), Entropy: math.NaN(), GradNorm: math.NaN(),
+		}
+		eulerBefore := eulerCounter.Value()
+
+		var ms *mstepStats
+		if obsv != nil {
+			ms = &mstepStats{}
+		}
+		msStart := time.Now()
+		if err := m.mStep(ctx, work, conf, ms); err != nil {
+			return nil, wrapCancel("mstep", iterNo, err)
+		}
+		msDur := time.Since(msStart)
+		st.MStepSeconds = msDur.Seconds()
+		metrics.Timer("core.mstep").Add(msDur)
 		if !cfg.FixedKernel {
-			if err := m.updateKernels(work, conf); err != nil {
-				return nil, err
+			kStart := time.Now()
+			if err := m.updateKernels(ctx, work, conf); err != nil {
+				return nil, wrapCancel("kernels", iterNo, err)
 			}
+			kDur := time.Since(kStart)
+			st.KernelSeconds = kDur.Seconds()
+			metrics.Timer("core.kernels").Add(kDur)
+		}
+		if obsv != nil {
+			st.GradNorm = ms.gradNorm
+			obsv.OnMStep(obs.MStepStats{
+				Iter: iterNo, Seconds: st.MStepSeconds,
+				KernelSeconds: st.KernelSeconds,
+				GradNorm:      ms.gradNorm, Dims: ms.dims,
+			})
 		}
 		if observed == nil && (iter+1)%refreshEvery == 0 && iter+1 < cfg.EMIters {
 			// Phase boundary: annealed E-step (sampled in the first half of
 			// the run, MAP later; asynchronous against the previous forest),
 			// then a fresh conformity snapshot.
 			mapMode := cfg.MAPEStep || iter >= cfg.EMIters/2
-			forest, err = m.eStepMode(work, conf, mapMode, forest)
+			var es *estepStats
+			if obsv != nil {
+				es = &estepStats{}
+			}
+			eStart := time.Now()
+			forest, err = m.eStepMode(ctx, work, conf, mapMode, forest, es)
 			if err != nil {
-				return nil, err
+				return nil, wrapCancel("estep", iterNo, err)
+			}
+			eDur := time.Since(eStart)
+			st.EStepSeconds = eDur.Seconds()
+			metrics.Timer("core.estep").Add(eDur)
+			if obsv != nil {
+				st.Entropy = es.entropy
+				obsv.OnEStep(obs.EStepStats{
+					Iter: iterNo, Seconds: st.EStepSeconds,
+					Entropy: es.entropy, Events: es.events, MAP: mapMode,
+				})
 			}
 			if err := rebuildConf(); err != nil {
 				return nil, err
 			}
 		}
 		m.Iterations = iter + 1
-		if cfg.TrackHistory {
-			ll, err := m.processWith(conf).LogLikelihood(work, m.compensatorOpts())
+		if trackLL {
+			llOpts := m.compensatorOpts()
+			llOpts.Ctx = ctx
+			llStart := time.Now()
+			ll, err := m.processWith(conf).LogLikelihood(work, llOpts)
 			if err != nil {
-				return nil, err
+				return nil, wrapCancel("loglik", iterNo, err)
 			}
-			m.History = append(m.History, ll)
+			llDur := time.Since(llStart)
+			st.LLSeconds = llDur.Seconds()
+			metrics.Timer("core.loglik").Add(llDur)
+			st.TrainLL = ll
+			if cfg.TrackHistory {
+				m.History = append(m.History, ll)
+			}
+		}
+		if obsv != nil {
+			st.Seconds = time.Since(iterStart).Seconds()
+			st.EulerSteps = eulerCounter.Value() - eulerBefore
+			obsv.OnIterEnd(st)
 		}
 	}
 	// Final tree readout under the converged parameters (observed trees
 	// are kept verbatim).
 	if observed == nil {
-		forest, err = m.eStepMode(work, conf, true, nil)
+		forest, err = m.eStepMode(ctx, work, conf, true, nil, nil)
 		if err != nil {
-			return nil, err
+			return nil, wrapCancel("readout", 0, err)
 		}
 	}
 	m.Forest = forest

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/cmplx"
 
@@ -31,9 +32,10 @@ import (
 //
 // Each receiving dimension's estimate is independent — it reads the frozen
 // parameters/conformity state and replaces only m.Kernels[i] — so the loop
-// fans out over the worker pool. The returned error only surfaces worker
-// panics; estimation failures keep the previous kernel, as before.
-func (m *Model) updateKernels(seq *timeline.Sequence, conf *conformity.Computer) error {
+// fans out over the worker pool, polling ctx between dimensions. The
+// returned error only surfaces worker panics or cancellation; estimation
+// failures keep the previous kernel, as before.
+func (m *Model) updateKernels(ctx context.Context, seq *timeline.Sequence, conf *conformity.Computer) error {
 	const fftBins = 256
 	const tikhonov = 1e-3
 	exc := excitation{m: m, conf: conf}
@@ -47,7 +49,7 @@ func (m *Model) updateKernels(seq *timeline.Sequence, conf *conformity.Computer)
 		taps = fftBins / 2
 	}
 
-	return parallel.Do(parallel.Workers(m.cfg.Workers), m.M, func(i int) error {
+	return parallel.DoContext(ctx, parallel.Workers(m.cfg.Workers), m.M, func(i int) error {
 		counts := seq.CountingProcess(timeline.UserID(i), fftBins)
 		var total float64
 		for _, c := range counts {

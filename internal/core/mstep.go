@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 
 	"chassis/internal/conformity"
@@ -375,20 +376,41 @@ func (m *Model) accumGrad(grad []float64, l layout, d *dimData, e int32, scale f
 	}
 }
 
+// mstepStats is the per-pass measurement mStep fills when the fit is
+// observed: the largest per-dimension projected-gradient L2 norm at the
+// accepted (damped) parameters — a convergence signal that decays as the
+// M-step saturates — and how many dimensions were optimized. Collecting it
+// costs one extra objective+gradient evaluation per dimension and reads
+// nothing but frozen state, so the fitted parameters are unaffected.
+type mstepStats struct {
+	gradNorm float64 // max over dims; NaN when no dimension produced one
+	dims     int
+}
+
 // mStep optimizes every dimension's parameters in parallel against the
 // current forest/conformity state. Dimensions are independent — each reads
 // the frozen forest/conformity snapshot and writes only its own parameter
 // rows — so they fan out over the shared worker pool; the per-dimension
 // optimization itself is deterministic, which keeps the fitted parameters
-// identical at any worker count. The returned error only reports worker
-// panics: a dimension whose optimizer fails simply keeps its parameters.
-func (m *Model) mStep(seq *timeline.Sequence, conf *conformity.Computer) error {
+// identical at any worker count. ctx is polled between dimensions; stats,
+// when non-nil, receives the pass's gradient-norm measurement. The returned
+// error only reports worker panics or cancellation: a dimension whose
+// optimizer fails simply keeps its parameters.
+func (m *Model) mStep(ctx context.Context, seq *timeline.Sequence, conf *conformity.Computer, stats *mstepStats) error {
 	_, linear := m.link.(hawkes.LinearLink)
-	return parallel.Do(parallel.Workers(m.cfg.Workers), m.M, func(i int) error {
+	var norms []float64
+	if stats != nil {
+		norms = make([]float64, m.M)
+		for i := range norms {
+			norms[i] = math.NaN()
+		}
+	}
+	err := parallel.DoContext(ctx, parallel.Workers(m.cfg.Workers), m.M, func(i int) error {
 		d := m.buildDimData(seq, conf, i, !linear)
 		x0 := m.pack(i)
 		lower, upper := m.bounds(i)
-		res, err := infer.MaximizeProjected(x0, m.objective(d, conf), infer.Options{
+		obj := m.objective(d, conf)
+		res, err := infer.MaximizeProjected(x0, obj, infer.Options{
 			MaxIter: m.cfg.MStepIters,
 			Lower:   lower, Upper: upper,
 			InitStep: 0.05, Tol: 1e-7,
@@ -403,6 +425,35 @@ func (m *Model) mStep(seq *timeline.Sequence, conf *conformity.Computer) error {
 			res.X[p] = damp*x0[p] + (1-damp)*res.X[p]
 		}
 		m.unpack(i, res.X)
+		if norms != nil {
+			// Projected-gradient norm at the accepted point: components
+			// pinned at an active box bound (and pushing outward) carry no
+			// usable ascent direction, so they are excluded. One extra pure
+			// evaluation — parameters are already written back above.
+			grad := make([]float64, len(res.X))
+			obj(res.X, grad)
+			var ss float64
+			for p, g := range grad {
+				if (res.X[p] <= lower[p] && g < 0) || (res.X[p] >= upper[p] && g > 0) {
+					continue
+				}
+				ss += g * g
+			}
+			norms[i] = math.Sqrt(ss)
+		}
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	if stats != nil {
+		stats.dims = m.M
+		stats.gradNorm = math.NaN()
+		for _, v := range norms {
+			if !math.IsNaN(v) && (math.IsNaN(stats.gradNorm) || v > stats.gradNorm) {
+				stats.gradNorm = v
+			}
+		}
+	}
+	return nil
 }

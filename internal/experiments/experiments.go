@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"chassis/internal/cascade"
 	"chassis/internal/core"
 	"chassis/internal/eval"
+	"chassis/internal/obs"
 )
 
 // Options configures the experiment runners.
@@ -32,6 +34,16 @@ type Options struct {
 	Workers int
 	// Progress, when set, receives human-readable progress lines.
 	Progress func(format string, args ...any)
+	// Ctx, when non-nil, cancels runs cooperatively: every fit threads it
+	// down to parallel-chunk boundaries, so a cancelled runner returns the
+	// context error within one chunk of work.
+	Ctx context.Context
+	// Observer, when non-nil, receives fit lifecycle callbacks from every
+	// fit the runner performs (sequentially — fits never overlap).
+	Observer obs.FitObserver
+	// Metrics, when non-nil, aggregates fit counters/timers across all
+	// CHASSIS-family fits of the run.
+	Metrics *obs.Metrics
 }
 
 func (o *Options) fill() {
@@ -56,6 +68,28 @@ func (o *Options) fill() {
 	if o.Progress == nil {
 		o.Progress = func(string, ...any) {}
 	}
+}
+
+// fitOptions merges the run-level observability knobs into per-strategy
+// FitOptions.
+func (o Options) fitOptions(f FitOptions) FitOptions {
+	f.Workers = o.Workers
+	f.Observer = o.Observer
+	f.Metrics = o.Metrics
+	return f
+}
+
+// coreOptions renders the run-level knobs as core fit options (for the
+// runners that call core.FitContext directly).
+func (o Options) coreOptions() []core.Option {
+	var opts []core.Option
+	if o.Observer != nil {
+		opts = append(opts, core.WithObserver(o.Observer))
+	}
+	if o.Metrics != nil {
+		opts = append(opts, core.WithMetrics(o.Metrics))
+	}
+	return opts
 }
 
 // BuildDataset materializes one of the named corpora.
@@ -105,12 +139,12 @@ func RunModelFitness(o Options) (*FitnessResult, error) {
 				return nil, err
 			}
 			for _, name := range o.Strategies {
-				s, err := NewStrategy(name, FitOptions{EMIters: o.EMIters, Workers: o.Workers})
+				s, err := NewStrategy(name, o.fitOptions(FitOptions{EMIters: o.EMIters}))
 				if err != nil {
 					return nil, err
 				}
 				start := time.Now()
-				if err := s.Fit(train, o.Seed); err != nil {
+				if err := s.Fit(o.Ctx, train, o.Seed); err != nil {
 					return nil, fmt.Errorf("experiments: fitting %s on %s@%.0f%%: %w", name, dsName, frac*100, err)
 				}
 				held, err := s.HeldOut(test)
@@ -160,11 +194,11 @@ func RunConvergence(o Options, iters int) ([]ConvergenceResult, error) {
 		}
 		res := ConvergenceResult{Dataset: dsName, Series: map[string][]float64{}}
 		for _, name := range []string{"CHASSIS-L", "CHASSIS-E"} {
-			s, err := NewStrategy(name, FitOptions{EMIters: iters, TrackHistory: true, Workers: o.Workers})
+			s, err := NewStrategy(name, o.fitOptions(FitOptions{EMIters: iters, TrackHistory: true}))
 			if err != nil {
 				return nil, err
 			}
-			if err := s.Fit(ds.Seq, o.Seed); err != nil {
+			if err := s.Fit(o.Ctx, ds.Seq, o.Seed); err != nil {
 				return nil, err
 			}
 			res.Series[name] = s.History()
@@ -198,11 +232,11 @@ func RunTable1(o Options) ([]Table1Row, error) {
 		}
 		row := Table1Row{Event: ds.Name, F1: map[string]float64{}}
 		for _, name := range Table1Strategies {
-			s, err := NewStrategy(name, FitOptions{EMIters: o.EMIters, InferTrees: true, Workers: o.Workers})
+			s, err := NewStrategy(name, o.fitOptions(FitOptions{EMIters: o.EMIters, InferTrees: true}))
 			if err != nil {
 				return nil, err
 			}
-			if err := s.Fit(ds.Seq, o.Seed); err != nil {
+			if err := s.Fit(o.Ctx, ds.Seq, o.Seed); err != nil {
 				return nil, fmt.Errorf("experiments: fitting %s on %s: %w", name, ds.Name, err)
 			}
 			forest, err := s.InferForest(ds.Seq.StripParents())
@@ -248,12 +282,12 @@ func RunScalability(o Options, scales []float64) ([]ScalePoint, error) {
 			return nil, err
 		}
 		for _, name := range strategies {
-			s, err := NewStrategy(name, FitOptions{EMIters: o.EMIters, Workers: o.Workers})
+			s, err := NewStrategy(name, o.fitOptions(FitOptions{EMIters: o.EMIters}))
 			if err != nil {
 				return nil, err
 			}
 			start := time.Now()
-			if err := s.Fit(ds.Seq, o.Seed); err != nil {
+			if err := s.Fit(o.Ctx, ds.Seq, o.Seed); err != nil {
 				return nil, err
 			}
 			secs := time.Since(start).Seconds()
@@ -289,9 +323,9 @@ func RunAblationLCA(o Options) ([]AblationLCAResult, error) {
 		}
 		res := AblationLCAResult{Dataset: dsName}
 		for _, disable := range []bool{false, true} {
-			cfg := core.Config{Variant: core.VariantL, EMIters: o.EMIters, Seed: o.Seed, UseObservedTrees: true}
+			cfg := core.Config{Variant: core.VariantL, EMIters: o.EMIters, Seed: o.Seed, Workers: o.Workers, UseObservedTrees: true}
 			cfg.Conformity.DisableLCA = disable
-			m, err := core.Fit(train, cfg)
+			m, err := core.FitContext(o.Ctx, train, cfg, o.coreOptions()...)
 			if err != nil {
 				return nil, err
 			}
@@ -334,8 +368,8 @@ func RunAblationEStep(o Options) ([]AblationEStepResult, error) {
 		}
 		res := AblationEStepResult{Dataset: dsName}
 		for _, ratio := range []bool{false, true} {
-			cfg := core.Config{Variant: core.VariantE, EMIters: o.EMIters, Seed: o.Seed, LinearRatioEStep: ratio}
-			m, err := core.Fit(ds.Seq, cfg)
+			cfg := core.Config{Variant: core.VariantE, EMIters: o.EMIters, Seed: o.Seed, Workers: o.Workers, LinearRatioEStep: ratio}
+			m, err := core.FitContext(o.Ctx, ds.Seq, cfg, o.coreOptions()...)
 			if err != nil {
 				return nil, err
 			}

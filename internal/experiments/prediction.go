@@ -44,19 +44,28 @@ func RunPrediction(o Options, steps, draws int) ([]PredictionResult, error) {
 			return nil, err
 		}
 		for _, v := range []core.Variant{core.VariantL, core.VariantLHP} {
-			m, err := core.Fit(train, core.Config{
-				Variant: v, EMIters: o.EMIters, Seed: o.Seed, UseObservedTrees: true,
-			})
+			m, err := core.FitContext(o.Ctx, train, core.Config{
+				Variant: v, EMIters: o.EMIters, Seed: o.Seed, Workers: o.Workers, UseObservedTrees: true,
+			}, o.coreOptions()...)
 			if err != nil {
 				return nil, err
 			}
 			proc := m.Process()
-			acc, n, err := predict.EvaluateNextUser(proc, train, test, steps, draws, rng.New(o.Seed+7))
+			// RNG (not Seed) pins the exact historical streams o.Seed+7 and
+			// o.Seed+8, so these numbers match the pre-Options runner bit for
+			// bit at every Workers setting.
+			acc, n, err := predict.NextUserAccuracy(proc, train, test, predict.Options{
+				Steps: steps, Draws: draws, Workers: o.Workers, Ctx: o.Ctx,
+				RNG: rng.New(o.Seed + 7),
+			})
 			if err != nil {
 				return nil, err
 			}
 			window := ds.Seq.Horizon - train.Horizon
-			fc, err := predict.ForecastCounts(proc, train, window, draws, rng.New(o.Seed+8))
+			fc, err := predict.Counts(proc, train, predict.Options{
+				Window: window, Draws: draws, Workers: o.Workers, Ctx: o.Ctx,
+				RNG: rng.New(o.Seed + 8),
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -6,11 +6,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"chassis/internal/baselines"
 	"chassis/internal/branching"
 	"chassis/internal/core"
+	"chassis/internal/obs"
 	"chassis/internal/timeline"
 )
 
@@ -18,8 +20,10 @@ import (
 type Strategy interface {
 	// Name returns the paper's label.
 	Name() string
-	// Fit trains on the sequence.
-	Fit(train *timeline.Sequence, seed int64) error
+	// Fit trains on the sequence. ctx (which may be nil) cancels the fit
+	// cooperatively; a cancelled fit returns the context error and leaves
+	// the strategy unfitted.
+	Fit(ctx context.Context, train *timeline.Sequence, seed int64) error
 	// HeldOut returns ln L(X_test | Θ, H_train).
 	HeldOut(test *timeline.Sequence) (float64, error)
 	// Influence returns the estimated influence matrix Â.
@@ -57,6 +61,13 @@ type FitOptions struct {
 	// Workers caps fit parallelism (0 = GOMAXPROCS); results are identical
 	// at every setting, see core.Config.Workers.
 	Workers int
+	// Observer, when non-nil, receives the fit lifecycle callbacks
+	// (per-iteration for every strategy; per-phase for the CHASSIS family).
+	// Observation is read-only and does not perturb fitted parameters.
+	Observer obs.FitObserver
+	// Metrics, when non-nil, collects fit counters/timers (CHASSIS family
+	// only; the closed-form baselines have no instrumented hot paths).
+	Metrics *obs.Metrics
 }
 
 // NewStrategy constructs a strategy by its paper label.
@@ -66,9 +77,9 @@ func NewStrategy(name string, opts FitOptions) (Strategy, error) {
 	}
 	switch name {
 	case "ADM4":
-		return &adm4Strategy{}, nil
+		return &adm4Strategy{opts: opts}, nil
 	case "MMEL":
-		return &mmelStrategy{}, nil
+		return &mmelStrategy{opts: opts}, nil
 	}
 	var v core.Variant
 	switch name {
@@ -102,15 +113,22 @@ type chassisStrategy struct {
 
 func (s *chassisStrategy) Name() string { return s.variant.Name() }
 
-func (s *chassisStrategy) Fit(train *timeline.Sequence, seed int64) error {
-	m, err := core.Fit(train, core.Config{
+func (s *chassisStrategy) Fit(ctx context.Context, train *timeline.Sequence, seed int64) error {
+	var fitOpts []core.Option
+	if s.opts.Observer != nil {
+		fitOpts = append(fitOpts, core.WithObserver(s.opts.Observer))
+	}
+	if s.opts.Metrics != nil {
+		fitOpts = append(fitOpts, core.WithMetrics(s.opts.Metrics))
+	}
+	m, err := core.FitContext(ctx, train, core.Config{
 		Variant:          s.variant,
 		EMIters:          s.opts.EMIters,
 		Seed:             seed,
 		Workers:          s.opts.Workers,
 		TrackHistory:     s.opts.TrackHistory,
 		UseObservedTrees: !s.opts.InferTrees,
-	})
+	}, fitOpts...)
 	if err != nil {
 		return err
 	}
@@ -140,13 +158,14 @@ func (s *chassisStrategy) Model() *core.Model { return s.model }
 type ModelProvider interface{ Model() *core.Model }
 
 type adm4Strategy struct {
+	opts  FitOptions
 	model *baselines.ADM4
 }
 
 func (s *adm4Strategy) Name() string { return "ADM4" }
 
-func (s *adm4Strategy) Fit(train *timeline.Sequence, _ int64) error {
-	m, err := baselines.FitADM4(train, baselines.ADM4Config{})
+func (s *adm4Strategy) Fit(ctx context.Context, train *timeline.Sequence, _ int64) error {
+	m, err := baselines.FitADM4Context(ctx, train, baselines.ADM4Config{Observer: s.opts.Observer})
 	if err != nil {
 		return err
 	}
@@ -169,13 +188,14 @@ func (s *adm4Strategy) InferForest(seq *timeline.Sequence) (*branching.Forest, e
 func (s *adm4Strategy) History() []float64 { return nil }
 
 type mmelStrategy struct {
+	opts  FitOptions
 	model *baselines.MMEL
 }
 
 func (s *mmelStrategy) Name() string { return "MMEL" }
 
-func (s *mmelStrategy) Fit(train *timeline.Sequence, _ int64) error {
-	m, err := baselines.FitMMEL(train, baselines.MMELConfig{})
+func (s *mmelStrategy) Fit(ctx context.Context, train *timeline.Sequence, _ int64) error {
+	m, err := baselines.FitMMELContext(ctx, train, baselines.MMELConfig{Observer: s.opts.Observer})
 	if err != nil {
 		return err
 	}

@@ -277,10 +277,11 @@ var intensityChunkSize = 512
 // eventIntensities returns λ_{uₖ}(tₖ) evaluated at each event of seq:
 // events are sharded into fixed chunks, each chunk re-derives its own
 // sliding history window bounded by the maximum kernel support (a binary
-// search), and chunks fan out over up to workers goroutines. Each event's
-// intensity depends only on the immutable history, so the pass stays
-// O(n·window) in total work and bit-identical to the serial scan.
-func (p *Process) eventIntensities(seq *timeline.Sequence, workers int) ([]float64, error) {
+// search), and chunks fan out over up to opts.Workers goroutines, polling
+// opts.Ctx at each chunk boundary. Each event's intensity depends only on
+// the immutable history, so the pass stays O(n·window) in total work and
+// bit-identical to the serial scan.
+func (p *Process) eventIntensities(seq *timeline.Sequence, opts CompensatorOptions) ([]float64, error) {
 	n := len(seq.Activities)
 	out := make([]float64, n)
 	// Maximum support across pairs; for shared banks this is exact.
@@ -294,7 +295,7 @@ func (p *Process) eventIntensities(seq *timeline.Sequence, workers int) ([]float
 			break
 		}
 	}
-	err := parallel.ForEachChunk(workers, n, intensityChunkSize, func(c parallel.Range) error {
+	err := parallel.ForEachChunkContext(opts.Ctx, opts.Workers, n, intensityChunkSize, func(c parallel.Range) error {
 		from := seq.Activities[c.Lo].Time - maxSupport
 		lo := sort.Search(n, func(k int) bool { return seq.Activities[k].Time >= from })
 		for k := c.Lo; k < c.Hi; k++ {
@@ -341,7 +342,7 @@ func (p *Process) LogLikelihood(seq *timeline.Sequence, opts CompensatorOptions)
 	}
 	const floor = 1e-12
 	var ll float64
-	lams, err := p.eventIntensities(seq, opts.Workers)
+	lams, err := p.eventIntensities(seq, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -352,7 +353,7 @@ func (p *Process) LogLikelihood(seq *timeline.Sequence, opts CompensatorOptions)
 		ll += math.Log(lam)
 	}
 	comps := make([]float64, p.M)
-	err = parallel.Do(opts.Workers, p.M, func(i int) error {
+	err = parallel.DoContext(opts.Ctx, opts.Workers, p.M, func(i int) error {
 		comp, err := p.Compensator(seq, i, seq.Horizon, opts)
 		if err != nil {
 			return err
@@ -383,7 +384,7 @@ func (p *Process) LogLikelihoodWindow(seq *timeline.Sequence, from, to float64, 
 	}
 	const floor = 1e-12
 	var ll float64
-	lams, err := p.eventIntensities(seq, opts.Workers)
+	lams, err := p.eventIntensities(seq, opts)
 	if err != nil {
 		return 0, err
 	}
@@ -400,7 +401,7 @@ func (p *Process) LogLikelihoodWindow(seq *timeline.Sequence, from, to float64, 
 	// Per-dimension window compensators Λᵢ(to) − Λᵢ(from) fan out over the
 	// pool; the reduction runs in dimension order for reproducible rounding.
 	comps := make([]float64, p.M)
-	err = parallel.Do(opts.Workers, p.M, func(i int) error {
+	err = parallel.DoContext(opts.Ctx, opts.Workers, p.M, func(i int) error {
 		hi, err := p.Compensator(seq, i, to, opts)
 		if err != nil {
 			return err
@@ -443,7 +444,7 @@ func (p *Process) IntensitySeries(seq *timeline.Sequence, i int, from, to float6
 // the sharded intensity pass is a worker panic, which is re-raised here to
 // keep the historical signature.
 func (p *Process) EventLogIntensities(seq *timeline.Sequence) []float64 {
-	lams, err := p.eventIntensities(seq, 0)
+	lams, err := p.eventIntensities(seq, CompensatorOptions{})
 	if err != nil {
 		panic(err)
 	}

@@ -157,7 +157,7 @@ func TestEventIntensitiesMatchDirect(t *testing.T) {
 	intensityChunkSize = 2
 	defer func() { intensityChunkSize = oldChunk }()
 	for _, workers := range []int{1, 4} {
-		fast, err := p.eventIntensities(s, workers)
+		fast, err := p.eventIntensities(s, CompensatorOptions{Workers: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,9 +1,11 @@
 package hawkes
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"chassis/internal/obs"
 	"chassis/internal/timeline"
 )
 
@@ -25,6 +27,18 @@ type CompensatorOptions struct {
 	// values: each dimension (and each event chunk) is evaluated
 	// independently and the partial results are reduced in index order.
 	Workers int
+	// Ctx, when non-nil, cancels long likelihood evaluations
+	// cooperatively: it is polled at the chunk boundaries of the
+	// event-intensity pass and between per-dimension compensators, so a
+	// cancelled evaluation returns ctx.Err() within one chunk's worth of
+	// work. nil means never cancelled.
+	Ctx context.Context
+	// Metrics, when non-nil, receives engine instrumentation: the
+	// "hawkes.euler_steps" counter (left-endpoint evaluations of the
+	// Theorem 7.1 scheme, summed over refinements) and
+	// "hawkes.compensator_calls"/"hawkes.compensator_closed_form" call
+	// counts. The nil default is a zero-allocation no-op.
+	Metrics *obs.Metrics
 }
 
 // DefaultCompensator returns the options used throughout the experiments.
@@ -60,7 +74,9 @@ func (p *Process) Compensator(seq *timeline.Sequence, i int, t float64, opts Com
 		return 0, fmt.Errorf("hawkes: dimension %d outside [0,%d)", i, p.M)
 	}
 	opts.fill()
+	opts.Metrics.Counter("hawkes.compensator_calls").Inc()
 	if _, linear := p.Link.(LinearLink); linear && !opts.ForceEuler {
+		opts.Metrics.Counter("hawkes.compensator_closed_form").Inc()
 		return p.closedFormCompensator(seq, i, t), nil
 	}
 	return p.eulerCompensator(seq, i, t, opts), nil
@@ -89,11 +105,14 @@ func (p *Process) closedFormCompensator(seq *timeline.Sequence, i int, t float64
 // approximations agree within ξ. λᵢ(0) = Fᵢ(μᵢ) generalizes the theorem's
 // μᵢ leading term to nonlinear links.
 func (p *Process) eulerCompensator(seq *timeline.Sequence, i int, t float64, opts CompensatorOptions) float64 {
+	stepCounter := opts.Metrics.Counter("hawkes.euler_steps")
 	steps := opts.InitSteps
 	prev := p.eulerOnce(seq, i, t, steps)
+	stepCounter.Add(int64(steps))
 	for d := 0; d < opts.MaxDoublings; d++ {
 		steps *= 2
 		cur := p.eulerOnce(seq, i, t, steps)
+		stepCounter.Add(int64(steps))
 		if math.Abs(cur-prev) <= opts.Accuracy*(1+math.Abs(cur)) {
 			return cur
 		}

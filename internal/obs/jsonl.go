@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// iterSnapshot is one line of the -metrics-json stream: the iteration's
+// stats plus, when a registry is attached, the cumulative metrics state at
+// the end of the iteration.
+type iterSnapshot struct {
+	IterStats
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+// jsonNaN guards the NaN sentinels (TrainLL/Entropy/GradNorm when not
+// evaluated) that encoding/json refuses to serialize: they become nulls via
+// pointer fields.
+type iterSnapshotJSON struct {
+	Iter          int      `json:"iter"`
+	Seconds       float64  `json:"seconds"`
+	EStepSeconds  float64  `json:"estep_seconds"`
+	MStepSeconds  float64  `json:"mstep_seconds"`
+	KernelSeconds float64  `json:"kernel_seconds"`
+	LLSeconds     float64  `json:"ll_seconds"`
+	TrainLL       *float64 `json:"train_ll"`
+	Entropy       *float64 `json:"estep_entropy"`
+	GradNorm      *float64 `json:"grad_norm"`
+	EulerSteps    int64    `json:"euler_steps"`
+
+	Metrics *Snapshot `json:"metrics,omitempty"`
+}
+
+func finiteOrNil(v float64) *float64 {
+	if v != v { // NaN
+		return nil
+	}
+	return &v
+}
+
+// MarshalJSON implements json.Marshaler for the snapshot line.
+func (s iterSnapshot) MarshalJSON() ([]byte, error) {
+	return json.Marshal(iterSnapshotJSON{
+		Iter: s.Iter, Seconds: s.Seconds,
+		EStepSeconds: s.EStepSeconds, MStepSeconds: s.MStepSeconds,
+		KernelSeconds: s.KernelSeconds, LLSeconds: s.LLSeconds,
+		TrainLL:  finiteOrNil(s.TrainLL),
+		Entropy:  finiteOrNil(s.Entropy),
+		GradNorm: finiteOrNil(s.GradNorm),
+		EulerSteps: s.EulerSteps,
+		Metrics:    s.Metrics,
+	})
+}
+
+// IterJSONWriter is a FitObserver that appends one JSON object per
+// completed EM iteration to a file — the CLIs' -metrics-json
+// implementation. Each line carries the iteration's phase timings, training
+// LL, E-step entropy, and gradient norm; when a Metrics registry is
+// attached (Attach), the cumulative snapshot rides along. Lines are flushed
+// per iteration so a fit killed mid-run leaves every completed iteration on
+// disk.
+type IterJSONWriter struct {
+	mu      sync.Mutex
+	f       *os.File
+	metrics *Metrics
+	lines   int
+}
+
+// NewIterJSONWriter creates (truncating) the snapshot file.
+func NewIterJSONWriter(path string) (*IterJSONWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: metrics snapshot file: %w", err)
+	}
+	return &IterJSONWriter{f: f}, nil
+}
+
+// Attach includes reg's cumulative snapshot in every subsequent line.
+func (w *IterJSONWriter) Attach(reg *Metrics) { w.metrics = reg }
+
+// Lines returns how many snapshots have been written.
+func (w *IterJSONWriter) Lines() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lines
+}
+
+// OnIterStart implements FitObserver.
+func (w *IterJSONWriter) OnIterStart(int) {}
+
+// OnEStep implements FitObserver.
+func (w *IterJSONWriter) OnEStep(EStepStats) {}
+
+// OnMStep implements FitObserver.
+func (w *IterJSONWriter) OnMStep(MStepStats) {}
+
+// OnIterEnd implements FitObserver: append one snapshot line and flush it.
+func (w *IterJSONWriter) OnIterEnd(s IterStats) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	snap := iterSnapshot{IterStats: s}
+	if w.metrics != nil {
+		ms := w.metrics.Snapshot()
+		snap.Metrics = &ms
+	}
+	blob, err := json.Marshal(snap)
+	if err != nil {
+		return // stats are plain numbers; only a broken Metrics map could fail
+	}
+	if _, err := w.f.Write(append(blob, '\n')); err != nil {
+		return
+	}
+	w.f.Sync()
+	w.lines++
+}
+
+// Close flushes and closes the snapshot file.
+func (w *IterJSONWriter) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

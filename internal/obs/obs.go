@@ -1,0 +1,258 @@
+// Package obs is the observability layer of the fit/predict lifecycle: a
+// lightweight metrics registry (counters, gauges, timers) and the observer
+// callback interfaces the EM loop, the baselines, and the Monte-Carlo
+// predictors report into.
+//
+// Two design constraints shape the package:
+//
+//   - Zero cost when disabled. Every instrumented call site holds a
+//     possibly-nil *Metrics or observer; all registry methods are nil-safe
+//     no-ops, so the uninstrumented hot loops pay one pointer comparison
+//     and allocate nothing. The benchmark-guard CI job pins this.
+//   - No influence on results. Observers and metrics only *read* fitted
+//     state: they never touch RNG streams, chunk boundaries, or parameter
+//     updates, so an observed fit is bit-identical to an unobserved one
+//     (enforced by internal/core's observer-determinism test).
+//
+// The package deliberately depends only on the standard library so every
+// layer of the system — hawkes, core, baselines, predict, experiments, the
+// CLIs — can import it without cycles.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count. The nil Counter is a valid
+// no-op receiver, which is what a disabled registry hands out.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by d. No-op on a nil receiver.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a last-value-wins float64 measurement.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set records v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the last recorded value (0 for a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Timer accumulates wall-clock durations and an observation count.
+type Timer struct {
+	nanos atomic.Int64
+	count atomic.Int64
+}
+
+// Add records one observation of duration d. No-op on a nil receiver.
+func (t *Timer) Add(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.nanos.Add(int64(d))
+	t.count.Add(1)
+}
+
+// Time runs fn and records its wall time. On a nil receiver fn still runs,
+// untimed.
+func (t *Timer) Time(fn func()) {
+	if t == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	t.Add(time.Since(start))
+}
+
+// Total returns the accumulated duration (0 for a nil receiver).
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.nanos.Load())
+}
+
+// Count returns the number of observations (0 for a nil receiver).
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}
+
+// Metrics is a named registry of counters, gauges, and timers. A nil
+// *Metrics is the disabled registry: every lookup returns a nil instrument
+// whose methods are no-ops, so instrumented code needs no enabled/disabled
+// branches beyond carrying the pointer. All methods are safe for concurrent
+// use; the instruments themselves are atomic.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewMetrics returns an enabled, empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// Counter returns (registering on first use) the named counter, or nil when
+// the registry is disabled.
+func (m *Metrics) Counter(name string) *Counter {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = &Counter{}
+		m.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge, or nil when the
+// registry is disabled.
+func (m *Metrics) Gauge(name string) *Gauge {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		m.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns (registering on first use) the named timer, or nil when the
+// registry is disabled.
+func (m *Metrics) Timer(name string) *Timer {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.timers[name]
+	if !ok {
+		t = &Timer{}
+		m.timers[name] = t
+	}
+	return t
+}
+
+// TimerStats is one timer's exported state.
+type TimerStats struct {
+	Seconds float64 `json:"seconds"`
+	Count   int64   `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of a registry, JSON-encodable for the
+// CLIs' -metrics-json output. Map keys come out sorted by the encoder, so
+// snapshots diff cleanly.
+type Snapshot struct {
+	Counters map[string]int64      `json:"counters,omitempty"`
+	Gauges   map[string]float64    `json:"gauges,omitempty"`
+	Timers   map[string]TimerStats `json:"timers,omitempty"`
+}
+
+// Snapshot copies the registry's current state. A nil registry snapshots
+// empty.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{}
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.counters) > 0 {
+		s.Counters = make(map[string]int64, len(m.counters))
+		for name, c := range m.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(m.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(m.gauges))
+		for name, g := range m.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(m.timers) > 0 {
+		s.Timers = make(map[string]TimerStats, len(m.timers))
+		for name, t := range m.timers {
+			s.Timers[name] = TimerStats{Seconds: t.Total().Seconds(), Count: t.Count()}
+		}
+	}
+	return s
+}
+
+// Names returns the sorted instrument names of one kind ("counter",
+// "gauge", "timer") — a test and diagnostics convenience.
+func (m *Metrics) Names(kind string) []string {
+	if m == nil {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	switch kind {
+	case "counter":
+		for name := range m.counters {
+			out = append(out, name)
+		}
+	case "gauge":
+		for name := range m.gauges {
+			out = append(out, name)
+		}
+	case "timer":
+		for name := range m.timers {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

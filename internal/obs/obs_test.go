@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeTimerBasics(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if m.Counter("x") != c {
+		t.Error("same name must return the same counter")
+	}
+	g := m.Gauge("g")
+	g.Set(2.5)
+	g.Set(-1.25)
+	if got := g.Value(); got != -1.25 {
+		t.Errorf("gauge = %v, want last write -1.25", got)
+	}
+	tm := m.Timer("t")
+	tm.Add(3 * time.Millisecond)
+	tm.Time(func() {})
+	if tm.Count() != 2 {
+		t.Errorf("timer count = %d, want 2", tm.Count())
+	}
+	if tm.Total() < 3*time.Millisecond {
+		t.Errorf("timer total = %v, want >= 3ms", tm.Total())
+	}
+}
+
+func TestNilRegistryAndInstrumentsAreNoops(t *testing.T) {
+	var m *Metrics
+	// Every lookup on the disabled registry returns a nil instrument whose
+	// methods must be safe no-ops.
+	c := m.Counter("x")
+	c.Inc()
+	c.Add(10)
+	if c.Value() != 0 {
+		t.Error("nil counter must read 0")
+	}
+	g := m.Gauge("g")
+	g.Set(3)
+	if g.Value() != 0 {
+		t.Error("nil gauge must read 0")
+	}
+	tm := m.Timer("t")
+	tm.Add(time.Second)
+	ran := false
+	tm.Time(func() { ran = true })
+	if !ran {
+		t.Error("nil timer must still run the timed function")
+	}
+	if tm.Total() != 0 || tm.Count() != 0 {
+		t.Error("nil timer must read 0")
+	}
+	snap := m.Snapshot()
+	if snap.Counters != nil || snap.Gauges != nil || snap.Timers != nil {
+		t.Error("nil registry must snapshot empty")
+	}
+	if m.Names("counter") != nil {
+		t.Error("nil registry must have no names")
+	}
+}
+
+func TestNoopCounterPathAllocatesNothing(t *testing.T) {
+	var m *Metrics
+	c := m.Counter("hot")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		m.Counter("hot").Inc()
+	})
+	if allocs != 0 {
+		t.Errorf("disabled metrics path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestMetricsConcurrency(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				m.Counter("shared").Inc()
+				m.Gauge("g").Set(float64(i))
+				m.Timer("t").Add(time.Nanosecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("shared").Value(); got != 8*500 {
+		t.Errorf("concurrent counter = %d, want %d", got, 8*500)
+	}
+	if got := m.Timer("t").Count(); got != 8*500 {
+		t.Errorf("concurrent timer count = %d, want %d", got, 8*500)
+	}
+}
+
+func TestSnapshotCopiesState(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("c").Add(7)
+	m.Gauge("g").Set(1.5)
+	m.Timer("t").Add(2 * time.Second)
+	s := m.Snapshot()
+	if s.Counters["c"] != 7 || s.Gauges["g"] != 1.5 || s.Timers["t"].Count != 1 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	m.Counter("c").Add(1)
+	if s.Counters["c"] != 7 {
+		t.Error("snapshot must be a copy, not a view")
+	}
+	names := m.Names("counter")
+	if len(names) != 1 || names[0] != "c" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestObserversComposition(t *testing.T) {
+	if Observers() != nil || Observers(nil, nil) != nil {
+		t.Fatal("empty/nil-only composition must be nil")
+	}
+	a, b := &CollectObserver{}, &CollectObserver{}
+	if got := Observers(nil, a); got != a {
+		t.Fatal("single observer must pass through unwrapped")
+	}
+	multi := Observers(a, nil, b)
+	multi.OnIterStart(1)
+	multi.OnMStep(MStepStats{Iter: 1})
+	multi.OnEStep(EStepStats{Iter: 1})
+	multi.OnIterEnd(IterStats{Iter: 1})
+	for name, c := range map[string]*CollectObserver{"a": a, "b": b} {
+		if len(c.Starts) != 1 || len(c.MForms) != 1 || len(c.EForms) != 1 || len(c.Iters) != 1 {
+			t.Errorf("observer %s missed callbacks: %+v", name, c)
+		}
+	}
+}
+
+func TestProgressObserverOutput(t *testing.T) {
+	var buf bytes.Buffer
+	o := ProgressObserver(&buf, "tool")
+	o.OnIterStart(1)
+	o.OnEStep(EStepStats{Iter: 1, Events: 10, Entropy: 0.5, MAP: true})
+	o.OnIterEnd(IterStats{Iter: 1, TrainLL: -12.5, GradNorm: 0.1})
+	o.OnIterEnd(IterStats{Iter: 2, TrainLL: math.NaN(), GradNorm: math.NaN()})
+	out := buf.String()
+	for _, want := range []string{"tool estep iter=1", "MAP", "LL=-12.50", "LL=n/a"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("progress output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestIterJSONWriterLinesAndNaN(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "metrics.jsonl")
+	w, err := NewIterJSONWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewMetrics()
+	reg.Counter("hawkes.euler_steps").Add(42)
+	w.Attach(reg)
+	w.OnIterEnd(IterStats{Iter: 1, Seconds: 0.5, TrainLL: -10,
+		Entropy: math.NaN(), GradNorm: 2})
+	w.OnIterEnd(IterStats{Iter: 2, TrainLL: math.NaN(),
+		Entropy: 0.3, GradNorm: math.NaN()})
+	if w.Lines() != 2 {
+		t.Fatalf("Lines = %d, want 2", w.Lines())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(blob)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("file has %d lines, want 2", len(lines))
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if first["iter"] != float64(1) || first["train_ll"] != float64(-10) {
+		t.Errorf("line 1 = %v", first)
+	}
+	// The NaN sentinels must serialize as JSON null, not break encoding.
+	if v, ok := first["estep_entropy"]; !ok || v != nil {
+		t.Errorf("entropy NaN must encode as null, got %v", v)
+	}
+	metrics, ok := first["metrics"].(map[string]any)
+	if !ok {
+		t.Fatalf("line 1 missing attached metrics snapshot: %v", first)
+	}
+	counters := metrics["counters"].(map[string]any)
+	if counters["hawkes.euler_steps"] != float64(42) {
+		t.Errorf("metrics snapshot = %v", metrics)
+	}
+	var second map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &second); err != nil {
+		t.Fatalf("line 2 not JSON: %v", err)
+	}
+	if v := second["train_ll"]; v != nil {
+		t.Errorf("train_ll NaN must encode as null, got %v", v)
+	}
+	if second["estep_entropy"] != float64(0.3) {
+		t.Errorf("line 2 entropy = %v", second["estep_entropy"])
+	}
+}
+
+func TestStartPprofServesIndex(t *testing.T) {
+	addr, err := StartPprof("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(addr, ":") {
+		t.Fatalf("addr = %q, want host:port", addr)
+	}
+}

@@ -1,0 +1,228 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// EStepStats describes one E-step (latent branching-structure inference)
+// pass of the EM loop.
+type EStepStats struct {
+	// Iter is the 1-based EM iteration the pass ran in.
+	Iter int `json:"iter"`
+	// Seconds is the pass's wall time.
+	Seconds float64 `json:"seconds"`
+	// Entropy is the mean parent-assignment entropy (nats per scored
+	// event) of the triggering distributions — the paper's E-step
+	// posterior sharpness. NaN when no event was scored.
+	Entropy float64 `json:"entropy"`
+	// Events is the number of events whose triggering distribution was
+	// scored (asynchronous updates keep the rest on their previous
+	// parent).
+	Events int `json:"events"`
+	// MAP reports whether the pass took argmax assignments (true) or
+	// sampled (false).
+	MAP bool `json:"map"`
+}
+
+// MStepStats describes one M-step (parametric + nonparametric) of the EM
+// loop.
+type MStepStats struct {
+	// Iter is the 1-based EM iteration.
+	Iter int `json:"iter"`
+	// Seconds is the parametric (gradient-ascent) half's wall time.
+	Seconds float64 `json:"seconds"`
+	// KernelSeconds is the nonparametric (spectral kernel update) half's
+	// wall time; 0 when the kernel update is disabled.
+	KernelSeconds float64 `json:"kernel_seconds"`
+	// GradNorm is the largest per-dimension L2 gradient norm at the
+	// accepted optimum — a convergence signal (→0 as the M-step
+	// saturates). NaN when gradient norms were not collected.
+	GradNorm float64 `json:"grad_norm"`
+	// Dims is the number of per-dimension optimizations run.
+	Dims int `json:"dims"`
+}
+
+// IterStats summarizes one completed EM iteration.
+type IterStats struct {
+	// Iter is the 1-based EM iteration.
+	Iter int `json:"iter"`
+	// Seconds is the iteration's total wall time.
+	Seconds float64 `json:"seconds"`
+	// EStepSeconds/MStepSeconds/KernelSeconds/LLSeconds break the wall
+	// time into the iteration's phases (0 for phases that did not run).
+	EStepSeconds  float64 `json:"estep_seconds"`
+	MStepSeconds  float64 `json:"mstep_seconds"`
+	KernelSeconds float64 `json:"kernel_seconds"`
+	LLSeconds     float64 `json:"ll_seconds"`
+	// TrainLL is the training log-likelihood after the iteration. NaN when
+	// not evaluated (it is evaluated whenever an observer is attached or
+	// Config.TrackHistory is set).
+	TrainLL float64 `json:"train_ll"`
+	// Entropy is the E-step's mean parent-assignment entropy; NaN when no
+	// E-step ran this iteration.
+	Entropy float64 `json:"estep_entropy"`
+	// GradNorm mirrors MStepStats.GradNorm.
+	GradNorm float64 `json:"grad_norm"`
+	// EulerSteps counts the compensator Euler grid evaluations performed
+	// this iteration (0 under closed-form linear compensators).
+	EulerSteps int64 `json:"euler_steps"`
+}
+
+// FitObserver receives lifecycle callbacks from a running EM fit. Within
+// one fit, callbacks arrive from a single goroutine in the order
+// OnIterStart → OnMStep → [OnEStep] → OnIterEnd, with strictly increasing
+// 1-based iteration numbers (OnEStep only fires on iterations that refresh
+// the branching structure). Observers must only read the stats they are
+// handed: the fit guarantees that an attached observer never changes the
+// fitted parameters.
+type FitObserver interface {
+	OnIterStart(iter int)
+	OnEStep(s EStepStats)
+	OnMStep(s MStepStats)
+	OnIterEnd(s IterStats)
+}
+
+// PredictObserver receives progress from Monte-Carlo prediction loops.
+// OnDraw may be called concurrently from worker goroutines; done is the
+// cumulative number of completed draws, which arrives in no particular
+// order. Implementations must be safe for concurrent use.
+type PredictObserver interface {
+	OnDraw(done, total int)
+}
+
+// PredictProgressFunc adapts a function to PredictObserver.
+type PredictProgressFunc func(done, total int)
+
+// OnDraw implements PredictObserver.
+func (f PredictProgressFunc) OnDraw(done, total int) { f(done, total) }
+
+// multiObserver fans callbacks out to several observers in order.
+type multiObserver []FitObserver
+
+func (m multiObserver) OnIterStart(iter int) {
+	for _, o := range m {
+		o.OnIterStart(iter)
+	}
+}
+func (m multiObserver) OnEStep(s EStepStats) {
+	for _, o := range m {
+		o.OnEStep(s)
+	}
+}
+func (m multiObserver) OnMStep(s MStepStats) {
+	for _, o := range m {
+		o.OnMStep(s)
+	}
+}
+func (m multiObserver) OnIterEnd(s IterStats) {
+	for _, o := range m {
+		o.OnIterEnd(s)
+	}
+}
+
+// Observers combines several observers into one that relays every callback
+// in argument order; nils are dropped. Returns nil when nothing remains, so
+// the result can be attached unconditionally.
+func Observers(list ...FitObserver) FitObserver {
+	var kept multiObserver
+	for _, o := range list {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+// ProgressObserver returns an observer that writes one human-readable line
+// per EM iteration (and one per E-step refresh) to w — the CLIs' -progress
+// implementation. The writer is guarded by a mutex so one observer can be
+// shared across sequential fits.
+func ProgressObserver(w io.Writer, label string) FitObserver {
+	return &progressObserver{w: w, label: label}
+}
+
+type progressObserver struct {
+	mu    sync.Mutex
+	w     io.Writer
+	label string
+}
+
+func (p *progressObserver) prefix() string {
+	if p.label == "" {
+		return ""
+	}
+	return p.label + " "
+}
+
+func (p *progressObserver) OnIterStart(int) {}
+
+func (p *progressObserver) OnEStep(s EStepStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	mode := "sampled"
+	if s.MAP {
+		mode = "MAP"
+	}
+	fmt.Fprintf(p.w, "%sestep iter=%d: %s reassignment of %d events, entropy %.3f nats (%.2fs)\n",
+		p.prefix(), s.Iter, mode, s.Events, s.Entropy, s.Seconds)
+}
+
+func (p *progressObserver) OnMStep(MStepStats) {}
+
+func (p *progressObserver) OnIterEnd(s IterStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	ll := "n/a"
+	if !math.IsNaN(s.TrainLL) {
+		ll = fmt.Sprintf("%.2f", s.TrainLL)
+	}
+	fmt.Fprintf(p.w, "%siter %d: LL=%s grad=%.2e (estep %.2fs, mstep %.2fs, kernel %.2fs, ll %.2fs)\n",
+		p.prefix(), s.Iter, ll, s.GradNorm, s.EStepSeconds, s.MStepSeconds, s.KernelSeconds, s.LLSeconds)
+}
+
+// CollectObserver records every callback in memory — the test and
+// diagnostics observer.
+type CollectObserver struct {
+	mu     sync.Mutex
+	Starts []int
+	EForms []EStepStats
+	MForms []MStepStats
+	Iters  []IterStats
+}
+
+// OnIterStart implements FitObserver.
+func (c *CollectObserver) OnIterStart(iter int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Starts = append(c.Starts, iter)
+}
+
+// OnEStep implements FitObserver.
+func (c *CollectObserver) OnEStep(s EStepStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.EForms = append(c.EForms, s)
+}
+
+// OnMStep implements FitObserver.
+func (c *CollectObserver) OnMStep(s MStepStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.MForms = append(c.MForms, s)
+}
+
+// OnIterEnd implements FitObserver.
+func (c *CollectObserver) OnIterEnd(s IterStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Iters = append(c.Iters, s)
+}

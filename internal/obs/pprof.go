@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// StartPprof serves the net/http/pprof endpoints on addr (host:port; an
+// empty host binds localhost, port 0 picks a free port) from a background
+// goroutine and returns the bound address — the CLIs' -pprof
+// implementation. The listener lives until process exit: profiling a
+// long-running fit should not be tied to any one fit's lifecycle.
+func StartPprof(addr string) (string, error) {
+	if addr == "" {
+		addr = "localhost:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go http.Serve(ln, mux) //nolint:errcheck // best-effort diagnostics server
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoContextNilCtxMatchesDo(t *testing.T) {
+	out := make([]int, 100)
+	if err := DoContext(nil, 4, len(out), func(i int) error {
+		out[i] = i + 1
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("job %d ran %d times", i, v)
+		}
+	}
+}
+
+func TestDoContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		ran := false
+		err := DoContext(ctx, workers, 50, func(int) error {
+			ran = true
+			return nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		if ran {
+			t.Fatalf("workers=%d: jobs ran under a pre-cancelled context", workers)
+		}
+	}
+}
+
+// TestDoContextCancelMidPool cancels from inside an early job: the pool must
+// stop claiming further jobs and report the context error, not the job
+// progress, at every worker count.
+func TestDoContextCancelMidPool(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var started atomic.Int64
+		const jobs = 10_000
+		err := DoContext(ctx, workers, jobs, func(i int) error {
+			started.Add(1)
+			if i == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: got %v, want context.Canceled", workers, err)
+		}
+		// In-flight jobs (up to one per worker) may complete after the
+		// cancel; the pool must not have drained the whole queue.
+		if n := started.Load(); n >= jobs {
+			t.Fatalf("workers=%d: all %d jobs ran despite cancellation", workers, n)
+		}
+	}
+}
+
+// TestDoContextCancelPrecedence: when a job fails AND the context is
+// cancelled, the context error wins — callers distinguish "aborted" from
+// "broken" by the returned error.
+func TestDoContextCancelPrecedence(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	err := DoContext(ctx, 2, 100, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled to take precedence over job error", err)
+	}
+}
+
+// TestDoContextNoLeakedWorkers: a cancelled pool must wind down all its
+// goroutines — nothing keeps claiming jobs in the background.
+func TestDoContextNoLeakedWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for round := 0; round < 5; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		_ = DoContext(ctx, 8, 1000, func(i int) error {
+			if i == 2 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+func TestForEachChunkContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var touched atomic.Int64
+	err := ForEachChunkContext(ctx, 4, 100_000, 16, func(r Range) error {
+		touched.Add(int64(r.Hi - r.Lo))
+		if r.Index == 1 {
+			cancel()
+		}
+		return nil
+	})
+	cancel()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := touched.Load(); n >= 100_000 {
+		t.Fatal("every chunk ran despite cancellation")
+	}
+}

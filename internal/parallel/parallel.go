@@ -12,6 +12,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -83,8 +84,36 @@ func (e *PanicError) Error() string {
 // fn(i) independent of execution order; with one worker the jobs simply run
 // in order on the calling goroutine.
 func Do(workers, jobs int, fn func(i int) error) error {
+	return DoContext(nil, workers, jobs, fn)
+}
+
+// DoContext is Do with cooperative cancellation: ctx is polled before every
+// job claim (on each worker goroutine and on the serial path), so a
+// cancelled run stops within one job boundary — no new jobs start, in-flight
+// jobs finish, and every worker goroutine exits before the call returns.
+// Cancellation takes precedence over job errors: once ctx is done the
+// return value is ctx.Err(), a deterministic choice regardless of which
+// jobs also failed. A nil (or never-cancelled background) context makes
+// DoContext behave exactly like Do at no measurable cost — the poll is one
+// nil check.
+func DoContext(ctx context.Context, workers, jobs int, fn func(i int) error) error {
 	if jobs <= 0 {
 		return nil
+	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done() // nil for Background/TODO: the poll short-circuits
+	}
+	canceled := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
 	}
 	workers = Workers(workers)
 	if workers > jobs {
@@ -92,9 +121,15 @@ func Do(workers, jobs int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < jobs; i++ {
+			if canceled() {
+				return ctx.Err()
+			}
 			if err := runJob(i, fn); err != nil {
 				return err
 			}
+		}
+		if canceled() {
+			return ctx.Err()
 		}
 		return nil
 	}
@@ -106,6 +141,9 @@ func Do(workers, jobs int, fn func(i int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
+				if canceled() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= jobs {
 					return
@@ -115,6 +153,9 @@ func Do(workers, jobs int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if canceled() {
+		return ctx.Err()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -137,6 +178,13 @@ func runJob(i int, fn func(int) error) (err error) {
 // each across the pool. The chunk list — and therefore each chunk's Index —
 // is identical for every worker count.
 func ForEachChunk(workers, n, size int, fn func(Range) error) error {
+	return ForEachChunkContext(nil, workers, n, size, fn)
+}
+
+// ForEachChunkContext is ForEachChunk with cooperative cancellation: ctx is
+// polled at every chunk boundary (see DoContext), so a cancelled sharded
+// loop stops within one chunk's worth of work.
+func ForEachChunkContext(ctx context.Context, workers, n, size int, fn func(Range) error) error {
 	chunks := Chunks(n, size)
-	return Do(workers, len(chunks), func(i int) error { return fn(chunks[i]) })
+	return DoContext(ctx, workers, len(chunks), func(i int) error { return fn(chunks[i]) })
 }

@@ -1,0 +1,145 @@
+package predict
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"chassis/internal/obs"
+	"chassis/internal/rng"
+	"chassis/internal/timeline"
+)
+
+// TestOptionsMatchDeprecatedWrappers pins the API migration contract: the
+// Options-based entry points reproduce the positional wrappers bit for bit,
+// and stay bit-identical at every Workers setting.
+func TestOptionsMatchDeprecatedWrappers(t *testing.T) {
+	proc := poisson2(t, 0.1, 0.4)
+	history := emptyHistory(2, 10)
+
+	wantNext, err := PredictNext(proc, history, 30, 200, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCounts, err := ForecastCounts(proc, history, 50, 150, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := &timeline.Sequence{M: 2, Horizon: 40}
+	r := rng.New(13)
+	tt := 10.0
+	for i := 0; i < 12; i++ {
+		tt += r.Exp(0.5)
+		test.Activities = append(test.Activities, timeline.Activity{
+			ID: timeline.ActivityID(i), User: 1, Time: tt, Parent: timeline.NoParent,
+		})
+	}
+	wantAcc, wantN, err := EvaluateNextUser(proc, history, test, 8, 60, rng.New(14))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{0, 1, 2, 8} {
+		next, err := Next(proc, history, Options{Lookahead: 30, Draws: 200, Seed: 11, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if next != wantNext {
+			t.Errorf("workers=%d: Next = %+v, wrapper = %+v", workers, next, wantNext)
+		}
+		fc, err := Counts(proc, history, Options{Window: 50, Draws: 150, Seed: 12, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if fc.Total != wantCounts.Total {
+			t.Errorf("workers=%d: Counts total %v, wrapper %v", workers, fc.Total, wantCounts.Total)
+		}
+		for i := range fc.PerUser {
+			if fc.PerUser[i] != wantCounts.PerUser[i] {
+				t.Errorf("workers=%d: PerUser[%d] = %v, wrapper %v", workers, i, fc.PerUser[i], wantCounts.PerUser[i])
+			}
+		}
+		acc, n, err := NextUserAccuracy(proc, history, test, Options{Steps: 8, Draws: 60, Seed: 14, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if acc != wantAcc || n != wantN {
+			t.Errorf("workers=%d: accuracy %v/%d, wrapper %v/%d", workers, acc, n, wantAcc, wantN)
+		}
+	}
+}
+
+func TestOptionsRNGOverridesSeed(t *testing.T) {
+	proc := poisson2(t, 0.1, 0.4)
+	history := emptyHistory(2, 10)
+	a, err := Next(proc, history, Options{Lookahead: 20, Draws: 100, Seed: 999, RNG: rng.New(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Next(proc, history, Options{Lookahead: 20, Draws: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("RNG override must shadow Seed: %+v vs %+v", a, b)
+	}
+}
+
+func TestPredictObserverSeesEveryDraw(t *testing.T) {
+	proc := poisson2(t, 0.2, 0.2)
+	var calls atomic.Int64
+	var sawTotal atomic.Int64
+	o := obs.PredictProgressFunc(func(done, total int) {
+		calls.Add(1)
+		sawTotal.Store(int64(total))
+	})
+	if _, err := Next(proc, emptyHistory(2, 5), Options{
+		Lookahead: 10, Draws: 64, Seed: 1, Workers: 4, Observer: o,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 64 || sawTotal.Load() != 64 {
+		t.Errorf("observer saw %d/%d draws, want 64/64", calls.Load(), sawTotal.Load())
+	}
+}
+
+func TestPredictCancellation(t *testing.T) {
+	proc := poisson2(t, 0.2, 0.2)
+	history := emptyHistory(2, 5)
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Next(proc, history, Options{Lookahead: 10, Draws: 50, Ctx: pre}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Next under pre-cancelled ctx: %v", err)
+	}
+	if _, err := Counts(proc, history, Options{Window: 10, Draws: 50, Ctx: pre}); !errors.Is(err, context.Canceled) {
+		t.Errorf("Counts under pre-cancelled ctx: %v", err)
+	}
+	test := &timeline.Sequence{M: 2, Horizon: 20, Activities: []timeline.Activity{
+		{ID: 0, User: 1, Time: 6, Parent: timeline.NoParent},
+	}}
+	if _, _, err := NextUserAccuracy(proc, history, test, Options{Draws: 10, Ctx: pre}); !errors.Is(err, context.Canceled) {
+		t.Errorf("NextUserAccuracy under pre-cancelled ctx: %v", err)
+	}
+
+	// Cancel mid-loop from the observer: the Monte-Carlo fan-out must stop
+	// claiming draws and surface the context error.
+	ctx, cancelMid := context.WithCancel(context.Background())
+	defer cancelMid()
+	var done atomic.Int64
+	o := obs.PredictProgressFunc(func(d, total int) {
+		done.Add(1)
+		if d == 3 {
+			cancelMid()
+		}
+	})
+	_, err := Next(proc, history, Options{
+		Lookahead: 10, Draws: 100_000, Seed: 2, Workers: 2, Ctx: ctx, Observer: o,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-loop cancel: %v", err)
+	}
+	if n := done.Load(); n >= 100_000 {
+		t.Errorf("all draws ran despite cancellation (%d)", n)
+	}
+}

@@ -3,16 +3,75 @@
 // acts next, and when) and future activity-count forecasting, both by
 // forward simulation of the fitted point process conditioned on the
 // observed history.
+//
+// The entry points are Next, Counts, and NextUserAccuracy, configured by a
+// single Options struct. Monte-Carlo draws fan out over the worker pool:
+// each draw simulates from its own Split-derived RNG stream (keyed by the
+// draw index, exactly the stream the historical serial loop used) and
+// writes only its own result slot, and the reduction runs in draw order —
+// so forecasts are bit-identical at every Workers setting, and identical to
+// the deprecated positional wrappers.
 package predict
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"chassis/internal/hawkes"
+	"chassis/internal/obs"
+	"chassis/internal/parallel"
 	"chassis/internal/rng"
 	"chassis/internal/timeline"
 )
+
+// Options bundles every knob of the prediction entry points; the zero value
+// is usable wherever a field has a documented default.
+type Options struct {
+	// Lookahead is the simulation horizon beyond the history for Next
+	// (must be positive there; ignored elsewhere).
+	Lookahead float64
+	// Window is the forecast window for Counts (must be positive there;
+	// ignored elsewhere).
+	Window float64
+	// Draws is the number of Monte-Carlo futures (default 200 for Next,
+	// 100 for Counts).
+	Draws int
+	// Steps caps how many held-out events NextUserAccuracy walks through
+	// (0 or too large: all of them).
+	Steps int
+	// Seed derives the simulation RNG streams (ignored when RNG is set).
+	Seed int64
+	// Workers caps the goroutines simulating draws; <= 0 uses GOMAXPROCS.
+	// Results are bit-identical at every setting.
+	Workers int
+	// Ctx, when non-nil, cancels the Monte-Carlo loop cooperatively at
+	// draw boundaries (and between NextUserAccuracy steps).
+	Ctx context.Context
+	// Observer, when non-nil, receives OnDraw(done, total) after every
+	// completed draw — possibly from concurrent worker goroutines.
+	Observer obs.PredictObserver
+	// RNG overrides Seed with an existing stream: draw d simulates from
+	// RNG.Split(d), which is exactly what the deprecated positional API
+	// did, so wrappers built on this field reproduce historical outputs
+	// bit for bit.
+	RNG *rng.RNG
+}
+
+func (o *Options) rng() *rng.RNG {
+	if o.RNG != nil {
+		return o.RNG
+	}
+	return rng.New(o.Seed)
+}
+
+func (o *Options) check() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
 
 // NextActivity is a next-event forecast.
 type NextActivity struct {
@@ -26,29 +85,53 @@ type NextActivity struct {
 	Draws int
 }
 
-// PredictNext forecasts the next activity after the history by drawing
-// `draws` futures from the process and aggregating the first event of each.
-func PredictNext(proc *hawkes.Process, history *timeline.Sequence, lookahead float64, draws int, r *rng.RNG) (NextActivity, error) {
+// Next forecasts the next activity after the history by drawing
+// o.Draws futures from the process over o.Lookahead and aggregating the
+// first event of each.
+func Next(proc *hawkes.Process, history *timeline.Sequence, o Options) (NextActivity, error) {
+	draws := o.Draws
 	if draws <= 0 {
 		draws = 200
 	}
-	if lookahead <= 0 {
+	if o.Lookahead <= 0 {
 		return NextActivity{}, errors.New("predict: lookahead must be positive")
 	}
+	r := o.rng()
+	type firstEvent struct {
+		user timeline.UserID
+		t    float64
+		hit  bool
+	}
+	firsts := make([]firstEvent, draws)
+	var doneDraws atomic.Int64
+	err := parallel.DoContext(o.Ctx, o.Workers, draws, func(d int) error {
+		ext, err := proc.Continue(r.Split(int64(d)), history, history.Horizon+o.Lookahead, hawkes.SimOptions{})
+		if err != nil && ext == nil {
+			return fmt.Errorf("predict: simulating future %d: %w", d, err)
+		}
+		if ext.Len() > history.Len() {
+			f := ext.Activities[history.Len()]
+			firsts[d] = firstEvent{user: f.User, t: f.Time, hit: true}
+		}
+		if o.Observer != nil {
+			o.Observer.OnDraw(int(doneDraws.Add(1)), draws)
+		}
+		return nil
+	})
+	if err != nil {
+		return NextActivity{}, err
+	}
+	// Draw-order reduction: the same accumulation order as the historical
+	// serial loop, so wrapper outputs match bit for bit.
 	counts := make(map[timeline.UserID]int)
 	var timeSum float64
 	hits := 0
-	for d := 0; d < draws; d++ {
-		ext, err := proc.Continue(r.Split(int64(d)), history, history.Horizon+lookahead, hawkes.SimOptions{})
-		if err != nil && ext == nil {
-			return NextActivity{}, fmt.Errorf("predict: simulating future %d: %w", d, err)
-		}
-		if ext.Len() <= history.Len() {
+	for _, f := range firsts {
+		if !f.hit {
 			continue // quiet future
 		}
-		first := ext.Activities[history.Len()]
-		counts[first.User]++
-		timeSum += first.Time
+		counts[f.user]++
+		timeSum += f.t
 		hits++
 	}
 	if hits == 0 {
@@ -78,23 +161,41 @@ type CountForecast struct {
 	Total float64
 }
 
-// ForecastCounts estimates per-user activity counts over the next window by
-// Monte-Carlo forward simulation.
-func ForecastCounts(proc *hawkes.Process, history *timeline.Sequence, window float64, draws int, r *rng.RNG) (CountForecast, error) {
+// Counts estimates per-user activity counts over the next o.Window by
+// Monte-Carlo forward simulation of o.Draws futures.
+func Counts(proc *hawkes.Process, history *timeline.Sequence, o Options) (CountForecast, error) {
+	draws := o.Draws
 	if draws <= 0 {
 		draws = 100
 	}
-	if window <= 0 {
+	if o.Window <= 0 {
 		return CountForecast{}, errors.New("predict: window must be positive")
 	}
-	per := make([]float64, proc.M)
-	for d := 0; d < draws; d++ {
-		ext, err := proc.Continue(r.Split(int64(d)), history, history.Horizon+window, hawkes.SimOptions{})
+	r := o.rng()
+	perDraw := make([][]float64, draws)
+	var doneDraws atomic.Int64
+	err := parallel.DoContext(o.Ctx, o.Workers, draws, func(d int) error {
+		ext, err := proc.Continue(r.Split(int64(d)), history, history.Horizon+o.Window, hawkes.SimOptions{})
 		if err != nil && ext == nil {
-			return CountForecast{}, fmt.Errorf("predict: simulating future %d: %w", d, err)
+			return fmt.Errorf("predict: simulating future %d: %w", d, err)
 		}
+		cnt := make([]float64, proc.M)
 		for _, a := range ext.Activities[history.Len():] {
-			per[a.User]++
+			cnt[a.User]++
+		}
+		perDraw[d] = cnt
+		if o.Observer != nil {
+			o.Observer.OnDraw(int(doneDraws.Add(1)), draws)
+		}
+		return nil
+	})
+	if err != nil {
+		return CountForecast{}, err
+	}
+	per := make([]float64, proc.M)
+	for _, cnt := range perDraw { // draw order (integer-valued sums anyway)
+		for i, c := range cnt {
+			per[i] += c
 		}
 	}
 	out := CountForecast{PerUser: per}
@@ -105,26 +206,37 @@ func ForecastCounts(proc *hawkes.Process, history *timeline.Sequence, window flo
 	return out, nil
 }
 
-// EvaluateNextUser scores next-actor prediction against a held-out
+// NextUserAccuracy scores next-actor prediction against a held-out
 // continuation: walking through the test events in order, it predicts the
-// next actor from the history so far and counts hits. Returns accuracy over
-// `steps` predictions (capped at the number of test events).
-func EvaluateNextUser(proc *hawkes.Process, history *timeline.Sequence, test *timeline.Sequence, steps, draws int, r *rng.RNG) (float64, int, error) {
+// next actor from the history so far (Next, with o.Draws futures per step)
+// and counts hits. Returns accuracy over o.Steps predictions (capped at the
+// number of test events). The walk is inherently sequential — each step
+// reveals the actual event before the next prediction — so only the draws
+// within a step parallelize; o.Ctx is additionally polled between steps.
+func NextUserAccuracy(proc *hawkes.Process, history, test *timeline.Sequence, o Options) (float64, int, error) {
 	if test.Len() == 0 {
 		return 0, 0, errors.New("predict: empty test sequence")
 	}
+	steps := o.Steps
 	if steps <= 0 || steps > test.Len() {
 		steps = test.Len()
 	}
+	r := o.rng()
 	cur := history.Clone()
 	hits, total := 0, 0
 	for s := 0; s < steps; s++ {
+		if err := o.check(); err != nil {
+			return 0, 0, err
+		}
 		actual := test.Activities[s]
 		lookahead := (actual.Time - cur.Horizon) * 3
 		if lookahead <= 0 {
 			lookahead = 1
 		}
-		pred, err := PredictNext(proc, cur, lookahead, draws, r.Split(int64(s)))
+		stepOpts := o
+		stepOpts.Lookahead = lookahead
+		stepOpts.RNG = r.Split(int64(s))
+		pred, err := Next(proc, cur, stepOpts)
 		if err != nil {
 			return 0, 0, err
 		}
@@ -145,4 +257,29 @@ func EvaluateNextUser(proc *hawkes.Process, history *timeline.Sequence, test *ti
 		return 0, 0, nil
 	}
 	return float64(hits) / float64(total), total, nil
+}
+
+// PredictNext forecasts the next activity after the history.
+//
+// Deprecated: use Next with Options; this wrapper (kept for historical
+// callers) produces bit-identical results.
+func PredictNext(proc *hawkes.Process, history *timeline.Sequence, lookahead float64, draws int, r *rng.RNG) (NextActivity, error) {
+	return Next(proc, history, Options{Lookahead: lookahead, Draws: draws, RNG: r})
+}
+
+// ForecastCounts estimates per-user activity counts over the next window.
+//
+// Deprecated: use Counts with Options; this wrapper (kept for historical
+// callers) produces bit-identical results.
+func ForecastCounts(proc *hawkes.Process, history *timeline.Sequence, window float64, draws int, r *rng.RNG) (CountForecast, error) {
+	return Counts(proc, history, Options{Window: window, Draws: draws, RNG: r})
+}
+
+// EvaluateNextUser scores next-actor prediction against a held-out
+// continuation.
+//
+// Deprecated: use NextUserAccuracy with Options; this wrapper (kept for
+// historical callers) produces bit-identical results.
+func EvaluateNextUser(proc *hawkes.Process, history *timeline.Sequence, test *timeline.Sequence, steps, draws int, r *rng.RNG) (float64, int, error) {
+	return NextUserAccuracy(proc, history, test, Options{Steps: steps, Draws: draws, RNG: r})
 }
