@@ -23,10 +23,12 @@ import (
 	"chassis/internal/baselines"
 	"chassis/internal/branching"
 	"chassis/internal/cascade"
+	"chassis/internal/checkpoint"
 	"chassis/internal/core"
 	"chassis/internal/diffusion"
 	"chassis/internal/eval"
 	"chassis/internal/experiments"
+	"chassis/internal/guard"
 	"chassis/internal/hawkes"
 	"chassis/internal/obs"
 	"chassis/internal/predict"
@@ -114,6 +116,28 @@ type (
 	// CanceledError reports a fit aborted by context cancellation, naming
 	// the EM iteration and phase it was honored in.
 	CanceledError = core.CanceledError
+
+	// ValidationError is the typed input-validation failure every entry
+	// point (Fit's front door, dataset loading, the CLIs) reports; see
+	// Sequence.Check and Sequence.Repair.
+	ValidationError = timeline.ValidationError
+	// RepairReport accounts for what Sequence.Repair changed.
+	RepairReport = timeline.RepairReport
+	// GuardPolicy configures per-iteration numerical health checks with
+	// bounded rollback-and-retry recovery (FitConfig.Guard).
+	GuardPolicy = guard.Policy
+	// NumericalError reports a fit abandoned after the guard's recovery
+	// budget was exhausted: the phase, iteration, and quantity that kept
+	// violating numerical health.
+	NumericalError = guard.NumericalError
+	// RecoveryStats is the observer payload describing one guard rollback.
+	RecoveryStats = obs.RecoveryStats
+	// CheckpointVersionError reports a checkpoint or model file written by a
+	// newer format version than this build supports.
+	CheckpointVersionError = checkpoint.VersionError
+	// CheckpointMismatchError reports a resume attempted against different
+	// data or a different configuration than the checkpoint was written for.
+	CheckpointMismatchError = checkpoint.MismatchError
 )
 
 // NewMetrics returns an enabled, empty metrics registry.

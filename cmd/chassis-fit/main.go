@@ -6,13 +6,19 @@
 //
 //	chassis-fit -in sf.json -strategy CHASSIS-L -split 0.7 -em 10 -out model.json
 //	chassis-fit -in sf.json -progress -metrics-json metrics.jsonl
+//	chassis-fit -in sf.json -checkpoint-dir ckpt        # interrupt freely ...
+//	chassis-fit -in sf.json -checkpoint-dir ckpt -resume  # ... and pick up here
 //
 // Ctrl-C cancels the fit cooperatively at the next parallel-chunk boundary;
+// with -checkpoint-dir set, the last completed iteration is flushed to disk
+// before the tool exits 130, and -resume continues from it bit-identically.
 // -progress, -metrics-json, and -pprof surface the fit's observability layer
 // (see README "Observability").
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -22,23 +28,47 @@ import (
 	"chassis/internal/cliobs"
 	"chassis/internal/dataio"
 	"chassis/internal/experiments"
+	"chassis/internal/guard"
 )
 
+// fitFlags collects the run parameters beyond the shared observability set.
+type fitFlags struct {
+	in, strategy  string
+	split         float64
+	em            int
+	seed          int64
+	workers       int
+	out, savefull string
+	ckptDir       string
+	ckptEvery     int
+	resume        bool
+	repair        bool
+	guard         bool
+}
+
 func main() {
-	var (
-		in       = flag.String("in", "", "input dataset (JSON from chassis-sim)")
-		strategy = flag.String("strategy", "CHASSIS-L", "strategy: "+strings.Join(experiments.AllStrategies, ", "))
-		split    = flag.Float64("split", 0.7, "training fraction (0 < f < 1)")
-		em       = flag.Int("em", 10, "EM iterations for the CHASSIS/HP family")
-		seed     = flag.Int64("seed", 42, "random seed")
-		workers  = flag.Int("workers", 0, "worker goroutines for the parallel fit (0 = all cores); results are identical at any setting")
-		out      = flag.String("out", "", "optional output path for a model summary (JSON)")
-		savefull = flag.String("savefull", "", "optional output path for the full fitted model (CHASSIS/HP family only; reload with chassis.LoadModel)")
-		obsFlags = cliobs.Register(flag.CommandLine)
-	)
+	var f fitFlags
+	flag.StringVar(&f.in, "in", "", "input dataset (JSON from chassis-sim)")
+	flag.StringVar(&f.strategy, "strategy", "CHASSIS-L", "strategy: "+strings.Join(experiments.AllStrategies, ", "))
+	flag.Float64Var(&f.split, "split", 0.7, "training fraction (0 < f < 1)")
+	flag.IntVar(&f.em, "em", 10, "EM iterations for the CHASSIS/HP family")
+	flag.Int64Var(&f.seed, "seed", 42, "random seed")
+	flag.IntVar(&f.workers, "workers", 0, "worker goroutines for the parallel fit (0 = all cores); results are identical at any setting")
+	flag.StringVar(&f.out, "out", "", "optional output path for a model summary (JSON)")
+	flag.StringVar(&f.savefull, "savefull", "", "optional output path for the full fitted model (CHASSIS/HP family only; reload with chassis.LoadModel)")
+	flag.StringVar(&f.ckptDir, "checkpoint-dir", "", "directory for resumable fit checkpoints (CHASSIS/HP family); an interrupted fit can continue with -resume")
+	flag.IntVar(&f.ckptEvery, "checkpoint-every", 1, "checkpoint stride in EM iterations")
+	flag.BoolVar(&f.resume, "resume", false, "resume from the checkpoint in -checkpoint-dir (bit-identical to an uninterrupted fit)")
+	flag.BoolVar(&f.repair, "repair", false, "auto-repair dirty input (sort, dedup, neutralize non-finite polarities) instead of rejecting it")
+	flag.BoolVar(&f.guard, "guard", false, "enable numerical guardrails: roll back and retry with a smaller M-step on non-finite parameters, gradient explosions, or likelihood regressions")
+	obsFlags := cliobs.Register(flag.CommandLine)
 	flag.Parse()
-	if *in == "" {
+	if f.in == "" {
 		fmt.Fprintln(os.Stderr, "chassis-fit: -in is required")
+		os.Exit(2)
+	}
+	if f.resume && f.ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "chassis-fit: -resume requires -checkpoint-dir")
 		os.Exit(2)
 	}
 	sess, err := obsFlags.Start("chassis-fit")
@@ -46,15 +76,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chassis-fit:", err)
 		os.Exit(1)
 	}
-	err = run(sess, *in, *strategy, *split, *em, *seed, *workers, *out, *savefull)
+	err = run(sess, f)
 	sess.Close()
+	if errors.Is(err, context.Canceled) && f.ckptDir != "" {
+		fmt.Fprintf(os.Stderr, "chassis-fit: interrupted; checkpoint flushed to %s — rerun with -resume to continue\n", f.ckptDir)
+	}
 	os.Exit(cliobs.ExitCode(os.Stderr, "chassis-fit", err))
 }
 
-func run(sess *cliobs.Session, in, strategy string, split float64, em int, seed int64, workers int, out, savefull string) error {
-	ds, err := dataio.LoadDataset(in)
+func run(sess *cliobs.Session, f fitFlags) error {
+	in, strategy, split, em, seed, workers := f.in, f.strategy, f.split, f.em, f.seed, f.workers
+	out, savefull := f.out, f.savefull
+	ds, err := cliobs.LoadDataset(in, f.repair)
 	if err != nil {
 		return err
+	}
+	if f.ckptDir != "" {
+		if err := os.MkdirAll(f.ckptDir, 0o755); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("dataset %s: %d activities, %d users, horizon %.1f\n",
 		ds.Name, ds.Seq.Len(), ds.Seq.M, ds.Seq.Horizon)
@@ -65,6 +105,8 @@ func run(sess *cliobs.Session, in, strategy string, split float64, em int, seed 
 	s, err := experiments.NewStrategy(strategy, experiments.FitOptions{
 		EMIters: em, Workers: workers,
 		Observer: sess.Observer, Metrics: sess.Metrics,
+		CheckpointDir: f.ckptDir, CheckpointEvery: f.ckptEvery, Resume: f.resume,
+		Guard: guard.Policy{Enabled: f.guard},
 	})
 	if err != nil {
 		return err

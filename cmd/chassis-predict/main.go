@@ -19,7 +19,6 @@ import (
 
 	"chassis"
 	"chassis/internal/cliobs"
-	"chassis/internal/dataio"
 )
 
 func main() {
@@ -32,6 +31,7 @@ func main() {
 		steps    = flag.Int("steps", 10, "next-actor predictions to score")
 		seed     = flag.Int64("seed", 42, "random seed")
 		workers  = flag.Int("workers", 0, "worker goroutines for the fit and the Monte-Carlo draws (0 = all cores); results are identical at any setting")
+		repair   = flag.Bool("repair", false, "auto-repair dirty input (sort, dedup, neutralize non-finite polarities) instead of rejecting it")
 		obsFlags = cliobs.Register(flag.CommandLine)
 	)
 	flag.Parse()
@@ -44,7 +44,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chassis-predict:", err)
 		os.Exit(1)
 	}
-	err = run(sess, *in, *variant, *split, *em, *draws, *steps, *seed, *workers)
+	err = run(sess, *in, *variant, *split, *em, *draws, *steps, *seed, *workers, *repair)
 	sess.Close()
 	os.Exit(cliobs.ExitCode(os.Stderr, "chassis-predict", err))
 }
@@ -61,8 +61,8 @@ func variantByName(name string) (chassis.Variant, error) {
 	return chassis.Variant{}, fmt.Errorf("unknown variant %q", name)
 }
 
-func run(sess *cliobs.Session, in, variant string, split float64, em, draws, steps int, seed int64, workers int) error {
-	ds, err := dataio.LoadDataset(in)
+func run(sess *cliobs.Session, in, variant string, split float64, em, draws, steps int, seed int64, workers int, repair bool) error {
+	ds, err := cliobs.LoadDataset(in, repair)
 	if err != nil {
 		return err
 	}

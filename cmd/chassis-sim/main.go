@@ -62,6 +62,9 @@ func run(sess *cliobs.Session, dataset string, scale float64, seed int64, out, c
 		if err != nil {
 			return err
 		}
+		if err := ds.Seq.Check(); err != nil {
+			return fmt.Errorf("generated dataset failed validation: %w", err)
+		}
 		if err := dataio.SaveDataset(out, ds); err != nil {
 			return err
 		}
@@ -86,6 +89,9 @@ func run(sess *cliobs.Session, dataset string, scale float64, seed int64, out, c
 			ds, err := chassis.GeneratePHEME(ev)
 			if err != nil {
 				return err
+			}
+			if err := ds.Seq.Check(); err != nil {
+				return fmt.Errorf("generated %s failed validation: %w", ds.Name, err)
 			}
 			slug := strings.ToLower(strings.ReplaceAll(ds.Name, " ", "-"))
 			path := fmt.Sprintf("%s-%s.json", out, slug)

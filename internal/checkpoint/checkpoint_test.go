@@ -1,0 +1,163 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chassis/internal/faultinject"
+)
+
+func testEnvelope(iter int) *Envelope {
+	payload, _ := json.Marshal(map[string]int{"iter": iter})
+	return &Envelope{
+		Kind: "test-kind", DataHash: "fnv64a:dead", Iteration: iter,
+		Payload: payload,
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+	want := testEnvelope(7)
+	ll := -123.456
+	want.BestLL = &ll
+	if err := Save(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, "test-kind")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != Version {
+		t.Errorf("Version = %d, want %d", got.Version, Version)
+	}
+	if got.Kind != want.Kind || got.DataHash != want.DataHash || got.Iteration != want.Iteration {
+		t.Errorf("round trip mismatch: %+v vs %+v", got, want)
+	}
+	if got.BestLL == nil || *got.BestLL != ll {
+		t.Errorf("BestLL = %v, want %v", got.BestLL, ll)
+	}
+	if string(got.Payload) != string(want.Payload) {
+		t.Errorf("Payload = %s, want %s", got.Payload, want.Payload)
+	}
+}
+
+func TestLoadMissingFileIsErrNotExist(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "missing.ckpt"), "")
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: got %v, want os.ErrNotExist", err)
+	}
+}
+
+func TestLoadFutureVersionIsTypedError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.ckpt")
+	blob := []byte(`{"version": 999, "kind": "test-kind", "payload": {}}`)
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path, "test-kind")
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("future version: got %v, want *VersionError", err)
+	}
+	if ve.Got != 999 || ve.Supported != Version {
+		t.Errorf("VersionError = %+v, want Got=999 Supported=%d", ve, Version)
+	}
+	if !strings.Contains(ve.Error(), "999") {
+		t.Errorf("error message %q should name the file's version", ve.Error())
+	}
+}
+
+func TestLoadWrongKindIsMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+	if err := Save(path, testEnvelope(1)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(path, "other-kind")
+	var me *MismatchError
+	if !errors.As(err, &me) || me.Field != "kind" {
+		t.Fatalf("wrong kind: got %v, want *MismatchError{Field: kind}", err)
+	}
+	// The empty wantKind accepts anything.
+	if _, err := Load(path, ""); err != nil {
+		t.Fatalf("wantKind \"\": %v", err)
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.ckpt")
+	if err := os.WriteFile(path, []byte(`{"version": 1, "kind`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, ""); err == nil || errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("corrupt file: got %v, want a decode error", err)
+	}
+}
+
+// TestWriteAtomicSurvivesInjectedFailures is the atomicity contract: a
+// failure at every stage of the write — create, write, sync, rename — leaves
+// the previous checkpoint fully loadable, and no temp litter behind.
+func TestWriteAtomicSurvivesInjectedFailures(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.ckpt")
+	if err := Save(path, testEnvelope(1)); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	for _, stage := range []string{"create", "write", "sync", "rename"} {
+		t.Run(stage, func(t *testing.T) {
+			defer faultinject.Reset()
+			faultinject.CheckpointIO = func(s, p string) error {
+				if s == stage {
+					return boom
+				}
+				return nil
+			}
+			err := Save(path, testEnvelope(2))
+			if !errors.Is(err, boom) {
+				t.Fatalf("stage %s: got %v, want injected error", stage, err)
+			}
+			got, err := Load(path, "test-kind")
+			if err != nil {
+				t.Fatalf("stage %s: previous checkpoint unreadable: %v", stage, err)
+			}
+			if got.Iteration != 1 {
+				t.Errorf("stage %s: previous checkpoint clobbered: iter %d", stage, got.Iteration)
+			}
+			ents, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, e := range ents {
+				if strings.HasPrefix(e.Name(), ".ckpt-") {
+					t.Errorf("stage %s: temp file %s left behind", stage, e.Name())
+				}
+			}
+		})
+	}
+	// After the faults clear, the next write succeeds and replaces cleanly.
+	faultinject.Reset()
+	if err := Save(path, testEnvelope(3)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, "test-kind")
+	if err != nil || got.Iteration != 3 {
+		t.Fatalf("post-fault write: %v, iter %v", err, got)
+	}
+}
+
+func TestExists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.ckpt")
+	if Exists(path) {
+		t.Error("Exists on a missing file")
+	}
+	if err := Save(path, testEnvelope(1)); err != nil {
+		t.Fatal(err)
+	}
+	if !Exists(path) {
+		t.Error("!Exists after Save")
+	}
+}

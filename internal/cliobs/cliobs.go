@@ -16,6 +16,8 @@ import (
 	"os/signal"
 	"syscall"
 
+	"chassis/internal/cascade"
+	"chassis/internal/dataio"
 	"chassis/internal/obs"
 )
 
@@ -110,6 +112,30 @@ func (s *Session) Close() error {
 		return w.Close()
 	}
 	return nil
+}
+
+// LoadDataset reads a dataset for a CLI. With repair=false it is strict
+// (dataio.LoadDataset: any validation failure is a typed error); with
+// repair=true dirty input is auto-repaired (stable sort, dedup, neutralize
+// non-finite fields) and the repairs are summarized on stderr so silently
+// cleaned data is never invisible.
+func LoadDataset(path string, repair bool) (*cascade.Dataset, error) {
+	if !repair {
+		return dataio.LoadDataset(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ds, rep, err := dataio.ReadDatasetRepair(f)
+	if err != nil {
+		return nil, err
+	}
+	if rep.Changed() {
+		fmt.Fprintf(os.Stderr, "repaired dataset %s: %s\n", ds.Name, rep)
+	}
+	return ds, nil
 }
 
 // ExitCode maps a run error to a process exit status, printing the error to

@@ -28,6 +28,7 @@ import (
 
 	"chassis/internal/branching"
 	"chassis/internal/conformity"
+	"chassis/internal/guard"
 	"chassis/internal/hawkes"
 	"chassis/internal/kernel"
 	"chassis/internal/obs"
@@ -174,6 +175,26 @@ type Config struct {
 	// TrackHistory records the training log-likelihood after every EM
 	// iteration (the convergence experiment).
 	TrackHistory bool
+	// Guard configures the numerical guardrails: per-iteration health
+	// checks with bounded rollback-and-retry recovery (see internal/guard).
+	// The zero value disables them; a guarded fit that never trips a check
+	// is bit-identical to an unguarded one.
+	Guard guard.Policy
+	// CheckpointDir, when non-empty, makes the fit write an atomic
+	// checkpoint of its full EM state into this directory every
+	// CheckpointEvery iterations (and at the loop's exits), so a killed fit
+	// can continue. Excluded from persisted configs: where a run
+	// checkpoints is an operational choice, not part of the model.
+	CheckpointDir string `json:"-"`
+	// CheckpointEvery is the iteration stride between checkpoint writes
+	// (default 1 — every completed iteration).
+	CheckpointEvery int `json:"-"`
+	// Resume makes the fit continue from the checkpoint in CheckpointDir
+	// when one exists (a missing checkpoint is a fresh start, not an
+	// error). The resumed run is bit-identical to an uninterrupted one at
+	// any worker count: every RNG stream is a pure function of (Seed,
+	// counters captured in the checkpoint).
+	Resume bool `json:"-"`
 
 	// observer/metrics are the observability hooks, settable only through
 	// FitContext's Options (WithObserver/WithMetrics). Unexported on
@@ -211,6 +232,13 @@ func (c *Config) fill() error {
 	if c.EStepSmoothing <= 0 {
 		c.EStepSmoothing = 0.02
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 1
+	}
+	if c.Resume && c.CheckpointDir == "" {
+		return errors.New("core: Resume requires CheckpointDir")
+	}
+	c.Guard.Fill()
 	return nil
 }
 
@@ -245,6 +273,14 @@ type Model struct {
 	link       hawkes.Link
 	seq        *timeline.Sequence
 	estepCalls int
+	// stepScale multiplies the M-step's projected-gradient initial step; 1
+	// normally, halved by each numerical-guard recovery (guard.Policy.
+	// StepBackoff) so retried iterations take more conservative ascent
+	// steps. Persisted in checkpoints so resumed runs keep the backoff.
+	stepScale float64
+	// curIter/curAttempt are the EM loop's position, maintained for the
+	// fault-injection hooks' deterministic coordinates.
+	curIter, curAttempt int
 	// muLo/muHi, when set (conformity variants after a warm start), bound
 	// the per-dimension exogenous intensity in the M-step: the HP pilot
 	// already estimated the exogenous level with a more expressive

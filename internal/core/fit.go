@@ -10,6 +10,8 @@ import (
 
 	"chassis/internal/branching"
 	"chassis/internal/conformity"
+	"chassis/internal/faultinject"
+	"chassis/internal/guard"
 	"chassis/internal/hawkes"
 	"chassis/internal/kernel"
 	"chassis/internal/obs"
@@ -50,7 +52,12 @@ func FitContext(ctx context.Context, seq *timeline.Sequence, cfg Config, opts ..
 	if seq == nil || seq.Len() == 0 {
 		return nil, errors.New("core: empty training sequence")
 	}
-	if err := seq.Validate(); err != nil {
+	// Full input validation before any EM work: structural invariants plus
+	// the dirty-input classes (non-finite polarities, duplicate events) that
+	// would otherwise poison the fit silently. The wrapped error is a
+	// *timeline.ValidationError; timeline.Sequence.Repair fixes the
+	// repairable classes.
+	if err := seq.Check(); err != nil {
 		return nil, fmt.Errorf("core: invalid training sequence: %w", err)
 	}
 	if cfg.KernelSupport <= 0 {
@@ -86,36 +93,8 @@ func FitContext(ctx context.Context, seq *timeline.Sequence, cfg Config, opts ..
 		Beta: dense(seq.M), Alpha: dense(seq.M),
 		Kernels: make([]kernel.Kernel, seq.M),
 		cfg:     cfg, link: link, seq: seq,
+		stepScale: 1,
 	}
-
-	// Initial kernels: a normalized exponential-plus-uniform mixture
-	// tabulated onto the support grid. The uniform floor matters: a purely
-	// recency-shaped initial kernel makes early E-steps attribute
-	// everything to the most recent candidate, and the nonparametric
-	// updates then reinforce that choice — the floor keeps slow triggering
-	// tails (replies to a cascade's root long after it was posted)
-	// representable from the start.
-	initKer, err := kernel.NewExponential(cfg.InitKernelRate)
-	if err != nil {
-		return nil, err
-	}
-	const taps = 24
-	step := cfg.KernelSupport / float64(taps)
-	vals := make([]float64, taps+1)
-	for k := range vals {
-		vals[k] = 0.7*initKer.Eval(float64(k)*step) + 0.3/cfg.KernelSupport
-	}
-	sampled, err := kernel.NewDiscrete(step, vals)
-	if err != nil {
-		return nil, err
-	}
-	sampled.Normalize()
-	for i := range m.Kernels {
-		m.Kernels[i] = sampled
-	}
-
-	m.sources = cooccurrenceSources(seq, cfg.KernelSupport)
-	m.initParams(seq)
 
 	// Unless the platform exposes connectivity, the sequence must be
 	// treated as unlabeled: inference never reads the ground-truth parents.
@@ -128,79 +107,143 @@ func FitContext(ctx context.Context, seq *timeline.Sequence, cfg Config, opts ..
 		}
 	}
 
-	var forest *branching.Forest
-	_, linear := m.link.(hawkes.LinearLink)
-	// The warm start (L-HP pilot + μ band) exists to bootstrap *tree
-	// inference*: without credible first trees, conformity is zero and EM
-	// collapses to the all-immigrant fixed point. When the platform exposes
-	// connectivity the trees are given, conformity is informative from the
-	// first iteration, and the unconstrained fit is strictly better — so
-	// observed-tree fits skip the pilot entirely.
-	needWarm := (cfg.Variant.ConformityAware || !linear) && !cfg.NoWarmStart && observed == nil
-	if observed != nil {
-		forest = observed
-	} else if needWarm {
-		// Conformity quantities are computed from diffusion trees, and the
-		// first trees come from an uninformed model — a cold EM start can
-		// settle at the near-Poisson fixed point. Warm-starting from a
-		// short L-HP fit (the paper's "parametric evaluation procedure
-		// assists in identifying conformity") seeds the loop with credible
-		// trees, kernels, and — crucially — a clean exogenous/endogenous
-		// split: the linear model's μ is the exogenous rate, which
-		// nonlinear links (whose μ is a log-rate that would otherwise
-		// absorb the whole stream) inherit as ln(μ_linear).
-		hpCfg := cfg
-		hpCfg.Variant = VariantLHP
-		hpCfg.EMIters = cfg.EMIters/3 + 2
-		hpCfg.NoWarmStart = true
-		hpCfg.TrackHistory = false
-		// The pilot shares the metrics registry (its compensator work is part
-		// of this fit) but not the observer: the observer contract promises
-		// strictly increasing iteration numbers for *this* fit only.
-		hpCfg.observer = nil
-		hp, err := FitContext(ctx, seq, hpCfg)
-		if err != nil {
-			return nil, wrapCancel("warmstart", 0, err)
-		}
-		copy(m.Kernels, hp.Kernels)
-		forest = hp.Forest
-		// Pin μ to a band around the pilot's exogenous estimate (see the
-		// muLo field comment).
-		m.muLo = make([]float64, m.M)
-		m.muHi = make([]float64, m.M)
-		for i, mu := range hp.Mu {
-			if linear {
-				m.Mu[i] = mu
-				m.muLo[i] = mu * 0.25
-				m.muHi[i] = mu*cfg.MuBandHigh + 1e-6
-			} else {
-				lmu := math.Log(math.Max(mu, 1e-6))
-				m.Mu[i] = lmu
-				m.muLo[i] = lmu - 0.7
-				m.muHi[i] = lmu + 0.7
-			}
-		}
-	} else {
-		forest, err = m.bootstrapForest(ctx, work)
-		if err != nil {
-			return nil, wrapCancel("bootstrap", 0, err)
+	var ckpt *checkpointer
+	if cfg.CheckpointDir != "" {
+		if ckpt, err = newCheckpointer(cfg, seq); err != nil {
+			return nil, err
 		}
 	}
-	// Conformity variants draw their pair support from the diffusion trees:
-	// those are the pairs with interaction history, hence nonzero
-	// conformity. (Co-occurrence ranks fill the remaining slots.)
-	if cfg.Variant.ConformityAware && forest != nil {
-		src := seq
-		if observed == nil {
-			src = work
+
+	var forest *branching.Forest
+	startIter := 0
+	var lastHealthyLL float64
+	var hasHealthyLL bool
+	resumed := false
+	if cfg.Resume {
+		f, it, ll, hasLL, err := m.loadFitState(ckpt)
+		switch {
+		case err == nil:
+			// Everything the interrupted run computed before the EM loop —
+			// kernels, sources, μ bands, the warm-start pilot's output — is
+			// inside the checkpoint, so the whole initialization below is
+			// skipped and the loop continues exactly where it stopped.
+			forest, startIter = f, it
+			lastHealthyLL, hasHealthyLL = ll, hasLL
+			resumed = true
+		case isNoCheckpoint(err):
+			// Nothing on disk yet: a resume of a never-started run is a
+			// fresh start, so deployments can pass -resume unconditionally.
+		default:
+			return nil, err
 		}
-		m.sources = forestSources(src, forest, m.sources)
+	}
+
+	if !resumed {
+		// Initial kernels: a normalized exponential-plus-uniform mixture
+		// tabulated onto the support grid. The uniform floor matters: a purely
+		// recency-shaped initial kernel makes early E-steps attribute
+		// everything to the most recent candidate, and the nonparametric
+		// updates then reinforce that choice — the floor keeps slow triggering
+		// tails (replies to a cascade's root long after it was posted)
+		// representable from the start.
+		initKer, err := kernel.NewExponential(cfg.InitKernelRate)
+		if err != nil {
+			return nil, err
+		}
+		const taps = 24
+		step := cfg.KernelSupport / float64(taps)
+		vals := make([]float64, taps+1)
+		for k := range vals {
+			vals[k] = 0.7*initKer.Eval(float64(k)*step) + 0.3/cfg.KernelSupport
+		}
+		sampled, err := kernel.NewDiscrete(step, vals)
+		if err != nil {
+			return nil, err
+		}
+		sampled.Normalize()
+		for i := range m.Kernels {
+			m.Kernels[i] = sampled
+		}
+
+		m.sources = cooccurrenceSources(seq, cfg.KernelSupport)
 		m.initParams(seq)
-		if m.muLo != nil {
-			// Re-initializing overwrote the pinned μ; restore the band
-			// centers.
-			for i := range m.Mu {
-				m.Mu[i] = (m.muLo[i] + m.muHi[i]) / 2
+
+		_, linear := m.link.(hawkes.LinearLink)
+		// The warm start (L-HP pilot + μ band) exists to bootstrap *tree
+		// inference*: without credible first trees, conformity is zero and EM
+		// collapses to the all-immigrant fixed point. When the platform exposes
+		// connectivity the trees are given, conformity is informative from the
+		// first iteration, and the unconstrained fit is strictly better — so
+		// observed-tree fits skip the pilot entirely.
+		needWarm := (cfg.Variant.ConformityAware || !linear) && !cfg.NoWarmStart && observed == nil
+		if observed != nil {
+			forest = observed
+		} else if needWarm {
+			// Conformity quantities are computed from diffusion trees, and the
+			// first trees come from an uninformed model — a cold EM start can
+			// settle at the near-Poisson fixed point. Warm-starting from a
+			// short L-HP fit (the paper's "parametric evaluation procedure
+			// assists in identifying conformity") seeds the loop with credible
+			// trees, kernels, and — crucially — a clean exogenous/endogenous
+			// split: the linear model's μ is the exogenous rate, which
+			// nonlinear links (whose μ is a log-rate that would otherwise
+			// absorb the whole stream) inherit as ln(μ_linear).
+			hpCfg := cfg
+			hpCfg.Variant = VariantLHP
+			hpCfg.EMIters = cfg.EMIters/3 + 2
+			hpCfg.NoWarmStart = true
+			hpCfg.TrackHistory = false
+			// The pilot shares the metrics registry (its compensator work is part
+			// of this fit) but not the observer: the observer contract promises
+			// strictly increasing iteration numbers for *this* fit only. It also
+			// never checkpoints — the outer fit's checkpoint subsumes it.
+			hpCfg.observer = nil
+			hpCfg.CheckpointDir = ""
+			hpCfg.Resume = false
+			hp, err := FitContext(ctx, seq, hpCfg)
+			if err != nil {
+				return nil, wrapCancel("warmstart", 0, err)
+			}
+			copy(m.Kernels, hp.Kernels)
+			forest = hp.Forest
+			// Pin μ to a band around the pilot's exogenous estimate (see the
+			// muLo field comment).
+			m.muLo = make([]float64, m.M)
+			m.muHi = make([]float64, m.M)
+			for i, mu := range hp.Mu {
+				if linear {
+					m.Mu[i] = mu
+					m.muLo[i] = mu * 0.25
+					m.muHi[i] = mu*cfg.MuBandHigh + 1e-6
+				} else {
+					lmu := math.Log(math.Max(mu, 1e-6))
+					m.Mu[i] = lmu
+					m.muLo[i] = lmu - 0.7
+					m.muHi[i] = lmu + 0.7
+				}
+			}
+		} else {
+			forest, err = m.bootstrapForest(ctx, work)
+			if err != nil {
+				return nil, wrapCancel("bootstrap", 0, err)
+			}
+		}
+		// Conformity variants draw their pair support from the diffusion trees:
+		// those are the pairs with interaction history, hence nonzero
+		// conformity. (Co-occurrence ranks fill the remaining slots.)
+		if cfg.Variant.ConformityAware && forest != nil {
+			src := seq
+			if observed == nil {
+				src = work
+			}
+			m.sources = forestSources(src, forest, m.sources)
+			m.initParams(seq)
+			if m.muLo != nil {
+				// Re-initializing overwrote the pinned μ; restore the band
+				// centers.
+				for i := range m.Mu {
+					m.Mu[i] = (m.muLo[i] + m.muHi[i]) / 2
+				}
 			}
 		}
 	}
@@ -229,56 +272,84 @@ func FitContext(ctx context.Context, seq *timeline.Sequence, cfg Config, opts ..
 	if err := rebuildConf(); err != nil {
 		return nil, err
 	}
-	// The training LL is evaluated per iteration when either the caller
-	// asked for the history or an observer wants to report it — a pure
-	// computation either way, so observing a fit cannot change it.
-	trackLL := cfg.TrackHistory || obsv != nil
+	guardOn := cfg.Guard.Enabled
+	// The training LL is evaluated per iteration when the caller asked for
+	// the history, an observer wants to report it, or the guard needs it for
+	// regression checks — a pure computation either way, so neither
+	// observing nor guarding a fit can change the fitted parameters.
+	trackLL := cfg.TrackHistory || obsv != nil || guardOn
 	eulerCounter := metrics.Counter("hawkes.euler_steps")
-	for iter := 0; iter < cfg.EMIters; iter++ {
-		iterNo := iter + 1
+
+	// fail flushes the last captured checkpoint before an error exit, so a
+	// cancelled (SIGTERM'd) or crashed-by-injection run leaves its most
+	// recent completed iteration on disk for -resume.
+	fail := func(err error) error {
+		if ckpt != nil {
+			ckpt.flush() // best-effort: the primary error wins
+		}
+		return err
+	}
+
+	// runIter executes one EM iteration attempt against the current state:
+	// M-step, kernel update, (scheduled) E-step + conformity refresh, and
+	// the training-LL evaluation, with the guard's health checks
+	// interleaved. A non-nil violation means the attempt must be rolled
+	// back; a non-nil error aborts the fit.
+	runIter := func(iterNo int) (st obs.IterStats, vphase string, viol *guard.Violation, err error) {
 		if obsv != nil {
 			obsv.OnIterStart(iterNo)
 		}
 		iterStart := time.Now()
-		st := obs.IterStats{
-			Iter:    iterNo,
-			TrainLL: math.NaN(), Entropy: math.NaN(), GradNorm: math.NaN(),
-		}
+		st = obs.IterStats{Iter: iterNo}
 		eulerBefore := eulerCounter.Value()
+		defer func() {
+			st.Seconds = time.Since(iterStart).Seconds()
+			st.EulerSteps = eulerCounter.Value() - eulerBefore
+		}()
 
 		var ms *mstepStats
-		if obsv != nil {
+		if obsv != nil || guardOn {
 			ms = &mstepStats{}
 		}
 		msStart := time.Now()
-		if err := m.mStep(ctx, work, conf, ms); err != nil {
-			return nil, wrapCancel("mstep", iterNo, err)
+		if err = m.mStep(ctx, work, conf, ms); err != nil {
+			err = wrapCancel("mstep", iterNo, err)
+			return
 		}
 		msDur := time.Since(msStart)
 		st.MStepSeconds = msDur.Seconds()
 		metrics.Timer("core.mstep").Add(msDur)
 		if !cfg.FixedKernel {
 			kStart := time.Now()
-			if err := m.updateKernels(ctx, work, conf); err != nil {
-				return nil, wrapCancel("kernels", iterNo, err)
+			if err = m.updateKernels(ctx, work, conf); err != nil {
+				err = wrapCancel("kernels", iterNo, err)
+				return
 			}
 			kDur := time.Since(kStart)
 			st.KernelSeconds = kDur.Seconds()
 			metrics.Timer("core.kernels").Add(kDur)
 		}
+		if ms != nil && !math.IsNaN(ms.gradNorm) {
+			st.GradNorm, st.GradNormValid = ms.gradNorm, true
+		}
 		if obsv != nil {
-			st.GradNorm = ms.gradNorm
 			obsv.OnMStep(obs.MStepStats{
 				Iter: iterNo, Seconds: st.MStepSeconds,
 				KernelSeconds: st.KernelSeconds,
-				GradNorm:      ms.gradNorm, Dims: ms.dims,
+				GradNorm:      st.GradNorm, GradNormValid: st.GradNormValid,
+				Dims: ms.dims,
 			})
 		}
-		if observed == nil && (iter+1)%refreshEvery == 0 && iter+1 < cfg.EMIters {
+		if guardOn {
+			if vphase, viol = m.healthCheck(&cfg.Guard, st); viol != nil {
+				return
+			}
+		}
+		if observed == nil && iterNo%refreshEvery == 0 && iterNo < cfg.EMIters {
 			// Phase boundary: annealed E-step (sampled in the first half of
 			// the run, MAP later; asynchronous against the previous forest),
 			// then a fresh conformity snapshot.
-			mapMode := cfg.MAPEStep || iter >= cfg.EMIters/2
+			mapMode := cfg.MAPEStep || iterNo-1 >= cfg.EMIters/2
 			var es *estepStats
 			if obsv != nil {
 				es = &estepStats{}
@@ -286,43 +357,125 @@ func FitContext(ctx context.Context, seq *timeline.Sequence, cfg Config, opts ..
 			eStart := time.Now()
 			forest, err = m.eStepMode(ctx, work, conf, mapMode, forest, es)
 			if err != nil {
-				return nil, wrapCancel("estep", iterNo, err)
+				err = wrapCancel("estep", iterNo, err)
+				return
 			}
 			eDur := time.Since(eStart)
 			st.EStepSeconds = eDur.Seconds()
 			metrics.Timer("core.estep").Add(eDur)
 			if obsv != nil {
-				st.Entropy = es.entropy
+				if !math.IsNaN(es.entropy) {
+					st.Entropy, st.EntropyValid = es.entropy, true
+				}
 				obsv.OnEStep(obs.EStepStats{
 					Iter: iterNo, Seconds: st.EStepSeconds,
-					Entropy: es.entropy, Events: es.events, MAP: mapMode,
+					Entropy: st.Entropy, EntropyValid: st.EntropyValid,
+					Events: es.events, MAP: mapMode,
 				})
 			}
-			if err := rebuildConf(); err != nil {
-				return nil, err
+			if err = rebuildConf(); err != nil {
+				return
 			}
 		}
-		m.Iterations = iter + 1
+		m.Iterations = iterNo
 		if trackLL {
 			llOpts := m.compensatorOpts()
 			llOpts.Ctx = ctx
 			llStart := time.Now()
-			ll, err := m.processWith(conf).LogLikelihood(work, llOpts)
+			var ll float64
+			ll, err = m.processWith(conf).LogLikelihood(work, llOpts)
 			if err != nil {
-				return nil, wrapCancel("loglik", iterNo, err)
+				err = wrapCancel("loglik", iterNo, err)
+				return
 			}
 			llDur := time.Since(llStart)
 			st.LLSeconds = llDur.Seconds()
 			metrics.Timer("core.loglik").Add(llDur)
-			st.TrainLL = ll
+			st.TrainLL, st.TrainLLValid = ll, true
 			if cfg.TrackHistory {
 				m.History = append(m.History, ll)
 			}
+			if guardOn {
+				if v := cfg.Guard.CheckLL(ll, lastHealthyLL, hasHealthyLL); v != nil {
+					vphase, viol = "loglik", v
+					return
+				}
+			}
 		}
-		if obsv != nil {
-			st.Seconds = time.Since(iterStart).Seconds()
-			st.EulerSteps = eulerCounter.Value() - eulerBefore
-			obsv.OnIterEnd(st)
+		return
+	}
+
+	for iter := startIter; iter < cfg.EMIters; iter++ {
+		iterNo := iter + 1
+		var snap *emSnapshot
+		if guardOn {
+			snap = m.snapshotState(forest)
+		}
+		for attempt := 0; ; attempt++ {
+			m.curIter, m.curAttempt = iterNo, attempt
+			st, vphase, viol, err := runIter(iterNo)
+			if err != nil {
+				return nil, fail(err)
+			}
+			if viol == nil {
+				if st.TrainLLValid {
+					lastHealthyLL, hasHealthyLL = st.TrainLL, true
+				}
+				if obsv != nil {
+					obsv.OnIterEnd(st)
+				}
+				break
+			}
+			metrics.Counter("guard.violations").Inc()
+			if attempt >= cfg.Guard.MaxRecoveries {
+				// Budget exhausted. The model state was left mid-violation;
+				// returning no model keeps non-finite Θ out of callers'
+				// hands, and the flushed checkpoint holds the last healthy
+				// iterate.
+				return nil, fail(&guard.NumericalError{
+					Phase: vphase, Iteration: iterNo,
+					Quantity: viol.Quantity, Value: viol.Value,
+					Recoveries: attempt, Reason: viol.Reason,
+				})
+			}
+			// Bounded recovery: roll back to the pre-iteration state, shrink
+			// the projected-gradient step, and retry the iteration.
+			m.restoreState(snap)
+			forest = snap.forest
+			if err := rebuildConf(); err != nil {
+				return nil, fail(err)
+			}
+			m.stepScale *= cfg.Guard.StepBackoff
+			metrics.Counter("guard.recoveries").Inc()
+			obs.NotifyRecovery(obsv, obs.RecoveryStats{
+				Iter: iterNo, Attempt: attempt + 1,
+				Phase: vphase, Quantity: viol.Quantity, Reason: viol.Reason,
+				StepScale: m.stepScale,
+			})
+		}
+		if ckpt != nil {
+			if err := ckpt.capture(m, forest, iterNo, lastHealthyLL, hasHealthyLL); err != nil {
+				return nil, err
+			}
+			if err := ckpt.maybeWrite(); err != nil {
+				return nil, err
+			}
+		}
+		// Only checkpointing fits consult the crash hook: the nested
+		// warm-start pilot (which never checkpoints) would otherwise consume
+		// the injected kill before the outer loop's iteration k is reached.
+		if hook := faultinject.CrashAfterIter; hook != nil && ckpt != nil && hook(iterNo) {
+			// Simulated kill: deliberately no flush — exactly like SIGKILL,
+			// only checkpoints the stride already wrote survive.
+			return nil, fmt.Errorf("core: after iteration %d: %w", iterNo, faultinject.ErrInjectedCrash)
+		}
+	}
+	if ckpt != nil {
+		// Completion checkpoint: a resume of a finished run replays only the
+		// final readout below (which restores from this state), so it yields
+		// the same model as the uninterrupted run.
+		if err := ckpt.flush(); err != nil {
+			return nil, err
 		}
 	}
 	// Final tree readout under the converged parameters (observed trees
@@ -338,6 +491,16 @@ func FitContext(ctx context.Context, seq *timeline.Sequence, cfg Config, opts ..
 		m.Conf, err = conformity.New(work, forest, cfg.Conformity)
 		if err != nil {
 			return nil, err
+		}
+	}
+	if guardOn {
+		// The guarded contract's last line of defense: a guarded fit never
+		// hands out non-finite parameters, whatever path produced them.
+		if phase, v := m.checkParamsFinite(); v != nil {
+			return nil, &guard.NumericalError{
+				Phase: phase, Iteration: m.Iterations,
+				Quantity: v.Quantity, Value: v.Value, Reason: v.Reason,
+			}
 		}
 	}
 	return m, nil

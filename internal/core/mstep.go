@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"chassis/internal/conformity"
+	"chassis/internal/faultinject"
 	"chassis/internal/hawkes"
 	"chassis/internal/infer"
 	"chassis/internal/parallel"
@@ -405,6 +406,12 @@ func (m *Model) mStep(ctx context.Context, seq *timeline.Sequence, conf *conform
 			norms[i] = math.NaN()
 		}
 	}
+	initStep := 0.05
+	if m.stepScale > 0 {
+		// Guard recoveries shrink the ascent step; 0 (a zero-value Model,
+		// e.g. one rebuilt by LoadModel) means "never recovered".
+		initStep *= m.stepScale
+	}
 	err := parallel.DoContext(ctx, parallel.Workers(m.cfg.Workers), m.M, func(i int) error {
 		d := m.buildDimData(seq, conf, i, !linear)
 		x0 := m.pack(i)
@@ -413,7 +420,7 @@ func (m *Model) mStep(ctx context.Context, seq *timeline.Sequence, conf *conform
 		res, err := infer.MaximizeProjected(x0, obj, infer.Options{
 			MaxIter: m.cfg.MStepIters,
 			Lower:   lower, Upper: upper,
-			InitStep: 0.05, Tol: 1e-7,
+			InitStep: initStep, Tol: 1e-7,
 		})
 		if err != nil {
 			return nil // leave this dimension's parameters unchanged
@@ -424,14 +431,24 @@ func (m *Model) mStep(ctx context.Context, seq *timeline.Sequence, conf *conform
 		for p := range res.X {
 			res.X[p] = damp*x0[p] + (1-damp)*res.X[p]
 		}
+		var grad []float64
+		if norms != nil {
+			// Projected-gradient evaluation at the accepted point: a pure
+			// extra call, the objective reads only its arguments.
+			grad = make([]float64, len(res.X))
+			obj(res.X, grad)
+		}
+		if hook := faultinject.MStepResult; hook != nil {
+			// Fault injection: the hook may poison the accepted parameters
+			// or the reported gradient at deterministic (iter, attempt, dim)
+			// coordinates; whatever it plants must be caught by the guard
+			// before it reaches the caller.
+			hook(m.curIter, m.curAttempt, i, res.X, grad)
+		}
 		m.unpack(i, res.X)
 		if norms != nil {
-			// Projected-gradient norm at the accepted point: components
-			// pinned at an active box bound (and pushing outward) carry no
-			// usable ascent direction, so they are excluded. One extra pure
-			// evaluation — parameters are already written back above.
-			grad := make([]float64, len(res.X))
-			obj(res.X, grad)
+			// Components pinned at an active box bound (and pushing outward)
+			// carry no usable ascent direction, so they are excluded.
 			var ss float64
 			for p, g := range grad {
 				if (res.X[p] <= lower[p] && g < 0) || (res.X[p] >= upper[p] && g > 0) {

@@ -7,16 +7,25 @@ import (
 	"io"
 
 	"chassis/internal/branching"
+	"chassis/internal/checkpoint"
 	"chassis/internal/conformity"
 	"chassis/internal/kernel"
 	"chassis/internal/timeline"
 )
+
+// modelFormatVersion is the model-file wire version Save writes. Bump it
+// when modelJSON changes incompatibly; LoadModel rejects files from the
+// future with a *checkpoint.VersionError instead of silently misreading
+// them. Files without a version field (written before versioning) read as
+// version 0 and stay loadable.
+const modelFormatVersion = 1
 
 // modelJSON is the wire form of a fitted model. The training sequence is
 // not embedded — it is the caller's dataset file — so model files stay
 // small; Load rebinds the parameters to the sequence and rebuilds the
 // conformity state from the persisted forest.
 type modelJSON struct {
+	Version    int         `json:"version"`
 	Variant    Variant     `json:"variant"`
 	M          int         `json:"m"`
 	Horizon    float64     `json:"horizon"`
@@ -33,11 +42,76 @@ type modelJSON struct {
 	Config     Config      `json:"config"`
 }
 
+// tabulateKernels serializes triggering kernels to (step, values) tables —
+// kernel.Discrete's exact representation, so discrete kernels round-trip
+// bit-identically; other kernel types are tabulated onto their support.
+// Shared by the model codec and the checkpoint state codec.
+func tabulateKernels(kernels []kernel.Kernel) (steps []float64, vals [][]float64, err error) {
+	steps = make([]float64, len(kernels))
+	vals = make([][]float64, len(kernels))
+	for i, k := range kernels {
+		d, ok := k.(*kernel.Discrete)
+		if !ok {
+			d, err = kernel.Sample(k, k.Support()/24, 25)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: serializing kernel %d: %w", i, err)
+			}
+		}
+		steps[i] = d.Step
+		vals[i] = d.Values
+	}
+	return steps, vals, nil
+}
+
+// restoreKernels is tabulateKernels' inverse.
+func restoreKernels(steps []float64, vals [][]float64) ([]kernel.Kernel, error) {
+	if len(steps) != len(vals) {
+		return nil, fmt.Errorf("core: kernel table has %d steps but %d value rows", len(steps), len(vals))
+	}
+	out := make([]kernel.Kernel, len(steps))
+	for i := range steps {
+		d, err := kernel.NewDiscrete(steps[i], vals[i])
+		if err != nil {
+			return nil, fmt.Errorf("core: kernel %d: %w", i, err)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// parentInts flattens a branching forest to its parent vector as plain ints
+// (nil forest → nil).
+func parentInts(f *branching.Forest) []int {
+	if f == nil {
+		return nil
+	}
+	parents := f.Parents()
+	out := make([]int, len(parents))
+	for i, p := range parents {
+		out[i] = int(p)
+	}
+	return out
+}
+
+// forestFromInts rebuilds a branching forest from a persisted parent vector.
+func forestFromInts(parents []int) (*branching.Forest, error) {
+	ids := make([]timeline.ActivityID, len(parents))
+	for i, p := range parents {
+		ids[i] = timeline.ActivityID(p)
+	}
+	f, err := branching.FromParents(ids)
+	if err != nil {
+		return nil, fmt.Errorf("core: persisted forest invalid: %w", err)
+	}
+	return f, nil
+}
+
 // Save serializes the fitted model (parameters, kernels, inferred forest,
 // configuration) as JSON. The training sequence itself is not embedded;
 // pass it again to Load.
 func (m *Model) Save(w io.Writer) error {
 	out := modelJSON{
+		Version: modelFormatVersion,
 		Variant: m.Variant, M: m.M, Horizon: m.Horizon,
 		Mu: m.Mu, Sources: m.sources, Iterations: m.Iterations,
 		Config: m.cfg,
@@ -47,27 +121,11 @@ func (m *Model) Save(w io.Writer) error {
 	} else {
 		out.Alpha = m.Alpha
 	}
-	if m.Forest != nil {
-		parents := m.Forest.Parents()
-		out.Parents = make([]int, len(parents))
-		for i, p := range parents {
-			out.Parents[i] = int(p)
-		}
-	}
-	out.KernelStep = make([]float64, m.M)
-	out.KernelVals = make([][]float64, m.M)
-	for i, k := range m.Kernels {
-		d, ok := k.(*kernel.Discrete)
-		if !ok {
-			// Tabulate non-discrete kernels onto their support.
-			var err error
-			d, err = kernel.Sample(k, k.Support()/24, 25)
-			if err != nil {
-				return fmt.Errorf("core: serializing kernel %d: %w", i, err)
-			}
-		}
-		out.KernelStep[i] = d.Step
-		out.KernelVals[i] = d.Values
+	out.Parents = parentInts(m.Forest)
+	var err error
+	out.KernelStep, out.KernelVals, err = tabulateKernels(m.Kernels)
+	if err != nil {
+		return err
 	}
 	return json.NewEncoder(w).Encode(out)
 }
@@ -78,6 +136,9 @@ func LoadModel(r io.Reader, train *timeline.Sequence) (*Model, error) {
 	var in modelJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("core: decoding model: %w", err)
+	}
+	if in.Version > modelFormatVersion {
+		return nil, &checkpoint.VersionError{Got: in.Version, Supported: modelFormatVersion}
 	}
 	if train == nil || train.M != in.M {
 		return nil, errors.New("core: LoadModel needs the original training sequence")
@@ -109,20 +170,13 @@ func LoadModel(r io.Reader, train *timeline.Sequence) (*Model, error) {
 	if m.Alpha == nil {
 		m.Alpha = dense(in.M)
 	}
-	for i := range m.Kernels {
-		d, err := kernel.NewDiscrete(in.KernelStep[i], in.KernelVals[i])
-		if err != nil {
-			return nil, fmt.Errorf("core: kernel %d: %w", i, err)
-		}
-		m.Kernels[i] = d
-	}
-	parents := make([]timeline.ActivityID, len(in.Parents))
-	for i, p := range in.Parents {
-		parents[i] = timeline.ActivityID(p)
-	}
-	m.Forest, err = branching.FromParents(parents)
+	m.Kernels, err = restoreKernels(in.KernelStep, in.KernelVals)
 	if err != nil {
-		return nil, fmt.Errorf("core: persisted forest invalid: %w", err)
+		return nil, err
+	}
+	m.Forest, err = forestFromInts(in.Parents)
+	if err != nil {
+		return nil, err
 	}
 	if m.Variant.ConformityAware {
 		work := train.StripParents()

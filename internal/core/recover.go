@@ -1,0 +1,107 @@
+package core
+
+import (
+	"chassis/internal/branching"
+	"chassis/internal/guard"
+	"chassis/internal/kernel"
+	"chassis/internal/obs"
+)
+
+// emSnapshot is the rollback point the numerical guard captures before each
+// EM iteration: deep copies of everything one iteration attempt mutates, so
+// a failed attempt can be undone and retried with a smaller step. The RNG
+// needs no snapshot — restoring estepCalls pins the E-step streams.
+type emSnapshot struct {
+	mu                          []float64
+	gammaI, gammaN, beta, alpha [][]float64
+	kernels                     []kernel.Kernel
+	forest                      *branching.Forest
+	estepCalls                  int
+	historyLen                  int
+	iterations                  int
+}
+
+// snapshotState captures the pre-iteration state.
+func (m *Model) snapshotState(forest *branching.Forest) *emSnapshot {
+	return &emSnapshot{
+		mu:     append([]float64(nil), m.Mu...),
+		gammaI: copyMat(m.GammaI), gammaN: copyMat(m.GammaN),
+		beta: copyMat(m.Beta), alpha: copyMat(m.Alpha),
+		// Kernel updates replace slice elements and never mutate a kernel
+		// in place, so copying the slice header row is enough.
+		kernels:    append([]kernel.Kernel(nil), m.Kernels...),
+		forest:     forest,
+		estepCalls: m.estepCalls,
+		historyLen: len(m.History),
+		iterations: m.Iterations,
+	}
+}
+
+// restoreState rolls the model back to a snapshot. The snapshot's own
+// buffers are re-copied so a second failed attempt can restore again.
+// stepScale is deliberately NOT restored: the backoff is the recovery.
+func (m *Model) restoreState(s *emSnapshot) {
+	m.Mu = append([]float64(nil), s.mu...)
+	m.GammaI, m.GammaN = copyMat(s.gammaI), copyMat(s.gammaN)
+	m.Beta, m.Alpha = copyMat(s.beta), copyMat(s.alpha)
+	m.Kernels = append([]kernel.Kernel(nil), s.kernels...)
+	m.estepCalls = s.estepCalls
+	if len(m.History) > s.historyLen {
+		m.History = m.History[:s.historyLen]
+	}
+	m.Iterations = s.iterations
+}
+
+// copyMat deep-copies a dense matrix.
+func copyMat(src [][]float64) [][]float64 {
+	out := make([][]float64, len(src))
+	for i := range src {
+		out[i] = append([]float64(nil), src[i]...)
+	}
+	return out
+}
+
+// checkParamsFinite verifies every fitted parameter and tabulated kernel is
+// finite, returning the phase ("mstep" for parameters, "kernels" for
+// kernels) alongside the first violation.
+func (m *Model) checkParamsFinite() (string, *guard.Violation) {
+	if v := guard.CheckVec("mu", m.Mu); v != nil {
+		return "mstep", v
+	}
+	if m.Variant.ConformityAware {
+		if v := guard.CheckMat("gamma_i", m.GammaI); v != nil {
+			return "mstep", v
+		}
+		if v := guard.CheckMat("gamma_n", m.GammaN); v != nil {
+			return "mstep", v
+		}
+		if v := guard.CheckMat("beta", m.Beta); v != nil {
+			return "mstep", v
+		}
+	} else if v := guard.CheckMat("alpha", m.Alpha); v != nil {
+		return "mstep", v
+	}
+	for _, k := range m.Kernels {
+		if d, ok := k.(*kernel.Discrete); ok {
+			if v := guard.CheckVec("kernel", d.Values); v != nil {
+				return "kernels", v
+			}
+		}
+	}
+	return "", nil
+}
+
+// healthCheck runs the guard's post-M-step checks: parameter/kernel
+// finiteness plus the gradient-norm explosion threshold (the training-LL
+// regression check runs separately, after the likelihood is evaluated).
+func (m *Model) healthCheck(pol *guard.Policy, st obs.IterStats) (string, *guard.Violation) {
+	if phase, v := m.checkParamsFinite(); v != nil {
+		return phase, v
+	}
+	if st.GradNormValid {
+		if v := pol.CheckGradNorm(st.GradNorm); v != nil {
+			return "mstep", v
+		}
+	}
+	return "", nil
+}

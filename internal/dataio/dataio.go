@@ -57,8 +57,40 @@ func WriteDataset(w io.Writer, d *cascade.Dataset) error {
 	return enc.Encode(out)
 }
 
-// ReadDataset decodes a dataset written by WriteDataset and validates it.
+// ReadDataset decodes a dataset written by WriteDataset and validates it
+// (structural invariants plus the dirty-input classes core's fit front door
+// rejects — see timeline.Sequence.Check). Validation failures wrap a
+// *timeline.ValidationError; ReadDatasetRepair recovers the repairable ones.
 func ReadDataset(r io.Reader) (*cascade.Dataset, error) {
+	d, err := decodeDataset(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Seq.Check(); err != nil {
+		return nil, fmt.Errorf("dataio: dataset %q invalid: %w", d.Name, err)
+	}
+	return d, nil
+}
+
+// ReadDatasetRepair is ReadDataset with auto-repair: instead of rejecting a
+// dirty dataset it stable-sorts, deduplicates, and neutralizes the
+// repairable defect classes (timeline.Sequence.Repair) and reports what
+// changed. Unrepairable defects (bad M, out-of-range users) still fail.
+func ReadDatasetRepair(r io.Reader) (*cascade.Dataset, timeline.RepairReport, error) {
+	d, err := decodeDataset(r)
+	if err != nil {
+		return nil, timeline.RepairReport{}, err
+	}
+	seq, rep := d.Seq.Repair()
+	if err := seq.Check(); err != nil {
+		return nil, rep, fmt.Errorf("dataio: dataset %q unrepairable: %w", d.Name, err)
+	}
+	d.Seq = seq
+	return d, rep, nil
+}
+
+// decodeDataset parses the wire form without validating the sequence.
+func decodeDataset(r io.Reader) (*cascade.Dataset, error) {
 	var in datasetJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("dataio: decoding dataset: %w", err)
@@ -75,9 +107,6 @@ func ReadDataset(r io.Reader) (*cascade.Dataset, error) {
 			Time: a.Time, Kind: kind, Text: a.Text, Polarity: a.Polarity,
 			Parent: timeline.ActivityID(a.Parent), Topic: a.Topic,
 		}
-	}
-	if err := seq.Validate(); err != nil {
-		return nil, fmt.Errorf("dataio: dataset %q invalid: %w", in.Name, err)
 	}
 	return &cascade.Dataset{
 		Name: in.Name, Seq: seq, Influence: in.Influence,

@@ -12,6 +12,7 @@ import (
 	"chassis/internal/baselines"
 	"chassis/internal/branching"
 	"chassis/internal/core"
+	"chassis/internal/guard"
 	"chassis/internal/obs"
 	"chassis/internal/timeline"
 )
@@ -68,6 +69,18 @@ type FitOptions struct {
 	// Metrics, when non-nil, collects fit counters/timers (CHASSIS family
 	// only; the closed-form baselines have no instrumented hot paths).
 	Metrics *obs.Metrics
+	// CheckpointDir, when set, makes CHASSIS-family fits write resumable
+	// checkpoints there (see core.Config.CheckpointDir). The closed-form
+	// baselines finish in one pass and ignore it.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint stride in EM iterations (default 1).
+	CheckpointEvery int
+	// Resume restarts a CHASSIS-family fit from the checkpoint in
+	// CheckpointDir; the resumed run is bit-identical to an uninterrupted one.
+	Resume bool
+	// Guard configures per-iteration numerical health checks with automatic
+	// rollback (CHASSIS family; see guard.Policy).
+	Guard guard.Policy
 }
 
 // NewStrategy constructs a strategy by its paper label.
@@ -128,6 +141,10 @@ func (s *chassisStrategy) Fit(ctx context.Context, train *timeline.Sequence, see
 		Workers:          s.opts.Workers,
 		TrackHistory:     s.opts.TrackHistory,
 		UseObservedTrees: !s.opts.InferTrees,
+		CheckpointDir:    s.opts.CheckpointDir,
+		CheckpointEvery:  s.opts.CheckpointEvery,
+		Resume:           s.opts.Resume,
+		Guard:            s.opts.Guard,
 	}, fitOpts...)
 	if err != nil {
 		return err

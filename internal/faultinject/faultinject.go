@@ -1,0 +1,64 @@
+// Package faultinject is the deterministic fault-injection harness behind
+// the fault-tolerance test suites: simulated crashes at a chosen EM
+// iteration, NaN-poisoned M-step results, and checkpoint-write I/O failures.
+//
+// It follows the same hook-based pattern as core's testhooks.go — plain
+// package-level function variables that are nil in production, so every
+// injection point costs one nil check and no build tags — but lives in its
+// own package so the checkpoint, guard, and core layers can all consult the
+// same registry. Hooks are installed by tests before the instrumented code
+// runs and removed with Reset; they are not synchronized for concurrent
+// mutation, only for concurrent reads from worker goroutines (the usual
+// install-before-spawn happens-before).
+//
+// Every injection is keyed on deterministic coordinates — the EM iteration,
+// the dimension index, the checkpoint-write stage — never on wall-clock or
+// goroutine identity, so an injected failure reproduces bit-for-bit across
+// runs and worker counts (see internal/parallel's deterministic
+// first-error guarantee).
+package faultinject
+
+import "errors"
+
+// ErrInjectedCrash is the sentinel a CrashAfterIter hook aborts a fit with.
+// It simulates a process kill: the fit unwinds immediately and only
+// on-disk checkpoint state survives, so a subsequent Resume exercises
+// exactly the recovery path a real SIGKILL would.
+var ErrInjectedCrash = errors.New("faultinject: simulated crash")
+
+// Hooks. All nil by default; production code must treat a nil hook as "no
+// fault".
+var (
+	// CheckpointIO, when non-nil, is consulted by checkpoint.WriteAtomic
+	// before each stage of an atomic write — "create", "write", "sync",
+	// "rename" — with the destination path. Returning a non-nil error
+	// simulates an I/O failure at that stage: the write aborts, the
+	// temporary file is discarded, and the previous checkpoint must remain
+	// loadable.
+	CheckpointIO func(stage, path string) error
+
+	// MStepResult, when non-nil, is called by core's M-step after each
+	// dimension's projected-gradient optimization with the 1-based EM
+	// iteration, the recovery attempt (0 on the first try), the dimension,
+	// and the accepted parameter vector plus its gradient. Mutating x or
+	// grad in place injects a numerical fault — e.g. a NaN parameter or an
+	// exploding gradient — that the guard layer must catch before it
+	// reaches the fitted model.
+	MStepResult func(iter, attempt, dim int, x, grad []float64)
+
+	// CrashAfterIter, when non-nil, is consulted at the end of each
+	// completed EM iteration (after the checkpoint layer has captured it).
+	// Returning true aborts the fit with ErrInjectedCrash. Only
+	// checkpointing fits (CheckpointDir set) consult it — the nested
+	// warm-start pilot never checkpoints, so it cannot consume a kill
+	// destined for the outer loop.
+	CrashAfterIter func(iter int) bool
+)
+
+// Reset removes every installed hook. Tests defer it so one suite's faults
+// never leak into the next.
+func Reset() {
+	CheckpointIO = nil
+	MStepResult = nil
+	CrashAfterIter = nil
+}

@@ -231,6 +231,34 @@ func (d *Discrete) Support() float64 { return float64(len(d.Values)-1) * d.Step 
 // Mass returns the total integral of the kernel.
 func (d *Discrete) Mass() float64 { return d.cum[len(d.cum)-1] }
 
+// CumTable returns the precomputed cumulative-integral table backing
+// Integral (cum[i] = ∫₀^{i·Step} φ). Exposed for exact persistence:
+// Normalize rescales this table in place, so it is not bit-reproducible
+// from Step and Values alone — checkpoint resume must carry it verbatim.
+// Callers must not mutate the returned slice.
+func (d *Discrete) CumTable() []float64 { return d.cum }
+
+// RestoreDiscrete rebuilds a Discrete from persisted state, adopting the
+// cumulative table verbatim instead of recomputing it — the bit-identical
+// round trip a checkpointed fit's resume requires. Values and cum are
+// copied; cum must hold one entry per value.
+func RestoreDiscrete(step float64, values, cum []float64) (*Discrete, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("kernel: discrete step must be positive, got %g", step)
+	}
+	if len(values) == 0 {
+		return nil, errors.New("kernel: discrete kernel needs at least one value")
+	}
+	if len(cum) != len(values) {
+		return nil, fmt.Errorf("kernel: cumulative table has %d entries for %d values", len(cum), len(values))
+	}
+	return &Discrete{
+		Step:   step,
+		Values: append([]float64(nil), values...),
+		cum:    append([]float64(nil), cum...),
+	}, nil
+}
+
 // Normalize scales the kernel to unit mass in place (no-op for zero mass)
 // and returns the mass it had.
 func (d *Discrete) Normalize() float64 {

@@ -15,9 +15,10 @@ type iterSnapshot struct {
 	Metrics *Snapshot `json:"metrics,omitempty"`
 }
 
-// jsonNaN guards the NaN sentinels (TrainLL/Entropy/GradNorm when not
-// evaluated) that encoding/json refuses to serialize: they become nulls via
-// pointer fields.
+// iterSnapshotJSON is the wire form: quantities that were not measured this
+// iteration (their Valid flag is false) are explicit nulls, so downstream
+// JSON consumers never see a NaN sentinel — encoding/json would refuse it —
+// and never mistake an unmeasured zero for a measurement.
 type iterSnapshotJSON struct {
 	Iter          int      `json:"iter"`
 	Seconds       float64  `json:"seconds"`
@@ -33,8 +34,10 @@ type iterSnapshotJSON struct {
 	Metrics *Snapshot `json:"metrics,omitempty"`
 }
 
-func finiteOrNil(v float64) *float64 {
-	if v != v { // NaN
+// validFinite keeps a measured, finite value; everything else (unmeasured,
+// or a NaN/Inf that slipped past the guard) becomes null.
+func validFinite(v float64, valid bool) *float64 {
+	if !valid || v != v || v-v != 0 { // invalid, NaN, or ±Inf
 		return nil
 	}
 	return &v
@@ -46,9 +49,9 @@ func (s iterSnapshot) MarshalJSON() ([]byte, error) {
 		Iter: s.Iter, Seconds: s.Seconds,
 		EStepSeconds: s.EStepSeconds, MStepSeconds: s.MStepSeconds,
 		KernelSeconds: s.KernelSeconds, LLSeconds: s.LLSeconds,
-		TrainLL:  finiteOrNil(s.TrainLL),
-		Entropy:  finiteOrNil(s.Entropy),
-		GradNorm: finiteOrNil(s.GradNorm),
+		TrainLL:    validFinite(s.TrainLL, s.TrainLLValid),
+		Entropy:    validFinite(s.Entropy, s.EntropyValid),
+		GradNorm:   validFinite(s.GradNorm, s.GradNormValid),
 		EulerSteps: s.EulerSteps,
 		Metrics:    s.Metrics,
 	})

@@ -152,11 +152,14 @@ func TestProgressObserverOutput(t *testing.T) {
 	var buf bytes.Buffer
 	o := ProgressObserver(&buf, "tool")
 	o.OnIterStart(1)
-	o.OnEStep(EStepStats{Iter: 1, Events: 10, Entropy: 0.5, MAP: true})
-	o.OnIterEnd(IterStats{Iter: 1, TrainLL: -12.5, GradNorm: 0.1})
-	o.OnIterEnd(IterStats{Iter: 2, TrainLL: math.NaN(), GradNorm: math.NaN()})
+	o.OnEStep(EStepStats{Iter: 1, Events: 10, Entropy: 0.5, EntropyValid: true, MAP: true})
+	o.OnIterEnd(IterStats{Iter: 1, TrainLL: -12.5, TrainLLValid: true, GradNorm: 0.1, GradNormValid: true})
+	o.OnIterEnd(IterStats{Iter: 2}) // nothing measured
+	NotifyRecovery(o, RecoveryStats{Iter: 3, Attempt: 1, Phase: "mstep",
+		Quantity: "mu", Reason: "non-finite mu (NaN)", StepScale: 0.5})
 	out := buf.String()
-	for _, want := range []string{"tool estep iter=1", "MAP", "LL=-12.50", "LL=n/a"} {
+	for _, want := range []string{"tool estep iter=1", "MAP", "LL=-12.50", "LL=n/a",
+		"guard iter 3", "rolled back"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("progress output missing %q:\n%s", want, out)
 		}
@@ -172,10 +175,12 @@ func TestIterJSONWriterLinesAndNaN(t *testing.T) {
 	reg := NewMetrics()
 	reg.Counter("hawkes.euler_steps").Add(42)
 	w.Attach(reg)
-	w.OnIterEnd(IterStats{Iter: 1, Seconds: 0.5, TrainLL: -10,
-		Entropy: math.NaN(), GradNorm: 2})
-	w.OnIterEnd(IterStats{Iter: 2, TrainLL: math.NaN(),
-		Entropy: 0.3, GradNorm: math.NaN()})
+	w.OnIterEnd(IterStats{Iter: 1, Seconds: 0.5, TrainLL: -10, TrainLLValid: true,
+		GradNorm: 2, GradNormValid: true})
+	// A valid flag with a NaN value (should never happen, but must not break
+	// the JSON stream) also lands as null.
+	w.OnIterEnd(IterStats{Iter: 2, TrainLL: math.NaN(), TrainLLValid: true,
+		Entropy: 0.3, EntropyValid: true})
 	if w.Lines() != 2 {
 		t.Fatalf("Lines = %d, want 2", w.Lines())
 	}
@@ -197,9 +202,9 @@ func TestIterJSONWriterLinesAndNaN(t *testing.T) {
 	if first["iter"] != float64(1) || first["train_ll"] != float64(-10) {
 		t.Errorf("line 1 = %v", first)
 	}
-	// The NaN sentinels must serialize as JSON null, not break encoding.
+	// Unmeasured quantities must serialize as JSON null, not zero.
 	if v, ok := first["estep_entropy"]; !ok || v != nil {
-		t.Errorf("entropy NaN must encode as null, got %v", v)
+		t.Errorf("unmeasured entropy must encode as null, got %v", v)
 	}
 	metrics, ok := first["metrics"].(map[string]any)
 	if !ok {

@@ -3,7 +3,6 @@ package obs
 import (
 	"fmt"
 	"io"
-	"math"
 	"sync"
 )
 
@@ -16,8 +15,11 @@ type EStepStats struct {
 	Seconds float64 `json:"seconds"`
 	// Entropy is the mean parent-assignment entropy (nats per scored
 	// event) of the triggering distributions — the paper's E-step
-	// posterior sharpness. NaN when no event was scored.
+	// posterior sharpness. Only meaningful when EntropyValid is set (a pass
+	// can score zero events); it is never a NaN sentinel.
 	Entropy float64 `json:"entropy"`
+	// EntropyValid reports whether Entropy was measured.
+	EntropyValid bool `json:"entropy_valid"`
 	// Events is the number of events whose triggering distribution was
 	// scored (asynchronous updates keep the rest on their previous
 	// parent).
@@ -39,8 +41,11 @@ type MStepStats struct {
 	KernelSeconds float64 `json:"kernel_seconds"`
 	// GradNorm is the largest per-dimension L2 gradient norm at the
 	// accepted optimum — a convergence signal (→0 as the M-step
-	// saturates). NaN when gradient norms were not collected.
+	// saturates). Only meaningful when GradNormValid is set; it is never a
+	// NaN sentinel.
 	GradNorm float64 `json:"grad_norm"`
+	// GradNormValid reports whether a gradient norm was collected.
+	GradNormValid bool `json:"grad_norm_valid"`
 	// Dims is the number of per-dimension optimizations run.
 	Dims int `json:"dims"`
 }
@@ -57,15 +62,23 @@ type IterStats struct {
 	MStepSeconds  float64 `json:"mstep_seconds"`
 	KernelSeconds float64 `json:"kernel_seconds"`
 	LLSeconds     float64 `json:"ll_seconds"`
-	// TrainLL is the training log-likelihood after the iteration. NaN when
-	// not evaluated (it is evaluated whenever an observer is attached or
-	// Config.TrackHistory is set).
+	// TrainLL is the training log-likelihood after the iteration, valid
+	// only when TrainLLValid is set (it is evaluated whenever an observer
+	// is attached, the numerical guard is on, or Config.TrackHistory is
+	// set). Unevaluated stats carry the zero value plus a false flag — a
+	// NaN sentinel would leak into JSON consumers.
 	TrainLL float64 `json:"train_ll"`
-	// Entropy is the E-step's mean parent-assignment entropy; NaN when no
-	// E-step ran this iteration.
+	// TrainLLValid reports whether TrainLL was evaluated this iteration.
+	TrainLLValid bool `json:"train_ll_valid"`
+	// Entropy is the E-step's mean parent-assignment entropy, valid only
+	// when EntropyValid is set (no E-step may have run this iteration).
 	Entropy float64 `json:"estep_entropy"`
-	// GradNorm mirrors MStepStats.GradNorm.
+	// EntropyValid reports whether an E-step measured Entropy.
+	EntropyValid bool `json:"estep_entropy_valid"`
+	// GradNorm mirrors MStepStats.GradNorm, valid when GradNormValid.
 	GradNorm float64 `json:"grad_norm"`
+	// GradNormValid reports whether GradNorm was collected.
+	GradNormValid bool `json:"grad_norm_valid"`
 	// EulerSteps counts the compensator Euler grid evaluations performed
 	// this iteration (0 under closed-form linear compensators).
 	EulerSteps int64 `json:"euler_steps"`
@@ -83,6 +96,43 @@ type FitObserver interface {
 	OnEStep(s EStepStats)
 	OnMStep(s MStepStats)
 	OnIterEnd(s IterStats)
+}
+
+// RecoveryStats describes one numerical-guard recovery: a health check
+// tripped, the fit rolled back to its last healthy iterate and is retrying
+// the iteration with a smaller projected-gradient step.
+type RecoveryStats struct {
+	// Iter is the 1-based EM iteration being retried.
+	Iter int `json:"iter"`
+	// Attempt is the 1-based recovery attempt within this iteration.
+	Attempt int `json:"attempt"`
+	// Phase names where the violation was detected ("mstep", "kernels",
+	// "loglik").
+	Phase string `json:"phase"`
+	// Quantity names the failing quantity ("mu", "grad_norm",
+	// "train_ll", ...).
+	Quantity string `json:"quantity"`
+	// Reason is the violation's human-readable account.
+	Reason string `json:"reason"`
+	// StepScale is the projected-gradient step multiplier the retry will
+	// run with.
+	StepScale float64 `json:"step_scale"`
+}
+
+// RecoveryObserver is optionally implemented by FitObservers that want the
+// guard's rollback notifications. Plain observers keep working untouched;
+// NotifyRecovery type-asserts.
+type RecoveryObserver interface {
+	OnRecovery(s RecoveryStats)
+}
+
+// NotifyRecovery forwards a recovery to o when it (or, through the
+// multi-observer, any of its members) implements RecoveryObserver. Safe on
+// nil observers.
+func NotifyRecovery(o FitObserver, s RecoveryStats) {
+	if r, ok := o.(RecoveryObserver); ok {
+		r.OnRecovery(s)
+	}
 }
 
 // PredictObserver receives progress from Monte-Carlo prediction loops.
@@ -120,6 +170,14 @@ func (m multiObserver) OnMStep(s MStepStats) {
 func (m multiObserver) OnIterEnd(s IterStats) {
 	for _, o := range m {
 		o.OnIterEnd(s)
+	}
+}
+
+// OnRecovery implements RecoveryObserver, relaying to the members that opt
+// in.
+func (m multiObserver) OnRecovery(s RecoveryStats) {
+	for _, o := range m {
+		NotifyRecovery(o, s)
 	}
 }
 
@@ -172,8 +230,12 @@ func (p *progressObserver) OnEStep(s EStepStats) {
 	if s.MAP {
 		mode = "MAP"
 	}
-	fmt.Fprintf(p.w, "%sestep iter=%d: %s reassignment of %d events, entropy %.3f nats (%.2fs)\n",
-		p.prefix(), s.Iter, mode, s.Events, s.Entropy, s.Seconds)
+	ent := "n/a"
+	if s.EntropyValid {
+		ent = fmt.Sprintf("%.3f", s.Entropy)
+	}
+	fmt.Fprintf(p.w, "%sestep iter=%d: %s reassignment of %d events, entropy %s nats (%.2fs)\n",
+		p.prefix(), s.Iter, mode, s.Events, ent, s.Seconds)
 }
 
 func (p *progressObserver) OnMStep(MStepStats) {}
@@ -182,21 +244,34 @@ func (p *progressObserver) OnIterEnd(s IterStats) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	ll := "n/a"
-	if !math.IsNaN(s.TrainLL) {
+	if s.TrainLLValid {
 		ll = fmt.Sprintf("%.2f", s.TrainLL)
 	}
-	fmt.Fprintf(p.w, "%siter %d: LL=%s grad=%.2e (estep %.2fs, mstep %.2fs, kernel %.2fs, ll %.2fs)\n",
-		p.prefix(), s.Iter, ll, s.GradNorm, s.EStepSeconds, s.MStepSeconds, s.KernelSeconds, s.LLSeconds)
+	grad := "n/a"
+	if s.GradNormValid {
+		grad = fmt.Sprintf("%.2e", s.GradNorm)
+	}
+	fmt.Fprintf(p.w, "%siter %d: LL=%s grad=%s (estep %.2fs, mstep %.2fs, kernel %.2fs, ll %.2fs)\n",
+		p.prefix(), s.Iter, ll, grad, s.EStepSeconds, s.MStepSeconds, s.KernelSeconds, s.LLSeconds)
+}
+
+// OnRecovery implements RecoveryObserver: one loud line per guard rollback.
+func (p *progressObserver) OnRecovery(s RecoveryStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	fmt.Fprintf(p.w, "%sguard iter %d: %s violation in %s (%s) — rolled back, retry %d at step scale %.3g\n",
+		p.prefix(), s.Iter, s.Quantity, s.Phase, s.Reason, s.Attempt, s.StepScale)
 }
 
 // CollectObserver records every callback in memory — the test and
 // diagnostics observer.
 type CollectObserver struct {
-	mu     sync.Mutex
-	Starts []int
-	EForms []EStepStats
-	MForms []MStepStats
-	Iters  []IterStats
+	mu         sync.Mutex
+	Starts     []int
+	EForms     []EStepStats
+	MForms     []MStepStats
+	Iters      []IterStats
+	Recoveries []RecoveryStats
 }
 
 // OnIterStart implements FitObserver.
@@ -225,4 +300,11 @@ func (c *CollectObserver) OnIterEnd(s IterStats) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.Iters = append(c.Iters, s)
+}
+
+// OnRecovery implements RecoveryObserver.
+func (c *CollectObserver) OnRecovery(s RecoveryStats) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Recoveries = append(c.Recoveries, s)
 }

@@ -79,10 +79,15 @@ func (e *PanicError) Error() string {
 // Do runs fn(i) for every i in [0, jobs) across up to workers goroutines
 // (resolved via Workers, capped at jobs) and returns the error of the
 // lowest-indexed failing job — a deterministic choice, so error reporting
-// does not depend on goroutine scheduling. Panics inside fn are captured as
-// *PanicError. Jobs are claimed from a shared counter, so callers must make
-// fn(i) independent of execution order; with one worker the jobs simply run
-// in order on the calling goroutine.
+// does not depend on goroutine scheduling. The pool stops claiming new jobs
+// once any job has failed, but the determinism survives the early abort:
+// jobs are claimed in strictly increasing order, so every job below a
+// failing one was already claimed and runs to completion before the pool
+// returns, and with deterministic fn the lowest failing index is the same
+// at any worker count. Panics inside fn are captured as *PanicError. Jobs
+// are claimed from a shared counter, so callers must make fn(i) independent
+// of execution order; with one worker the jobs simply run in order on the
+// calling goroutine.
 func Do(workers, jobs int, fn func(i int) error) error {
 	return DoContext(nil, workers, jobs, fn)
 }
@@ -135,20 +140,23 @@ func DoContext(ctx context.Context, workers, jobs int, fn func(i int) error) err
 	}
 	errs := make([]error, jobs)
 	var next atomic.Int64
+	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				if canceled() {
+				if canceled() || failed.Load() {
 					return
 				}
 				i := int(next.Add(1)) - 1
 				if i >= jobs {
 					return
 				}
-				errs[i] = runJob(i, fn)
+				if errs[i] = runJob(i, fn); errs[i] != nil {
+					failed.Store(true)
+				}
 			}
 		}()
 	}

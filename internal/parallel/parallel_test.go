@@ -117,6 +117,57 @@ func TestDoErrorPropagation(t *testing.T) {
 	}
 }
 
+func TestDoFirstErrorDeterministicAcrossRuns(t *testing.T) {
+	// The reported error must be the lowest failing index on every run, at
+	// every worker count — even though the pool aborts early and scheduling
+	// varies run to run.
+	errAt := func(i int) error { return fmt.Errorf("job %d failed", i) }
+	for _, workers := range []int{2, 8} {
+		for run := 0; run < 25; run++ {
+			var ran [256]atomic.Bool
+			err := Do(workers, 256, func(i int) error {
+				ran[i].Store(true)
+				switch i {
+				case 9, 60, 200:
+					return errAt(i)
+				}
+				return nil
+			})
+			if err == nil || err.Error() != "job 9 failed" {
+				t.Fatalf("workers=%d run=%d: got %v, want job 9's error", workers, run, err)
+			}
+			// Every job below the reported failure must have executed:
+			// without that, "lowest failing index" would be a property of
+			// scheduling, not of the job set.
+			for i := 0; i < 9; i++ {
+				if !ran[i].Load() {
+					t.Fatalf("workers=%d run=%d: job %d below the failure never ran", workers, run, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDoAbortsEarlyAfterFailure(t *testing.T) {
+	// After one job fails, the pool must stop claiming new jobs rather than
+	// grinding through the full index space.
+	const jobs = 100000
+	var executed atomic.Int64
+	err := Do(4, jobs, func(i int) error {
+		executed.Add(1)
+		if i == 0 {
+			return errors.New("fail fast")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if n := executed.Load(); n >= jobs {
+		t.Errorf("executed all %d jobs despite an immediate failure", n)
+	}
+}
+
 func TestDoPanicCapture(t *testing.T) {
 	for _, workers := range []int{1, 4} {
 		err := Do(workers, 16, func(i int) error {

@@ -10,7 +10,6 @@
 package timeline
 
 import (
-	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -100,46 +99,6 @@ type Sequence struct {
 	M          int
 	Horizon    float64
 	Activities []Activity
-}
-
-// Validate checks structural invariants: times inside [0, Horizon],
-// chronological order, dense in-range IDs, in-range users, and parents that
-// precede their children.
-func (s *Sequence) Validate() error {
-	if s.M <= 0 {
-		return errors.New("timeline: sequence must have M > 0 dimensions")
-	}
-	if s.Horizon <= 0 {
-		return errors.New("timeline: sequence must have positive horizon")
-	}
-	prev := math.Inf(-1)
-	for i, a := range s.Activities {
-		if a.ID != ActivityID(i) {
-			return fmt.Errorf("timeline: activity %d has ID %d; want dense IDs (call Normalize)", i, a.ID)
-		}
-		if a.User < 0 || int(a.User) >= s.M {
-			return fmt.Errorf("timeline: activity %d has user %d outside [0,%d)", i, a.User, s.M)
-		}
-		if a.Time < 0 || a.Time > s.Horizon {
-			return fmt.Errorf("timeline: activity %d at t=%g outside [0,%g]", i, a.Time, s.Horizon)
-		}
-		if a.Time < prev {
-			return fmt.Errorf("timeline: activity %d at t=%g breaks chronological order", i, a.Time)
-		}
-		prev = a.Time
-		if a.Parent != NoParent {
-			if a.Parent < 0 || int(a.Parent) >= len(s.Activities) {
-				return fmt.Errorf("timeline: activity %d has out-of-range parent %d", i, a.Parent)
-			}
-			if p := s.Activities[a.Parent]; p.Time > a.Time {
-				return fmt.Errorf("timeline: activity %d precedes its parent %d", i, a.Parent)
-			}
-			if a.Parent == a.ID {
-				return fmt.Errorf("timeline: activity %d is its own parent", i)
-			}
-		}
-	}
-	return nil
 }
 
 // Normalize sorts activities chronologically (stably, so simultaneous events

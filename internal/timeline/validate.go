@@ -1,0 +1,276 @@
+package timeline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ValidationError is the typed error every input-validation failure across
+// the pipeline (core's fit front door, dataio's dataset loader, the CLIs)
+// reports: which activity is bad, which field, and why. Callers that want
+// the loud-but-structured path errors.As into it; callers that want
+// self-service repair call Sequence.Repair first.
+type ValidationError struct {
+	// Index is the offending activity's position, or -1 for sequence-level
+	// failures (bad M/Horizon, empty sequence).
+	Index int
+	// Field names the offending quantity: "m", "horizon", "empty", "id",
+	// "user", "time", "order", "duplicate", "polarity", or "parent".
+	Field string
+	// Msg is the human-readable account.
+	Msg string
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	if e.Index < 0 {
+		return "timeline: " + e.Msg
+	}
+	return fmt.Sprintf("timeline: activity %d: %s", e.Index, e.Msg)
+}
+
+// vErr builds a sequence-level ValidationError.
+func vErr(field, format string, args ...any) *ValidationError {
+	return &ValidationError{Index: -1, Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// vErrAt builds a per-activity ValidationError.
+func vErrAt(i int, field, format string, args ...any) *ValidationError {
+	return &ValidationError{Index: i, Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Validate checks structural invariants: times finite and inside
+// [0, Horizon], chronological order, dense in-range IDs, in-range users,
+// and parents that precede their children. Every failure is a
+// *ValidationError.
+func (s *Sequence) Validate() error {
+	if s.M <= 0 {
+		return vErr("m", "sequence must have M > 0 dimensions")
+	}
+	if s.Horizon <= 0 || math.IsNaN(s.Horizon) || math.IsInf(s.Horizon, 0) {
+		return vErr("horizon", "sequence must have positive finite horizon")
+	}
+	prev := math.Inf(-1)
+	for i, a := range s.Activities {
+		if a.ID != ActivityID(i) {
+			return vErrAt(i, "id", "has ID %d; want dense IDs (call Normalize)", a.ID)
+		}
+		if a.User < 0 || int(a.User) >= s.M {
+			return vErrAt(i, "user", "has user %d outside [0,%d)", a.User, s.M)
+		}
+		if math.IsNaN(a.Time) || math.IsInf(a.Time, 0) {
+			return vErrAt(i, "time", "has non-finite time %v", a.Time)
+		}
+		if a.Time < 0 || a.Time > s.Horizon {
+			return vErrAt(i, "time", "at t=%g outside [0,%g]", a.Time, s.Horizon)
+		}
+		if a.Time < prev {
+			return vErrAt(i, "order", "at t=%g breaks chronological order", a.Time)
+		}
+		prev = a.Time
+		if a.Parent != NoParent {
+			if a.Parent < 0 || int(a.Parent) >= len(s.Activities) {
+				return vErrAt(i, "parent", "has out-of-range parent %d", a.Parent)
+			}
+			if p := s.Activities[a.Parent]; p.Time > a.Time {
+				return vErrAt(i, "parent", "precedes its parent %d", a.Parent)
+			}
+			if a.Parent == a.ID {
+				return vErrAt(i, "parent", "is its own parent")
+			}
+		}
+	}
+	return nil
+}
+
+// Check is the model-fitting front door: Validate's structural invariants
+// plus the dirty-input classes real cascade crawls exhibit — an empty
+// sequence, non-finite opinion polarities (which would poison the
+// conformity features and through them every intensity), and duplicate
+// events (the same user at the same timestamp twice, which double-counts
+// excitation mass). Every failure is a *ValidationError; Repair fixes the
+// repairable ones.
+func (s *Sequence) Check() error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if len(s.Activities) == 0 {
+		return vErr("empty", "sequence has no activities")
+	}
+	lastAt := make(map[UserID]float64, s.M)
+	seen := make(map[UserID]bool, s.M)
+	for i, a := range s.Activities {
+		if math.IsNaN(a.Polarity) || math.IsInf(a.Polarity, 0) {
+			return vErrAt(i, "polarity", "has non-finite polarity %v", a.Polarity)
+		}
+		if seen[a.User] && lastAt[a.User] == a.Time {
+			return vErrAt(i, "duplicate", "duplicates user %d's event at t=%g", a.User, a.Time)
+		}
+		seen[a.User] = true
+		lastAt[a.User] = a.Time
+	}
+	return nil
+}
+
+// RepairReport accounts for what Repair changed.
+type RepairReport struct {
+	// Sorted reports whether activities had to be re-sorted (or IDs
+	// re-densified).
+	Sorted bool
+	// DuplicatesDropped counts removed same-user same-time events (the
+	// first occurrence is kept; parents pointing at a dropped copy are
+	// redirected to the kept one).
+	DuplicatesDropped int
+	// NonFiniteTimesDropped counts activities removed for NaN/Inf times
+	// (their children become immigrants).
+	NonFiniteTimesDropped int
+	// PolaritiesZeroed counts non-finite polarities reset to neutral 0.
+	PolaritiesZeroed int
+	// HorizonExtended reports that Horizon was grown to cover the last
+	// activity (or replaced because it was non-positive/non-finite).
+	HorizonExtended bool
+}
+
+// Changed reports whether Repair altered anything.
+func (r RepairReport) Changed() bool {
+	return r.Sorted || r.DuplicatesDropped > 0 || r.NonFiniteTimesDropped > 0 ||
+		r.PolaritiesZeroed > 0 || r.HorizonExtended
+}
+
+// String summarizes the repairs for CLI logs.
+func (r RepairReport) String() string {
+	if !r.Changed() {
+		return "no repairs needed"
+	}
+	out := ""
+	add := func(cond bool, s string) {
+		if !cond {
+			return
+		}
+		if out != "" {
+			out += ", "
+		}
+		out += s
+	}
+	add(r.Sorted, "re-sorted")
+	add(r.DuplicatesDropped > 0, fmt.Sprintf("dropped %d duplicate(s)", r.DuplicatesDropped))
+	add(r.NonFiniteTimesDropped > 0, fmt.Sprintf("dropped %d non-finite time(s)", r.NonFiniteTimesDropped))
+	add(r.PolaritiesZeroed > 0, fmt.Sprintf("zeroed %d non-finite polarit(ies)", r.PolaritiesZeroed))
+	add(r.HorizonExtended, "extended horizon")
+	return out
+}
+
+// Repair returns a cleaned clone and an account of what changed: activities
+// are stable-sorted by time (simultaneous events keep their input order),
+// same-user same-time duplicates are dropped (parents redirected to the
+// kept copy), activities with non-finite times are removed, non-finite
+// polarities are neutralized to 0, negative times are clamped to 0, and the
+// horizon is extended to cover the last activity when it falls short. The
+// receiver is never mutated. Repair composes with Check: the repaired
+// sequence passes Check unless a failure is unrepairable (bad M, or users
+// outside [0, M), which have no safe rewrite).
+func (s *Sequence) Repair() (*Sequence, RepairReport) {
+	var rep RepairReport
+	out := s.Clone()
+
+	// Drop non-finite times first: they cannot be ordered. Children of a
+	// dropped activity become immigrants.
+	finite := out.Activities[:0]
+	dropped := make(map[ActivityID]bool)
+	for _, a := range out.Activities {
+		if math.IsNaN(a.Time) || math.IsInf(a.Time, 0) {
+			rep.NonFiniteTimesDropped++
+			dropped[a.ID] = true
+			continue
+		}
+		finite = append(finite, a)
+	}
+	out.Activities = finite
+	if rep.NonFiniteTimesDropped > 0 {
+		for i := range out.Activities {
+			if p := out.Activities[i].Parent; p != NoParent && dropped[p] {
+				out.Activities[i].Parent = NoParent
+			}
+		}
+	}
+
+	for i := range out.Activities {
+		a := &out.Activities[i]
+		if math.IsNaN(a.Polarity) || math.IsInf(a.Polarity, 0) {
+			a.Polarity = 0
+			rep.PolaritiesZeroed++
+		}
+		if a.Time < 0 {
+			a.Time = 0
+			rep.Sorted = true // clamping can reorder; re-sort below handles it
+		}
+	}
+
+	needSort := !sort.SliceIsSorted(out.Activities, func(i, j int) bool {
+		return out.Activities[i].Time < out.Activities[j].Time
+	})
+	densIDs := false
+	for i, a := range out.Activities {
+		if a.ID != ActivityID(i) {
+			densIDs = true
+			break
+		}
+	}
+	if needSort || densIDs || rep.NonFiniteTimesDropped > 0 {
+		rep.Sorted = rep.Sorted || needSort || densIDs
+		out.Normalize()
+	}
+
+	// Dedup: same (user, time) keeps the first occurrence; parents of later
+	// activities that pointed at a dropped copy are redirected to the kept
+	// one.
+	type key struct {
+		u UserID
+		t float64
+	}
+	keep := make(map[key]ActivityID, len(out.Activities))
+	redirect := make(map[ActivityID]ActivityID)
+	deduped := out.Activities[:0]
+	for _, a := range out.Activities {
+		k := key{a.User, a.Time}
+		if kept, ok := keep[k]; ok {
+			redirect[a.ID] = kept
+			rep.DuplicatesDropped++
+			continue
+		}
+		keep[k] = a.ID
+		deduped = append(deduped, a)
+	}
+	out.Activities = deduped
+	if rep.DuplicatesDropped > 0 {
+		// Resolve redirect chains, then re-densify IDs (Normalize remaps
+		// parent links through the surviving IDs).
+		for i := range out.Activities {
+			a := &out.Activities[i]
+			for {
+				next, ok := redirect[a.Parent]
+				if !ok {
+					break
+				}
+				a.Parent = next
+			}
+			if a.Parent == a.ID {
+				a.Parent = NoParent // parent was a duplicate of this event
+			}
+		}
+		out.Normalize()
+	}
+
+	if n := len(out.Activities); n > 0 {
+		last := out.Activities[n-1].Time
+		if out.Horizon < last || out.Horizon <= 0 || math.IsNaN(out.Horizon) || math.IsInf(out.Horizon, 0) {
+			out.Horizon = math.Nextafter(last, math.Inf(1))
+			if out.Horizon <= 0 {
+				out.Horizon = math.Nextafter(0, 1)
+			}
+			rep.HorizonExtended = true
+		}
+	}
+	return out, rep
+}
