@@ -33,6 +33,7 @@ import (
 	"chassis/internal/obs"
 	"chassis/internal/predict"
 	"chassis/internal/rng"
+	"chassis/internal/serve"
 	"chassis/internal/socialnet"
 	"chassis/internal/stance"
 	"chassis/internal/timeline"
@@ -96,6 +97,23 @@ type (
 
 	// ExperimentOptions configures the table/figure runners.
 	ExperimentOptions = experiments.Options
+
+	// ServeConfig assembles the online prediction server (see the Serving
+	// section of the README and DESIGN.md §10).
+	ServeConfig = serve.Config
+	// Server is the online prediction service: model registry with atomic
+	// hot-reload, micro-batching dispatcher, HTTP JSON API, graceful drain.
+	Server = serve.Server
+	// ModelSource names the model/dataset files a Server loads and watches.
+	ModelSource = serve.Source
+	// ServeBatchConfig tunes the server's request micro-batching.
+	ServeBatchConfig = serve.BatchConfig
+	// APIError is the typed error the serve API reports (HTTP status,
+	// machine-readable code, message).
+	APIError = serve.Error
+	// PredictValidationError is the typed rejection predict entry points
+	// return for invalid options or histories — never a panic.
+	PredictValidationError = predict.ValidationError
 
 	// FitOption adjusts a fit's observability hooks (see Observe and
 	// ObserveMetrics) without touching FitConfig's exported surface.
@@ -262,6 +280,22 @@ func Forecast(m *Model, history *Sequence, o PredictOptions) (CountForecast, err
 func EvaluatePrediction(m *Model, history, test *Sequence, o PredictOptions) (float64, int, error) {
 	return predict.NextUserAccuracy(m.Process(), history, test, o)
 }
+
+// NewServer builds an online prediction server over a fitted model file and
+// its training dataset, loading the initial model eagerly (a broken file
+// fails here, not on the first request). Serve with Server.Run — which
+// drains gracefully when its context is cancelled — or mount
+// Server.Handler. cmd/chassis-serve is the packaged binary.
+func NewServer(cfg ServeConfig) (*Server, error) { return serve.New(cfg) }
+
+// EncodeNextJSON renders a next-activity forecast as one newline-terminated
+// JSON document — the shared wire schema: chassis-predict -json and the
+// chassis-serve API emit these exact bytes.
+func EncodeNextJSON(n NextActivity) ([]byte, error) { return predict.EncodeNext(n) }
+
+// EncodeCountsJSON renders a count forecast as one newline-terminated JSON
+// document in the shared wire schema.
+func EncodeCountsJSON(c CountForecast) ([]byte, error) { return predict.EncodeCounts(c) }
 
 // PredictNext forecasts the next activity after the history.
 //

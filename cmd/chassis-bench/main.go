@@ -38,8 +38,12 @@ func main() {
 		quiet    = flag.Bool("quiet", false, "suppress progress lines")
 		strlist  = flag.String("strategies", "", "comma-separated strategy subset (default: all)")
 		obsFlags = cliobs.Register(flag.CommandLine)
+		version  = cliobs.RegisterVersion(flag.CommandLine)
 	)
 	flag.Parse()
+	if cliobs.HandleVersion(os.Stdout, "chassis-bench", *version) {
+		return
+	}
 	sess, err := obsFlags.Start("chassis-bench")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chassis-bench:", err)

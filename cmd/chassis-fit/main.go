@@ -62,7 +62,11 @@ func main() {
 	flag.BoolVar(&f.repair, "repair", false, "auto-repair dirty input (sort, dedup, neutralize non-finite polarities) instead of rejecting it")
 	flag.BoolVar(&f.guard, "guard", false, "enable numerical guardrails: roll back and retry with a smaller M-step on non-finite parameters, gradient explosions, or likelihood regressions")
 	obsFlags := cliobs.Register(flag.CommandLine)
+	version := cliobs.RegisterVersion(flag.CommandLine)
 	flag.Parse()
+	if cliobs.HandleVersion(os.Stdout, "chassis-fit", *version) {
+		return
+	}
 	if f.in == "" {
 		fmt.Fprintln(os.Stderr, "chassis-fit: -in is required")
 		os.Exit(2)

@@ -32,9 +32,14 @@ func main() {
 		seed     = flag.Int64("seed", 42, "random seed")
 		workers  = flag.Int("workers", 0, "worker goroutines for the fit and the Monte-Carlo draws (0 = all cores); results are identical at any setting")
 		repair   = flag.Bool("repair", false, "auto-repair dirty input (sort, dedup, neutralize non-finite polarities) instead of rejecting it")
+		jsonOut  = flag.Bool("json", false, "emit the forecasts as JSON lines on stdout (the exact bytes the chassis-serve API returns) instead of the human report")
 		obsFlags = cliobs.Register(flag.CommandLine)
+		version  = cliobs.RegisterVersion(flag.CommandLine)
 	)
 	flag.Parse()
+	if cliobs.HandleVersion(os.Stdout, "chassis-predict", *version) {
+		return
+	}
 	if *in == "" {
 		fmt.Fprintln(os.Stderr, "chassis-predict: -in is required")
 		os.Exit(2)
@@ -44,7 +49,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chassis-predict:", err)
 		os.Exit(1)
 	}
-	err = run(sess, *in, *variant, *split, *em, *draws, *steps, *seed, *workers, *repair)
+	err = run(sess, *in, *variant, *split, *em, *draws, *steps, *seed, *workers, *repair, *jsonOut)
 	sess.Close()
 	os.Exit(cliobs.ExitCode(os.Stderr, "chassis-predict", err))
 }
@@ -61,7 +66,7 @@ func variantByName(name string) (chassis.Variant, error) {
 	return chassis.Variant{}, fmt.Errorf("unknown variant %q", name)
 }
 
-func run(sess *cliobs.Session, in, variant string, split float64, em, draws, steps int, seed int64, workers int, repair bool) error {
+func run(sess *cliobs.Session, in, variant string, split float64, em, draws, steps int, seed int64, workers int, repair, jsonOut bool) error {
 	ds, err := cliobs.LoadDataset(in, repair)
 	if err != nil {
 		return err
@@ -74,7 +79,9 @@ func run(sess *cliobs.Session, in, variant string, split float64, em, draws, ste
 	if err != nil {
 		return err
 	}
-	fmt.Printf("dataset %s: training on %d activities, forecasting %d\n", ds.Name, train.Len(), test.Len())
+	if !jsonOut {
+		fmt.Printf("dataset %s: training on %d activities, forecasting %d\n", ds.Name, train.Len(), test.Len())
+	}
 	var fitOpts []chassis.FitOption
 	if sess.Observer != nil {
 		fitOpts = append(fitOpts, chassis.Observe(sess.Observer))
@@ -96,6 +103,28 @@ func run(sess *cliobs.Session, in, variant string, split float64, em, draws, ste
 	})
 	if err != nil {
 		return err
+	}
+	if jsonOut {
+		// Machine mode: exactly two JSON lines on stdout (next, then
+		// counts), encoded through the shared wire schema so the bytes match
+		// what the chassis-serve API returns for the same model and seed.
+		blob, err := chassis.EncodeNextJSON(next)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(blob) //nolint:errcheck
+		fc, err := chassis.Forecast(m, train, chassis.PredictOptions{
+			Window: ds.Seq.Horizon - train.Horizon, Draws: draws,
+			Seed: seed + 1, Workers: workers, Ctx: sess.Ctx,
+		})
+		if err != nil {
+			return err
+		}
+		if blob, err = chassis.EncodeCountsJSON(fc); err != nil {
+			return err
+		}
+		os.Stdout.Write(blob) //nolint:errcheck
+		return nil
 	}
 	if next.Draws == 0 {
 		fmt.Println("next activity: model predicts a quiet window")

@@ -33,8 +33,12 @@ func main() {
 		out      = flag.String("out", "", "output path (JSON); for pheme, a path prefix")
 		csvPath  = flag.String("csv", "", "also export activities as CSV to this path")
 		obsFlags = cliobs.Register(flag.CommandLine)
+		version  = cliobs.RegisterVersion(flag.CommandLine)
 	)
 	flag.Parse()
+	if cliobs.HandleVersion(os.Stdout, "chassis-sim", *version) {
+		return
+	}
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "chassis-sim: -out is required")
 		os.Exit(2)

@@ -1,0 +1,59 @@
+package cliobs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// release is the human-facing version stamped into every chassis binary's
+// -version output and the serve API's /healthz payload. Bumped with the
+// serving subsystem; bump it again whenever a release-worthy surface
+// changes.
+const release = "0.4.0"
+
+// Buildinfo returns the one-line build identity shared by all five chassis
+// binaries (chassis-sim, chassis-fit, chassis-predict, chassis-bench,
+// chassis-serve): release, Go toolchain, platform, and — when the binary
+// was built from a VCS checkout — the revision and dirty flag.
+func Buildinfo() string {
+	s := fmt.Sprintf("chassis %s %s %s/%s", release, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		var rev, modified string
+		for _, kv := range bi.Settings {
+			switch kv.Key {
+			case "vcs.revision":
+				rev = kv.Value
+			case "vcs.modified":
+				if kv.Value == "true" {
+					modified = "+dirty"
+				}
+			}
+		}
+		if rev != "" {
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			s += " (" + rev + modified + ")"
+		}
+	}
+	return s
+}
+
+// RegisterVersion declares the shared -version flag on fs; pass the result
+// to HandleVersion right after flag.Parse.
+func RegisterVersion(fs *flag.FlagSet) *bool {
+	return fs.Bool("version", false, "print build information and exit")
+}
+
+// HandleVersion prints the build identity for a tool named label when the
+// -version flag was set, reporting whether the caller should exit.
+func HandleVersion(w io.Writer, label string, show bool) bool {
+	if !show {
+		return false
+	}
+	fmt.Fprintf(w, "%s: %s\n", label, Buildinfo())
+	return true
+}

@@ -1,0 +1,39 @@
+package cliobs
+
+import (
+	"flag"
+	"strings"
+	"testing"
+)
+
+func TestBuildinfoShape(t *testing.T) {
+	bi := Buildinfo()
+	if !strings.HasPrefix(bi, "chassis "+release+" go") {
+		t.Errorf("Buildinfo = %q, want prefix %q", bi, "chassis "+release+" go")
+	}
+	if strings.ContainsAny(bi, "\n\r") {
+		t.Errorf("Buildinfo must be one line, got %q", bi)
+	}
+}
+
+func TestHandleVersion(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	show := RegisterVersion(fs)
+	if err := fs.Parse([]string{"-version"}); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if !HandleVersion(&b, "chassis-serve", *show) {
+		t.Fatal("HandleVersion should report exit when -version is set")
+	}
+	if !strings.HasPrefix(b.String(), "chassis-serve: chassis ") {
+		t.Errorf("unexpected -version output %q", b.String())
+	}
+	b.Reset()
+	if HandleVersion(&b, "chassis-serve", false) {
+		t.Fatal("HandleVersion must be a no-op without the flag")
+	}
+	if b.Len() != 0 {
+		t.Errorf("no-op HandleVersion wrote %q", b.String())
+	}
+}

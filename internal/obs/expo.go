@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4) — the chassis-serve /metrics implementation. Instrument
+// names are sanitized into the metric-name alphabet (dots and other
+// punctuation become underscores) and prefixed with "chassis_"; counters
+// keep their value as-is, gauges likewise, and each timer exports two
+// series, <name>_seconds_total and <name>_count. Lines come out sorted by
+// metric name so consecutive scrapes of an idle registry are byte-identical
+// and diff cleanly.
+func (s Snapshot) WriteText(w io.Writer) error {
+	type line struct{ name, typ, value string }
+	lines := make([]line, 0, len(s.Counters)+len(s.Gauges)+2*len(s.Timers))
+	for name, v := range s.Counters {
+		lines = append(lines, line{metricName(name), "counter", strconv.FormatInt(v, 10)})
+	}
+	for name, v := range s.Gauges {
+		lines = append(lines, line{metricName(name), "gauge", formatFloat(v)})
+	}
+	for name, t := range s.Timers {
+		base := metricName(name)
+		lines = append(lines, line{base + "_seconds_total", "counter", formatFloat(t.Seconds)})
+		lines = append(lines, line{base + "_count", "counter", strconv.FormatInt(t.Count, 10)})
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i].name < lines[j].name })
+	for _, l := range lines {
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", l.name, l.typ, l.name, l.value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// metricName maps a registry instrument name onto the Prometheus metric
+// name alphabet [a-zA-Z0-9_:], prefixed with the chassis namespace.
+func metricName(name string) string {
+	var b strings.Builder
+	b.Grow(len("chassis_") + len(name))
+	b.WriteString("chassis_")
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest round-trip decimal, so scrapes are stable and exact.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

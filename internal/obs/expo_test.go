@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteTextExposition(t *testing.T) {
+	m := NewMetrics()
+	m.Counter("serve.next.requests").Add(7)
+	m.Gauge("serve.model_version").Set(3)
+	m.Timer("serve.next").Add(1500 * time.Millisecond)
+
+	var b strings.Builder
+	if err := m.Snapshot().WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE chassis_serve_next_requests counter\nchassis_serve_next_requests 7\n",
+		"# TYPE chassis_serve_model_version gauge\nchassis_serve_model_version 3\n",
+		"chassis_serve_next_seconds_total 1.5\n",
+		"chassis_serve_next_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Scrapes of an idle registry are byte-identical (sorted output).
+	var b2 strings.Builder
+	if err := m.Snapshot().WriteText(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("consecutive idle scrapes differ")
+	}
+}
+
+func TestWriteTextEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := (Snapshot{}).WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("empty snapshot produced output: %q", b.String())
+	}
+}
+
+func TestMetricNameSanitized(t *testing.T) {
+	got := metricName("e-step.9/time ms")
+	want := "chassis_e_step_9_time_ms"
+	if got != want {
+		t.Errorf("metricName = %q, want %q", got, want)
+	}
+}

@@ -120,9 +120,13 @@ func (t *Timer) Count() int64 {
 // *Metrics is the disabled registry: every lookup returns a nil instrument
 // whose methods are no-ops, so instrumented code needs no enabled/disabled
 // branches beyond carrying the pointer. All methods are safe for concurrent
-// use; the instruments themselves are atomic.
+// use — including a server scraping Snapshot/WriteText while worker
+// goroutines look up and record into instruments: lookups take a read lock
+// on the steady-state path (the instrument already exists) and upgrade to
+// the write lock only to register a new name, and the instruments
+// themselves are atomic.
 type Metrics struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	timers   map[string]*Timer
@@ -143,10 +147,15 @@ func (m *Metrics) Counter(name string) *Counter {
 	if m == nil {
 		return nil
 	}
+	m.mu.RLock()
+	c, ok := m.counters[name]
+	m.mu.RUnlock()
+	if ok {
+		return c
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	c, ok := m.counters[name]
-	if !ok {
+	if c, ok = m.counters[name]; !ok {
 		c = &Counter{}
 		m.counters[name] = c
 	}
@@ -159,10 +168,15 @@ func (m *Metrics) Gauge(name string) *Gauge {
 	if m == nil {
 		return nil
 	}
+	m.mu.RLock()
+	g, ok := m.gauges[name]
+	m.mu.RUnlock()
+	if ok {
+		return g
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	g, ok := m.gauges[name]
-	if !ok {
+	if g, ok = m.gauges[name]; !ok {
 		g = &Gauge{}
 		m.gauges[name] = g
 	}
@@ -175,10 +189,15 @@ func (m *Metrics) Timer(name string) *Timer {
 	if m == nil {
 		return nil
 	}
+	m.mu.RLock()
+	t, ok := m.timers[name]
+	m.mu.RUnlock()
+	if ok {
+		return t
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	t, ok := m.timers[name]
-	if !ok {
+	if t, ok = m.timers[name]; !ok {
 		t = &Timer{}
 		m.timers[name] = t
 	}
@@ -207,8 +226,8 @@ func (m *Metrics) Snapshot() Snapshot {
 	if m == nil {
 		return s
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	if len(m.counters) > 0 {
 		s.Counters = make(map[string]int64, len(m.counters))
 		for name, c := range m.counters {
@@ -236,8 +255,8 @@ func (m *Metrics) Names(kind string) []string {
 	if m == nil {
 		return nil
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	var out []string
 	switch kind {
 	case "counter":

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestMetricsConcurrentRecordSnapshot is the serving-path contract: worker
+// goroutines register and record into instruments while a scraper
+// concurrently snapshots and renders the registry. Run under -race in CI
+// (the serve smoke job); the assertions double-check that late snapshots
+// observe completed writes.
+func TestMetricsConcurrentRecordSnapshot(t *testing.T) {
+	m := NewMetrics()
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+
+	// Writers: half hammer one shared counter (contended fast path), half
+	// register fresh names (registration write path).
+	names := []string{"a.shared", "b.gauge", "c.timer", "d.other"}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				m.Counter("serve.requests").Inc()
+				m.Gauge(names[w%len(names)]).Set(float64(i))
+				m.Timer("serve.latency").Add(time.Microsecond)
+			}
+		}(w)
+	}
+
+	// Scrapers: Snapshot + text exposition + Names while writes are live.
+	stop := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := m.Snapshot()
+				if err := s.WriteText(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+				m.Names("counter")
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(stop)
+	scrapeWG.Wait()
+
+	if got := m.Counter("serve.requests").Value(); got != writers*perWriter {
+		t.Errorf("serve.requests = %d, want %d", got, writers*perWriter)
+	}
+	if got := m.Timer("serve.latency").Count(); got != writers*perWriter {
+		t.Errorf("serve.latency count = %d, want %d", got, writers*perWriter)
+	}
+	final := m.Snapshot()
+	if final.Counters["serve.requests"] != writers*perWriter {
+		t.Errorf("snapshot counter = %d, want %d", final.Counters["serve.requests"], writers*perWriter)
+	}
+}

@@ -15,8 +15,8 @@ package predict
 
 import (
 	"context"
-	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 
 	"chassis/internal/hawkes"
@@ -36,7 +36,7 @@ type Options struct {
 	// ignored elsewhere).
 	Window float64
 	// Draws is the number of Monte-Carlo futures (default 200 for Next,
-	// 100 for Counts).
+	// 100 for Counts). Negative values are a *ValidationError.
 	Draws int
 	// Steps caps how many held-out events NextUserAccuracy walks through
 	// (0 or too large: all of them).
@@ -89,12 +89,18 @@ type NextActivity struct {
 // o.Draws futures from the process over o.Lookahead and aggregating the
 // first event of each.
 func Next(proc *hawkes.Process, history *timeline.Sequence, o Options) (NextActivity, error) {
+	if err := validateHistory(proc, history); err != nil {
+		return NextActivity{}, err
+	}
+	if o.Draws < 0 {
+		return NextActivity{}, vErr("draws", "draws must be >= 0, got %d (0 selects the default)", o.Draws)
+	}
 	draws := o.Draws
-	if draws <= 0 {
+	if draws == 0 {
 		draws = 200
 	}
-	if o.Lookahead <= 0 {
-		return NextActivity{}, errors.New("predict: lookahead must be positive")
+	if math.IsNaN(o.Lookahead) || o.Lookahead <= 0 {
+		return NextActivity{}, vErr("lookahead", "lookahead must be positive, got %g", o.Lookahead)
 	}
 	r := o.rng()
 	type firstEvent struct {
@@ -164,12 +170,18 @@ type CountForecast struct {
 // Counts estimates per-user activity counts over the next o.Window by
 // Monte-Carlo forward simulation of o.Draws futures.
 func Counts(proc *hawkes.Process, history *timeline.Sequence, o Options) (CountForecast, error) {
+	if err := validateHistory(proc, history); err != nil {
+		return CountForecast{}, err
+	}
+	if o.Draws < 0 {
+		return CountForecast{}, vErr("draws", "draws must be >= 0, got %d (0 selects the default)", o.Draws)
+	}
 	draws := o.Draws
-	if draws <= 0 {
+	if draws == 0 {
 		draws = 100
 	}
-	if o.Window <= 0 {
-		return CountForecast{}, errors.New("predict: window must be positive")
+	if math.IsNaN(o.Window) || o.Window <= 0 {
+		return CountForecast{}, vErr("window", "window must be positive, got %g", o.Window)
 	}
 	r := o.rng()
 	perDraw := make([][]float64, draws)
@@ -214,8 +226,8 @@ func Counts(proc *hawkes.Process, history *timeline.Sequence, o Options) (CountF
 // reveals the actual event before the next prediction — so only the draws
 // within a step parallelize; o.Ctx is additionally polled between steps.
 func NextUserAccuracy(proc *hawkes.Process, history, test *timeline.Sequence, o Options) (float64, int, error) {
-	if test.Len() == 0 {
-		return 0, 0, errors.New("predict: empty test sequence")
+	if test == nil || test.Len() == 0 {
+		return 0, 0, vErr("test", "test sequence is empty")
 	}
 	steps := o.Steps
 	if steps <= 0 || steps > test.Len() {

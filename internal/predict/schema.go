@@ -1,0 +1,72 @@
+package predict
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// This file is the single wire schema for prediction results, shared by
+// cmd/chassis-predict's -json output and the chassis-serve HTTP API so the
+// two surfaces stay byte-compatible: both encode through EncodeNext /
+// EncodeCounts, and a golden test pins the exact bytes. Field order is the
+// struct order below; floats use Go's shortest round-trip formatting, so a
+// fixed (model, request, seed) triple always yields identical bytes.
+
+// NextActivityJSON is the wire form of a NextActivity forecast.
+type NextActivityJSON struct {
+	// User is the most probable next actor.
+	User int `json:"user"`
+	// ExpectedTime is the mean arrival time of the next activity.
+	ExpectedTime float64 `json:"expected_time"`
+	// Probability is the estimated probability that User acts first.
+	Probability float64 `json:"probability"`
+	// Draws is how many simulated futures produced an event.
+	Draws int `json:"draws"`
+}
+
+// CountForecastJSON is the wire form of a CountForecast.
+type CountForecastJSON struct {
+	// PerUser[i] is user i's expected activity count over the window.
+	PerUser []float64 `json:"per_user"`
+	// Total is the expected total count.
+	Total float64 `json:"total"`
+}
+
+// NextJSON converts a forecast to its wire form.
+func NextJSON(n NextActivity) NextActivityJSON {
+	return NextActivityJSON{
+		User:         int(n.User),
+		ExpectedTime: n.ExpectedTime,
+		Probability:  n.Probability,
+		Draws:        n.Draws,
+	}
+}
+
+// CountsJSON converts a forecast to its wire form.
+func CountsJSON(c CountForecast) CountForecastJSON {
+	per := c.PerUser
+	if per == nil {
+		per = []float64{}
+	}
+	return CountForecastJSON{PerUser: per, Total: c.Total}
+}
+
+// EncodeNext renders a next-activity forecast as one newline-terminated
+// JSON document — the exact bytes both the CLI and the serve API emit.
+func EncodeNext(n NextActivity) ([]byte, error) {
+	return encodeLine(NextJSON(n))
+}
+
+// EncodeCounts renders a count forecast as one newline-terminated JSON
+// document — the exact bytes both the CLI and the serve API emit.
+func EncodeCounts(c CountForecast) ([]byte, error) {
+	return encodeLine(CountsJSON(c))
+}
+
+func encodeLine(v any) ([]byte, error) {
+	blob, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("predict: encoding forecast: %w", err)
+	}
+	return append(blob, '\n'), nil
+}

@@ -1,0 +1,74 @@
+package predict
+
+import (
+	"bytes"
+	"testing"
+)
+
+// The wire schema is shared by cmd/chassis-predict -json and the serve
+// API; these goldens pin the exact bytes so either surface drifting from
+// the other (field order, float formatting, the trailing newline) fails
+// here instead of silently breaking byte-compatibility.
+
+func TestEncodeNextGolden(t *testing.T) {
+	n := NextActivity{User: 3, ExpectedTime: 12.345678901234567, Probability: 0.42, Draws: 99}
+	got, err := EncodeNext(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"user":3,"expected_time":12.345678901234567,"probability":0.42,"draws":99}` + "\n"
+	if string(got) != want {
+		t.Fatalf("EncodeNext drifted:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestEncodeNextQuietGolden(t *testing.T) {
+	// The quiet-window forecast (no draw produced an event) is a real API
+	// response, not an error; pin its shape too.
+	got, err := EncodeNext(NextActivity{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"user":0,"expected_time":0,"probability":0,"draws":0}` + "\n"
+	if string(got) != want {
+		t.Fatalf("EncodeNext(zero) drifted:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestEncodeCountsGolden(t *testing.T) {
+	c := CountForecast{PerUser: []float64{0, 1.5, 0.25}, Total: 1.75}
+	got, err := EncodeCounts(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"per_user":[0,1.5,0.25],"total":1.75}` + "\n"
+	if string(got) != want {
+		t.Fatalf("EncodeCounts drifted:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestEncodeCountsNilPerUser(t *testing.T) {
+	got, err := EncodeCounts(CountForecast{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"per_user":[],"total":0}` + "\n"
+	if string(got) != want {
+		t.Fatalf("EncodeCounts(zero) drifted:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	n := NextActivity{User: 7, ExpectedTime: 1.0 / 3.0, Probability: 2.0 / 7.0, Draws: 123}
+	a, err := EncodeNext(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EncodeNext(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("EncodeNext not deterministic: %q vs %q", a, b)
+	}
+}

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chassis/internal/obs"
+)
+
+func TestDispatcherRunsSubmittedWork(t *testing.T) {
+	d := NewDispatcher(BatchConfig{}, nil)
+	defer d.Drain(context.Background()) //nolint:errcheck
+
+	var ran atomic.Int64
+	var got int
+	err := d.Do(context.Background(), func(ctx context.Context, workers int) {
+		ran.Add(1)
+		got = workers
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 1 {
+		t.Fatal("fn did not run")
+	}
+	// A lone request gets the whole worker budget.
+	if got < 1 {
+		t.Errorf("singleton batch got %d workers, want >= 1", got)
+	}
+}
+
+func TestDispatcherQueueFull(t *testing.T) {
+	d := NewDispatcher(BatchConfig{MaxBatch: 1, QueueDepth: 1, Workers: 1}, obs.NewMetrics())
+	defer d.Drain(context.Background()) //nolint:errcheck
+
+	hold := make(chan struct{})
+	running := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Job A occupies the collector; job B occupies the queue's one slot.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		//nolint:errcheck
+		d.Do(context.Background(), func(context.Context, int) {
+			close(running)
+			<-hold
+		})
+	}()
+	<-running
+	wg.Add(1)
+	queued := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(queued)
+		//nolint:errcheck
+		d.Do(context.Background(), func(context.Context, int) {})
+	}()
+	<-queued
+	// Give B's enqueue a moment to land in the buffered channel.
+	deadline := time.Now().Add(2 * time.Second)
+	for len(d.queue) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job B never reached the queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// With the collector busy and the queue full, C is refused immediately.
+	err := d.Do(context.Background(), func(context.Context, int) {
+		t.Error("overflow job must not run")
+	})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	var apiErr *Error
+	if !errors.As(err, &apiErr) || apiErr.Status != 429 {
+		t.Errorf("ErrQueueFull must carry HTTP 429, got %+v", apiErr)
+	}
+
+	close(hold)
+	wg.Wait()
+}
+
+func TestDispatcherDrainRejectsNewAndFlushesAccepted(t *testing.T) {
+	d := NewDispatcher(BatchConfig{MaxBatch: 4, Window: time.Millisecond}, nil)
+
+	hold := make(chan struct{})
+	running := make(chan struct{})
+	var runningOnce sync.Once
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			//nolint:errcheck
+			d.Do(context.Background(), func(context.Context, int) {
+				// Whichever job reaches a batch first unblocks the test; the
+				// rest may still be queued behind this held batch.
+				runningOnce.Do(func() { close(running) })
+				<-hold
+				done.Add(1)
+			})
+		}()
+	}
+	<-running
+
+	drained := make(chan error, 1)
+	go func() { drained <- d.Drain(context.Background()) }()
+
+	// Drain has begun (or is about to): new submissions are refused.
+	deadline := time.Now().Add(2 * time.Second)
+	for !d.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("Draining never flipped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := d.Do(context.Background(), func(context.Context, int) {}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain Do = %v, want ErrDraining", err)
+	}
+
+	// Drain must wait for the held jobs...
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with jobs still held", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// ...and complete once they finish.
+	close(hold)
+	wg.Wait()
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("Drain = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not complete after jobs flushed")
+	}
+	if got := done.Load(); got != 3 {
+		t.Errorf("%d of 3 accepted jobs completed during drain", got)
+	}
+
+	// Idempotent.
+	if err := d.Drain(context.Background()); err != nil {
+		t.Errorf("second Drain = %v", err)
+	}
+}
+
+func TestDispatcherDrainHonorsContext(t *testing.T) {
+	d := NewDispatcher(BatchConfig{}, nil)
+	hold := make(chan struct{})
+	running := make(chan struct{})
+	go func() {
+		//nolint:errcheck
+		d.Do(context.Background(), func(context.Context, int) {
+			close(running)
+			<-hold
+		})
+	}()
+	<-running
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := d.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Drain with stuck job = %v, want DeadlineExceeded", err)
+	}
+	close(hold)
+}
+
+func TestDispatcherCoalescesConcurrentRequests(t *testing.T) {
+	m := obs.NewMetrics()
+	d := NewDispatcher(BatchConfig{MaxBatch: 8, Window: 200 * time.Millisecond, Workers: 4}, m)
+	defer d.Drain(context.Background()) //nolint:errcheck
+
+	const n = 6
+	workerGrants := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			//nolint:errcheck
+			d.Do(context.Background(), func(_ context.Context, workers int) {
+				workerGrants[i] = workers
+			})
+		}()
+	}
+	wg.Wait()
+
+	batches := m.Counter("serve.dispatch.batches").Value()
+	reqs := m.Counter("serve.dispatch.batched_requests").Value()
+	if reqs != n {
+		t.Fatalf("batched_requests = %d, want %d", reqs, n)
+	}
+	// All six submissions land well inside one 200ms window; allow 2 for
+	// scheduler slop but require genuine coalescing.
+	if batches < 1 || batches > 2 {
+		t.Errorf("batches = %d, want 1-2 (coalesced)", batches)
+	}
+	// Coalesced requests run with a single worker each (results are
+	// bit-identical either way; this pins the throughput policy).
+	coalesced := 0
+	for _, w := range workerGrants {
+		if w == 1 {
+			coalesced++
+		}
+	}
+	if coalesced < n-1 {
+		t.Errorf("only %d of %d requests ran with workers=1", coalesced, n)
+	}
+}
+
+func TestDispatcherPanicContainment(t *testing.T) {
+	m := obs.NewMetrics()
+	d := NewDispatcher(BatchConfig{MaxBatch: 4, Window: 100 * time.Millisecond}, m)
+	defer d.Drain(context.Background()) //nolint:errcheck
+
+	var ok atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		i := i
+		go func() {
+			defer wg.Done()
+			err := d.Do(context.Background(), func(context.Context, int) {
+				if i == 0 {
+					panic("bad request")
+				}
+				ok.Add(1)
+			})
+			if err != nil {
+				t.Errorf("Do[%d] = %v", i, err)
+			}
+		}()
+	}
+	wg.Wait() // would hang forever if the panic tore down the batch
+	if got := ok.Load(); got != 3 {
+		t.Errorf("%d of 3 batchmates completed alongside the panic", got)
+	}
+	if got := m.Counter("serve.dispatch.panics").Value(); got != 1 {
+		t.Errorf("panic counter = %d, want 1", got)
+	}
+}
+
+func TestDispatcherPassesRequestContext(t *testing.T) {
+	d := NewDispatcher(BatchConfig{}, nil)
+	defer d.Drain(context.Background()) //nolint:errcheck
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // expired before the job runs
+	var sawCancel bool
+	if err := d.Do(ctx, func(ctx context.Context, _ int) {
+		sawCancel = ctx.Err() != nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !sawCancel {
+		t.Error("job did not observe its own request context")
+	}
+}
+
+func TestDispatcherSoak(t *testing.T) {
+	d := NewDispatcher(BatchConfig{MaxBatch: 8, QueueDepth: 256, Window: time.Millisecond}, obs.NewMetrics())
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	const n = 100
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := d.Do(context.Background(), func(context.Context, int) { done.Add(1) })
+			if err != nil && !errors.Is(err, ErrQueueFull) {
+				t.Errorf("Do = %v", err)
+			}
+			if err != nil {
+				done.Add(1) // count rejected so the total tallies
+			}
+		}()
+	}
+	wg.Wait()
+	if err := d.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if done.Load() != n {
+		t.Errorf("accounted for %d of %d submissions", done.Load(), n)
+	}
+}

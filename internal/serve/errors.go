@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"chassis/internal/predict"
+	"chassis/internal/timeline"
+)
+
+// Error is the typed API failure every chassis-serve endpoint returns: an
+// HTTP status plus a stable machine-readable code and a human-readable
+// message, rendered as {"error":{"code":...,"message":...}}. The overload
+// responses the dispatcher hands back (429 queue_full, 503 draining) are
+// package-level values so both the handlers and the tests can compare by
+// identity with errors.Is.
+type Error struct {
+	// Status is the HTTP status code the error maps to.
+	Status int `json:"-"`
+	// Code is the stable machine-readable discriminator: "queue_full",
+	// "draining", "no_model", "deadline_exceeded", "invalid_request",
+	// "method_not_allowed", "reload_failed", or "internal".
+	Code string `json:"code"`
+	// Message is the human-readable account.
+	Message string `json:"message"`
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("serve: %s (%d): %s", e.Code, e.Status, e.Message)
+}
+
+// Typed overload responses. ErrQueueFull is the 429 the dispatcher returns
+// when the bounded queue is at depth — the client should back off and
+// retry; ErrDraining is the 503 returned once graceful drain has begun —
+// the client should fail over, no retry against this instance will succeed.
+var (
+	ErrQueueFull = &Error{Status: http.StatusTooManyRequests, Code: "queue_full",
+		Message: "prediction queue is full; back off and retry"}
+	ErrDraining = &Error{Status: http.StatusServiceUnavailable, Code: "draining",
+		Message: "server is draining; no new work is accepted"}
+	ErrNotReady = &Error{Status: http.StatusServiceUnavailable, Code: "no_model",
+		Message: "no model snapshot is loaded yet"}
+)
+
+// badRequest builds a 400 invalid_request error.
+func badRequest(format string, args ...any) *Error {
+	return &Error{Status: http.StatusBadRequest, Code: "invalid_request",
+		Message: fmt.Sprintf(format, args...)}
+}
+
+// asAPIError normalizes any handler failure into an *Error: typed API
+// errors pass through, prediction/timeline validation failures become 400s,
+// a deadline or cancellation that fired while the request was queued or
+// mid-simulation becomes a 503 the client can retry elsewhere, and anything
+// else is a 500.
+func asAPIError(err error) *Error {
+	var ae *Error
+	if errors.As(err, &ae) {
+		return ae
+	}
+	var pv *predict.ValidationError
+	if errors.As(err, &pv) {
+		return badRequest("%s", pv.Error())
+	}
+	var tv *timeline.ValidationError
+	if errors.As(err, &tv) {
+		return badRequest("%s", tv.Error())
+	}
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return &Error{Status: http.StatusServiceUnavailable, Code: "deadline_exceeded",
+			Message: "request deadline expired before the prediction completed"}
+	}
+	return &Error{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
+}
+
+// writeError renders err as the endpoint's JSON error envelope.
+func writeError(w http.ResponseWriter, err error) {
+	ae := asAPIError(err)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(ae.Status)
+	//nolint:errcheck // the response writer is best-effort at this point
+	json.NewEncoder(w).Encode(struct {
+		Error *Error `json:"error"`
+	}{ae})
+}

@@ -1,0 +1,209 @@
+// Package serve is the online prediction subsystem: a long-running HTTP
+// server that scores live cascades against a fitted CHASSIS model (next
+// activity and count forecasts from PAPER.md §8.5's predict-by-simulation
+// path) the way diffusion-prediction systems are consumed in production.
+//
+// Three pieces compose it:
+//
+//   - Registry: loads a versioned (model file, dataset file) pair and
+//     supports atomic hot-reload. The current model lives behind an
+//     atomic pointer; every request pins the snapshot it started with, so
+//     a reload never mixes two parameter sets inside one response, and a
+//     failed reload keeps the previous snapshot serving.
+//   - Dispatcher: a micro-batching front for the prediction work. Concurrent
+//     requests coalesce into batches executed on the shared
+//     internal/parallel pool; the queue is bounded (typed 429 when full,
+//     503 once draining) and every request carries its own context
+//     deadline, honored at Monte-Carlo draw boundaries via the existing
+//     DoContext path.
+//   - Server: the HTTP JSON API (POST /v1/predict/next, POST
+//     /v1/predict/counts, GET /healthz, /readyz, /metrics, POST
+//     /admin/reload, optional /debug/pprof) plus graceful drain: on
+//     shutdown it stops accepting, flushes in-flight work, then returns.
+//
+// Determinism carries through from internal/predict: the same (model file,
+// request, seed) triple yields bit-identical response bytes at any worker
+// count, before and after a reload of the same file — the e2e test pins it.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"chassis/internal/core"
+	"chassis/internal/dataio"
+	"chassis/internal/hawkes"
+	"chassis/internal/obs"
+	"chassis/internal/timeline"
+)
+
+// Source names the on-disk artifacts one served model is built from: the
+// model file written by chassis-fit -savefull and the dataset it was
+// trained on (the model format deliberately does not embed the training
+// sequence; see core's model codec).
+type Source struct {
+	// ModelPath is the full-model JSON written by Model.Save.
+	ModelPath string
+	// DataPath is the dataset JSON the model was fitted against.
+	DataPath string
+	// Split is the training fraction the model was fitted on (chassis-fit
+	// -split); 0 or >= 1 means the model was fitted on the whole sequence.
+	Split float64
+}
+
+// ModelSnapshot is one immutable loaded model. Handlers grab the current
+// snapshot once per request and use it throughout, so an in-flight request
+// is pinned to the parameters it started with across any number of
+// reloads; old snapshots are garbage-collected when their last request
+// finishes.
+type ModelSnapshot struct {
+	// Version counts successful (re)loads, starting at 1. It is surfaced
+	// in the X-Chassis-Model-Version response header and /healthz.
+	Version int64
+	// Model is the deserialized fitted model.
+	Model *core.Model
+	// Proc is the model materialized as a simulable Hawkes process.
+	Proc *hawkes.Process
+	// M is the model's user-dimension count (request validation).
+	M int
+	// Train is the training prefix the model was rebound to.
+	Train *timeline.Sequence
+	// ModelSum and DataSum fingerprint the file contents the snapshot was
+	// built from (sha256); unchanged fingerprints make Reload a no-op.
+	ModelSum, DataSum string
+	// LoadedAt is the wall time the snapshot was installed.
+	LoadedAt time.Time
+}
+
+// Registry owns the current model snapshot and its reload lifecycle.
+// Current is wait-free (one atomic load); Reload is serialized and swaps
+// the snapshot only after the new files parse and validate completely, so
+// readers never observe a half-loaded model and a bad deploy leaves the
+// previous model serving.
+type Registry struct {
+	src     Source
+	metrics *obs.Metrics
+
+	mu  sync.Mutex // serializes Reload
+	cur atomic.Pointer[ModelSnapshot]
+}
+
+// NewRegistry builds a registry over src, reporting reload activity into
+// metrics (which may be nil). No file is touched until Load/Reload.
+func NewRegistry(src Source, metrics *obs.Metrics) *Registry {
+	return &Registry{src: src, metrics: metrics}
+}
+
+// Current returns the live snapshot (nil before the first successful
+// load). One atomic load — callers keep the pointer for their whole
+// request so the model cannot change under them.
+func (r *Registry) Current() *ModelSnapshot {
+	return r.cur.Load()
+}
+
+// Load performs the initial load; it is Reload(force) with no previous
+// snapshot to fall back to.
+func (r *Registry) Load() error {
+	_, _, err := r.Reload(true)
+	return err
+}
+
+// Reload re-reads the source files and atomically installs a new snapshot.
+// With force=false the read bytes are fingerprinted first and an unchanged
+// pair is a no-op (reloaded=false, the existing snapshot returned) — this
+// is what the file watcher polls through. Any failure (unreadable file,
+// version/shape mismatch, validation error) leaves the previous snapshot
+// installed and serving. The chassis-fit side writes model files via the
+// checkpoint-style temp+fsync+rename path, so a read never observes a torn
+// file.
+func (r *Registry) Reload(force bool) (reloaded bool, snap *ModelSnapshot, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	defer func() {
+		if err != nil {
+			r.metrics.Counter("serve.reload.errors").Inc()
+		}
+	}()
+
+	modelBytes, err := os.ReadFile(r.src.ModelPath)
+	if err != nil {
+		return false, r.cur.Load(), fmt.Errorf("serve: reading model: %w", err)
+	}
+	dataBytes, err := os.ReadFile(r.src.DataPath)
+	if err != nil {
+		return false, r.cur.Load(), fmt.Errorf("serve: reading dataset: %w", err)
+	}
+	modelSum := digest(modelBytes)
+	dataSum := digest(dataBytes)
+	prev := r.cur.Load()
+	if !force && prev != nil && prev.ModelSum == modelSum && prev.DataSum == dataSum {
+		return false, prev, nil
+	}
+
+	ds, err := dataio.ReadDataset(bytes.NewReader(dataBytes))
+	if err != nil {
+		return false, prev, fmt.Errorf("serve: loading dataset %s: %w", r.src.DataPath, err)
+	}
+	train := ds.Seq
+	if r.src.Split > 0 && r.src.Split < 1 {
+		train, _, err = ds.Seq.Split(r.src.Split)
+		if err != nil {
+			return false, prev, fmt.Errorf("serve: splitting dataset at %g: %w", r.src.Split, err)
+		}
+	}
+	model, err := core.LoadModel(bytes.NewReader(modelBytes), train)
+	if err != nil {
+		return false, prev, fmt.Errorf("serve: loading model %s: %w", r.src.ModelPath, err)
+	}
+	proc := model.Process()
+	if err := proc.Validate(); err != nil {
+		return false, prev, fmt.Errorf("serve: loaded model is not simulable: %w", err)
+	}
+
+	next := &ModelSnapshot{
+		Version: 1, Model: model, Proc: proc, M: model.M, Train: train,
+		ModelSum: modelSum, DataSum: dataSum, LoadedAt: time.Now(),
+	}
+	if prev != nil {
+		next.Version = prev.Version + 1
+	}
+	r.cur.Store(next)
+	r.metrics.Counter("serve.reload.total").Inc()
+	r.metrics.Gauge("serve.model_version").Set(float64(next.Version))
+	return true, next, nil
+}
+
+// Watch polls the source files every interval, installing changed contents
+// via Reload(false), until ctx is cancelled. Reload failures are counted
+// (serve.reload.errors) and reported through onErr (which may be nil); the
+// previous model keeps serving. Run it on its own goroutine.
+func (r *Registry) Watch(ctx context.Context, interval time.Duration, onErr func(error)) {
+	if interval <= 0 {
+		return
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			if _, _, err := r.Reload(false); err != nil && onErr != nil {
+				onErr(err)
+			}
+		}
+	}
+}
+
+// digest fingerprints file contents for change detection.
+func digest(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

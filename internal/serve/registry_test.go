@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"chassis/internal/obs"
+)
+
+func TestRegistryLoadAndCurrent(t *testing.T) {
+	src := fixtureSource(t)
+	reg := NewRegistry(src, obs.NewMetrics())
+	if reg.Current() != nil {
+		t.Fatal("Current must be nil before the first load")
+	}
+	if err := reg.Load(); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Current()
+	if snap == nil {
+		t.Fatal("no snapshot after Load")
+	}
+	if snap.Version != 1 {
+		t.Errorf("initial version = %d, want 1", snap.Version)
+	}
+	if snap.M != 8 {
+		t.Errorf("M = %d, want fixture's 8", snap.M)
+	}
+	if snap.ModelSum == "" || snap.DataSum == "" {
+		t.Error("snapshot fingerprints are empty")
+	}
+	if snap.Proc == nil || snap.Model == nil || snap.Train == nil {
+		t.Error("snapshot is missing model/process/train")
+	}
+}
+
+func TestRegistryUnchangedReloadIsNoOp(t *testing.T) {
+	reg := NewRegistry(fixtureSource(t), nil)
+	if err := reg.Load(); err != nil {
+		t.Fatal(err)
+	}
+	before := reg.Current()
+	reloaded, snap, err := reg.Reload(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reloaded {
+		t.Error("unchanged files must not reload")
+	}
+	if snap != before {
+		t.Error("no-op reload must return the same snapshot pointer")
+	}
+}
+
+func TestRegistryForcedReloadBumpsVersion(t *testing.T) {
+	reg := NewRegistry(fixtureSource(t), nil)
+	if err := reg.Load(); err != nil {
+		t.Fatal(err)
+	}
+	before := reg.Current()
+	reloaded, snap, err := reg.Reload(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reloaded || snap == before {
+		t.Fatal("forced reload must install a fresh snapshot")
+	}
+	if snap.Version != 2 || snap.ModelSum != before.ModelSum {
+		t.Errorf("got version %d sum-change=%v, want version 2 with identical fingerprint",
+			snap.Version, snap.ModelSum != before.ModelSum)
+	}
+}
+
+func TestRegistryPicksUpChangedModel(t *testing.T) {
+	src := fixtureSource(t)
+	reg := NewRegistry(src, nil)
+	if err := reg.Load(); err != nil {
+		t.Fatal(err)
+	}
+	before := reg.Current()
+	if err := os.WriteFile(src.ModelPath, fixModelB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, snap, err := reg.Reload(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reloaded {
+		t.Fatal("changed model file must reload even unforced")
+	}
+	if snap.Version != 2 || snap.ModelSum == before.ModelSum {
+		t.Errorf("new snapshot version=%d, fingerprint changed=%v", snap.Version, snap.ModelSum != before.ModelSum)
+	}
+}
+
+func TestRegistryFailedReloadKeepsPrevious(t *testing.T) {
+	src := fixtureSource(t)
+	m := obs.NewMetrics()
+	reg := NewRegistry(src, m)
+	if err := reg.Load(); err != nil {
+		t.Fatal(err)
+	}
+	before := reg.Current()
+
+	for name, corrupt := range map[string][]byte{
+		"truncated json": []byte(`{"version"`),
+		"wrong shape":    []byte(`{"version":999}`),
+	} {
+		if err := os.WriteFile(src.ModelPath, corrupt, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		reloaded, snap, err := reg.Reload(true)
+		if err == nil {
+			t.Fatalf("%s: reload must fail", name)
+		}
+		if reloaded {
+			t.Errorf("%s: failed reload reported reloaded=true", name)
+		}
+		if snap != before || reg.Current() != before {
+			t.Errorf("%s: failed reload must keep the previous snapshot serving", name)
+		}
+	}
+	if got := m.Counter("serve.reload.errors").Value(); got != 2 {
+		t.Errorf("reload error counter = %d, want 2", got)
+	}
+
+	// Restoring a good file recovers on the next poll-style reload.
+	if err := os.WriteFile(src.ModelPath, fixModelB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, snap, err := reg.Reload(false)
+	if err != nil || !reloaded || snap.Version != 2 {
+		t.Fatalf("recovery reload = (%v, v%d, %v), want clean v2", reloaded, snap.Version, err)
+	}
+}
+
+func TestRegistryWrongSplitRejected(t *testing.T) {
+	src := fixtureSource(t)
+	src.Split = 0.5 // fixture models were fitted on the full sequence
+	reg := NewRegistry(src, nil)
+	err := reg.Load()
+	if err == nil {
+		t.Fatal("loading a full-sequence model against a half split must fail the shape check")
+	}
+	if !strings.Contains(err.Error(), "serve: loading model") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	if reg.Current() != nil {
+		t.Error("failed initial load must leave no snapshot")
+	}
+}
+
+func TestRegistryWatchInstallsChanges(t *testing.T) {
+	src := fixtureSource(t)
+	reg := NewRegistry(src, nil)
+	if err := reg.Load(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go reg.Watch(ctx, 5*time.Millisecond, nil)
+
+	if err := os.WriteFile(src.ModelPath, fixModelB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for reg.Current().Version < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("watcher did not pick up the changed model file")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"chassis/internal/timeline"
+)
+
+// maxRequestBytes bounds how much of a request body the server will read;
+// beyond it the decode fails with a 400 instead of buffering unboundedly.
+const maxRequestBytes = 8 << 20
+
+// ActivityJSON is one observed cascade event in a prediction request.
+type ActivityJSON struct {
+	// User is the acting user, in [0, M) for the served model.
+	User int `json:"user"`
+	// Time is the event's occurrence time.
+	Time float64 `json:"time"`
+	// Kind is the activity type ("post", "retweet", "comment", "reply",
+	// "like", "angry"); empty defaults to "post".
+	Kind string `json:"kind,omitempty"`
+	// Polarity is the opinion polarity in [-1, 1] (default 0).
+	Polarity float64 `json:"polarity,omitempty"`
+}
+
+// PredictRequest is the body of both prediction endpoints; Lookahead is
+// read by /v1/predict/next, Window by /v1/predict/counts.
+type PredictRequest struct {
+	// History is the observed cascade so far, in chronological order.
+	History []ActivityJSON `json:"history"`
+	// Horizon is the observation cut-off the simulation continues from;
+	// 0 defaults to the last history event's time.
+	Horizon float64 `json:"horizon,omitempty"`
+	// Lookahead is the simulation horizon beyond Horizon (predict/next).
+	Lookahead float64 `json:"lookahead,omitempty"`
+	// Window is the forecast window beyond Horizon (predict/counts).
+	Window float64 `json:"window,omitempty"`
+	// Draws is the Monte-Carlo future count (0 selects the endpoint
+	// default: 200 for next, 100 for counts).
+	Draws int `json:"draws,omitempty"`
+	// Seed derives the simulation RNG streams; the same (model, request,
+	// seed) triple yields bit-identical response bytes.
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMS tightens this request's deadline below the server default
+	// (0 keeps the server default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// decodeRequest parses a prediction request body, rejecting unknown fields
+// so client typos (say "lookahed") surface as 400s instead of silently
+// selecting defaults.
+func decodeRequest(r *http.Request) (*PredictRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req PredictRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("decoding body: %v", err)
+	}
+	return &req, nil
+}
+
+// historySequence materializes the request history as a validated timeline
+// sequence bound to the snapshot's dimension count. Every rejection is a
+// 400: the server's contract is that no request body can panic the
+// simulator.
+func (req *PredictRequest) historySequence(m int) (*timeline.Sequence, error) {
+	if len(req.History) == 0 && req.Horizon <= 0 {
+		return nil, badRequest("history is empty and no horizon is set: nothing to condition the forecast on")
+	}
+	seq := &timeline.Sequence{M: m, Horizon: req.Horizon}
+	seq.Activities = make([]timeline.Activity, 0, len(req.History))
+	var last float64
+	for i, a := range req.History {
+		if a.User < 0 || a.User >= m {
+			return nil, badRequest("history[%d]: user %d outside [0,%d) for the served model", i, a.User, m)
+		}
+		if math.IsNaN(a.Time) || math.IsInf(a.Time, 0) || a.Time < 0 {
+			return nil, badRequest("history[%d]: time must be finite and non-negative, got %g", i, a.Time)
+		}
+		if i > 0 && a.Time < last {
+			return nil, badRequest("history[%d]: out of order (t=%g after t=%g); send events chronologically", i, a.Time, last)
+		}
+		last = a.Time
+		kind := timeline.Post
+		if a.Kind != "" {
+			var err error
+			if kind, err = timeline.ParseKind(a.Kind); err != nil {
+				return nil, badRequest("history[%d]: %v", i, err)
+			}
+		}
+		if math.IsNaN(a.Polarity) || math.IsInf(a.Polarity, 0) {
+			return nil, badRequest("history[%d]: polarity must be finite", i)
+		}
+		seq.Activities = append(seq.Activities, timeline.Activity{
+			ID: timeline.ActivityID(i), User: timeline.UserID(a.User),
+			Time: a.Time, Kind: kind, Polarity: a.Polarity,
+			Parent: timeline.NoParent,
+		})
+	}
+	if seq.Horizon == 0 {
+		seq.Horizon = last
+	}
+	if seq.Horizon < last {
+		return nil, badRequest("horizon %g precedes the last history event at t=%g", seq.Horizon, last)
+	}
+	return seq, nil
+}
+
+// validateNext applies the /v1/predict/next-specific constraints up front,
+// before the request spends a queue slot.
+func (req *PredictRequest) validateNext() error {
+	if math.IsNaN(req.Lookahead) || req.Lookahead <= 0 {
+		return badRequest("lookahead must be positive, got %g", req.Lookahead)
+	}
+	return req.validateCommon()
+}
+
+// validateCounts applies the /v1/predict/counts-specific constraints.
+func (req *PredictRequest) validateCounts() error {
+	if math.IsNaN(req.Window) || req.Window <= 0 {
+		return badRequest("window must be positive, got %g", req.Window)
+	}
+	return req.validateCommon()
+}
+
+func (req *PredictRequest) validateCommon() error {
+	if req.Draws < 0 {
+		return badRequest("draws must be >= 0, got %d (0 selects the default)", req.Draws)
+	}
+	if req.TimeoutMS < 0 {
+		return badRequest("timeout_ms must be >= 0, got %d", req.TimeoutMS)
+	}
+	if math.IsNaN(req.Horizon) || math.IsInf(req.Horizon, 0) || req.Horizon < 0 {
+		return badRequest("horizon must be finite and non-negative, got %g", req.Horizon)
+	}
+	return nil
+}
+
+// String summarizes a request for log lines.
+func (req *PredictRequest) String() string {
+	return fmt.Sprintf("history=%d draws=%d seed=%d", len(req.History), req.Draws, req.Seed)
+}

@@ -1,0 +1,393 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"chassis/internal/cliobs"
+	"chassis/internal/obs"
+	"chassis/internal/predict"
+)
+
+// Config assembles a prediction server. Zero values select the documented
+// defaults; only Source is required.
+type Config struct {
+	// Addr is the listen address for Run (default "localhost:8347";
+	// port 0 picks a free port, reported through OnReady).
+	Addr string
+	// Source names the model/dataset files the registry serves.
+	Source Source
+	// Batch tunes the micro-batching dispatcher.
+	Batch BatchConfig
+	// ReloadEvery enables the file watcher: the registry re-fingerprints
+	// the source files at this interval and hot-reloads changed contents.
+	// 0 disables polling; SIGHUP and POST /admin/reload still work.
+	ReloadEvery time.Duration
+	// RequestTimeout caps each prediction request's deadline (default
+	// 30s); a request's timeout_ms can tighten but not extend it.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds graceful drain on shutdown (default 15s).
+	DrainTimeout time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// Metrics receives the server's instruments and backs /metrics
+	// (nil: a fresh registry, so /metrics always works).
+	Metrics *obs.Metrics
+	// Buildinfo is the build identity /healthz reports (default: the
+	// shared cliobs.Buildinfo line every chassis binary prints).
+	Buildinfo string
+	// Logf, when non-nil, receives operational log lines (reloads, drain
+	// progress). The library never writes anywhere else.
+	Logf func(format string, args ...any)
+	// OnReady, when non-nil, is called by Run with the bound listen
+	// address before serving starts.
+	OnReady func(addr string)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "localhost:8347"
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 15 * time.Second
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	if c.Buildinfo == "" {
+		c.Buildinfo = cliobs.Buildinfo()
+	}
+	return c
+}
+
+// Server is the online prediction service: registry + dispatcher + HTTP
+// API. Construct with New (which loads the initial model), serve with Run
+// (blocking; graceful drain on ctx cancellation) or mount Handler on an
+// HTTP server of your own.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	disp     *Dispatcher
+	metrics  *obs.Metrics
+	mux      *http.ServeMux
+	started  time.Time
+	stopping atomic.Bool
+}
+
+// New builds a server and performs the initial model load — a broken model
+// file fails fast here, not on the first request.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: cfg.Metrics,
+		reg:     NewRegistry(cfg.Source, cfg.Metrics),
+		disp:    NewDispatcher(cfg.Batch, cfg.Metrics),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+	}
+	if err := s.reg.Load(); err != nil {
+		return nil, err
+	}
+	s.routes()
+	return s, nil
+}
+
+// Registry exposes the model registry (SIGHUP handlers, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the server's HTTP handler for mounting on an external
+// http.Server or httptest.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain begins graceful shutdown of the dispatcher: new prediction work is
+// refused with a typed 503 while accepted work flushes. Run calls this
+// automatically; it is exported for servers mounted via Handler.
+func (s *Server) Drain(ctx context.Context) error {
+	s.stopping.Store(true)
+	return s.disp.Drain(ctx)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Run listens on cfg.Addr and serves until ctx is cancelled, then drains
+// gracefully: stop accepting connections, flush in-flight requests and
+// queued predictions, and return nil on a clean drain. Wire ctx to
+// SIGTERM/SIGINT (cmd/chassis-serve does) to get the conventional
+// "SIGTERM drains and exits 0" behaviour.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", s.cfg.Addr, err)
+	}
+	if s.cfg.OnReady != nil {
+		s.cfg.OnReady(ln.Addr().String())
+	}
+	watchCtx, stopWatch := context.WithCancel(context.Background())
+	defer stopWatch()
+	if s.cfg.ReloadEvery > 0 {
+		go s.reg.Watch(watchCtx, s.cfg.ReloadEvery, func(err error) {
+			s.logf("hot-reload failed (previous model keeps serving): %v", err)
+		})
+	}
+	hs := &http.Server{Handler: s.mux}
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+	select {
+	case err := <-served:
+		return fmt.Errorf("serve: http server: %w", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: readyz goes negative, the listener stops accepting
+	// and in-flight HTTP requests complete (Shutdown), then the dispatcher
+	// flushes whatever those requests enqueued.
+	s.stopping.Store(true)
+	s.logf("draining: waiting up to %s for in-flight work", s.cfg.DrainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
+	defer cancel()
+	shutdownErr := hs.Shutdown(drainCtx)
+	drainErr := s.disp.Drain(drainCtx)
+	<-served // http.ErrServerClosed once Shutdown completes
+	if shutdownErr != nil {
+		return fmt.Errorf("serve: drain: %w", shutdownErr)
+	}
+	if drainErr != nil {
+		return fmt.Errorf("serve: drain: %w", drainErr)
+	}
+	s.logf("drained cleanly")
+	return nil
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/v1/predict/next", s.handlePredict(false))
+	s.mux.HandleFunc("/v1/predict/counts", s.handlePredict(true))
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/admin/reload", s.handleReload)
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// modelVersionHeader carries the snapshot identity a response was computed
+// against. It is a header, not a body field, so fixed-seed response bodies
+// stay bit-identical across reloads of the same model file.
+const modelVersionHeader = "X-Chassis-Model-Version"
+
+// handlePredict serves both prediction endpoints; counts selects
+// /v1/predict/counts semantics, otherwise /v1/predict/next.
+func (s *Server) handlePredict(counts bool) http.HandlerFunc {
+	name := "next"
+	if counts {
+		name = "counts"
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.Counter("serve." + name + ".requests").Inc()
+		fail := func(err error) {
+			s.metrics.Counter("serve." + name + ".errors").Inc()
+			writeError(w, err)
+		}
+		if r.Method != http.MethodPost {
+			fail(&Error{Status: http.StatusMethodNotAllowed, Code: "method_not_allowed",
+				Message: "use POST"})
+			return
+		}
+		// Pin the model snapshot once: everything below — validation
+		// against M, the simulation, the response header — sees exactly
+		// this version even if a reload lands mid-request.
+		snap := s.reg.Current()
+		if snap == nil {
+			fail(ErrNotReady)
+			return
+		}
+		req, err := decodeRequest(r)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if counts {
+			err = req.validateCounts()
+		} else {
+			err = req.validateNext()
+		}
+		if err != nil {
+			fail(err)
+			return
+		}
+		hist, err := req.historySequence(snap.M)
+		if err != nil {
+			fail(err)
+			return
+		}
+		ctx := r.Context()
+		timeout := s.cfg.RequestTimeout
+		if req.TimeoutMS > 0 {
+			if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+				timeout = t
+			}
+		}
+		ctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+
+		var body []byte
+		var perr error
+		derr := s.disp.Do(ctx, func(ctx context.Context, workers int) {
+			defer func() {
+				if v := recover(); v != nil {
+					perr = fmt.Errorf("prediction panicked: %v", v)
+				}
+			}()
+			// A deadline that expired while the request sat in the queue
+			// costs nothing further.
+			if err := ctx.Err(); err != nil {
+				perr = err
+				return
+			}
+			opts := predict.Options{
+				Draws: req.Draws, Seed: req.Seed,
+				Workers: workers, Ctx: ctx,
+			}
+			if counts {
+				opts.Window = req.Window
+				fc, err := predict.Counts(snap.Proc, hist, opts)
+				if err != nil {
+					perr = err
+					return
+				}
+				body, perr = predict.EncodeCounts(fc)
+			} else {
+				opts.Lookahead = req.Lookahead
+				n, err := predict.Next(snap.Proc, hist, opts)
+				if err != nil {
+					perr = err
+					return
+				}
+				body, perr = predict.EncodeNext(n)
+			}
+		})
+		if derr != nil {
+			fail(derr)
+			return
+		}
+		if perr != nil {
+			fail(perr)
+			return
+		}
+		s.metrics.Timer("serve." + name + ".latency").Add(time.Since(start))
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set(modelVersionHeader, strconv.FormatInt(snap.Version, 10))
+		//nolint:errcheck // best-effort write to a client that may be gone
+		w.Write(body)
+	}
+}
+
+// healthJSON is the /healthz payload.
+type healthJSON struct {
+	Status        string  `json:"status"`
+	Build         string  `json:"build"`
+	ModelVersion  int64   `json:"model_version"`
+	ModelSum      string  `json:"model_sum,omitempty"`
+	ModelLoadedAt string  `json:"model_loaded_at,omitempty"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Draining      bool    `json:"draining"`
+}
+
+// handleHealthz is liveness: always 200 while the process runs, carrying
+// the build identity and the served model version.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := healthJSON{
+		Status:        "ok",
+		Build:         s.cfg.Buildinfo,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Draining:      s.stopping.Load() || s.disp.Draining(),
+	}
+	if snap := s.reg.Current(); snap != nil {
+		h.ModelVersion = snap.Version
+		h.ModelSum = snap.ModelSum
+		h.ModelLoadedAt = snap.LoadedAt.UTC().Format(time.RFC3339Nano)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	//nolint:errcheck // health probe writes are best-effort
+	json.NewEncoder(w).Encode(h)
+}
+
+// handleReadyz is readiness: 200 only when a model is loaded and the
+// server is not draining, so load balancers stop routing the moment drain
+// begins.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.stopping.Load() || s.disp.Draining() {
+		writeError(w, ErrDraining)
+		return
+	}
+	if s.reg.Current() == nil {
+		writeError(w, ErrNotReady)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	//nolint:errcheck // health probe writes are best-effort
+	w.Write([]byte("ready\n"))
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format — the internal/obs snapshot the fit CLIs already report through,
+// plus the serve.* server instruments.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.Snapshot().WriteText(w); err != nil {
+		s.logf("metrics scrape failed: %v", err)
+	}
+}
+
+// reloadJSON is the /admin/reload response.
+type reloadJSON struct {
+	Reloaded bool   `json:"reloaded"`
+	Version  int64  `json:"version"`
+	ModelSum string `json:"model_sum"`
+}
+
+// handleReload triggers a registry reload. POST-only; by default the
+// reload is forced (the operator said reload), ?force=0 downgrades to the
+// fingerprint check the file watcher uses. A failed reload is a 503 with
+// the previous model left serving.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Code: "method_not_allowed",
+			Message: "use POST"})
+		return
+	}
+	force := r.URL.Query().Get("force") != "0"
+	reloaded, snap, err := s.reg.Reload(force)
+	if err != nil {
+		s.logf("admin reload failed (previous model keeps serving): %v", err)
+		writeError(w, &Error{Status: http.StatusServiceUnavailable, Code: "reload_failed",
+			Message: err.Error()})
+		return
+	}
+	if reloaded {
+		s.logf("model reloaded: version %d (%s)", snap.Version, snap.ModelSum[:12])
+	}
+	w.Header().Set("Content-Type", "application/json")
+	//nolint:errcheck // best-effort write
+	json.NewEncoder(w).Encode(reloadJSON{Reloaded: reloaded, Version: snap.Version, ModelSum: snap.ModelSum})
+}
