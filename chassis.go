@@ -64,6 +64,12 @@ type (
 	Model = core.Model
 	// FitConfig tunes the semi-parametric EM fit.
 	FitConfig = core.Config
+	// FastPathMode selects the intensity engine (FitConfig.FastPath): the
+	// default FastPathAuto enables the O(n) exponential recursion and the
+	// kernel-evaluation cache wherever the kernel bank allows; FastPathOff
+	// forces the naive reference scans (the oracle the property tests
+	// compare against — see the "Hot path" section of the README).
+	FastPathMode = core.FastPathMode
 	// Variant selects a strategy from the paper's grid.
 	Variant = core.Variant
 
@@ -185,6 +191,12 @@ var (
 	VariantEN  = core.VariantEN
 	VariantLHP = core.VariantLHP
 	VariantEHP = core.VariantEHP
+)
+
+// Intensity-engine selection (FitConfig.FastPath).
+const (
+	FastPathAuto = core.FastPathAuto
+	FastPathOff  = core.FastPathOff
 )
 
 // GenerateDataset builds a synthetic conformity-aware corpus.

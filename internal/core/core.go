@@ -100,6 +100,23 @@ func (v Variant) validate() error {
 	return nil
 }
 
+// FastPathMode selects the intensity engine used by every hawkes-process
+// evaluation the model performs (likelihoods, compensators, Monte-Carlo
+// prediction).
+type FastPathMode int
+
+const (
+	// FastPathAuto — the default — uses the fast engine whenever the kernel
+	// bank allows it: the O(n) recursive sweep for exponential banks, the
+	// per-sequence kernel-evaluation cache for power-law/Rayleigh banks.
+	// Both are exact-or-better than the naive scan (bit-identical for the
+	// cache, within 1e−9 relative for the recursion; see DESIGN.md §11).
+	FastPathAuto FastPathMode = iota
+	// FastPathOff forces the naive reference scans everywhere — the oracle
+	// configuration the property tests and ablations compare against.
+	FastPathOff
+)
+
 // Config tunes the EM fit.
 type Config struct {
 	Variant Variant
@@ -170,6 +187,14 @@ type Config struct {
 	// read from the data and the E-step is skipped; inference is only
 	// needed when connectivity is hidden (the Table 1 setting).
 	UseObservedTrees bool
+	// FastPath selects the hawkes intensity engine (default FastPathAuto:
+	// fast engine on wherever the kernel bank allows). The fit itself runs
+	// on nonparametric Discrete kernels, which neither fast path touches, so
+	// fitted parameters are identical in every mode; the switch matters for
+	// likelihood evaluations and serve-time prediction on parametric banks.
+	// omitempty keeps the default out of persisted configs, so the v1 model
+	// wire format is byte-stable.
+	FastPath FastPathMode `json:"fast_path,omitempty"`
 	// Conformity forwards extraction options.
 	Conformity conformity.Options
 	// TrackHistory records the training log-likelihood after every EM
@@ -372,9 +397,10 @@ func (m *Model) Process() *hawkes.Process {
 func (m *Model) processWith(conf *conformity.Computer) *hawkes.Process {
 	return &hawkes.Process{
 		M: m.M, Mu: m.Mu,
-		Exc:     excitation{m: m, conf: conf},
-		Kernels: hawkes.PerReceiverKernels{Ks: m.Kernels},
-		Link:    m.link,
+		Exc:        excitation{m: m, conf: conf},
+		Kernels:    hawkes.PerReceiverKernels{Ks: m.Kernels},
+		Link:       m.link,
+		NoFastPath: m.cfg.FastPath == FastPathOff,
 	}
 }
 

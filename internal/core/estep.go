@@ -9,6 +9,7 @@ import (
 	"chassis/internal/conformity"
 	"chassis/internal/parallel"
 	"chassis/internal/rng"
+	"chassis/internal/scratch"
 	"chassis/internal/timeline"
 )
 
@@ -47,8 +48,16 @@ func (m *Model) bootstrapForest(ctx context.Context, seq *timeline.Sequence) (*b
 	workers := parallel.Workers(m.cfg.Workers)
 	err := parallel.ForEachChunkContext(ctx, workers, n, estepChunkSize, func(c parallel.Range) error {
 		r := base.Split(int64(c.Index) + 1)
-		weights := make([]float64, 0, 64)
-		cands := make([]int, 0, 64)
+		// Per-chunk candidate buffers come from the scratch pool: EM runs
+		// thousands of chunks per fit, and pooling keeps the steady state
+		// allocation-free without touching values (pooled slices read as
+		// fresh ones).
+		weights := scratch.Floats(0)
+		cands := scratch.Ints(0)
+		defer func() {
+			scratch.PutFloats(weights)
+			scratch.PutInts(cands)
+		}()
 		lo := windowStart(seq, seq.Activities[c.Lo].Time-support)
 		for k := c.Lo; k < c.Hi; k++ {
 			parents[k] = timeline.NoParent
@@ -149,9 +158,15 @@ func (m *Model) eStepMode(ctx context.Context, seq *timeline.Sequence, conf *con
 	workers := parallel.Workers(m.cfg.Workers)
 	err := parallel.ForEachChunkContext(ctx, workers, n, estepChunkSize, func(c parallel.Range) error {
 		r := base.Split(int64(c.Index) + 1)
-		weights := make([]float64, 0, 64)
-		cands := make([]int, 0, 64)
-		contribs := make([]float64, 0, 64)
+		// Pooled per-chunk scratch; see bootstrapForest.
+		weights := scratch.Floats(0)
+		cands := scratch.Ints(0)
+		contribs := scratch.Floats(0)
+		defer func() {
+			scratch.PutFloats(weights)
+			scratch.PutInts(cands)
+			scratch.PutFloats(contribs)
+		}()
 		lo := windowStart(seq, seq.Activities[c.Lo].Time-maxSupport)
 		for k := c.Lo; k < c.Hi; k++ {
 			parents[k] = timeline.NoParent

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestFitInvariantUnderFastPathMode pins the contract that makes the fast
+// intensity engine safe to default on: fitting runs entirely on Discrete
+// (estimated) kernels, where the exponential recursion never engages and
+// the kernel cache is exact, so a fit with FastPathAuto and a fit with
+// FastPathOff are the same computation — bit for bit, parameters, LL
+// history, and inferred parent forest alike.
+func TestFitInvariantUnderFastPathMode(t *testing.T) {
+	d := smallDataset(t, 31)
+	for _, v := range []Variant{VariantL, VariantE} {
+		t.Run(v.Name(), func(t *testing.T) {
+			cfgAuto := quickCfg(v)
+			cfgAuto.TrackHistory = true // exercises the LL path during EM
+			cfgOff := cfgAuto
+			cfgOff.FastPath = FastPathOff
+
+			mAuto, err := Fit(d.Seq, cfgAuto)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mOff, err := Fit(d.Seq, cfgOff)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var ba, bo bytes.Buffer
+			if err := mAuto.Save(&ba); err != nil {
+				t.Fatal(err)
+			}
+			if err := mOff.Save(&bo); err != nil {
+				t.Fatal(err)
+			}
+			// The serialized models differ only in the persisted mode flag
+			// itself; strip it and the parameter payloads must be identical.
+			sa := strings.Replace(ba.String(), `"fast_path":1,`, "", 1)
+			so := strings.Replace(bo.String(), `"fast_path":1,`, "", 1)
+			if sa != so {
+				t.Fatal("fitted parameters differ between FastPathAuto and FastPathOff")
+			}
+
+			if len(mAuto.History) != len(mOff.History) {
+				t.Fatalf("history length differs: %d vs %d", len(mAuto.History), len(mOff.History))
+			}
+			for k := range mAuto.History {
+				if mAuto.History[k] != mOff.History[k] {
+					t.Fatalf("EM iteration %d: LL %v (auto) != %v (off)", k, mAuto.History[k], mOff.History[k])
+				}
+			}
+
+			fa, err := mAuto.InferForest(d.Seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fo, err := mOff.InferForest(d.Seq)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pa, po := fa.Parents(), fo.Parents()
+			if len(pa) != len(po) {
+				t.Fatalf("forest size differs: %d vs %d", len(pa), len(po))
+			}
+			for k := range pa {
+				if pa[k] != po[k] {
+					t.Fatalf("event %d: inferred parent %v (auto) != %v (off)", k, pa[k], po[k])
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathModeRoundTrip: the mode survives the config codec, and the
+// default (auto) stays invisible on the wire so the v1 golden model format
+// is unchanged by this field's existence.
+func TestFastPathModeRoundTrip(t *testing.T) {
+	cfg := quickCfg(VariantL)
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"fast_path"`) {
+		t.Fatalf("FastPathAuto must be omitted from the wire format, got %s", b)
+	}
+	cfg.FastPath = FastPathOff
+	b, err = json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"fast_path":1`) {
+		t.Fatalf("FastPathOff missing from the wire format, got %s", b)
+	}
+	var back Config
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.FastPath != FastPathOff {
+		t.Fatalf("FastPath did not round-trip: got %v", back.FastPath)
+	}
+}

@@ -1,0 +1,436 @@
+package hawkes
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"chassis/internal/kernel"
+	"chassis/internal/rng"
+	"chassis/internal/timeline"
+)
+
+// --- fixtures -----------------------------------------------------------
+
+// mkSeq builds a sorted sequence from (user, time) pairs.
+func mkSeq(m int, events ...[2]float64) *timeline.Sequence {
+	seq := &timeline.Sequence{M: m}
+	for k, e := range events {
+		seq.Activities = append(seq.Activities, timeline.Activity{
+			ID: timeline.ActivityID(k), User: timeline.UserID(int(e[0])), Time: e[1],
+			Parent: timeline.NoParent,
+		})
+		if e[1] > seq.Horizon {
+			seq.Horizon = e[1]
+		}
+	}
+	seq.Horizon += 1
+	return seq
+}
+
+// randSeqWithTies draws n events over [0, horizon] for m users, forcing
+// runs of exactly duplicated timestamps (the simultaneous-event edge the
+// tie contract covers).
+func randSeqWithTies(r *rng.RNG, m, n int, horizon float64) *timeline.Sequence {
+	seq := &timeline.Sequence{M: m, Horizon: horizon}
+	t := 0.0
+	for k := 0; k < n; k++ {
+		if k > 0 && r.Float64() < 0.25 {
+			// Reuse the previous timestamp exactly (possibly same user).
+			t = seq.Activities[k-1].Time
+		} else {
+			t += r.Float64() * (horizon / float64(n)) * 2
+		}
+		seq.Activities = append(seq.Activities, timeline.Activity{
+			ID: timeline.ActivityID(k), User: timeline.UserID(int(r.Float64() * float64(m))),
+			Time: t, Parent: timeline.NoParent,
+		})
+	}
+	if t >= seq.Horizon {
+		seq.Horizon = t + 1
+	}
+	return seq
+}
+
+// denseAlpha fills an excitation matrix with a mix of zero, positive and
+// (for nonlinear links) negative entries so the fast path's sparse skips
+// and signed folds are both exercised.
+func denseAlpha(r *rng.RNG, m int, signed bool) *ConstExcitation {
+	a := make([][]float64, m)
+	for i := range a {
+		a[i] = make([]float64, m)
+		for j := range a[i] {
+			switch {
+			case r.Float64() < 0.3:
+				// leave zero
+			case signed && r.Float64() < 0.25:
+				a[i][j] = -0.1 * r.Float64()
+			default:
+				a[i][j] = 0.4 * r.Float64()
+			}
+		}
+	}
+	return &ConstExcitation{A: a}
+}
+
+type bankCase struct {
+	name string
+	bank KernelBank
+	exp  bool // eligible for the exponential recursion
+}
+
+func fastPathBanks(m int) []bankCase {
+	perRecv := make([]kernel.Kernel, m)
+	for i := range perRecv {
+		perRecv[i] = kernel.Exponential{Rate: 0.5 + 0.3*float64(i), Scale: 1}
+	}
+	pl, _ := kernel.NewPowerLaw(1.5, 2.5)
+	perRecvPL := make([]kernel.Kernel, m)
+	for i := range perRecvPL {
+		k, _ := kernel.NewPowerLaw(1.0+0.2*float64(i), 2.2)
+		perRecvPL[i] = k
+	}
+	return []bankCase{
+		{"shared-exp", SharedKernel{K: kernel.Exponential{Rate: 0.8, Scale: 1}}, true},
+		{"per-receiver-exp", PerReceiverKernels{Ks: perRecv}, true},
+		{"shared-powerlaw", SharedKernel{K: pl}, false},
+		{"per-receiver-powerlaw", PerReceiverKernels{Ks: perRecvPL}, false},
+	}
+}
+
+func fastPathLinks() []Link {
+	return []Link{LinearLink{}, ExpLink{}, SoftplusLink{}}
+}
+
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return d / scale
+}
+
+func testProcess(m int, bank KernelBank, link Link, exc Excitation) *Process {
+	mu := make([]float64, m)
+	for i := range mu {
+		mu[i] = 0.05 + 0.02*float64(i)
+	}
+	return &Process{M: m, Mu: mu, Exc: exc, Kernels: bank, Link: link}
+}
+
+// --- S4: fast path vs oracle, all links × both kernel families ----------
+
+// TestFastPathMatchesOracleEventIntensities pins the engine's core
+// contract: per-event intensities from the default (fast) configuration
+// agree with the naive oracle within 1e-9 relative — bit-identical when the
+// fast path is the exact memo cache — across links, kernel families, and
+// worker counts (which must not change a single bit on either path).
+func TestFastPathMatchesOracleEventIntensities(t *testing.T) {
+	const m, n = 5, 400
+	r := rng.New(11)
+	seq := randSeqWithTies(r, m, n, 60)
+	for _, bc := range fastPathBanks(m) {
+		for _, link := range fastPathLinks() {
+			t.Run(fmt.Sprintf("%s/%s", bc.name, link.Name()), func(t *testing.T) {
+				_, signed := link.(ExpLink)
+				exc := denseAlpha(rng.New(7), m, signed)
+				fast := testProcess(m, bc.bank, link, exc)
+				slow := testProcess(m, bc.bank, link, exc)
+				slow.NoFastPath = true
+
+				var ref []float64
+				for _, workers := range []int{1, 2, 8} {
+					opts := CompensatorOptions{Workers: workers}
+					lamF, err := fast.eventIntensities(seq, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					lamS, err := slow.eventIntensities(seq, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for k := range lamS {
+						if rd := relDiff(lamF[k], lamS[k]); rd > 1e-9 {
+							t.Fatalf("workers=%d event %d: fast %g vs oracle %g (rel %g)",
+								workers, k, lamF[k], lamS[k], rd)
+						}
+						if !bc.exp && lamF[k] != lamS[k] {
+							t.Fatalf("workers=%d event %d: cached path must be bit-identical, got %g vs %g",
+								workers, k, lamF[k], lamS[k])
+						}
+					}
+					if ref == nil {
+						ref = append([]float64(nil), lamF...)
+					} else {
+						for k := range ref {
+							if ref[k] != lamF[k] {
+								t.Fatalf("workers=%d event %d: fast path not bit-identical across worker counts", workers, k)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFastPathLogLikelihoodMatchesOracle: full Eq. 7.1 — event terms plus
+// compensators (closed form under the linear link, Theorem 7.1 Euler with
+// the fast sweep / kernel cache otherwise) — within 1e-9 relative of the
+// all-naive evaluation.
+func TestFastPathLogLikelihoodMatchesOracle(t *testing.T) {
+	const m, n = 4, 250
+	seq := randSeqWithTies(rng.New(29), m, n, 50)
+	for _, bc := range fastPathBanks(m) {
+		for _, link := range fastPathLinks() {
+			t.Run(fmt.Sprintf("%s/%s", bc.name, link.Name()), func(t *testing.T) {
+				exc := denseAlpha(rng.New(3), m, false)
+				fast := testProcess(m, bc.bank, link, exc)
+				slow := testProcess(m, bc.bank, link, exc)
+				slow.NoFastPath = true
+				opts := DefaultCompensator()
+				opts.Workers = 2
+				llF, err := fast.LogLikelihood(seq, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				llS, err := slow.LogLikelihood(seq, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rd := relDiff(llF, llS); rd > 1e-9 {
+					t.Fatalf("LL fast %g vs oracle %g (rel %g)", llF, llS, rd)
+				}
+			})
+		}
+	}
+}
+
+// TestKernelCachedLogLikelihoodBitIdentical: the memo cache is exact, so on
+// non-exponential banks the whole likelihood — not just each intensity —
+// must reproduce the naive value bit for bit.
+func TestKernelCachedLogLikelihoodBitIdentical(t *testing.T) {
+	const m, n = 4, 200
+	seq := randSeqWithTies(rng.New(41), m, n, 40)
+	for _, bc := range fastPathBanks(m) {
+		if bc.exp {
+			continue
+		}
+		for _, link := range fastPathLinks() {
+			t.Run(fmt.Sprintf("%s/%s", bc.name, link.Name()), func(t *testing.T) {
+				exc := denseAlpha(rng.New(5), m, false)
+				fast := testProcess(m, bc.bank, link, exc)
+				slow := testProcess(m, bc.bank, link, exc)
+				slow.NoFastPath = true
+				opts := DefaultCompensator()
+				llF, err := fast.LogLikelihood(seq, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				llS, err := slow.LogLikelihood(seq, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if llF != llS {
+					t.Fatalf("cached LL %v != naive LL %v", llF, llS)
+				}
+			})
+		}
+	}
+}
+
+// TestFastEulerCompensatorMatchesOracle drives the Theorem 7.1 scheme
+// directly (nonlinear link forces Euler) on an exponential bank.
+func TestFastEulerCompensatorMatchesOracle(t *testing.T) {
+	const m, n = 4, 300
+	seq := randSeqWithTies(rng.New(53), m, n, 45)
+	for _, bc := range fastPathBanks(m) {
+		if !bc.exp {
+			continue
+		}
+		exc := denseAlpha(rng.New(13), m, false)
+		fast := testProcess(m, bc.bank, ExpLink{}, exc)
+		slow := testProcess(m, bc.bank, ExpLink{}, exc)
+		slow.NoFastPath = true
+		opts := DefaultCompensator()
+		for i := 0; i < m; i++ {
+			cF, err := fast.Compensator(seq, i, seq.Horizon, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cS, err := slow.Compensator(seq, i, seq.Horizon, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rd := relDiff(cF, cS); rd > 1e-9 {
+				t.Fatalf("%s dim %d: compensator fast %g vs oracle %g (rel %g)", bc.name, i, cF, cS, rd)
+			}
+		}
+	}
+}
+
+// TestFastPathCancellation: the serial sweep honours context cancellation
+// at its polling interval.
+func TestFastPathCancellation(t *testing.T) {
+	const m, n = 3, 1200 // > fastPollInterval so the poll fires
+	seq := randSeqWithTies(rng.New(61), m, n, 80)
+	p := testProcess(m, SharedKernel{K: kernel.Exponential{Rate: 0.6, Scale: 1}}, LinearLink{}, UniformExcitation{Value: 0.1})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.eventIntensities(seq, CompensatorOptions{Ctx: ctx}); err == nil {
+		t.Fatal("cancelled context must abort the fast sweep")
+	}
+}
+
+// --- S2: tie-handling contract ------------------------------------------
+
+// TestTieHandlingContract is the regression for the simultaneous-event
+// divergence: ExcitationInput skips on a.Time >= t while eventIntensities
+// skipped on dt <= 0 after a window built from strict comparisons — two
+// rules that happened to agree but summed in opposite orders. The contract
+// now is: identical term set AND identical summation order, so on timelines
+// with duplicated timestamps the two naive paths are bit-identical, and the
+// fast path agrees within its documented 1e-9.
+func TestTieHandlingContract(t *testing.T) {
+	const m, n = 4, 300
+	seq := randSeqWithTies(rng.New(71), m, n, 50)
+	// Make sure the fixture actually contains ties.
+	ties := 0
+	for k := 1; k < n; k++ {
+		if seq.Activities[k].Time == seq.Activities[k-1].Time {
+			ties++
+		}
+	}
+	if ties == 0 {
+		t.Fatal("fixture has no simultaneous events; tighten randSeqWithTies")
+	}
+	for _, bc := range fastPathBanks(m) {
+		for _, link := range fastPathLinks() {
+			t.Run(fmt.Sprintf("%s/%s", bc.name, link.Name()), func(t *testing.T) {
+				exc := denseAlpha(rng.New(17), m, false)
+				slow := testProcess(m, bc.bank, link, exc)
+				slow.NoFastPath = true
+				lams, err := slow.eventIntensities(seq, CompensatorOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				fast := testProcess(m, bc.bank, link, exc)
+				lamF, err := fast.eventIntensities(seq, CompensatorOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k, a := range seq.Activities {
+					direct := slow.Intensity(seq, int(a.User), a.Time)
+					if lams[k] != direct {
+						t.Fatalf("event %d (t=%g): eventIntensities %v != ExcitationInput-based intensity %v",
+							k, a.Time, lams[k], direct)
+					}
+					if rd := relDiff(lamF[k], direct); rd > 1e-9 {
+						t.Fatalf("event %d: fast path %g vs oracle %g (rel %g)", k, lamF[k], direct, rd)
+					}
+				}
+			})
+		}
+	}
+}
+
+// --- S1: pair-dependent support bound -----------------------------------
+
+// pairBank is an asymmetric kernel bank: a short-memory kernel on the
+// diagonal and a long-memory kernel off it — the shape that exposed the
+// diagonal-only window bound.
+type pairBank struct {
+	diag, off kernel.Kernel
+}
+
+func (b pairBank) Kernel(i, j int) kernel.Kernel {
+	if i == j {
+		return b.diag
+	}
+	return b.off
+}
+
+// TestPairDependentBankUsesFullGridBound is the S1 regression: with the old
+// diagonal-only bound the long-support off-diagonal excitation fell outside
+// the scan window and was silently dropped; eventIntensities must now agree
+// with the (always-correct) direct ExcitationInput evaluation bit for bit.
+func TestPairDependentBankUsesFullGridBound(t *testing.T) {
+	bank := pairBank{
+		diag: kernel.Exponential{Rate: 10, Scale: 1},  // support 3
+		off:  kernel.Exponential{Rate: 0.1, Scale: 1}, // support 300
+	}
+	// User 1 acts at t=0; user 0 at t=50: far beyond the diagonal support,
+	// well inside the off-diagonal one.
+	seq := mkSeq(2, [2]float64{1, 0}, [2]float64{0, 50})
+	p := testProcess(2, bank, LinearLink{}, UniformExcitation{Value: 0.5})
+	p.NoFastPath = true // the oracle itself had the bug
+	lams, err := p.eventIntensities(seq, CompensatorOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The event at t=50 (user 0) must still feel user 1's event through the
+	// off-diagonal kernel: 0.5 · φ_off(50) > 0 on top of μ₀.
+	want := p.Intensity(seq, 0, 50.0)
+	if lams[1] != want {
+		t.Fatalf("pair-dependent bound: eventIntensities %v != direct %v", lams[1], want)
+	}
+	base := p.Mu[0]
+	if lams[1] <= base {
+		t.Fatalf("off-diagonal excitation truncated: intensity %v not above baseline %v", lams[1], base)
+	}
+	// And the bound helper itself must see the full row, not the diagonal.
+	if got := p.supportBound(0); got != bank.off.Support() {
+		t.Fatalf("supportBound(0) = %g, want off-diagonal support %g", got, bank.off.Support())
+	}
+}
+
+// --- S3: hoisted early break for per-receiver banks ---------------------
+
+// bruteExcitationInput is an order-free reference: the full Eq. 4.2 sum
+// with per-pair support truncation and no windowing tricks at all.
+func bruteExcitationInput(p *Process, seq *timeline.Sequence, i int, t float64) float64 {
+	x := p.Mu[i]
+	for k := range seq.Activities {
+		a := &seq.Activities[k]
+		if a.Time >= t {
+			continue
+		}
+		j := int(a.User)
+		ker := p.Kernels.Kernel(i, j)
+		dt := t - a.Time
+		if dt > ker.Support() {
+			continue
+		}
+		x += p.Exc.Alpha(i, j, a.Time) * ker.Eval(dt)
+	}
+	return x
+}
+
+// TestPerReceiverEarlyBreakUnchanged guards the S3 fix: hoisting the
+// support bound lets ExcitationInput break instead of skipping O(n) stale
+// events for PerReceiverKernels, and the result must be unchanged — checked
+// against a brute-force reference over histories much longer than the
+// support.
+func TestPerReceiverEarlyBreakUnchanged(t *testing.T) {
+	const m, n = 3, 500
+	r := rng.New(83)
+	seq := randSeqWithTies(r, m, n, 400) // long history, short supports
+	ks := []kernel.Kernel{
+		kernel.Exponential{Rate: 2, Scale: 1},   // support 15
+		kernel.Exponential{Rate: 1, Scale: 0.7}, // support 30
+		kernel.Exponential{Rate: 4, Scale: 1.2}, // support 7.5
+	}
+	p := testProcess(m, PerReceiverKernels{Ks: ks}, LinearLink{}, denseAlpha(rng.New(19), m, false))
+	p.NoFastPath = true
+	for _, tq := range []float64{50, 123.4, 399, seq.Horizon} {
+		for i := 0; i < m; i++ {
+			got := p.ExcitationInput(seq, i, tq)
+			want := bruteExcitationInput(p, seq, i, tq)
+			if d := math.Abs(got - want); d > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("dim %d t=%g: ExcitationInput %v != brute reference %v", i, tq, got, want)
+			}
+		}
+	}
+}

@@ -11,10 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
 
 	"chassis/internal/kernel"
 	"chassis/internal/parallel"
+	"chassis/internal/scratch"
 	"chassis/internal/timeline"
 )
 
@@ -195,6 +195,46 @@ type Process struct {
 	Exc     Excitation
 	Kernels KernelBank
 	Link    Link
+	// NoFastPath disables the fast intensity engine (the O(n) exponential
+	// recursion of fastpath.go and the kernel-evaluation cache of
+	// kernelcache.go), forcing every evaluation through the naive reference
+	// scans. The zero value — fast path on — is the production default; the
+	// naive scans are kept as the oracle the property tests compare against
+	// (DESIGN.md §11).
+	NoFastPath bool
+}
+
+// supportBound returns the largest kernel support over source dimensions j
+// for receiver i — the horizon beyond which no event can excite dimension i.
+// O(1) for the two structured banks (shared, per-receiver); a full row scan
+// for arbitrary pair-dependent banks, where using only the diagonal kernel
+// would silently truncate history (the bug this helper replaces).
+func (p *Process) supportBound(i int) float64 {
+	switch b := p.Kernels.(type) {
+	case SharedKernel:
+		return b.K.Support()
+	case PerReceiverKernels:
+		return b.Ks[i].Support()
+	}
+	bound := 0.0
+	for j := 0; j < p.M; j++ {
+		if s := p.Kernels.Kernel(i, j).Support(); s > bound {
+			bound = s
+		}
+	}
+	return bound
+}
+
+// pairDependentSupport reports whether the kernel — hence Support() — can
+// vary with the source j for a fixed receiver i. False for the two
+// structured banks, whose per-receiver bound is exact and needs no per-pair
+// re-check inside the scans.
+func (p *Process) pairDependentSupport() bool {
+	switch p.Kernels.(type) {
+	case SharedKernel, PerReceiverKernels:
+		return false
+	}
+	return true
 }
 
 // Validate checks the process is well-formed.
@@ -225,24 +265,31 @@ func (p *Process) Validate() error {
 // ExcitationInput returns the pre-link aggregate
 // μᵢ + Σ_{t_jl<t} αᵢⱼ(t_jl)·φᵢⱼ(t−t_jl) for dimension i at time t, scanning
 // only history inside the kernel support. The strict inequality t_jl < t
-// means an event does not excite itself when evaluated at its own time.
+// means an event does not excite itself — nor is it excited by an exact
+// contemporary — when evaluated at its own time.
+//
+// The scan runs newest→oldest and stops at the per-receiver support bound:
+// activities are chronological, and supportBound(i) covers every source
+// kernel for receiver i, so everything earlier is at least as stale. (The
+// early break used to fire only for SharedKernel, degrading the
+// per-receiver case to an O(n) skip loop.) Only arbitrary pair-dependent
+// banks additionally re-check each pair's own support inside the window.
 func (p *Process) ExcitationInput(seq *timeline.Sequence, i int, t float64) float64 {
 	x := p.Mu[i]
+	bound := p.supportBound(i)
+	perPair := p.pairDependentSupport()
 	for k := len(seq.Activities) - 1; k >= 0; k-- {
 		a := &seq.Activities[k]
 		if a.Time >= t {
 			continue
 		}
+		dt := t - a.Time
+		if dt > bound {
+			break
+		}
 		j := int(a.User)
 		ker := p.Kernels.Kernel(i, j)
-		dt := t - a.Time
-		if dt > ker.Support() {
-			// Activities are chronological: with a shared bank everything
-			// earlier is at least this stale, so stop. Per-pair supports can
-			// differ, so otherwise just skip this event.
-			if _, shared := p.Kernels.(SharedKernel); shared {
-				break
-			}
+		if perPair && dt > ker.Support() {
 			continue
 		}
 		if v := ker.Eval(dt); v != 0 {
@@ -274,47 +321,65 @@ func (p *Process) TotalIntensity(seq *timeline.Sequence, t float64) float64 {
 // writes it.)
 var intensityChunkSize = 512
 
-// eventIntensities returns λ_{uₖ}(tₖ) evaluated at each event of seq:
-// events are sharded into fixed chunks, each chunk re-derives its own
-// sliding history window bounded by the maximum kernel support (a binary
-// search), and chunks fan out over up to opts.Workers goroutines, polling
-// opts.Ctx at each chunk boundary. Each event's intensity depends only on
-// the immutable history, so the pass stays O(n·window) in total work and
-// bit-identical to the serial scan.
+// eventIntensities returns λ_{uₖ}(tₖ) evaluated at each event of seq.
+//
+// Exponential banks (unless NoFastPath) take the O(n·M) recursive sweep of
+// fastpath.go. Otherwise the naive reference scan runs: events are sharded
+// into fixed chunks fanning out over up to opts.Workers goroutines (polling
+// opts.Ctx at each chunk boundary), and each event scans its history
+// newest→oldest, breaking at the per-receiver support bound — term set,
+// summation order, and tie handling exactly those of ExcitationInput, so
+// the two oracles are bit-identical (the tie-handling contract of
+// DESIGN.md §11). Each event's intensity depends only on the immutable
+// history, so the pass stays O(n·window) in total work and bit-identical to
+// the serial scan at any worker count.
+//
+// The returned slice comes from the scratch pool; callers release it with
+// scratch.PutFloats once consumed.
 func (p *Process) eventIntensities(seq *timeline.Sequence, opts CompensatorOptions) ([]float64, error) {
 	n := len(seq.Activities)
-	out := make([]float64, n)
-	// Maximum support across pairs; for shared banks this is exact.
-	maxSupport := 0.0
-	for i := 0; i < p.M; i++ {
-		s := p.Kernels.Kernel(i, i).Support()
-		if s > maxSupport {
-			maxSupport = s
-		}
-		if _, shared := p.Kernels.(SharedKernel); shared {
-			break
+	out := scratch.Floats(n)
+	if !p.NoFastPath {
+		if eb, ok := exponentialBank(p.Kernels, p.M); ok {
+			opts.Metrics.Counter("hawkes.intensity_fastpath").Inc()
+			err := p.fastEventIntensitiesExp(seq, eb, out, opts)
+			eb.release()
+			if err != nil {
+				scratch.PutFloats(out)
+				return nil, err
+			}
+			return out, nil
 		}
 	}
+	bounds := scratch.Floats(p.M)
+	defer scratch.PutFloats(bounds)
+	for i := 0; i < p.M; i++ {
+		bounds[i] = p.supportBound(i)
+	}
+	perPair := p.pairDependentSupport()
 	err := parallel.ForEachChunkContext(opts.Ctx, opts.Workers, n, intensityChunkSize, func(c parallel.Range) error {
-		from := seq.Activities[c.Lo].Time - maxSupport
-		lo := sort.Search(n, func(k int) bool { return seq.Activities[k].Time >= from })
 		for k := c.Lo; k < c.Hi; k++ {
 			ak := &seq.Activities[k]
 			i := int(ak.User)
 			t := ak.Time
-			for lo < n && seq.Activities[lo].Time < t-maxSupport {
-				lo++
-			}
+			bound := bounds[i]
 			x := p.Mu[i]
-			for w := lo; w < k; w++ {
+			for w := k - 1; w >= 0; w-- {
 				aw := &seq.Activities[w]
 				dt := t - aw.Time
 				if dt <= 0 {
 					// Simultaneous earlier-ordered events do not contribute.
 					continue
 				}
+				if dt > bound {
+					break
+				}
 				j := int(aw.User)
-				if v := p.Kernels.Kernel(i, j).Eval(dt); v != 0 {
+				ker := p.Kernels.Kernel(i, j)
+				if perPair && dt > ker.Support() {
+					continue
+				}
+				if v := ker.Eval(dt); v != 0 {
 					x += p.Exc.Alpha(i, j, aw.Time) * v
 				}
 			}
@@ -323,6 +388,7 @@ func (p *Process) eventIntensities(seq *timeline.Sequence, opts CompensatorOptio
 		return nil
 	})
 	if err != nil {
+		scratch.PutFloats(out)
 		return nil, err
 	}
 	return out, nil
@@ -352,9 +418,14 @@ func (p *Process) LogLikelihood(seq *timeline.Sequence, opts CompensatorOptions)
 		}
 		ll += math.Log(lam)
 	}
-	comps := make([]float64, p.M)
+	scratch.PutFloats(lams)
+	// One kernel cache shared by all M compensators: with a shared bank the
+	// per-dimension integrations revisit identical (grid, event) offsets.
+	pc := p.withKernelCache()
+	comps := scratch.Floats(p.M)
+	defer scratch.PutFloats(comps)
 	err = parallel.DoContext(opts.Ctx, opts.Workers, p.M, func(i int) error {
-		comp, err := p.Compensator(seq, i, seq.Horizon, opts)
+		comp, err := pc.Compensator(seq, i, seq.Horizon, opts)
 		if err != nil {
 			return err
 		}
@@ -398,15 +469,18 @@ func (p *Process) LogLikelihoodWindow(seq *timeline.Sequence, from, to float64, 
 		}
 		ll += math.Log(lam)
 	}
+	scratch.PutFloats(lams)
 	// Per-dimension window compensators Λᵢ(to) − Λᵢ(from) fan out over the
 	// pool; the reduction runs in dimension order for reproducible rounding.
-	comps := make([]float64, p.M)
+	pc := p.withKernelCache()
+	comps := scratch.Floats(p.M)
+	defer scratch.PutFloats(comps)
 	err = parallel.DoContext(opts.Ctx, opts.Workers, p.M, func(i int) error {
-		hi, err := p.Compensator(seq, i, to, opts)
+		hi, err := pc.Compensator(seq, i, to, opts)
 		if err != nil {
 			return err
 		}
-		lo, err := p.Compensator(seq, i, from, opts)
+		lo, err := pc.Compensator(seq, i, from, opts)
 		if err != nil {
 			return err
 		}
@@ -455,5 +529,6 @@ func (p *Process) EventLogIntensities(seq *timeline.Sequence) []float64 {
 		}
 		out[i] = math.Log(lam)
 	}
+	scratch.PutFloats(lams)
 	return out
 }

@@ -104,14 +104,31 @@ func (p *Process) closedFormCompensator(seq *timeline.Sequence, i int, t float64
 // … + λᵢ(t_{I_m−1})) with h_m = t/I_m, doubling I_m until successive
 // approximations agree within ξ. λᵢ(0) = Fᵢ(μᵢ) generalizes the theorem's
 // μᵢ leading term to nonlinear links.
+//
+// Unless NoFastPath is set, exponential banks evaluate each pass by the
+// O(steps + n) recursive sweep of fastpath.go, and cacheable non-exponential
+// banks get a per-call kernel memo — each doubling revisits every grid
+// point of the previous level (the power-of-two step scalings make the
+// shared points bit-equal), so roughly half of all kernel evaluations
+// across the refinement ladder are repeats.
 func (p *Process) eulerCompensator(seq *timeline.Sequence, i int, t float64, opts CompensatorOptions) float64 {
+	once := func(steps int) float64 { return p.eulerOnce(seq, i, t, steps) }
+	if !p.NoFastPath {
+		if eb, ok := exponentialBank(p.Kernels, p.M); ok {
+			defer eb.release()
+			opts.Metrics.Counter("hawkes.euler_fastpath").Inc()
+			once = func(steps int) float64 { return p.fastEulerOnceExp(seq, i, t, steps, eb) }
+		} else if pc := p.withKernelCache(); pc != p {
+			once = func(steps int) float64 { return pc.eulerOnce(seq, i, t, steps) }
+		}
+	}
 	stepCounter := opts.Metrics.Counter("hawkes.euler_steps")
 	steps := opts.InitSteps
-	prev := p.eulerOnce(seq, i, t, steps)
+	prev := once(steps)
 	stepCounter.Add(int64(steps))
 	for d := 0; d < opts.MaxDoublings; d++ {
 		steps *= 2
-		cur := p.eulerOnce(seq, i, t, steps)
+		cur := once(steps)
 		stepCounter.Add(int64(steps))
 		if math.Abs(cur-prev) <= opts.Accuracy*(1+math.Abs(cur)) {
 			return cur
@@ -121,16 +138,17 @@ func (p *Process) eulerCompensator(seq *timeline.Sequence, i int, t float64, opt
 	return prev
 }
 
+// eulerOnce is the naive reference pass: left endpoints t_1 … t_{steps-1},
+// evaluated sequentially so a moving window over the (chronological)
+// history amortizes to O(steps + n·window/h). The window is bounded by the
+// per-receiver support over all sources — previously only SharedKernel got
+// a finite bound, degrading per-receiver banks to a full-history scan.
 func (p *Process) eulerOnce(seq *timeline.Sequence, i int, t float64, steps int) float64 {
 	h := t / float64(steps)
 	sum := p.Link.Apply(p.Mu[i]) // λᵢ(0): no history at the left endpoint
-	// Left endpoints t_1 … t_{steps-1}; evaluating sequentially lets us
-	// reuse a moving window over the (chronological) history.
 	acts := seq.Activities
-	maxSupport := math.Inf(1)
-	if sk, shared := p.Kernels.(SharedKernel); shared {
-		maxSupport = sk.K.Support()
-	}
+	maxSupport := p.supportBound(i)
+	perPair := p.pairDependentSupport()
 	lo := 0
 	for s := 1; s < steps; s++ {
 		ts := float64(s) * h
@@ -144,7 +162,12 @@ func (p *Process) eulerOnce(seq *timeline.Sequence, i int, t float64, steps int)
 				break
 			}
 			j := int(a.User)
-			if v := p.Kernels.Kernel(i, j).Eval(ts - a.Time); v != 0 {
+			ker := p.Kernels.Kernel(i, j)
+			dt := ts - a.Time
+			if perPair && dt > ker.Support() {
+				continue
+			}
+			if v := ker.Eval(dt); v != 0 {
 				x += p.Exc.Alpha(i, j, a.Time) * v
 			}
 		}

@@ -1,0 +1,145 @@
+package hawkes
+
+import (
+	"math"
+	"sync"
+
+	"chassis/internal/kernel"
+)
+
+// Per-sequence kernel-evaluation cache for the non-exponential parametric
+// kernels (PowerLaw, Rayleigh), whose Eval costs a math.Pow/math.Exp per
+// call. Exponential banks take the O(n) recursion instead (fastpath.go) and
+// Discrete kernels are already O(1) table lookups, so neither is cached.
+//
+// The cache is exact memoization keyed by the raw float64 bits of dt, so a
+// cached path is bit-identical to the uncached one — it can sit under the
+// oracle without widening any tolerance. Its hit structure comes from the
+// Theorem 7.1 Euler scheme: each grid doubling revisits every grid point of
+// the previous level (the step sizes are exact power-of-two scalings, so
+// the shared points are bit-equal), and with a SharedKernel bank all M
+// per-dimension compensators walk the same (grid, event) offsets. One
+// likelihood evaluation therefore shares one cache across dimensions and
+// doublings; it dies with the call (per sequence, per evaluation), so no
+// invalidation is ever needed.
+
+// cacheMaxEntries caps each kernel's memo table. Beyond the cap the cache
+// stops inserting but keeps serving hits — a full cache degrades to the
+// plain kernel, never to unbounded memory.
+const cacheMaxEntries = 1 << 18
+
+// cachedKernel wraps a kernel with concurrency-safe memoization of Eval
+// and Integral. Support/String pass through.
+type cachedKernel struct {
+	base kernel.Kernel
+
+	mu   sync.RWMutex
+	eval map[uint64]float64
+	intg map[uint64]float64
+}
+
+func newCachedKernel(base kernel.Kernel) *cachedKernel {
+	return &cachedKernel{
+		base: base,
+		eval: make(map[uint64]float64),
+		intg: make(map[uint64]float64),
+	}
+}
+
+func (c *cachedKernel) memo(table map[uint64]float64, dt float64, f func(float64) float64) float64 {
+	key := math.Float64bits(dt)
+	c.mu.RLock()
+	v, ok := table[key]
+	c.mu.RUnlock()
+	if ok {
+		return v
+	}
+	v = f(dt)
+	c.mu.Lock()
+	if len(table) < cacheMaxEntries {
+		table[key] = v
+	}
+	c.mu.Unlock()
+	return v
+}
+
+// Eval implements kernel.Kernel.
+func (c *cachedKernel) Eval(dt float64) float64 { return c.memo(c.eval, dt, c.base.Eval) }
+
+// Integral implements kernel.Kernel.
+func (c *cachedKernel) Integral(dt float64) float64 { return c.memo(c.intg, dt, c.base.Integral) }
+
+// Support implements kernel.Kernel.
+func (c *cachedKernel) Support() float64 { return c.base.Support() }
+
+// String implements kernel.Kernel.
+func (c *cachedKernel) String() string { return c.base.String() }
+
+// cacheableKernel reports whether memoizing k pays: a parametric
+// transcendental evaluation, not already O(1)-cheap or recursion-eligible.
+func cacheableKernel(k kernel.Kernel) bool {
+	switch k.(type) {
+	case kernel.PowerLaw, kernel.Rayleigh:
+		return true
+	}
+	return false
+}
+
+// newCachedBank returns a bank equivalent to the input with every cacheable
+// kernel served through a memo table, or nil when nothing would benefit
+// (already-cached kernels included: the wrappers are *cachedKernel, which
+// cacheableKernel rejects, so double wrapping is impossible). Shared and
+// per-receiver banks are rebuilt as the same structural type, so downstream
+// type switches — support bounds, the early-break rule, the exponential
+// fast-path detection — keep seeing through the cache. Pairs sharing one
+// underlying kernel share one table (the comparable parametric kernel types
+// dedupe naturally).
+func newCachedBank(bank KernelBank, m int) KernelBank {
+	switch b := bank.(type) {
+	case SharedKernel:
+		if cacheableKernel(b.K) {
+			return SharedKernel{K: newCachedKernel(b.K)}
+		}
+	case PerReceiverKernels:
+		seen := make(map[kernel.Kernel]*cachedKernel)
+		ks := make([]kernel.Kernel, len(b.Ks))
+		any := false
+		for i, k := range b.Ks {
+			ks[i] = k
+			if !cacheableKernel(k) {
+				continue
+			}
+			c, ok := seen[k]
+			if !ok {
+				c = newCachedKernel(k)
+				seen[k] = c
+			}
+			ks[i] = c
+			any = true
+		}
+		if any {
+			return PerReceiverKernels{Ks: ks}
+		}
+	}
+	// Arbitrary pair-dependent banks (test-only today) are left uncached:
+	// materializing an M×M wrapper grid would cost more than the memo saves.
+	return nil
+}
+
+// withKernelCache returns a shallow copy of p whose cacheable kernels are
+// memoized, or p itself when the bank gains nothing (exponential banks take
+// the recursion instead; Discrete lookups are already O(1)) or the fast
+// path is disabled. The copy — and with it the cache — lives for one
+// evaluation of one sequence, so the memo tables never need invalidation.
+func (p *Process) withKernelCache() *Process {
+	if p.NoFastPath {
+		return p
+	}
+	cb := newCachedBank(p.Kernels, p.M)
+	if cb == nil {
+		return p
+	}
+	c := *p
+	c.Kernels = cb
+	return &c
+}

@@ -1,0 +1,168 @@
+package hawkes
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"chassis/internal/kernel"
+)
+
+// TestCachedKernelBitIdentical: the memo is exact — first evaluation,
+// repeated evaluation, and the uncached kernel all agree bit for bit,
+// including the edge inputs (0, support boundary, beyond support, +Inf).
+func TestCachedKernelBitIdentical(t *testing.T) {
+	pl, err := kernel.NewPowerLaw(1.3, 2.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCachedKernel(pl)
+	inputs := []float64{0, 1e-12, 0.5, 1, pl.Support(), pl.Support() * 2, math.Inf(1)}
+	for _, dt := range inputs {
+		for rep := 0; rep < 3; rep++ {
+			if got, want := c.Eval(dt), pl.Eval(dt); got != want {
+				t.Fatalf("Eval(%g) rep %d: cached %v != base %v", dt, rep, got, want)
+			}
+			if got, want := c.Integral(dt), pl.Integral(dt); got != want {
+				t.Fatalf("Integral(%g) rep %d: cached %v != base %v", dt, rep, got, want)
+			}
+		}
+	}
+	if c.Support() != pl.Support() {
+		t.Fatalf("Support passthrough broken")
+	}
+	if c.String() != pl.String() {
+		t.Fatalf("String passthrough broken")
+	}
+}
+
+// TestCachedKernelConcurrent hammers one cache from many goroutines over an
+// overlapping key set; run under -race this pins the RLock/Lock discipline.
+func TestCachedKernelConcurrent(t *testing.T) {
+	ray, err := kernel.NewRayleigh(1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCachedKernel(ray)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for k := 0; k < 2000; k++ {
+				dt := float64(k%97) * 0.05 // shared keys across goroutines
+				if got, want := c.Eval(dt), ray.Eval(dt); got != want {
+					t.Errorf("goroutine %d: Eval(%g) = %v, want %v", g, dt, got, want)
+					return
+				}
+				if got, want := c.Integral(dt), ray.Integral(dt); got != want {
+					t.Errorf("goroutine %d: Integral(%g) = %v, want %v", g, dt, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestCachedKernelCapStopsInserting: past cacheMaxEntries the table stops
+// growing but results stay correct (degrades to the plain kernel).
+func TestCachedKernelCapStopsInserting(t *testing.T) {
+	pl, err := kernel.NewPowerLaw(1.2, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := newCachedKernel(pl)
+	// Pre-fill to the cap with synthetic keys rather than 262k real Evals.
+	for k := uint64(0); k < cacheMaxEntries; k++ {
+		c.eval[k] = 0
+	}
+	dt := 12345.678 // bits not among the synthetic keys
+	if got, want := c.Eval(dt), pl.Eval(dt); got != want {
+		t.Fatalf("over-cap Eval(%g) = %v, want %v", dt, got, want)
+	}
+	if len(c.eval) != cacheMaxEntries {
+		t.Fatalf("cache grew past its cap: %d entries", len(c.eval))
+	}
+	// A second call still serves the correct (uncached) value.
+	if got, want := c.Eval(dt), pl.Eval(dt); got != want {
+		t.Fatalf("repeat over-cap Eval(%g) = %v, want %v", dt, got, want)
+	}
+}
+
+// TestNewCachedBankStructure: the rebuilt bank preserves the structural
+// type (so support bounds and fast-path detection see through it), dedupes
+// shared kernels, never double-wraps, and returns nil when nothing gains.
+func TestNewCachedBankStructure(t *testing.T) {
+	pl, _ := kernel.NewPowerLaw(1.4, 2.2)
+	exp := kernel.Exponential{Rate: 1, Scale: 1}
+
+	// Shared cacheable kernel → SharedKernel of a *cachedKernel.
+	cb := newCachedBank(SharedKernel{K: pl}, 3)
+	sk, ok := cb.(SharedKernel)
+	if !ok {
+		t.Fatalf("cached shared bank is %T, want SharedKernel", cb)
+	}
+	if _, ok := sk.K.(*cachedKernel); !ok {
+		t.Fatalf("shared kernel not wrapped: %T", sk.K)
+	}
+
+	// Wrapping the wrapped bank must be a no-op (nil: nothing cacheable).
+	if again := newCachedBank(cb, 3); again != nil {
+		t.Fatalf("double wrap: got %T, want nil", again)
+	}
+
+	// Exponential banks take the recursion, not the cache.
+	if got := newCachedBank(SharedKernel{K: exp}, 3); got != nil {
+		t.Fatalf("exponential bank was cached: %T", got)
+	}
+
+	// Per-receiver: identical kernels share one memo table; non-cacheable
+	// entries pass through untouched.
+	pr := PerReceiverKernels{Ks: []kernel.Kernel{pl, pl, exp}}
+	cb = newCachedBank(pr, 3)
+	prc, ok := cb.(PerReceiverKernels)
+	if !ok {
+		t.Fatalf("cached per-receiver bank is %T, want PerReceiverKernels", cb)
+	}
+	c0, ok0 := prc.Ks[0].(*cachedKernel)
+	c1, ok1 := prc.Ks[1].(*cachedKernel)
+	if !ok0 || !ok1 {
+		t.Fatalf("per-receiver cacheable kernels not wrapped: %T %T", prc.Ks[0], prc.Ks[1])
+	}
+	if c0 != c1 {
+		t.Fatal("identical per-receiver kernels must share one memo table")
+	}
+	if prc.Ks[2] != kernel.Kernel(exp) {
+		t.Fatalf("non-cacheable entry rewritten: %T", prc.Ks[2])
+	}
+
+	// A bank with nothing cacheable → nil.
+	if got := newCachedBank(PerReceiverKernels{Ks: []kernel.Kernel{exp, exp, exp}}, 3); got != nil {
+		t.Fatalf("all-exponential per-receiver bank was cached: %T", got)
+	}
+}
+
+// TestWithKernelCacheRespectsNoFastPath: disabling the fast path must also
+// disable the cache (the oracle stays the oracle), and a cache-eligible
+// process gets a shallow copy whose structural bounds are unchanged.
+func TestWithKernelCacheRespectsNoFastPath(t *testing.T) {
+	pl, _ := kernel.NewPowerLaw(1.5, 2.5)
+	p := testProcess(3, SharedKernel{K: pl}, LinearLink{}, UniformExcitation{Value: 0.2})
+
+	pc := p.withKernelCache()
+	if pc == p {
+		t.Fatal("cache-eligible process did not get a cached copy")
+	}
+	if pc.supportBound(0) != p.supportBound(0) {
+		t.Fatalf("cached copy changed the support bound: %g vs %g", pc.supportBound(0), p.supportBound(0))
+	}
+	if pc.pairDependentSupport() != p.pairDependentSupport() {
+		t.Fatal("cached copy changed pair-dependence")
+	}
+
+	p.NoFastPath = true
+	if got := p.withKernelCache(); got != p {
+		t.Fatal("NoFastPath process must not be cached")
+	}
+}

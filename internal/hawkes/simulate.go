@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"chassis/internal/kernel"
 	"chassis/internal/rng"
+	"chassis/internal/scratch"
 	"chassis/internal/timeline"
 )
 
@@ -236,7 +238,11 @@ func (p *Process) Continue(r *rng.RNG, history *timeline.Sequence, to float64, o
 	}
 	seq := history.Clone()
 	seq.Horizon = to
-	lambda := make([]float64, p.M)
+	// Continue is the serve-time hot loop (every Monte-Carlo draw of every
+	// prediction request lands here), so its per-call vectors come from the
+	// scratch pool.
+	lambda := scratch.Floats(p.M)
+	defer scratch.PutFloats(lambda)
 	t := from
 	for len(seq.Activities) < opts.MaxEvents {
 		var bound float64
@@ -285,16 +291,30 @@ func (p *Process) Continue(r *rng.RNG, history *timeline.Sequence, to float64, o
 	return seq, nil
 }
 
+// idScratch pools the candidate-id buffers of sampleParent — one Get/Put
+// per accepted event of every simulated draw.
+var idScratch scratch.Pool[timeline.ActivityID]
+
 // sampleParent draws a ground-truth parent for a new event of dimension dim
 // at time s by Papangelou intensity drops: weight_e = F(g) − F(g − c_e)
 // with c_e = α·φ(s−tₑ), and immigrant weight F(μ_dim). For the linear link
-// this is the exact cluster decomposition {μ_dim} ∪ {c_e}.
+// this is the exact cluster decomposition {μ_dim} ∪ {c_e}. Candidates
+// outside every source kernel's support are skipped by a binary search
+// rather than scanned (they carry zero weight either way), and the
+// candidate buffers are pooled — this runs once per accepted event of every
+// Monte-Carlo draw.
 func (p *Process) sampleParent(r *rng.RNG, seq *timeline.Sequence, dim int, s float64) timeline.ActivityID {
-	contribs := make([]float64, 0, len(seq.Activities))
-	ids := make([]timeline.ActivityID, 0, len(seq.Activities))
+	acts := seq.Activities
+	lo := 0
+	if bound := p.supportBound(dim); !math.IsInf(bound, 1) {
+		from := s - bound
+		lo = sort.Search(len(acts), func(k int) bool { return acts[k].Time >= from })
+	}
+	contribs := scratch.Floats(0)
+	ids := idScratch.Get(0)
 	g := p.Mu[dim]
-	for k := range seq.Activities {
-		a := &seq.Activities[k]
+	for k := lo; k < len(acts); k++ {
+		a := &acts[k]
 		if a.Time >= s {
 			break
 		}
@@ -310,15 +330,19 @@ func (p *Process) sampleParent(r *rng.RNG, seq *timeline.Sequence, dim int, s fl
 		ids = append(ids, a.ID)
 	}
 	fg := p.Link.Apply(g)
-	weights := make([]float64, 1, len(contribs)+1)
-	weights[0] = p.Link.Apply(p.Mu[dim])
+	weights := scratch.Floats(0)
+	weights = append(weights, p.Link.Apply(p.Mu[dim]))
 	for _, c := range contribs {
 		weights = append(weights, fg-p.Link.Apply(g-c))
 	}
+	parent := timeline.NoParent
 	if pick := r.Categorical(weights); pick > 0 {
-		return ids[pick-1]
+		parent = ids[pick-1]
 	}
-	return timeline.NoParent
+	scratch.PutFloats(weights)
+	scratch.PutFloats(contribs)
+	idScratch.Put(ids)
+	return parent
 }
 
 // BranchingRatio estimates the mean number of direct offspring an event

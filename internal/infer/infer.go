@@ -9,6 +9,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"chassis/internal/scratch"
 )
 
 // Objective evaluates the function being maximized at x and writes its
@@ -75,8 +77,14 @@ func MaximizeProjected(x0 []float64, f Objective, opts Options) (Result, error) 
 	}
 	x := append([]float64(nil), x0...)
 	project(x, opts.Lower, opts.Upper)
-	grad := make([]float64, n)
-	trial := make([]float64, n)
+	// grad/trial never escape (Result carries only x), so the M-step's many
+	// per-dimension optimizations share pooled buffers instead of allocating.
+	grad := scratch.Floats(n)
+	trial := scratch.Floats(n)
+	defer func() {
+		scratch.PutFloats(grad)
+		scratch.PutFloats(trial)
+	}()
 	val := f(x, grad)
 	if math.IsNaN(val) {
 		return Result{}, errors.New("infer: objective is NaN at the start point")

@@ -23,6 +23,7 @@ import (
 	"chassis/internal/obs"
 	"chassis/internal/parallel"
 	"chassis/internal/rng"
+	"chassis/internal/scratch"
 	"chassis/internal/timeline"
 )
 
@@ -191,7 +192,8 @@ func Counts(proc *hawkes.Process, history *timeline.Sequence, o Options) (CountF
 		if err != nil && ext == nil {
 			return fmt.Errorf("predict: simulating future %d: %w", d, err)
 		}
-		cnt := make([]float64, proc.M)
+		// Pooled per-draw counters, released after the draw-order reduction.
+		cnt := scratch.Floats(proc.M)
 		for _, a := range ext.Activities[history.Len():] {
 			cnt[a.User]++
 		}
@@ -209,6 +211,7 @@ func Counts(proc *hawkes.Process, history *timeline.Sequence, o Options) (CountF
 		for i, c := range cnt {
 			per[i] += c
 		}
+		scratch.PutFloats(cnt)
 	}
 	out := CountForecast{PerUser: per}
 	for i := range per {

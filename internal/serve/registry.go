@@ -162,6 +162,10 @@ func (r *Registry) Reload(force bool) (reloaded bool, snap *ModelSnapshot, err e
 	if err != nil {
 		return false, prev, fmt.Errorf("serve: loading model %s: %w", r.src.ModelPath, err)
 	}
+	// Process() inherits the persisted FastPath mode: hot requests run the
+	// fast intensity engine (O(n) exponential recursion, kernel cache,
+	// pooled simulation scratch) unless the model was saved with
+	// FastPathOff.
 	proc := model.Process()
 	if err := proc.Validate(); err != nil {
 		return false, prev, fmt.Errorf("serve: loaded model is not simulable: %w", err)
