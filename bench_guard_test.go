@@ -9,11 +9,12 @@
 package chassis_test
 
 import (
-	"encoding/json"
 	"os"
 	"sort"
 	"testing"
 	"time"
+
+	"chassis/internal/benchgate"
 )
 
 // TestEStepNoopObserverGuard re-times the BENCH_estep.json fixture —
@@ -24,13 +25,13 @@ func TestEStepNoopObserverGuard(t *testing.T) {
 	if os.Getenv("CHASSIS_BENCH_GUARD") == "" {
 		t.Skip("set CHASSIS_BENCH_GUARD=1 to compare the no-op observer path against BENCH_estep.json")
 	}
-	blob, err := os.ReadFile("BENCH_estep.json")
-	if err != nil {
-		t.Fatalf("missing baseline (record with CHASSIS_BENCH_ESTEP=1): %v", err)
-	}
 	var report benchReport
-	if err := json.Unmarshal(blob, &report); err != nil {
-		t.Fatalf("corrupt BENCH_estep.json: %v", err)
+	ok, err := benchgate.LoadBaseline("BENCH_estep.json", &report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("missing baseline: record with CHASSIS_BENCH_ESTEP=1")
 	}
 	baseline := 0.0
 	for _, r := range report.Results {
@@ -58,11 +59,9 @@ func TestEStepNoopObserverGuard(t *testing.T) {
 	}
 	sort.Float64s(times)
 	med := times[len(times)/2]
-	limit := baseline * 1.02
-	t.Logf("no-op observer path: median %.3f ms over %d reps (baseline %.3f ms, limit %.3f ms)",
-		med, reps, baseline, limit)
-	if med > limit {
-		t.Fatalf("disabled-observability hot path regressed: median %.3f ms > %.3f ms (baseline %.3f ms + 2%%) — the nil-observer/nil-metrics path must stay free",
-			med, limit, baseline)
+	t.Logf("no-op observer path: median %.3f ms over %d reps (baseline %.3f ms)",
+		med, reps, baseline)
+	if err := benchgate.Gate("disabled-observability hot path", med, baseline, 0.02); err != nil {
+		t.Fatalf("%v — the nil-observer/nil-metrics path must stay free", err)
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"testing"
 	"time"
 
+	"chassis/internal/benchgate"
 	"chassis/internal/hawkes"
 	"chassis/internal/kernel"
 	"chassis/internal/rng"
@@ -187,16 +188,13 @@ func TestHotPathGuard(t *testing.T) {
 	if os.Getenv("CHASSIS_BENCH_GUARD") == "" {
 		t.Skip("set CHASSIS_BENCH_GUARD=1 to compare the fast engine against BENCH_hotpath.json")
 	}
-	blob, err := os.ReadFile("BENCH_hotpath.json")
-	if err != nil {
-		t.Fatalf("missing baseline (record with CHASSIS_BENCH_HOTPATH=1): %v", err)
-	}
 	var report hotpathReport
-	if err := json.Unmarshal(blob, &report); err != nil {
-		t.Fatalf("corrupt BENCH_hotpath.json: %v", err)
+	ok, err := benchgate.LoadBaseline("BENCH_hotpath.json", &report)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if report.FastMS <= 0 {
-		t.Fatal("BENCH_hotpath.json has no fast_ms")
+	if !ok {
+		t.Fatal("missing baseline: record with CHASSIS_BENCH_HOTPATH=1")
 	}
 	fast, slow, seq := hotpathFixture()
 	if got := seq.Len(); got != report.Events {
@@ -204,11 +202,9 @@ func TestHotPathGuard(t *testing.T) {
 	}
 	fast.EventLogIntensities(seq) // warm-up
 	med := bestMS(9, func() { fast.EventLogIntensities(seq) })
-	limit := report.FastMS * 1.02
-	t.Logf("fast engine: best %.3f ms (baseline %.3f ms, limit %.3f ms)", med, report.FastMS, limit)
-	if med > limit {
-		t.Fatalf("fast intensity engine regressed: best %.3f ms > %.3f ms (baseline %.3f ms + 2%%)",
-			med, limit, report.FastMS)
+	t.Logf("fast engine: best %.3f ms (baseline %.3f ms)", med, report.FastMS)
+	if err := benchgate.Gate("fast intensity engine", med, report.FastMS, 0.02); err != nil {
+		t.Fatal(err)
 	}
 	slow.EventLogIntensities(seq)
 	naive := bestMS(3, func() { slow.EventLogIntensities(seq) })

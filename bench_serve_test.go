@@ -1,0 +1,273 @@
+// Serve-layer latency study: the open-loop load harness (internal/loadgen)
+// drives an in-process chassis-serve instance with a deterministic mixed
+// corpus (predict/next, predict/counts, /v1/influence) and records latency
+// quantiles, achieved throughput, and the history-state cache's measured
+// speedup into BENCH_serve.json:
+//
+//	CHASSIS_BENCH_SERVE=1 go test -run TestRecordServeBench -v .
+//
+// The corpus replays repeat queries over a handful of long histories — the
+// incremental-client regime the cache targets: with the cache the
+// per-request O(n·M) history-state rebuild is skipped on every hit, without
+// it every request pays the rebuild. The recorder refuses to write a
+// snapshot unless the cached run is measurably faster and error-free;
+// the cache-correctness suite in internal/serve separately proves the
+// responses bit-identical either way.
+package chassis_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"testing"
+
+	"chassis/internal/benchgate"
+	"chassis/internal/cascade"
+	"chassis/internal/core"
+	"chassis/internal/dataio"
+	"chassis/internal/loadgen"
+	"chassis/internal/serve"
+	"chassis/internal/timeline"
+)
+
+const serveBenchPath = "BENCH_serve.json"
+
+// serveBenchReport is the schema of BENCH_serve.json.
+type serveBenchReport struct {
+	GeneratedBy   string  `json:"generated_by"`
+	GoVersion     string  `json:"go_version"`
+	NumCPU        int     `json:"num_cpu"`
+	Events        int     `json:"events"`
+	Users         int     `json:"users"`
+	Requests      int     `json:"requests"`
+	Histories     int     `json:"histories"`
+	OfferedRPS    float64 `json:"offered_rps"`
+	AchievedRPS   float64 `json:"achieved_rps"`
+	P50MS         float64 `json:"p50_ms"`
+	P95MS         float64 `json:"p95_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	UncachedP50MS float64 `json:"uncached_p50_ms"`
+	CacheSpeedup  float64 `json:"cache_speedup"`
+	Errors        int     `json:"errors"`
+	Backpressure  int     `json:"backpressure"`
+	Note          string  `json:"note"`
+}
+
+// serveBenchFixture generates a dense corpus (larger M than the unit
+// fixtures, so the O(n·M) state rebuild is worth caching), fits an
+// ExpKernel model on it, and returns the cascade with a serve.Source over
+// files in a temp dir.
+func serveBenchFixture(tb testing.TB) (*timeline.Sequence, serve.Source) {
+	tb.Helper()
+	d, err := cascade.Generate(cascade.Config{
+		Name: "serve-bench", M: 60, Horizon: 2400, Seed: 29,
+		Graph: cascade.BarabasiAlbert, GraphDegree: 2, Reciprocity: 0.5,
+		Topics: 2, BaseRateLo: 0.01, BaseRateHi: 0.03,
+		KernelRate: 0.8, TargetBranching: 0.5,
+		ConformityWeight: 0.7, PolarityNoise: 0.15, LikeFraction: 0.2,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m, err := core.Fit(d.Seq, core.Config{
+		Variant: core.VariantLHP, EMIters: 2, MStepIters: 8,
+		IntegrationGrid: 32, Seed: 5, ExpKernel: true,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	dir := tb.(*testing.T).TempDir()
+	src := serve.Source{
+		ModelPath: filepath.Join(dir, "model.json"),
+		DataPath:  filepath.Join(dir, "data.json"),
+	}
+	mf, err := os.Create(src.ModelPath)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := m.Save(mf); err != nil {
+		tb.Fatal(err)
+	}
+	if err := mf.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	if err := dataio.SaveDataset(src.DataPath, d); err != nil {
+		tb.Fatal(err)
+	}
+	return d.Seq, src
+}
+
+func serveBenchCorpus(tb testing.TB, seq *timeline.Sequence) []loadgen.Request {
+	tb.Helper()
+	corpus, err := loadgen.BuildCorpus(seq, loadgen.CorpusConfig{
+		Requests: 120, Histories: 6, MaxHistory: 2400,
+		Draws: 4, Lookahead: 3, Window: 3, Seed: 17,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return corpus
+}
+
+// serveBenchRun boots a server with the given cache setting and offers the
+// corpus reps times, returning every pass. The same server is reused
+// across reps, so the cached variant runs warm after its first pass —
+// exactly the steady state the cache is for.
+func serveBenchRun(t *testing.T, src serve.Source, histCache int, corpus []loadgen.Request, reps int) []*loadgen.Result {
+	t.Helper()
+	s, err := serve.New(serve.Config{
+		Source:       src,
+		HistoryCache: histCache,
+		// One request per batch and a deep queue: this study measures
+		// request latency, not coalescing or backpressure behavior.
+		Batch: serve.BatchConfig{MaxBatch: 1, QueueDepth: 1024},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	var passes []*loadgen.Result
+	for r := 0; r < reps; r++ {
+		// The offered rate is deliberately below the uncached server's
+		// capacity: a saturated server measures queueing depth, not service
+		// time, and queueing quantiles are far too noisy for a 2% gate.
+		res, err := loadgen.Run(context.Background(), ts.URL, corpus, loadgen.RunConfig{
+			RPS: 60, MaxInFlight: 1024, Seed: 31,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Errors > 0 || res.Backpressure > 0 || res.Shed > 0 {
+			t.Fatalf("bench pass not clean: errors=%d backpressure=%d shed=%d",
+				res.Errors, res.Backpressure, res.Shed)
+		}
+		passes = append(passes, res)
+	}
+	return passes
+}
+
+// bestByP50 and medianByP50 are the two estimators the bench uses: the
+// baseline is recorded from the MEDIAN pass (a typical run) while the
+// guard measures the BEST pass (noise only ever adds latency). The 2%
+// gate then compares a fresh minimum against a recorded typical value, so
+// ordinary scheduler jitter lands inside the margin instead of flaking
+// the guard — the same reasoning as bestMS in the hot-path guard, adapted
+// to quantiles that carry HTTP-stack variance.
+func bestByP50(passes []*loadgen.Result) *loadgen.Result {
+	best := passes[0]
+	for _, p := range passes[1:] {
+		if p.P50MS < best.P50MS {
+			best = p
+		}
+	}
+	return best
+}
+
+func medianByP50(passes []*loadgen.Result) *loadgen.Result {
+	sorted := append([]*loadgen.Result(nil), passes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].P50MS < sorted[j].P50MS })
+	return sorted[len(sorted)/2]
+}
+
+// recordServeBench measures both configurations and writes the snapshot;
+// shared by the recorder test and the guard's record-and-pass path.
+func recordServeBench(t *testing.T) serveBenchReport {
+	t.Helper()
+	seq, src := serveBenchFixture(t)
+	corpus := serveBenchCorpus(t, seq)
+
+	uncached := medianByP50(serveBenchRun(t, src, -1, corpus, 5))
+	cached := medianByP50(serveBenchRun(t, src, 0, corpus, 5))
+	speedup := uncached.P50MS / cached.P50MS
+	t.Logf("events=%d cached p50=%.3fms p95=%.3fms p99=%.3fms, uncached p50=%.3fms, speedup %.2fx",
+		seq.Len(), cached.P50MS, cached.P95MS, cached.P99MS, uncached.P50MS, speedup)
+	if speedup <= 1 {
+		t.Fatalf("history-state cache shows no speedup (%.2fx): cached p50 %.3f ms vs uncached %.3f ms",
+			speedup, cached.P50MS, uncached.P50MS)
+	}
+
+	report := serveBenchReport{
+		GeneratedBy:   "CHASSIS_BENCH_SERVE=1 go test -run TestRecordServeBench -v .",
+		GoVersion:     runtime.Version(),
+		NumCPU:        runtime.NumCPU(),
+		Events:        seq.Len(),
+		Users:         seq.M,
+		Requests:      len(corpus),
+		Histories:     6,
+		OfferedRPS:    cached.OfferedRPS,
+		AchievedRPS:   cached.AchievedRPS,
+		P50MS:         cached.P50MS,
+		P95MS:         cached.P95MS,
+		P99MS:         cached.P99MS,
+		UncachedP50MS: uncached.P50MS,
+		CacheSpeedup:  speedup,
+		Errors:        cached.Errors,
+		Backpressure:  cached.Backpressure,
+		Note: "median-of-reps open-loop pass (Poisson arrivals, mixed next/counts/influence corpus, " +
+			"repeat queries over 6 long histories) against an in-process server; the cache_speedup " +
+			"ratio is the machine-independent part of this record, absolute quantiles are not",
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(serveBenchPath, append(blob, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("wrote " + serveBenchPath)
+	return report
+}
+
+// TestRecordServeBench measures the serving stack under the load harness
+// and rewrites BENCH_serve.json. Gated behind CHASSIS_BENCH_SERVE=1 so
+// ordinary test runs never touch the checked-in numbers.
+func TestRecordServeBench(t *testing.T) {
+	if os.Getenv("CHASSIS_BENCH_SERVE") == "" {
+		t.Skip("set CHASSIS_BENCH_SERVE=1 to record " + serveBenchPath)
+	}
+	recordServeBench(t)
+}
+
+// TestServeGuard holds the cached-serving p50 to the checked-in baseline
+// within the repo's standard 2% gate and re-derives the cache speedup,
+// which must stay above 1x on any machine. A missing baseline records one
+// and passes (record-and-pass), so the guard bootstraps itself on a fresh
+// fork instead of failing. Gated behind CHASSIS_BENCH_GUARD=1 with the
+// other wall-clock guards: absolute milliseconds only mean something on
+// hardware comparable to the recording machine.
+func TestServeGuard(t *testing.T) {
+	if os.Getenv("CHASSIS_BENCH_GUARD") == "" {
+		t.Skip("set CHASSIS_BENCH_GUARD=1 to compare serving latency against " + serveBenchPath)
+	}
+	var report serveBenchReport
+	ok, err := benchgate.LoadBaseline(serveBenchPath, &report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Logf("no %s baseline: recording one and passing", serveBenchPath)
+		recordServeBench(t)
+		return
+	}
+
+	seq, src := serveBenchFixture(t)
+	if got := seq.Len(); got != report.Events {
+		t.Fatalf("fixture drifted: %d events, record has %d — re-record the baseline", got, report.Events)
+	}
+	corpus := serveBenchCorpus(t, seq)
+	uncached := bestByP50(serveBenchRun(t, src, -1, corpus, 7))
+	cached := bestByP50(serveBenchRun(t, src, 0, corpus, 7))
+	t.Logf("cached p50 %.3f ms (baseline %.3f ms), uncached p50 %.3f ms, speedup %.2fx",
+		cached.P50MS, report.P50MS, uncached.P50MS, uncached.P50MS/cached.P50MS)
+	if err := benchgate.Gate("serve cached p50", cached.P50MS, report.P50MS, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if ratio := uncached.P50MS / cached.P50MS; ratio <= 1 {
+		t.Fatalf("history-state cache speedup fell to %.2fx, must stay above 1x", ratio)
+	}
+}

@@ -94,6 +94,9 @@ type (
 	NextActivity = predict.NextActivity
 	// CountForecast is a per-user expected-count forecast.
 	CountForecast = predict.CountForecast
+	// InfluenceScores decomposes an observed cascade into per-user
+	// influence credit under the fitted model's parent posterior.
+	InfluenceScores = predict.InfluenceScores
 	// PredictOptions bundles every knob of the prediction entry points
 	// (Predict, Forecast, EvaluatePrediction): simulation horizon/window,
 	// Monte-Carlo draw count, evaluation steps, RNG seed, worker budget,
@@ -293,6 +296,16 @@ func EvaluatePrediction(m *Model, history, test *Sequence, o PredictOptions) (fl
 	return predict.NextUserAccuracy(m.Process(), history, test, o)
 }
 
+// Influence attributes each observed event of the history to the users
+// whose past activity most plausibly triggered it (the model's posterior
+// parent distribution), returning per-user influence scores that sum —
+// together with the immigrant mass — to the event count. Deterministic: no
+// Monte-Carlo draws are involved, and results are bit-identical at every
+// o.Workers setting. Only o.Workers and o.Ctx are read from the options.
+func Influence(m *Model, history *Sequence, o PredictOptions) (InfluenceScores, error) {
+	return predict.Influence(m.Process(), history, o)
+}
+
 // NewServer builds an online prediction server over a fitted model file and
 // its training dataset, loading the initial model eagerly (a broken file
 // fails here, not on the first request). Serve with Server.Run — which
@@ -308,6 +321,11 @@ func EncodeNextJSON(n NextActivity) ([]byte, error) { return predict.EncodeNext(
 // EncodeCountsJSON renders a count forecast as one newline-terminated JSON
 // document in the shared wire schema.
 func EncodeCountsJSON(c CountForecast) ([]byte, error) { return predict.EncodeCounts(c) }
+
+// EncodeInfluenceJSON renders influence scores as one newline-terminated
+// JSON document in the shared wire schema — chassis-predict -influence and
+// the chassis-serve /v1/influence endpoint emit these exact bytes.
+func EncodeInfluenceJSON(s InfluenceScores) ([]byte, error) { return predict.EncodeInfluence(s) }
 
 // PredictNext forecasts the next activity after the history.
 //

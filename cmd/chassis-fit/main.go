@@ -44,6 +44,7 @@ type fitFlags struct {
 	resume        bool
 	repair        bool
 	guard         bool
+	expKernel     bool
 }
 
 func main() {
@@ -61,6 +62,7 @@ func main() {
 	flag.BoolVar(&f.resume, "resume", false, "resume from the checkpoint in -checkpoint-dir (bit-identical to an uninterrupted fit)")
 	flag.BoolVar(&f.repair, "repair", false, "auto-repair dirty input (sort, dedup, neutralize non-finite polarities) instead of rejecting it")
 	flag.BoolVar(&f.guard, "guard", false, "enable numerical guardrails: roll back and retry with a smaller M-step on non-finite parameters, gradient explosions, or likelihood regressions")
+	flag.BoolVar(&f.expKernel, "expkernel", false, "fit with a fixed parametric exponential triggering kernel instead of the nonparametric grid; the saved model then serves the exponential fast path (CHASSIS/HP family)")
 	obsFlags := cliobs.Register(flag.CommandLine)
 	version := cliobs.RegisterVersion(flag.CommandLine)
 	flag.Parse()
@@ -110,7 +112,7 @@ func run(sess *cliobs.Session, f fitFlags) error {
 		EMIters: em, Workers: workers,
 		Observer: sess.Observer, Metrics: sess.Metrics,
 		CheckpointDir: f.ckptDir, CheckpointEvery: f.ckptEvery, Resume: f.resume,
-		Guard: guard.Policy{Enabled: f.guard},
+		Guard: guard.Policy{Enabled: f.guard}, ExpKernel: f.expKernel,
 	})
 	if err != nil {
 		return err

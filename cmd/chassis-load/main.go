@@ -1,0 +1,114 @@
+// chassis-load is an open-loop load harness for chassis-serve: it derives a
+// deterministic request corpus from a chassis-sim dataset, offers it to a
+// running server at a fixed Poisson rate, and reports latency quantiles,
+// achieved throughput, and error/backpressure counts as JSON.
+//
+// Usage:
+//
+//	chassis-sim -dataset SF -out sf.json
+//	chassis-fit -in sf.json -strategy CHASSIS-L -expkernel -savefull model.json
+//	chassis-serve -model model.json -data sf.json &
+//	chassis-load -data sf.json -target http://localhost:8347 -rps 100 -duration 30s
+//
+// Open loop means arrivals never wait for responses: a slow server shows up
+// as high latency and shed load, not a silently reduced offered rate. The
+// corpus is seeded, so two runs against the same server are comparable
+// request for request.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"chassis/internal/cliobs"
+	"chassis/internal/dataio"
+	"chassis/internal/loadgen"
+)
+
+func main() {
+	var (
+		data      = flag.String("data", "", "dataset JSON (chassis-sim output) the corpus is derived from")
+		target    = flag.String("target", "http://localhost:8347", "base URL of the chassis-serve instance")
+		rps       = flag.Float64("rps", 50, "offered request rate (Poisson arrivals)")
+		duration  = flag.Duration("duration", 0, "run length (0 = one pass over the corpus)")
+		requests  = flag.Int("requests", 256, "corpus size (replayed round-robin under -duration)")
+		histories = flag.Int("histories", 16, "distinct history prefixes in the corpus; fewer means more repeat queries")
+		maxHist   = flag.Int("max-history", 512, "max events per request history")
+		draws     = flag.Int("draws", 40, "Monte-Carlo draws per prediction request")
+		inflight  = flag.Int("max-in-flight", 64, "concurrent request bound; arrivals past it are shed, not queued")
+		seed      = flag.Int64("seed", 1, "seed for corpus derivation and arrival times")
+		fracNext  = flag.Float64("frac-next", 0.6, "corpus fraction for /v1/predict/next")
+		fracCnt   = flag.Float64("frac-counts", 0.2, "corpus fraction for /v1/predict/counts")
+		fracInf   = flag.Float64("frac-influence", 0.2, "corpus fraction for /v1/influence")
+		out       = flag.String("out", "", "write the JSON report here instead of stdout")
+		version   = cliobs.RegisterVersion(flag.CommandLine)
+	)
+	flag.Parse()
+	if cliobs.HandleVersion(os.Stdout, "chassis-load", *version) {
+		return
+	}
+	if *data == "" {
+		fmt.Fprintln(os.Stderr, "chassis-load: -data is required")
+		os.Exit(2)
+	}
+
+	ds, err := dataio.LoadDataset(*data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chassis-load:", err)
+		os.Exit(1)
+	}
+	corpus, err := loadgen.BuildCorpus(ds.Seq, loadgen.CorpusConfig{
+		Requests: *requests, Histories: *histories, MaxHistory: *maxHist,
+		NextFraction: *fracNext, CountsFraction: *fracCnt, InfluenceFraction: *fracInf,
+		Draws: *draws, Seed: *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chassis-load:", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "chassis-load: offering %.4g rps to %s (%d corpus requests, %d histories)\n",
+		*rps, *target, len(corpus), *histories)
+
+	res, err := loadgen.Run(ctx, *target, corpus, loadgen.RunConfig{
+		RPS: *rps, MaxInFlight: *inflight, Duration: *duration, Seed: *seed,
+	})
+	if res == nil {
+		fmt.Fprintln(os.Stderr, "chassis-load:", err)
+		os.Exit(1)
+	}
+	if err != nil {
+		// Interrupted mid-run: the partial report is still valid, say so.
+		fmt.Fprintf(os.Stderr, "chassis-load: run ended early (%v); reporting partial results\n", err)
+	}
+
+	enc, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chassis-load:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "chassis-load:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "chassis-load: report -> %s\n", *out)
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if elapsed := res.DurationS; elapsed > 0 {
+		fmt.Fprintf(os.Stderr, "chassis-load: sent=%d ok=%d errors=%d backpressure=%d shed=%d p50=%.2fms p95=%.2fms p99=%.2fms achieved=%.4g rps\n",
+			res.Sent, res.OK, res.Errors, res.Backpressure, res.Shed, res.P50MS, res.P95MS, res.P99MS, res.AchievedRPS)
+	}
+	if res.OK == 0 {
+		os.Exit(1)
+	}
+}

@@ -33,6 +33,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines for the fit and the Monte-Carlo draws (0 = all cores); results are identical at any setting")
 		repair   = flag.Bool("repair", false, "auto-repair dirty input (sort, dedup, neutralize non-finite polarities) instead of rejecting it")
 		jsonOut  = flag.Bool("json", false, "emit the forecasts as JSON lines on stdout (the exact bytes the chassis-serve API returns) instead of the human report")
+		infl     = flag.Bool("influence", false, "score per-user influence over the training history (posterior parent attribution) instead of forecasting")
 		obsFlags = cliobs.Register(flag.CommandLine)
 		version  = cliobs.RegisterVersion(flag.CommandLine)
 	)
@@ -49,7 +50,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chassis-predict:", err)
 		os.Exit(1)
 	}
-	err = run(sess, *in, *variant, *split, *em, *draws, *steps, *seed, *workers, *repair, *jsonOut)
+	err = run(sess, *in, *variant, *split, *em, *draws, *steps, *seed, *workers, *repair, *jsonOut, *infl)
 	sess.Close()
 	os.Exit(cliobs.ExitCode(os.Stderr, "chassis-predict", err))
 }
@@ -66,7 +67,7 @@ func variantByName(name string) (chassis.Variant, error) {
 	return chassis.Variant{}, fmt.Errorf("unknown variant %q", name)
 }
 
-func run(sess *cliobs.Session, in, variant string, split float64, em, draws, steps int, seed int64, workers int, repair, jsonOut bool) error {
+func run(sess *cliobs.Session, in, variant string, split float64, em, draws, steps int, seed int64, workers int, repair, jsonOut, infl bool) error {
 	ds, err := cliobs.LoadDataset(in, repair)
 	if err != nil {
 		return err
@@ -95,6 +96,10 @@ func run(sess *cliobs.Session, in, variant string, split float64, em, draws, ste
 	}, fitOpts...)
 	if err != nil {
 		return err
+	}
+
+	if infl {
+		return runInfluence(sess, m, train, workers, jsonOut)
 	}
 
 	next, err := chassis.Predict(m, train, chassis.PredictOptions{
@@ -173,6 +178,44 @@ func run(sess *cliobs.Session, in, variant string, split float64, em, draws, ste
 		return err
 	}
 	fmt.Printf("\nnext-actor accuracy: %.0f%% over %d sequential predictions\n", acc*100, n)
+	return nil
+}
+
+// runInfluence scores per-user influence over the training history. In
+// -json mode the output is one JSON line through the shared wire schema —
+// byte-identical to what the chassis-serve /v1/influence endpoint returns
+// for the same model and history.
+func runInfluence(sess *cliobs.Session, m *chassis.Model, train *chassis.Sequence, workers int, jsonOut bool) error {
+	scores, err := chassis.Influence(m, train, chassis.PredictOptions{
+		Workers: workers, Ctx: sess.Ctx,
+	})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		blob, err := chassis.EncodeInfluenceJSON(scores)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(blob) //nolint:errcheck
+		return nil
+	}
+	type row struct {
+		user  int
+		score float64
+	}
+	rows := make([]row, len(scores.PerUser))
+	for i, s := range scores.PerUser {
+		rows[i] = row{i, s}
+	}
+	sort.Slice(rows, func(a, b int) bool { return rows[a].score > rows[b].score })
+	fmt.Printf("influence over %d observed events (top 10 users):\n", scores.Events)
+	fmt.Printf("%6s%12s\n", "user", "influence")
+	for _, r := range rows[:min(10, len(rows))] {
+		fmt.Printf("%6d%12.2f\n", r.user, r.score)
+	}
+	fmt.Printf("triggered total: %.1f, immigrant mass: %.1f (of %d events)\n",
+		scores.Total(), scores.Immigrants, scores.Events)
 	return nil
 }
 

@@ -46,6 +46,7 @@ func main() {
 		reqTO   = flag.Duration("request-timeout", 30*time.Second, "per-request prediction deadline (a request's timeout_ms can tighten it)")
 		drainTO = flag.Duration("drain-timeout", 15*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 		pprof   = flag.Bool("pprof", false, "mount /debug/pprof on the serving listener")
+	hcache  = flag.Int("history-cache", 0, "LRU cache entries for per-history fastpath state (0 = default 256, -1 disables); responses are bit-identical either way")
 		version = cliobs.RegisterVersion(flag.CommandLine)
 	)
 	flag.Parse()
@@ -69,6 +70,7 @@ func main() {
 		RequestTimeout: *reqTO,
 		DrainTimeout:   *drainTO,
 		EnablePprof:    *pprof,
+		HistoryCache:   *hcache,
 		Logf:           logger.Printf,
 		OnReady: func(addr string) {
 			logger.Printf("serving on http://%s (%s)", addr, cliobs.Buildinfo())

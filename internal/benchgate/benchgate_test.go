@@ -1,0 +1,68 @@
+package benchgate
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGate(t *testing.T) {
+	if err := Gate("x", 100, 100, 0.02); err != nil {
+		t.Fatalf("measurement equal to baseline should pass: %v", err)
+	}
+	if err := Gate("x", 102, 100, 0.02); err != nil {
+		t.Fatalf("measurement at the limit should pass: %v", err)
+	}
+	err := Gate("fast engine", 102.1, 100, 0.02)
+	if err == nil {
+		t.Fatal("measurement past the limit should fail")
+	}
+	for _, want := range []string{"fast engine", "regressed", "102.100", "baseline 100.000"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("gate error %q does not name %q", err, want)
+		}
+	}
+	if err := Gate("x", 50, 100, 0.02); err != nil {
+		t.Fatalf("improvement should pass: %v", err)
+	}
+	if err := Gate("x", 1, 0, 0.02); err == nil || !strings.Contains(err.Error(), "re-record") {
+		t.Fatalf("non-positive baseline must fail loudly, got %v", err)
+	}
+	if err := Gate("x", 1, 1, -0.1); err == nil {
+		t.Fatal("negative tolerance must fail")
+	}
+}
+
+func TestLoadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	type report struct {
+		FastMS float64 `json:"fast_ms"`
+	}
+
+	var out report
+	ok, err := LoadBaseline(filepath.Join(dir, "absent.json"), &out)
+	if ok || err != nil {
+		t.Fatalf("missing baseline should be (false, nil), got (%v, %v)", ok, err)
+	}
+
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"fast_ms": 12.5}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = LoadBaseline(good, &out)
+	if !ok || err != nil {
+		t.Fatalf("valid baseline should be (true, nil), got (%v, %v)", ok, err)
+	}
+	if out.FastMS != 12.5 {
+		t.Fatalf("baseline not decoded: %+v", out)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"fast_ms": `), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad, &out); err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt baseline must error, got %v", err)
+	}
+}

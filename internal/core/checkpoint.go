@@ -249,6 +249,20 @@ func (m *Model) loadFitState(c *checkpointer) (forest *branching.Forest, iter in
 	if err != nil {
 		return nil, 0, 0, false, err
 	}
+	if m.cfg.ExpKernel {
+		// ExpKernel fits never update their kernels, so the checkpoint's
+		// tabulated form is redundant; rebuild the parametric bank from the
+		// config (the fingerprint check above guarantees it matches the run
+		// that wrote the checkpoint) so a resumed fit still produces a model
+		// eligible for the exponential fast path.
+		ek, kerr := kernel.NewExponential(m.cfg.InitKernelRate)
+		if kerr != nil {
+			return nil, 0, 0, false, kerr
+		}
+		for i := range m.Kernels {
+			m.Kernels[i] = ek
+		}
+	}
 	m.sources = st.Sources
 	m.muLo, m.muHi = st.MuLo, st.MuHi
 	m.estepCalls = st.EStepCalls

@@ -154,6 +154,15 @@ type Config struct {
 	// FixedKernel skips the nonparametric kernel updates (ablation; the
 	// initial exponential kernel is kept).
 	FixedKernel bool
+	// ExpKernel fits with a parametric exponential triggering kernel
+	// (rate InitKernelRate) instead of the nonparametric grid, implying
+	// FixedKernel. The fitted model then carries kernel.Exponential values,
+	// so its Process serves the O(n) exponential fast path — simulation,
+	// prediction, and the serve layer's cached continuation state — which
+	// the tabulated kernels of a nonparametric fit cannot. (omitempty keeps
+	// pre-existing model files byte-stable: false — every file written
+	// before the flag existed — serializes to nothing.)
+	ExpKernel bool `json:"ExpKernel,omitempty"`
 	// KernelDamping blends new kernel estimates with the previous one for
 	// EM stability: new = damping·old + (1−damping)·estimate (default 0.5).
 	KernelDamping float64

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"chassis/internal/kernel"
+)
+
+// ExpKernel fits exist so the serving stack can run the exponential fast
+// path: the whole chain — fit, save, load, Process — must preserve the
+// kernels as kernel.Exponential values, because the fast path's bank check
+// (hawkes.exponentialBank) dispatches on that exact type.
+
+func TestExpKernelFitKeepsParametricBank(t *testing.T) {
+	d := smallDataset(t, 71)
+	cfg := quickCfg(VariantL)
+	cfg.UseObservedTrees = true
+	cfg.ExpKernel = true
+	m, err := Fit(d.Seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rate float64
+	for i, k := range m.Kernels {
+		e, ok := k.(kernel.Exponential)
+		if !ok {
+			t.Fatalf("kernel %d is %T, want kernel.Exponential", i, k)
+		}
+		if i == 0 {
+			rate = e.Rate
+		} else if e.Rate != rate {
+			t.Fatalf("kernel %d rate %g differs from kernel 0's %g", i, e.Rate, rate)
+		}
+	}
+	if rate <= 0 {
+		t.Fatalf("non-positive fitted rate %g", rate)
+	}
+	proc := m.Process()
+	seq := d.Seq.StripParents()
+	if proc.HistoryState(seq) == nil {
+		t.Fatal("fitted ExpKernel process does not qualify for the exponential fast path")
+	}
+}
+
+func TestExpKernelSaveLoadRoundTrip(t *testing.T) {
+	d := smallDataset(t, 72)
+	cfg := quickCfg(VariantL)
+	cfg.UseObservedTrees = true
+	cfg.ExpKernel = true
+	m, err := Fit(d.Seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	if !bytes.Contains(blob, []byte(`"kernel_exp"`)) {
+		t.Fatal("saved ExpKernel model carries no kernel_exp field")
+	}
+	// Old readers still get the tabulated form.
+	if !bytes.Contains(blob, []byte(`"kernel_step"`)) || !bytes.Contains(blob, []byte(`"kernel_values"`)) {
+		t.Fatal("saved model dropped the tabulated kernel form old readers depend on")
+	}
+	back, err := LoadModel(bytes.NewReader(blob), d.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range back.Kernels {
+		e, ok := k.(kernel.Exponential)
+		if !ok {
+			t.Fatalf("restored kernel %d is %T, want kernel.Exponential", i, k)
+		}
+		orig := m.Kernels[i].(kernel.Exponential)
+		if e != orig {
+			t.Fatalf("kernel %d changed across save/load: %+v vs %+v", i, e, orig)
+		}
+	}
+	// The reloaded process must still serve the fast path — the property
+	// chassis-serve's cached continuation state depends on.
+	if back.Process().HistoryState(d.Seq.StripParents()) == nil {
+		t.Fatal("reloaded model lost exponential-fast-path eligibility")
+	}
+	// And the parameters themselves survive exactly.
+	llA, err := m.TrainLogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	llB, err := back.TrainLogLikelihood()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(llA-llB) > 1e-9*math.Abs(llA) {
+		t.Errorf("train LL changed across round trip: %g vs %g", llA, llB)
+	}
+}
+
+// TestNonExpFitOmitsKernelExp: nonparametric fits must not grow the new
+// field, and their models stay Discrete after a round trip.
+func TestNonExpFitOmitsKernelExp(t *testing.T) {
+	d := smallDataset(t, 73)
+	cfg := quickCfg(VariantL)
+	cfg.UseObservedTrees = true
+	m, err := Fit(d.Seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(buf.Bytes(), []byte(`"kernel_exp"`)) {
+		t.Fatal("nonparametric model grew a kernel_exp field")
+	}
+	back, err := LoadModel(&buf, d.Seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range back.Kernels {
+		if _, ok := k.(*kernel.Discrete); !ok {
+			t.Fatalf("restored kernel %d is %T, want *kernel.Discrete", i, k)
+		}
+	}
+}

@@ -72,6 +72,11 @@ func FitContext(ctx context.Context, seq *timeline.Sequence, cfg Config, opts ..
 	if cfg.InitKernelRate <= 0 {
 		cfg.InitKernelRate = 5 / cfg.KernelSupport
 	}
+	if cfg.ExpKernel {
+		// A parametric exponential kernel has no nonparametric update to
+		// apply; the flag subsumes the ablation knob.
+		cfg.FixedKernel = true
+	}
 	link, err := cfg.Variant.Link()
 	if err != nil {
 		return nil, err
@@ -150,19 +155,28 @@ func FitContext(ctx context.Context, seq *timeline.Sequence, cfg Config, opts ..
 		if err != nil {
 			return nil, err
 		}
-		const taps = 24
-		step := cfg.KernelSupport / float64(taps)
-		vals := make([]float64, taps+1)
-		for k := range vals {
-			vals[k] = 0.7*initKer.Eval(float64(k)*step) + 0.3/cfg.KernelSupport
-		}
-		sampled, err := kernel.NewDiscrete(step, vals)
-		if err != nil {
-			return nil, err
-		}
-		sampled.Normalize()
-		for i := range m.Kernels {
-			m.Kernels[i] = sampled
+		if cfg.ExpKernel {
+			// Parametric mode: the exponential itself is the kernel for the
+			// whole fit, kept as a kernel.Exponential value so the fitted
+			// process qualifies for the exponential fast path end to end.
+			for i := range m.Kernels {
+				m.Kernels[i] = initKer
+			}
+		} else {
+			const taps = 24
+			step := cfg.KernelSupport / float64(taps)
+			vals := make([]float64, taps+1)
+			for k := range vals {
+				vals[k] = 0.7*initKer.Eval(float64(k)*step) + 0.3/cfg.KernelSupport
+			}
+			sampled, err := kernel.NewDiscrete(step, vals)
+			if err != nil {
+				return nil, err
+			}
+			sampled.Normalize()
+			for i := range m.Kernels {
+				m.Kernels[i] = sampled
+			}
 		}
 
 		m.sources = cooccurrenceSources(seq, cfg.KernelSupport)

@@ -38,8 +38,47 @@ type modelJSON struct {
 	Parents    []int       `json:"parents"`
 	KernelStep []float64   `json:"kernel_step"`
 	KernelVals [][]float64 `json:"kernel_values"`
-	Iterations int         `json:"iterations"`
-	Config     Config      `json:"config"`
+	// KernelExp carries the exact parametric form when every kernel is
+	// exponential (ExpKernel fits). The tabulated KernelStep/KernelVals are
+	// still written — the format version stays 1 and old readers keep
+	// working — but a reader that understands this field restores
+	// kernel.Exponential values, preserving the fitted process's
+	// eligibility for the exponential fast path across a save/load cycle.
+	KernelExp  []expKernelJSON `json:"kernel_exp,omitempty"`
+	Iterations int             `json:"iterations"`
+	Config     Config          `json:"config"`
+}
+
+// expKernelJSON is the wire form of one kernel.Exponential.
+type expKernelJSON struct {
+	Rate  float64 `json:"rate"`
+	Scale float64 `json:"scale"`
+}
+
+// expKernelParams extracts the parametric form when every kernel in the
+// bank is a kernel.Exponential value; ok is false otherwise.
+func expKernelParams(kernels []kernel.Kernel) (params []expKernelJSON, ok bool) {
+	params = make([]expKernelJSON, len(kernels))
+	for i, k := range kernels {
+		e, isExp := k.(kernel.Exponential)
+		if !isExp {
+			return nil, false
+		}
+		params[i] = expKernelJSON{Rate: e.Rate, Scale: e.Scale}
+	}
+	return params, len(kernels) > 0
+}
+
+// restoreExpKernels is expKernelParams' inverse.
+func restoreExpKernels(params []expKernelJSON) ([]kernel.Kernel, error) {
+	out := make([]kernel.Kernel, len(params))
+	for i, p := range params {
+		if !(p.Rate > 0) || !(p.Scale >= 0) {
+			return nil, fmt.Errorf("core: kernel %d: invalid exponential parameters rate=%g scale=%g", i, p.Rate, p.Scale)
+		}
+		out[i] = kernel.Exponential{Rate: p.Rate, Scale: p.Scale}
+	}
+	return out, nil
 }
 
 // tabulateKernels serializes triggering kernels to (step, values) tables —
@@ -127,6 +166,9 @@ func (m *Model) Save(w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if params, ok := expKernelParams(m.Kernels); ok {
+		out.KernelExp = params
+	}
 	return json.NewEncoder(w).Encode(out)
 }
 
@@ -170,7 +212,14 @@ func LoadModel(r io.Reader, train *timeline.Sequence) (*Model, error) {
 	if m.Alpha == nil {
 		m.Alpha = dense(in.M)
 	}
-	m.Kernels, err = restoreKernels(in.KernelStep, in.KernelVals)
+	if in.KernelExp != nil {
+		if len(in.KernelExp) != in.M {
+			return nil, fmt.Errorf("core: kernel_exp has %d entries, model has %d dimensions", len(in.KernelExp), in.M)
+		}
+		m.Kernels, err = restoreExpKernels(in.KernelExp)
+	} else {
+		m.Kernels, err = restoreKernels(in.KernelStep, in.KernelVals)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -81,6 +81,11 @@ type FitOptions struct {
 	// Guard configures per-iteration numerical health checks with automatic
 	// rollback (CHASSIS family; see guard.Policy).
 	Guard guard.Policy
+	// ExpKernel makes CHASSIS-family fits use a fixed parametric exponential
+	// triggering kernel instead of the nonparametric grid (see
+	// core.Config.ExpKernel); the fitted model then serves the exponential
+	// fast path. The closed-form baselines ignore it.
+	ExpKernel bool
 }
 
 // NewStrategy constructs a strategy by its paper label.
@@ -145,6 +150,7 @@ func (s *chassisStrategy) Fit(ctx context.Context, train *timeline.Sequence, see
 		CheckpointEvery:  s.opts.CheckpointEvery,
 		Resume:           s.opts.Resume,
 		Guard:            s.opts.Guard,
+		ExpKernel:        s.opts.ExpKernel,
 	}, fitOpts...)
 	if err != nil {
 		return err

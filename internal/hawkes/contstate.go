@@ -1,0 +1,200 @@
+package hawkes
+
+import (
+	"math"
+
+	"chassis/internal/rng"
+	"chassis/internal/scratch"
+	"chassis/internal/timeline"
+)
+
+// This file exports the exponential-recursion state of an observed history
+// so prediction-by-forward-simulation can continue from it without
+// replaying the history. fastpath.go's sweeps rebuild the per-receiver
+// state R from scratch on every pass; Continue used to do worse — every
+// thinning candidate of every Monte-Carlo draw re-scanned the history
+// through Intensity. ContState collapses the whole history into M scalars
+// once, after which continuing the process costs O(new events · M)
+// regardless of how long the history was. The state is immutable after
+// construction, so one ContState can back any number of concurrent draws
+// (and be cached across requests — internal/serve keys it by history
+// fingerprint).
+
+// ContState is the exponential-kernel continuation state of a history at
+// its horizon: for each receiving dimension i,
+//
+//	R[i] = Σ_{t_l ≤ T0} αᵢ(t_l) · e^{−βᵢ·(T0 − t_l)}
+//
+// so the pre-link aggregate at any later time t is
+// μᵢ + scaleᵢ·βᵢ·R[i]·e^{−βᵢ·(t−T0)} plus the contributions of events
+// simulated after T0. Valid only for the process (and parameter values) it
+// was built from; Continue re-derives the bank and refuses a state whose
+// shape or kernel parameters no longer match.
+type ContState struct {
+	// T0 is the history horizon the state was evaluated at.
+	T0 float64
+	// N is the history length the state was built from (staleness guard:
+	// a state built from a prefix must not prime a longer history).
+	N int
+	// R is the per-receiver recursion state at T0, in excitation units
+	// (pre scale·rate), matching fastpath.go's convention.
+	R []float64
+	// Rate and Scale are the per-receiver exponential-kernel parameters the
+	// state was built under; Continue cross-checks them against the live
+	// bank so a state cannot silently prime a reparameterized process.
+	Rate, Scale []float64
+}
+
+// HistoryState builds the continuation state of history at its horizon, or
+// nil when the process cannot use one: a non-exponential kernel bank, the
+// fast path disabled, or a history whose events run past its horizon
+// (Continue would double-count them). Building is one O(n·M) lazy-decay
+// sweep — the same cost as a single naive intensity evaluation — and the
+// result is read-only: safe to share across goroutines and reuse for any
+// number of Continue calls over the same history.
+func (p *Process) HistoryState(history *timeline.Sequence) *ContState {
+	if p.NoFastPath || history == nil {
+		return nil
+	}
+	eb, ok := exponentialBank(p.Kernels, p.M)
+	if !ok {
+		return nil
+	}
+	defer eb.release()
+	t0 := history.Horizon
+	st := &ContState{
+		T0:    t0,
+		N:     history.Len(),
+		R:     make([]float64, p.M),
+		Rate:  append([]float64(nil), eb.rate...),
+		Scale: append([]float64(nil), eb.scale...),
+	}
+	last := scratch.Floats(p.M)
+	defer scratch.PutFloats(last)
+	for k := range history.Activities {
+		a := &history.Activities[k]
+		if a.Time > t0 || math.IsNaN(a.Time) {
+			return nil // event beyond the horizon: the state would be wrong
+		}
+		j := int(a.User)
+		for i := 0; i < p.M; i++ {
+			alpha := p.Exc.Alpha(i, j, a.Time)
+			if alpha == 0 {
+				continue
+			}
+			if st.R[i] != 0 && last[i] != a.Time {
+				st.R[i] *= math.Exp(-st.Rate[i] * (a.Time - last[i]))
+			}
+			last[i] = a.Time
+			st.R[i] += alpha
+		}
+	}
+	for i := 0; i < p.M; i++ {
+		if st.R[i] != 0 && last[i] != t0 {
+			st.R[i] *= math.Exp(-st.Rate[i] * (t0 - last[i]))
+		}
+	}
+	return st
+}
+
+// usableState reports whether st can prime a continuation of history under
+// the process's current parameters: same shape, same horizon, and the same
+// per-receiver exponential kernels it was built from. O(M).
+func (p *Process) usableState(st *ContState, history *timeline.Sequence) bool {
+	if st == nil || p.NoFastPath {
+		return false
+	}
+	if st.N != history.Len() || st.T0 != history.Horizon {
+		return false
+	}
+	if len(st.R) != p.M || len(st.Rate) != p.M || len(st.Scale) != p.M {
+		return false
+	}
+	eb, ok := exponentialBank(p.Kernels, p.M)
+	if !ok {
+		return false
+	}
+	defer eb.release()
+	for i := 0; i < p.M; i++ {
+		if st.Rate[i] != eb.rate[i] || st.Scale[i] != eb.scale[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// continueExpFast is Continue's primed path: the history's excitation
+// arrives pre-collapsed in st, so the Ogata loop touches only the state
+// vector and the events it accepts — O(new events · M) instead of
+// re-scanning the history at every thinning candidate. Parent attribution
+// still runs sampleParent over the combined sequence (once per accepted
+// event), keeping its semantics identical to the generic path.
+//
+// The thinning bound per dimension is Link(μᵢ + max(sr·Rᵢ, 0)): between
+// events the pre-link input moves monotonically from its current value
+// toward μᵢ as the exponential terms decay, so the larger endpoint bounds
+// the intensity for any monotone link even when inhibition has driven the
+// aggregate below baseline.
+func (p *Process) continueExpFast(r *rng.RNG, history *timeline.Sequence, to float64, opts SimOptions, st *ContState) (*timeline.Sequence, error) {
+	seq := history.Clone()
+	seq.Horizon = to
+	m := p.M
+	rv := scratch.Floats(m) // working copy: st is shared and immutable
+	lambda := scratch.Floats(m)
+	defer scratch.PutFloats(rv)
+	defer scratch.PutFloats(lambda)
+	copy(rv, st.R)
+
+	t := st.T0
+	for len(seq.Activities) < opts.MaxEvents {
+		var bound float64
+		for i := 0; i < m; i++ {
+			x := st.Scale[i] * st.Rate[i] * rv[i]
+			if x < 0 {
+				x = 0
+			}
+			bound += p.Link.Apply(p.Mu[i] + x)
+		}
+		bound *= opts.BoundMargin
+		if bound <= 0 {
+			break
+		}
+		s := t + r.Exp(bound)
+		if s > to {
+			break
+		}
+		var total float64
+		for i := 0; i < m; i++ {
+			if rv[i] != 0 {
+				rv[i] *= math.Exp(-st.Rate[i] * (s - t))
+			}
+			lambda[i] = p.Link.Apply(p.Mu[i] + st.Scale[i]*st.Rate[i]*rv[i])
+			total += lambda[i]
+		}
+		t = s
+		if r.Float64()*bound > total {
+			continue // thinned
+		}
+		dim := r.Categorical(lambda)
+		if dim < 0 {
+			continue
+		}
+		parent := p.sampleParent(r, seq, dim, s)
+		id := len(seq.Activities)
+		kind := timeline.Post
+		if parent != timeline.NoParent {
+			kind = timeline.Comment
+		}
+		seq.Activities = append(seq.Activities, timeline.Activity{
+			ID: timeline.ActivityID(id), User: timeline.UserID(dim),
+			Time: s, Kind: kind, Parent: parent,
+		})
+		for i := 0; i < m; i++ {
+			rv[i] += p.Exc.Alpha(i, dim, s)
+		}
+	}
+	if len(seq.Activities) >= opts.MaxEvents {
+		return seq, ErrMaxEvents
+	}
+	return seq, nil
+}

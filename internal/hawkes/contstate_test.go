@@ -1,0 +1,231 @@
+package hawkes
+
+import (
+	"math"
+	"testing"
+
+	"chassis/internal/kernel"
+	"chassis/internal/rng"
+	"chassis/internal/timeline"
+)
+
+// contFixture builds an exponential-bank process and a history dense enough
+// that the recursion state carries real mass at the horizon.
+func contFixture(m int, rate float64) (*Process, *timeline.Sequence) {
+	mu := make([]float64, m)
+	for i := range mu {
+		mu[i] = 0.2
+	}
+	p := &Process{
+		M: m, Mu: mu,
+		Exc:     UniformExcitation{Value: 0.3 / float64(m)},
+		Kernels: SharedKernel{K: kernel.Exponential{Rate: rate, Scale: 1}},
+		Link:    LinearLink{},
+	}
+	r := rng.New(41)
+	seq := &timeline.Sequence{M: m, Horizon: 50}
+	t := 0.0
+	for k := 0; k < 400; k++ {
+		t += r.Exp(10)
+		if t >= seq.Horizon {
+			break
+		}
+		seq.Activities = append(seq.Activities, timeline.Activity{
+			ID: timeline.ActivityID(k), User: timeline.UserID(r.Intn(m)),
+			Time: t, Parent: timeline.NoParent,
+		})
+	}
+	return p, seq
+}
+
+// TestHistoryStateMatchesDirectSum checks R against the O(n) definition
+// computed term by term.
+func TestHistoryStateMatchesDirectSum(t *testing.T) {
+	p, seq := contFixture(4, 0.7)
+	st := p.HistoryState(seq)
+	if st == nil {
+		t.Fatal("HistoryState returned nil for an exponential bank")
+	}
+	if st.N != seq.Len() || st.T0 != seq.Horizon {
+		t.Fatalf("state shape: N=%d T0=%g, want %d %g", st.N, st.T0, seq.Len(), seq.Horizon)
+	}
+	for i := 0; i < p.M; i++ {
+		var want float64
+		for _, a := range seq.Activities {
+			want += p.Exc.Alpha(i, int(a.User), a.Time) * math.Exp(-0.7*(seq.Horizon-a.Time))
+		}
+		if math.Abs(st.R[i]-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("R[%d] = %g, want %g", i, st.R[i], want)
+		}
+	}
+}
+
+// TestHistoryStatePrimedIntensityMatchesDirect verifies that the state
+// reproduces the process's own intensity at times after the horizon: the
+// quantity the primed Continue loop actually uses.
+func TestHistoryStatePrimedIntensityMatchesDirect(t *testing.T) {
+	p, seq := contFixture(5, 0.4)
+	st := p.HistoryState(seq)
+	if st == nil {
+		t.Fatal("nil state")
+	}
+	for _, dt := range []float64{1e-9, 0.5, 3, 10} {
+		at := seq.Horizon + dt
+		for i := 0; i < p.M; i++ {
+			primed := p.Link.Apply(p.Mu[i] + st.Scale[i]*st.Rate[i]*st.R[i]*math.Exp(-st.Rate[i]*dt))
+			direct := p.Intensity(seq, i, at)
+			if math.Abs(primed-direct) > 1e-9*math.Max(1, direct) {
+				t.Errorf("dim %d at t=+%g: primed %g vs direct %g", i, dt, primed, direct)
+			}
+		}
+	}
+}
+
+// TestHistoryStateNilCases pins the inputs that must refuse a state.
+func TestHistoryStateNilCases(t *testing.T) {
+	p, seq := contFixture(3, 1.0)
+
+	noFast := *p
+	noFast.NoFastPath = true
+	if noFast.HistoryState(seq) != nil {
+		t.Error("NoFastPath process produced a state")
+	}
+
+	pl, _ := kernel.NewPowerLaw(1, 2.5)
+	nonExp := *p
+	nonExp.Kernels = SharedKernel{K: pl}
+	if nonExp.HistoryState(seq) != nil {
+		t.Error("power-law bank produced a state")
+	}
+
+	past := seq.Clone()
+	past.Horizon = past.Activities[past.Len()-1].Time - 1 // events beyond horizon
+	if p.HistoryState(past) != nil {
+		t.Error("history running past its horizon produced a state")
+	}
+
+	if p.HistoryState(nil) != nil {
+		t.Error("nil history produced a state")
+	}
+}
+
+// TestUsableStateGuards pins the staleness and reparameterization guards:
+// a state must not prime a grown history or a process whose kernels moved.
+func TestUsableStateGuards(t *testing.T) {
+	p, seq := contFixture(3, 1.0)
+	st := p.HistoryState(seq)
+	if !p.usableState(st, seq) {
+		t.Fatal("fresh state rejected")
+	}
+
+	grown := seq.Clone()
+	grown.Activities = append(grown.Activities, timeline.Activity{
+		ID: timeline.ActivityID(grown.Len()), User: 0, Time: grown.Horizon, Parent: timeline.NoParent,
+	})
+	if p.usableState(st, grown) {
+		t.Error("state accepted for a longer history")
+	}
+
+	moved := seq.Clone()
+	moved.Horizon += 5
+	if p.usableState(st, moved) {
+		t.Error("state accepted for a shifted horizon")
+	}
+
+	repar := *p
+	repar.Kernels = SharedKernel{K: kernel.Exponential{Rate: 2.0, Scale: 1}}
+	if repar.usableState(st, seq) {
+		t.Error("state accepted after kernel reparameterization")
+	}
+}
+
+// TestContinuePrimedDistributionMatchesGeneric compares mean continued
+// event counts of the primed loop against the generic Ogata loop over many
+// draws: the two are different exact thinning schemes for the same process,
+// so their distributions must agree even though individual draws differ.
+func TestContinuePrimedDistributionMatchesGeneric(t *testing.T) {
+	p, seq := contFixture(4, 0.5)
+	st := p.HistoryState(seq)
+	if st == nil {
+		t.Fatal("nil state")
+	}
+	const draws = 400
+	const horizon = 20.0
+	mean := func(opts SimOptions) float64 {
+		r := rng.New(99)
+		var total float64
+		for d := 0; d < draws; d++ {
+			ext, err := p.Continue(r.Split(int64(d)), seq, seq.Horizon+horizon, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += float64(ext.Len() - seq.Len())
+		}
+		return total / draws
+	}
+	generic := mean(SimOptions{})
+	primed := mean(SimOptions{State: st})
+	if generic <= 0 {
+		t.Fatalf("generic path produced no events (mean %g)", generic)
+	}
+	rel := math.Abs(primed-generic) / generic
+	if rel > 0.10 {
+		t.Errorf("primed mean %.3f vs generic %.3f: rel diff %.3f > 10%%", primed, generic, rel)
+	}
+}
+
+// TestContinuePrimedDeterministic pins bit-identical continuations for a
+// fixed seed and state — the property the serve cache's bit-identity
+// contract is built on.
+func TestContinuePrimedDeterministic(t *testing.T) {
+	p, seq := contFixture(4, 0.5)
+	st := p.HistoryState(seq)
+	run := func(s *ContState) []timeline.Activity {
+		ext, err := p.Continue(rng.New(7), seq, seq.Horizon+15, SimOptions{State: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ext.Activities[seq.Len():]
+	}
+	a := run(st)
+	b := run(st)
+	c := run(p.HistoryState(seq)) // freshly rebuilt state, same values
+	if len(a) != len(b) || len(a) != len(c) {
+		t.Fatalf("draw lengths diverged: %d %d %d", len(a), len(b), len(c))
+	}
+	for k := range a {
+		if a[k] != b[k] || a[k] != c[k] {
+			t.Fatalf("event %d diverged: %+v %+v %+v", k, a[k], b[k], c[k])
+		}
+	}
+}
+
+// TestContinueMismatchedStateFallsBack proves a stale state degrades to the
+// generic path instead of producing wrong forecasts: the result must equal
+// the no-state run bit for bit (same RNG stream, same loop).
+func TestContinueMismatchedStateFallsBack(t *testing.T) {
+	p, seq := contFixture(3, 0.8)
+	st := p.HistoryState(seq)
+	grown := seq.Clone()
+	grown.Activities = append(grown.Activities, timeline.Activity{
+		ID: timeline.ActivityID(grown.Len()), User: 1, Time: grown.Horizon, Parent: timeline.NoParent,
+	})
+	grown.Horizon += 1
+
+	want, err := p.Continue(rng.New(5), grown, grown.Horizon+10, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Continue(rng.New(5), grown, grown.Horizon+10, SimOptions{State: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("fallback diverged from generic: %d vs %d events", got.Len(), want.Len())
+	}
+	for k := range got.Activities {
+		if got.Activities[k] != want.Activities[k] {
+			t.Fatalf("event %d diverged", k)
+		}
+	}
+}

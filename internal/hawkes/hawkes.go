@@ -237,6 +237,16 @@ func (p *Process) pairDependentSupport() bool {
 	return true
 }
 
+// SupportBound exposes supportBound for callers outside the package that
+// replicate the intensity scan term by term (internal/predict's influence
+// decomposition walks the same candidate set as sampleParent).
+func (p *Process) SupportBound(i int) float64 { return p.supportBound(i) }
+
+// PairDependentSupport exposes pairDependentSupport for the same callers:
+// when false, SupportBound is exact per receiver and a scan may break at it;
+// when true, each pair's own Support() must be re-checked inside the window.
+func (p *Process) PairDependentSupport() bool { return p.pairDependentSupport() }
+
 // Validate checks the process is well-formed.
 func (p *Process) Validate() error {
 	if p.M <= 0 {

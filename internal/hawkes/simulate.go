@@ -26,6 +26,13 @@ type SimOptions struct {
 	// kernels that rise after an event (e.g. Rayleigh). 1.0 is exact for
 	// non-increasing kernels; the default is 1.5.
 	BoundMargin float64
+	// State, honored by Continue only, supplies the history's precomputed
+	// exponential continuation state (Process.HistoryState) so the primed
+	// O(new events · M) loop runs instead of the generic history-rescanning
+	// Ogata loop. It must have been built by the same process over the same
+	// history; Continue falls back to the generic path when the state does
+	// not match. Ignored by Simulate.
+	State *ContState
 }
 
 func (o *SimOptions) fill() error {
@@ -217,10 +224,15 @@ func (p *Process) simulateGeneric(r *rng.RNG, opts SimOptions) (*timeline.Sequen
 }
 
 // Continue extends an observed history by simulating the process forward
-// from the history's horizon until `to` (generic Ogata against the combined
-// stream). The returned sequence holds the history followed by the new
-// events; callers can slice at the history length to get the forecast. Used
-// by prediction-by-forward-simulation.
+// from the history's horizon until `to`. The returned sequence holds the
+// history followed by the new events; callers can slice at the history
+// length to get the forecast. Used by prediction-by-forward-simulation.
+//
+// When opts.State carries the history's continuation state
+// (Process.HistoryState) and it matches the process and history, the primed
+// exponential loop runs — O(new events · M), independent of history length.
+// Otherwise the generic Ogata loop evaluates intensities against the
+// combined stream directly.
 func (p *Process) Continue(r *rng.RNG, history *timeline.Sequence, to float64, opts SimOptions) (*timeline.Sequence, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -235,6 +247,9 @@ func (p *Process) Continue(r *rng.RNG, history *timeline.Sequence, to float64, o
 	opts.Horizon = to
 	if err := opts.fill(); err != nil {
 		return nil, err
+	}
+	if opts.State != nil && p.usableState(opts.State, history) {
+		return p.continueExpFast(r, history, to, opts, opts.State)
 	}
 	seq := history.Clone()
 	seq.Horizon = to

@@ -1,0 +1,420 @@
+// Package loadgen is an open-loop load harness for the chassis-serve HTTP
+// API: it replays a deterministic request corpus against a live server at a
+// configured offered rate and reports latency quantiles, throughput, and
+// error/backpressure counts.
+//
+// Open-loop means arrivals are scheduled by a Poisson process at the target
+// RPS regardless of how fast the server answers — the generator never waits
+// for a response before sending the next request, so server slowdowns show
+// up as latency and shed load instead of silently throttling the offered
+// rate (the coordinated-omission trap closed-loop harnesses fall into).
+// Concurrency is still bounded: requests that would exceed MaxInFlight are
+// counted as shed, not queued, keeping the harness itself from becoming an
+// unbounded buffer in front of the server.
+//
+// The corpus is derived deterministically from a simulated cascade
+// (chassis-sim output): same dataset + same seeds → the same request
+// sequence, byte for byte, so two runs against the same server are directly
+// comparable. cmd/chassis-load wraps this package; bench_serve_test.go uses
+// it to record BENCH_serve.json, which CI guards like the other benches.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"chassis/internal/rng"
+	"chassis/internal/serve"
+	"chassis/internal/timeline"
+)
+
+// Endpoint labels the serve API surface a request targets.
+type Endpoint string
+
+const (
+	EndpointNext      Endpoint = "next"
+	EndpointCounts    Endpoint = "counts"
+	EndpointInfluence Endpoint = "influence"
+)
+
+// path returns the URL path the endpoint posts to.
+func (e Endpoint) path() string {
+	switch e {
+	case EndpointNext:
+		return "/v1/predict/next"
+	case EndpointCounts:
+		return "/v1/predict/counts"
+	case EndpointInfluence:
+		return "/v1/influence"
+	}
+	return ""
+}
+
+// Request is one corpus entry: a pre-marshaled body for one endpoint.
+type Request struct {
+	Endpoint Endpoint
+	Body     []byte
+}
+
+// CorpusConfig controls corpus derivation from a cascade.
+type CorpusConfig struct {
+	// Requests is how many requests to generate (default 256).
+	Requests int
+	// Histories is how many distinct history prefixes to draw the requests
+	// from (default 16). Requests >> Histories produces the repeat-query
+	// traffic the serve layer's history cache is built for; Histories ==
+	// Requests approximates an all-unique stream.
+	Histories int
+	// MaxHistory caps events per request history (default 512; also capped
+	// by the source sequence length).
+	MaxHistory int
+	// NextFraction, CountsFraction, InfluenceFraction split the corpus
+	// across endpoints; they are normalized, and all-zero defaults to
+	// 0.6/0.2/0.2.
+	NextFraction, CountsFraction, InfluenceFraction float64
+	// Draws is the Monte-Carlo draw count per prediction request (default
+	// 40 — small enough that per-request setup cost is visible, the
+	// regime the history cache targets).
+	Draws int
+	// Lookahead/Window are the forecast spans (default 10 each).
+	Lookahead, Window float64
+	// Seed derives every random choice in the corpus (prefix lengths,
+	// endpoint assignment, request seeds).
+	Seed int64
+}
+
+func (c CorpusConfig) withDefaults() CorpusConfig {
+	if c.Requests <= 0 {
+		c.Requests = 256
+	}
+	if c.Histories <= 0 {
+		c.Histories = 16
+	}
+	if c.MaxHistory <= 0 {
+		c.MaxHistory = 512
+	}
+	if c.NextFraction == 0 && c.CountsFraction == 0 && c.InfluenceFraction == 0 {
+		c.NextFraction, c.CountsFraction, c.InfluenceFraction = 0.6, 0.2, 0.2
+	}
+	if c.Draws <= 0 {
+		c.Draws = 40
+	}
+	if c.Lookahead <= 0 {
+		c.Lookahead = 10
+	}
+	if c.Window <= 0 {
+		c.Window = 10
+	}
+	return c
+}
+
+// BuildCorpus derives a deterministic request corpus from a simulated
+// cascade: Histories distinct chronological prefixes of seq, each turned
+// into requests whose endpoint mix follows the configured fractions. The
+// same (seq, cfg) pair always yields the same corpus.
+func BuildCorpus(seq *timeline.Sequence, cfg CorpusConfig) ([]Request, error) {
+	cfg = cfg.withDefaults()
+	if seq == nil || seq.Len() == 0 {
+		return nil, fmt.Errorf("loadgen: corpus needs a non-empty sequence")
+	}
+	r := rng.New(cfg.Seed)
+	maxLen := seq.Len()
+	if maxLen > cfg.MaxHistory {
+		maxLen = cfg.MaxHistory
+	}
+
+	// Distinct prefix lengths: spread over [max/2, max] so every history is
+	// long enough for priming cost to matter.
+	prefixes := make([][]serve.ActivityJSON, cfg.Histories)
+	horizons := make([]float64, cfg.Histories)
+	for h := 0; h < cfg.Histories; h++ {
+		n := maxLen/2 + r.Intn(maxLen/2+1)
+		if n < 1 {
+			n = 1
+		}
+		hist := make([]serve.ActivityJSON, n)
+		for i := 0; i < n; i++ {
+			a := &seq.Activities[i]
+			hist[i] = serve.ActivityJSON{
+				User: int(a.User), Time: a.Time,
+				Kind: a.Kind.String(), Polarity: a.Polarity,
+			}
+		}
+		prefixes[h] = hist
+		// Condition at the last event: incremental clients re-query as the
+		// cascade grows, so the horizon rides the prefix.
+		horizons[h] = seq.Activities[n-1].Time
+	}
+
+	total := cfg.NextFraction + cfg.CountsFraction + cfg.InfluenceFraction
+	pNext := cfg.NextFraction / total
+	pCounts := cfg.CountsFraction / total
+
+	out := make([]Request, 0, cfg.Requests)
+	for i := 0; i < cfg.Requests; i++ {
+		h := r.Intn(cfg.Histories)
+		req := serve.PredictRequest{
+			History: prefixes[h],
+			Horizon: horizons[h],
+			Draws:   cfg.Draws,
+			Seed:    cfg.Seed, // fixed per corpus: repeat queries are true repeats
+		}
+		var ep Endpoint
+		switch u := r.Float64(); {
+		case u < pNext:
+			ep = EndpointNext
+			req.Lookahead = cfg.Lookahead
+		case u < pNext+pCounts:
+			ep = EndpointCounts
+			req.Window = cfg.Window
+		default:
+			ep = EndpointInfluence
+			req.Draws, req.Seed = 0, 0 // influence ignores both; keep bodies minimal
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: marshaling request %d: %w", i, err)
+		}
+		out = append(out, Request{Endpoint: ep, Body: body})
+	}
+	return out, nil
+}
+
+// RunConfig controls the load run.
+type RunConfig struct {
+	// RPS is the offered request rate (default 50).
+	RPS float64
+	// MaxInFlight bounds concurrent requests; arrivals past the bound are
+	// shed and counted, never queued (default 64).
+	MaxInFlight int
+	// Duration caps the run; 0 runs until the corpus is exhausted once.
+	// With a duration set, the corpus is replayed round-robin.
+	Duration time.Duration
+	// Seed drives the Poisson arrival process.
+	Seed int64
+	// Client overrides the HTTP client (default: http.DefaultTransport
+	// with a 30s timeout).
+	Client *http.Client
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.RPS <= 0 {
+		c.RPS = 50
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return c
+}
+
+// EndpointStats aggregates outcomes for one endpoint.
+type EndpointStats struct {
+	Sent         int     `json:"sent"`
+	OK           int     `json:"ok"`
+	Errors       int     `json:"errors"`
+	Backpressure int     `json:"backpressure"`
+	P50MS        float64 `json:"p50_ms"`
+	P95MS        float64 `json:"p95_ms"`
+	P99MS        float64 `json:"p99_ms"`
+}
+
+// Result is a completed load run.
+type Result struct {
+	// OfferedRPS is the configured arrival rate; AchievedRPS counts every
+	// request actually sent (shed arrivals excluded) over the wall-clock
+	// span of the run.
+	OfferedRPS  float64 `json:"offered_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	// DurationS is the wall-clock span from first arrival to last response.
+	DurationS float64 `json:"duration_s"`
+	Sent      int     `json:"sent"`
+	OK        int     `json:"ok"`
+	// Errors counts non-2xx responses other than backpressure, plus
+	// transport failures.
+	Errors int `json:"errors"`
+	// Backpressure counts 429 (queue full) and 503 (draining/not ready)
+	// answers — the server protecting itself, distinct from failures.
+	Backpressure int `json:"backpressure"`
+	// Shed counts arrivals dropped by the harness's own MaxInFlight bound.
+	Shed int `json:"shed"`
+	// P50MS/P95MS/P99MS are nearest-rank latency quantiles over successful
+	// responses, in milliseconds.
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// PerEndpoint breaks the same aggregates down by API surface.
+	PerEndpoint map[string]EndpointStats `json:"per_endpoint"`
+}
+
+// outcome is one request's fate, recorded by a worker.
+type outcome struct {
+	endpoint Endpoint
+	latency  time.Duration
+	status   int // 0: transport error
+	err      bool
+	backoff  bool
+}
+
+// Run replays the corpus against baseURL at cfg.RPS with Poisson arrivals.
+// It returns when the corpus (or cfg.Duration) is exhausted and every
+// in-flight request has completed, or earlier when ctx is cancelled.
+func Run(ctx context.Context, baseURL string, corpus []Request, cfg RunConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if len(corpus) == 0 {
+		return nil, fmt.Errorf("loadgen: empty corpus")
+	}
+	r := rng.New(cfg.Seed)
+
+	var (
+		mu       sync.Mutex
+		outcomes []outcome
+		shed     int
+	)
+	inFlight := make(chan struct{}, cfg.MaxInFlight)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	deadline := time.Time{}
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+
+	// Open loop: the next arrival time is start + cumulative exponential
+	// gaps, anchored to absolute time so response latency never shifts the
+	// schedule.
+	next := start
+	sent := 0
+	for i := 0; ; i++ {
+		if cfg.Duration > 0 {
+			if time.Now().After(deadline) {
+				break
+			}
+			// Round-robin replay under a duration cap.
+		} else if i >= len(corpus) {
+			break
+		}
+		req := corpus[i%len(corpus)]
+		next = next.Add(time.Duration(r.Exp(cfg.RPS) * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				goto done
+			}
+		}
+		select {
+		case <-ctx.Done():
+			goto done
+		default:
+		}
+		select {
+		case inFlight <- struct{}{}:
+		default:
+			// Over the concurrency bound: shed, never queue — the server's
+			// own backpressure stays observable instead of being hidden
+			// behind a harness-side buffer.
+			mu.Lock()
+			shed++
+			mu.Unlock()
+			continue
+		}
+		sent++
+		wg.Add(1)
+		go func(req Request) {
+			defer wg.Done()
+			defer func() { <-inFlight }()
+			o := outcome{endpoint: req.Endpoint}
+			t0 := time.Now()
+			resp, err := cfg.Client.Post(baseURL+req.Endpoint.path(), "application/json", bytes.NewReader(req.Body))
+			o.latency = time.Since(t0)
+			if err != nil {
+				o.err = true
+			} else {
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck // drain for keep-alive
+				resp.Body.Close()
+				o.status = resp.StatusCode
+				switch {
+				case resp.StatusCode == http.StatusTooManyRequests,
+					resp.StatusCode == http.StatusServiceUnavailable:
+					o.backoff = true
+				case resp.StatusCode >= 300:
+					o.err = true
+				}
+			}
+			mu.Lock()
+			outcomes = append(outcomes, o)
+			mu.Unlock()
+		}(req)
+	}
+done:
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		OfferedRPS:  cfg.RPS,
+		DurationS:   elapsed.Seconds(),
+		Sent:        sent,
+		Shed:        shed,
+		PerEndpoint: map[string]EndpointStats{},
+	}
+	if elapsed > 0 {
+		res.AchievedRPS = float64(sent) / elapsed.Seconds()
+	}
+	var okLat []float64
+	perLat := map[Endpoint][]float64{}
+	for _, o := range outcomes {
+		st := res.PerEndpoint[string(o.endpoint)]
+		st.Sent++
+		switch {
+		case o.backoff:
+			res.Backpressure++
+			st.Backpressure++
+		case o.err:
+			res.Errors++
+			st.Errors++
+		default:
+			res.OK++
+			st.OK++
+			ms := o.latency.Seconds() * 1e3
+			okLat = append(okLat, ms)
+			perLat[o.endpoint] = append(perLat[o.endpoint], ms)
+		}
+		res.PerEndpoint[string(o.endpoint)] = st
+	}
+	res.P50MS, res.P95MS, res.P99MS = quantiles(okLat)
+	for ep, lat := range perLat {
+		st := res.PerEndpoint[string(ep)]
+		st.P50MS, st.P95MS, st.P99MS = quantiles(lat)
+		res.PerEndpoint[string(ep)] = st
+	}
+	return res, ctx.Err()
+}
+
+// quantiles returns nearest-rank p50/p95/p99 over ms latencies (zeros for
+// an empty sample).
+func quantiles(ms []float64) (p50, p95, p99 float64) {
+	if len(ms) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]float64(nil), ms...)
+	sort.Float64s(sorted)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	return rank(0.50), rank(0.95), rank(0.99)
+}

@@ -1,0 +1,286 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chassis/internal/serve"
+	"chassis/internal/timeline"
+)
+
+// corpusSeq builds a small valid cascade for corpus derivation.
+func corpusSeq(m, n int) *timeline.Sequence {
+	seq := &timeline.Sequence{M: m}
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += 0.5 + float64(i%3)*0.25
+		seq.Activities = append(seq.Activities, timeline.Activity{
+			ID: timeline.ActivityID(i), User: timeline.UserID(i % m),
+			Time: t, Kind: timeline.Post, Polarity: float64(i%5-2) / 2,
+			Parent: timeline.NoParent,
+		})
+	}
+	seq.Horizon = t
+	return seq
+}
+
+func TestBuildCorpusDeterministic(t *testing.T) {
+	seq := corpusSeq(6, 80)
+	cfg := CorpusConfig{Requests: 50, Histories: 7, Seed: 3}
+	a, err := BuildCorpus(seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildCorpus(seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same (seq, cfg) produced different corpora")
+	}
+	cfg.Seed = 4
+	c, err := BuildCorpus(seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestBuildCorpusRequestShape(t *testing.T) {
+	seq := corpusSeq(6, 80)
+	corpus, err := BuildCorpus(seq, CorpusConfig{Requests: 120, Histories: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != 120 {
+		t.Fatalf("got %d requests, want 120", len(corpus))
+	}
+	counts := map[Endpoint]int{}
+	histories := map[int]bool{}
+	for i, req := range corpus {
+		counts[req.Endpoint]++
+		var pr serve.PredictRequest
+		if err := json.Unmarshal(req.Body, &pr); err != nil {
+			t.Fatalf("request %d: body does not decode as PredictRequest: %v", i, err)
+		}
+		if len(pr.History) == 0 {
+			t.Fatalf("request %d: empty history", i)
+		}
+		histories[len(pr.History)] = true
+		if got, want := pr.Horizon, pr.History[len(pr.History)-1].Time; got != want {
+			t.Fatalf("request %d: horizon %g does not ride the prefix end %g", i, got, want)
+		}
+		switch req.Endpoint {
+		case EndpointNext:
+			if pr.Lookahead <= 0 || pr.Window != 0 {
+				t.Fatalf("request %d: next body has lookahead=%g window=%g", i, pr.Lookahead, pr.Window)
+			}
+		case EndpointCounts:
+			if pr.Window <= 0 || pr.Lookahead != 0 {
+				t.Fatalf("request %d: counts body has lookahead=%g window=%g", i, pr.Lookahead, pr.Window)
+			}
+		case EndpointInfluence:
+			if pr.Draws != 0 || pr.Seed != 0 || pr.Lookahead != 0 || pr.Window != 0 {
+				t.Fatalf("request %d: influence body carries prediction fields: %+v", i, pr)
+			}
+		default:
+			t.Fatalf("request %d: unknown endpoint %q", i, req.Endpoint)
+		}
+	}
+	// Default 0.6/0.2/0.2 mix: every endpoint must be represented, and next
+	// must dominate. Exact counts are seed-dependent; representation is not.
+	for _, ep := range []Endpoint{EndpointNext, EndpointCounts, EndpointInfluence} {
+		if counts[ep] == 0 {
+			t.Fatalf("endpoint %s absent from a 120-request corpus", ep)
+		}
+	}
+	if counts[EndpointNext] <= counts[EndpointCounts] || counts[EndpointNext] <= counts[EndpointInfluence] {
+		t.Fatalf("endpoint mix ignores fractions: %v", counts)
+	}
+	if len(histories) < 2 {
+		t.Fatalf("corpus drew a single history length; want several distinct prefixes")
+	}
+}
+
+func TestBuildCorpusRejectsEmpty(t *testing.T) {
+	if _, err := BuildCorpus(nil, CorpusConfig{}); err == nil {
+		t.Fatal("nil sequence accepted")
+	}
+	if _, err := BuildCorpus(&timeline.Sequence{M: 3}, CorpusConfig{}); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+}
+
+func TestRunReportsOutcomes(t *testing.T) {
+	// A fake server classifying by path: next is fine, counts answers 429
+	// (backpressure), influence answers 500 (error).
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/predict/next":
+			w.Write([]byte("{}\n"))
+		case "/v1/predict/counts":
+			w.WriteHeader(http.StatusTooManyRequests)
+		case "/v1/influence":
+			w.WriteHeader(http.StatusInternalServerError)
+		default:
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer srv.Close()
+
+	corpus, err := BuildCorpus(corpusSeq(4, 40), CorpusConfig{Requests: 60, Histories: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), srv.URL, corpus, RunConfig{RPS: 2000, MaxInFlight: 128, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 60 || res.Shed != 0 {
+		t.Fatalf("sent=%d shed=%d, want all 60 sent", res.Sent, res.Shed)
+	}
+	if res.OK+res.Errors+res.Backpressure != res.Sent {
+		t.Fatalf("outcomes do not partition sent: ok=%d err=%d bp=%d sent=%d",
+			res.OK, res.Errors, res.Backpressure, res.Sent)
+	}
+	if res.OK == 0 || res.Errors == 0 || res.Backpressure == 0 {
+		t.Fatalf("expected all three outcome classes: %+v", res)
+	}
+	next := res.PerEndpoint[string(EndpointNext)]
+	if next.OK != next.Sent || next.Errors != 0 {
+		t.Fatalf("next endpoint misclassified: %+v", next)
+	}
+	if cnt := res.PerEndpoint[string(EndpointCounts)]; cnt.Backpressure != cnt.Sent {
+		t.Fatalf("counts endpoint should be all backpressure: %+v", cnt)
+	}
+	if inf := res.PerEndpoint[string(EndpointInfluence)]; inf.Errors != inf.Sent {
+		t.Fatalf("influence endpoint should be all errors: %+v", inf)
+	}
+	if res.P50MS <= 0 || res.P99MS < res.P95MS || res.P95MS < res.P50MS {
+		t.Fatalf("quantiles not ordered: p50=%g p95=%g p99=%g", res.P50MS, res.P95MS, res.P99MS)
+	}
+	if res.AchievedRPS <= 0 || res.DurationS <= 0 {
+		t.Fatalf("throughput not recorded: %+v", res)
+	}
+}
+
+func TestRunShedsPastMaxInFlight(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			old := peak.Load()
+			if cur <= old || peak.CompareAndSwap(old, cur) {
+				break
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+		w.Write([]byte("{}\n"))
+	}))
+	defer srv.Close()
+
+	corpus, err := BuildCorpus(corpusSeq(4, 40), CorpusConfig{Requests: 80, Histories: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2000 rps offered against 20ms service time and 2 slots: most arrivals
+	// must be shed, and the bound must hold exactly.
+	res, err := Run(context.Background(), srv.URL, corpus, RunConfig{RPS: 2000, MaxInFlight: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed == 0 {
+		t.Fatalf("over-cap arrivals were not shed: %+v", res)
+	}
+	if res.Sent+res.Shed != 80 {
+		t.Fatalf("sent=%d shed=%d do not account for 80 arrivals", res.Sent, res.Shed)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("server saw %d concurrent requests, bound was 2", p)
+	}
+	if res.OK != res.Sent {
+		t.Fatalf("all sent requests should succeed: %+v", res)
+	}
+}
+
+func TestRunDurationReplaysCorpus(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte("{}\n"))
+	}))
+	defer srv.Close()
+
+	corpus, err := BuildCorpus(corpusSeq(4, 40), CorpusConfig{Requests: 3, Histories: 2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(context.Background(), srv.URL, corpus, RunConfig{
+		RPS: 500, MaxInFlight: 32, Seed: 9, Duration: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent <= len(corpus) {
+		t.Fatalf("duration run sent %d requests; want round-robin replay past the %d-entry corpus", res.Sent, len(corpus))
+	}
+	if got := hits.Load(); got != int64(res.Sent) {
+		t.Fatalf("server saw %d requests, harness claims %d", got, res.Sent)
+	}
+}
+
+func TestRunCancelStopsEarly(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("{}\n"))
+	}))
+	defer srv.Close()
+
+	corpus, err := BuildCorpus(corpusSeq(4, 40), CorpusConfig{Requests: 1000, Histories: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := Run(ctx, srv.URL, corpus, RunConfig{RPS: 20, MaxInFlight: 8, Seed: 3})
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned nil result; partial report expected")
+	}
+	// 1000 requests at 20 rps would take ~50s; cancellation must cut that off.
+	if time.Since(start) > 5*time.Second {
+		t.Fatalf("cancellation did not stop the run promptly (%v)", time.Since(start))
+	}
+	if res.Sent >= 1000 {
+		t.Fatalf("cancelled run claims full corpus sent: %+v", res)
+	}
+}
+
+func TestQuantilesNearestRank(t *testing.T) {
+	p50, p95, p99 := quantiles([]float64{5, 1, 4, 2, 3})
+	if p50 != 3 || p95 != 5 || p99 != 5 {
+		t.Fatalf("got p50=%g p95=%g p99=%g, want 3/5/5", p50, p95, p99)
+	}
+	ms := make([]float64, 100)
+	for i := range ms {
+		ms[i] = float64(100 - i) // 100..1, unsorted
+	}
+	p50, p95, p99 = quantiles(ms)
+	if p50 != 50 || p95 != 95 || p99 != 99 {
+		t.Fatalf("got p50=%g p95=%g p99=%g, want 50/95/99", p50, p95, p99)
+	}
+	if a, b, c := quantiles(nil); a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}

@@ -1,0 +1,117 @@
+package predict
+
+import (
+	"testing"
+
+	"chassis/internal/hawkes"
+	"chassis/internal/timeline"
+)
+
+// The serve layer's history cache hands a precomputed hawkes.ContState to
+// Next/Counts via Options.HistState. Its correctness contract is absolute:
+// a supplied state changes no bytes of any forecast relative to letting the
+// call build (or skip) the state itself. These tests pin that bit-identity
+// for a bank that has a state (exponential) and one that does not
+// (power-law — HistoryState returns nil, and a supplied nil must behave
+// identically to the uncached path).
+
+func histStateFixtures(t *testing.T) (map[string]*hawkes.Process, *timeline.Sequence) {
+	t.Helper()
+	const m = 5
+	procs := influenceProcs(t, m)
+	seq := influenceSeq(m, 30, 23)
+	if seq.Len() < 100 {
+		t.Fatalf("fixture too sparse: %d events", seq.Len())
+	}
+	return procs, seq
+}
+
+func sameNext(a, b NextActivity) bool { return a == b }
+
+func sameCounts(a, b CountForecast) bool {
+	if a.Total != b.Total || len(a.PerUser) != len(b.PerUser) {
+		return false
+	}
+	for i := range a.PerUser {
+		if a.PerUser[i] != b.PerUser[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHistStateBitIdenticalForecasts(t *testing.T) {
+	procs, seq := histStateFixtures(t)
+	for name, p := range procs {
+		t.Run(name, func(t *testing.T) {
+			st := p.HistoryState(seq)
+			if name == "powerlaw-linear" && st != nil {
+				t.Fatal("power-law bank unexpectedly produced a state")
+			}
+
+			base := Options{Lookahead: 8, Window: 8, Draws: 40, Seed: 11, Workers: 3}
+			cached := base
+			cached.HistState = st
+
+			wantN, err := Next(p, seq, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotN, err := Next(p, seq, cached)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameNext(gotN, wantN) {
+				t.Errorf("Next diverged with supplied state:\n got %+v\nwant %+v", gotN, wantN)
+			}
+
+			wantC, err := Counts(p, seq, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotC, err := Counts(p, seq, cached)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameCounts(gotC, wantC) {
+				t.Errorf("Counts diverged with supplied state:\n got %+v\nwant %+v", gotC, wantC)
+			}
+		})
+	}
+}
+
+// TestHistStateStaleIsIgnored: a state built from a shorter history must be
+// rejected at the simulation layer, so every draw degrades to the generic
+// Ogata loop. The reference is therefore a run that is forced generic (a
+// NoFastPath copy builds no state), not the uncached primed run — fallback
+// must match it bit for bit: same RNG streams, same loop.
+func TestHistStateStaleIsIgnored(t *testing.T) {
+	procs, seq := histStateFixtures(t)
+	p := procs["exp-linear"]
+	stale := p.HistoryState(seq)
+	if stale == nil {
+		t.Fatal("nil state for exponential bank")
+	}
+
+	grown := seq.Clone()
+	grown.Activities = append(grown.Activities, timeline.Activity{
+		ID: timeline.ActivityID(grown.Len()), User: 0, Time: grown.Horizon, Parent: timeline.NoParent,
+	})
+
+	generic := *p
+	generic.NoFastPath = true // HistoryState → nil, draws take the generic loop
+	base := Options{Lookahead: 6, Draws: 30, Seed: 5}
+	want, err := Next(&generic, grown, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withStale := base
+	withStale.HistState = stale
+	got, err := Next(p, grown, withStale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameNext(got, want) {
+		t.Errorf("stale-state fallback diverged from the generic path:\n got %+v\nwant %+v", got, want)
+	}
+}

@@ -1,0 +1,154 @@
+package predict
+
+import (
+	"math"
+
+	"chassis/internal/hawkes"
+	"chassis/internal/parallel"
+	"chassis/internal/timeline"
+)
+
+// InfluenceScores is the participant-level influence decomposition of a
+// cascade: for every user, the expected number of observed events that user
+// directly triggered, computed from the posterior parent distribution of
+// each event under the fitted model. Immigrant mass (events the baseline
+// rates explain) is accounted separately, so
+//
+//	Σ_j PerUser[j] + Immigrants == Events
+//
+// holds exactly up to floating-point rounding — every event distributes one
+// unit of parentage mass.
+type InfluenceScores struct {
+	// PerUser[j] is user j's influence: the expected count of events whose
+	// posterior parent is one of j's events. Non-negative.
+	PerUser []float64
+	// Immigrants is the total posterior mass assigned to "no parent".
+	Immigrants float64
+	// Events is how many events were decomposed.
+	Events int
+}
+
+// Total returns the summed per-user influence (the triggered share of the
+// cascade), in user order for reproducible rounding.
+func (s InfluenceScores) Total() float64 {
+	var t float64
+	for _, v := range s.PerUser {
+		t += v
+	}
+	return t
+}
+
+// influenceChunkSize shards the per-event posterior pass. Fixed width, like
+// the E-step and intensity chunking: boundaries depend only on the event
+// count, so scores are bit-identical at every worker count. (A variable
+// only so tests can shrink it to exercise chunk seams.)
+var influenceChunkSize = 512
+
+// Influence computes participant-level influence scores over the observed
+// sequence. For each event, the posterior parent distribution uses the same
+// Papangelou intensity-drop weights the simulator's parent attribution and
+// the EM E-step use: candidate weight F(g) − F(g − c_e) with
+// c_e = αᵢⱼ(t_e)·φᵢⱼ(t−t_e) over events inside the receiver's kernel
+// support, and immigrant weight F(μᵢ); under the linear link this is the
+// exact cluster decomposition. Each event's distribution is then folded
+// into its candidates' users. An event whose weights all vanish (a model
+// that assigns it zero rate) counts as an immigrant, matching the
+// simulator's Categorical fallback.
+//
+// Only o.Workers and o.Ctx are read; the computation is a pure expectation
+// — no Monte-Carlo, no RNG — and deterministic at every worker count
+// (per-chunk partial sums reduced in chunk order).
+func Influence(proc *hawkes.Process, seq *timeline.Sequence, o Options) (InfluenceScores, error) {
+	if err := validateHistory(proc, seq); err != nil {
+		return InfluenceScores{}, err
+	}
+	n := seq.Len()
+	out := InfluenceScores{PerUser: make([]float64, proc.M), Events: n}
+	if n == 0 {
+		return out, nil
+	}
+	acts := seq.Activities
+	nChunks := (n + influenceChunkSize - 1) / influenceChunkSize
+	partials := make([][]float64, nChunks) // per-chunk user accumulators
+	immParts := make([]float64, nChunks)
+	perPair := proc.PairDependentSupport()
+	err := parallel.ForEachChunkContext(o.Ctx, o.Workers, n, influenceChunkSize, func(c parallel.Range) error {
+		acc := make([]float64, proc.M)
+		var imm float64
+		weights := make([]float64, 0, 64)
+		users := make([]timeline.UserID, 0, 64)
+		for k := c.Lo; k < c.Hi; k++ {
+			ak := &acts[k]
+			i := int(ak.User)
+			t := ak.Time
+			bound := proc.SupportBound(i)
+			// Candidate scan: newest→oldest inside the receiver's kernel
+			// support, strict t_e < t — the exact term set ExcitationInput
+			// and sampleParent walk.
+			g := proc.Mu[i]
+			weights = weights[:0]
+			users = users[:0]
+			for w := k - 1; w >= 0; w-- {
+				aw := &acts[w]
+				if aw.Time >= t {
+					continue // simultaneous events never trigger each other
+				}
+				dt := t - aw.Time
+				if dt > bound {
+					break
+				}
+				j := int(aw.User)
+				ker := proc.Kernels.Kernel(i, j)
+				if perPair && dt > ker.Support() {
+					continue
+				}
+				v := ker.Eval(dt)
+				if v == 0 {
+					continue // zero contribution: zero posterior weight
+				}
+				c := proc.Exc.Alpha(i, j, aw.Time) * v
+				g += c
+				weights = append(weights, c)
+				users = append(users, aw.User)
+			}
+			fg := proc.Link.Apply(g)
+			immW := proc.Link.Apply(proc.Mu[i])
+			var total float64
+			if immW > 0 {
+				total = immW
+			}
+			for e, c := range weights {
+				w := fg - proc.Link.Apply(g-c)
+				weights[e] = w
+				if w > 0 {
+					total += w
+				}
+			}
+			if total <= 0 || math.IsNaN(total) {
+				imm++ // zero-rate event: the simulator labels it immigrant
+				continue
+			}
+			if immW > 0 {
+				imm += immW / total
+			}
+			for e, w := range weights {
+				if w > 0 {
+					acc[users[e]] += w / total
+				}
+			}
+		}
+		partials[c.Lo/influenceChunkSize] = acc
+		immParts[c.Lo/influenceChunkSize] = imm
+		return nil
+	})
+	if err != nil {
+		return InfluenceScores{}, err
+	}
+	for ci, acc := range partials { // chunk order: reproducible rounding
+		for j, v := range acc {
+			out.PerUser[j] += v
+		}
+		out.Immigrants += immParts[ci]
+	}
+	return out, nil
+}

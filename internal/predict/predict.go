@@ -58,6 +58,25 @@ type Options struct {
 	// did, so wrappers built on this field reproduce historical outputs
 	// bit for bit.
 	RNG *rng.RNG
+	// HistState, when non-nil, supplies the history's precomputed
+	// exponential continuation state (hawkes.Process.HistoryState) so the
+	// Monte-Carlo draws skip rebuilding it. When nil, Next and Counts
+	// compute the state themselves once per call — so a supplied state
+	// changes no bytes of any forecast, only the per-request setup cost
+	// (the property the serve layer's history cache is pinned against). The
+	// state must come from the same process over the same history; a
+	// mismatched state is ignored at the simulation layer.
+	HistState *hawkes.ContState
+}
+
+// histState returns the continuation state the draws should simulate from:
+// the caller-supplied one, or one built fresh — exactly once per prediction
+// call, shared read-only by every draw.
+func (o *Options) histState(proc *hawkes.Process, history *timeline.Sequence) *hawkes.ContState {
+	if o.HistState != nil {
+		return o.HistState
+	}
+	return proc.HistoryState(history)
 }
 
 func (o *Options) rng() *rng.RNG {
@@ -110,9 +129,10 @@ func Next(proc *hawkes.Process, history *timeline.Sequence, o Options) (NextActi
 		hit  bool
 	}
 	firsts := make([]firstEvent, draws)
+	st := o.histState(proc, history)
 	var doneDraws atomic.Int64
 	err := parallel.DoContext(o.Ctx, o.Workers, draws, func(d int) error {
-		ext, err := proc.Continue(r.Split(int64(d)), history, history.Horizon+o.Lookahead, hawkes.SimOptions{})
+		ext, err := proc.Continue(r.Split(int64(d)), history, history.Horizon+o.Lookahead, hawkes.SimOptions{State: st})
 		if err != nil && ext == nil {
 			return fmt.Errorf("predict: simulating future %d: %w", d, err)
 		}
@@ -186,9 +206,10 @@ func Counts(proc *hawkes.Process, history *timeline.Sequence, o Options) (CountF
 	}
 	r := o.rng()
 	perDraw := make([][]float64, draws)
+	st := o.histState(proc, history)
 	var doneDraws atomic.Int64
 	err := parallel.DoContext(o.Ctx, o.Workers, draws, func(d int) error {
-		ext, err := proc.Continue(r.Split(int64(d)), history, history.Horizon+o.Window, hawkes.SimOptions{})
+		ext, err := proc.Continue(r.Split(int64(d)), history, history.Horizon+o.Window, hawkes.SimOptions{State: st})
 		if err != nil && ext == nil {
 			return fmt.Errorf("predict: simulating future %d: %w", d, err)
 		}
@@ -251,6 +272,7 @@ func NextUserAccuracy(proc *hawkes.Process, history, test *timeline.Sequence, o 
 		stepOpts := o
 		stepOpts.Lookahead = lookahead
 		stepOpts.RNG = r.Split(int64(s))
+		stepOpts.HistState = nil // the walk grows the history every step
 		pred, err := Next(proc, cur, stepOpts)
 		if err != nil {
 			return 0, 0, err

@@ -32,6 +32,18 @@ type CountForecastJSON struct {
 	Total float64 `json:"total"`
 }
 
+// InfluenceJSON is the wire form of an InfluenceScores decomposition.
+type InfluenceJSON struct {
+	// PerUser[j] is user j's influence score (expected triggered events).
+	PerUser []float64 `json:"per_user"`
+	// Total is the summed per-user influence.
+	Total float64 `json:"total"`
+	// Immigrants is the posterior mass assigned to "no parent".
+	Immigrants float64 `json:"immigrants"`
+	// Events is how many events were decomposed.
+	Events int `json:"events"`
+}
+
 // NextJSON converts a forecast to its wire form.
 func NextJSON(n NextActivity) NextActivityJSON {
 	return NextActivityJSON{
@@ -61,6 +73,21 @@ func EncodeNext(n NextActivity) ([]byte, error) {
 // document — the exact bytes both the CLI and the serve API emit.
 func EncodeCounts(c CountForecast) ([]byte, error) {
 	return encodeLine(CountsJSON(c))
+}
+
+// InfluenceScoresJSON converts influence scores to their wire form.
+func InfluenceScoresJSON(s InfluenceScores) InfluenceJSON {
+	per := s.PerUser
+	if per == nil {
+		per = []float64{}
+	}
+	return InfluenceJSON{PerUser: per, Total: s.Total(), Immigrants: s.Immigrants, Events: s.Events}
+}
+
+// EncodeInfluence renders influence scores as one newline-terminated JSON
+// document — the exact bytes both the CLI and the serve API emit.
+func EncodeInfluence(s InfluenceScores) ([]byte, error) {
+	return encodeLine(InfluenceScoresJSON(s))
 }
 
 func encodeLine(v any) ([]byte, error) {

@@ -58,6 +58,29 @@ func TestEncodeCountsNilPerUser(t *testing.T) {
 	}
 }
 
+func TestEncodeInfluenceGolden(t *testing.T) {
+	s := InfluenceScores{PerUser: []float64{2.5, 0, 0.125}, Immigrants: 1.375, Events: 4}
+	got, err := EncodeInfluence(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"per_user":[2.5,0,0.125],"total":2.625,"immigrants":1.375,"events":4}` + "\n"
+	if string(got) != want {
+		t.Fatalf("EncodeInfluence drifted:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestEncodeInfluenceNilPerUser(t *testing.T) {
+	got, err := EncodeInfluence(InfluenceScores{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"per_user":[],"total":0,"immigrants":0,"events":0}` + "\n"
+	if string(got) != want {
+		t.Fatalf("EncodeInfluence(zero) drifted:\n got %q\nwant %q", got, want)
+	}
+}
+
 func TestEncodeDeterministic(t *testing.T) {
 	n := NextActivity{User: 7, ExpectedTime: 1.0 / 3.0, Probability: 2.0 / 7.0, Draws: 123}
 	a, err := EncodeNext(n)

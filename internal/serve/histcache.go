@@ -1,0 +1,170 @@
+package serve
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sync"
+
+	"chassis/internal/hawkes"
+	"chassis/internal/obs"
+	"chassis/internal/timeline"
+)
+
+// The history-state cache memoizes the exponential continuation state
+// (hawkes.ContState) of request histories, keyed by a fingerprint of the
+// exact history bytes the forecast conditions on. Repeat and incremental
+// clients — dashboards refreshing a cascade, pollers re-asking with the
+// same prefix — skip the O(history · M) state rebuild on every hit; the
+// simulation itself is untouched, so cached and uncached responses are
+// bit-identical (predict.Options.HistState's contract, pinned by tests at
+// both the predict and serve layers).
+//
+// Entries are model-version scoped: a hot-reload bumps the registry
+// version, and the first lookup under the new version purges everything —
+// a state computed under old parameters must never prime the new model.
+// (The hawkes layer would reject a mismatched state anyway; the purge keeps
+// the cache from serving dead weight.)
+
+// defaultHistCacheSize is the entry cap when Config.HistoryCache is 0.
+const defaultHistCacheSize = 256
+
+// historyFingerprint hashes everything about a validated history that can
+// influence a forecast: dimension count, horizon, and each event's user,
+// time, kind, and polarity. Two requests with equal fingerprints condition
+// on identical sequences.
+func historyFingerprint(seq *timeline.Sequence) string {
+	h := sha256.New()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	word(uint64(seq.M))
+	word(math.Float64bits(seq.Horizon)) // raw bits: exactness over cleverness
+	word(uint64(len(seq.Activities)))
+	for i := range seq.Activities {
+		a := &seq.Activities[i]
+		word(uint64(a.User))
+		word(math.Float64bits(a.Time))
+		word(uint64(a.Kind))
+		word(math.Float64bits(a.Polarity))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// histCache is a mutex-guarded LRU of history fingerprints → continuation
+// states. States are immutable after construction (hawkes.HistoryState's
+// contract), so a cached pointer is shared read-only by every request that
+// hits it.
+type histCache struct {
+	mu      sync.Mutex
+	cap     int
+	version int64 // model version the entries were computed under
+	byKey   map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	hits, misses, evictions, purges *obs.Counter
+	entries                         *obs.Gauge
+}
+
+type histEntry struct {
+	key   string
+	state *hawkes.ContState
+}
+
+// newHistCache builds a cache holding up to capacity states. capacity 0
+// selects the default; negative capacity disables caching (returns nil,
+// and all call sites treat a nil cache as a no-op).
+func newHistCache(capacity int, m *obs.Metrics) *histCache {
+	if capacity < 0 {
+		return nil
+	}
+	if capacity == 0 {
+		capacity = defaultHistCacheSize
+	}
+	return &histCache{
+		cap:       capacity,
+		byKey:     map[string]*list.Element{},
+		order:     list.New(),
+		hits:      m.Counter("serve.histcache.hits"),
+		misses:    m.Counter("serve.histcache.misses"),
+		evictions: m.Counter("serve.histcache.evictions"),
+		purges:    m.Counter("serve.histcache.purges"),
+		entries:   m.Gauge("serve.histcache.entries"),
+	}
+}
+
+// get returns the state cached for key under the given model version, or
+// nil on a miss. A version change purges every entry first.
+func (c *histCache) get(version int64, key string) *hawkes.ContState {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.purgeIfStaleLocked(version)
+	el, ok := c.byKey[key]
+	if !ok {
+		c.misses.Inc()
+		return nil
+	}
+	c.order.MoveToFront(el)
+	c.hits.Inc()
+	return el.Value.(*histEntry).state
+}
+
+// put inserts (or refreshes) the state for key under the given model
+// version, evicting the least recently used entry past the cap. Storing a
+// nil state is a no-op: only exponential-bank models have states, and a
+// nil would poison every future hit for that key.
+func (c *histCache) put(version int64, key string, state *hawkes.ContState) {
+	if c == nil || state == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.purgeIfStaleLocked(version)
+	if el, ok := c.byKey[key]; ok {
+		// Concurrent misses on the same key race to insert; both computed
+		// the same immutable value, so last-write-wins is benign.
+		el.Value.(*histEntry).state = state
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&histEntry{key: key, state: state})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*histEntry).key)
+		c.evictions.Inc()
+	}
+	c.entries.Set(float64(c.order.Len()))
+}
+
+// purgeIfStaleLocked drops every entry when the model version moved: states
+// encode the old parameters and must not survive a reload.
+func (c *histCache) purgeIfStaleLocked(version int64) {
+	if c.version == version {
+		return
+	}
+	if c.order.Len() > 0 {
+		c.purges.Inc()
+	}
+	c.version = version
+	c.byKey = map[string]*list.Element{}
+	c.order.Init()
+	c.entries.Set(0)
+}
+
+// len reports the current entry count (tests).
+func (c *histCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

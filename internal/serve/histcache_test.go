@@ -1,0 +1,431 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chassis/internal/hawkes"
+	"chassis/internal/obs"
+	"chassis/internal/predict"
+	"chassis/internal/timeline"
+)
+
+// --- unit tests over the cache itself ---
+
+func testState(n int) *hawkes.ContState {
+	return &hawkes.ContState{N: n, R: []float64{1}, Rate: []float64{1}, Scale: []float64{1}}
+}
+
+func TestHistCacheLRUEviction(t *testing.T) {
+	c := newHistCache(2, obs.NewMetrics())
+	c.put(1, "a", testState(1))
+	c.put(1, "b", testState(2))
+	if got := c.get(1, "a"); got == nil || got.N != 1 {
+		t.Fatal("a missing before eviction")
+	}
+	// a was just used, so inserting c evicts b (the least recently used).
+	c.put(1, "c", testState(3))
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+	if c.get(1, "b") != nil {
+		t.Error("b survived eviction")
+	}
+	if c.get(1, "a") == nil || c.get(1, "c") == nil {
+		t.Error("a or c evicted out of LRU order")
+	}
+}
+
+func TestHistCacheVersionPurge(t *testing.T) {
+	c := newHistCache(8, obs.NewMetrics())
+	c.put(1, "a", testState(1))
+	c.put(1, "b", testState(2))
+	if c.get(2, "a") != nil {
+		t.Error("entry from version 1 served under version 2")
+	}
+	if c.len() != 0 {
+		t.Errorf("purge left %d entries", c.len())
+	}
+	// And put under a stale version purges too (reload landed between the
+	// handler's get and put).
+	c.put(2, "x", testState(3))
+	c.put(3, "y", testState(4))
+	if c.get(3, "x") != nil {
+		t.Error("stale-version entry survived")
+	}
+	if c.get(3, "y") == nil {
+		t.Error("current-version entry lost")
+	}
+}
+
+func TestHistCacheNilSafety(t *testing.T) {
+	var c *histCache // disabled cache: every call is a no-op
+	if c.get(1, "a") != nil {
+		t.Error("nil cache returned a state")
+	}
+	c.put(1, "a", testState(1))
+	if c.len() != 0 {
+		t.Error("nil cache stored an entry")
+	}
+	real := newHistCache(4, obs.NewMetrics())
+	real.put(1, "a", nil) // nil states (non-exp models) are never stored
+	if real.len() != 0 {
+		t.Error("nil state was cached")
+	}
+	if newHistCache(-1, obs.NewMetrics()) != nil {
+		t.Error("negative capacity did not disable the cache")
+	}
+}
+
+func TestHistoryFingerprintDistinguishesSequences(t *testing.T) {
+	base := func() *timeline.Sequence {
+		return &timeline.Sequence{M: 4, Horizon: 10, Activities: []timeline.Activity{
+			{ID: 0, User: 1, Time: 1.5, Kind: timeline.Post, Polarity: 0.25, Parent: timeline.NoParent},
+			{ID: 1, User: 2, Time: 3, Kind: timeline.Comment, Parent: timeline.NoParent},
+		}}
+	}
+	a := base()
+	if historyFingerprint(a) != historyFingerprint(base()) {
+		t.Fatal("equal sequences fingerprint differently")
+	}
+	mutations := map[string]func(*timeline.Sequence){
+		"horizon":  func(s *timeline.Sequence) { s.Horizon = 11 },
+		"m":        func(s *timeline.Sequence) { s.M = 5 },
+		"user":     func(s *timeline.Sequence) { s.Activities[0].User = 3 },
+		"time":     func(s *timeline.Sequence) { s.Activities[1].Time = 3.0000001 },
+		"kind":     func(s *timeline.Sequence) { s.Activities[1].Kind = timeline.Like },
+		"polarity": func(s *timeline.Sequence) { s.Activities[0].Polarity = -0.25 },
+		"truncate": func(s *timeline.Sequence) { s.Activities = s.Activities[:1] },
+	}
+	seen := map[string]string{historyFingerprint(a): "base"}
+	for name, mutate := range mutations {
+		s := base()
+		mutate(s)
+		fp := historyFingerprint(s)
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("mutation %q collides with %q", name, prev)
+		}
+		seen[fp] = name
+	}
+}
+
+// --- serve-level cache correctness ---
+
+// cachedServer builds a test server over the given model bytes with the
+// given cache capacity. The model is installed before New loads, so the
+// served snapshot is version 1 of exactly those bytes.
+func cachedServer(t *testing.T, model []byte, capEntries int) (*Server, *httptest.Server) {
+	t.Helper()
+	fixOnce.Do(buildFixture)
+	if fixErr != nil {
+		t.Fatalf("building fixture: %v", fixErr)
+	}
+	src := fixtureSource(t)
+	if model != nil {
+		if err := os.WriteFile(src.ModelPath, model, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := New(Config{Source: src, HistoryCache: capEntries, Buildinfo: "chassis test-build"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestCacheBitIdenticalResponses is the cache's core contract across both
+// kernel banks: for every endpoint, responses from a caching server —
+// first request (miss), repeat request (hit) — are byte-identical to a
+// cache-disabled server over the same model.
+func TestCacheBitIdenticalResponses(t *testing.T) {
+	requests := map[string]string{
+		"/v1/predict/next":   validNextBody,
+		"/v1/predict/counts": `{"history":[{"user":1,"time":2},{"user":0,"time":2.5}],"window":25,"draws":30,"seed":7}`,
+		"/v1/influence":      `{"history":[{"user":0,"time":1},{"user":1,"time":1.2},{"user":2,"time":2.6}],"horizon":5}`,
+	}
+	for _, tc := range []struct {
+		name  string
+		model []byte
+	}{
+		{"exp-bank", fixExpA},
+		{"discrete-bank", fixModelA},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cachedS, cached := cachedServer(t, tc.model, 0)
+			_, uncached := cachedServer(t, tc.model, -1)
+			for path, body := range requests {
+				resp, miss := postJSON(t, cached.URL+path, body)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s miss: status %d: %s", path, resp.StatusCode, miss)
+				}
+				resp, hit := postJSON(t, cached.URL+path, body)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s hit: status %d: %s", path, resp.StatusCode, hit)
+				}
+				resp, plain := postJSON(t, uncached.URL+path, body)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s uncached: status %d: %s", path, resp.StatusCode, plain)
+				}
+				if !bytes.Equal(miss, hit) {
+					t.Errorf("%s: hit differs from miss:\n%s\n%s", path, hit, miss)
+				}
+				if !bytes.Equal(miss, plain) {
+					t.Errorf("%s: cached differs from uncached:\n%s\n%s", path, miss, plain)
+				}
+			}
+			// Exponential models populate the cache; Discrete ones cannot.
+			wantEntries := cachedS.cache.len() > 0
+			if tc.name == "discrete-bank" {
+				wantEntries = cachedS.cache.len() == 0
+			}
+			if !wantEntries {
+				t.Errorf("cache entries = %d after %s requests", cachedS.cache.len(), tc.name)
+			}
+		})
+	}
+}
+
+// TestCacheHitsRecorded: repeat requests over an exp model actually hit.
+func TestCacheHitsRecorded(t *testing.T) {
+	s, ts := cachedServer(t, fixExpA, 0)
+	for i := 0; i < 3; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/predict/next", validNextBody)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	hits := s.metrics.Counter("serve.histcache.hits").Value()
+	misses := s.metrics.Counter("serve.histcache.misses").Value()
+	if misses != 1 || hits != 2 {
+		t.Errorf("hits=%d misses=%d, want 2 and 1", hits, misses)
+	}
+}
+
+// TestCacheEvictionUnderCap: distinct histories beyond the cap evict in
+// LRU order and the server keeps answering correctly.
+func TestCacheEvictionUnderCap(t *testing.T) {
+	s, ts := cachedServer(t, fixExpA, 2)
+	for i := 0; i < 5; i++ {
+		body := fmt.Sprintf(`{"history":[{"user":%d,"time":1.5}],"horizon":3,"lookahead":20,"draws":20,"seed":4}`, i%5)
+		resp, blob := postJSON(t, ts.URL+"/v1/predict/next", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, resp.StatusCode, blob)
+		}
+	}
+	if got := s.cache.len(); got != 2 {
+		t.Errorf("cache holds %d entries, cap is 2", got)
+	}
+	if ev := s.metrics.Counter("serve.histcache.evictions").Value(); ev != 3 {
+		t.Errorf("evictions = %d, want 3", ev)
+	}
+}
+
+// TestCacheInvalidatedOnReload: a hot reload with changed model bytes must
+// purge the cache — and the post-reload response must match a fresh server
+// over the new model byte for byte.
+func TestCacheInvalidatedOnReload(t *testing.T) {
+	s, ts := cachedServer(t, fixExpA, 0)
+	resp, before := postJSON(t, ts.URL+"/v1/predict/next", validNextBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-reload: status %d: %s", resp.StatusCode, before)
+	}
+	if s.cache.len() == 0 {
+		t.Fatal("no cache entry before reload")
+	}
+	if err := os.WriteFile(s.reg.src.ModelPath, fixExpB, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/admin/reload", ""); resp.StatusCode != http.StatusOK {
+		t.Fatalf("reload status %d", resp.StatusCode)
+	}
+	resp, after := postJSON(t, ts.URL+"/v1/predict/next", validNextBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reload: status %d: %s", resp.StatusCode, after)
+	}
+	if bytes.Equal(before, after) {
+		t.Error("response unchanged across a model swap — stale state suspected")
+	}
+	_, fresh := cachedServer(t, fixExpB, 0)
+	resp, want := postJSON(t, fresh.URL+"/v1/predict/next", validNextBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh server: status %d: %s", resp.StatusCode, want)
+	}
+	if !bytes.Equal(after, want) {
+		t.Errorf("post-reload response differs from a fresh server over the same model:\n%s\n%s", after, want)
+	}
+	if purges := s.metrics.Counter("serve.histcache.purges").Value(); purges < 1 {
+		t.Errorf("purges = %d, want >= 1", purges)
+	}
+}
+
+// --- /v1/influence endpoint + race e2e ---
+
+func TestInfluenceEndpointMatchesLibraryBytes(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	body := `{"history":[{"user":0,"time":1},{"user":1,"time":1.4},{"user":0,"time":2.2}],"horizon":4}`
+	resp, got := postJSON(t, ts.URL+"/v1/influence", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	if v := resp.Header.Get(modelVersionHeader); v != "1" {
+		t.Errorf("model version header = %q, want 1", v)
+	}
+	snap := s.Registry().Current()
+	var req PredictRequest
+	if err := json.Unmarshal([]byte(body), &req); err != nil {
+		t.Fatal(err)
+	}
+	hist, err := req.historySequence(snap.M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := predict.Influence(snap.Proc, hist, predict.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := predict.EncodeInfluence(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("API bytes diverge from library encoding:\n api %q\n lib %q", got, want)
+	}
+	// Deterministic: a repeat request returns the same bytes.
+	_, again := postJSON(t, ts.URL+"/v1/influence", body)
+	if !bytes.Equal(got, again) {
+		t.Errorf("influence response not deterministic:\n%q\n%q", got, again)
+	}
+}
+
+func TestInfluenceValidation(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	for name, tc := range map[string]struct {
+		body string
+		want int
+	}{
+		"empty history": {`{"history":[],"horizon":5}`, http.StatusBadRequest},
+		"bad user":      {`{"history":[{"user":99,"time":1}]}`, http.StatusBadRequest},
+		"unknown field": {`{"histroy":[]}`, http.StatusBadRequest},
+	} {
+		resp, body := postJSON(t, ts.URL+"/v1/influence", tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d: %s", name, resp.StatusCode, tc.want, body)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/influence")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestInfluenceAndPredictUnderReloads is the mixed-endpoint race test: run
+// it under -race. Concurrent /v1/influence and /v1/predict/next traffic
+// while the model alternates between the two exp fixtures; every response
+// must carry a version header, and for each version the fixed-request
+// bytes must be unique per endpoint — a response mixing snapshots would
+// produce a third body family for one version.
+func TestInfluenceAndPredictUnderReloads(t *testing.T) {
+	s, ts := cachedServer(t, fixExpA, 0)
+	src := s.reg.src
+
+	const (
+		clients   = 4
+		perClient = 10
+		reloads   = 5
+	)
+	influenceBody := `{"history":[{"user":0,"time":1},{"user":1,"time":1.4},{"user":2,"time":2.2}],"horizon":4}`
+	type sample struct{ endpoint, version, body string }
+	samples := make([][]sample, clients)
+	errs := make(chan error, clients*perClient+reloads)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				path, body := "/v1/influence", influenceBody
+				if (c+i)%2 == 0 {
+					path, body = "/v1/predict/next", validNextBody
+				}
+				resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+				if err != nil {
+					errs <- err
+					return
+				}
+				blob, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("client %d %s: status %d: %s", c, path, resp.StatusCode, blob)
+					return
+				}
+				v := resp.Header.Get(modelVersionHeader)
+				if v == "" {
+					errs <- fmt.Errorf("client %d %s: missing version header", c, path)
+					return
+				}
+				samples[c] = append(samples[c], sample{endpoint: path, version: v, body: string(blob)})
+			}
+		}(c)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		blobs := [][]byte{fixExpB, fixExpA}
+		for i := 0; i < reloads; i++ {
+			if err := os.WriteFile(src.ModelPath, blobs[i%2], 0o644); err != nil {
+				errs <- err
+				return
+			}
+			resp, err := http.Post(ts.URL+"/admin/reload", "application/json", nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("reload %d: status %d", i, resp.StatusCode)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+	// (endpoint, version) → body must be a function: every response comes
+	// from exactly one snapshot.
+	byKey := map[string]string{}
+	for _, rs := range samples {
+		for _, r := range rs {
+			k := r.endpoint + "@" + r.version
+			if prev, ok := byKey[k]; ok && prev != r.body {
+				t.Fatalf("%s served two bodies for one version:\n%s\n%s", k, prev, r.body)
+			}
+			byKey[k] = r.body
+		}
+	}
+}

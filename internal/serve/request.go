@@ -127,6 +127,17 @@ func (req *PredictRequest) validateCounts() error {
 	return req.validateCommon()
 }
 
+// validateInfluence applies the /v1/influence constraints: the shared
+// request schema, with an influence-specific twist — the decomposition
+// needs events, not just a horizon, so an empty history is rejected up
+// front with a clearer message than the generic one.
+func (req *PredictRequest) validateInfluence() error {
+	if len(req.History) == 0 {
+		return badRequest("history is empty: influence scores decompose observed events")
+	}
+	return req.validateCommon()
+}
+
 func (req *PredictRequest) validateCommon() error {
 	if req.Draws < 0 {
 		return badRequest("draws must be >= 0, got %d (0 selects the default)", req.Draws)

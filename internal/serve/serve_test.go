@@ -25,7 +25,11 @@ var (
 	fixOnce              sync.Once
 	fixData              []byte
 	fixModelA, fixModelB []byte
-	fixErr               error
+	// fixExpA/B are ExpKernel fits of the same corpus: their processes
+	// qualify for the exponential fast path, so the history-state cache
+	// has something to store (the nonparametric A/B models do not).
+	fixExpA, fixExpB []byte
+	fixErr           error
 )
 
 func buildFixture() {
@@ -67,6 +71,38 @@ func buildFixture() {
 	if bytes.Equal(fixModelA, fixModelB) {
 		fixErr = io.ErrUnexpectedEOF // two fit seeds must yield distinct models
 	}
+	for i, seed := range []int64{5, 13} {
+		m, err := core.Fit(d.Seq, core.Config{
+			Variant: core.VariantLHP, EMIters: 2, MStepIters: 8,
+			IntegrationGrid: 32, Seed: seed, ExpKernel: true,
+		})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		var mb bytes.Buffer
+		if fixErr = m.Save(&mb); fixErr != nil {
+			return
+		}
+		if i == 0 {
+			fixExpA = mb.Bytes()
+		} else {
+			fixExpB = mb.Bytes()
+		}
+	}
+	if bytes.Equal(fixExpA, fixExpB) {
+		fixErr = io.ErrUnexpectedEOF
+	}
+}
+
+// expFixtureSource is fixtureSource with the ExpKernel model installed.
+func expFixtureSource(t *testing.T) Source {
+	t.Helper()
+	src := fixtureSource(t)
+	if err := os.WriteFile(src.ModelPath, fixExpA, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return src
 }
 
 // fixtureSource writes the fixture files into a fresh temp dir and returns

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"chassis/internal/cliobs"
+	"chassis/internal/hawkes"
 	"chassis/internal/obs"
 	"chassis/internal/predict"
 )
@@ -37,6 +38,13 @@ type Config struct {
 	DrainTimeout time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// HistoryCache caps the LRU cache of per-history continuation states
+	// that lets repeat queries over the same history skip the O(history)
+	// fast-path state rebuild. 0 selects the default (256 entries); < 0
+	// disables caching. Responses are bit-identical either way; only
+	// exponential-kernel models (core.Config.ExpKernel fits) have states
+	// to cache.
+	HistoryCache int
 	// Metrics receives the server's instruments and backs /metrics
 	// (nil: a fresh registry, so /metrics always works).
 	Metrics *obs.Metrics
@@ -78,6 +86,7 @@ type Server struct {
 	cfg      Config
 	reg      *Registry
 	disp     *Dispatcher
+	cache    *histCache // nil when HistoryCache < 0
 	metrics  *obs.Metrics
 	mux      *http.ServeMux
 	started  time.Time
@@ -93,6 +102,7 @@ func New(cfg Config) (*Server, error) {
 		metrics: cfg.Metrics,
 		reg:     NewRegistry(cfg.Source, cfg.Metrics),
 		disp:    NewDispatcher(cfg.Batch, cfg.Metrics),
+		cache:   newHistCache(cfg.HistoryCache, cfg.Metrics),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
@@ -176,6 +186,7 @@ func (s *Server) Run(ctx context.Context) error {
 func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/predict/next", s.handlePredict(false))
 	s.mux.HandleFunc("/v1/predict/counts", s.handlePredict(true))
+	s.mux.HandleFunc("/v1/influence", s.handleInfluence)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -250,6 +261,18 @@ func (s *Server) handlePredict(counts bool) http.HandlerFunc {
 		ctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 
+		// Fastpath state caching: a hit hands the draws a precomputed
+		// continuation state; a miss computes it below (inside the
+		// dispatcher, on the worker budget) and inserts it. Either way the
+		// simulation sees the same state values, so responses are
+		// bit-identical with the cache on, off, hit, or missed.
+		var key string
+		var st *hawkes.ContState
+		if s.cache != nil {
+			key = historyFingerprint(hist)
+			st = s.cache.get(snap.Version, key)
+		}
+
 		var body []byte
 		var perr error
 		derr := s.disp.Do(ctx, func(ctx context.Context, workers int) {
@@ -264,9 +287,15 @@ func (s *Server) handlePredict(counts bool) http.HandlerFunc {
 				perr = err
 				return
 			}
+			if st == nil && s.cache != nil {
+				if st = snap.Proc.HistoryState(hist); st != nil {
+					s.cache.put(snap.Version, key, st)
+				}
+			}
 			opts := predict.Options{
 				Draws: req.Draws, Seed: req.Seed,
 				Workers: workers, Ctx: ctx,
+				HistState: st,
 			}
 			if counts {
 				opts.Window = req.Window
@@ -300,6 +329,87 @@ func (s *Server) handlePredict(counts bool) http.HandlerFunc {
 		//nolint:errcheck // best-effort write to a client that may be gone
 		w.Write(body)
 	}
+}
+
+// handleInfluence serves /v1/influence: the participant-level influence
+// decomposition of the request history under the served model's posterior
+// parent distributions (predict.Influence). The request body is the shared
+// PredictRequest schema; lookahead/window/draws/seed are ignored — the
+// decomposition is a deterministic expectation, not a Monte-Carlo forecast,
+// so equal (model, history) pairs always produce identical bytes.
+func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.Counter("serve.influence.requests").Inc()
+	fail := func(err error) {
+		s.metrics.Counter("serve.influence.errors").Inc()
+		writeError(w, err)
+	}
+	if r.Method != http.MethodPost {
+		fail(&Error{Status: http.StatusMethodNotAllowed, Code: "method_not_allowed",
+			Message: "use POST"})
+		return
+	}
+	snap := s.reg.Current()
+	if snap == nil {
+		fail(ErrNotReady)
+		return
+	}
+	req, err := decodeRequest(r)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := req.validateInfluence(); err != nil {
+		fail(err)
+		return
+	}
+	hist, err := req.historySequence(snap.M)
+	if err != nil {
+		fail(err)
+		return
+	}
+	ctx := r.Context()
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	var body []byte
+	var perr error
+	derr := s.disp.Do(ctx, func(ctx context.Context, workers int) {
+		defer func() {
+			if v := recover(); v != nil {
+				perr = fmt.Errorf("influence computation panicked: %v", v)
+			}
+		}()
+		if err := ctx.Err(); err != nil {
+			perr = err
+			return
+		}
+		scores, err := predict.Influence(snap.Proc, hist, predict.Options{Workers: workers, Ctx: ctx})
+		if err != nil {
+			perr = err
+			return
+		}
+		body, perr = predict.EncodeInfluence(scores)
+	})
+	if derr != nil {
+		fail(derr)
+		return
+	}
+	if perr != nil {
+		fail(perr)
+		return
+	}
+	s.metrics.Timer("serve.influence.latency").Add(time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(modelVersionHeader, strconv.FormatInt(snap.Version, 10))
+	//nolint:errcheck // best-effort write to a client that may be gone
+	w.Write(body)
 }
 
 // healthJSON is the /healthz payload.

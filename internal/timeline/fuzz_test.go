@@ -1,0 +1,134 @@
+package timeline
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"testing"
+)
+
+// fuzzSequence decodes arbitrary fuzz bytes into a Sequence: each 12-byte
+// chunk becomes one activity with a signed-byte user, raw float64 bits for
+// the time (so NaN, Inf, negatives, and denormals all occur naturally), a
+// kind byte past the valid range, a signed-byte parent, and an ID that is
+// either the dense index or a signed byte (to exercise the non-dense-ID
+// repair path). The decoder itself must accept anything — it is the
+// adversarial input model, not a parser.
+func fuzzSequence(m int, horizon float64, data []byte) *Sequence {
+	s := &Sequence{M: m, Horizon: horizon}
+	for len(data) >= 12 {
+		c := data[:12]
+		data = data[12:]
+		id := ActivityID(len(s.Activities))
+		if c[11]&1 == 1 {
+			id = ActivityID(int8(c[11]))
+		}
+		var pol float64
+		switch c[9] % 4 {
+		case 0:
+			pol = float64(int8(c[10])) / 127
+		case 1:
+			pol = math.NaN()
+		case 2:
+			pol = math.Inf(1)
+		}
+		s.Activities = append(s.Activities, Activity{
+			ID:       id,
+			User:     UserID(int8(c[0])),
+			Time:     math.Float64frombits(binary.LittleEndian.Uint64(c[1:9])),
+			Kind:     Kind(c[9]),
+			Polarity: pol,
+			Parent:   ActivityID(int8(c[10])),
+			Topic:    int(c[11] >> 1),
+		})
+	}
+	return s
+}
+
+// chunk builds one 12-byte fuzz activity by hand for the seed corpus.
+func chunk(user int8, time float64, kindPol byte, parent int8, idTopic byte) []byte {
+	c := make([]byte, 12)
+	c[0] = byte(user)
+	binary.LittleEndian.PutUint64(c[1:9], math.Float64bits(time))
+	c[9] = kindPol
+	c[10] = byte(parent)
+	c[11] = idTopic
+	return c
+}
+
+func cat(chunks ...[]byte) []byte {
+	var out []byte
+	for _, c := range chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
+// FuzzRepairCheck drives arbitrary sequences through the validation front
+// door and the repair path, holding them to the documented contract:
+//   - Check and Repair never panic, whatever the input.
+//   - Every Check failure is a *ValidationError with a named field.
+//   - A repaired sequence passes Check unless the failure is one Repair
+//     documents as unrepairable: bad M, out-of-range users, or a sequence
+//     with nothing (valid) left in it.
+//   - Repair is idempotent on its own output once that output is clean.
+func FuzzRepairCheck(f *testing.F) {
+	// Clean two-event cascade.
+	f.Add(3, 10.0, cat(chunk(0, 1, 0, -1, 0), chunk(1, 2, 0, 0, 2)))
+	// Out of order, duplicate, NaN time, non-finite polarity.
+	f.Add(3, 10.0, cat(chunk(1, 5, 0, -1, 0), chunk(0, 1, 4, -1, 2), chunk(0, 1, 0, -1, 4), chunk(2, math.NaN(), 1, 0, 6)))
+	// Bad M, bad horizon, empty.
+	f.Add(0, 10.0, cat(chunk(0, 1, 0, -1, 0)))
+	f.Add(3, math.Inf(1), cat(chunk(0, 1, 0, -1, 0)))
+	f.Add(3, 10.0, []byte(nil))
+	// User outside [0, M); forward and out-of-range parents; non-dense IDs.
+	f.Add(2, 10.0, cat(chunk(5, 1, 0, -1, 0), chunk(-1, 2, 0, -1, 2)))
+	f.Add(3, 10.0, cat(chunk(0, 1, 0, 1, 0), chunk(1, 2, 0, 99, 2)))
+	f.Add(3, 10.0, cat(chunk(0, 1, 0, -1, 7), chunk(1, 2, 0, -1, 7)))
+	// Negative and subnormal times; horizon shorter than the last event.
+	f.Add(3, 1.0, cat(chunk(0, -4, 0, -1, 0), chunk(1, 3, 0, -1, 2)))
+
+	allowed := map[string]bool{"m": true, "user": true, "empty": true, "horizon": true}
+	f.Fuzz(func(t *testing.T, m int, horizon float64, data []byte) {
+		if m > 1<<16 || m < -(1<<16) {
+			return // Check allocates per-user maps; cap M, not the input space
+		}
+		s := fuzzSequence(m, horizon, data)
+
+		if err := s.Check(); err != nil {
+			var verr *ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("Check returned a non-ValidationError: %v", err)
+			}
+			if verr.Field == "" || verr.Error() == "" {
+				t.Fatalf("ValidationError without field or message: %+v", verr)
+			}
+		}
+
+		before := s.Len()
+		repaired, rep := s.Repair()
+		if s.Len() != before {
+			t.Fatalf("Repair mutated its receiver: %d -> %d activities", before, s.Len())
+		}
+		if err := repaired.Check(); err != nil {
+			var verr *ValidationError
+			if !errors.As(err, &verr) {
+				t.Fatalf("post-repair Check returned a non-ValidationError: %v", err)
+			}
+			if !allowed[verr.Field] {
+				t.Fatalf("repaired sequence still fails Check on repairable field %q (%v); report: %s",
+					verr.Field, verr, rep)
+			}
+			return
+		}
+		// Clean output must be a fixed point: repairing it again changes
+		// nothing.
+		again, rep2 := repaired.Repair()
+		if rep2.Changed() {
+			t.Fatalf("Repair is not idempotent: second pass reports %s", rep2)
+		}
+		if again.Len() != repaired.Len() {
+			t.Fatalf("idempotent repair changed length %d -> %d", repaired.Len(), again.Len())
+		}
+	})
+}

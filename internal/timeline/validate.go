@@ -127,6 +127,10 @@ type RepairReport struct {
 	NonFiniteTimesDropped int
 	// PolaritiesZeroed counts non-finite polarities reset to neutral 0.
 	PolaritiesZeroed int
+	// ParentsCleared counts parent links cut for pointing outside the
+	// sequence, at the activity itself, or at a later event (a child cannot
+	// precede its trigger); the affected activities become immigrants.
+	ParentsCleared int
 	// HorizonExtended reports that Horizon was grown to cover the last
 	// activity (or replaced because it was non-positive/non-finite).
 	HorizonExtended bool
@@ -135,7 +139,7 @@ type RepairReport struct {
 // Changed reports whether Repair altered anything.
 func (r RepairReport) Changed() bool {
 	return r.Sorted || r.DuplicatesDropped > 0 || r.NonFiniteTimesDropped > 0 ||
-		r.PolaritiesZeroed > 0 || r.HorizonExtended
+		r.PolaritiesZeroed > 0 || r.ParentsCleared > 0 || r.HorizonExtended
 }
 
 // String summarizes the repairs for CLI logs.
@@ -157,6 +161,7 @@ func (r RepairReport) String() string {
 	add(r.DuplicatesDropped > 0, fmt.Sprintf("dropped %d duplicate(s)", r.DuplicatesDropped))
 	add(r.NonFiniteTimesDropped > 0, fmt.Sprintf("dropped %d non-finite time(s)", r.NonFiniteTimesDropped))
 	add(r.PolaritiesZeroed > 0, fmt.Sprintf("zeroed %d non-finite polarit(ies)", r.PolaritiesZeroed))
+	add(r.ParentsCleared > 0, fmt.Sprintf("cleared %d invalid parent link(s)", r.ParentsCleared))
 	add(r.HorizonExtended, "extended horizon")
 	return out
 }
@@ -165,7 +170,9 @@ func (r RepairReport) String() string {
 // are stable-sorted by time (simultaneous events keep their input order),
 // same-user same-time duplicates are dropped (parents redirected to the
 // kept copy), activities with non-finite times are removed, non-finite
-// polarities are neutralized to 0, negative times are clamped to 0, and the
+// polarities are neutralized to 0, negative times are clamped to 0, parent
+// links that point outside the sequence, at the activity itself, or at a
+// later event are cleared (the activity becomes an immigrant), and the
 // horizon is extended to cover the last activity when it falls short. The
 // receiver is never mutated. Repair composes with Check: the repaired
 // sequence passes Check unless a failure is unrepairable (bad M, or users
@@ -260,6 +267,23 @@ func (s *Sequence) Repair() (*Sequence, RepairReport) {
 			}
 		}
 		out.Normalize()
+	}
+
+	// Parent sanitation last, once IDs are dense and order is final: a link
+	// that escapes the sequence, points at the activity itself, or points
+	// at a later event has no consistent reading — the activity is kept as
+	// an immigrant. (Normalize already cut links to dropped activities;
+	// this catches links that were invalid in the input itself.)
+	for i := range out.Activities {
+		a := &out.Activities[i]
+		if a.Parent == NoParent {
+			continue
+		}
+		p := int(a.Parent)
+		if p < 0 || p >= len(out.Activities) || a.Parent == a.ID || out.Activities[p].Time > a.Time {
+			a.Parent = NoParent
+			rep.ParentsCleared++
+		}
 	}
 
 	if n := len(out.Activities); n > 0 {
