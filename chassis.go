@@ -30,6 +30,7 @@ import (
 	"chassis/internal/experiments"
 	"chassis/internal/guard"
 	"chassis/internal/hawkes"
+	"chassis/internal/ingest"
 	"chassis/internal/obs"
 	"chassis/internal/predict"
 	"chassis/internal/rng"
@@ -117,6 +118,10 @@ type (
 	ModelSource = serve.Source
 	// ServeBatchConfig tunes the server's request micro-batching.
 	ServeBatchConfig = serve.BatchConfig
+	// IngestConfig bounds the server's live-cascade store (ServeConfig's
+	// Ingest field): cascades kept before LRU eviction and events per
+	// cascade. The zero value takes the documented defaults.
+	IngestConfig = ingest.Config
 	// APIError is the typed error the serve API reports (HTTP status,
 	// machine-readable code, message).
 	APIError = serve.Error
@@ -326,31 +331,6 @@ func EncodeCountsJSON(c CountForecast) ([]byte, error) { return predict.EncodeCo
 // JSON document in the shared wire schema — chassis-predict -influence and
 // the chassis-serve /v1/influence endpoint emit these exact bytes.
 func EncodeInfluenceJSON(s InfluenceScores) ([]byte, error) { return predict.EncodeInfluence(s) }
-
-// PredictNext forecasts the next activity after the history.
-//
-// Deprecated: use Predict with PredictOptions; this wrapper produces
-// bit-identical results.
-func PredictNext(m *Model, history *Sequence, lookahead float64, draws int, seed int64) (NextActivity, error) {
-	return Predict(m, history, PredictOptions{Lookahead: lookahead, Draws: draws, Seed: seed})
-}
-
-// ForecastCounts estimates per-user activity counts over the next window.
-//
-// Deprecated: use Forecast with PredictOptions; this wrapper produces
-// bit-identical results.
-func ForecastCounts(m *Model, history *Sequence, window float64, draws int, seed int64) (CountForecast, error) {
-	return Forecast(m, history, PredictOptions{Window: window, Draws: draws, Seed: seed})
-}
-
-// EvaluateNextUser walks a held-out continuation and scores next-actor
-// prediction accuracy.
-//
-// Deprecated: use EvaluatePrediction with PredictOptions; this wrapper
-// produces bit-identical results.
-func EvaluateNextUser(m *Model, history, test *Sequence, steps, draws int, seed int64) (float64, int, error) {
-	return EvaluatePrediction(m, history, test, PredictOptions{Steps: steps, Draws: draws, Seed: seed})
-}
 
 // Experiment runners — one per table/figure; see EXPERIMENTS.md.
 var (

@@ -92,21 +92,21 @@ func TestPublicAPIPrediction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	next, err := chassis.PredictNext(m, train, 100, 60, 3)
+	next, err := chassis.Predict(m, train, chassis.PredictOptions{Lookahead: 100, Draws: 60, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if next.Draws > 0 && (int(next.User) < 0 || int(next.User) >= ds.Seq.M) {
 		t.Errorf("predicted user %d out of range", next.User)
 	}
-	fc, err := chassis.ForecastCounts(m, train, 100, 40, 4)
+	fc, err := chassis.Forecast(m, train, chassis.PredictOptions{Window: 100, Draws: 40, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(fc.PerUser) != ds.Seq.M || fc.Total < 0 {
 		t.Errorf("forecast malformed: %+v", fc)
 	}
-	acc, n, err := chassis.EvaluateNextUser(m, train, test, 3, 30, 5)
+	acc, n, err := chassis.EvaluatePrediction(m, train, test, chassis.PredictOptions{Steps: 3, Draws: 30, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

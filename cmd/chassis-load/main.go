@@ -45,6 +45,7 @@ func main() {
 		fracNext  = flag.Float64("frac-next", 0.6, "corpus fraction for /v1/predict/next")
 		fracCnt   = flag.Float64("frac-counts", 0.2, "corpus fraction for /v1/predict/counts")
 		fracInf   = flag.Float64("frac-influence", 0.2, "corpus fraction for /v1/influence")
+		fracIng   = flag.Float64("frac-ingest", 0, "corpus fraction for /v1/ingest (streaming appends)")
 		out       = flag.String("out", "", "write the JSON report here instead of stdout")
 		version   = cliobs.RegisterVersion(flag.CommandLine)
 	)
@@ -65,7 +66,8 @@ func main() {
 	corpus, err := loadgen.BuildCorpus(ds.Seq, loadgen.CorpusConfig{
 		Requests: *requests, Histories: *histories, MaxHistory: *maxHist,
 		NextFraction: *fracNext, CountsFraction: *fracCnt, InfluenceFraction: *fracInf,
-		Draws: *draws, Seed: *seed,
+		IngestFraction: *fracIng,
+		Draws:          *draws, Seed: *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chassis-load:", err)

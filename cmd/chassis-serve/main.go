@@ -10,7 +10,9 @@
 //
 //	curl -s localhost:8347/healthz
 //	curl -s -X POST localhost:8347/v1/predict/next -d '{"history":[{"user":3,"time":12.5}],"lookahead":50,"seed":7}'
+//	curl -s -X POST localhost:8347/v1/ingest -d '{"cascade_id":"c1","events":[{"user":2,"time":40.5}]}'
 //	curl -s -X POST localhost:8347/admin/reload        # after refitting
+//	curl -s -X POST localhost:8347/admin/refit         # fold ingested events into the model
 //
 // The model file is also re-fingerprinted every -reload-poll (set 0 to
 // disable) and on SIGHUP; a failed reload keeps the previous model serving.
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"chassis/internal/cliobs"
+	"chassis/internal/ingest"
 	"chassis/internal/serve"
 )
 
@@ -46,7 +49,11 @@ func main() {
 		reqTO   = flag.Duration("request-timeout", 30*time.Second, "per-request prediction deadline (a request's timeout_ms can tighten it)")
 		drainTO = flag.Duration("drain-timeout", 15*time.Second, "graceful drain budget on SIGTERM/SIGINT")
 		pprof   = flag.Bool("pprof", false, "mount /debug/pprof on the serving listener")
-	hcache  = flag.Int("history-cache", 0, "LRU cache entries for per-history fastpath state (0 = default 256, -1 disables); responses are bit-identical either way")
+		hcache  = flag.Int("history-cache", 0, "LRU cache entries for per-history fastpath state (0 = default 256, -1 disables); responses are bit-identical either way")
+		refitEv = flag.Duration("refit-every", 0, "periodic incremental refit over ingested events (0 disables; POST /admin/refit always works)")
+		refitPs = flag.Int("refit-passes", 0, "projected-gradient passes per incremental refit (0 = default 5)")
+		casCap  = flag.Int("max-cascades", 0, "live ingest cascades kept before LRU eviction (0 = default 1024, -1 unbounded)")
+		casEvts = flag.Int("max-cascade-events", 0, "event cap per ingest cascade (0 = default 65536)")
 		version = cliobs.RegisterVersion(flag.CommandLine)
 	)
 	flag.Parse()
@@ -67,6 +74,9 @@ func main() {
 			Window: *window, Workers: *workers,
 		},
 		ReloadEvery:    *poll,
+		RefitEvery:     *refitEv,
+		RefitPasses:    *refitPs,
+		Ingest:         ingest.Config{MaxCascades: *casCap, MaxEvents: *casEvts},
 		RequestTimeout: *reqTO,
 		DrainTimeout:   *drainTO,
 		EnablePprof:    *pprof,

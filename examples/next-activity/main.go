@@ -32,7 +32,9 @@ func main() {
 	}
 
 	// (a) Who moves next?
-	next, err := chassis.PredictNext(model, train, ds.Seq.Horizon-train.Horizon, 300, 10)
+	next, err := chassis.Predict(model, train, chassis.PredictOptions{
+		Lookahead: ds.Seq.Horizon - train.Horizon, Draws: 300, Seed: 10,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,7 +45,7 @@ func main() {
 
 	// (b) Per-user counts over the held-out window.
 	window := ds.Seq.Horizon - train.Horizon
-	fc, err := chassis.ForecastCounts(model, train, window, 200, 11)
+	fc, err := chassis.Forecast(model, train, chassis.PredictOptions{Window: window, Draws: 200, Seed: 11})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +66,7 @@ func main() {
 
 	// (c) Sequential next-actor accuracy, with a popularity baseline: always
 	// predicting the most active training user.
-	acc, n, err := chassis.EvaluateNextUser(model, train, test, 12, 120, 12)
+	acc, n, err := chassis.EvaluatePrediction(model, train, test, chassis.PredictOptions{Steps: 12, Draws: 120, Seed: 12})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,175 @@
+package hawkes
+
+import (
+	"fmt"
+	"math"
+
+	"chassis/internal/timeline"
+)
+
+// This file promotes the exponential-recursion state to a first-class,
+// appendable accumulator. HistoryState (contstate.go) collapses a finished
+// history into M scalars in one sweep; streaming ingestion needs the same
+// state mid-stream, extended one event at a time without replaying the
+// prefix. The subtlety is bit-identity: a finalized ContState decays every
+// receiver to the horizon, and float decay does not compose —
+// e^{−r(T0−t)}·e^{−r(s−T0)} ≠ e^{−r(s−t)} in IEEE 754 — so a ContState
+// cannot be extended exactly. StateAccum instead freezes HistoryState's
+// loop-internal state (the raw R values at each receiver's last touch time),
+// so Append performs literally the same operations, in the same order, as
+// the full-replay sweep. Appending N events one by one and finalizing is
+// therefore bit-for-bit equal to HistoryState over the whole history — the
+// replay oracle the ingest subsystem is pinned against.
+
+// StateAccum is the appendable exponential-recursion state of a growing
+// history: for each receiving dimension i, R[i] holds the pre-scale
+// excitation aggregate decayed to Last[i], the time of the last event that
+// touched receiver i. The exported fields (with JSON tags) make the
+// accumulator persistable: a serve layer can checkpoint per-cascade state
+// and resume ingestion after a restart.
+type StateAccum struct {
+	// N counts the events absorbed so far.
+	N int `json:"n"`
+	// LastTime is the newest absorbed event's time (append ordering guard).
+	LastTime float64 `json:"last_time"`
+	// R is the per-receiver recursion value, decayed only to Last[i] — not
+	// to any horizon; that final decay happens in Finalize.
+	R []float64 `json:"r"`
+	// Last is the per-receiver last touch time.
+	Last []float64 `json:"last"`
+	// Rate and Scale are the per-receiver exponential-kernel parameters the
+	// accumulator was created under (same convention as ContState).
+	Rate  []float64 `json:"rate"`
+	Scale []float64 `json:"scale"`
+}
+
+// NewStateAccum returns an empty accumulator bound to the process's current
+// exponential bank, or nil when the process has no appendable state: fast
+// path disabled, or a non-exponential kernel bank (mirrors HistoryState's
+// eligibility).
+func (p *Process) NewStateAccum() *StateAccum {
+	if p.NoFastPath {
+		return nil
+	}
+	eb, ok := exponentialBank(p.Kernels, p.M)
+	if !ok {
+		return nil
+	}
+	defer eb.release()
+	return &StateAccum{
+		R:     make([]float64, p.M),
+		Last:  make([]float64, p.M),
+		Rate:  append([]float64(nil), eb.rate...),
+		Scale: append([]float64(nil), eb.scale...),
+	}
+}
+
+// UsableAccum reports whether a can keep absorbing events under the
+// process's current parameters: same shape and the same per-receiver
+// exponential kernels it was created under. O(M). A model hot-reload that
+// changes kernel parameters invalidates accumulators; callers rebuild from
+// the event tail.
+func (p *Process) UsableAccum(a *StateAccum) bool {
+	if a == nil || p.NoFastPath {
+		return false
+	}
+	if len(a.R) != p.M || len(a.Last) != p.M || len(a.Rate) != p.M || len(a.Scale) != p.M {
+		return false
+	}
+	eb, ok := exponentialBank(p.Kernels, p.M)
+	if !ok {
+		return false
+	}
+	defer eb.release()
+	for i := 0; i < p.M; i++ {
+		if a.Rate[i] != eb.rate[i] || a.Scale[i] != eb.scale[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Append absorbs one event. The loop body is HistoryState's, verbatim:
+// lazy-decay each touched receiver from its own last touch time, then add
+// the excitation — the op-for-op match is what makes event-by-event
+// ingestion bit-identical to full replay. Events must arrive in
+// chronological order (ties allowed).
+func (a *StateAccum) Append(p *Process, user int, t float64) error {
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return fmt.Errorf("hawkes: accum append: non-finite time %v", t)
+	}
+	if a.N > 0 && t < a.LastTime {
+		return fmt.Errorf("hawkes: accum append: t=%g precedes last absorbed event at t=%g", t, a.LastTime)
+	}
+	if user < 0 || user >= len(a.R) {
+		return fmt.Errorf("hawkes: accum append: user %d outside [0,%d)", user, len(a.R))
+	}
+	for i := range a.R {
+		alpha := p.Exc.Alpha(i, user, t)
+		if alpha == 0 {
+			continue
+		}
+		if a.R[i] != 0 && a.Last[i] != t {
+			a.R[i] *= math.Exp(-a.Rate[i] * (t - a.Last[i]))
+		}
+		a.Last[i] = t
+		a.R[i] += alpha
+	}
+	a.N++
+	a.LastTime = t
+	return nil
+}
+
+// AppendAll absorbs a chronological run of events (Append in a loop; the
+// first error stops the run with the accumulator reflecting the events
+// already absorbed).
+func (a *StateAccum) AppendAll(p *Process, acts []timeline.Activity) error {
+	for k := range acts {
+		if err := a.Append(p, int(acts[k].User), acts[k].Time); err != nil {
+			return fmt.Errorf("event %d: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// Finalize evaluates the accumulator at horizon t0 ≥ LastTime, returning the
+// read-only ContState a simulation continues from. The final decay to t0 is
+// the same op HistoryState performs after its sweep, so
+// NewStateAccum + Append(each event) + Finalize(h) == HistoryState(seq with
+// Horizon h), bit for bit. The accumulator itself is not consumed: it can
+// keep absorbing events, and one accumulator can be finalized at any number
+// of horizons (each call allocates a fresh state).
+func (a *StateAccum) Finalize(t0 float64) *ContState {
+	if a == nil || math.IsNaN(t0) || math.IsInf(t0, 0) || t0 < a.LastTime {
+		return nil
+	}
+	st := &ContState{
+		T0:    t0,
+		N:     a.N,
+		R:     append([]float64(nil), a.R...),
+		Rate:  append([]float64(nil), a.Rate...),
+		Scale: append([]float64(nil), a.Scale...),
+	}
+	for i := range st.R {
+		if st.R[i] != 0 && a.Last[i] != t0 {
+			st.R[i] *= math.Exp(-st.Rate[i] * (t0 - a.Last[i]))
+		}
+	}
+	return st
+}
+
+// Clone returns an independent deep copy: cached accumulators stay frozen
+// while the copy absorbs a request's suffix.
+func (a *StateAccum) Clone() *StateAccum {
+	if a == nil {
+		return nil
+	}
+	return &StateAccum{
+		N:        a.N,
+		LastTime: a.LastTime,
+		R:        append([]float64(nil), a.R...),
+		Last:     append([]float64(nil), a.Last...),
+		Rate:     append([]float64(nil), a.Rate...),
+		Scale:    append([]float64(nil), a.Scale...),
+	}
+}

@@ -1,0 +1,210 @@
+package hawkes
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"chassis/internal/kernel"
+)
+
+// TestAccumBitIdenticalToHistoryState is the replay oracle: appending every
+// event one at a time and finalizing at the horizon must reproduce
+// HistoryState's full-sweep result bit for bit — the property the streaming
+// ingest subsystem (per-cascade accumulators extended in place) rests on.
+func TestAccumBitIdenticalToHistoryState(t *testing.T) {
+	for _, m := range []int{1, 3, 7} {
+		p, seq := contFixture(m, 0.6)
+		want := p.HistoryState(seq)
+		if want == nil {
+			t.Fatal("nil HistoryState for exponential bank")
+		}
+		acc := p.NewStateAccum()
+		if acc == nil {
+			t.Fatal("nil accumulator for exponential bank")
+		}
+		for _, a := range seq.Activities {
+			if err := acc.Append(p, int(a.User), a.Time); err != nil {
+				t.Fatalf("append: %v", err)
+			}
+		}
+		got := acc.Finalize(seq.Horizon)
+		if got == nil {
+			t.Fatal("Finalize returned nil")
+		}
+		if got.N != want.N || got.T0 != want.T0 {
+			t.Fatalf("shape: N=%d T0=%g, want %d %g", got.N, got.T0, want.N, want.T0)
+		}
+		for i := 0; i < m; i++ {
+			if got.R[i] != want.R[i] {
+				t.Errorf("m=%d R[%d] = %v, want %v (not bit-identical)", m, i, got.R[i], want.R[i])
+			}
+			if got.Rate[i] != want.Rate[i] || got.Scale[i] != want.Scale[i] {
+				t.Errorf("m=%d kernel params diverge at %d", m, i)
+			}
+		}
+	}
+}
+
+// TestAccumPrefixExtension pins the cache-extension path: an accumulator
+// built over a prefix, cloned, and extended by the suffix matches both the
+// one-shot accumulator and HistoryState — and the frozen prefix accumulator
+// is untouched by the extension.
+func TestAccumPrefixExtension(t *testing.T) {
+	p, seq := contFixture(4, 0.9)
+	want := p.HistoryState(seq)
+	for _, cut := range []int{0, 1, seq.Len() / 2, seq.Len() - 1, seq.Len()} {
+		prefix := p.NewStateAccum()
+		if err := prefix.AppendAll(p, seq.Activities[:cut]); err != nil {
+			t.Fatalf("prefix: %v", err)
+		}
+		frozen := prefix.Clone()
+		ext := prefix.Clone()
+		if err := ext.AppendAll(p, seq.Activities[cut:]); err != nil {
+			t.Fatalf("suffix: %v", err)
+		}
+		got := ext.Finalize(seq.Horizon)
+		for i := 0; i < p.M; i++ {
+			if got.R[i] != want.R[i] {
+				t.Errorf("cut=%d: R[%d] = %v, want %v", cut, i, got.R[i], want.R[i])
+			}
+		}
+		// The prefix accumulator must be frozen: extension went through a clone.
+		for i := 0; i < p.M; i++ {
+			if prefix.R[i] != frozen.R[i] || prefix.Last[i] != frozen.Last[i] {
+				t.Fatalf("cut=%d: extension mutated the cached prefix accumulator", cut)
+			}
+		}
+		if prefix.N != frozen.N || prefix.LastTime != frozen.LastTime {
+			t.Fatalf("cut=%d: extension mutated prefix counters", cut)
+		}
+	}
+}
+
+// TestAccumRepeatedFinalize verifies Finalize is a pure read: finalizing at
+// several horizons (interleaved with appends) never perturbs the
+// accumulator, and a re-finalize at the same horizon is bit-identical.
+func TestAccumRepeatedFinalize(t *testing.T) {
+	p, seq := contFixture(3, 0.5)
+	acc := p.NewStateAccum()
+	half := seq.Len() / 2
+	if err := acc.AppendAll(p, seq.Activities[:half]); err != nil {
+		t.Fatal(err)
+	}
+	a := acc.Finalize(acc.LastTime + 5)
+	b := acc.Finalize(acc.LastTime + 5)
+	for i := range a.R {
+		if a.R[i] != b.R[i] {
+			t.Fatal("re-finalize at the same horizon is not bit-identical")
+		}
+	}
+	if err := acc.AppendAll(p, seq.Activities[half:]); err != nil {
+		t.Fatalf("append after finalize: %v", err)
+	}
+	want := p.HistoryState(seq)
+	got := acc.Finalize(seq.Horizon)
+	for i := range want.R {
+		if got.R[i] != want.R[i] {
+			t.Fatal("finalize mid-stream perturbed subsequent appends")
+		}
+	}
+}
+
+// TestAccumOrderingAndValidation exercises the append guards.
+func TestAccumOrderingAndValidation(t *testing.T) {
+	p, _ := contFixture(3, 0.5)
+	acc := p.NewStateAccum()
+	if err := acc.Append(p, 0, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Append(p, 1, 1.0); err == nil {
+		t.Error("out-of-order append accepted")
+	}
+	if err := acc.Append(p, 1, 2.0); err != nil {
+		t.Errorf("tie rejected: %v", err)
+	}
+	if err := acc.Append(p, 5, 3.0); err == nil {
+		t.Error("out-of-range user accepted")
+	}
+	if err := acc.Append(p, 0, math.NaN()); err == nil {
+		t.Error("NaN time accepted")
+	}
+	if st := acc.Finalize(1.0); st != nil {
+		t.Error("Finalize before LastTime returned a state")
+	}
+	if st := acc.Finalize(math.Inf(1)); st != nil {
+		t.Error("Finalize at +Inf returned a state")
+	}
+}
+
+// TestAccumEligibility mirrors HistoryState's: no accumulator without the
+// fast path or for non-exponential banks, and UsableAccum rejects a
+// reparameterized process.
+func TestAccumEligibility(t *testing.T) {
+	p, _ := contFixture(3, 0.5)
+	if !p.UsableAccum(p.NewStateAccum()) {
+		t.Error("fresh accumulator not usable under its own process")
+	}
+	slow := *p
+	slow.NoFastPath = true
+	if slow.NewStateAccum() != nil {
+		t.Error("accumulator created with fast path disabled")
+	}
+	nonExp := *p
+	nonExp.Kernels = SharedKernel{K: kernel.Rayleigh{Sigma: 1}}
+	if nonExp.NewStateAccum() != nil {
+		t.Error("accumulator created for a non-exponential bank")
+	}
+	acc := p.NewStateAccum()
+	reparam := *p
+	reparam.Kernels = SharedKernel{K: kernel.Exponential{Rate: 0.51, Scale: 1}}
+	if reparam.UsableAccum(acc) {
+		t.Error("accumulator accepted under changed kernel parameters")
+	}
+}
+
+// TestAccumJSONRoundTrip pins persistence: an accumulator survives a JSON
+// round trip and keeps absorbing events bit-identically.
+func TestAccumJSONRoundTrip(t *testing.T) {
+	p, seq := contFixture(4, 0.7)
+	half := seq.Len() / 2
+	acc := p.NewStateAccum()
+	if err := acc.AppendAll(p, seq.Activities[:half]); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := json.Marshal(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back StateAccum
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !p.UsableAccum(&back) {
+		t.Fatal("round-tripped accumulator not usable")
+	}
+	if err := back.AppendAll(p, seq.Activities[half:]); err != nil {
+		t.Fatal(err)
+	}
+	want := p.HistoryState(seq)
+	got := back.Finalize(seq.Horizon)
+	for i := range want.R {
+		if got.R[i] != want.R[i] {
+			t.Fatal("round-tripped accumulator diverged from replay")
+		}
+	}
+}
+
+// TestAccumFinalizePrimesContinue closes the loop with the simulation layer:
+// a finalized accumulator passes the usableState gate Continue applies.
+func TestAccumFinalizePrimesContinue(t *testing.T) {
+	p, seq := contFixture(4, 0.7)
+	acc := p.NewStateAccum()
+	if err := acc.AppendAll(p, seq.Activities); err != nil {
+		t.Fatal(err)
+	}
+	st := acc.Finalize(seq.Horizon)
+	if !p.usableState(st, seq) {
+		t.Fatal("finalized state rejected by Continue's usability gate")
+	}
+}

@@ -1,0 +1,347 @@
+// Package ingest is the streaming half of the CHASSIS serving stack: a
+// bounded store of live cascades, each holding the exponential-recursion
+// accumulator (hawkes.StateAccum), the running E-step responsibilities (MAP
+// parent per event, assigned at append time), and the event tail itself.
+//
+// The contract that makes streaming safe is replay identity, inherited from
+// the hawkes accumulator: appending events one request at a time produces
+// bit-identical continuation state — and therefore bit-identical forecasts —
+// to rebuilding from the full timeline in one pass. The store adds the
+// model-version discipline on top: every cascade records the snapshot
+// version its state was computed under, and a hot-reload (file or in-memory
+// refit install) triggers a transparent rebuild from the retained event
+// tail on the cascade's next touch. The tail is the source of truth; the
+// accumulator and parents are caches over it.
+package ingest
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"chassis/internal/core"
+	"chassis/internal/hawkes"
+	"chassis/internal/obs"
+	"chassis/internal/timeline"
+)
+
+// ErrUnknownCascade is returned by State for a cascade ID the store does
+// not hold (never ingested, or evicted past the cascade cap).
+var ErrUnknownCascade = errors.New("ingest: unknown cascade")
+
+// Config bounds the store. Zero values select the documented defaults.
+type Config struct {
+	// MaxCascades caps how many live cascades are retained; beyond it the
+	// least recently touched cascade is evicted whole (default 1024,
+	// negative unbounded).
+	MaxCascades int
+	// MaxEvents caps one cascade's event tail (default 65536). Appends
+	// beyond it are rejected with a validation error: the tail is what
+	// rebuilds state after a reload, so it cannot be trimmed without
+	// breaking the replay contract.
+	MaxEvents int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxCascades == 0 {
+		c.MaxCascades = 1024
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 65536
+	}
+	return c
+}
+
+// Store holds the live cascades. All methods are safe for concurrent use;
+// the store lock only guards the cascade index (lookup, LRU order,
+// eviction), while per-cascade work — validation, parent attribution, the
+// accumulator update — runs under that cascade's own lock, so appends to
+// distinct cascades proceed in parallel.
+type Store struct {
+	cfg Config
+
+	mu    sync.Mutex
+	byID  map[string]*list.Element
+	order *list.List // front = most recently touched
+
+	events, rebuilds, evictions *obs.Counter
+	cascades                    *obs.Gauge
+}
+
+// cascade is one live cascade: the event tail (dense IDs, MAP parents
+// embedded) plus the version-bound accumulator cache over it.
+type cascade struct {
+	id string
+
+	mu      sync.Mutex
+	version int64 // model version the accum and parents were computed under
+	events  []timeline.Activity
+	accum   *hawkes.StateAccum // nil for non-exponential banks
+}
+
+// NewStore builds a store; metrics may be nil.
+func NewStore(cfg Config, m *obs.Metrics) *Store {
+	return &Store{
+		cfg:       cfg.withDefaults(),
+		byID:      map[string]*list.Element{},
+		order:     list.New(),
+		events:    m.Counter("ingest.events"),
+		rebuilds:  m.Counter("ingest.rebuilds"),
+		evictions: m.Counter("ingest.evictions"),
+		cascades:  m.Gauge("ingest.cascades"),
+	}
+}
+
+// Result reports one append: totals after the append plus the MAP parent
+// assigned to each appended event (an index into the cascade's own
+// timeline, timeline.NoParent for immigrant picks).
+type Result struct {
+	Cascade  string
+	Version  int64 // model version the state is now bound to
+	Events   int   // total events in the cascade after the append
+	Appended int
+	Parents  []timeline.ActivityID
+	Rebuilt  bool // state was rebuilt because the model version moved
+}
+
+// Append absorbs a chronological batch of validated events into cascade id,
+// creating it on first touch. Each event gets its MAP parent attributed
+// under the given model (the running E-step) and is folded into the
+// cascade's accumulator (O(M) per event — no history replay). The events
+// must not precede the cascade's current tail; violations are
+// *timeline.ValidationError (the serve layer maps those to 400s).
+//
+// snapshot pinning: model/proc/version describe one registry snapshot. If
+// the cascade's state was built under an older version, the tail is
+// replayed under the new parameters first (counted in ingest.rebuilds), so
+// state and parents never mix two parameter sets.
+func (s *Store) Append(model *core.Model, proc *hawkes.Process, version int64, id string, acts []timeline.Activity) (*Result, error) {
+	if len(acts) == 0 {
+		return nil, &timeline.ValidationError{Index: -1, Field: "empty", Msg: "ingest: no events to append"}
+	}
+	c, err := s.touch(id, true)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.events)+len(acts) > s.cfg.MaxEvents {
+		return nil, &timeline.ValidationError{Index: -1, Field: "empty",
+			Msg: fmt.Sprintf("ingest: cascade %q would exceed the %d-event cap", id, s.cfg.MaxEvents)}
+	}
+	rebuilt, err := c.syncLocked(model, proc, version, s.rebuilds)
+	if err != nil {
+		return nil, err
+	}
+
+	last := math.Inf(-1)
+	if n := len(c.events); n > 0 {
+		last = c.events[n-1].Time
+	}
+	res := &Result{Cascade: id, Version: version, Rebuilt: rebuilt}
+	for k := range acts {
+		a := acts[k]
+		if math.IsNaN(a.Time) || math.IsInf(a.Time, 0) || a.Time < 0 {
+			return res, &timeline.ValidationError{Index: k, Field: "time",
+				Msg: fmt.Sprintf("time must be finite and non-negative, got %g", a.Time)}
+		}
+		if a.Time < last {
+			return res, &timeline.ValidationError{Index: k, Field: "order",
+				Msg: fmt.Sprintf("t=%g precedes the cascade's last event at t=%g", a.Time, last)}
+		}
+		if a.User < 0 || int(a.User) >= model.M {
+			return res, &timeline.ValidationError{Index: k, Field: "user",
+				Msg: fmt.Sprintf("user %d outside [0,%d)", a.User, model.M)}
+		}
+		last = a.Time
+		a.ID = timeline.ActivityID(len(c.events))
+		a.Parent = timeline.NoParent
+		c.events = append(c.events, a)
+		// Running E-step: MAP-attribute the event against the cascade as it
+		// stands — identical scoring to a batch pass over the final tail.
+		view := &timeline.Sequence{M: model.M, Horizon: a.Time, Activities: c.events}
+		p, err := model.MAPParent(view, len(c.events)-1)
+		if err != nil {
+			c.events = c.events[:len(c.events)-1]
+			return res, err
+		}
+		c.events[len(c.events)-1].Parent = p
+		if c.accum != nil {
+			if err := c.accum.Append(proc, int(a.User), a.Time); err != nil {
+				// Keep tail and accum consistent: drop the event again.
+				c.events = c.events[:len(c.events)-1]
+				return res, err
+			}
+		}
+		res.Parents = append(res.Parents, p)
+		res.Appended++
+		s.events.Inc()
+	}
+	res.Events = len(c.events)
+	return res, nil
+}
+
+// State pins cascade id against the given snapshot and returns its
+// continuation state finalized at horizon together with a copy of the event
+// tail (horizon 0 defaults to the last event's time). The returned sequence
+// is detached — callers may hand it to predict while appends continue — and
+// the state is bit-identical to a full HistoryState rebuild over the same
+// tail. A nil state with a nil error means the model has no fast-path state
+// (non-exponential bank); predict falls back to its own path.
+func (s *Store) State(model *core.Model, proc *hawkes.Process, version int64, id string, horizon float64) (*hawkes.ContState, *timeline.Sequence, error) {
+	c, err := s.touch(id, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.syncLocked(model, proc, version, s.rebuilds); err != nil {
+		return nil, nil, err
+	}
+	if len(c.events) == 0 {
+		return nil, nil, &timeline.ValidationError{Index: -1, Field: "empty", Msg: "ingest: cascade holds no events"}
+	}
+	lastT := c.events[len(c.events)-1].Time
+	if horizon == 0 {
+		horizon = lastT
+	}
+	if math.IsNaN(horizon) || math.IsInf(horizon, 0) || horizon < lastT {
+		return nil, nil, &timeline.ValidationError{Index: -1, Field: "horizon",
+			Msg: fmt.Sprintf("horizon %g precedes the cascade's last event at t=%g", horizon, lastT)}
+	}
+	seq := &timeline.Sequence{M: model.M, Horizon: horizon,
+		Activities: append([]timeline.Activity(nil), c.events...)}
+	return c.accum.Finalize(horizon), seq, nil
+}
+
+// Tails returns a detached copy of every cascade's event sequence (parents
+// embedded), most recently touched first — the refit path's raw material.
+// Cascades emptied or still version-stale are returned as-is; the refit
+// merge revalidates through the timeline front door anyway.
+func (s *Store) Tails(m int) []*timeline.Sequence {
+	s.mu.Lock()
+	els := make([]*cascade, 0, s.order.Len())
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		els = append(els, el.Value.(*cascade))
+	}
+	s.mu.Unlock()
+	var out []*timeline.Sequence
+	for _, c := range els {
+		c.mu.Lock()
+		if n := len(c.events); n > 0 {
+			out = append(out, &timeline.Sequence{M: m, Horizon: c.events[n-1].Time,
+				Activities: append([]timeline.Activity(nil), c.events...)})
+		}
+		c.mu.Unlock()
+	}
+	return out
+}
+
+// Merged builds the refit sequence: the training timeline (with its
+// inferred parents embedded) merged with every live cascade tail (with
+// their running MAP parents), normalized through timeline.Merge so parent
+// links survive the interleave. Returns nil when no cascade holds events —
+// there is nothing to refresh on.
+func (s *Store) Merged(train *timeline.Sequence, parents []timeline.ActivityID) *timeline.Sequence {
+	tails := s.Tails(train.M)
+	if len(tails) == 0 {
+		return nil
+	}
+	base := train.Clone()
+	if len(parents) == len(base.Activities) {
+		for i := range base.Activities {
+			base.Activities[i].Parent = parents[i]
+		}
+	}
+	return timeline.Merge(train.M, append([]*timeline.Sequence{base}, tails...)...)
+}
+
+// Len reports the live cascade count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// EventCount reports the total events across all live cascades.
+func (s *Store) EventCount() int {
+	s.mu.Lock()
+	els := make([]*cascade, 0, s.order.Len())
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		els = append(els, el.Value.(*cascade))
+	}
+	s.mu.Unlock()
+	total := 0
+	for _, c := range els {
+		c.mu.Lock()
+		total += len(c.events)
+		c.mu.Unlock()
+	}
+	return total
+}
+
+// touch looks the cascade up, moves it to the LRU front, and (when create
+// is set) makes it on first reference — evicting the least recently touched
+// cascade past the cap.
+func (s *Store) touch(id string, create bool) (*cascade, error) {
+	if id == "" {
+		return nil, &timeline.ValidationError{Index: -1, Field: "empty", Msg: "ingest: cascade id must be non-empty"}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byID[id]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*cascade), nil
+	}
+	if !create {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownCascade, id)
+	}
+	c := &cascade{id: id, version: -1}
+	s.byID[id] = s.order.PushFront(c)
+	for s.cfg.MaxCascades > 0 && s.order.Len() > s.cfg.MaxCascades {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.byID, oldest.Value.(*cascade).id)
+		s.evictions.Inc()
+	}
+	s.cascades.Set(float64(s.order.Len()))
+	return c, nil
+}
+
+// syncLocked rebinds the cascade to the given snapshot version: on a
+// version change the accumulator is rebuilt by replaying the tail and every
+// parent is re-attributed under the new parameters. Rebuild failures leave
+// the cascade stale and report the error (the tail is untouched, so a later
+// snapshot can still rebuild).
+func (c *cascade) syncLocked(model *core.Model, proc *hawkes.Process, version int64, rebuilds *obs.Counter) (bool, error) {
+	if c.version == version {
+		return false, nil
+	}
+	first := c.version < 0
+	accum := proc.NewStateAccum()
+	if accum != nil {
+		if err := accum.AppendAll(proc, c.events); err != nil {
+			return false, fmt.Errorf("ingest: rebuilding cascade %q under model version %d: %w", c.id, version, err)
+		}
+	}
+	if len(c.events) > 0 {
+		view := &timeline.Sequence{M: model.M, Horizon: c.events[len(c.events)-1].Time, Activities: c.events}
+		for k := range c.events {
+			// Scoring event k reads only events before it, so re-attributing
+			// in place over the shared slice is the batch pass exactly.
+			p, err := model.MAPParent(view, k)
+			if err != nil {
+				return false, fmt.Errorf("ingest: re-attributing cascade %q: %w", c.id, err)
+			}
+			c.events[k].Parent = p
+		}
+	}
+	c.accum = accum
+	c.version = version
+	if !first {
+		rebuilds.Inc()
+	}
+	return !first, nil
+}

@@ -1,0 +1,308 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	gen "chassis/internal/cascade"
+	"chassis/internal/core"
+	"chassis/internal/hawkes"
+	"chassis/internal/obs"
+	"chassis/internal/timeline"
+)
+
+// fixture fits a compact exponential-kernel model (the bank the streaming
+// accumulator requires) and returns it with its process and a live tail to
+// ingest: the tail of the generator's sequence, re-based as a fresh cascade.
+func fixture(t *testing.T) (*core.Model, *hawkes.Process, []timeline.Activity) {
+	t.Helper()
+	d, err := gen.Generate(gen.Config{
+		Name: "ingest", M: 10, Horizon: 600, Seed: 23,
+		Graph: gen.BarabasiAlbert, GraphDegree: 2, Reciprocity: 0.5,
+		Topics: 2, BaseRateLo: 0.01, BaseRateHi: 0.03,
+		KernelRate: 0.8, TargetBranching: 0.5,
+		ConformityWeight: 0.6, PolarityNoise: 0.15, LikeFraction: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.Fit(d.Seq, core.Config{
+		Variant: core.VariantL, EMIters: 3, MStepIters: 10,
+		IntegrationGrid: 48, Seed: 5, ExpKernel: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.Seq.Len()
+	tail := make([]timeline.Activity, 0, 40)
+	for _, a := range d.Seq.Activities[n-40:] {
+		a.Parent = timeline.NoParent
+		tail = append(tail, a)
+	}
+	return m, m.Process(), tail
+}
+
+// TestAppendMatchesBatchRebuild is the replay oracle at the store level:
+// ingesting a cascade one event per Append call yields the same state,
+// parents, and finalized continuation values as one bulk Append — and as a
+// from-scratch HistoryState over the same tail. Bit-identical, not within
+// tolerance.
+func TestAppendMatchesBatchRebuild(t *testing.T) {
+	m, proc, tail := fixture(t)
+	metrics := obs.NewMetrics()
+	one := NewStore(Config{}, metrics)
+	bulk := NewStore(Config{}, metrics)
+
+	var parents []timeline.ActivityID
+	for k := range tail {
+		res, err := one.Append(m, proc, 1, "c", tail[k:k+1])
+		if err != nil {
+			t.Fatalf("event %d: %v", k, err)
+		}
+		parents = append(parents, res.Parents...)
+	}
+	bres, err := bulk.Append(m, proc, 1, "c", tail)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.Events != len(tail) || bres.Appended != len(tail) {
+		t.Fatalf("bulk counts: events=%d appended=%d", bres.Events, bres.Appended)
+	}
+	for k := range parents {
+		if parents[k] != bres.Parents[k] {
+			t.Fatalf("event %d: streaming parent %d != bulk parent %d", k, parents[k], bres.Parents[k])
+		}
+	}
+	horizon := tail[len(tail)-1].Time + 3
+	stOne, seqOne, err := one.State(m, proc, 1, "c", horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stBulk, _, err := bulk.State(m, proc, 1, "c", horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stOne == nil || stBulk == nil {
+		t.Fatal("nil state for an exponential-kernel model")
+	}
+	for i := range stOne.R {
+		if stOne.R[i] != stBulk.R[i] {
+			t.Fatalf("R[%d]: one-by-one %v != bulk %v", i, stOne.R[i], stBulk.R[i])
+		}
+	}
+	want := proc.HistoryState(seqOne)
+	for i := range want.R {
+		if stOne.R[i] != want.R[i] {
+			t.Fatalf("R[%d]: ingested %v != full rebuild %v (not bit-identical)", i, stOne.R[i], want.R[i])
+		}
+	}
+	// And the embedded parents equal a batch MAP pass over the same tail.
+	batch, err := m.AssignParents(seqOne.StripParents(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, a := range seqOne.Activities {
+		if a.Parent != batch[k] {
+			t.Fatalf("event %d: running parent %d != batch parent %d", k, a.Parent, batch[k])
+		}
+	}
+}
+
+// TestVersionChangeRebuilds: a new snapshot version transparently replays
+// the tail, and the rebuilt state matches a store that only ever saw the
+// new version.
+func TestVersionChangeRebuilds(t *testing.T) {
+	m, proc, tail := fixture(t)
+	metrics := obs.NewMetrics()
+	s := NewStore(Config{}, metrics)
+	if _, err := s.Append(m, proc, 1, "c", tail[:20]); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Append(m, proc, 2, "c", tail[20:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rebuilt {
+		t.Error("version change did not rebuild")
+	}
+	if got := metrics.Counter("ingest.rebuilds").Value(); got != 1 {
+		t.Errorf("rebuilds = %d, want 1", got)
+	}
+	fresh := NewStore(Config{}, obs.NewMetrics())
+	if _, err := fresh.Append(m, proc, 2, "c", tail); err != nil {
+		t.Fatal(err)
+	}
+	horizon := tail[len(tail)-1].Time + 1
+	a, _, err := s.State(m, proc, 2, "c", horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := fresh.State(m, proc, 2, "c", horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.R {
+		if a.R[i] != b.R[i] {
+			t.Fatalf("rebuilt R[%d] = %v, fresh %v", i, a.R[i], b.R[i])
+		}
+	}
+}
+
+// TestAppendValidation exercises the front-door guards.
+func TestAppendValidation(t *testing.T) {
+	m, proc, tail := fixture(t)
+	s := NewStore(Config{MaxEvents: 8}, obs.NewMetrics())
+	var ve *timeline.ValidationError
+	if _, err := s.Append(m, proc, 1, "", tail[:1]); !errors.As(err, &ve) {
+		t.Error("empty cascade id accepted")
+	}
+	if _, err := s.Append(m, proc, 1, "c", nil); !errors.As(err, &ve) {
+		t.Error("empty event batch accepted")
+	}
+	if _, err := s.Append(m, proc, 1, "c", tail[:2]); err != nil {
+		t.Fatal(err)
+	}
+	// Out of order vs the existing tail.
+	early := tail[0]
+	early.Time = 0
+	if _, err := s.Append(m, proc, 1, "c", []timeline.Activity{early}); !errors.As(err, &ve) {
+		t.Error("out-of-order append accepted")
+	}
+	bad := tail[2]
+	bad.User = timeline.UserID(m.M)
+	if _, err := s.Append(m, proc, 1, "c", []timeline.Activity{bad}); !errors.As(err, &ve) {
+		t.Error("out-of-range user accepted")
+	}
+	if _, err := s.Append(m, proc, 1, "c", tail[2:12]); !errors.As(err, &ve) {
+		t.Error("append past the event cap accepted")
+	}
+	if _, _, err := s.State(m, proc, 1, "nope", 0); !errors.Is(err, ErrUnknownCascade) {
+		t.Error("unknown cascade did not return ErrUnknownCascade")
+	}
+	if _, _, err := s.State(m, proc, 1, "c", tail[0].Time); !errors.As(err, &ve) {
+		t.Error("horizon before the tail accepted")
+	}
+}
+
+// TestCascadeEviction: the LRU bound holds and evicted cascades vanish.
+func TestCascadeEviction(t *testing.T) {
+	m, proc, tail := fixture(t)
+	metrics := obs.NewMetrics()
+	s := NewStore(Config{MaxCascades: 2}, metrics)
+	for i := 0; i < 4; i++ {
+		if _, err := s.Append(m, proc, 1, fmt.Sprintf("c%d", i), tail[:3]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("store holds %d cascades, cap is 2", s.Len())
+	}
+	if got := metrics.Counter("ingest.evictions").Value(); got != 2 {
+		t.Errorf("evictions = %d, want 2", got)
+	}
+	if _, _, err := s.State(m, proc, 1, "c0", 0); !errors.Is(err, ErrUnknownCascade) {
+		t.Error("evicted cascade still resolvable")
+	}
+	if s.EventCount() != 6 {
+		t.Errorf("event count = %d, want 6", s.EventCount())
+	}
+}
+
+// TestConcurrentAppendsDistinctCascades: parallel appends to separate
+// cascades do not interfere (run under -race), and each cascade ends with
+// exactly its own events and the same state a serial ingest produces.
+func TestConcurrentAppendsDistinctCascades(t *testing.T) {
+	m, proc, tail := fixture(t)
+	s := NewStore(Config{}, obs.NewMetrics())
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("c%d", g)
+			for k := range tail {
+				if _, err := s.Append(m, proc, 1, id, tail[k:k+1]); err != nil {
+					errs <- fmt.Errorf("%s event %d: %w", id, k, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	serial := NewStore(Config{}, obs.NewMetrics())
+	if _, err := serial.Append(m, proc, 1, "ref", tail); err != nil {
+		t.Fatal(err)
+	}
+	horizon := tail[len(tail)-1].Time + 2
+	ref, _, err := serial.State(m, proc, 1, "ref", horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < goroutines; g++ {
+		st, seq, err := s.State(m, proc, 1, fmt.Sprintf("c%d", g), horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.Len() != len(tail) {
+			t.Fatalf("cascade c%d holds %d events, want %d", g, seq.Len(), len(tail))
+		}
+		for i := range ref.R {
+			if st.R[i] != ref.R[i] {
+				t.Fatalf("cascade c%d diverged from serial ingest at R[%d]", g, i)
+			}
+		}
+	}
+}
+
+// TestMergedCarriesParents: the refit merge embeds both the training
+// parents and the cascades' running MAP parents, normalized.
+func TestMergedCarriesParents(t *testing.T) {
+	m, proc, tail := fixture(t)
+	s := NewStore(Config{}, obs.NewMetrics())
+	if s.Merged(&timeline.Sequence{M: m.M, Horizon: 1}, nil) != nil {
+		t.Fatal("empty store produced a merged sequence")
+	}
+	if _, err := s.Append(m, proc, 1, "c", tail); err != nil {
+		t.Fatal(err)
+	}
+	train := &timeline.Sequence{M: m.M, Horizon: 5, Activities: []timeline.Activity{
+		{ID: 0, User: 0, Time: 0.5, Parent: timeline.NoParent},
+		{ID: 1, User: 1, Time: 1.5, Parent: timeline.NoParent},
+	}}
+	merged := s.Merged(train, []timeline.ActivityID{timeline.NoParent, 0})
+	if merged == nil {
+		t.Fatal("nil merged sequence")
+	}
+	if merged.Len() != train.Len()+len(tail) {
+		t.Fatalf("merged %d events, want %d", merged.Len(), train.Len()+len(tail))
+	}
+	if err := merged.Check(); err != nil {
+		t.Fatalf("merged sequence invalid: %v", err)
+	}
+	// The supplied train parent (event 1 → event 0) survives the merge.
+	if merged.Activities[1].Parent != 0 {
+		t.Errorf("train parent lost in merge: %d", merged.Activities[1].Parent)
+	}
+	// At least one ingested event kept a non-immigrant running parent.
+	nonImmigrant := 0
+	for _, a := range merged.Activities[2:] {
+		if a.Parent != timeline.NoParent {
+			nonImmigrant++
+		}
+	}
+	if nonImmigrant == 0 {
+		t.Error("no cascade parent survived the merge")
+	}
+	// And the original train sequence was not mutated.
+	if train.Activities[1].Parent != timeline.NoParent {
+		t.Error("Merged mutated the caller's training sequence")
+	}
+}

@@ -43,6 +43,7 @@ const (
 	EndpointNext      Endpoint = "next"
 	EndpointCounts    Endpoint = "counts"
 	EndpointInfluence Endpoint = "influence"
+	EndpointIngest    Endpoint = "ingest"
 )
 
 // path returns the URL path the endpoint posts to.
@@ -54,6 +55,8 @@ func (e Endpoint) path() string {
 		return "/v1/predict/counts"
 	case EndpointInfluence:
 		return "/v1/influence"
+	case EndpointIngest:
+		return "/v1/ingest"
 	}
 	return ""
 }
@@ -76,10 +79,10 @@ type CorpusConfig struct {
 	// MaxHistory caps events per request history (default 512; also capped
 	// by the source sequence length).
 	MaxHistory int
-	// NextFraction, CountsFraction, InfluenceFraction split the corpus
-	// across endpoints; they are normalized, and all-zero defaults to
-	// 0.6/0.2/0.2.
-	NextFraction, CountsFraction, InfluenceFraction float64
+	// NextFraction, CountsFraction, InfluenceFraction, IngestFraction split
+	// the corpus across endpoints; they are normalized, and all-zero
+	// defaults to 0.6/0.2/0.2 with no ingest traffic.
+	NextFraction, CountsFraction, InfluenceFraction, IngestFraction float64
 	// Draws is the Monte-Carlo draw count per prediction request (default
 	// 40 — small enough that per-request setup cost is visible, the
 	// regime the history cache targets).
@@ -101,7 +104,7 @@ func (c CorpusConfig) withDefaults() CorpusConfig {
 	if c.MaxHistory <= 0 {
 		c.MaxHistory = 512
 	}
-	if c.NextFraction == 0 && c.CountsFraction == 0 && c.InfluenceFraction == 0 {
+	if c.NextFraction == 0 && c.CountsFraction == 0 && c.InfluenceFraction == 0 && c.IngestFraction == 0 {
 		c.NextFraction, c.CountsFraction, c.InfluenceFraction = 0.6, 0.2, 0.2
 	}
 	if c.Draws <= 0 {
@@ -154,12 +157,36 @@ func BuildCorpus(seq *timeline.Sequence, cfg CorpusConfig) ([]Request, error) {
 		horizons[h] = seq.Activities[n-1].Time
 	}
 
-	total := cfg.NextFraction + cfg.CountsFraction + cfg.InfluenceFraction
+	total := cfg.NextFraction + cfg.CountsFraction + cfg.InfluenceFraction + cfg.IngestFraction
 	pNext := cfg.NextFraction / total
 	pCounts := cfg.CountsFraction / total
+	pIngest := cfg.IngestFraction / total
 
 	out := make([]Request, 0, cfg.Requests)
+	nIngest := 0
 	for i := 0; i < cfg.Requests; i++ {
+		u := r.Float64()
+		// Ingest appends one event to its own live cascade. One event and a
+		// per-request cascade keep the corpus replayable: re-sending the
+		// request appends at exactly the cascade's tail time, which the store
+		// accepts, so a round-robin replay under -duration never turns into
+		// validation errors that would pollute the shed/backpressure split.
+		if u >= pNext+pCounts && u < pNext+pCounts+pIngest {
+			src := seq.Activities[r.Intn(seq.Len())]
+			body, err := json.Marshal(serve.IngestRequest{
+				CascadeID: fmt.Sprintf("live-%d", nIngest),
+				Events: []serve.ActivityJSON{{
+					User: int(src.User), Time: src.Time,
+					Kind: src.Kind.String(), Polarity: src.Polarity,
+				}},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: marshaling request %d: %w", i, err)
+			}
+			nIngest++
+			out = append(out, Request{Endpoint: EndpointIngest, Body: body})
+			continue
+		}
 		h := r.Intn(cfg.Histories)
 		req := serve.PredictRequest{
 			History: prefixes[h],
@@ -168,7 +195,7 @@ func BuildCorpus(seq *timeline.Sequence, cfg CorpusConfig) ([]Request, error) {
 			Seed:    cfg.Seed, // fixed per corpus: repeat queries are true repeats
 		}
 		var ep Endpoint
-		switch u := r.Float64(); {
+		switch {
 		case u < pNext:
 			ep = EndpointNext
 			req.Lookahead = cfg.Lookahead

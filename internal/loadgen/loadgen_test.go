@@ -284,3 +284,44 @@ func TestQuantilesNearestRank(t *testing.T) {
 		t.Fatal("empty sample should report zeros")
 	}
 }
+
+func TestBuildCorpusIngestFraction(t *testing.T) {
+	seq := corpusSeq(6, 80)
+	corpus, err := BuildCorpus(seq, CorpusConfig{
+		Requests: 200, Histories: 5, Seed: 2,
+		NextFraction: 0.5, CountsFraction: 0.1, InfluenceFraction: 0.1, IngestFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	nIngest := 0
+	for i, req := range corpus {
+		if req.Endpoint != EndpointIngest {
+			continue
+		}
+		nIngest++
+		var ir serve.IngestRequest
+		if err := json.Unmarshal(req.Body, &ir); err != nil {
+			t.Fatalf("request %d: body does not decode as IngestRequest: %v", i, err)
+		}
+		if ir.CascadeID == "" || len(ir.Events) != 1 {
+			t.Fatalf("request %d: ingest body %+v, want one event and a cascade id", i, ir)
+		}
+		// Replay safety: each request owns its cascade, so re-sending it
+		// appends at the tail time instead of failing validation.
+		if ids[ir.CascadeID] {
+			t.Fatalf("request %d: cascade %q reused across corpus entries", i, ir.CascadeID)
+		}
+		ids[ir.CascadeID] = true
+		if ev := ir.Events[0]; ev.User < 0 || ev.User >= seq.M || ev.Time < 0 {
+			t.Fatalf("request %d: malformed ingest event %+v", i, ev)
+		}
+	}
+	if nIngest < 30 || nIngest > 90 {
+		t.Fatalf("ingest requests = %d of 200, want roughly the 0.3 band", nIngest)
+	}
+	if EndpointIngest.path() != "/v1/ingest" {
+		t.Fatalf("ingest path = %q", EndpointIngest.path())
+	}
+}

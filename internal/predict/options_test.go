@@ -11,18 +11,18 @@ import (
 	"chassis/internal/timeline"
 )
 
-// TestOptionsMatchDeprecatedWrappers pins the API migration contract: the
-// Options-based entry points reproduce the positional wrappers bit for bit,
-// and stay bit-identical at every Workers setting.
-func TestOptionsMatchDeprecatedWrappers(t *testing.T) {
+// TestOptionsBitIdenticalAcrossWorkers pins the Options API's determinism
+// contract: every entry point produces bit-identical results at every
+// Workers setting (the serial Workers=1 loop is the reference).
+func TestOptionsBitIdenticalAcrossWorkers(t *testing.T) {
 	proc := poisson2(t, 0.1, 0.4)
 	history := emptyHistory(2, 10)
 
-	wantNext, err := PredictNext(proc, history, 30, 200, rng.New(11))
+	wantNext, err := Next(proc, history, Options{Lookahead: 30, Draws: 200, Seed: 11, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantCounts, err := ForecastCounts(proc, history, 50, 150, rng.New(12))
+	wantCounts, err := Counts(proc, history, Options{Window: 50, Draws: 150, Seed: 12, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestOptionsMatchDeprecatedWrappers(t *testing.T) {
 			ID: timeline.ActivityID(i), User: 1, Time: tt, Parent: timeline.NoParent,
 		})
 	}
-	wantAcc, wantN, err := EvaluateNextUser(proc, history, test, 8, 60, rng.New(14))
+	wantAcc, wantN, err := NextUserAccuracy(proc, history, test, Options{Steps: 8, Draws: 60, Seed: 14, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,18 +46,18 @@ func TestOptionsMatchDeprecatedWrappers(t *testing.T) {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		if next != wantNext {
-			t.Errorf("workers=%d: Next = %+v, wrapper = %+v", workers, next, wantNext)
+			t.Errorf("workers=%d: Next = %+v, want %+v", workers, next, wantNext)
 		}
 		fc, err := Counts(proc, history, Options{Window: 50, Draws: 150, Seed: 12, Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		if fc.Total != wantCounts.Total {
-			t.Errorf("workers=%d: Counts total %v, wrapper %v", workers, fc.Total, wantCounts.Total)
+			t.Errorf("workers=%d: Counts total %v, want %v", workers, fc.Total, wantCounts.Total)
 		}
 		for i := range fc.PerUser {
 			if fc.PerUser[i] != wantCounts.PerUser[i] {
-				t.Errorf("workers=%d: PerUser[%d] = %v, wrapper %v", workers, i, fc.PerUser[i], wantCounts.PerUser[i])
+				t.Errorf("workers=%d: PerUser[%d] = %v, want %v", workers, i, fc.PerUser[i], wantCounts.PerUser[i])
 			}
 		}
 		acc, n, err := NextUserAccuracy(proc, history, test, Options{Steps: 8, Draws: 60, Seed: 14, Workers: workers})
@@ -65,7 +65,7 @@ func TestOptionsMatchDeprecatedWrappers(t *testing.T) {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
 		if acc != wantAcc || n != wantN {
-			t.Errorf("workers=%d: accuracy %v/%d, wrapper %v/%d", workers, acc, n, wantAcc, wantN)
+			t.Errorf("workers=%d: accuracy %v/%d, want %v/%d", workers, acc, n, wantAcc, wantN)
 		}
 	}
 }

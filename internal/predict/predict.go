@@ -9,8 +9,7 @@
 // each draw simulates from its own Split-derived RNG stream (keyed by the
 // draw index, exactly the stream the historical serial loop used) and
 // writes only its own result slot, and the reduction runs in draw order —
-// so forecasts are bit-identical at every Workers setting, and identical to
-// the deprecated positional wrappers.
+// so forecasts are bit-identical at every Workers setting.
 package predict
 
 import (
@@ -54,9 +53,8 @@ type Options struct {
 	// completed draw — possibly from concurrent worker goroutines.
 	Observer obs.PredictObserver
 	// RNG overrides Seed with an existing stream: draw d simulates from
-	// RNG.Split(d), which is exactly what the deprecated positional API
-	// did, so wrappers built on this field reproduce historical outputs
-	// bit for bit.
+	// RNG.Split(d), so callers holding a live stream reproduce the same
+	// outputs as Seed-based callers bit for bit.
 	RNG *rng.RNG
 	// HistState, when non-nil, supplies the history's precomputed
 	// exponential continuation state (hawkes.Process.HistoryState) so the
@@ -294,29 +292,4 @@ func NextUserAccuracy(proc *hawkes.Process, history, test *timeline.Sequence, o 
 		return 0, 0, nil
 	}
 	return float64(hits) / float64(total), total, nil
-}
-
-// PredictNext forecasts the next activity after the history.
-//
-// Deprecated: use Next with Options; this wrapper (kept for historical
-// callers) produces bit-identical results.
-func PredictNext(proc *hawkes.Process, history *timeline.Sequence, lookahead float64, draws int, r *rng.RNG) (NextActivity, error) {
-	return Next(proc, history, Options{Lookahead: lookahead, Draws: draws, RNG: r})
-}
-
-// ForecastCounts estimates per-user activity counts over the next window.
-//
-// Deprecated: use Counts with Options; this wrapper (kept for historical
-// callers) produces bit-identical results.
-func ForecastCounts(proc *hawkes.Process, history *timeline.Sequence, window float64, draws int, r *rng.RNG) (CountForecast, error) {
-	return Counts(proc, history, Options{Window: window, Draws: draws, RNG: r})
-}
-
-// EvaluateNextUser scores next-actor prediction against a held-out
-// continuation.
-//
-// Deprecated: use NextUserAccuracy with Options; this wrapper (kept for
-// historical callers) produces bit-identical results.
-func EvaluateNextUser(proc *hawkes.Process, history *timeline.Sequence, test *timeline.Sequence, steps, draws int, r *rng.RNG) (float64, int, error) {
-	return NextUserAccuracy(proc, history, test, Options{Steps: steps, Draws: draws, RNG: r})
 }

@@ -27,9 +27,9 @@ func emptyHistory(m int, horizon float64) *timeline.Sequence {
 	return &timeline.Sequence{M: m, Horizon: horizon}
 }
 
-func TestPredictNextPrefersHigherRate(t *testing.T) {
+func TestNextPrefersHigherRate(t *testing.T) {
 	proc := poisson2(t, 0.05, 0.5) // user 1 ten times as active
-	pred, err := PredictNext(proc, emptyHistory(2, 10), 50, 400, rng.New(1))
+	pred, err := Next(proc, emptyHistory(2, 10), Options{Lookahead: 50, Draws: 400, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,14 +49,14 @@ func TestPredictNextPrefersHigherRate(t *testing.T) {
 	}
 }
 
-func TestPredictNextValidation(t *testing.T) {
+func TestNextLookaheadValidation(t *testing.T) {
 	proc := poisson2(t, 0.1, 0.1)
-	if _, err := PredictNext(proc, emptyHistory(2, 10), 0, 10, rng.New(1)); err == nil {
+	if _, err := Next(proc, emptyHistory(2, 10), Options{Draws: 10, Seed: 1}); err == nil {
 		t.Error("zero lookahead must fail")
 	}
 	// Quiet process: no draws produce events in a tiny window.
 	quiet := poisson2(t, 1e-9, 1e-9)
-	pred, err := PredictNext(quiet, emptyHistory(2, 10), 0.001, 20, rng.New(1))
+	pred, err := Next(quiet, emptyHistory(2, 10), Options{Lookahead: 0.001, Draws: 20, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,9 +65,9 @@ func TestPredictNextValidation(t *testing.T) {
 	}
 }
 
-func TestForecastCounts(t *testing.T) {
+func TestCounts(t *testing.T) {
 	proc := poisson2(t, 0.2, 0.4)
-	fc, err := ForecastCounts(proc, emptyHistory(2, 0.0001), 100, 200, rng.New(2))
+	fc, err := Counts(proc, emptyHistory(2, 0.0001), Options{Window: 100, Draws: 200, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,19 +80,19 @@ func TestForecastCounts(t *testing.T) {
 	if math.Abs(fc.Total-(fc.PerUser[0]+fc.PerUser[1])) > 1e-9 {
 		t.Error("total must equal the per-user sum")
 	}
-	if _, err := ForecastCounts(proc, emptyHistory(2, 1), -1, 10, rng.New(1)); err == nil {
+	if _, err := Counts(proc, emptyHistory(2, 1), Options{Window: -1, Draws: 10, Seed: 1}); err == nil {
 		t.Error("negative window must fail")
 	}
 }
 
-func TestForecastSelfExcitingExceedsPoisson(t *testing.T) {
+func TestCountsSelfExcitingExceedsPoisson(t *testing.T) {
 	exc, _ := hawkes.NewConstExcitation([][]float64{{0.6}})
 	k, _ := kernel.NewExponential(1)
 	hp := &hawkes.Process{
 		M: 1, Mu: []float64{0.2}, Exc: exc,
 		Kernels: hawkes.SharedKernel{K: k}, Link: hawkes.LinearLink{},
 	}
-	fc, err := ForecastCounts(hp, emptyHistory(1, 0.0001), 200, 150, rng.New(3))
+	fc, err := Counts(hp, emptyHistory(1, 0.0001), Options{Window: 200, Draws: 150, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +102,7 @@ func TestForecastSelfExcitingExceedsPoisson(t *testing.T) {
 	}
 }
 
-func TestEvaluateNextUser(t *testing.T) {
+func TestNextUserAccuracy(t *testing.T) {
 	// Strongly asymmetric rates: predicting "user 1" is right whenever the
 	// actual actor is user 1, which dominates the test stream.
 	proc := poisson2(t, 0.02, 0.5)
@@ -120,7 +120,7 @@ func TestEvaluateNextUser(t *testing.T) {
 			ID: timeline.ActivityID(i), User: u, Time: tt, Parent: timeline.NoParent,
 		})
 	}
-	acc, n, err := EvaluateNextUser(proc, history, test, 10, 100, rng.New(5))
+	acc, n, err := NextUserAccuracy(proc, history, test, Options{Steps: 10, Draws: 100, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestEvaluateNextUser(t *testing.T) {
 	if acc < 0.7 {
 		t.Errorf("accuracy = %g, want > 0.7 under a 10:1 rate skew", acc)
 	}
-	if _, _, err := EvaluateNextUser(proc, history, &timeline.Sequence{M: 2}, 1, 10, rng.New(1)); err == nil {
+	if _, _, err := NextUserAccuracy(proc, history, &timeline.Sequence{M: 2}, Options{Steps: 1, Draws: 10, Seed: 1}); err == nil {
 		t.Error("empty test must fail")
 	}
 }
@@ -151,11 +151,11 @@ func TestContinueRespectsHistory(t *testing.T) {
 		})
 	}
 	quiet := emptyHistory(1, 10)
-	burstC, err := ForecastCounts(proc, burst, 10, 150, rng.New(6))
+	burstC, err := Counts(proc, burst, Options{Window: 10, Draws: 150, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	quietC, err := ForecastCounts(proc, quiet, 10, 150, rng.New(6))
+	quietC, err := Counts(proc, quiet, Options{Window: 10, Draws: 150, Seed: 6})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,23 +7,45 @@ import (
 	"fmt"
 	"net/http"
 
+	"chassis/internal/ingest"
 	"chassis/internal/predict"
 	"chassis/internal/timeline"
 )
 
-// Error is the typed API failure every chassis-serve endpoint returns: an
-// HTTP status plus a stable machine-readable code and a human-readable
-// message, rendered as {"error":{"code":...,"message":...}}. The overload
-// responses the dispatcher hands back (429 queue_full, 503 draining) are
-// package-level values so both the handlers and the tests can compare by
-// identity with errors.Is.
+// APIErrorSchema versions the error envelope every /v1/* endpoint emits.
+// Clients dispatch on it before reading codes; additions to the envelope
+// bump the suffix, and codes are only ever added within one schema version,
+// never renamed or removed.
+const APIErrorSchema = "chassis.api-error/v1"
+
+// Error is the typed API failure every chassis-serve endpoint — predict,
+// influence, and ingest alike — returns: an HTTP status plus a stable
+// machine-readable code, a retryability hint, and a human-readable message,
+// rendered as {"error":{"schema":...,"code":...,"retryable":...,
+// "message":...}}. The overload responses the dispatcher hands back (429
+// queue_full, 503 draining) are package-level values so both the handlers
+// and the tests can compare by identity with errors.Is.
+//
+// The codes partition the failure space: validation (invalid_request,
+// method_not_allowed, cascade_not_found), backpressure (queue_full,
+// draining, no_model), deadline (deadline_exceeded), reload interplay
+// (reload_failed, reload_conflict), and internal.
 type Error struct {
 	// Status is the HTTP status code the error maps to.
 	Status int `json:"-"`
+	// Schema is the envelope version (APIErrorSchema); filled in by
+	// writeError so literal Error values need not repeat it.
+	Schema string `json:"schema,omitempty"`
 	// Code is the stable machine-readable discriminator: "queue_full",
 	// "draining", "no_model", "deadline_exceeded", "invalid_request",
-	// "method_not_allowed", "reload_failed", or "internal".
+	// "method_not_allowed", "cascade_not_found", "reload_failed",
+	// "reload_conflict", or "internal".
 	Code string `json:"code"`
+	// Retryable hints whether retrying the identical request can succeed —
+	// against this instance after backoff (queue_full), or another instance
+	// (draining, deadline_exceeded), or after the conflicting operation
+	// settles (reload_conflict). Validation failures are never retryable.
+	Retryable bool `json:"retryable"`
 	// Message is the human-readable account.
 	Message string `json:"message"`
 }
@@ -37,13 +59,17 @@ func (e *Error) Error() string {
 // when the bounded queue is at depth — the client should back off and
 // retry; ErrDraining is the 503 returned once graceful drain has begun —
 // the client should fail over, no retry against this instance will succeed.
+// ErrReloadConflict is the 409 an in-memory install (incremental refit)
+// returns when the base snapshot moved between pinning and installing.
 var (
-	ErrQueueFull = &Error{Status: http.StatusTooManyRequests, Code: "queue_full",
+	ErrQueueFull = &Error{Status: http.StatusTooManyRequests, Code: "queue_full", Retryable: true,
 		Message: "prediction queue is full; back off and retry"}
-	ErrDraining = &Error{Status: http.StatusServiceUnavailable, Code: "draining",
+	ErrDraining = &Error{Status: http.StatusServiceUnavailable, Code: "draining", Retryable: true,
 		Message: "server is draining; no new work is accepted"}
-	ErrNotReady = &Error{Status: http.StatusServiceUnavailable, Code: "no_model",
+	ErrNotReady = &Error{Status: http.StatusServiceUnavailable, Code: "no_model", Retryable: true,
 		Message: "no model snapshot is loaded yet"}
+	ErrReloadConflict = &Error{Status: http.StatusConflict, Code: "reload_conflict", Retryable: true,
+		Message: "model snapshot changed during the operation; retry against the new version"}
 )
 
 // badRequest builds a 400 invalid_request error.
@@ -53,10 +79,10 @@ func badRequest(format string, args ...any) *Error {
 }
 
 // asAPIError normalizes any handler failure into an *Error: typed API
-// errors pass through, prediction/timeline validation failures become 400s,
-// a deadline or cancellation that fired while the request was queued or
-// mid-simulation becomes a 503 the client can retry elsewhere, and anything
-// else is a 500.
+// errors pass through, prediction/timeline/ingest validation failures
+// become 400s, an unknown cascade a 404, a deadline or cancellation that
+// fired while the request was queued or mid-simulation becomes a 503 the
+// client can retry elsewhere, and anything else is a 500.
 func asAPIError(err error) *Error {
 	var ae *Error
 	if errors.As(err, &ae) {
@@ -70,20 +96,28 @@ func asAPIError(err error) *Error {
 	if errors.As(err, &tv) {
 		return badRequest("%s", tv.Error())
 	}
+	if errors.Is(err, ingest.ErrUnknownCascade) {
+		return &Error{Status: http.StatusNotFound, Code: "cascade_not_found",
+			Message: err.Error()}
+	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-		return &Error{Status: http.StatusServiceUnavailable, Code: "deadline_exceeded",
-			Message: "request deadline expired before the prediction completed"}
+		return &Error{Status: http.StatusServiceUnavailable, Code: "deadline_exceeded", Retryable: true,
+			Message: "request deadline expired before the work completed"}
 	}
 	return &Error{Status: http.StatusInternalServerError, Code: "internal", Message: err.Error()}
 }
 
-// writeError renders err as the endpoint's JSON error envelope.
+// writeError renders err as the versioned JSON error envelope shared by
+// every endpoint. The rendered copy carries the schema tag; the original
+// value is not mutated (package-level sentinels are shared).
 func writeError(w http.ResponseWriter, err error) {
 	ae := asAPIError(err)
+	versioned := *ae
+	versioned.Schema = APIErrorSchema
 	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(ae.Status)
+	w.WriteHeader(versioned.Status)
 	//nolint:errcheck // the response writer is best-effort at this point
 	json.NewEncoder(w).Encode(struct {
 		Error *Error `json:"error"`
-	}{ae})
+	}{&versioned})
 }

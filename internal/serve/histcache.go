@@ -13,29 +13,38 @@ import (
 	"chassis/internal/timeline"
 )
 
-// The history-state cache memoizes the exponential continuation state
-// (hawkes.ContState) of request histories, keyed by a fingerprint of the
-// exact history bytes the forecast conditions on. Repeat and incremental
-// clients — dashboards refreshing a cascade, pollers re-asking with the
-// same prefix — skip the O(history · M) state rebuild on every hit; the
-// simulation itself is untouched, so cached and uncached responses are
-// bit-identical (predict.Options.HistState's contract, pinned by tests at
-// both the predict and serve layers).
+// The history-state cache memoizes the exponential continuation state of
+// request histories — but incrementally: entries are frozen
+// hawkes.StateAccum values (the appendable mid-sweep recursion state), keyed
+// by a chained digest of the exact history prefix they cover. A repeat
+// request with the identical history is a *hit* (finalize the cached
+// accumulator at the request horizon, O(M)); a request whose history extends
+// a cached one — the dominant polling pattern, a dashboard re-asking as a
+// cascade grows — is an *extend* (clone the longest cached prefix and absorb
+// only the suffix, O(suffix · M)); only a genuinely new history is a *miss*
+// (full O(history · M) build). Because StateAccum.Append performs the same
+// float ops as a full replay, all three paths produce bit-identical states,
+// so cached and uncached responses are byte-equal (pinned by tests).
 //
 // Entries are model-version scoped: a hot-reload bumps the registry
 // version, and the first lookup under the new version purges everything —
-// a state computed under old parameters must never prime the new model.
-// (The hawkes layer would reject a mismatched state anyway; the purge keeps
-// the cache from serving dead weight.)
+// state accumulated under old parameters must never prime the new model.
+// (Process.UsableAccum would reject a mismatched accumulator anyway; the
+// purge keeps the cache from serving dead weight.)
 
 // defaultHistCacheSize is the entry cap when Config.HistoryCache is 0.
 const defaultHistCacheSize = 256
 
-// historyFingerprint hashes everything about a validated history that can
-// influence a forecast: dimension count, horizon, and each event's user,
-// time, kind, and polarity. Two requests with equal fingerprints condition
-// on identical sequences.
-func historyFingerprint(seq *timeline.Sequence) string {
+// prefixDigests returns one key per history prefix: keys[k] identifies
+// events [0, k] (plus the dimension count). The digests chain — each key is
+// the running sha256 after absorbing one more event — so computing all n
+// keys costs one pass, and a sequence extending another shares its prefix
+// keys exactly. The horizon deliberately does not participate: the
+// accumulator is horizon-free (Finalize applies the horizon per request), so
+// the same cascade queried at different horizons shares one entry. Each
+// event contributes a fixed four words (user, time bits, kind, polarity
+// bits), so distinct histories cannot collide by framing.
+func prefixDigests(seq *timeline.Sequence) []string {
 	h := sha256.New()
 	var buf [8]byte
 	word := func(v uint64) {
@@ -43,22 +52,22 @@ func historyFingerprint(seq *timeline.Sequence) string {
 		h.Write(buf[:])
 	}
 	word(uint64(seq.M))
-	word(math.Float64bits(seq.Horizon)) // raw bits: exactness over cleverness
-	word(uint64(len(seq.Activities)))
+	keys := make([]string, len(seq.Activities))
 	for i := range seq.Activities {
 		a := &seq.Activities[i]
 		word(uint64(a.User))
-		word(math.Float64bits(a.Time))
+		word(math.Float64bits(a.Time)) // raw bits: exactness over cleverness
 		word(uint64(a.Kind))
 		word(math.Float64bits(a.Polarity))
+		keys[i] = hex.EncodeToString(h.Sum(nil)) // Sum appends; the running state is untouched
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	return keys
 }
 
-// histCache is a mutex-guarded LRU of history fingerprints → continuation
-// states. States are immutable after construction (hawkes.HistoryState's
-// contract), so a cached pointer is shared read-only by every request that
-// hits it.
+// histCache is a mutex-guarded LRU of prefix digests → frozen accumulators.
+// Stored accumulators are never mutated in place: extension always goes
+// through Clone, so a cached pointer is shared read-only by every request
+// that hits or extends it.
 type histCache struct {
 	mu      sync.Mutex
 	cap     int
@@ -66,17 +75,17 @@ type histCache struct {
 	byKey   map[string]*list.Element
 	order   *list.List // front = most recently used
 
-	hits, misses, evictions, purges *obs.Counter
-	entries                         *obs.Gauge
+	hits, extends, misses, evictions, purges *obs.Counter
+	entries                                  *obs.Gauge
 }
 
 type histEntry struct {
 	key   string
-	state *hawkes.ContState
+	accum *hawkes.StateAccum
 }
 
-// newHistCache builds a cache holding up to capacity states. capacity 0
-// selects the default; negative capacity disables caching (returns nil,
+// newHistCache builds a cache holding up to capacity accumulators. capacity
+// 0 selects the default; negative capacity disables caching (returns nil,
 // and all call sites treat a nil cache as a no-op).
 func newHistCache(capacity int, m *obs.Metrics) *histCache {
 	if capacity < 0 {
@@ -90,6 +99,7 @@ func newHistCache(capacity int, m *obs.Metrics) *histCache {
 		byKey:     map[string]*list.Element{},
 		order:     list.New(),
 		hits:      m.Counter("serve.histcache.hits"),
+		extends:   m.Counter("serve.histcache.extends"),
 		misses:    m.Counter("serve.histcache.misses"),
 		evictions: m.Counter("serve.histcache.evictions"),
 		purges:    m.Counter("serve.histcache.purges"),
@@ -97,31 +107,49 @@ func newHistCache(capacity int, m *obs.Metrics) *histCache {
 	}
 }
 
-// get returns the state cached for key under the given model version, or
-// nil on a miss. A version change purges every entry first.
-func (c *histCache) get(version int64, key string) *hawkes.ContState {
-	if c == nil {
-		return nil
+// lookup classifies a request's prefix keys against the cache under the
+// given model version and returns the best starting accumulator plus the
+// number of history events it already covers. Exactly one of three outcomes:
+//
+//   - hit: keys[len-1] is cached — the shared frozen accumulator is returned
+//     with covered == len(keys); the caller only finalizes it (a pure read).
+//   - extend: some proper prefix is cached — a Clone is returned (covered <
+//     len(keys)); the caller appends the suffix and may re-insert under the
+//     full key.
+//   - miss: nothing usable — (nil, 0); the caller builds from scratch.
+//
+// A version change purges every entry first.
+func (c *histCache) lookup(version int64, keys []string) (accum *hawkes.StateAccum, covered int) {
+	if c == nil || len(keys) == 0 {
+		return nil, 0
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.purgeIfStaleLocked(version)
-	el, ok := c.byKey[key]
-	if !ok {
-		c.misses.Inc()
-		return nil
+	if el, ok := c.byKey[keys[len(keys)-1]]; ok {
+		c.order.MoveToFront(el)
+		c.hits.Inc()
+		return el.Value.(*histEntry).accum, len(keys)
 	}
-	c.order.MoveToFront(el)
-	c.hits.Inc()
-	return el.Value.(*histEntry).state
+	// Longest proper prefix wins: scan from the deepest candidate down.
+	for k := len(keys) - 2; k >= 0; k-- {
+		if el, ok := c.byKey[keys[k]]; ok {
+			c.order.MoveToFront(el)
+			c.extends.Inc()
+			return el.Value.(*histEntry).accum.Clone(), k + 1
+		}
+	}
+	c.misses.Inc()
+	return nil, 0
 }
 
-// put inserts (or refreshes) the state for key under the given model
-// version, evicting the least recently used entry past the cap. Storing a
-// nil state is a no-op: only exponential-bank models have states, and a
-// nil would poison every future hit for that key.
-func (c *histCache) put(version int64, key string, state *hawkes.ContState) {
-	if c == nil || state == nil {
+// put inserts (or refreshes) the accumulator for key under the given model
+// version, evicting the least recently used entry past the cap. The caller
+// freezes the accumulator by inserting it: any further extension must clone.
+// Storing a nil accumulator is a no-op (only exponential-bank models have
+// appendable state, and a nil would poison every future hit for that key).
+func (c *histCache) put(version int64, key string, accum *hawkes.StateAccum) {
+	if c == nil || accum == nil {
 		return
 	}
 	c.mu.Lock()
@@ -129,12 +157,12 @@ func (c *histCache) put(version int64, key string, state *hawkes.ContState) {
 	c.purgeIfStaleLocked(version)
 	if el, ok := c.byKey[key]; ok {
 		// Concurrent misses on the same key race to insert; both computed
-		// the same immutable value, so last-write-wins is benign.
-		el.Value.(*histEntry).state = state
+		// the same bit-identical value, so last-write-wins is benign.
+		el.Value.(*histEntry).accum = accum
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&histEntry{key: key, state: state})
+	c.byKey[key] = c.order.PushFront(&histEntry{key: key, accum: accum})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
@@ -144,8 +172,8 @@ func (c *histCache) put(version int64, key string, state *hawkes.ContState) {
 	c.entries.Set(float64(c.order.Len()))
 }
 
-// purgeIfStaleLocked drops every entry when the model version moved: states
-// encode the old parameters and must not survive a reload.
+// purgeIfStaleLocked drops every entry when the model version moved:
+// accumulators encode the old parameters and must not survive a reload.
 func (c *histCache) purgeIfStaleLocked(version int64) {
 	if c.version == version {
 		return

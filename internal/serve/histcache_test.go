@@ -21,96 +21,154 @@ import (
 
 // --- unit tests over the cache itself ---
 
-func testState(n int) *hawkes.ContState {
-	return &hawkes.ContState{N: n, R: []float64{1}, Rate: []float64{1}, Scale: []float64{1}}
+func testAccum(n int) *hawkes.StateAccum {
+	return &hawkes.StateAccum{N: n, LastTime: float64(n),
+		R: []float64{1}, Last: []float64{0}, Rate: []float64{1}, Scale: []float64{1}}
 }
 
 func TestHistCacheLRUEviction(t *testing.T) {
 	c := newHistCache(2, obs.NewMetrics())
-	c.put(1, "a", testState(1))
-	c.put(1, "b", testState(2))
-	if got := c.get(1, "a"); got == nil || got.N != 1 {
+	c.put(1, "a", testAccum(1))
+	c.put(1, "b", testAccum(2))
+	if got, covered := c.lookup(1, []string{"a"}); got == nil || got.N != 1 || covered != 1 {
 		t.Fatal("a missing before eviction")
 	}
 	// a was just used, so inserting c evicts b (the least recently used).
-	c.put(1, "c", testState(3))
+	c.put(1, "c", testAccum(3))
 	if c.len() != 2 {
 		t.Fatalf("len = %d, want 2", c.len())
 	}
-	if c.get(1, "b") != nil {
+	if got, _ := c.lookup(1, []string{"b"}); got != nil {
 		t.Error("b survived eviction")
 	}
-	if c.get(1, "a") == nil || c.get(1, "c") == nil {
+	a, _ := c.lookup(1, []string{"a"})
+	cc, _ := c.lookup(1, []string{"c"})
+	if a == nil || cc == nil {
 		t.Error("a or c evicted out of LRU order")
 	}
 }
 
 func TestHistCacheVersionPurge(t *testing.T) {
 	c := newHistCache(8, obs.NewMetrics())
-	c.put(1, "a", testState(1))
-	c.put(1, "b", testState(2))
-	if c.get(2, "a") != nil {
+	c.put(1, "a", testAccum(1))
+	c.put(1, "b", testAccum(2))
+	if got, _ := c.lookup(2, []string{"a"}); got != nil {
 		t.Error("entry from version 1 served under version 2")
 	}
 	if c.len() != 0 {
 		t.Errorf("purge left %d entries", c.len())
 	}
 	// And put under a stale version purges too (reload landed between the
-	// handler's get and put).
-	c.put(2, "x", testState(3))
-	c.put(3, "y", testState(4))
-	if c.get(3, "x") != nil {
+	// handler's lookup and put).
+	c.put(2, "x", testAccum(3))
+	c.put(3, "y", testAccum(4))
+	if got, _ := c.lookup(3, []string{"x"}); got != nil {
 		t.Error("stale-version entry survived")
 	}
-	if c.get(3, "y") == nil {
+	if got, _ := c.lookup(3, []string{"y"}); got == nil {
 		t.Error("current-version entry lost")
+	}
+}
+
+// TestHistCacheExtendClassification pins the three lookup outcomes and
+// their counters: exact key → hit (shared pointer), proper prefix →
+// extend (clone, deepest prefix wins), nothing → miss.
+func TestHistCacheExtendClassification(t *testing.T) {
+	m := obs.NewMetrics()
+	c := newHistCache(8, m)
+	stored := testAccum(1)
+	c.put(1, "a", stored)
+
+	got, covered := c.lookup(1, []string{"a"})
+	if got != stored || covered != 1 {
+		t.Fatalf("exact hit: got %v covered %d, want shared pointer covered 1", got, covered)
+	}
+	got, covered = c.lookup(1, []string{"a", "b", "c"})
+	if got == nil || covered != 1 {
+		t.Fatalf("extend: covered = %d, want 1", covered)
+	}
+	if got == stored {
+		t.Fatal("extend returned the cached pointer — mutation would corrupt the cache")
+	}
+	got.N = 99
+	if stored.N != 1 {
+		t.Fatal("mutating the extend clone reached the cached accumulator")
+	}
+	// Deepest cached prefix wins.
+	c.put(1, "b", testAccum(2))
+	if _, covered = c.lookup(1, []string{"a", "b", "c"}); covered != 2 {
+		t.Fatalf("deepest prefix: covered = %d, want 2", covered)
+	}
+	if got, covered = c.lookup(1, []string{"x", "y"}); got != nil || covered != 0 {
+		t.Fatal("miss returned an accumulator")
+	}
+	hits := m.Counter("serve.histcache.hits").Value()
+	extends := m.Counter("serve.histcache.extends").Value()
+	misses := m.Counter("serve.histcache.misses").Value()
+	if hits != 1 || extends != 2 || misses != 1 {
+		t.Errorf("hits=%d extends=%d misses=%d, want 1, 2, 1", hits, extends, misses)
 	}
 }
 
 func TestHistCacheNilSafety(t *testing.T) {
 	var c *histCache // disabled cache: every call is a no-op
-	if c.get(1, "a") != nil {
-		t.Error("nil cache returned a state")
+	if got, _ := c.lookup(1, []string{"a"}); got != nil {
+		t.Error("nil cache returned an accumulator")
 	}
-	c.put(1, "a", testState(1))
+	c.put(1, "a", testAccum(1))
 	if c.len() != 0 {
 		t.Error("nil cache stored an entry")
 	}
 	real := newHistCache(4, obs.NewMetrics())
-	real.put(1, "a", nil) // nil states (non-exp models) are never stored
+	real.put(1, "a", nil) // nil accums (non-exp models) are never stored
 	if real.len() != 0 {
-		t.Error("nil state was cached")
+		t.Error("nil accumulator was cached")
+	}
+	if got, _ := real.lookup(1, nil); got != nil {
+		t.Error("empty key set returned an accumulator")
 	}
 	if newHistCache(-1, obs.NewMetrics()) != nil {
 		t.Error("negative capacity did not disable the cache")
 	}
 }
 
-func TestHistoryFingerprintDistinguishesSequences(t *testing.T) {
+func TestPrefixDigests(t *testing.T) {
 	base := func() *timeline.Sequence {
 		return &timeline.Sequence{M: 4, Horizon: 10, Activities: []timeline.Activity{
 			{ID: 0, User: 1, Time: 1.5, Kind: timeline.Post, Polarity: 0.25, Parent: timeline.NoParent},
 			{ID: 1, User: 2, Time: 3, Kind: timeline.Comment, Parent: timeline.NoParent},
 		}}
 	}
-	a := base()
-	if historyFingerprint(a) != historyFingerprint(base()) {
-		t.Fatal("equal sequences fingerprint differently")
+	a, b := prefixDigests(base()), prefixDigests(base())
+	if len(a) != 2 || a[0] != b[0] || a[1] != b[1] {
+		t.Fatal("equal sequences digest differently")
+	}
+	// The chaining property the extend path rests on: a sequence that
+	// extends another shares its prefix keys exactly.
+	prefix := base()
+	prefix.Activities = prefix.Activities[:1]
+	if p := prefixDigests(prefix); p[0] != a[0] {
+		t.Fatal("prefix sequence does not share the full sequence's prefix key")
+	}
+	// The horizon deliberately does not participate: the accumulator is
+	// horizon-free, so one entry serves every forecast horizon.
+	h := base()
+	h.Horizon = 11
+	if got := prefixDigests(h); got[1] != a[1] {
+		t.Error("horizon perturbed the digest — hit rate loses horizon sharing")
 	}
 	mutations := map[string]func(*timeline.Sequence){
-		"horizon":  func(s *timeline.Sequence) { s.Horizon = 11 },
 		"m":        func(s *timeline.Sequence) { s.M = 5 },
 		"user":     func(s *timeline.Sequence) { s.Activities[0].User = 3 },
 		"time":     func(s *timeline.Sequence) { s.Activities[1].Time = 3.0000001 },
 		"kind":     func(s *timeline.Sequence) { s.Activities[1].Kind = timeline.Like },
 		"polarity": func(s *timeline.Sequence) { s.Activities[0].Polarity = -0.25 },
-		"truncate": func(s *timeline.Sequence) { s.Activities = s.Activities[:1] },
 	}
-	seen := map[string]string{historyFingerprint(a): "base"}
+	seen := map[string]string{a[1]: "base"}
 	for name, mutate := range mutations {
 		s := base()
 		mutate(s)
-		fp := historyFingerprint(s)
+		fp := prefixDigests(s)[1]
 		if prev, dup := seen[fp]; dup {
 			t.Errorf("mutation %q collides with %q", name, prev)
 		}
@@ -209,6 +267,42 @@ func TestCacheHitsRecorded(t *testing.T) {
 	misses := s.metrics.Counter("serve.histcache.misses").Value()
 	if misses != 1 || hits != 2 {
 		t.Errorf("hits=%d misses=%d, want 2 and 1", hits, misses)
+	}
+}
+
+// TestCacheExtendBitIdentical is the incremental-cache contract at the API
+// boundary: a request whose history extends a previously served one is
+// classified as an extend (suffix absorbed into a clone of the cached
+// prefix state), and its response is byte-identical to a cache-disabled
+// server rebuilding from scratch.
+func TestCacheExtendBitIdentical(t *testing.T) {
+	prefixBody := `{"history":[{"user":1,"time":2},{"user":0,"time":2.5}],"lookahead":15,"draws":25,"seed":11}`
+	extendedBody := `{"history":[{"user":1,"time":2},{"user":0,"time":2.5},{"user":2,"time":3.25}],"lookahead":15,"draws":25,"seed":11}`
+	s, ts := cachedServer(t, fixExpA, 0)
+	_, uncached := cachedServer(t, fixExpA, -1)
+	if resp, body := postJSON(t, ts.URL+"/v1/predict/next", prefixBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("prefix request: status %d: %s", resp.StatusCode, body)
+	}
+	resp, got := postJSON(t, ts.URL+"/v1/predict/next", extendedBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("extended request: status %d: %s", resp.StatusCode, got)
+	}
+	if ext := s.metrics.Counter("serve.histcache.extends").Value(); ext != 1 {
+		t.Errorf("extends = %d, want 1", ext)
+	}
+	resp, want := postJSON(t, uncached.URL+"/v1/predict/next", extendedBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("uncached request: status %d: %s", resp.StatusCode, want)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("extended response differs from uncached rebuild:\n%s\n%s", got, want)
+	}
+	// Both prefix and extended entries are now cached; re-asking either is
+	// an exact hit.
+	postJSON(t, ts.URL+"/v1/predict/next", prefixBody)
+	postJSON(t, ts.URL+"/v1/predict/next", extendedBody)
+	if hits := s.metrics.Counter("serve.histcache.hits").Value(); hits != 2 {
+		t.Errorf("hits after re-asks = %d, want 2", hits)
 	}
 }
 

@@ -1,0 +1,332 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"chassis/internal/timeline"
+)
+
+// This file is the streaming front door: POST /v1/ingest appends validated
+// live events to per-cascade state (internal/ingest), POST /admin/refit
+// runs the incremental EM refresh over everything ingested so far, and the
+// periodic refit loop (Config.RefitEvery) automates the latter. Ingest
+// shares the prediction dispatcher, so the same bounded queue applies
+// backpressure to appends and forecasts alike — a flooded ingest path sheds
+// with the same typed 429/503 envelope instead of starving predictions.
+
+// maxIngestEvents caps one ingest request's batch (independent of the
+// per-cascade tail cap the store enforces).
+const maxIngestEvents = 4096
+
+// IngestRequest is the body of POST /v1/ingest.
+type IngestRequest struct {
+	// CascadeID names the live cascade to append to, creating it on first
+	// touch. Required, non-empty.
+	CascadeID string `json:"cascade_id"`
+	// Events is the chronological batch to append. Events must not precede
+	// the cascade's current tail.
+	Events []ActivityJSON `json:"events"`
+	// Repair, when set, routes the batch through the timeline Repair front
+	// door first (sorting, deduplication, polarity/parent cleanup) instead
+	// of rejecting dirty input with a 400 — the crawl-resilient mode.
+	Repair bool `json:"repair,omitempty"`
+	// TimeoutMS tightens this request's deadline below the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// IngestResponse reports one append.
+type IngestResponse struct {
+	// CascadeID echoes the cascade appended to.
+	CascadeID string `json:"cascade_id"`
+	// Events is the cascade's total event count after the append.
+	Events int `json:"events"`
+	// Appended counts the events this request added (after any repair).
+	Appended int `json:"appended"`
+	// Parents is the MAP parent attributed to each appended event — the
+	// running E-step responsibility — as an index into the cascade's own
+	// timeline, -1 for immigrant picks.
+	Parents []timeline.ActivityID `json:"parents"`
+	// Rebuilt reports that the cascade's state was replayed under a new
+	// model version before appending.
+	Rebuilt bool `json:"rebuilt,omitempty"`
+	// Repairs summarizes what the Repair front door changed (only with
+	// "repair": true and only when something changed).
+	Repairs string `json:"repairs,omitempty"`
+}
+
+// decodeIngestRequest parses an ingest body (strict fields, bounded size) —
+// also the fuzz target's entry point: no body may panic the decoder or
+// anything downstream of it.
+func decodeIngestRequest(r io.Reader) (*IngestRequest, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	var req IngestRequest
+	if err := dec.Decode(&req); err != nil {
+		return nil, badRequest("decoding body: %v", err)
+	}
+	return &req, nil
+}
+
+// validate applies the structural constraints before the request spends a
+// queue slot.
+func (req *IngestRequest) validate() error {
+	if req.CascadeID == "" {
+		return badRequest("cascade_id must be non-empty")
+	}
+	if len(req.Events) == 0 {
+		return badRequest("events is empty: nothing to ingest")
+	}
+	if len(req.Events) > maxIngestEvents {
+		return badRequest("batch of %d events exceeds the %d-event cap; split the append", len(req.Events), maxIngestEvents)
+	}
+	if req.TimeoutMS < 0 {
+		return badRequest("timeout_ms must be >= 0, got %d", req.TimeoutMS)
+	}
+	return nil
+}
+
+// eventSequence materializes the batch through the timeline Check/Repair
+// front door: parse (same field rules as prediction histories), then either
+// Repair dirty input into shape or reject it with the validation error.
+// The returned activities are clean, chronological, and parent-free — the
+// store re-attributes parents itself.
+func (req *IngestRequest) eventSequence(m int) ([]timeline.Activity, string, error) {
+	acts := make([]timeline.Activity, 0, len(req.Events))
+	last := 0.0
+	for i, a := range req.Events {
+		if a.User < 0 || a.User >= m {
+			return nil, "", badRequest("events[%d]: user %d outside [0,%d) for the served model", i, a.User, m)
+		}
+		kind := timeline.Post
+		if a.Kind != "" {
+			var err error
+			if kind, err = timeline.ParseKind(a.Kind); err != nil {
+				return nil, "", badRequest("events[%d]: %v", i, err)
+			}
+		}
+		if !req.Repair {
+			if math.IsNaN(a.Time) || math.IsInf(a.Time, 0) || a.Time < 0 {
+				return nil, "", badRequest("events[%d]: time must be finite and non-negative, got %g", i, a.Time)
+			}
+			if math.IsNaN(a.Polarity) || math.IsInf(a.Polarity, 0) {
+				return nil, "", badRequest("events[%d]: polarity must be finite", i)
+			}
+		}
+		if a.Time > last {
+			last = a.Time
+		}
+		acts = append(acts, timeline.Activity{
+			ID: timeline.ActivityID(i), User: timeline.UserID(a.User),
+			Time: a.Time, Kind: kind, Polarity: a.Polarity,
+			Parent: timeline.NoParent,
+		})
+	}
+	horizon := last
+	if horizon <= 0 || math.IsNaN(horizon) || math.IsInf(horizon, 0) {
+		horizon = math.Nextafter(0, 1)
+	}
+	seq := &timeline.Sequence{M: m, Horizon: horizon, Activities: acts}
+	repairs := ""
+	if req.Repair {
+		repaired, report := seq.Repair()
+		seq = repaired
+		if report.Changed() {
+			repairs = report.String()
+		}
+	}
+	if err := seq.Check(); err != nil {
+		return nil, "", err // *timeline.ValidationError → 400
+	}
+	return seq.Activities, repairs, nil
+}
+
+// handleIngest serves POST /v1/ingest.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.Counter("serve.ingest.requests").Inc()
+	fail := func(err error) {
+		s.metrics.Counter("serve.ingest.errors").Inc()
+		writeError(w, err)
+	}
+	if r.Method != http.MethodPost {
+		fail(&Error{Status: http.StatusMethodNotAllowed, Code: "method_not_allowed",
+			Message: "use POST"})
+		return
+	}
+	// Pin the snapshot: the append's validation, parent attribution, and
+	// state update all read exactly this version.
+	snap := s.reg.Current()
+	if snap == nil {
+		fail(ErrNotReady)
+		return
+	}
+	req, err := decodeIngestRequest(r.Body)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		fail(err)
+		return
+	}
+	acts, repairs, err := req.eventSequence(snap.M)
+	if err != nil {
+		fail(err)
+		return
+	}
+	ctx := r.Context()
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	// The append rides the prediction dispatcher: one bounded queue applies
+	// backpressure to the whole /v1 surface, so shed accounting partitions
+	// exactly across ingest and predict traffic.
+	var body []byte
+	var perr error
+	derr := s.disp.Do(ctx, func(ctx context.Context, workers int) {
+		defer func() {
+			if v := recover(); v != nil {
+				perr = badRequest("ingest panicked: %v", v)
+			}
+		}()
+		if err := ctx.Err(); err != nil {
+			perr = err
+			return
+		}
+		res, err := s.store.Append(snap.Model, snap.Proc, snap.Version, req.CascadeID, acts)
+		if err != nil {
+			perr = err
+			return
+		}
+		out := IngestResponse{
+			CascadeID: res.Cascade, Events: res.Events, Appended: res.Appended,
+			Parents: res.Parents, Rebuilt: res.Rebuilt, Repairs: repairs,
+		}
+		body, perr = json.Marshal(out)
+	})
+	if derr != nil {
+		fail(derr)
+		return
+	}
+	if perr != nil {
+		fail(perr)
+		return
+	}
+	s.metrics.Timer("serve.ingest.latency").Add(time.Since(start))
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set(modelVersionHeader, strconv.FormatInt(snap.Version, 10))
+	//nolint:errcheck // best-effort write to a client that may be gone
+	w.Write(body)
+}
+
+// refitOnce runs one incremental EM refresh: merge the training timeline
+// with every live cascade tail (running MAP parents embedded), run the
+// warm-started mini-batch M-step, and CAS-install the result through the
+// registry. Returns the serving snapshot afterwards, whether a new one was
+// installed, and how many live events the refresh saw. A base-version move
+// between pin and install surfaces as ErrReloadConflict — the caller simply
+// retries against the new snapshot (the next periodic tick does).
+func (s *Server) refitOnce(ctx context.Context) (snap *ModelSnapshot, installed bool, liveEvents int, err error) {
+	if !s.refitBusy.CompareAndSwap(false, true) {
+		return nil, false, 0, &Error{Status: http.StatusConflict, Code: "reload_conflict", Retryable: true,
+			Message: "a refit is already in progress"}
+	}
+	defer s.refitBusy.Store(false)
+	defer func() {
+		if err != nil {
+			s.metrics.Counter("serve.refit.errors").Inc()
+		}
+	}()
+	base := s.reg.Current()
+	if base == nil {
+		return nil, false, 0, ErrNotReady
+	}
+	var parents []timeline.ActivityID
+	if f := base.Model.Forest; f != nil && f.Len() == base.Train.Len() {
+		parents = f.Parents()
+	}
+	merged := s.store.Merged(base.Train, parents)
+	if merged == nil {
+		return base, false, 0, nil // nothing ingested yet: no-op, not an error
+	}
+	// Live tails can collide with training events or each other (same user,
+	// same instant); the Repair front door dedups and re-densifies so the
+	// refit's Check front door accepts the merge.
+	merged, _ = merged.Repair()
+	liveEvents = merged.Len() - base.Train.Len()
+	if liveEvents <= 0 {
+		return base, false, liveEvents, nil
+	}
+	refit, err := base.Model.RefitIncremental(ctx, merged, nil, s.cfg.RefitPasses)
+	if err != nil {
+		return nil, false, liveEvents, err
+	}
+	next, err := s.reg.Install(refit, base.Version)
+	if err != nil {
+		return nil, false, liveEvents, err
+	}
+	s.metrics.Counter("serve.refit.total").Inc()
+	return next, true, liveEvents, nil
+}
+
+// refitLoop drives periodic incremental refits until ctx is cancelled.
+func (s *Server) refitLoop(ctx context.Context) {
+	t := time.NewTicker(s.cfg.RefitEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			snap, installed, live, err := s.refitOnce(ctx)
+			switch {
+			case err != nil:
+				s.logf("periodic refit failed (previous model keeps serving): %v", err)
+			case installed:
+				s.logf("incremental refit installed version %d (%d live events)", snap.Version, live)
+			}
+		}
+	}
+}
+
+// refitJSON is the /admin/refit response.
+type refitJSON struct {
+	Refitted   bool  `json:"refitted"`
+	Version    int64 `json:"version"`
+	LiveEvents int   `json:"live_events"`
+}
+
+// handleRefit triggers one incremental refit synchronously. POST-only. A
+// concurrent refit or a snapshot that moved mid-refresh is a 409
+// reload_conflict (retry); no ingested events is a successful no-op.
+func (s *Server) handleRefit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Code: "method_not_allowed",
+			Message: "use POST"})
+		return
+	}
+	snap, installed, live, err := s.refitOnce(r.Context())
+	if err != nil {
+		s.logf("admin refit failed (previous model keeps serving): %v", err)
+		writeError(w, err)
+		return
+	}
+	if installed {
+		s.logf("incremental refit installed version %d (%d live events)", snap.Version, live)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	//nolint:errcheck // best-effort write
+	json.NewEncoder(w).Encode(refitJSON{Refitted: installed, Version: snap.Version, LiveEvents: live})
+}

@@ -184,6 +184,44 @@ func (r *Registry) Reload(force bool) (reloaded bool, snap *ModelSnapshot, err e
 	return true, next, nil
 }
 
+// Install atomically swaps in an in-memory model — the incremental-refit
+// path, which has no file to reload from. baseVersion is the snapshot
+// version the model was derived from: if the current version moved (a file
+// reload or a competing refit landed first), the install is refused with
+// ErrReloadConflict and the caller re-derives against the new snapshot —
+// a compare-and-swap, so two refits can never silently overwrite each other.
+//
+// The installed snapshot keeps the base's file fingerprints: the source
+// files did not change, so the watcher's Reload(false) stays a no-op and
+// the refit model keeps serving until the files genuinely move (a forced
+// /admin/reload deliberately reverts to the on-disk model).
+func (r *Registry) Install(model *core.Model, baseVersion int64) (*ModelSnapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.cur.Load()
+	if prev == nil {
+		return nil, ErrNotReady
+	}
+	if prev.Version != baseVersion {
+		return nil, ErrReloadConflict
+	}
+	if model == nil || model.M != prev.M {
+		return nil, fmt.Errorf("serve: install: model dimensions do not match the serving snapshot")
+	}
+	proc := model.Process()
+	if err := proc.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: refit model is not simulable: %w", err)
+	}
+	next := &ModelSnapshot{
+		Version: prev.Version + 1, Model: model, Proc: proc, M: model.M, Train: prev.Train,
+		ModelSum: prev.ModelSum, DataSum: prev.DataSum, LoadedAt: time.Now(),
+	}
+	r.cur.Store(next)
+	r.metrics.Counter("serve.install.total").Inc()
+	r.metrics.Gauge("serve.model_version").Set(float64(next.Version))
+	return next, nil
+}
+
 // Watch polls the source files every interval, installing changed contents
 // via Reload(false), until ctx is cancelled. Reload failures are counted
 // (serve.reload.errors) and reported through onErr (which may be nil); the

@@ -31,7 +31,13 @@ type ActivityJSON struct {
 // read by /v1/predict/next, Window by /v1/predict/counts.
 type PredictRequest struct {
 	// History is the observed cascade so far, in chronological order.
+	// Mutually exclusive with CascadeID.
 	History []ActivityJSON `json:"history"`
+	// CascadeID conditions the forecast on a cascade the server has been
+	// ingesting through /v1/ingest instead of an inline history: the
+	// cascade's live state primes the simulation directly, with no
+	// per-request replay. Unknown IDs are 404s (cascade_not_found).
+	CascadeID string `json:"cascade_id,omitempty"`
 	// Horizon is the observation cut-off the simulation continues from;
 	// 0 defaults to the last history event's time.
 	Horizon float64 `json:"horizon,omitempty"`
@@ -132,13 +138,16 @@ func (req *PredictRequest) validateCounts() error {
 // needs events, not just a horizon, so an empty history is rejected up
 // front with a clearer message than the generic one.
 func (req *PredictRequest) validateInfluence() error {
-	if len(req.History) == 0 {
+	if len(req.History) == 0 && req.CascadeID == "" {
 		return badRequest("history is empty: influence scores decompose observed events")
 	}
 	return req.validateCommon()
 }
 
 func (req *PredictRequest) validateCommon() error {
+	if req.CascadeID != "" && len(req.History) > 0 {
+		return badRequest("history and cascade_id are mutually exclusive: inline events condition one request, cascade_id conditions on server-held state")
+	}
 	if req.Draws < 0 {
 		return badRequest("draws must be >= 0, got %d (0 selects the default)", req.Draws)
 	}

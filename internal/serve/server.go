@@ -13,8 +13,10 @@ import (
 
 	"chassis/internal/cliobs"
 	"chassis/internal/hawkes"
+	"chassis/internal/ingest"
 	"chassis/internal/obs"
 	"chassis/internal/predict"
+	"chassis/internal/timeline"
 )
 
 // Config assembles a prediction server. Zero values select the documented
@@ -45,6 +47,17 @@ type Config struct {
 	// exponential-kernel models (core.Config.ExpKernel fits) have states
 	// to cache.
 	HistoryCache int
+	// Ingest bounds the streaming cascade store behind /v1/ingest (zero
+	// values select ingest's defaults: 1024 cascades, 65536 events each).
+	Ingest ingest.Config
+	// RefitEvery enables the periodic incremental EM refresh: every
+	// interval the server merges the training timeline with all ingested
+	// cascades, runs the warm-started mini-batch M-step, and hot-installs
+	// the result. 0 disables the loop; POST /admin/refit still works.
+	RefitEvery time.Duration
+	// RefitPasses bounds the projected-gradient iterations per dimension
+	// in each incremental refit (0 selects 5).
+	RefitPasses int
 	// Metrics receives the server's instruments and backs /metrics
 	// (nil: a fresh registry, so /metrics always works).
 	Metrics *obs.Metrics
@@ -83,14 +96,16 @@ func (c Config) withDefaults() Config {
 // (blocking; graceful drain on ctx cancellation) or mount Handler on an
 // HTTP server of your own.
 type Server struct {
-	cfg      Config
-	reg      *Registry
-	disp     *Dispatcher
-	cache    *histCache // nil when HistoryCache < 0
-	metrics  *obs.Metrics
-	mux      *http.ServeMux
-	started  time.Time
-	stopping atomic.Bool
+	cfg       Config
+	reg       *Registry
+	disp      *Dispatcher
+	cache     *histCache // nil when HistoryCache < 0
+	store     *ingest.Store
+	metrics   *obs.Metrics
+	mux       *http.ServeMux
+	started   time.Time
+	stopping  atomic.Bool
+	refitBusy atomic.Bool // single-flight guard for refitOnce
 }
 
 // New builds a server and performs the initial model load — a broken model
@@ -103,6 +118,7 @@ func New(cfg Config) (*Server, error) {
 		reg:     NewRegistry(cfg.Source, cfg.Metrics),
 		disp:    NewDispatcher(cfg.Batch, cfg.Metrics),
 		cache:   newHistCache(cfg.HistoryCache, cfg.Metrics),
+		store:   ingest.NewStore(cfg.Ingest, cfg.Metrics),
 		mux:     http.NewServeMux(),
 		started: time.Now(),
 	}
@@ -154,6 +170,9 @@ func (s *Server) Run(ctx context.Context) error {
 			s.logf("hot-reload failed (previous model keeps serving): %v", err)
 		})
 	}
+	if s.cfg.RefitEvery > 0 {
+		go s.refitLoop(watchCtx)
+	}
 	hs := &http.Server{Handler: s.mux}
 	served := make(chan error, 1)
 	go func() { served <- hs.Serve(ln) }()
@@ -187,10 +206,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/predict/next", s.handlePredict(false))
 	s.mux.HandleFunc("/v1/predict/counts", s.handlePredict(true))
 	s.mux.HandleFunc("/v1/influence", s.handleInfluence)
+	s.mux.HandleFunc("/v1/ingest", s.handleIngest)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/admin/reload", s.handleReload)
+	s.mux.HandleFunc("/admin/refit", s.handleRefit)
 	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -246,7 +267,17 @@ func (s *Server) handlePredict(counts bool) http.HandlerFunc {
 			fail(err)
 			return
 		}
-		hist, err := req.historySequence(snap.M)
+		// Condition the forecast: on an inline history, or — with
+		// cascade_id — on the live state the server has been ingesting,
+		// which IS the cached continuation, extended in place by every
+		// append and merely finalized here (no per-request replay).
+		var hist *timeline.Sequence
+		var cascadeSt *hawkes.ContState
+		if req.CascadeID != "" {
+			cascadeSt, hist, err = s.store.State(snap.Model, snap.Proc, snap.Version, req.CascadeID, req.Horizon)
+		} else {
+			hist, err = req.historySequence(snap.M)
+		}
 		if err != nil {
 			fail(err)
 			return
@@ -261,16 +292,20 @@ func (s *Server) handlePredict(counts bool) http.HandlerFunc {
 		ctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
 
-		// Fastpath state caching: a hit hands the draws a precomputed
-		// continuation state; a miss computes it below (inside the
-		// dispatcher, on the worker budget) and inserts it. Either way the
-		// simulation sees the same state values, so responses are
-		// bit-identical with the cache on, off, hit, or missed.
-		var key string
-		var st *hawkes.ContState
-		if s.cache != nil {
-			key = historyFingerprint(hist)
-			st = s.cache.get(snap.Version, key)
+		// Fastpath state caching, incrementally: the history's prefix keys
+		// classify against the cache as a hit (finalize the cached
+		// accumulator at the request horizon), an extend (clone the longest
+		// cached prefix and absorb only the suffix), or a miss (build from
+		// scratch). The build/extend work runs inside the dispatcher, on
+		// the worker budget. All three paths perform the same float ops as
+		// an uncached rebuild, so responses are bit-identical with the
+		// cache on, off, hit, extended, or missed.
+		var keys []string
+		var accum *hawkes.StateAccum
+		covered := 0
+		if s.cache != nil && req.CascadeID == "" && hist.Len() > 0 {
+			keys = prefixDigests(hist)
+			accum, covered = s.cache.lookup(snap.Version, keys)
 		}
 
 		var body []byte
@@ -287,10 +322,22 @@ func (s *Server) handlePredict(counts bool) http.HandlerFunc {
 				perr = err
 				return
 			}
-			if st == nil && s.cache != nil {
-				if st = snap.Proc.HistoryState(hist); st != nil {
-					s.cache.put(snap.Version, key, st)
+			st := cascadeSt
+			if len(keys) > 0 {
+				if accum != nil && !snap.Proc.UsableAccum(accum) {
+					accum, covered = nil, 0 // defense in depth; version purge handles reloads
 				}
+				if accum == nil {
+					accum, covered = snap.Proc.NewStateAccum(), 0
+				}
+				if accum != nil && covered < hist.Len() {
+					if err := accum.AppendAll(snap.Proc, hist.Activities[covered:]); err != nil {
+						accum = nil // fall back to predict's own rebuild
+					} else {
+						s.cache.put(snap.Version, keys[len(keys)-1], accum)
+					}
+				}
+				st = accum.Finalize(hist.Horizon) // nil-safe; pure read
 			}
 			opts := predict.Options{
 				Draws: req.Draws, Seed: req.Seed,
@@ -363,7 +410,12 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 		fail(err)
 		return
 	}
-	hist, err := req.historySequence(snap.M)
+	var hist *timeline.Sequence
+	if req.CascadeID != "" {
+		_, hist, err = s.store.State(snap.Model, snap.Proc, snap.Version, req.CascadeID, req.Horizon)
+	} else {
+		hist, err = req.historySequence(snap.M)
+	}
 	if err != nil {
 		fail(err)
 		return
