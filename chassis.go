@@ -38,6 +38,7 @@ import (
 	"chassis/internal/socialnet"
 	"chassis/internal/stance"
 	"chassis/internal/timeline"
+	"chassis/internal/wal"
 )
 
 // Re-exported core types. Aliases keep the internal packages as the single
@@ -122,6 +123,11 @@ type (
 	// Ingest field): cascades kept before LRU eviction and events per
 	// cascade. The zero value takes the documented defaults.
 	IngestConfig = ingest.Config
+	// WALConfig enables the server's durable ingest write-ahead log
+	// (ServeConfig's WAL field): set Dir to turn on crash recovery — on
+	// boot the log replays and responses come back bit-identical to an
+	// uncrashed process. See DESIGN.md §14.
+	WALConfig = wal.Config
 	// APIError is the typed error the serve API reports (HTTP status,
 	// machine-readable code, message).
 	APIError = serve.Error

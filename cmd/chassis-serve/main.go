@@ -33,6 +33,7 @@ import (
 	"chassis/internal/cliobs"
 	"chassis/internal/ingest"
 	"chassis/internal/serve"
+	"chassis/internal/wal"
 )
 
 func main() {
@@ -54,6 +55,12 @@ func main() {
 		refitPs = flag.Int("refit-passes", 0, "projected-gradient passes per incremental refit (0 = default 5)")
 		casCap  = flag.Int("max-cascades", 0, "live ingest cascades kept before LRU eviction (0 = default 1024, -1 unbounded)")
 		casEvts = flag.Int("max-cascade-events", 0, "event cap per ingest cascade (0 = default 65536)")
+		walDir  = flag.String("wal-dir", "", "write-ahead log directory for durable ingest (empty disables durability; on boot the log is replayed before ingest is accepted)")
+		walSync = flag.String("wal-sync", "always", "WAL fsync policy: always (every ingest ack is on disk), interval (group fsync every -wal-sync-interval; acknowledged events within the last interval can be lost to a crash), off (fsync only on rotation and shutdown)")
+		walIntv = flag.Duration("wal-sync-interval", 0, "group-commit fsync period under -wal-sync=interval (0 = default 50ms); also the acknowledged-durability window")
+		walSeg  = flag.Int64("wal-segment-bytes", 0, "WAL segment rotation size (0 = default 16MiB)")
+		walKeep = flag.Int("wal-compact-segments", 0, "sealed segments that trigger snapshot compaction (0 = default 4)")
+		walTO   = flag.Duration("wal-stall-timeout", 0, "how long an ingest ack waits for its fsync before shedding 503 wal_stalled (0 = default 2s)")
 		version = cliobs.RegisterVersion(flag.CommandLine)
 	)
 	flag.Parse()
@@ -62,6 +69,11 @@ func main() {
 	}
 	if *model == "" || *data == "" {
 		fmt.Fprintln(os.Stderr, "chassis-serve: -model and -data are required")
+		os.Exit(2)
+	}
+	syncPolicy, err := wal.ParseSyncPolicy(*walSync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chassis-serve: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -77,6 +89,10 @@ func main() {
 		RefitEvery:     *refitEv,
 		RefitPasses:    *refitPs,
 		Ingest:         ingest.Config{MaxCascades: *casCap, MaxEvents: *casEvts},
+		WAL: wal.Config{
+			Dir: *walDir, Sync: syncPolicy, SyncEvery: *walIntv,
+			SegmentBytes: *walSeg, CompactAfter: *walKeep, StallTimeout: *walTO,
+		},
 		RequestTimeout: *reqTO,
 		DrainTimeout:   *drainTO,
 		EnablePprof:    *pprof,

@@ -53,6 +53,32 @@ var (
 	// warm-start pilot never checkpoints, so it cannot consume a kill
 	// destined for the outer loop.
 	CrashAfterIter func(iter int) bool
+
+	// WALIO, when non-nil, is consulted by internal/wal before each file
+	// operation — "create" (segment open), "write" (frame write), "sync"
+	// (fsync), "seal" (segment rotation), "snapshot" (compaction snapshot
+	// write), "remove" (compacted segment deletion) — with the file path.
+	// Returning a non-nil error simulates that failure: a full disk
+	// (persistent write/sync errors), a failed rotation, a compaction that
+	// cannot land. Write-path failures wedge the log — appends shed with a
+	// typed stall error and previously durable records must stay
+	// replayable.
+	WALIO func(op, path string) error
+
+	// WALTorn, when non-nil, is consulted by the WAL writer per frame with
+	// the record's LSN. Returning n >= 0 writes only the first n bytes of
+	// that frame and then wedges the log — a torn write followed by a
+	// crash. Recovery must truncate the torn frame and replay everything
+	// before it. Returning a negative value writes the frame normally.
+	WALTorn func(lsn int64) int
+
+	// WALCrashAfterAppend, when non-nil, is consulted by the WAL writer
+	// after record lsn has been durably written (fsynced). Returning true
+	// wedges the log — the deterministic crash-at-record-k injection point:
+	// everything up to and including lsn is on disk, nothing after it ever
+	// lands, and a recovery over the directory must reproduce exactly that
+	// prefix.
+	WALCrashAfterAppend func(lsn int64) bool
 )
 
 // Reset removes every installed hook. Tests defer it so one suite's faults
@@ -61,4 +87,7 @@ func Reset() {
 	CheckpointIO = nil
 	MStepResult = nil
 	CrashAfterIter = nil
+	WALIO = nil
+	WALTorn = nil
+	WALCrashAfterAppend = nil
 }

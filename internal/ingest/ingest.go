@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"chassis/internal/core"
@@ -27,9 +28,21 @@ import (
 	"chassis/internal/timeline"
 )
 
-// ErrUnknownCascade is returned by State for a cascade ID the store does
-// not hold (never ingested, or evicted past the cascade cap).
+// ErrUnknownCascade is returned by State for a cascade ID the store has
+// never held.
 var ErrUnknownCascade = errors.New("ingest: unknown cascade")
+
+// ErrEvicted is returned by State for a cascade ID the store held and then
+// evicted past the cascade cap — distinct from ErrUnknownCascade so the
+// serve layer can answer a non-retryable 410 (the state is gone for good)
+// instead of a 404. Re-ingesting the ID starts a fresh cascade and clears
+// the marker.
+var ErrEvicted = errors.New("ingest: cascade evicted")
+
+// evictedMemory bounds how many evicted IDs the store remembers for the
+// typed ErrEvicted answer; past it the memory resets and older evictions
+// degrade to ErrUnknownCascade.
+const evictedMemory = 4096
 
 // Config bounds the store. Zero values select the documented defaults.
 type Config struct {
@@ -62,9 +75,11 @@ func (c Config) withDefaults() Config {
 type Store struct {
 	cfg Config
 
-	mu    sync.Mutex
-	byID  map[string]*list.Element
-	order *list.List // front = most recently touched
+	mu      sync.Mutex
+	byID    map[string]*list.Element
+	order   *list.List // front = most recently touched
+	evicted map[string]struct{}
+	logger  AppendLogger
 
 	events, rebuilds, evictions *obs.Counter
 	cascades                    *obs.Gauge
@@ -87,12 +102,26 @@ func NewStore(cfg Config, m *obs.Metrics) *Store {
 		cfg:       cfg.withDefaults(),
 		byID:      map[string]*list.Element{},
 		order:     list.New(),
+		evicted:   map[string]struct{}{},
 		events:    m.Counter("ingest.events"),
 		rebuilds:  m.Counter("ingest.rebuilds"),
-		evictions: m.Counter("ingest.evictions"),
+		evictions: m.Counter("ingest.cascades_evicted"),
 		cascades:  m.Gauge("ingest.cascades"),
 	}
 }
+
+// AppendLogger persists one successfully applied batch to a durability
+// layer (the serve layer's WAL), returning the assigned log sequence
+// number. It is invoked under the cascade's lock — per-cascade log order is
+// therefore exactly apply order — so implementations must enqueue and
+// return, never block on I/O or call back into the store. A logger error
+// rolls the whole batch back before it is reported.
+type AppendLogger func(id string, acts []timeline.Activity) (int64, error)
+
+// SetLogger installs the append logger (nil disables logging). Install
+// before serving traffic; the field is not synchronized for mid-flight
+// replacement.
+func (s *Store) SetLogger(fn AppendLogger) { s.logger = fn }
 
 // Result reports one append: totals after the append plus the MAP parent
 // assigned to each appended event (an index into the cascade's own
@@ -103,7 +132,8 @@ type Result struct {
 	Events   int   // total events in the cascade after the append
 	Appended int
 	Parents  []timeline.ActivityID
-	Rebuilt  bool // state was rebuilt because the model version moved
+	Rebuilt  bool  // state was rebuilt because the model version moved
+	LSN      int64 // WAL sequence number of the logged batch (0 when unlogged)
 }
 
 // Append absorbs a chronological batch of validated events into cascade id,
@@ -140,20 +170,25 @@ func (s *Store) Append(model *core.Model, proc *hawkes.Process, version int64, i
 	if n := len(c.events); n > 0 {
 		last = c.events[n-1].Time
 	}
+	start := len(c.events)
 	res := &Result{Cascade: id, Version: version, Rebuilt: rebuilt}
+	var appErr error
 	for k := range acts {
 		a := acts[k]
 		if math.IsNaN(a.Time) || math.IsInf(a.Time, 0) || a.Time < 0 {
-			return res, &timeline.ValidationError{Index: k, Field: "time",
+			appErr = &timeline.ValidationError{Index: k, Field: "time",
 				Msg: fmt.Sprintf("time must be finite and non-negative, got %g", a.Time)}
+			break
 		}
 		if a.Time < last {
-			return res, &timeline.ValidationError{Index: k, Field: "order",
+			appErr = &timeline.ValidationError{Index: k, Field: "order",
 				Msg: fmt.Sprintf("t=%g precedes the cascade's last event at t=%g", a.Time, last)}
+			break
 		}
 		if a.User < 0 || int(a.User) >= model.M {
-			return res, &timeline.ValidationError{Index: k, Field: "user",
+			appErr = &timeline.ValidationError{Index: k, Field: "user",
 				Msg: fmt.Sprintf("user %d outside [0,%d)", a.User, model.M)}
+			break
 		}
 		last = a.Time
 		a.ID = timeline.ActivityID(len(c.events))
@@ -165,22 +200,43 @@ func (s *Store) Append(model *core.Model, proc *hawkes.Process, version int64, i
 		p, err := model.MAPParent(view, len(c.events)-1)
 		if err != nil {
 			c.events = c.events[:len(c.events)-1]
-			return res, err
+			appErr = err
+			break
 		}
 		c.events[len(c.events)-1].Parent = p
 		if c.accum != nil {
 			if err := c.accum.Append(proc, int(a.User), a.Time); err != nil {
 				// Keep tail and accum consistent: drop the event again.
 				c.events = c.events[:len(c.events)-1]
-				return res, err
+				appErr = err
+				break
 			}
 		}
 		res.Parents = append(res.Parents, p)
 		res.Appended++
-		s.events.Inc()
 	}
+	// A mid-batch validation error keeps the valid prefix, so the prefix is
+	// what must be logged. Logging happens under c.mu: the per-cascade WAL
+	// record order is exactly apply order, which is what replay relies on.
+	if res.Appended > 0 && s.logger != nil {
+		lsn, lerr := s.logger(id, c.events[start:start+res.Appended])
+		if lerr != nil {
+			// Nothing may be acknowledged that the log did not accept: drop
+			// the batch and force a tail replay on next touch so the
+			// accumulator never diverges from the truncated tail.
+			c.events = c.events[:start]
+			c.accum = nil
+			c.version = -1
+			res.Appended = 0
+			res.Parents = nil
+			res.Events = start
+			return res, lerr
+		}
+		res.LSN = lsn
+	}
+	s.events.Add(int64(res.Appended))
 	res.Events = len(c.events)
-	return res, nil
+	return res, appErr
 }
 
 // State pins cascade id against the given snapshot and returns its
@@ -216,36 +272,109 @@ func (s *Store) State(model *core.Model, proc *hawkes.Process, version int64, id
 	return c.accum.Finalize(horizon), seq, nil
 }
 
-// Tails returns a detached copy of every cascade's event sequence (parents
-// embedded), most recently touched first — the refit path's raw material.
-// Cascades emptied or still version-stale are returned as-is; the refit
-// merge revalidates through the timeline front door anyway.
-func (s *Store) Tails(m int) []*timeline.Sequence {
+// CascadeDump is one cascade's detached event tail — the portable form the
+// durability layer snapshots, the refit path consumes, and Restore rebuilds
+// from. Events carry their running MAP parents.
+type CascadeDump struct {
+	ID     string              `json:"id"`
+	Events []timeline.Activity `json:"events"`
+}
+
+// snapshot returns the live cascades in LRU order, most recently touched
+// first.
+func (s *Store) snapshot() []*cascade {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	els := make([]*cascade, 0, s.order.Len())
 	for el := s.order.Front(); el != nil; el = el.Next() {
 		els = append(els, el.Value.(*cascade))
 	}
-	s.mu.Unlock()
-	var out []*timeline.Sequence
-	for _, c := range els {
+	return els
+}
+
+// Dump copies every non-empty cascade's tail, most recently touched first —
+// the order Restore needs to recreate the LRU state exactly. Parents are
+// whatever version they were last attributed under; Restore rebinds
+// lazily, so that staleness is invisible after a round trip.
+func (s *Store) Dump() []CascadeDump {
+	var out []CascadeDump
+	for _, c := range s.snapshot() {
 		c.mu.Lock()
-		if n := len(c.events); n > 0 {
-			out = append(out, &timeline.Sequence{M: m, Horizon: c.events[n-1].Time,
-				Activities: append([]timeline.Activity(nil), c.events...)})
+		if len(c.events) > 0 {
+			out = append(out, CascadeDump{ID: c.id, Events: append([]timeline.Activity(nil), c.events...)})
 		}
 		c.mu.Unlock()
 	}
 	return out
 }
 
-// Merged builds the refit sequence: the training timeline (with its
-// inferred parents embedded) merged with every live cascade tail (with
+// DumpSynced copies every non-empty cascade's tail with parents freshly
+// attributed under the given snapshot, sorted by cascade ID. This is the
+// refit path's raw material: unlike an LRU-ordered dump, it is a pure
+// function of the stored events and the model version — untouched by which
+// cascades predicts happened to read recently — so a refit recomputed from
+// a WAL marker is bit-identical to the live one.
+func (s *Store) DumpSynced(model *core.Model, proc *hawkes.Process, version int64) ([]CascadeDump, error) {
+	var out []CascadeDump
+	for _, c := range s.snapshot() {
+		c.mu.Lock()
+		if _, err := c.syncLocked(model, proc, version, s.rebuilds); err != nil {
+			c.mu.Unlock()
+			return nil, err
+		}
+		if len(c.events) > 0 {
+			out = append(out, CascadeDump{ID: c.id, Events: append([]timeline.Activity(nil), c.events...)})
+		}
+		c.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Restore replaces the store's contents with the dumped cascades (as
+// produced by Dump: most recently touched first). Accumulators and parents
+// are left version-unbound and rebuilt from the tails on each cascade's
+// next touch — the same lazy path a hot-reload takes — so restored state is
+// bit-identical to having appended the same events live.
+func (s *Store) Restore(dumps []CascadeDump) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.byID = map[string]*list.Element{}
+	s.order = list.New()
+	s.evicted = map[string]struct{}{}
+	total := 0
+	for i := len(dumps) - 1; i >= 0; i-- { // oldest first, so PushFront recreates the order
+		d := dumps[i]
+		if d.ID == "" {
+			return fmt.Errorf("ingest: restore: dump %d has an empty cascade id", i)
+		}
+		if _, dup := s.byID[d.ID]; dup {
+			return fmt.Errorf("ingest: restore: duplicate cascade id %q", d.ID)
+		}
+		c := &cascade{id: d.ID, version: -1, events: append([]timeline.Activity(nil), d.Events...)}
+		s.byID[d.ID] = s.order.PushFront(c)
+		total += len(d.Events)
+	}
+	s.cascades.Set(float64(s.order.Len()))
+	s.events.Add(int64(total))
+	return nil
+}
+
+// MergedDumps builds the refit sequence: the training timeline (with its
+// inferred parents embedded) merged with the dumped cascade tails (with
 // their running MAP parents), normalized through timeline.Merge so parent
-// links survive the interleave. Returns nil when no cascade holds events —
-// there is nothing to refresh on.
-func (s *Store) Merged(train *timeline.Sequence, parents []timeline.ActivityID) *timeline.Sequence {
-	tails := s.Tails(train.M)
+// links survive the interleave. It is a pure function of its arguments —
+// the live refit and the WAL-replay recompute both call it, which is what
+// makes a recovered model bit-identical to the installed one. Returns nil
+// when no dump holds events.
+func MergedDumps(train *timeline.Sequence, parents []timeline.ActivityID, dumps []CascadeDump) *timeline.Sequence {
+	var tails []*timeline.Sequence
+	for _, d := range dumps {
+		if n := len(d.Events); n > 0 {
+			tails = append(tails, &timeline.Sequence{M: train.M, Horizon: d.Events[n-1].Time,
+				Activities: append([]timeline.Activity(nil), d.Events...)})
+		}
+	}
 	if len(tails) == 0 {
 		return nil
 	}
@@ -296,14 +425,23 @@ func (s *Store) touch(id string, create bool) (*cascade, error) {
 		return el.Value.(*cascade), nil
 	}
 	if !create {
+		if _, was := s.evicted[id]; was {
+			return nil, fmt.Errorf("%w: %q", ErrEvicted, id)
+		}
 		return nil, fmt.Errorf("%w: %q", ErrUnknownCascade, id)
 	}
+	delete(s.evicted, id) // re-ingesting starts the cascade over
 	c := &cascade{id: id, version: -1}
 	s.byID[id] = s.order.PushFront(c)
 	for s.cfg.MaxCascades > 0 && s.order.Len() > s.cfg.MaxCascades {
 		oldest := s.order.Back()
 		s.order.Remove(oldest)
-		delete(s.byID, oldest.Value.(*cascade).id)
+		gone := oldest.Value.(*cascade).id
+		delete(s.byID, gone)
+		if len(s.evicted) >= evictedMemory {
+			s.evicted = map[string]struct{}{}
+		}
+		s.evicted[gone] = struct{}{}
 		s.evictions.Inc()
 	}
 	s.cascades.Set(float64(s.order.Len()))

@@ -186,7 +186,9 @@ func TestAppendValidation(t *testing.T) {
 	}
 }
 
-// TestCascadeEviction: the LRU bound holds and evicted cascades vanish.
+// TestCascadeEviction: the LRU bound holds, evictions are counted under
+// ingest.cascades_evicted, and an evicted ID answers the typed ErrEvicted
+// (not ErrUnknownCascade) until it is re-ingested fresh.
 func TestCascadeEviction(t *testing.T) {
 	m, proc, tail := fixture(t)
 	metrics := obs.NewMetrics()
@@ -199,14 +201,24 @@ func TestCascadeEviction(t *testing.T) {
 	if s.Len() != 2 {
 		t.Fatalf("store holds %d cascades, cap is 2", s.Len())
 	}
-	if got := metrics.Counter("ingest.evictions").Value(); got != 2 {
-		t.Errorf("evictions = %d, want 2", got)
+	if got := metrics.Counter("ingest.cascades_evicted").Value(); got != 2 {
+		t.Errorf("cascades_evicted = %d, want 2", got)
 	}
-	if _, _, err := s.State(m, proc, 1, "c0", 0); !errors.Is(err, ErrUnknownCascade) {
-		t.Error("evicted cascade still resolvable")
+	if _, _, err := s.State(m, proc, 1, "c0", 0); !errors.Is(err, ErrEvicted) {
+		t.Errorf("evicted cascade returned %v, want ErrEvicted", err)
+	}
+	if _, _, err := s.State(m, proc, 1, "never", 0); !errors.Is(err, ErrUnknownCascade) {
+		t.Error("never-seen cascade did not return ErrUnknownCascade")
 	}
 	if s.EventCount() != 6 {
 		t.Errorf("event count = %d, want 6", s.EventCount())
+	}
+	// Re-ingesting an evicted ID starts it over and clears the marker.
+	if _, err := s.Append(m, proc, 1, "c0", tail[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.State(m, proc, 1, "c0", 0); err != nil {
+		t.Errorf("re-ingested cascade unresolvable: %v", err)
 	}
 }
 
@@ -267,7 +279,7 @@ func TestConcurrentAppendsDistinctCascades(t *testing.T) {
 func TestMergedCarriesParents(t *testing.T) {
 	m, proc, tail := fixture(t)
 	s := NewStore(Config{}, obs.NewMetrics())
-	if s.Merged(&timeline.Sequence{M: m.M, Horizon: 1}, nil) != nil {
+	if MergedDumps(&timeline.Sequence{M: m.M, Horizon: 1}, nil, s.Dump()) != nil {
 		t.Fatal("empty store produced a merged sequence")
 	}
 	if _, err := s.Append(m, proc, 1, "c", tail); err != nil {
@@ -277,7 +289,11 @@ func TestMergedCarriesParents(t *testing.T) {
 		{ID: 0, User: 0, Time: 0.5, Parent: timeline.NoParent},
 		{ID: 1, User: 1, Time: 1.5, Parent: timeline.NoParent},
 	}}
-	merged := s.Merged(train, []timeline.ActivityID{timeline.NoParent, 0})
+	dumps, err := s.DumpSynced(m, proc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := MergedDumps(train, []timeline.ActivityID{timeline.NoParent, 0}, dumps)
 	if merged == nil {
 		t.Fatal("nil merged sequence")
 	}
@@ -304,5 +320,198 @@ func TestMergedCarriesParents(t *testing.T) {
 	// And the original train sequence was not mutated.
 	if train.Activities[1].Parent != timeline.NoParent {
 		t.Error("Merged mutated the caller's training sequence")
+	}
+}
+
+// TestDumpRestoreRoundTrip: a Restore over Dump output reproduces the
+// store bit-for-bit — same LRU order, same continuation state, same
+// parents — because the tail is the source of truth and the caches rebuild
+// lazily. This is the WAL snapshot/recovery contract at the store level.
+func TestDumpRestoreRoundTrip(t *testing.T) {
+	m, proc, tail := fixture(t)
+	a := NewStore(Config{}, obs.NewMetrics())
+	for g := 0; g < 3; g++ {
+		if _, err := a.Append(m, proc, 1, fmt.Sprintf("c%d", g), tail[:10+5*g]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dumps := a.Dump()
+	if len(dumps) != 3 {
+		t.Fatalf("dumped %d cascades, want 3", len(dumps))
+	}
+	// Most recently touched first: c2 was appended last.
+	if dumps[0].ID != "c2" {
+		t.Fatalf("dump order: first is %q, want c2", dumps[0].ID)
+	}
+	b := NewStore(Config{}, obs.NewMetrics())
+	if err := b.Restore(dumps); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 || b.EventCount() != a.EventCount() {
+		t.Fatalf("restored %d cascades / %d events, want 3 / %d", b.Len(), b.EventCount(), a.EventCount())
+	}
+	horizon := tail[len(tail)-1].Time + 2
+	for g := 0; g < 3; g++ {
+		id := fmt.Sprintf("c%d", g)
+		sa, qa, err := a.State(m, proc, 1, id, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb, qb, err := b.State(m, proc, 1, id, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if qa.Len() != qb.Len() {
+			t.Fatalf("%s: restored %d events, want %d", id, qb.Len(), qa.Len())
+		}
+		for i := range sa.R {
+			if sa.R[i] != sb.R[i] {
+				t.Fatalf("%s: restored R[%d] = %v, want %v (not bit-identical)", id, i, sb.R[i], sa.R[i])
+			}
+		}
+		for k := range qa.Activities {
+			if qa.Activities[k].Parent != qb.Activities[k].Parent {
+				t.Fatalf("%s event %d: restored parent %d, want %d", id, k, qb.Activities[k].Parent, qa.Activities[k].Parent)
+			}
+		}
+	}
+	if err := b.Restore([]CascadeDump{{ID: "x"}, {ID: "x"}}); err == nil {
+		t.Error("duplicate cascade id accepted by Restore")
+	}
+}
+
+// TestDumpSyncedPure: DumpSynced is a pure function of the stored events
+// and the version — sorted by cascade ID, indifferent to which cascade was
+// touched (read) last, with parents freshly attributed. Two stores holding
+// the same events with different access histories must dump identically,
+// or a WAL-replayed refit could diverge from the live one.
+func TestDumpSyncedPure(t *testing.T) {
+	m, proc, tail := fixture(t)
+	a := NewStore(Config{}, obs.NewMetrics())
+	b := NewStore(Config{}, obs.NewMetrics())
+	for _, id := range []string{"z", "m", "a"} {
+		if _, err := a.Append(m, proc, 1, id, tail[:12]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"a", "z", "m"} { // different insertion order
+		if _, err := b.Append(m, proc, 1, id, tail[:12]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a's LRU around with reads; dumps must not care.
+	if _, _, err := a.State(m, proc, 1, "z", 0); err != nil {
+		t.Fatal(err)
+	}
+	da, err := a.DumpSynced(m, proc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := b.DumpSynced(m, proc, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(da) != 3 || len(db) != 3 {
+		t.Fatalf("dump sizes %d/%d, want 3/3", len(da), len(db))
+	}
+	for i, want := range []string{"a", "m", "z"} {
+		if da[i].ID != want || db[i].ID != want {
+			t.Fatalf("dump %d: ids %q/%q, want %q (sorted)", i, da[i].ID, db[i].ID, want)
+		}
+		for k := range da[i].Events {
+			if da[i].Events[k] != db[i].Events[k] {
+				t.Fatalf("cascade %q event %d differs across access histories", want, k)
+			}
+		}
+	}
+}
+
+// TestAppendLoggerContract: the logger sees exactly the applied events (the
+// valid prefix on a mid-batch validation error), its LSN lands in the
+// Result, and a logger failure rolls the batch back so nothing
+// unacknowledged-by-the-log survives in the store.
+func TestAppendLoggerContract(t *testing.T) {
+	m, proc, tail := fixture(t)
+	metrics := obs.NewMetrics()
+	s := NewStore(Config{}, metrics)
+	var logged [][]timeline.Activity
+	var lsn int64
+	var fail error
+	s.SetLogger(func(id string, acts []timeline.Activity) (int64, error) {
+		if fail != nil {
+			return 0, fail
+		}
+		logged = append(logged, append([]timeline.Activity(nil), acts...))
+		lsn++
+		return lsn, nil
+	})
+
+	res, err := s.Append(m, proc, 1, "c", tail[:5])
+	if err != nil || res.LSN != 1 || res.Appended != 5 {
+		t.Fatalf("logged append: res=%+v err=%v", res, err)
+	}
+	if len(logged) != 1 || len(logged[0]) != 5 {
+		t.Fatalf("logger saw %d batches", len(logged))
+	}
+
+	// Mid-batch validation error: the valid prefix persists and is logged.
+	batch := append([]timeline.Activity(nil), tail[5:8]...)
+	batch = append(batch, timeline.Activity{User: timeline.UserID(m.M), Time: batch[2].Time + 1})
+	res, err = s.Append(m, proc, 1, "c", batch)
+	var ve *timeline.ValidationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want validation error, got %v", err)
+	}
+	if res.Appended != 3 || res.LSN != 2 {
+		t.Fatalf("prefix append: appended=%d lsn=%d", res.Appended, res.LSN)
+	}
+	if len(logged) != 2 || len(logged[1]) != 3 {
+		t.Fatalf("logger saw %d batches, last %d events", len(logged), len(logged[len(logged)-1]))
+	}
+	if got := metrics.Counter("ingest.events").Value(); got != 8 {
+		t.Fatalf("ingest.events = %d, want 8", got)
+	}
+
+	// Logger failure: full rollback, nothing acked, nothing counted.
+	fail = errors.New("disk on fire")
+	res, err = s.Append(m, proc, 1, "c", tail[8:12])
+	if err == nil || res.Appended != 0 || res.LSN != 0 {
+		t.Fatalf("failed log not rolled back: res=%+v err=%v", res, err)
+	}
+	if got := metrics.Counter("ingest.events").Value(); got != 8 {
+		t.Fatalf("ingest.events after rollback = %d, want 8", got)
+	}
+	// The store still serves the pre-failure tail, and a later healthy
+	// append replays cleanly from it.
+	fail = nil
+	res, err = s.Append(m, proc, 1, "c", tail[8:12])
+	if err != nil || res.Appended != 4 {
+		t.Fatalf("post-rollback append: res=%+v err=%v", res, err)
+	}
+	_, seq, err := s.State(m, proc, 1, "c", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Len() != 12 {
+		t.Fatalf("cascade holds %d events, want 12", seq.Len())
+	}
+	// Bit-identity vs a store that never saw the rollback.
+	ref := NewStore(Config{}, obs.NewMetrics())
+	if _, err := ref.Append(m, proc, 1, "c", tail[:12]); err != nil {
+		t.Fatal(err)
+	}
+	horizon := tail[11].Time + 1
+	got, _, err := s.State(m, proc, 1, "c", horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := ref.State(m, proc, 1, "c", horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.R {
+		if got.R[i] != want.R[i] {
+			t.Fatalf("post-rollback R[%d] = %v, want %v", i, got.R[i], want.R[i])
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"chassis/internal/ingest"
 	"chassis/internal/predict"
 	"chassis/internal/timeline"
+	"chassis/internal/wal"
 )
 
 // APIErrorSchema versions the error envelope every /v1/* endpoint emits.
@@ -27,9 +28,10 @@ const APIErrorSchema = "chassis.api-error/v1"
 // and the tests can compare by identity with errors.Is.
 //
 // The codes partition the failure space: validation (invalid_request,
-// method_not_allowed, cascade_not_found), backpressure (queue_full,
-// draining, no_model), deadline (deadline_exceeded), reload interplay
-// (reload_failed, reload_conflict), and internal.
+// method_not_allowed, cascade_not_found, cascade_evicted), backpressure
+// (queue_full, draining, no_model), deadline (deadline_exceeded), reload
+// interplay (reload_failed, reload_conflict), durability (replaying,
+// wal_stalled), and internal.
 type Error struct {
 	// Status is the HTTP status code the error maps to.
 	Status int `json:"-"`
@@ -38,8 +40,9 @@ type Error struct {
 	Schema string `json:"schema,omitempty"`
 	// Code is the stable machine-readable discriminator: "queue_full",
 	// "draining", "no_model", "deadline_exceeded", "invalid_request",
-	// "method_not_allowed", "cascade_not_found", "reload_failed",
-	// "reload_conflict", or "internal".
+	// "method_not_allowed", "cascade_not_found", "cascade_evicted",
+	// "reload_failed", "reload_conflict", "replaying", "wal_stalled", or
+	// "internal".
 	Code string `json:"code"`
 	// Retryable hints whether retrying the identical request can succeed —
 	// against this instance after backoff (queue_full), or another instance
@@ -70,6 +73,26 @@ var (
 		Message: "no model snapshot is loaded yet"}
 	ErrReloadConflict = &Error{Status: http.StatusConflict, Code: "reload_conflict", Retryable: true,
 		Message: "model snapshot changed during the operation; retry against the new version"}
+	// ErrReplaying is the 503 the stateful endpoints return while WAL
+	// recovery is still replaying: the live-cascade store and model-version
+	// chain are incomplete, so ingest, cascade-addressed reads, refit, and
+	// reload wait. Inline-history predicts stay up throughout (the initial
+	// file model is already loaded). /readyz reports the same code so load
+	// balancers hold traffic until replay completes.
+	ErrReplaying = &Error{Status: http.StatusServiceUnavailable, Code: "replaying", Retryable: true,
+		Message: "write-ahead log replay is in progress; retry shortly"}
+	// ErrWALStalled is the 503 ingest sheds with when the write-ahead log
+	// cannot durably accept records (full disk, wedged writer, fsync stall):
+	// the event was NOT persisted and the client should retry, here after
+	// the disk recovers or against another instance. Predict traffic is
+	// unaffected — reads never touch the WAL.
+	ErrWALStalled = &Error{Status: http.StatusServiceUnavailable, Code: "wal_stalled", Retryable: true,
+		Message: "ingest write-ahead log is stalled; the event was not persisted"}
+	// ErrCascadeEvicted is the 410 a predict/influence request naming an
+	// LRU-evicted cascade receives: the state is gone for good (non-
+	// retryable) — distinct from the 404 for a never-seen cascade_id.
+	ErrCascadeEvicted = &Error{Status: http.StatusGone, Code: "cascade_evicted",
+		Message: "cascade was evicted from the live store; re-ingest it to start over"}
 )
 
 // badRequest builds a 400 invalid_request error.
@@ -96,9 +119,19 @@ func asAPIError(err error) *Error {
 	if errors.As(err, &tv) {
 		return badRequest("%s", tv.Error())
 	}
+	if errors.Is(err, ingest.ErrEvicted) {
+		ev := *ErrCascadeEvicted
+		ev.Message = err.Error() + "; re-ingest it to start over"
+		return &ev
+	}
 	if errors.Is(err, ingest.ErrUnknownCascade) {
 		return &Error{Status: http.StatusNotFound, Code: "cascade_not_found",
 			Message: err.Error()}
+	}
+	if errors.Is(err, wal.ErrStalled) {
+		ws := *ErrWALStalled
+		ws.Message = err.Error()
+		return &ws
 	}
 	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 		return &Error{Status: http.StatusServiceUnavailable, Code: "deadline_exceeded", Retryable: true,

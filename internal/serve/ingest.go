@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"time"
 
+	"chassis/internal/ingest"
 	"chassis/internal/timeline"
 )
 
@@ -166,6 +167,20 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		fail(ErrNotReady)
 		return
 	}
+	if s.wal != nil {
+		// Replay owns the store until recovery completes; afterwards, a
+		// wedged or backlogged WAL sheds ingest (the event would not be
+		// durable) while the read path stays up.
+		if !s.walRecovered.Load() {
+			fail(ErrReplaying)
+			return
+		}
+		if s.wal.Stalled() {
+			s.metrics.Counter("serve.ingest.shed_wal").Inc()
+			fail(ErrWALStalled)
+			return
+		}
+	}
 	req, err := decodeIngestRequest(r.Body)
 	if err != nil {
 		fail(err)
@@ -195,6 +210,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	// exactly across ingest and predict traffic.
 	var body []byte
 	var perr error
+	var res *ingest.Result
 	derr := s.disp.Do(ctx, func(ctx context.Context, workers int) {
 		defer func() {
 			if v := recover(); v != nil {
@@ -205,11 +221,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			perr = err
 			return
 		}
-		res, err := s.store.Append(snap.Model, snap.Proc, snap.Version, req.CascadeID, acts)
+		// The gate's read side spans apply+log so a compaction snapshot
+		// (write side) can never observe an applied-but-unlogged batch; the
+		// logger only enqueues, so no disk I/O happens on the dispatcher.
+		if s.wal != nil {
+			s.walGate.RLock()
+			defer s.walGate.RUnlock()
+		}
+		r0, err := s.store.Append(snap.Model, snap.Proc, snap.Version, req.CascadeID, acts)
 		if err != nil {
 			perr = err
 			return
 		}
+		res = r0
 		out := IngestResponse{
 			CascadeID: res.Cascade, Events: res.Events, Appended: res.Appended,
 			Parents: res.Parents, Rebuilt: res.Rebuilt, Repairs: repairs,
@@ -224,6 +248,19 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		fail(perr)
 		return
 	}
+	// Acknowledge only durable appends: under sync=always this blocks until
+	// the record's batch is fsynced (a stall sheds with a typed 503 — the
+	// events are applied in memory but the client must not trust them
+	// persisted). Under sync=interval/off WaitDurable returns immediately
+	// and the acknowledged-durability window is the sync interval.
+	if s.wal != nil && res != nil && res.LSN > 0 {
+		if werr := s.wal.WaitDurable(res.LSN); werr != nil {
+			s.metrics.Counter("serve.ingest.shed_wal").Inc()
+			fail(werr)
+			return
+		}
+	}
+	s.maybeCompactWAL()
 	s.metrics.Timer("serve.ingest.latency").Add(time.Since(start))
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set(modelVersionHeader, strconv.FormatInt(snap.Version, 10))
@@ -249,36 +286,72 @@ func (s *Server) refitOnce(ctx context.Context) (snap *ModelSnapshot, installed 
 			s.metrics.Counter("serve.refit.errors").Inc()
 		}
 	}()
+	if s.wal != nil && !s.walRecovered.Load() {
+		// Replay is reconstructing the store and version chain; a refit now
+		// would fork both.
+		return nil, false, 0, ErrReplaying
+	}
 	base := s.reg.Current()
 	if base == nil {
 		return nil, false, 0, ErrNotReady
 	}
-	var parents []timeline.ActivityID
-	if f := base.Model.Forest; f != nil && f.Len() == base.Train.Len() {
-		parents = f.Parents()
+	// DumpSynced, not Dump: the dumps are sorted by cascade id with parents
+	// freshly attributed under base's version, so the refit input — and with
+	// it the refit marker's recipe — is a pure function of store contents,
+	// independent of LRU order. That purity is what lets WAL recovery
+	// recompute a bit-identical model from the marker.
+	dumps, err := s.store.DumpSynced(base.Model, base.Proc, base.Version)
+	if err != nil {
+		return nil, false, 0, err
 	}
-	merged := s.store.Merged(base.Train, parents)
-	if merged == nil {
+	if len(dumps) == 0 {
 		return base, false, 0, nil // nothing ingested yet: no-op, not an error
 	}
-	// Live tails can collide with training events or each other (same user,
-	// same instant); the Repair front door dedups and re-densifies so the
-	// refit's Check front door accepts the merge.
-	merged, _ = merged.Repair()
-	liveEvents = merged.Len() - base.Train.Len()
-	if liveEvents <= 0 {
-		return base, false, liveEvents, nil
-	}
-	refit, err := base.Model.RefitIncremental(ctx, merged, nil, s.cfg.RefitPasses)
+	refit, liveEvents, err := s.buildRefitModel(ctx, base, dumps, s.cfg.RefitPasses)
 	if err != nil {
 		return nil, false, liveEvents, err
+	}
+	if refit == nil {
+		return base, false, liveEvents, nil
 	}
 	next, err := s.reg.Install(refit, base.Version)
 	if err != nil {
 		return nil, false, liveEvents, err
 	}
 	s.metrics.Counter("serve.refit.total").Inc()
+	if s.wal != nil {
+		s.logRefitMarker(base, next, dumps)
+	}
 	return next, true, liveEvents, nil
+}
+
+// logRefitMarker makes an installed refit crash-durable: it appends the
+// self-contained recipe (base version, installed version, passes, synced
+// tails) to the WAL and waits it out. The install already happened and
+// cannot be unwound, so a logging failure is not an error — it just means
+// a crash before the next successful marker or compaction loses this
+// version (logged loudly; the stall also sheds subsequent ingests).
+func (s *Server) logRefitMarker(base, next *ModelSnapshot, dumps []ingest.CascadeDump) {
+	rec := walRefitJSON{BaseVersion: base.Version, Version: next.Version,
+		Passes: s.cfg.RefitPasses, Tails: dumps}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		s.logf("wal: refit marker for version %d not encodable (version lost to a crash): %v", next.Version, err)
+		return
+	}
+	s.walGate.RLock()
+	lsn, err := s.wal.Append(walRecRefit, data)
+	s.walGate.RUnlock()
+	if err == nil {
+		err = s.wal.WaitDurable(lsn)
+	}
+	if err != nil {
+		s.logf("wal: refit marker for version %d not durable (version lost to a crash): %v", next.Version, err)
+	}
+	// Chain bookkeeping happens regardless: the marker describes the live
+	// in-memory lineage, which future compaction snapshots must reproduce.
+	s.walChain.append(base, rec)
+	s.maybeCompactWAL()
 }
 
 // refitLoop drives periodic incremental refits until ctx is cancelled.

@@ -80,6 +80,11 @@ type ModelSnapshot struct {
 	ModelSum, DataSum string
 	// LoadedAt is the wall time the snapshot was installed.
 	LoadedAt time.Time
+	// FileDerived distinguishes snapshots loaded from the source files
+	// (Reload) from in-memory installs (Install/InstallVersion). The WAL
+	// layer uses it to know when a refit-recipe chain restarts from the
+	// on-disk model.
+	FileDerived bool
 }
 
 // Registry owns the current model snapshot and its reload lifecycle.
@@ -174,6 +179,7 @@ func (r *Registry) Reload(force bool) (reloaded bool, snap *ModelSnapshot, err e
 	next := &ModelSnapshot{
 		Version: 1, Model: model, Proc: proc, M: model.M, Train: train,
 		ModelSum: modelSum, DataSum: dataSum, LoadedAt: time.Now(),
+		FileDerived: true,
 	}
 	if prev != nil {
 		next.Version = prev.Version + 1
@@ -214,6 +220,40 @@ func (r *Registry) Install(model *core.Model, baseVersion int64) (*ModelSnapshot
 	}
 	next := &ModelSnapshot{
 		Version: prev.Version + 1, Model: model, Proc: proc, M: model.M, Train: prev.Train,
+		ModelSum: prev.ModelSum, DataSum: prev.DataSum, LoadedAt: time.Now(),
+	}
+	r.cur.Store(next)
+	r.metrics.Counter("serve.install.total").Inc()
+	r.metrics.Gauge("serve.model_version").Set(float64(next.Version))
+	return next, nil
+}
+
+// InstallVersion installs an in-memory model at an explicit version number —
+// the WAL recovery path, which must reproduce the exact version sequence
+// the crashed process served (a refit marker logged as version N recovers
+// as version N, so X-Chassis-Model-Version is identical before and after
+// the crash). Version must move strictly forward; gaps are allowed, because
+// replay applies only markers, not the file reloads between them. Not a
+// CAS: recovery is single-threaded, before the server accepts traffic.
+func (r *Registry) InstallVersion(model *core.Model, version int64) (*ModelSnapshot, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	prev := r.cur.Load()
+	if prev == nil {
+		return nil, ErrNotReady
+	}
+	if version <= prev.Version {
+		return nil, fmt.Errorf("serve: install at version %d does not advance the current version %d", version, prev.Version)
+	}
+	if model == nil || model.M != prev.M {
+		return nil, fmt.Errorf("serve: install: model dimensions do not match the serving snapshot")
+	}
+	proc := model.Process()
+	if err := proc.Validate(); err != nil {
+		return nil, fmt.Errorf("serve: recovered model is not simulable: %w", err)
+	}
+	next := &ModelSnapshot{
+		Version: version, Model: model, Proc: proc, M: model.M, Train: prev.Train,
 		ModelSum: prev.ModelSum, DataSum: prev.DataSum, LoadedAt: time.Now(),
 	}
 	r.cur.Store(next)

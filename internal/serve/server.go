@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -17,6 +18,7 @@ import (
 	"chassis/internal/obs"
 	"chassis/internal/predict"
 	"chassis/internal/timeline"
+	"chassis/internal/wal"
 )
 
 // Config assembles a prediction server. Zero values select the documented
@@ -58,6 +60,13 @@ type Config struct {
 	// RefitPasses bounds the projected-gradient iterations per dimension
 	// in each incremental refit (0 selects 5).
 	RefitPasses int
+	// WAL enables the durable ingest write-ahead log when WAL.Dir is set:
+	// every applied append and refit install is logged, Run replays the log
+	// on boot before accepting ingest (readyz reports 503 replaying
+	// meanwhile), and recovered responses are bit-identical to an uncrashed
+	// process. Empty Dir disables durability entirely (the pre-WAL
+	// behaviour: live state dies with the process).
+	WAL wal.Config
 	// Metrics receives the server's instruments and backs /metrics
 	// (nil: a fresh registry, so /metrics always works).
 	Metrics *obs.Metrics
@@ -106,6 +115,16 @@ type Server struct {
 	started   time.Time
 	stopping  atomic.Bool
 	refitBusy atomic.Bool // single-flight guard for refitOnce
+
+	// Durability plumbing; all zero-valued (and walRecovered pre-set) when
+	// no WAL is configured.
+	wal          *wal.WAL
+	walGate      sync.RWMutex // appends hold R across apply+log; compaction holds W
+	walRecovered atomic.Bool  // flips once Recover finishes; handlers gate on it
+	recoverOnce  sync.Once
+	recoverErr   error
+	walChain     refitChain  // refit recipes since the last file-derived model
+	compactBusy  atomic.Bool // single-flight guard for compactWAL
 }
 
 // New builds a server and performs the initial model load — a broken model
@@ -124,6 +143,20 @@ func New(cfg Config) (*Server, error) {
 	}
 	if err := s.reg.Load(); err != nil {
 		return nil, err
+	}
+	if cfg.WAL.Dir != "" {
+		wcfg := cfg.WAL
+		if wcfg.Logf == nil {
+			wcfg.Logf = cfg.Logf
+		}
+		w, err := wal.Open(wcfg, cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		s.wal = w
+	} else {
+		// No WAL: nothing to replay, handlers never gate.
+		s.walRecovered.Store(true)
 	}
 	s.routes()
 	return s, nil
@@ -165,26 +198,54 @@ func (s *Server) Run(ctx context.Context) error {
 	}
 	watchCtx, stopWatch := context.WithCancel(context.Background())
 	defer stopWatch()
-	if s.cfg.ReloadEvery > 0 {
-		go s.reg.Watch(watchCtx, s.cfg.ReloadEvery, func(err error) {
-			s.logf("hot-reload failed (previous model keeps serving): %v", err)
-		})
+	startLoops := func() {
+		if s.cfg.ReloadEvery > 0 {
+			go s.reg.Watch(watchCtx, s.cfg.ReloadEvery, func(err error) {
+				s.logf("hot-reload failed (previous model keeps serving): %v", err)
+			})
+		}
+		if s.cfg.RefitEvery > 0 {
+			go s.refitLoop(watchCtx)
+		}
 	}
-	if s.cfg.RefitEvery > 0 {
-		go s.refitLoop(watchCtx)
-	}
+	// WAL recovery runs alongside the listener: inline-history predicts are
+	// served from the initial file model immediately, while ingest and
+	// cascade-addressed reads answer 503 replaying (readyz too) until the
+	// replay completes. The reload/refit loops wait for recovery — both
+	// would mutate the version chain replay is rebuilding.
+	recovered := make(chan error, 1)
+	go func() { recovered <- s.Recover(watchCtx) }()
+
 	hs := &http.Server{Handler: s.mux}
 	served := make(chan error, 1)
 	go func() { served <- hs.Serve(ln) }()
-	select {
-	case err := <-served:
-		return fmt.Errorf("serve: http server: %w", err)
-	case <-ctx.Done():
+	var runErr error
+loop:
+	for {
+		select {
+		case err := <-served:
+			s.closeWAL()
+			return fmt.Errorf("serve: http server: %w", err)
+		case rerr := <-recovered:
+			if rerr != nil {
+				// A WAL that cannot be recovered is fatal: serving without it
+				// would silently drop the durability the operator asked for.
+				s.logf("wal recovery failed, shutting down: %v", rerr)
+				runErr = fmt.Errorf("serve: wal recovery: %w", rerr)
+				break loop
+			}
+			startLoops()
+			recovered = nil // recovered; never selected again
+		case <-ctx.Done():
+			break loop
+		}
 	}
 
 	// Graceful drain: readyz goes negative, the listener stops accepting
 	// and in-flight HTTP requests complete (Shutdown), then the dispatcher
-	// flushes whatever those requests enqueued.
+	// flushes whatever those requests enqueued, and only then — once no job
+	// can append another record — the WAL flushes and closes, so every
+	// acknowledged event is on disk before exit.
 	s.stopping.Store(true)
 	s.logf("draining: waiting up to %s for in-flight work", s.cfg.DrainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
@@ -192,15 +253,42 @@ func (s *Server) Run(ctx context.Context) error {
 	shutdownErr := hs.Shutdown(drainCtx)
 	drainErr := s.disp.Drain(drainCtx)
 	<-served // http.ErrServerClosed once Shutdown completes
+	stopWatch()
+	walErr := s.closeWAL()
+	if runErr != nil {
+		return runErr
+	}
 	if shutdownErr != nil {
 		return fmt.Errorf("serve: drain: %w", shutdownErr)
 	}
 	if drainErr != nil {
 		return fmt.Errorf("serve: drain: %w", drainErr)
 	}
+	if walErr != nil {
+		return fmt.Errorf("serve: wal close: %w", walErr)
+	}
 	s.logf("drained cleanly")
 	return nil
 }
+
+// closeWAL flushes and closes the WAL (idempotent, nil-safe). Run calls it
+// after the dispatcher drains; servers mounted via Handler should call
+// Drain then closeWAL's exported twin CloseWAL themselves.
+func (s *Server) closeWAL() error {
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Close(); err != nil {
+		s.logf("wal close: %v", err)
+		return err
+	}
+	return nil
+}
+
+// CloseWAL flushes and closes the write-ahead log, for servers mounted via
+// Handler (Run's drain path does this automatically). Call it only after
+// Drain: a closed WAL sheds every subsequent ingest.
+func (s *Server) CloseWAL() error { return s.closeWAL() }
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/predict/next", s.handlePredict(false))
@@ -274,6 +362,12 @@ func (s *Server) handlePredict(counts bool) http.HandlerFunc {
 		var hist *timeline.Sequence
 		var cascadeSt *hawkes.ContState
 		if req.CascadeID != "" {
+			// Live-cascade state is incomplete until replay finishes; an
+			// answer now could silently miss already-acknowledged events.
+			if s.wal != nil && !s.walRecovered.Load() {
+				fail(ErrReplaying)
+				return
+			}
 			cascadeSt, hist, err = s.store.State(snap.Model, snap.Proc, snap.Version, req.CascadeID, req.Horizon)
 		} else {
 			hist, err = req.historySequence(snap.M)
@@ -412,6 +506,10 @@ func (s *Server) handleInfluence(w http.ResponseWriter, r *http.Request) {
 	}
 	var hist *timeline.Sequence
 	if req.CascadeID != "" {
+		if s.wal != nil && !s.walRecovered.Load() {
+			fail(ErrReplaying)
+			return
+		}
 		_, hist, err = s.store.State(snap.Model, snap.Proc, snap.Version, req.CascadeID, req.Horizon)
 	} else {
 		hist, err = req.historySequence(snap.M)
@@ -502,6 +600,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, ErrDraining)
 		return
 	}
+	if s.wal != nil && !s.walRecovered.Load() {
+		writeError(w, ErrReplaying)
+		return
+	}
 	if s.reg.Current() == nil {
 		writeError(w, ErrNotReady)
 		return
@@ -536,6 +638,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, &Error{Status: http.StatusMethodNotAllowed, Code: "method_not_allowed",
 			Message: "use POST"})
+		return
+	}
+	if s.wal != nil && !s.walRecovered.Load() {
+		// A reload mid-replay would move the version chain out from under
+		// the refit markers still being recomputed.
+		writeError(w, ErrReplaying)
 		return
 	}
 	force := r.URL.Query().Get("force") != "0"

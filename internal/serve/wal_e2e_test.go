@@ -1,0 +1,477 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"chassis/internal/faultinject"
+	"chassis/internal/obs"
+	"chassis/internal/wal"
+)
+
+// The WAL e2e contract: SIGKILL the server at ANY record boundary, restart
+// it over the same WAL directory, and every /v1/predict/* and /v1/influence
+// response for live cascades — and the installed model version — is
+// bit-identical to a process that simply never crashed. The tests below pin
+// that contract with deterministic fault injection, plus the degraded modes
+// around it (replaying, wal_stalled, evicted, compaction, drain ordering).
+
+// walScript is the deterministic traffic driven against every server in the
+// bit-identity sweep. Each step produces exactly ONE WAL record (one ingest
+// batch = one append record, one refit = one marker), so "crash after record
+// k" and "apply the first k steps" describe the same state.
+var walScript = []struct {
+	path, body string
+}{
+	{"/v1/ingest", `{"cascade_id":"c1","events":[{"user":0,"time":1},{"user":1,"time":2.5},{"user":2,"time":4}]}`},
+	{"/v1/ingest", `{"cascade_id":"c2","events":[{"user":3,"time":2},{"user":4,"time":3.25}]}`},
+	{"/v1/ingest", `{"cascade_id":"c1","events":[{"user":5,"time":6},{"user":0,"time":7.5}]}`},
+	{"/admin/refit", ""},
+	{"/v1/ingest", `{"cascade_id":"c2","events":[{"user":6,"time":5},{"user":7,"time":8}]}`},
+	{"/v1/ingest", `{"cascade_id":"c3","events":[{"user":1,"time":0.5}]}`},
+	{"/v1/ingest", `{"cascade_id":"c1","events":[{"user":3,"time":9.125}]}`},
+}
+
+// walScriptCascades lists every cascade the script touches, in a fixed order.
+var walScriptCascades = []string{"c1", "c2", "c3"}
+
+// stateCapture is everything the recovery contract promises bit-identity
+// for: per-cascade predict and influence response bytes, and the model
+// version header they were served under.
+type stateCapture struct {
+	Version   string
+	Predict   map[string]string
+	Influence map[string]string
+}
+
+// captureState queries every cascade in ids that exists (404s are recorded
+// as absent) with a fixed-seed predict and an influence call.
+func captureState(t *testing.T, base string, ids []string) stateCapture {
+	t.Helper()
+	cap := stateCapture{Predict: map[string]string{}, Influence: map[string]string{}}
+	for _, id := range ids {
+		resp, body := postJSON(t, base+"/v1/predict/next",
+			fmt.Sprintf(`{"cascade_id":%q,"lookahead":30,"draws":20,"seed":42}`, id))
+		if resp.StatusCode == http.StatusNotFound {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %s: %d %s", id, resp.StatusCode, body)
+		}
+		cap.Predict[id] = string(body)
+		cap.Version = resp.Header.Get(modelVersionHeader)
+		resp, body = postJSON(t, base+"/v1/influence", fmt.Sprintf(`{"cascade_id":%q}`, id))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("influence %s: %d %s", id, resp.StatusCode, body)
+		}
+		cap.Influence[id] = string(body)
+	}
+	return cap
+}
+
+// newWALServer builds a server with a WAL over walDir, runs recovery to
+// completion, and mounts it on httptest.
+func newWALServer(t *testing.T, src Source, walDir string, mutate func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	cfg := Config{
+		Source:      src,
+		Buildinfo:   "chassis test-build",
+		RefitPasses: 2,
+		WAL:         wal.Config{Dir: walDir, StallTimeout: 300 * time.Millisecond},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Recover(context.Background()); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// TestWALCrashAtEveryRecordBitIdentity is the acceptance sweep: for every
+// record boundary k, a server is killed immediately after record k becomes
+// durable (everything later is lost), restarted over the same WAL, and its
+// recovered responses must byte-match a reference server that simply applied
+// the first k steps and never crashed. k = len(script) is the SIGKILL-with-
+// nothing-lost case. Covers appends, a mid-stream refit marker, and the
+// model-version header.
+func TestWALCrashAtEveryRecordBitIdentity(t *testing.T) {
+	defer faultinject.Reset()
+	src := fixtureSource(t)
+
+	// Progressive reference: one WAL-less server applies the script step by
+	// step; expected[k] is the full query capture after the first k steps.
+	_, ref := newTestServer(t, func(c *Config) {
+		c.Source = src
+		c.RefitPasses = 2
+	})
+	expected := make([]stateCapture, len(walScript)+1)
+	expected[0] = captureState(t, ref.URL, walScriptCascades)
+	for i, st := range walScript {
+		resp, body := postJSON(t, ref.URL+st.path, st.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference step %d (%s): %d %s", i+1, st.path, resp.StatusCode, body)
+		}
+		expected[i+1] = captureState(t, ref.URL, walScriptCascades)
+	}
+	if expected[len(walScript)].Version != "2" {
+		t.Fatalf("reference end version %q, want 2 (the refit must install)", expected[len(walScript)].Version)
+	}
+
+	for k := 1; k <= len(walScript); k++ {
+		k := k
+		t.Run(fmt.Sprintf("crash-after-record-%d", k), func(t *testing.T) {
+			walDir := t.TempDir()
+			faultinject.WALCrashAfterAppend = func(lsn int64) bool { return lsn == int64(k) }
+			_, crashed := newWALServer(t, src, walDir, nil)
+			for i, st := range walScript {
+				resp, body := postJSON(t, crashed.URL+st.path, st.body)
+				if i+1 <= k && resp.StatusCode != http.StatusOK {
+					t.Fatalf("step %d (record <= crash point %d) must be acked, got %d %s",
+						i+1, k, resp.StatusCode, body)
+				}
+				if i+1 > k && st.path == "/v1/ingest" && resp.StatusCode == http.StatusOK {
+					t.Fatalf("step %d ingest acked after the log wedged at record %d", i+1, k)
+				}
+			}
+			// SIGKILL: the crashed server is simply abandoned — no drain, no
+			// WAL close. Recovery starts from the on-disk bytes alone.
+			faultinject.Reset()
+			_, revived := newWALServer(t, src, walDir, nil)
+			got := captureState(t, revived.URL, walScriptCascades)
+			if !reflect.DeepEqual(got, expected[k]) {
+				t.Fatalf("crash after record %d: recovered state diverges from the uncrashed reference\n got: %+v\nwant: %+v",
+					k, got, expected[k])
+			}
+		})
+	}
+}
+
+// TestWALReplayingGatesHandlers pins the boot posture: until Recover
+// completes, /readyz and every stateful endpoint answer 503 replaying,
+// while inline-history predicts (served from the already-loaded file model)
+// stay up. Recovery flips all of it atomically.
+func TestWALReplayingGatesHandlers(t *testing.T) {
+	src := fixtureSource(t)
+	walDir := t.TempDir()
+	// Seed the log with real records so the recovery below has work to do.
+	_, seed := newWALServer(t, src, walDir, nil)
+	resp, body := postJSON(t, seed.URL+"/v1/ingest", walScript[0].body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("seeding ingest: %d %s", resp.StatusCode, body)
+	}
+
+	cfg := Config{
+		Source:    src,
+		Buildinfo: "chassis test-build",
+		WAL:       wal.Config{Dir: walDir},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+
+	// Recover has not run: every stateful surface reports replaying.
+	wantReplaying := func(path, reqBody string) {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+path, reqBody)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("%s during replay: %d %s, want 503", path, resp.StatusCode, body)
+		}
+		var env struct {
+			Error struct {
+				Code      string `json:"code"`
+				Retryable bool   `json:"retryable"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "replaying" || !env.Error.Retryable {
+			t.Fatalf("%s during replay: %s, want retryable code replaying", path, body)
+		}
+	}
+	wantReplaying("/v1/ingest", walScript[0].body)
+	wantReplaying("/v1/predict/next", `{"cascade_id":"c1","lookahead":10,"draws":5,"seed":1}`)
+	wantReplaying("/v1/influence", `{"cascade_id":"c1"}`)
+	wantReplaying("/admin/refit", "")
+	wantReplaying("/admin/reload", "")
+	if resp, body := getBody(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz during replay: %d %s, want 503", resp.StatusCode, body)
+	}
+	// Inline-history predicts never gate: the file model is already loaded.
+	resp, body = postJSON(t, ts.URL+"/v1/predict/next", `{"history":[{"user":0,"time":1}],"lookahead":10,"draws":5,"seed":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline predict during replay: %d %s, want 200", resp.StatusCode, body)
+	}
+
+	if err := s.Recover(context.Background()); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if resp, body := getBody(t, ts.URL+"/readyz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz after recovery: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/predict/next", `{"cascade_id":"c1","lookahead":10,"draws":5,"seed":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cascade predict after recovery: %d %s", resp.StatusCode, body)
+	}
+}
+
+// TestWALStallShedsIngestNotPredict pins graceful degradation: a wedged WAL
+// sheds ingest with a retryable 503 wal_stalled while predict — inline AND
+// live-cascade — keeps serving. The dispatcher is never blocked.
+func TestWALStallShedsIngestNotPredict(t *testing.T) {
+	defer faultinject.Reset()
+	src := fixtureSource(t)
+	metrics := obs.NewMetrics()
+	s, ts := newWALServer(t, src, t.TempDir(), func(c *Config) {
+		c.Metrics = metrics
+		c.WAL.StallTimeout = 100 * time.Millisecond
+	})
+	// One healthy ingest so a live cascade exists before the disk "fails".
+	resp, body := postJSON(t, ts.URL+"/v1/ingest", walScript[0].body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy ingest: %d %s", resp.StatusCode, body)
+	}
+
+	faultinject.WALIO = func(op, path string) error {
+		if op == "write" || op == "sync" {
+			return errors.New("injected: disk full")
+		}
+		return nil
+	}
+	wantStalled := func() {
+		t.Helper()
+		resp, body := postJSON(t, ts.URL+"/v1/ingest",
+			`{"cascade_id":"c1","events":[{"user":2,"time":50}]}`)
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("ingest on wedged WAL: %d %s, want 503", resp.StatusCode, body)
+		}
+		var env struct {
+			Error struct {
+				Code      string `json:"code"`
+				Retryable bool   `json:"retryable"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "wal_stalled" || !env.Error.Retryable {
+			t.Fatalf("ingest on wedged WAL: %s, want retryable code wal_stalled", body)
+		}
+	}
+	wantStalled() // first one pays the durability wait, then the wedge is sticky
+	wantStalled() // second is shed before it spends a queue slot
+	if v := metrics.Counter("serve.ingest.shed_wal").Value(); v < 2 {
+		t.Fatalf("serve.ingest.shed_wal = %d, want >= 2", v)
+	}
+
+	// Reads are untouched: inline and live-cascade predicts both serve.
+	resp, body = postJSON(t, ts.URL+"/v1/predict/next", `{"history":[{"user":0,"time":1}],"lookahead":10,"draws":5,"seed":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("inline predict with wedged WAL: %d %s", resp.StatusCode, body)
+	}
+	resp, body = postJSON(t, ts.URL+"/v1/predict/next", `{"cascade_id":"c1","lookahead":10,"draws":5,"seed":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cascade predict with wedged WAL: %d %s", resp.StatusCode, body)
+	}
+	if !s.wal.Stalled() {
+		t.Fatal("the WAL must report itself stalled")
+	}
+}
+
+// TestEvictedCascadeIs410 pins satellite 1: predict/influence on an LRU-
+// evicted cascade answer a non-retryable 410 cascade_evicted — distinct from
+// the 404 for a cascade that never existed.
+func TestEvictedCascadeIs410(t *testing.T) {
+	_, ts := newTestServer(t, func(c *Config) {
+		c.Ingest.MaxCascades = 1
+	})
+	for _, id := range []string{"old", "new"} { // "new" evicts "old"
+		resp, body := postJSON(t, ts.URL+"/v1/ingest",
+			fmt.Sprintf(`{"cascade_id":%q,"events":[{"user":0,"time":1}]}`, id))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %s: %d %s", id, resp.StatusCode, body)
+		}
+	}
+	for _, path := range []string{"/v1/predict/next", "/v1/influence"} {
+		resp, body := postJSON(t, ts.URL+path, `{"cascade_id":"old","lookahead":10,"draws":5,"seed":1}`)
+		if resp.StatusCode != http.StatusGone {
+			t.Fatalf("%s on evicted cascade: %d %s, want 410", path, resp.StatusCode, body)
+		}
+		var env struct {
+			Error struct {
+				Code      string `json:"code"`
+				Retryable bool   `json:"retryable"`
+			} `json:"error"`
+		}
+		if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != "cascade_evicted" || env.Error.Retryable {
+			t.Fatalf("%s on evicted cascade: %s, want non-retryable cascade_evicted", path, body)
+		}
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/predict/next", `{"cascade_id":"never","lookahead":10,"draws":5,"seed":1}`)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown cascade: %d %s, want 404", resp.StatusCode, body)
+	}
+	_ = body
+}
+
+// TestWALCompactionRoundTrip forces segment rotation and snapshot compaction
+// mid-traffic, then recovers through the snapshot+tail path and asserts
+// bit-identity with the live server's own responses.
+func TestWALCompactionRoundTrip(t *testing.T) {
+	src := fixtureSource(t)
+	walDir := t.TempDir()
+	s, live := newWALServer(t, src, walDir, func(c *Config) {
+		c.WAL.SegmentBytes = 1 // every record seals its segment
+		c.WAL.CompactAfter = 2
+	})
+	for i, st := range walScript {
+		resp, body := postJSON(t, live.URL+st.path, st.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("step %d: %d %s", i+1, resp.StatusCode, body)
+		}
+	}
+	// Compaction is async single-flight; wait for it to land.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if data, lsn := s.wal.Snapshot(); len(data) > 0 && lsn > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("compaction never installed a snapshot")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	want := captureState(t, live.URL, walScriptCascades)
+	if want.Version != "2" {
+		t.Fatalf("live version %q, want 2", want.Version)
+	}
+
+	// SIGKILL + restart: recovery now goes snapshot-first, tail second.
+	_, revived := newWALServer(t, src, walDir, nil)
+	got := captureState(t, revived.URL, walScriptCascades)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-compaction recovery diverges\n got: %+v\nwant: %+v", got, want)
+	}
+}
+
+// TestWALTornTailTruncatedE2E corrupts the live segment's tail with garbage
+// bytes (a torn final write) and asserts recovery truncates it and serves
+// the intact prefix bit-identically.
+func TestWALTornTailTruncatedE2E(t *testing.T) {
+	src := fixtureSource(t)
+	walDir := t.TempDir()
+	_, live := newWALServer(t, src, walDir, nil)
+	for _, st := range walScript[:3] {
+		resp, body := postJSON(t, live.URL+st.path, st.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest: %d %s", resp.StatusCode, body)
+		}
+	}
+	want := captureState(t, live.URL, walScriptCascades)
+
+	segs, err := filepath.Glob(filepath.Join(walDir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments in %s (err %v)", walDir, err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1], os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x13, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	metrics := obs.NewMetrics()
+	_, revived := newWALServer(t, src, walDir, func(c *Config) { c.Metrics = metrics })
+	got := captureState(t, revived.URL, walScriptCascades)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("torn-tail recovery diverges\n got: %+v\nwant: %+v", got, want)
+	}
+	if v := metrics.Counter("wal.torn_tail").Value(); v != 1 {
+		t.Fatalf("wal.torn_tail = %d, want 1", v)
+	}
+}
+
+// TestRunDrainClosesWALAfterDispatcher drives the real Run lifecycle under
+// sync=off: acked events are only write-cache-durable until close, so the
+// records being present after a clean SIGTERM proves the drain flushed and
+// closed the WAL after the dispatcher finished — satellite 2's ordering.
+func TestRunDrainClosesWALAfterDispatcher(t *testing.T) {
+	src := fixtureSource(t)
+	walDir := t.TempDir()
+	ready := make(chan string, 1)
+	cfg := Config{
+		Source:       src,
+		Addr:         "localhost:0",
+		Buildinfo:    "chassis test-build",
+		DrainTimeout: 5 * time.Second,
+		WAL:          wal.Config{Dir: walDir, Sync: wal.SyncOff},
+		OnReady:      func(addr string) { ready <- addr },
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- s.Run(ctx) }()
+	addr := <-ready
+	base := "http://" + addr
+
+	// Wait for recovery (empty log, so this is quick), then ingest.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, _ := getBody(t, base+"/readyz")
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server never became ready")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	const n = 3
+	for i := 0; i < n; i++ {
+		resp, body := postJSON(t, base+"/v1/ingest",
+			fmt.Sprintf(`{"cascade_id":"c1","events":[{"user":%d,"time":%d}]}`, i, i+1))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	cancel()
+	select {
+	case err := <-runDone:
+		if err != nil {
+			t.Fatalf("Run after drain: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+
+	// Every acked record survived the drain despite sync=off.
+	w, err := wal.Open(wal.Config{Dir: walDir}, nil)
+	if err != nil {
+		t.Fatalf("reopening drained WAL: %v", err)
+	}
+	count := 0
+	if err := w.Replay(func(*wal.Record) error { count++; return nil }); err != nil {
+		t.Fatalf("replaying drained WAL: %v", err)
+	}
+	if count != n {
+		t.Fatalf("drained WAL holds %d records, want %d", count, n)
+	}
+}

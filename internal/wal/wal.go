@@ -1,0 +1,904 @@
+// Package wal is a segmented write-ahead log for the serve layer's online
+// state: live ingest appends and incremental-refit install markers. It gives
+// the streaming path the same discipline PR 3's checkpoints gave the offline
+// EM — a crash or redeploy replays the log through the exact code path the
+// live traffic took, so recovered state is bit-identical to an uncrashed
+// process.
+//
+// Layout on disk: numbered segment files (`wal-%016d.seg`, named by their
+// first LSN) holding CRC-framed records (see record.go), plus an optional
+// `snapshot.ckpt` — a checkpoint.Envelope (the atomic temp+fsync+rename
+// writer from PR 3, reused verbatim) whose payload is an opaque owner
+// snapshot tagged with the last LSN it covers. Compaction folds sealed
+// segments into the snapshot; recovery loads the snapshot, then replays
+// every record with a higher LSN from the surviving segments, truncating a
+// torn tail at the last valid frame.
+//
+// Write path: Append only encodes and enqueues (it never touches the disk,
+// so the serve dispatcher is never blocked on I/O); a single writer
+// goroutine drains the queue in batches and fsyncs once per batch — group
+// commit. The sync policy decides what an acknowledgement means:
+//
+//   - SyncAlways: WaitDurable blocks until the record's batch is fsynced;
+//     an acked ingest survives any crash.
+//   - SyncInterval: a background ticker fsyncs every SyncEvery; acks return
+//     immediately, so up to one interval of acknowledged events can be lost
+//     to a crash (the documented ack-durability window).
+//   - SyncOff: fsync only on segment seal and clean close; acks are
+//     write-cache-durable only.
+//
+// Failure posture: any write-path error (real or injected via
+// internal/faultinject's WALIO/WALTorn/WALCrashAfterAppend hooks) wedges the
+// log sticky — subsequent appends shed immediately with ErrStalled and
+// in-flight durability waits fail — because a log that silently drops
+// records is worse than one that refuses them. The owner surfaces the shed
+// as a retryable 503 on ingest while reads stay up; recovery requires a
+// restart, which replays the intact prefix.
+package wal
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"chassis/internal/checkpoint"
+	"chassis/internal/faultinject"
+	"chassis/internal/obs"
+)
+
+// SnapshotKind tags the compaction snapshot's checkpoint envelope so a WAL
+// snapshot can never be misread as an EM checkpoint or vice versa.
+const SnapshotKind = "chassis-wal"
+
+// snapshotFile is the compaction snapshot's name inside the WAL directory.
+const snapshotFile = "snapshot.ckpt"
+
+// SyncPolicy selects what an acknowledged append means (see package doc).
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs every group-committed batch before acknowledging.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval acknowledges on enqueue and fsyncs on a timer.
+	SyncInterval
+	// SyncOff acknowledges on enqueue and fsyncs only on seal and close.
+	SyncOff
+)
+
+// ParseSyncPolicy maps the flag spellings "always", "interval", "off".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "off":
+		return SyncOff, nil
+	}
+	return SyncAlways, fmt.Errorf("wal: unknown sync policy %q (want always, interval, or off)", s)
+}
+
+// String implements fmt.Stringer.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	}
+	return "always"
+}
+
+// Config parameterizes a log. The zero value of every field except Dir is
+// replaced by a sensible default at Open.
+type Config struct {
+	// Dir is the WAL directory (created if absent). Required.
+	Dir string
+	// Sync is the acknowledgement policy.
+	Sync SyncPolicy
+	// SyncEvery is the fsync period under SyncInterval (default 50ms).
+	SyncEvery time.Duration
+	// SegmentBytes rotates the active segment once it reaches this size
+	// (default 16MB). Sealing always fsyncs.
+	SegmentBytes int64
+	// StallTimeout bounds a WaitDurable block under SyncAlways; past it the
+	// wait fails with ErrStalled and the log reports itself stalled until
+	// durability advances again (default 2s).
+	StallTimeout time.Duration
+	// MaxBuffered bounds the un-written backlog in bytes; appends past it
+	// shed with ErrStalled instead of growing memory behind a slow disk
+	// (default 8MB).
+	MaxBuffered int
+	// CompactAfter is advisory for the owner: the sealed-segment count at
+	// which a compaction is worth triggering (default 4). The log itself
+	// never compacts spontaneously — the owner must call Compact with a
+	// snapshot, because only it can serialize its state.
+	CompactAfter int
+	// Logf receives diagnostic lines (torn-tail truncations, dropped
+	// unreachable segments). Nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.SyncEvery <= 0 {
+		c.SyncEvery = 50 * time.Millisecond
+	}
+	if c.SegmentBytes <= 0 {
+		c.SegmentBytes = 16 << 20
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 2 * time.Second
+	}
+	if c.MaxBuffered <= 0 {
+		c.MaxBuffered = 8 << 20
+	}
+	if c.CompactAfter <= 0 {
+		c.CompactAfter = 4
+	}
+	return c
+}
+
+// ErrStalled reports that the write path cannot accept or durably
+// acknowledge records right now: the backlog is over MaxBuffered, a
+// durability wait exceeded StallTimeout, or a prior write error wedged the
+// log. Owners map it to a retryable shed (the serve layer's 503
+// wal_stalled) rather than blocking.
+var ErrStalled = errors.New("wal: write path stalled")
+
+// ErrClosed reports an append after Close began.
+var ErrClosed = errors.New("wal: closed")
+
+// ErrNotStarted reports an append before Start (i.e. before recovery
+// replay finished and the log went writable).
+var ErrNotStarted = errors.New("wal: not started")
+
+// segment is one on-disk segment's identity: the file plus the LSN range it
+// holds.
+type segment struct {
+	path        string
+	first, last int64
+	size        int64
+}
+
+type queued struct {
+	lsn   int64
+	frame []byte
+}
+
+type snapshotBody struct {
+	LastLSN int64           `json:"last_lsn"`
+	Data    json.RawMessage `json:"data"`
+}
+
+// WAL is one open log. Open scans and repairs the directory; Replay streams
+// the surviving records; Start makes it writable. All methods are safe for
+// concurrent use after Start.
+type WAL struct {
+	cfg Config
+
+	appends   *obs.Counter
+	fsyncs    *obs.Counter
+	replayed  *obs.Counter
+	torn      *obs.Counter
+	stalls    *obs.Counter
+	snapshots *obs.Counter
+	segGauge  *obs.Gauge
+	backlog   *obs.Gauge
+
+	// mu guards the append queue and lifecycle flags.
+	mu         sync.Mutex
+	queue      []queued
+	queueBytes int
+	nextLSN    int64
+	started    bool
+	closing    bool
+	syncQuit   chan struct{}
+	writerDone chan struct{}
+	wake       chan struct{}
+
+	// failMu guards the sticky first write-path error.
+	failMu  sync.Mutex
+	failErr error
+
+	// durMu guards the durability watermarks; durableCh is a closed-on-
+	// advance broadcast channel (replaced each advance) so waits can be
+	// bounded by a timer, which sync.Cond cannot.
+	durMu      sync.Mutex
+	writtenLSN int64
+	durableLSN int64
+	stalledDur bool
+	durableCh  chan struct{}
+
+	// fileMu serializes active-segment file operations (writer batches,
+	// interval fsyncs, rotation, final close).
+	fileMu    sync.Mutex
+	active    *os.File
+	activeSeg segment
+
+	// segMu guards the sealed-segment list and the snapshot watermark.
+	segMu    sync.Mutex
+	sealed   []segment
+	snapLSN  int64
+	snapData json.RawMessage
+}
+
+// Open scans dir, loads the compaction snapshot if present, truncates any
+// torn tail at the last valid frame (counting wal.torn_tail), drops
+// unreachable segments stranded past a torn one, and positions the next LSN
+// after the highest surviving record. The returned log is read-only until
+// Start; Replay between the two is the recovery path.
+func Open(cfg Config, m *obs.Metrics) (*WAL, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Dir == "" {
+		return nil, errors.New("wal: Config.Dir is required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating directory: %w", err)
+	}
+	w := &WAL{
+		cfg:       cfg,
+		appends:   m.Counter("wal.appends"),
+		fsyncs:    m.Counter("wal.fsyncs"),
+		replayed:  m.Counter("wal.replayed_records"),
+		torn:      m.Counter("wal.torn_tail"),
+		stalls:    m.Counter("wal.stalls"),
+		snapshots: m.Counter("wal.snapshots"),
+		segGauge:  m.Gauge("wal.segments"),
+		backlog:   m.Gauge("wal.backlog_bytes"),
+		wake:      make(chan struct{}, 1),
+		durableCh: make(chan struct{}),
+	}
+
+	snapPath := filepath.Join(cfg.Dir, snapshotFile)
+	if checkpoint.Exists(snapPath) {
+		env, err := checkpoint.Load(snapPath, SnapshotKind)
+		if err != nil {
+			return nil, fmt.Errorf("wal: loading snapshot: %w", err)
+		}
+		var body snapshotBody
+		if err := json.Unmarshal(env.Payload, &body); err != nil {
+			return nil, fmt.Errorf("wal: decoding snapshot body: %w", err)
+		}
+		w.snapLSN = body.LastLSN
+		w.snapData = body.Data
+	}
+
+	paths, err := filepath.Glob(filepath.Join(cfg.Dir, "wal-*.seg"))
+	if err != nil {
+		return nil, fmt.Errorf("wal: listing segments: %w", err)
+	}
+	sort.Strings(paths) // zero-padded first-LSN names sort chronologically
+
+	maxLSN := w.snapLSN
+	unreachable := false
+	for _, path := range paths {
+		if unreachable {
+			// A segment past a torn or discontinuous one can never be
+			// replayed in order; its records are lost to the crash that
+			// tore its predecessor. Remove it so it cannot confuse a later
+			// recovery.
+			w.logf("wal: dropping unreachable segment %s", filepath.Base(path))
+			os.Remove(path)
+			continue
+		}
+		info, err := scanSegment(path)
+		if err != nil {
+			return nil, err
+		}
+		if info.torn {
+			w.torn.Inc()
+			w.logf("wal: truncating torn tail of %s at byte %d (last valid lsn %d)",
+				filepath.Base(path), info.validSize, info.last)
+			if err := os.Truncate(path, info.validSize); err != nil {
+				return nil, fmt.Errorf("wal: truncating torn segment: %w", err)
+			}
+			unreachable = true
+		}
+		if info.count == 0 {
+			os.Remove(path)
+			continue
+		}
+		if info.first > maxLSN+1 {
+			// A gap before this segment means an intermediate segment
+			// vanished; nothing from here on can be replayed contiguously.
+			w.logf("wal: dropping segment %s: first lsn %d leaves a gap after %d",
+				filepath.Base(path), info.first, maxLSN)
+			os.Remove(path)
+			unreachable = true
+			continue
+		}
+		w.sealed = append(w.sealed, segment{path: path, first: info.first, last: info.last, size: info.validSize})
+		if info.last > maxLSN {
+			maxLSN = info.last
+		}
+	}
+	w.nextLSN = maxLSN + 1
+	w.writtenLSN = maxLSN
+	w.durableLSN = maxLSN
+	w.segGauge.Set(float64(len(w.sealed)))
+	return w, nil
+}
+
+type segInfo struct {
+	first, last int64
+	count       int
+	validSize   int64
+	torn        bool
+}
+
+// scanSegment walks one segment's frames, returning the valid prefix's
+// extent. The first torn frame — or an LSN discontinuity, which means the
+// file was corrupted in place — ends the valid prefix.
+func scanSegment(path string) (segInfo, error) {
+	var info segInfo
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return info, fmt.Errorf("wal: reading segment: %w", err)
+	}
+	off := 0
+	for off < len(b) {
+		rec, n, err := DecodeFrame(b[off:])
+		if err != nil {
+			info.torn = true
+			break
+		}
+		if info.count > 0 && rec.LSN != info.last+1 {
+			info.torn = true
+			break
+		}
+		if info.count == 0 {
+			info.first = rec.LSN
+		}
+		info.last = rec.LSN
+		info.count++
+		off += n
+	}
+	info.validSize = int64(off)
+	return info, nil
+}
+
+// Snapshot returns the compaction snapshot's payload and the last LSN it
+// covers (nil, 0 when none exists). Owners restore it before Replay.
+func (w *WAL) Snapshot() (json.RawMessage, int64) {
+	w.segMu.Lock()
+	defer w.segMu.Unlock()
+	return w.snapData, w.snapLSN
+}
+
+// Replay streams every surviving record with an LSN above the snapshot
+// watermark, in LSN order, through fn. Call between Open and Start; a fn
+// error aborts the replay.
+func (w *WAL) Replay(fn func(*Record) error) error {
+	w.segMu.Lock()
+	segs := append([]segment(nil), w.sealed...)
+	snapLSN := w.snapLSN
+	w.segMu.Unlock()
+	for _, seg := range segs {
+		b, err := os.ReadFile(seg.path)
+		if err != nil {
+			return fmt.Errorf("wal: replaying %s: %w", filepath.Base(seg.path), err)
+		}
+		off := 0
+		for off < len(b) {
+			rec, n, err := DecodeFrame(b[off:])
+			if err != nil {
+				// Open truncated torn tails; a fresh decode failure means
+				// the file changed underneath us.
+				return fmt.Errorf("wal: segment %s corrupt during replay: %w", filepath.Base(seg.path), err)
+			}
+			off += n
+			if rec.LSN <= snapLSN {
+				continue
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+			w.replayed.Inc()
+		}
+	}
+	return nil
+}
+
+// Start opens a fresh active segment and spawns the writer (and, under
+// SyncInterval, the background syncer). Appends are rejected until Start
+// returns.
+func (w *WAL) Start() error {
+	w.mu.Lock()
+	if w.started {
+		w.mu.Unlock()
+		return errors.New("wal: already started")
+	}
+	if w.closing {
+		w.mu.Unlock()
+		return ErrClosed
+	}
+	first := w.nextLSN
+	w.mu.Unlock()
+
+	w.fileMu.Lock()
+	err := w.openSegmentLocked(first)
+	w.fileMu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	w.mu.Lock()
+	w.started = true
+	w.writerDone = make(chan struct{})
+	if w.cfg.Sync == SyncInterval {
+		w.syncQuit = make(chan struct{})
+	}
+	w.mu.Unlock()
+	go w.writer()
+	if w.cfg.Sync == SyncInterval {
+		go w.syncLoop()
+	}
+	return nil
+}
+
+func (w *WAL) openSegmentLocked(first int64) error {
+	path := filepath.Join(w.cfg.Dir, fmt.Sprintf("wal-%016d.seg", first))
+	if err := w.ioHook("create", path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: opening segment: %w", err)
+	}
+	w.active = f
+	w.activeSeg = segment{path: path, first: first, last: first - 1}
+	w.segMu.Lock()
+	w.segGauge.Set(float64(len(w.sealed) + 1))
+	w.segMu.Unlock()
+	return nil
+}
+
+// Append encodes one record, assigns it the next LSN, and enqueues it for
+// the writer — no disk I/O happens on the caller's goroutine. It sheds with
+// ErrStalled when the backlog is over MaxBuffered or the log is wedged;
+// data must be valid JSON (owners log JSON-encoded payloads).
+func (w *WAL) Append(typ string, data json.RawMessage) (int64, error) {
+	if err := w.failed(); err != nil {
+		return 0, err
+	}
+	w.mu.Lock()
+	switch {
+	case !w.started:
+		w.mu.Unlock()
+		return 0, ErrNotStarted
+	case w.closing:
+		w.mu.Unlock()
+		return 0, ErrClosed
+	case w.queueBytes > w.cfg.MaxBuffered:
+		w.mu.Unlock()
+		w.stalls.Inc()
+		return 0, fmt.Errorf("%w: backlog over %d bytes", ErrStalled, w.cfg.MaxBuffered)
+	}
+	rec := &Record{LSN: w.nextLSN, Type: typ, Data: data}
+	frame, err := encodeFrame(rec)
+	if err != nil {
+		w.mu.Unlock()
+		return 0, err
+	}
+	w.nextLSN++
+	w.queue = append(w.queue, queued{lsn: rec.LSN, frame: frame})
+	w.queueBytes += len(frame)
+	backlog := w.queueBytes
+	w.mu.Unlock()
+
+	w.appends.Inc()
+	w.backlog.Set(float64(backlog))
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	return rec.LSN, nil
+}
+
+// WaitDurable blocks until record lsn is fsynced (SyncAlways only; the
+// other policies acknowledge on enqueue — their window is documented on the
+// flag). A wait past StallTimeout fails with ErrStalled and marks the log
+// stalled until durability advances again.
+func (w *WAL) WaitDurable(lsn int64) error {
+	if lsn <= 0 {
+		return w.failed()
+	}
+	if w.cfg.Sync != SyncAlways {
+		return w.failed()
+	}
+	deadline := time.NewTimer(w.cfg.StallTimeout)
+	defer deadline.Stop()
+	for {
+		w.durMu.Lock()
+		if w.durableLSN >= lsn {
+			w.durMu.Unlock()
+			return nil
+		}
+		ch := w.durableCh
+		w.durMu.Unlock()
+		if err := w.failed(); err != nil {
+			return err
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			w.durMu.Lock()
+			w.stalledDur = true
+			w.durMu.Unlock()
+			w.stalls.Inc()
+			return fmt.Errorf("%w: record %d not durable within %s", ErrStalled, lsn, w.cfg.StallTimeout)
+		}
+	}
+}
+
+// Stalled reports whether the write path is currently shedding: wedged by a
+// write error, backlogged past MaxBuffered, or timed out on durability
+// without recovering. Owners consult it to shed cheaply before queueing
+// work.
+func (w *WAL) Stalled() bool {
+	if w.failed() != nil {
+		return true
+	}
+	w.mu.Lock()
+	backlogged := w.queueBytes > w.cfg.MaxBuffered
+	w.mu.Unlock()
+	if backlogged {
+		return true
+	}
+	w.durMu.Lock()
+	defer w.durMu.Unlock()
+	return w.stalledDur
+}
+
+// LastLSN returns the highest LSN assigned so far (0 when empty).
+func (w *WAL) LastLSN() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextLSN - 1
+}
+
+// SealedSegments returns the count of sealed (rotation-complete) segments;
+// owners compare it against Config.CompactAfter to decide when to compact.
+func (w *WAL) SealedSegments() int {
+	w.segMu.Lock()
+	defer w.segMu.Unlock()
+	return len(w.sealed)
+}
+
+// CompactAfter echoes the configured advisory threshold.
+func (w *WAL) CompactAfter() int { return w.cfg.CompactAfter }
+
+// Compact atomically installs a new snapshot covering every record with
+// LSN <= lastLSN and removes the sealed segments it fully subsumes. The
+// caller must guarantee data reflects all records through lastLSN (the
+// serve layer holds its WAL gate exclusively across building the snapshot
+// and this call). The active segment is never touched; a crash anywhere in
+// Compact leaves either the old snapshot or the new one, both consistent
+// with the surviving segments.
+func (w *WAL) Compact(data json.RawMessage, lastLSN int64) error {
+	path := filepath.Join(w.cfg.Dir, snapshotFile)
+	if err := w.ioHook("snapshot", path); err != nil {
+		return err
+	}
+	payload, err := json.Marshal(snapshotBody{LastLSN: lastLSN, Data: data})
+	if err != nil {
+		return fmt.Errorf("wal: encoding snapshot body: %w", err)
+	}
+	env := &checkpoint.Envelope{Kind: SnapshotKind, Iteration: int(lastLSN), Payload: payload}
+	if err := checkpoint.Save(path, env); err != nil {
+		return fmt.Errorf("wal: writing snapshot: %w", err)
+	}
+	w.snapshots.Inc()
+
+	w.segMu.Lock()
+	defer w.segMu.Unlock()
+	keep := w.sealed[:0]
+	for _, seg := range w.sealed {
+		if seg.last > lastLSN {
+			keep = append(keep, seg)
+			continue
+		}
+		// Removal failures are tolerable: the snapshot watermark already
+		// supersedes these records, so a stale segment left behind is
+		// skipped (not double-applied) by the next recovery.
+		if err := w.ioHook("remove", seg.path); err != nil {
+			w.logf("wal: leaving compacted segment %s: %v", filepath.Base(seg.path), err)
+			keep = append(keep, seg)
+			continue
+		}
+		if err := os.Remove(seg.path); err != nil {
+			w.logf("wal: leaving compacted segment %s: %v", filepath.Base(seg.path), err)
+			keep = append(keep, seg)
+		}
+	}
+	w.sealed = keep
+	w.snapLSN = lastLSN
+	w.snapData = data
+	w.segGauge.Set(float64(len(w.sealed) + 1))
+	return nil
+}
+
+// Close drains the queue, makes everything written durable regardless of
+// sync policy, and closes the active segment. The serve layer calls it
+// after the dispatcher drains, so a clean SIGTERM never exits with
+// acknowledged-but-unflushed events. Returns the sticky write error if the
+// log wedged before or during the drain.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	if w.closing {
+		w.mu.Unlock()
+		return w.failed()
+	}
+	w.closing = true
+	started := w.started
+	syncQuit := w.syncQuit
+	done := w.writerDone
+	w.mu.Unlock()
+
+	if syncQuit != nil {
+		close(syncQuit)
+	}
+	if !started {
+		return nil
+	}
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	select {
+	case <-done:
+	case <-time.After(2*w.cfg.StallTimeout + time.Second):
+		return fmt.Errorf("%w: close timed out waiting for the writer to drain", ErrStalled)
+	}
+	return w.failed()
+}
+
+// writer is the single goroutine that owns batch writes: it drains the
+// queue, writes each frame, rotates segments, and group-commits per the
+// sync policy. Any error wedges the log sticky and stops the writer.
+func (w *WAL) writer() {
+	defer close(w.writerDone)
+	for {
+		w.mu.Lock()
+		batch := w.queue
+		w.queue = nil
+		w.queueBytes = 0
+		closing := w.closing
+		w.mu.Unlock()
+		w.backlog.Set(0)
+
+		if len(batch) > 0 {
+			if err := w.writeBatch(batch); err != nil {
+				w.fail(err)
+				return
+			}
+			if closing {
+				continue // drain whatever raced in before closing was set
+			}
+		}
+		if closing {
+			w.finalize()
+			return
+		}
+		<-w.wake
+	}
+}
+
+// writeBatch appends one drained batch to the active segment and advances
+// the durability watermarks. Injection points (WALIO, WALTorn,
+// WALCrashAfterAppend) simulate full disks, torn writes, and crash-at-
+// record-k; each wedges the log exactly like the real fault would.
+func (w *WAL) writeBatch(batch []queued) error {
+	w.fileMu.Lock()
+	defer w.fileMu.Unlock()
+	last := int64(0)
+	for _, q := range batch {
+		if err := w.ioHook("write", w.activeSeg.path); err != nil {
+			return err
+		}
+		if h := faultinject.WALTorn; h != nil {
+			if n := h(q.lsn); n >= 0 {
+				if n > len(q.frame) {
+					n = len(q.frame)
+				}
+				// A torn write: part of the frame reaches the platter,
+				// then the process dies. Sync the partial bytes so the
+				// torn state is exactly what a recovery will see.
+				w.active.Write(q.frame[:n])
+				w.active.Sync()
+				return fmt.Errorf("wal: injected torn write at lsn %d: %w", q.lsn, faultinject.ErrInjectedCrash)
+			}
+		}
+		if _, err := w.active.Write(q.frame); err != nil {
+			return fmt.Errorf("wal: writing record %d: %w", q.lsn, err)
+		}
+		w.activeSeg.last = q.lsn
+		w.activeSeg.size += int64(len(q.frame))
+		last = q.lsn
+		if h := faultinject.WALCrashAfterAppend; h != nil && h(q.lsn) {
+			// Crash-at-record-k: everything through q.lsn is made durable,
+			// nothing after it ever lands.
+			if err := w.syncActiveLocked(); err != nil {
+				return err
+			}
+			w.markDurable(q.lsn)
+			return fmt.Errorf("wal: injected crash after lsn %d: %w", q.lsn, faultinject.ErrInjectedCrash)
+		}
+		if w.activeSeg.size >= w.cfg.SegmentBytes {
+			if err := w.sealActiveLocked(); err != nil {
+				return err
+			}
+			w.markDurable(q.lsn)
+			if err := w.openSegmentLocked(q.lsn + 1); err != nil {
+				return err
+			}
+		}
+	}
+	if last == 0 {
+		return nil
+	}
+	if w.cfg.Sync == SyncAlways {
+		if err := w.syncActiveLocked(); err != nil {
+			return err
+		}
+		w.markDurable(last)
+	}
+	w.markWritten(last)
+	return nil
+}
+
+// sealActiveLocked fsyncs and closes the active segment and moves it to the
+// sealed list. Caller holds fileMu.
+func (w *WAL) sealActiveLocked() error {
+	if err := w.ioHook("seal", w.activeSeg.path); err != nil {
+		return err
+	}
+	if err := w.syncActiveLocked(); err != nil {
+		return err
+	}
+	if err := w.active.Close(); err != nil {
+		return fmt.Errorf("wal: closing sealed segment: %w", err)
+	}
+	w.segMu.Lock()
+	w.sealed = append(w.sealed, w.activeSeg)
+	w.segMu.Unlock()
+	w.active = nil
+	return nil
+}
+
+// syncActiveLocked fsyncs the active segment. Caller holds fileMu.
+func (w *WAL) syncActiveLocked() error {
+	if err := w.ioHook("sync", w.activeSeg.path); err != nil {
+		return err
+	}
+	if err := w.active.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	w.fsyncs.Inc()
+	return nil
+}
+
+// syncLoop is the SyncInterval background fsync: it makes written records
+// durable every SyncEvery without the writer waiting on the disk per batch.
+func (w *WAL) syncLoop() {
+	tick := time.NewTicker(w.cfg.SyncEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.syncQuit:
+			return
+		case <-tick.C:
+			w.durMu.Lock()
+			written, durable := w.writtenLSN, w.durableLSN
+			w.durMu.Unlock()
+			if written <= durable {
+				continue
+			}
+			w.fileMu.Lock()
+			if w.active == nil {
+				w.fileMu.Unlock()
+				continue
+			}
+			err := w.syncActiveLocked()
+			w.fileMu.Unlock()
+			if err != nil {
+				w.fail(err)
+				return
+			}
+			w.markDurable(written)
+		}
+	}
+}
+
+// finalize is the clean-shutdown tail of the writer: one last fsync under
+// every policy, then close the file.
+func (w *WAL) finalize() {
+	w.fileMu.Lock()
+	defer w.fileMu.Unlock()
+	if w.active == nil {
+		return
+	}
+	w.durMu.Lock()
+	written := w.writtenLSN
+	w.durMu.Unlock()
+	if err := w.syncActiveLocked(); err != nil {
+		w.fail(err)
+		return
+	}
+	w.markDurable(written)
+	if err := w.active.Close(); err != nil {
+		w.fail(fmt.Errorf("wal: closing active segment: %w", err))
+	}
+	w.active = nil
+}
+
+func (w *WAL) markWritten(lsn int64) {
+	w.durMu.Lock()
+	if lsn > w.writtenLSN {
+		w.writtenLSN = lsn
+	}
+	w.durMu.Unlock()
+}
+
+func (w *WAL) markDurable(lsn int64) {
+	w.durMu.Lock()
+	if lsn > w.writtenLSN {
+		w.writtenLSN = lsn
+	}
+	if lsn > w.durableLSN {
+		w.durableLSN = lsn
+	}
+	w.stalledDur = false
+	close(w.durableCh)
+	w.durableCh = make(chan struct{})
+	w.durMu.Unlock()
+}
+
+// fail records the sticky write-path error and wakes every durability
+// waiter so they fail fast instead of timing out.
+func (w *WAL) fail(err error) {
+	w.failMu.Lock()
+	if w.failErr == nil {
+		w.failErr = err
+	}
+	w.failMu.Unlock()
+	w.logf("wal: write path wedged: %v", err)
+	w.durMu.Lock()
+	close(w.durableCh)
+	w.durableCh = make(chan struct{})
+	w.durMu.Unlock()
+}
+
+// failed returns the sticky error wrapped as an ErrStalled, or nil.
+func (w *WAL) failed() error {
+	w.failMu.Lock()
+	inner := w.failErr
+	w.failMu.Unlock()
+	if inner == nil {
+		return nil
+	}
+	if errors.Is(inner, ErrStalled) {
+		return inner
+	}
+	return fmt.Errorf("%w: %v", ErrStalled, inner)
+}
+
+func (w *WAL) ioHook(op, path string) error {
+	if h := faultinject.WALIO; h != nil {
+		if err := h(op, path); err != nil {
+			return fmt.Errorf("wal: %s %s: %w", op, filepath.Base(path), err)
+		}
+	}
+	return nil
+}
+
+func (w *WAL) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
