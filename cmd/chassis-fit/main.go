@@ -26,14 +26,19 @@ import (
 
 	"chassis"
 	"chassis/internal/cliobs"
+	"chassis/internal/colstore"
+	"chassis/internal/core"
 	"chassis/internal/dataio"
 	"chassis/internal/experiments"
 	"chassis/internal/guard"
+	"chassis/internal/obs"
 )
 
 // fitFlags collects the run parameters beyond the shared observability set.
 type fitFlags struct {
 	in, strategy  string
+	dataFormat    string
+	shardEvents   int
 	split         float64
 	em            int
 	seed          int64
@@ -49,7 +54,9 @@ type fitFlags struct {
 
 func main() {
 	var f fitFlags
-	flag.StringVar(&f.in, "in", "", "input dataset (JSON from chassis-sim)")
+	flag.StringVar(&f.in, "in", "", "input dataset (JSON or colstore from chassis-sim)")
+	flag.StringVar(&f.dataFormat, "data-format", "json", "input format: json or colstore (binary columnar corpus)")
+	flag.IntVar(&f.shardEvents, "shard-events", 0, "out-of-core fit: E-step shard size in events (0 = load the corpus in memory); requires -data-format colstore and -strategy L-HP, results are bit-identical at any setting")
 	flag.StringVar(&f.strategy, "strategy", "CHASSIS-L", "strategy: "+strings.Join(experiments.AllStrategies, ", "))
 	flag.Float64Var(&f.split, "split", 0.7, "training fraction (0 < f < 1)")
 	flag.IntVar(&f.em, "em", 10, "EM iterations for the CHASSIS/HP family")
@@ -77,6 +84,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "chassis-fit: -resume requires -checkpoint-dir")
 		os.Exit(2)
 	}
+	if f.dataFormat != "json" && f.dataFormat != "colstore" {
+		fmt.Fprintf(os.Stderr, "chassis-fit: unknown -data-format %q (want json or colstore)\n", f.dataFormat)
+		os.Exit(2)
+	}
+	if f.shardEvents < 0 {
+		fmt.Fprintln(os.Stderr, "chassis-fit: -shard-events must be >= 0")
+		os.Exit(2)
+	}
+	if f.shardEvents > 0 && f.dataFormat != "colstore" {
+		fmt.Fprintln(os.Stderr, "chassis-fit: -shard-events requires -data-format colstore (the out-of-core driver reads shards from the columnar file)")
+		os.Exit(2)
+	}
 	sess, err := obsFlags.Start("chassis-fit")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "chassis-fit:", err)
@@ -91,9 +110,21 @@ func main() {
 }
 
 func run(sess *cliobs.Session, f fitFlags) error {
+	if f.shardEvents > 0 {
+		return runSharded(sess, f)
+	}
 	in, strategy, split, em, seed, workers := f.in, f.strategy, f.split, f.em, f.seed, f.workers
 	out, savefull := f.out, f.savefull
-	ds, err := cliobs.LoadDataset(in, f.repair)
+	var ds *chassis.Dataset
+	var err error
+	if f.dataFormat == "colstore" {
+		if f.repair {
+			return errors.New("-repair applies to JSON input; colstore corpora are validated structurally on open")
+		}
+		ds, err = dataio.LoadDatasetColstore(in)
+	} else {
+		ds, err = cliobs.LoadDataset(in, f.repair)
+	}
 	if err != nil {
 		return err
 	}
@@ -187,6 +218,87 @@ func run(sess *cliobs.Session, f fitFlags) error {
 			return err
 		}
 		fmt.Printf("wrote model -> %s\n", out)
+	}
+	return nil
+}
+
+// runSharded is the out-of-core path: the corpus stays on disk and the
+// E-step walks it shard-by-shard, so peak memory is bounded by the shard
+// size rather than the corpus. Only the L-HP baseline (linear link, fixed or
+// parametric-exponential kernel) has a sharded driver; the result is
+// bit-identical to the in-memory fit at any -workers/-shard-events setting.
+// There is no train/test split — the whole corpus is training data and
+// held-out evaluation needs an in-memory sequence — so the tool reports the
+// model fingerprint and peak RSS instead of likelihoods.
+func runSharded(sess *cliobs.Session, f fitFlags) error {
+	if f.strategy != "L-HP" {
+		return fmt.Errorf("sharded fits support -strategy L-HP only (got %s): conformity-aware variants need per-pair history over the whole stream", f.strategy)
+	}
+	if f.guard {
+		return errors.New("sharded fits do not support -guard (its likelihood regression check needs the full sequence)")
+	}
+	if f.repair {
+		return errors.New("-repair applies to JSON input; colstore corpora are validated structurally on open")
+	}
+	rd, err := colstore.Open(f.in)
+	if err != nil {
+		return err
+	}
+	defer rd.Close()
+	fmt.Printf("corpus %s: %d activities, %d users, horizon %.1f, %d blocks (%s)\n",
+		rd.Meta().Name, rd.NumEvents(), rd.M(), rd.Horizon(), rd.NumBlocks(), rd.Fingerprint())
+	if f.ckptDir != "" {
+		if err := os.MkdirAll(f.ckptDir, 0o755); err != nil {
+			return err
+		}
+	}
+	cfg := core.Config{
+		Variant: core.VariantLHP, EMIters: f.em, Seed: f.seed, Workers: f.workers,
+		ShardEvents: f.shardEvents, FixedKernel: true, ExpKernel: f.expKernel,
+		CheckpointDir: f.ckptDir, CheckpointEvery: f.ckptEvery, Resume: f.resume,
+	}
+	var opts []core.Option
+	if sess.Observer != nil {
+		opts = append(opts, core.WithObserver(sess.Observer))
+	}
+	if sess.Metrics != nil {
+		opts = append(opts, core.WithMetrics(sess.Metrics))
+	}
+	m, err := core.FitSharded(sess.Ctx, rd, cfg, opts...)
+	if err != nil {
+		return err
+	}
+	if n := sess.Snapshots(); n > 0 {
+		fmt.Printf("wrote %d iteration snapshots\n", n)
+	}
+	fmt.Printf("%s sharded (shard-events %d): %d EM iterations, %s\n",
+		f.strategy, f.shardEvents, m.Iterations, m.Fingerprint())
+	if peak, ok := obs.PeakRSSBytes(); ok {
+		fmt.Printf("peak RSS: %.1f MiB\n", float64(peak)/(1<<20))
+	}
+	if f.savefull != "" {
+		out, err := os.Create(f.savefull)
+		if err != nil {
+			return err
+		}
+		if err := m.Save(out); err != nil {
+			out.Close()
+			return err
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote full model -> %s\n", f.savefull)
+	}
+	if f.out != "" {
+		summary := &dataio.ModelSummary{
+			Strategy: f.strategy, Dataset: rd.Meta().Name, M: rd.M(),
+			Mu: m.Mu, Influence: m.Alpha, Iterations: m.Iterations,
+		}
+		if err := dataio.SaveModel(f.out, summary); err != nil {
+			return err
+		}
+		fmt.Printf("wrote model -> %s\n", f.out)
 	}
 	return nil
 }

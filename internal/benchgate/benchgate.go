@@ -43,16 +43,25 @@ func LoadBaseline(path string, out any) (bool, error) {
 // A non-positive baseline is an error: it means the record step never
 // produced a usable number, and gating against it would pass everything.
 func Gate(name string, measuredMS, baselineMS, tolerance float64) error {
-	if baselineMS <= 0 {
-		return fmt.Errorf("%s: baseline %.3f ms is not positive — re-record it", name, baselineMS)
+	return GateValue(name, "ms", measuredMS, baselineMS, tolerance)
+}
+
+// GateValue is Gate for guarded quantities that are not wall-clock
+// milliseconds — memory ratios, byte counts. unit labels the number in the
+// error message ("ratio", "bytes") so CI logs stay greppable; the gate
+// semantics (upper bound at baseline*(1+tolerance), loud failure on a
+// non-positive baseline) are identical to Gate's.
+func GateValue(name, unit string, measured, baseline, tolerance float64) error {
+	if baseline <= 0 {
+		return fmt.Errorf("%s: baseline %.3f %s is not positive — re-record it", name, baseline, unit)
 	}
 	if tolerance < 0 {
 		return fmt.Errorf("%s: negative tolerance %g", name, tolerance)
 	}
-	limit := baselineMS * (1 + tolerance)
-	if measuredMS > limit {
-		return fmt.Errorf("%s regressed: %.3f ms > %.3f ms (baseline %.3f ms + %g%%)",
-			name, measuredMS, limit, baselineMS, tolerance*100)
+	limit := baseline * (1 + tolerance)
+	if measured > limit {
+		return fmt.Errorf("%s regressed: %.3f %s > %.3f %s (baseline %.3f %s + %g%%)",
+			name, measured, unit, limit, unit, baseline, unit, tolerance*100)
 	}
 	return nil
 }

@@ -34,6 +34,28 @@ func TestGate(t *testing.T) {
 	}
 }
 
+func TestGateValue(t *testing.T) {
+	if err := GateValue("mem", "ratio", 0.60, 0.60, 0.10); err != nil {
+		t.Fatalf("measurement equal to baseline should pass: %v", err)
+	}
+	err := GateValue("mem ratio", "ratio", 0.80, 0.60, 0.10)
+	if err == nil {
+		t.Fatal("measurement past the limit should fail")
+	}
+	for _, want := range []string{"mem ratio", "regressed", "0.800 ratio", "baseline 0.600 ratio"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("gate error %q does not name %q", err, want)
+		}
+	}
+	if err := GateValue("mem", "bytes", 1, 0, 0.02); err == nil || !strings.Contains(err.Error(), "re-record") {
+		t.Fatalf("non-positive baseline must fail loudly, got %v", err)
+	}
+	// Gate is the ms-labelled specialization.
+	if err := Gate("x", 103, 100, 0.02); err == nil || !strings.Contains(err.Error(), "ms") {
+		t.Fatalf("Gate should label milliseconds, got %v", err)
+	}
+}
+
 func TestLoadBaseline(t *testing.T) {
 	dir := t.TempDir()
 	type report struct {

@@ -50,6 +50,26 @@ func TwitterLike(scale float64, seed int64) Config {
 	}
 }
 
+// PaperScale returns the paper-scale SF-subset shape — 590k activities
+// over 100k users — for GenerateStream. The configuration is the SF preset
+// rebased to 100_000 users with exogenous rates tuned so the realized event
+// count (immigrants × the horizon-truncated cluster multiplier, ≈ 1.96 at
+// branching 0.55) slightly overshoots the 590_000 cap, making the corpus
+// size exact and deterministic. A corpus this size only exists as a
+// colstore stream: Generate would need an 80 GB dense influence matrix,
+// which is the point of the streaming path.
+func PaperScale(seed int64) Config {
+	return Config{
+		Name: "SF-100K", M: 100_000, Horizon: 1500, Seed: seed,
+		Graph: BarabasiAlbert, GraphDegree: 3, Reciprocity: 0.7,
+		Topics:     3,
+		BaseRateLo: 0.0012, BaseRateHi: 0.0029,
+		KernelRate: 0.8, KernelKind: "rayleigh", TargetBranching: 0.55,
+		ConformityWeight: 0.75, PolarityNoise: 0.18, LikeFraction: 0.25,
+		MaxEvents: 590_000,
+	}
+}
+
 // PHEMEEvent parameterizes one rumour event of the PHEME-like benchmark.
 // Difficulty increases with temporal overlap between threads (OverlapRate)
 // and polarity noise — the knob ordering reproduces the monotone rows of

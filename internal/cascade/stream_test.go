@@ -1,0 +1,257 @@
+package cascade
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"chassis/internal/colstore"
+	"chassis/internal/rng"
+	"chassis/internal/stance"
+	"chassis/internal/timeline"
+)
+
+// streamCfg is a small-but-nontrivial configuration for streaming tests:
+// big enough that cascades interleave and multiple batches flush.
+func streamCfg(seed int64) Config {
+	return Config{
+		Name: "stream-unit", M: 300, Horizon: 800, Seed: seed,
+		Graph: BarabasiAlbert, GraphDegree: 3, Reciprocity: 0.6,
+		Topics:     3,
+		BaseRateLo: 0.004, BaseRateHi: 0.012,
+		KernelRate: 0.9, KernelKind: "rayleigh", TargetBranching: 0.55,
+		ConformityWeight: 0.7, PolarityNoise: 0.18, LikeFraction: 0.25,
+	}
+}
+
+func collectStream(t *testing.T, cfg Config, batch int) ([]timeline.Activity, *StreamStats) {
+	t.Helper()
+	var acts []timeline.Activity
+	stats, err := GenerateStream(cfg, batch, func(b []timeline.Activity) error {
+		acts = append(acts, b...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return acts, stats
+}
+
+// TestGenerateStreamWellFormed checks the structural invariants the colstore
+// writer and the fit rely on: chronological order, global IDs, parents that
+// are earlier events, topics inherited down cascades, and analyzer-assigned
+// polarities.
+func TestGenerateStreamWellFormed(t *testing.T) {
+	cfg := streamCfg(17)
+	acts, stats := collectStream(t, cfg, 256)
+	if stats.Events != len(acts) {
+		t.Fatalf("stats report %d events, emitted %d", stats.Events, len(acts))
+	}
+	if stats.Events < 500 {
+		t.Fatalf("corpus suspiciously small: %d events", stats.Events)
+	}
+	if stats.Truncated {
+		t.Fatal("unexpected MaxEvents truncation")
+	}
+	analyzer := stance.NewAnalyzer()
+	var immigrants int
+	for k, a := range acts {
+		if int(a.ID) != k {
+			t.Fatalf("event %d carries ID %d", k, a.ID)
+		}
+		if k > 0 && a.Time < acts[k-1].Time {
+			t.Fatalf("event %d breaks chronological order", k)
+		}
+		if a.Time < 0 || a.Time > cfg.Horizon {
+			t.Fatalf("event %d outside the horizon: t=%g", k, a.Time)
+		}
+		if a.User < 0 || int(a.User) >= cfg.M {
+			t.Fatalf("event %d has user %d outside [0,%d)", k, a.User, cfg.M)
+		}
+		if a.Topic < 0 || a.Topic >= cfg.Topics {
+			t.Fatalf("event %d has topic %d outside [0,%d)", k, a.Topic, cfg.Topics)
+		}
+		if a.IsImmigrant() {
+			immigrants++
+			if a.Kind != timeline.Post {
+				t.Fatalf("immigrant %d has kind %v", k, a.Kind)
+			}
+		} else {
+			if int(a.Parent) >= k {
+				t.Fatalf("event %d has parent %d (not earlier)", k, a.Parent)
+			}
+			if p := acts[a.Parent]; p.Topic != a.Topic {
+				t.Fatalf("event %d topic %d differs from parent topic %d", k, a.Topic, p.Topic)
+			}
+			if a.Kind == timeline.Post {
+				t.Fatalf("offspring %d has kind Post", k)
+			}
+		}
+		if a.Kind.Explicit() && a.Text != "" {
+			t.Fatalf("explicit reaction %d carries text %q", k, a.Text)
+		}
+		if got, want := a.Polarity, analyzer.ActivityPolarity(a); got != want {
+			t.Fatalf("event %d polarity %g, analyzer says %g", k, got, want)
+		}
+	}
+	if immigrants != stats.Immigrants {
+		t.Fatalf("stats report %d immigrants, counted %d", stats.Immigrants, immigrants)
+	}
+	// The branching identity: total ≈ immigrants / (1 − b). With b = 0.55
+	// the offspring share should be well away from both 0 and 1.
+	frac := 1 - float64(immigrants)/float64(len(acts))
+	if frac < 0.3 || frac > 0.75 {
+		t.Errorf("offspring fraction %.2f implausible for branching 0.55", frac)
+	}
+	if stats.PeakPending <= 0 || stats.PeakPending >= len(acts) {
+		t.Errorf("peak pending %d outside (0,%d)", stats.PeakPending, len(acts))
+	}
+	// A sequence assembled from the stream passes the repo-wide validator.
+	seq := &timeline.Sequence{M: cfg.M, Horizon: cfg.Horizon, Activities: acts}
+	if err := seq.Validate(); err != nil {
+		t.Fatalf("streamed sequence fails validation: %v", err)
+	}
+}
+
+// TestGenerateStreamDeterministic: same seed, same corpus — and the batch
+// size must only group the output, never change it.
+func TestGenerateStreamDeterministic(t *testing.T) {
+	cfg := streamCfg(18)
+	a1, s1 := collectStream(t, cfg, 64)
+	a2, s2 := collectStream(t, cfg, 1000)
+	if *s1 != *s2 {
+		t.Fatalf("stats differ across batch sizes: %+v vs %+v", s1, s2)
+	}
+	if len(a1) != len(a2) {
+		t.Fatalf("event counts differ: %d vs %d", len(a1), len(a2))
+	}
+	for k := range a1 {
+		if a1[k] != a2[k] {
+			t.Fatalf("event %d differs across batch sizes:\n%+v\n%+v", k, a1[k], a2[k])
+		}
+	}
+	a3, _ := collectStream(t, streamCfg(19), 64)
+	if len(a1) == len(a3) {
+		same := true
+		for k := range a1 {
+			if a1[k] != a3[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical corpora")
+		}
+	}
+}
+
+// TestGenerateStreamToColstore streams straight into a colstore writer —
+// the paper-scale pipeline in miniature — and checks the file round-trips.
+func TestGenerateStreamToColstore(t *testing.T) {
+	cfg := streamCfg(20)
+	path := filepath.Join(t.TempDir(), "stream.colstore")
+	w, err := colstore.Create(path, colstore.Meta{Name: cfg.Name, M: cfg.M, Horizon: cfg.Horizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := GenerateStream(cfg, 512, w.Append)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := colstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rd.Close()
+	if rd.NumEvents() != stats.Events {
+		t.Fatalf("colstore holds %d events, stats report %d", rd.NumEvents(), stats.Events)
+	}
+	acts, _ := collectStream(t, cfg, 512)
+	seq, err := rd.Sequence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Activities) != len(acts) {
+		t.Fatalf("round-trip count %d, want %d", len(seq.Activities), len(acts))
+	}
+	for k := range acts {
+		if seq.Activities[k] != acts[k] {
+			t.Fatalf("event %d corrupted by colstore round-trip:\n%+v\n%+v", k, seq.Activities[k], acts[k])
+		}
+	}
+}
+
+// TestGenerateStreamMaxEvents pins the truncation path: the cap stops
+// emission exactly, and what was emitted is still well-formed.
+func TestGenerateStreamMaxEvents(t *testing.T) {
+	cfg := streamCfg(21)
+	cfg.MaxEvents = 200
+	acts, stats := collectStream(t, cfg, 64)
+	if !stats.Truncated {
+		t.Fatal("cap of 200 events should truncate this corpus")
+	}
+	if len(acts) != 200 {
+		t.Fatalf("emitted %d events, cap is 200", len(acts))
+	}
+	for k, a := range acts {
+		if !a.IsImmigrant() && int(a.Parent) >= k {
+			t.Fatalf("truncated corpus has forward parent at %d", k)
+		}
+	}
+}
+
+// TestGenerateStreamRejects covers the unsupported-feature gates.
+func TestGenerateStreamRejects(t *testing.T) {
+	cfg := streamCfg(22)
+	cfg.LinkName = "exp"
+	if _, err := GenerateStream(cfg, 0, func([]timeline.Activity) error { return nil }); err == nil || !strings.Contains(err.Error(), "linear") {
+		t.Fatalf("exp link: got %v, want linear-only error", err)
+	}
+	if _, err := GenerateStream(streamCfg(23), 0, nil); err == nil {
+		t.Fatal("nil emit callback must fail")
+	}
+	bad := streamCfg(24)
+	bad.M = 1
+	if _, err := GenerateStream(bad, 0, func([]timeline.Activity) error { return nil }); err == nil {
+		t.Fatal("invalid config must fail")
+	}
+}
+
+// TestSampleDelayMatchesKernel cross-checks the inverse-CDF samplers
+// against the kernel package's Integral forms: the empirical CDF at the
+// kernel's median must sit near 0.5.
+func TestSampleDelayMatchesKernel(t *testing.T) {
+	for _, kind := range []string{"exp", "rayleigh", "powerlaw"} {
+		cfg := Config{KernelRate: 0.9, KernelKind: kind}
+		ker, err := cfg.buildKernel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Median by bisection on the kernel's own CDF.
+		lo, hi := 0.0, ker.Support()
+		for range 80 {
+			mid := (lo + hi) / 2
+			if ker.Integral(mid) < 0.5 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		median := (lo + hi) / 2
+		r := rng.New(int64(len(kind)) * 1009)
+		const n = 20000
+		var below int
+		for range n {
+			if sampleDelay(r, kind, cfg.KernelRate) <= median {
+				below++
+			}
+		}
+		if p := float64(below) / n; math.Abs(p-0.5) > 0.02 {
+			t.Errorf("%s: %.3f of samples below the kernel median, want ~0.5", kind, p)
+		}
+	}
+}

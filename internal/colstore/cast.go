@@ -1,0 +1,113 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// hostLittle reports whether this machine stores integers little-endian —
+// the on-disk byte order. When true (every platform the repo targets), the
+// encode/decode helpers below reinterpret slices in place; the big-endian
+// branches byte-swap through encoding/binary so the format stays portable.
+var hostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// f64Bytes views vs as its little-endian byte representation.
+func f64Bytes(vs []float64) []byte {
+	if len(vs) == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), len(vs)*8)
+	}
+	out := make([]byte, len(vs)*8)
+	for i, v := range vs {
+		binary.LittleEndian.PutUint64(out[i*8:], math.Float64bits(v))
+	}
+	return out
+}
+
+// u32Bytes views vs as its little-endian byte representation.
+func u32Bytes(vs []uint32) []byte {
+	if len(vs) == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), len(vs)*4)
+	}
+	out := make([]byte, len(vs)*4)
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+// i32Bytes views vs as its little-endian byte representation.
+func i32Bytes(vs []int32) []byte {
+	if len(vs) == 0 {
+		return nil
+	}
+	if hostLittle {
+		return unsafe.Slice((*byte)(unsafe.Pointer(&vs[0])), len(vs)*4)
+	}
+	out := make([]byte, len(vs)*4)
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(out[i*4:], uint32(v))
+	}
+	return out
+}
+
+// aligned8 reports whether the first byte of b sits on an 8-byte boundary —
+// the precondition for reinterpreting it as []float64 without copying.
+func aligned8(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}
+
+// viewF64 reinterprets b (length n*8) as n float64s — zero-copy on aligned
+// little-endian hosts, decoded copy otherwise.
+func viewF64(b []byte, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittle && aligned8(b) {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// viewU32 reinterprets b (length n*4) as n uint32s.
+func viewU32(b []byte, n int) []uint32 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittle && aligned8(b) {
+		return unsafe.Slice((*uint32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(b[i*4:])
+	}
+	return out
+}
+
+// viewI32 reinterprets b (length n*4) as n int32s.
+func viewI32(b []byte, n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	if hostLittle && aligned8(b) {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out
+}

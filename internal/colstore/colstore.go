@@ -1,0 +1,318 @@
+// Package colstore is the versioned binary columnar corpus format the
+// paper-scale data path runs on. A corpus file holds one chronologically
+// ordered activity stream laid out as flat little-endian column arrays —
+// times, users, kinds, topics, polarities, parents, text — framed into
+// CRC-checked blocks with a footer index, so a reader can mmap the file and
+// hand out zero-copy column views of any event range without ever
+// materializing the whole corpus.
+//
+// Layout (all integers little-endian):
+//
+//	+------------------------------------------------------------------+
+//	| header  magic "CHCOLST1" (8 bytes)                               |
+//	+------------------------------------------------------------------+
+//	| block 0 | u32 payloadCRC | u32 payloadLen | payload | pad to 8   |
+//	| block 1 | ...                                                    |
+//	+------------------------------------------------------------------+
+//	| footer  | u32 metaLen | metaJSON | u64 numEvents | u32 nBlocks   |
+//	|         | per block: u64 offset, u64 events, f64 tMin, f64 tMax  |
+//	+------------------------------------------------------------------+
+//	| trailer | u32 footerLen | u32 footerCRC | magic "CHCOLEND"       |
+//	+------------------------------------------------------------------+
+//
+// Each block payload is
+//
+//	u32 n | u32 textLen
+//	| times      n × f64            (8-aligned)
+//	| users      n × u32, pad to 8
+//	| kinds      n × u8,  pad to 8
+//	| topics     n × i32, pad to 8
+//	| polarities n × f64
+//	| parents    n × i32, pad to 8  (global event indices; -1 = none)
+//	| textOff    (n+1) × u32, pad   (offsets into textBytes)
+//	| textBytes  textLen bytes, pad to 8
+//
+// Block starts are 8-aligned and payloads begin 8 bytes in, so every
+// column's first element is 8-byte aligned in the mapped file — the
+// precondition for the reader's unsafe zero-copy []float64 / []uint32
+// views. CRCs are CRC-32C (Castagnoli). The trailer is fixed-size and
+// parsed from the end of the file, so a reader finds the footer with one
+// seek; a truncated or torn file fails the magic, length, or CRC checks
+// with a typed *FormatError instead of being misread.
+package colstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"chassis/internal/timeline"
+)
+
+const (
+	headerMagic  = "CHCOLST1"
+	trailerMagic = "CHCOLEND"
+	// formatVersion is carried in the meta JSON; readers reject files from
+	// the future.
+	formatVersion = 1
+	// blockTargetEvents is the writer's flush threshold: Append batches
+	// accumulate until at least this many events are pending, then flush as
+	// one block. An Append batch is never split across blocks, so callers
+	// that append per cascade keep cascades block-atomic.
+	blockTargetEvents = 8192
+	trailerSize       = 4 + 4 + 8 // footerLen + footerCRC + magic
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// FormatError reports a structurally invalid or corrupted corpus file.
+type FormatError struct {
+	Offset int64 // file offset the failure was detected at (-1: file-level)
+	Msg    string
+}
+
+func (e *FormatError) Error() string {
+	if e.Offset < 0 {
+		return "colstore: " + e.Msg
+	}
+	return fmt.Sprintf("colstore: offset %d: %s", e.Offset, e.Msg)
+}
+
+func ferr(off int64, format string, args ...any) *FormatError {
+	return &FormatError{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Meta is the corpus-level metadata carried in the footer: the dataset
+// identity plus — for small ground-truthed corpora — the simulator's truth
+// arrays, so a JSON dataset round-trips through the converter losslessly.
+// Paper-scale corpora omit the dense truth arrays (a 100k-user influence
+// matrix has no business existing; see cascade.GenerateStream).
+type Meta struct {
+	Version int     `json:"version"`
+	Name    string  `json:"name"`
+	M       int     `json:"m"`
+	Horizon float64 `json:"horizon"`
+
+	Influence  [][]float64 `json:"influence,omitempty"`
+	Opinions   [][]float64 `json:"opinions,omitempty"`
+	Conformity []float64   `json:"conformity,omitempty"`
+}
+
+// blockInfo is one footer index entry.
+type blockInfo struct {
+	offset     int64 // file offset of the block's CRC word
+	events     int64
+	tMin, tMax float64
+}
+
+func pad8(n int) int { return (8 - n%8) % 8 }
+
+// Writer streams a corpus to disk in a single pass: Append validates and
+// buffers activities column-wise, flushing a CRC-framed block whenever
+// enough events are pending; Close flushes the tail, writes the footer
+// index and trailer, and syncs. Peak memory is one pending block plus
+// O(blocks) index entries — never the corpus.
+type Writer struct {
+	f      *os.File
+	meta   Meta
+	off    int64
+	blocks []blockInfo
+	total  int64
+	lastT  float64
+
+	// pending block columns.
+	times  []float64
+	users  []uint32
+	kinds  []byte
+	topics []int32
+	polar  []float64
+	parent []int32
+	textO  []uint32
+	text   []byte
+
+	scratch []byte
+	closed  bool
+}
+
+// Create opens path for writing and emits the header. The meta's Version is
+// set by the writer.
+func Create(path string, meta Meta) (*Writer, error) {
+	if meta.M <= 0 {
+		return nil, fmt.Errorf("colstore: meta needs M > 0, got %d", meta.M)
+	}
+	if !(meta.Horizon > 0) || math.IsInf(meta.Horizon, 0) {
+		return nil, fmt.Errorf("colstore: meta needs a positive finite horizon, got %g", meta.Horizon)
+	}
+	meta.Version = formatVersion
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.WriteString(headerMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, meta: meta, off: int64(len(headerMagic))}, nil
+}
+
+// NumEvents returns how many activities have been appended so far.
+func (w *Writer) NumEvents() int { return int(w.total) + len(w.times) }
+
+// Append validates and buffers one chronological batch of activities —
+// typically a cascade. Activity IDs and parent links are global: the k-th
+// appended event overall has index k, and every parent must be NoParent or
+// a smaller global index. Times must be nondecreasing within and across
+// batches and inside [0, Horizon].
+func (w *Writer) Append(acts []timeline.Activity) error {
+	if w.closed {
+		return fmt.Errorf("colstore: append to closed writer")
+	}
+	base := int64(w.NumEvents())
+	for i := range acts {
+		a := &acts[i]
+		g := base + int64(i)
+		if math.IsNaN(a.Time) || math.IsInf(a.Time, 0) || a.Time < 0 || a.Time > w.meta.Horizon {
+			return fmt.Errorf("colstore: event %d: time %g outside [0,%g]", g, a.Time, w.meta.Horizon)
+		}
+		if g > 0 && a.Time < w.lastT {
+			return fmt.Errorf("colstore: event %d: time %g breaks chronological order", g, a.Time)
+		}
+		if a.User < 0 || int(a.User) >= w.meta.M {
+			return fmt.Errorf("colstore: event %d: user %d outside [0,%d)", g, a.User, w.meta.M)
+		}
+		if a.Parent != timeline.NoParent && (a.Parent < 0 || int64(a.Parent) >= g) {
+			return fmt.Errorf("colstore: event %d: parent %d is not an earlier event", g, a.Parent)
+		}
+		if math.IsNaN(a.Polarity) || math.IsInf(a.Polarity, 0) {
+			return fmt.Errorf("colstore: event %d: non-finite polarity", g)
+		}
+		w.lastT = a.Time
+		w.times = append(w.times, a.Time)
+		w.users = append(w.users, uint32(a.User))
+		w.kinds = append(w.kinds, byte(a.Kind))
+		w.topics = append(w.topics, int32(a.Topic))
+		w.polar = append(w.polar, a.Polarity)
+		w.parent = append(w.parent, int32(a.Parent))
+		w.text = append(w.text, a.Text...)
+		w.textO = append(w.textO, uint32(len(w.text)))
+	}
+	if len(w.times) >= blockTargetEvents {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// flushBlock writes the pending columns as one block.
+func (w *Writer) flushBlock() error {
+	n := len(w.times)
+	if n == 0 {
+		return nil
+	}
+	buf := bytes.NewBuffer(w.scratch[:0])
+	var tmp [8]byte
+	le := binary.LittleEndian
+	writeAligned := func(b []byte) {
+		buf.Write(b)
+		for p := pad8(len(b)); p > 0; p-- {
+			buf.WriteByte(0)
+		}
+	}
+	le.PutUint32(tmp[:4], uint32(n))
+	le.PutUint32(tmp[4:8], uint32(len(w.text)))
+	buf.Write(tmp[:8])
+	writeAligned(f64Bytes(w.times))
+	writeAligned(u32Bytes(w.users))
+	writeAligned(w.kinds)
+	writeAligned(i32Bytes(w.topics))
+	writeAligned(f64Bytes(w.polar))
+	writeAligned(i32Bytes(w.parent))
+	// textOff has n+1 entries with an implicit leading 0.
+	offs := make([]uint32, 0, n+1)
+	offs = append(offs, 0)
+	offs = append(offs, w.textO...)
+	writeAligned(u32Bytes(offs))
+	writeAligned(w.text)
+
+	payload := buf.Bytes()
+	le.PutUint32(tmp[:4], crc32.Checksum(payload, castagnoli))
+	le.PutUint32(tmp[4:8], uint32(len(payload)))
+	if _, err := w.f.Write(tmp[:8]); err != nil {
+		return err
+	}
+	if _, err := w.f.Write(payload); err != nil {
+		return err
+	}
+	w.blocks = append(w.blocks, blockInfo{
+		offset: w.off, events: int64(n),
+		tMin: w.times[0], tMax: w.times[n-1],
+	})
+	w.off += 8 + int64(len(payload)) // payload is already a multiple of 8
+	w.total += int64(n)
+	w.scratch = payload[:0]
+	w.times, w.users, w.kinds = w.times[:0], w.users[:0], w.kinds[:0]
+	w.topics, w.polar, w.parent = w.topics[:0], w.polar[:0], w.parent[:0]
+	w.textO, w.text = w.textO[:0], w.text[:0]
+	return nil
+}
+
+// Close flushes the pending block, writes the footer and trailer, and
+// closes the file. The writer is unusable afterwards.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if err := w.flushBlock(); err != nil {
+		w.f.Close()
+		return err
+	}
+	metaBlob, err := json.Marshal(w.meta)
+	if err != nil {
+		w.f.Close()
+		return fmt.Errorf("colstore: encoding meta: %w", err)
+	}
+	footer := new(bytes.Buffer)
+	var tmp [8]byte
+	le := binary.LittleEndian
+	le.PutUint32(tmp[:4], uint32(len(metaBlob)))
+	footer.Write(tmp[:4])
+	footer.Write(metaBlob)
+	le.PutUint64(tmp[:8], uint64(w.total))
+	footer.Write(tmp[:8])
+	le.PutUint32(tmp[:4], uint32(len(w.blocks)))
+	footer.Write(tmp[:4])
+	for _, b := range w.blocks {
+		le.PutUint64(tmp[:8], uint64(b.offset))
+		footer.Write(tmp[:8])
+		le.PutUint64(tmp[:8], uint64(b.events))
+		footer.Write(tmp[:8])
+		le.PutUint64(tmp[:8], math.Float64bits(b.tMin))
+		footer.Write(tmp[:8])
+		le.PutUint64(tmp[:8], math.Float64bits(b.tMax))
+		footer.Write(tmp[:8])
+	}
+	fb := footer.Bytes()
+	if _, err := w.f.Write(fb); err != nil {
+		w.f.Close()
+		return err
+	}
+	le.PutUint32(tmp[:4], uint32(len(fb)))
+	le.PutUint32(tmp[4:8], crc32.Checksum(fb, castagnoli))
+	if _, err := w.f.Write(tmp[:8]); err != nil {
+		w.f.Close()
+		return err
+	}
+	if _, err := w.f.WriteString(trailerMagic); err != nil {
+		w.f.Close()
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

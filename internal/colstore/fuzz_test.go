@@ -1,0 +1,142 @@
+package colstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"chassis/internal/timeline"
+)
+
+// buildImage assembles a corpus image by hand: header, one block framing the
+// given payload (CRC computed for it), a footer claiming the given event
+// counts, and a trailer. Used to seed the fuzzer with structurally unusual
+// but CRC-consistent inputs the writer would never produce.
+func buildImage(payload []byte, blockEvents, totalEvents uint64, metaJSON string) []byte {
+	le := binary.LittleEndian
+	var buf bytes.Buffer
+	buf.WriteString(headerMagic)
+	blockOff := uint64(buf.Len())
+	var tmp [8]byte
+	le.PutUint32(tmp[:4], crc32.Checksum(payload, castagnoli))
+	le.PutUint32(tmp[4:8], uint32(len(payload)))
+	buf.Write(tmp[:8])
+	buf.Write(payload)
+
+	var footer bytes.Buffer
+	le.PutUint32(tmp[:4], uint32(len(metaJSON)))
+	footer.Write(tmp[:4])
+	footer.WriteString(metaJSON)
+	le.PutUint64(tmp[:8], totalEvents)
+	footer.Write(tmp[:8])
+	le.PutUint32(tmp[:4], 1)
+	footer.Write(tmp[:4])
+	le.PutUint64(tmp[:8], blockOff)
+	footer.Write(tmp[:8])
+	le.PutUint64(tmp[:8], blockEvents)
+	footer.Write(tmp[:8])
+	le.PutUint64(tmp[:8], 0) // tMin = 0.0
+	footer.Write(tmp[:8])
+	le.PutUint64(tmp[:8], 0) // tMax = 0.0
+	footer.Write(tmp[:8])
+
+	fb := footer.Bytes()
+	buf.Write(fb)
+	le.PutUint32(tmp[:4], uint32(len(fb)))
+	le.PutUint32(tmp[4:8], crc32.Checksum(fb, castagnoli))
+	buf.Write(tmp[:8])
+	buf.WriteString(trailerMagic)
+	return buf.Bytes()
+}
+
+// zeroCascadePayload is a block payload declaring zero events: n=0,
+// textLen=0, and a single textOff entry — every other column is empty.
+func zeroCascadePayload() []byte {
+	b := make([]byte, 16)
+	// n=0, textLen=0 already; textOff[0]=0 at offset 8, pad to 16.
+	return b
+}
+
+// validImage writes a small real corpus through the Writer and returns its
+// bytes.
+func validImage(tb testing.TB) []byte {
+	tb.Helper()
+	path := filepath.Join(tb.TempDir(), "seed.colstore")
+	w, err := Create(path, Meta{Name: "seed", M: 3, Horizon: 10})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	acts := []timeline.Activity{
+		{ID: 0, User: 0, Time: 1, Kind: timeline.Post, Text: "hi", Parent: timeline.NoParent},
+		{ID: 1, User: 1, Time: 2, Kind: timeline.Retweet, Parent: 0, Polarity: 1},
+		{ID: 2, User: 2, Time: 9, Kind: timeline.Angry, Parent: 1, Polarity: -1},
+	}
+	if err := w.Append(acts); err != nil {
+		tb.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return img
+}
+
+// FuzzColstoreDecode throws arbitrary bytes at the corpus parser. The
+// contract under fuzz: never panic, never accept an image whose invariants
+// are broken — every rejection is a typed *FormatError or plain error, and
+// an accepted image must support full materialization without fault.
+func FuzzColstoreDecode(f *testing.F) {
+	good := validImage(f)
+	f.Add(good)
+	// Truncated footer.
+	f.Add(good[:len(good)-trailerSize-4])
+	// Truncated mid-block.
+	f.Add(good[:24])
+	// Bad block CRC.
+	flipped := append([]byte(nil), good...)
+	flipped[len(headerMagic)+12] ^= 0xff
+	f.Add(flipped)
+	// Zero-length cascade block, CRC-consistent.
+	meta := `{"version":1,"name":"z","m":1,"horizon":1}`
+	f.Add(buildImage(zeroCascadePayload(), 0, 0, meta))
+	f.Add(buildImage(zeroCascadePayload(), 1, 1, meta))
+	// Footer claiming a block the file doesn't have room for.
+	f.Add(buildImage(nil, 4, 4, meta))
+	// Future format version.
+	f.Add(buildImage(zeroCascadePayload(), 0, 0, `{"version":99,"m":1,"horizon":1}`))
+	// Degenerate tiny inputs.
+	f.Add([]byte{})
+	f.Add([]byte(headerMagic))
+	f.Add([]byte(headerMagic + trailerMagic))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := OpenBytes(data)
+		if err != nil {
+			return
+		}
+		defer r.Close()
+		// Accepted images must be fully usable.
+		if r.NumEvents() > 1<<22 {
+			return // don't materialize absurd corpora inside the fuzzer
+		}
+		seq, err := r.Sequence()
+		if err != nil {
+			t.Fatalf("accepted image failed to materialize: %v", err)
+		}
+		if len(seq.Activities) != r.NumEvents() {
+			t.Fatalf("materialized %d of %d events", len(seq.Activities), r.NumEvents())
+		}
+		_ = r.Fingerprint()
+		if n := r.NumEvents(); n > 0 {
+			_ = r.Time(0)
+			_ = r.Time(n - 1)
+			_ = r.SearchTime(r.Horizon() / 2)
+		}
+	})
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package colstore
+
+import "os"
+
+// openMap reads the whole file on platforms without the unix mmap syscall.
+// The Reader API and all validation behave identically.
+func openMap(path string) ([]byte, func() error, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(b) == 0 {
+		return nil, nil, ferr(-1, "empty file")
+	}
+	return b, nil, nil
+}

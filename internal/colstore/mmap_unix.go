@@ -1,0 +1,40 @@
+//go:build unix
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// openMap maps path read-only and returns the bytes plus an unmap closure.
+// If mmap fails (exotic filesystems, resource limits), it falls back to
+// reading the file into memory — correctness is identical, only the paging
+// behavior differs.
+func openMap(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, ferr(-1, "empty file")
+	}
+	if size != int64(int(size)) {
+		return nil, nil, ferr(-1, "file too large to map on this platform")
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		b, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		return b, nil, nil
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -123,7 +123,13 @@ type checkpointer struct {
 	flushedAt int    // iteration of the last on-disk write (-1: none yet)
 }
 
-func newCheckpointer(cfg Config, seq *timeline.Sequence) (*checkpointer, error) {
+// newCheckpointer builds the checkpoint writer for a fit over data
+// identified by dataHash: the in-memory fit passes sequenceFingerprint, the
+// sharded fit the colstore footer fingerprint. The two prefixes differ
+// ("fnv64a:" vs "colstore:"), so a checkpoint is never resumed by the other
+// driver — the fingerprints cover different byte representations of the
+// data, and cross-resuming would bypass that guard.
+func newCheckpointer(cfg Config, dataHash string) (*checkpointer, error) {
 	cfgBlob, err := configFingerprint(cfg)
 	if err != nil {
 		return nil, err
@@ -131,7 +137,7 @@ func newCheckpointer(cfg Config, seq *timeline.Sequence) (*checkpointer, error) 
 	return &checkpointer{
 		path:      CheckpointPath(cfg.CheckpointDir),
 		every:     cfg.CheckpointEvery,
-		dataHash:  sequenceFingerprint(seq),
+		dataHash:  dataHash,
 		cfgBlob:   cfgBlob,
 		flushedAt: -1,
 	}, nil

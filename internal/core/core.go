@@ -229,6 +229,17 @@ type Config struct {
 	// any worker count: every RNG stream is a pure function of (Seed,
 	// counters captured in the checkpoint).
 	Resume bool `json:"-"`
+	// ShardEvents caps how many events FitSharded materializes as activity
+	// structs at once: each E-step/bootstrap pass walks the corpus in shards
+	// of at least this many events (rounded up to whole scheduling chunks)
+	// plus one kernel support of halo. Like Workers it is an operational
+	// knob that never affects the fitted parameters or forest — shard
+	// boundaries change which buffer the chunk bodies read through, never
+	// which floats they compute — so it is excluded from config
+	// fingerprints, and a checkpointed run may resume under a different
+	// value. 0 selects the default (256k events). Ignored by the in-memory
+	// drivers.
+	ShardEvents int `json:"-"`
 
 	// observer/metrics are the observability hooks, settable only through
 	// FitContext's Options (WithObserver/WithMetrics). Unexported on
@@ -268,6 +279,9 @@ func (c *Config) fill() error {
 	}
 	if c.CheckpointEvery <= 0 {
 		c.CheckpointEvery = 1
+	}
+	if c.ShardEvents <= 0 {
+		c.ShardEvents = 256 << 10
 	}
 	if c.Resume && c.CheckpointDir == "" {
 		return errors.New("core: Resume requires CheckpointDir")
@@ -447,6 +461,9 @@ func (m *Model) EstimatedInfluence() [][]float64 {
 // TrainLogLikelihood evaluates Eq. 7.1 on the training sequence under the
 // fitted parameters (reference implementation via the hawkes engine).
 func (m *Model) TrainLogLikelihood() (float64, error) {
+	if m.seq == nil {
+		return 0, errors.New("core: model carries no training sequence (sharded fits keep the corpus on disk)")
+	}
 	return m.Process().LogLikelihood(m.seq, m.compensatorOpts())
 }
 

@@ -33,6 +33,18 @@ func windowStart(seq *timeline.Sequence, t float64) int {
 	})
 }
 
+// windowStartIn is windowStart over an activity window that holds global
+// events [off, off+len(win)); the returned index is global. As long as the
+// window's left edge extends at least one kernel support before the first
+// event it is asked about, the result equals the full-sequence windowStart —
+// the invariant the sharded fit's halo materialization maintains, and the
+// reason shard-local scans see exactly the events the in-memory scan sees.
+func windowStartIn(win []timeline.Activity, off int, t float64) int {
+	return off + sort.Search(len(win), func(k int) bool {
+		return win[k].Time >= t
+	})
+}
+
 // bootstrapForest samples an initial branching structure (the EM
 // initialization of Section 6): each activity either stays an immigrant or
 // attaches to a preceding activity with probability proportional to the
@@ -43,56 +55,68 @@ func (m *Model) bootstrapForest(ctx context.Context, seq *timeline.Sequence) (*b
 	base := rng.New(m.cfg.Seed).Split(101)
 	n := seq.Len()
 	parents := make([]timeline.ActivityID, n)
-	ker := m.Kernels[0]
-	support := ker.Support()
 	workers := parallel.Workers(m.cfg.Workers)
 	err := parallel.ForEachChunkContext(ctx, workers, n, estepChunkSize, func(c parallel.Range) error {
 		r := base.Split(int64(c.Index) + 1)
-		// Per-chunk candidate buffers come from the scratch pool: EM runs
-		// thousands of chunks per fit, and pooling keeps the steady state
-		// allocation-free without touching values (pooled slices read as
-		// fresh ones).
-		weights := scratch.Floats(0)
-		cands := scratch.Ints(0)
-		defer func() {
-			scratch.PutFloats(weights)
-			scratch.PutInts(cands)
-		}()
-		lo := windowStart(seq, seq.Activities[c.Lo].Time-support)
-		for k := c.Lo; k < c.Hi; k++ {
-			parents[k] = timeline.NoParent
-			ak := &seq.Activities[k]
-			for lo < n && seq.Activities[lo].Time < ak.Time-support {
-				lo++
-			}
-			weights = weights[:0]
-			cands = cands[:0]
-			// Immigrant weight: roughly one immigrant per kernel support of
-			// quiet time; concretely the kernel's mean height over its support
-			// works well as a scale-free prior.
-			imm := 1.0 / (support + 1)
-			weights = append(weights, imm)
-			for w := lo; w < k; w++ {
-				aw := &seq.Activities[w]
-				dt := ak.Time - aw.Time
-				if dt <= 0 {
-					continue
-				}
-				if v := ker.Eval(dt); v > 0 {
-					weights = append(weights, v)
-					cands = append(cands, w)
-				}
-			}
-			if pick := r.Categorical(weights); pick > 0 {
-				parents[k] = timeline.ActivityID(cands[pick-1])
-			}
-		}
+		m.bootstrapChunk(seq.Activities, 0, c, r, parents)
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return branching.FromParents(parents)
+}
+
+// bootstrapChunk is the bootstrap's chunk body, shared between the in-memory
+// fit (win = the whole sequence, off = 0) and the sharded fit (win = a
+// halo-extended shard window holding global events [off, off+len(win)), c a
+// chunk of the same global grid). All indices — c.Lo/c.Hi, the sliding
+// window, the parents slots — are global; win is only the storage they are
+// read through. Keeping one body guarantees both fits perform the identical
+// float operations in the identical order on the identical RNG stream.
+func (m *Model) bootstrapChunk(win []timeline.Activity, off int, c parallel.Range, r *rng.RNG, parents []timeline.ActivityID) {
+	ker := m.Kernels[0]
+	support := ker.Support()
+	hi := off + len(win)
+	// Per-chunk candidate buffers come from the scratch pool: EM runs
+	// thousands of chunks per fit, and pooling keeps the steady state
+	// allocation-free without touching values (pooled slices read as
+	// fresh ones).
+	weights := scratch.Floats(0)
+	cands := scratch.Ints(0)
+	defer func() {
+		scratch.PutFloats(weights)
+		scratch.PutInts(cands)
+	}()
+	lo := windowStartIn(win, off, win[c.Lo-off].Time-support)
+	for k := c.Lo; k < c.Hi; k++ {
+		parents[k] = timeline.NoParent
+		ak := &win[k-off]
+		for lo < hi && win[lo-off].Time < ak.Time-support {
+			lo++
+		}
+		weights = weights[:0]
+		cands = cands[:0]
+		// Immigrant weight: roughly one immigrant per kernel support of
+		// quiet time; concretely the kernel's mean height over its support
+		// works well as a scale-free prior.
+		imm := 1.0 / (support + 1)
+		weights = append(weights, imm)
+		for w := lo; w < k; w++ {
+			aw := &win[w-off]
+			dt := ak.Time - aw.Time
+			if dt <= 0 {
+				continue
+			}
+			if v := ker.Eval(dt); v > 0 {
+				weights = append(weights, v)
+				cands = append(cands, w)
+			}
+		}
+		if pick := r.Categorical(weights); pick > 0 {
+			parents[k] = timeline.ActivityID(cands[pick-1])
+		}
+	}
 }
 
 // eStep infers the branching structure under the current parameters: for
@@ -158,104 +182,7 @@ func (m *Model) eStepMode(ctx context.Context, seq *timeline.Sequence, conf *con
 	workers := parallel.Workers(m.cfg.Workers)
 	err := parallel.ForEachChunkContext(ctx, workers, n, estepChunkSize, func(c parallel.Range) error {
 		r := base.Split(int64(c.Index) + 1)
-		// Pooled per-chunk scratch; see bootstrapForest.
-		weights := scratch.Floats(0)
-		cands := scratch.Ints(0)
-		contribs := scratch.Floats(0)
-		defer func() {
-			scratch.PutFloats(weights)
-			scratch.PutInts(cands)
-			scratch.PutFloats(contribs)
-		}()
-		lo := windowStart(seq, seq.Activities[c.Lo].Time-maxSupport)
-		for k := c.Lo; k < c.Hi; k++ {
-			parents[k] = timeline.NoParent
-			ak := &seq.Activities[k]
-			if prev != nil && r.Bernoulli(0.5) {
-				parents[k] = prev.Parent(k)
-				continue
-			}
-			i := int(ak.User)
-			ker := m.Kernels[i]
-			for lo < n && seq.Activities[lo].Time < ak.Time-maxSupport {
-				lo++
-			}
-			g := m.Mu[i]
-			cands = cands[:0]
-			contribs = contribs[:0]
-			for w := lo; w < k; w++ {
-				aw := &seq.Activities[w]
-				dt := ak.Time - aw.Time
-				if dt <= 0 || dt > ker.Support() {
-					continue
-				}
-				phi := ker.Eval(dt)
-				if phi <= 0 {
-					continue
-				}
-				// Smoothed excitation: negative (inhibitory) conformity rules a
-				// candidate out of parenthood; the Laplace term keeps the first
-				// EM iterations from collapsing to all-immigrant (see Config).
-				alpha := exc.Alpha(i, int(aw.User), aw.Time)
-				if alpha < 0 {
-					alpha = 0
-				}
-				cw := (alpha + m.cfg.EStepSmoothing) * phi
-				if cw <= 0 {
-					continue
-				}
-				g += cw
-				cands = append(cands, w)
-				contribs = append(contribs, cw)
-			}
-			weights = weights[:0]
-			if m.cfg.LinearRatioEStep {
-				weights = append(weights, m.Mu[i])
-				weights = append(weights, contribs...)
-			} else {
-				weights = append(weights, m.link.Apply(m.Mu[i]))
-				fg := m.link.Apply(g)
-				for _, cw := range contribs {
-					weights = append(weights, fg-m.link.Apply(g-cw))
-				}
-			}
-			if stats != nil {
-				// Triggering-distribution entropy, from the weights already in
-				// hand: a pure read that leaves the RNG stream untouched.
-				var total float64
-				for _, wv := range weights {
-					if wv > 0 {
-						total += wv
-					}
-				}
-				if total > 0 {
-					var h float64
-					for _, wv := range weights {
-						if wv > 0 {
-							p := wv / total
-							h -= p * math.Log(p)
-						}
-					}
-					entSum[c.Index] += h
-					entCnt[c.Index]++
-				}
-			}
-			pick := 0
-			if mapMode {
-				best := weights[0]
-				for idx := 1; idx < len(weights); idx++ {
-					if weights[idx] > best {
-						best = weights[idx]
-						pick = idx
-					}
-				}
-			} else {
-				pick = r.Categorical(weights)
-			}
-			if pick > 0 {
-				parents[k] = timeline.ActivityID(cands[pick-1])
-			}
-		}
+		m.eStepChunk(seq.Activities, 0, c, r, exc, maxSupport, mapMode, prev, parents, entSum, entCnt)
 		return nil
 	})
 	if err != nil {
@@ -275,4 +202,115 @@ func (m *Model) eStepMode(ctx context.Context, seq *timeline.Sequence, conf *con
 		}
 	}
 	return branching.FromParents(parents)
+}
+
+// eStepChunk is the E-step's chunk body, shared between the in-memory fit
+// (win = the whole sequence, off = 0) and the sharded fit (win = a
+// halo-extended shard window holding global events [off, off+len(win)), c a
+// chunk of the same global grid). All indices are global — c.Lo/c.Hi, the
+// sliding support window, prev-forest lookups, parents slots, and the
+// entSum/entCnt accumulators (indexed by global chunk index) — so a shard
+// boundary changes which storage the floats are read from, never which
+// floats are read or in what order. That shared-body discipline is the
+// bit-identity argument for the out-of-core fit (DESIGN.md §15).
+func (m *Model) eStepChunk(win []timeline.Activity, off int, c parallel.Range, r *rng.RNG, exc excitation, maxSupport float64, mapMode bool, prev *branching.Forest, parents []timeline.ActivityID, entSum []float64, entCnt []int) {
+	hi := off + len(win)
+	// Pooled per-chunk scratch; see bootstrapChunk.
+	weights := scratch.Floats(0)
+	cands := scratch.Ints(0)
+	contribs := scratch.Floats(0)
+	defer func() {
+		scratch.PutFloats(weights)
+		scratch.PutInts(cands)
+		scratch.PutFloats(contribs)
+	}()
+	lo := windowStartIn(win, off, win[c.Lo-off].Time-maxSupport)
+	for k := c.Lo; k < c.Hi; k++ {
+		parents[k] = timeline.NoParent
+		ak := &win[k-off]
+		if prev != nil && r.Bernoulli(0.5) {
+			parents[k] = prev.Parent(k)
+			continue
+		}
+		i := int(ak.User)
+		ker := m.Kernels[i]
+		for lo < hi && win[lo-off].Time < ak.Time-maxSupport {
+			lo++
+		}
+		g := m.Mu[i]
+		cands = cands[:0]
+		contribs = contribs[:0]
+		for w := lo; w < k; w++ {
+			aw := &win[w-off]
+			dt := ak.Time - aw.Time
+			if dt <= 0 || dt > ker.Support() {
+				continue
+			}
+			phi := ker.Eval(dt)
+			if phi <= 0 {
+				continue
+			}
+			// Smoothed excitation: negative (inhibitory) conformity rules a
+			// candidate out of parenthood; the Laplace term keeps the first
+			// EM iterations from collapsing to all-immigrant (see Config).
+			alpha := exc.Alpha(i, int(aw.User), aw.Time)
+			if alpha < 0 {
+				alpha = 0
+			}
+			cw := (alpha + m.cfg.EStepSmoothing) * phi
+			if cw <= 0 {
+				continue
+			}
+			g += cw
+			cands = append(cands, w)
+			contribs = append(contribs, cw)
+		}
+		weights = weights[:0]
+		if m.cfg.LinearRatioEStep {
+			weights = append(weights, m.Mu[i])
+			weights = append(weights, contribs...)
+		} else {
+			weights = append(weights, m.link.Apply(m.Mu[i]))
+			fg := m.link.Apply(g)
+			for _, cw := range contribs {
+				weights = append(weights, fg-m.link.Apply(g-cw))
+			}
+		}
+		if entSum != nil {
+			// Triggering-distribution entropy, from the weights already in
+			// hand: a pure read that leaves the RNG stream untouched.
+			var total float64
+			for _, wv := range weights {
+				if wv > 0 {
+					total += wv
+				}
+			}
+			if total > 0 {
+				var h float64
+				for _, wv := range weights {
+					if wv > 0 {
+						p := wv / total
+						h -= p * math.Log(p)
+					}
+				}
+				entSum[c.Index] += h
+				entCnt[c.Index]++
+			}
+		}
+		pick := 0
+		if mapMode {
+			best := weights[0]
+			for idx := 1; idx < len(weights); idx++ {
+				if weights[idx] > best {
+					best = weights[idx]
+					pick = idx
+				}
+			}
+		} else {
+			pick = r.Categorical(weights)
+		}
+		if pick > 0 {
+			parents[k] = timeline.ActivityID(cands[pick-1])
+		}
+	}
 }

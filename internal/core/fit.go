@@ -114,7 +114,7 @@ func FitContext(ctx context.Context, seq *timeline.Sequence, cfg Config, opts ..
 
 	var ckpt *checkpointer
 	if cfg.CheckpointDir != "" {
-		if ckpt, err = newCheckpointer(cfg, seq); err != nil {
+		if ckpt, err = newCheckpointer(cfg, sequenceFingerprint(seq)); err != nil {
 			return nil, err
 		}
 	}
@@ -144,39 +144,8 @@ func FitContext(ctx context.Context, seq *timeline.Sequence, cfg Config, opts ..
 	}
 
 	if !resumed {
-		// Initial kernels: a normalized exponential-plus-uniform mixture
-		// tabulated onto the support grid. The uniform floor matters: a purely
-		// recency-shaped initial kernel makes early E-steps attribute
-		// everything to the most recent candidate, and the nonparametric
-		// updates then reinforce that choice — the floor keeps slow triggering
-		// tails (replies to a cascade's root long after it was posted)
-		// representable from the start.
-		initKer, err := kernel.NewExponential(cfg.InitKernelRate)
-		if err != nil {
+		if err := m.initKernels(); err != nil {
 			return nil, err
-		}
-		if cfg.ExpKernel {
-			// Parametric mode: the exponential itself is the kernel for the
-			// whole fit, kept as a kernel.Exponential value so the fitted
-			// process qualifies for the exponential fast path end to end.
-			for i := range m.Kernels {
-				m.Kernels[i] = initKer
-			}
-		} else {
-			const taps = 24
-			step := cfg.KernelSupport / float64(taps)
-			vals := make([]float64, taps+1)
-			for k := range vals {
-				vals[k] = 0.7*initKer.Eval(float64(k)*step) + 0.3/cfg.KernelSupport
-			}
-			sampled, err := kernel.NewDiscrete(step, vals)
-			if err != nil {
-				return nil, err
-			}
-			sampled.Normalize()
-			for i := range m.Kernels {
-				m.Kernels[i] = sampled
-			}
 		}
 
 		m.sources = cooccurrenceSources(seq, cfg.KernelSupport)
@@ -520,14 +489,58 @@ func FitContext(ctx context.Context, seq *timeline.Sequence, cfg Config, opts ..
 	return m, nil
 }
 
+// initKernels fills the kernel bank with the fit's initial kernels: a
+// normalized exponential-plus-uniform mixture tabulated onto the support
+// grid. The uniform floor matters: a purely recency-shaped initial kernel
+// makes early E-steps attribute everything to the most recent candidate, and
+// the nonparametric updates then reinforce that choice — the floor keeps
+// slow triggering tails (replies to a cascade's root long after it was
+// posted) representable from the start. Shared by the in-memory and sharded
+// drivers; it reads only the resolved config.
+func (m *Model) initKernels() error {
+	initKer, err := kernel.NewExponential(m.cfg.InitKernelRate)
+	if err != nil {
+		return err
+	}
+	if m.cfg.ExpKernel {
+		// Parametric mode: the exponential itself is the kernel for the
+		// whole fit, kept as a kernel.Exponential value so the fitted
+		// process qualifies for the exponential fast path end to end.
+		for i := range m.Kernels {
+			m.Kernels[i] = initKer
+		}
+		return nil
+	}
+	const taps = 24
+	step := m.cfg.KernelSupport / float64(taps)
+	vals := make([]float64, taps+1)
+	for k := range vals {
+		vals[k] = 0.7*initKer.Eval(float64(k)*step) + 0.3/m.cfg.KernelSupport
+	}
+	sampled, err := kernel.NewDiscrete(step, vals)
+	if err != nil {
+		return err
+	}
+	sampled.Normalize()
+	for i := range m.Kernels {
+		m.Kernels[i] = sampled
+	}
+	return nil
+}
+
 // initParams follows the paper's initialization: μ sampled from U[0, 0.01]
 // (linear link; the exp link uses the log event rate so eᵘ starts at the
 // right scale) and the coefficients {γᴵ, β, γᴺ} — or α for HP baselines —
-// from U[0, 0.1], restricted to the active pair support.
+// from U[0, 0.1], restricted to the active pair support. For linear links
+// seq is only consulted lazily (the sharded driver passes nil: its corpus
+// has no in-memory sequence, and the linear draws need none).
 func (m *Model) initParams(seq *timeline.Sequence) {
 	r := rng.New(m.cfg.Seed).Split(307)
-	counts := seq.CountByUser()
 	_, linear := m.link.(hawkes.LinearLink)
+	var counts []int
+	if !linear {
+		counts = seq.CountByUser()
+	}
 	for i := 0; i < m.M; i++ {
 		if linear {
 			m.Mu[i] = r.Uniform(1e-4, 0.01)
@@ -573,14 +586,25 @@ func medianGap(seq *timeline.Sequence) float64 {
 // supportHeuristic picks the triggering-kernel horizon from the inter-event
 // gap distribution: max(15×q80, 20×median), capped at Horizon/10.
 func supportHeuristic(seq *timeline.Sequence) float64 {
-	n := seq.Len()
-	hi := seq.Horizon / 10
+	times := make([]float64, seq.Len())
+	for k := range seq.Activities {
+		times[k] = seq.Activities[k].Time
+	}
+	return supportFromTimes(times, seq.Horizon)
+}
+
+// supportFromTimes is supportHeuristic over a bare timestamp column — the
+// form both drivers share, so the sharded fit derives the identical support
+// (and with it identical kernels) from a colstore corpus.
+func supportFromTimes(times []float64, horizon float64) float64 {
+	n := len(times)
+	hi := horizon / 10
 	if n < 2 {
 		return hi
 	}
 	gaps := make([]float64, 0, n-1)
 	for k := 1; k < n; k++ {
-		if g := seq.Activities[k].Time - seq.Activities[k-1].Time; g > 0 {
+		if g := times[k] - times[k-1]; g > 0 {
 			gaps = append(gaps, g)
 		}
 	}
@@ -660,21 +684,33 @@ func forestSources(seq *timeline.Sequence, forest *branching.Forest, coocc [][]i
 // most often precede i's events within the kernel support — the sparse
 // support the M-step optimizes over.
 func cooccurrenceSources(seq *timeline.Sequence, support float64) [][]int {
-	m := seq.M
+	times := make([]float64, seq.Len())
+	users := make([]uint32, seq.Len())
+	for k := range seq.Activities {
+		times[k] = seq.Activities[k].Time
+		users[k] = uint32(seq.Activities[k].User)
+	}
+	return cooccurrenceFromCols(times, users, seq.M, support)
+}
+
+// cooccurrenceFromCols is cooccurrenceSources over bare (time, user)
+// columns, the form the sharded driver feeds straight from a colstore scan.
+// One body for both drivers means one ranking — the pair support, and
+// therefore the initParams RNG consumption, cannot diverge between them.
+func cooccurrenceFromCols(times []float64, users []uint32, m int, support float64) [][]int {
 	counts := make([]map[int]int, m)
 	for i := range counts {
 		counts[i] = make(map[int]int)
 	}
-	acts := seq.Activities
 	lo := 0
-	for k := range acts {
-		i := int(acts[k].User)
-		t := acts[k].Time
-		for lo < len(acts) && acts[lo].Time < t-support {
+	for k := range times {
+		i := int(users[k])
+		t := times[k]
+		for lo < len(times) && times[lo] < t-support {
 			lo++
 		}
 		for w := lo; w < k; w++ {
-			j := int(acts[w].User)
+			j := int(users[w])
 			if j != i {
 				counts[i][j]++
 			}
@@ -722,6 +758,9 @@ func (m *Model) HeldOutLogLikelihood(test *timeline.Sequence) (float64, error) {
 	}
 	if test.M != m.M {
 		return 0, fmt.Errorf("core: test sequence has %d dimensions, model has %d", test.M, m.M)
+	}
+	if m.seq == nil {
+		return 0, errors.New("core: model carries no training sequence (sharded fits keep the corpus on disk)")
 	}
 	var combined *timeline.Sequence
 	if m.cfg.UseObservedTrees {

@@ -398,79 +398,127 @@ type mstepStats struct {
 // error only reports worker panics or cancellation: a dimension whose
 // optimizer fails simply keeps its parameters.
 func (m *Model) mStep(ctx context.Context, seq *timeline.Sequence, conf *conformity.Computer, stats *mstepStats) error {
-	_, linear := m.link.(hawkes.LinearLink)
-	var norms []float64
-	if stats != nil {
-		norms = make([]float64, m.M)
-		for i := range norms {
-			norms[i] = math.NaN()
-		}
+	if _, linear := m.link.(hawkes.LinearLink); linear {
+		// Linear links take the batched streaming builder: one chronological
+		// pass per dimension batch instead of one full-sequence pass per
+		// dimension, which is what makes M-steps feasible at paper-scale M
+		// (and is the same code path the out-of-core sharded fit drives).
+		return m.mStepStream(ctx, memEvents{seq}, conf, stats)
 	}
-	initStep := 0.05
-	if m.stepScale > 0 {
-		// Guard recoveries shrink the ascent step; 0 (a zero-value Model,
-		// e.g. one rebuilt by LoadModel) means "never recovered".
-		initStep *= m.stepScale
-	}
+	norms, initStep := m.mstepSetup(stats)
 	err := parallel.DoContext(ctx, parallel.Workers(m.cfg.Workers), m.M, func(i int) error {
-		d := m.buildDimData(seq, conf, i, !linear)
-		x0 := m.pack(i)
-		lower, upper := m.bounds(i)
-		obj := m.objective(d, conf)
-		res, err := infer.MaximizeProjected(x0, obj, infer.Options{
-			MaxIter: m.cfg.MStepIters,
-			Lower:   lower, Upper: upper,
-			InitStep: initStep, Tol: 1e-7,
-		})
-		if err != nil {
-			return nil // leave this dimension's parameters unchanged
-		}
-		// Damped update: the E-step's sampled trees make the objective a
-		// noisy target; blending iterates stabilizes the alternation.
-		damp := m.cfg.ParamDamping
-		for p := range res.X {
-			res.X[p] = damp*x0[p] + (1-damp)*res.X[p]
-		}
-		var grad []float64
+		d := m.buildDimData(seq, conf, i, true)
+		norm := m.optimizeDim(i, d, conf, initStep, norms != nil)
 		if norms != nil {
-			// Projected-gradient evaluation at the accepted point: a pure
-			// extra call, the objective reads only its arguments.
-			grad = make([]float64, len(res.X))
-			obj(res.X, grad)
-		}
-		if hook := faultinject.MStepResult; hook != nil {
-			// Fault injection: the hook may poison the accepted parameters
-			// or the reported gradient at deterministic (iter, attempt, dim)
-			// coordinates; whatever it plants must be caught by the guard
-			// before it reaches the caller.
-			hook(m.curIter, m.curAttempt, i, res.X, grad)
-		}
-		m.unpack(i, res.X)
-		if norms != nil {
-			// Components pinned at an active box bound (and pushing outward)
-			// carry no usable ascent direction, so they are excluded.
-			var ss float64
-			for p, g := range grad {
-				if (res.X[p] <= lower[p] && g < 0) || (res.X[p] >= upper[p] && g > 0) {
-					continue
-				}
-				ss += g * g
-			}
-			norms[i] = math.Sqrt(ss)
+			norms[i] = norm
 		}
 		return nil
 	})
 	if err != nil {
 		return err
 	}
+	m.mstepReduce(stats, norms)
+	return nil
+}
+
+// mstepSetup prepares one M-step pass: the per-dimension norm buffer (only
+// when the pass is measured) and the guard-scaled initial ascent step.
+func (m *Model) mstepSetup(stats *mstepStats) (norms []float64, initStep float64) {
 	if stats != nil {
-		stats.dims = m.M
-		stats.gradNorm = math.NaN()
-		for _, v := range norms {
-			if !math.IsNaN(v) && (math.IsNaN(stats.gradNorm) || v > stats.gradNorm) {
-				stats.gradNorm = v
-			}
+		norms = make([]float64, m.M)
+		for i := range norms {
+			norms[i] = math.NaN()
 		}
 	}
+	initStep = 0.05
+	if m.stepScale > 0 {
+		// Guard recoveries shrink the ascent step; 0 (a zero-value Model,
+		// e.g. one rebuilt by LoadModel) means "never recovered".
+		initStep *= m.stepScale
+	}
+	return norms, initStep
+}
+
+// mstepReduce folds the per-dimension norms into the pass measurement.
+func (m *Model) mstepReduce(stats *mstepStats, norms []float64) {
+	if stats == nil {
+		return
+	}
+	stats.dims = m.M
+	stats.gradNorm = math.NaN()
+	for _, v := range norms {
+		if !math.IsNaN(v) && (math.IsNaN(stats.gradNorm) || v > stats.gradNorm) {
+			stats.gradNorm = v
+		}
+	}
+}
+
+// mStepStream is the linear-link M-step over any event source: the batched
+// streaming builder plus the measurement wrapper. Both the in-memory fit
+// (wrapping its training sequence) and the sharded fit (wrapping its flat
+// colstore columns) land here, so the two drivers share every float the
+// M-step produces.
+func (m *Model) mStepStream(ctx context.Context, src eventSource, conf *conformity.Computer, stats *mstepStats) error {
+	norms, initStep := m.mstepSetup(stats)
+	if err := m.mStepBatches(ctx, src, conf, initStep, norms); err != nil {
+		return err
+	}
+	m.mstepReduce(stats, norms)
 	return nil
+}
+
+// optimizeDim runs the per-dimension optimizer stage on prepared dimData:
+// pack, box bounds, projected-gradient ascent, damped blend, fault-injection
+// hook, unpack. It is the shared tail of every M-step flavor (per-dim
+// in-memory, batched in-memory, sharded out-of-core) — the builders differ
+// in how they assemble d, never in what happens to it, which is half the
+// bit-identity argument for the batched paths. Returns the measured
+// projected-gradient norm when wantNorm (NaN when the optimizer failed and
+// the dimension kept its parameters).
+func (m *Model) optimizeDim(i int, d *dimData, conf *conformity.Computer, initStep float64, wantNorm bool) float64 {
+	x0 := m.pack(i)
+	lower, upper := m.bounds(i)
+	obj := m.objective(d, conf)
+	res, err := infer.MaximizeProjected(x0, obj, infer.Options{
+		MaxIter: m.cfg.MStepIters,
+		Lower:   lower, Upper: upper,
+		InitStep: initStep, Tol: 1e-7,
+	})
+	if err != nil {
+		return math.NaN() // leave this dimension's parameters unchanged
+	}
+	// Damped update: the E-step's sampled trees make the objective a
+	// noisy target; blending iterates stabilizes the alternation.
+	damp := m.cfg.ParamDamping
+	for p := range res.X {
+		res.X[p] = damp*x0[p] + (1-damp)*res.X[p]
+	}
+	var grad []float64
+	if wantNorm {
+		// Projected-gradient evaluation at the accepted point: a pure
+		// extra call, the objective reads only its arguments.
+		grad = make([]float64, len(res.X))
+		obj(res.X, grad)
+	}
+	if hook := faultinject.MStepResult; hook != nil {
+		// Fault injection: the hook may poison the accepted parameters
+		// or the reported gradient at deterministic (iter, attempt, dim)
+		// coordinates; whatever it plants must be caught by the guard
+		// before it reaches the caller.
+		hook(m.curIter, m.curAttempt, i, res.X, grad)
+	}
+	m.unpack(i, res.X)
+	if !wantNorm {
+		return math.NaN()
+	}
+	// Components pinned at an active box bound (and pushing outward)
+	// carry no usable ascent direction, so they are excluded.
+	var ss float64
+	for p, g := range grad {
+		if (res.X[p] <= lower[p] && g < 0) || (res.X[p] >= upper[p] && g > 0) {
+			continue
+		}
+		ss += g * g
+	}
+	return math.Sqrt(ss)
 }

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"context"
+
+	"chassis/internal/conformity"
+	"chassis/internal/kernel"
+	"chassis/internal/parallel"
+	"chassis/internal/timeline"
+)
+
+// mstepBatchDims caps how many dimensions one batched M-step pass assembles
+// at a time. Each batch costs one chronological scan of the event stream plus
+// O(sources-in-batch) working memory, so the batch size trades scan count
+// against peak memory. (A variable only so tests can shrink it and force
+// multi-batch execution on small fixtures.)
+var mstepBatchDims = 2048
+
+// mstepBatchSrcEvents bounds the summed source-event footprint of one batch:
+// a dimension's working set is one srcEvent (32 bytes) per event of each of
+// its source users, and because the co-occurrence ranking picks the MOST
+// ACTIVE users as sources, the same hub users' event lists are duplicated
+// into nearly every dimension of a batch — on a hub-heavy corpus a fixed
+// 2048-dim batch can hold gigabytes while the dim cap alone predicts
+// megabytes. Packing batches against this budget (computed from exact
+// per-user event counts, one cheap extra scan) keeps the peak near
+// 32B * budget regardless of how skewed the activity distribution is.
+// Batch boundaries never change results — each dimension's data is
+// assembled and optimized independently (TestBatchBuilderMatchesPerDim and
+// the batch-span sweep in TestBatchedMStepMatchesPerDimOptimizer) — so this
+// is purely a memory knob. (A variable only so tests can exercise packing.)
+var mstepBatchSrcEvents = int64(4 << 20)
+
+// eventSource is the event stream a batched M-step scans: chronological
+// (time, user) pairs, re-scannable once per dimension batch. The in-memory
+// fit wraps the training sequence; the sharded fit wraps a colstore reader,
+// which is the whole point — the M-step only ever needs one pass of times
+// and users, never the corpus in memory.
+type eventSource interface {
+	horizon() float64
+	scan(fn func(t float64, user int)) error
+}
+
+// memEvents adapts an in-memory sequence to eventSource.
+type memEvents struct{ seq *timeline.Sequence }
+
+func (s memEvents) horizon() float64 { return s.seq.Horizon }
+
+func (s memEvents) scan(fn func(t float64, user int)) error {
+	for k := range s.seq.Activities {
+		a := &s.seq.Activities[k]
+		fn(a.Time, int(a.User))
+	}
+	return nil
+}
+
+// dimSrcRef marks that user j is a source for one batch slot.
+type dimSrcRef struct {
+	slot int32 // index into the batch's slot array
+	jIdx int32 // index into sources[slot's dim]
+}
+
+// slotState is one dimension's accumulation state during a batch scan.
+type slotState struct {
+	d       *dimData
+	ker     kernel.Kernel
+	support float64
+	start   int // prune cursor into d.src: first source inside the support window
+}
+
+// batchScratch holds the per-user indexes buildDimDataBatch needs, reused
+// across batches so an M-step allocates them once. Entries are reset to
+// their empty state after every batch.
+type batchScratch struct {
+	slotOf  []int32     // user -> batch slot, -1 outside the batch
+	srcRefs [][]dimSrcRef // user -> slots listing it as a source
+}
+
+func newBatchScratch(m int) *batchScratch {
+	s := &batchScratch{slotOf: make([]int32, m), srcRefs: make([][]dimSrcRef, m)}
+	for i := range s.slotOf {
+		s.slotOf[i] = -1
+	}
+	return s
+}
+
+// buildDimDataBatch assembles dimData for dimensions [lo, hi) with ONE
+// chronological scan of the event stream. The result is element-wise
+// identical to calling buildDimData per dimension (same source events, same
+// window entries, same kernel evaluations in the same order —
+// TestBatchBuilderMatchesPerDim pins this), so the optimizer sees the same
+// floats regardless of which builder ran.
+//
+// Per-slot source deques never rescan: a target window is d.src[start:] with
+// start advanced by the same `time < t − support` rule the per-dim builder
+// prunes with; since scan times are nondecreasing, pruned sources stay
+// prunable. Grid windows (nonlinear links) are out of scope — nonlinear fits
+// keep the per-dim builder.
+func (m *Model) buildDimDataBatch(src eventSource, conf *conformity.Computer, lo, hi int, scr *batchScratch) ([]*dimData, error) {
+	if scr == nil {
+		scr = newBatchScratch(m.M)
+	}
+	l := m.layout()
+	needAN := l.conformityAware && l.useNormative
+	T := src.horizon()
+	slots := make([]*slotState, hi-lo)
+	for i := lo; i < hi; i++ {
+		s := int32(i - lo)
+		scr.slotOf[i] = s
+		slots[s] = &slotState{
+			d:       &dimData{i: i, T: T},
+			ker:     m.Kernels[i],
+			support: m.Kernels[i].Support(),
+		}
+		for idx, j := range m.sources[i] {
+			scr.srcRefs[j] = append(scr.srcRefs[j], dimSrcRef{slot: s, jIdx: int32(idx)})
+		}
+	}
+
+	err := src.scan(func(t float64, j int) {
+		// Target window first: the per-dim builder only admits sources
+		// strictly before the target event, so an event that is both a
+		// target and a source contributes to later windows only.
+		if s := scr.slotOf[j]; s >= 0 {
+			st := slots[s]
+			sv := st.d.src
+			for st.start < len(sv) && sv[st.start].t < t-st.support {
+				st.start++
+			}
+			var win []winEntry
+			for e := st.start; e < len(sv); e++ {
+				dt := t - sv[e].t
+				if dt <= 0 {
+					continue
+				}
+				if phi := st.ker.Eval(dt); phi > 0 {
+					win = append(win, winEntry{src: int32(e), phi: phi})
+				}
+			}
+			st.d.targets = append(st.d.targets, win)
+		}
+		for _, ref := range scr.srcRefs[j] {
+			st := slots[ref.slot]
+			e := srcEvent{
+				j: int32(j), jIdx: ref.jIdx, t: t,
+				kInt: st.ker.Integral(T - t),
+			}
+			if needAN {
+				e.aN = conf.Normative(st.d.i, j, t)
+			}
+			st.d.src = append(st.d.src, e)
+		}
+	})
+	// Reset the shared per-user indexes before handling errors so a failed
+	// batch leaves the scratch clean for the next one.
+	for i := lo; i < hi; i++ {
+		scr.slotOf[i] = -1
+		for _, j := range m.sources[i] {
+			scr.srcRefs[j] = scr.srcRefs[j][:0]
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*dimData, hi-lo)
+	for s := range slots {
+		out[s] = slots[s].d
+	}
+	return out, nil
+}
+
+// mStepBatches is the linear-link M-step: dimensions are processed in fixed
+// batches, each assembled by one scan via buildDimDataBatch, then optimized
+// in parallel. Batches run sequentially, so peak memory is one batch of
+// dimData — the property the out-of-core sharded fit relies on — while the
+// per-dimension optimization stays deterministic at any worker count or
+// batch size.
+func (m *Model) mStepBatches(ctx context.Context, src eventSource, conf *conformity.Computer, initStep float64, norms []float64) error {
+	scr := newBatchScratch(m.M)
+	workers := parallel.Workers(m.cfg.Workers)
+	cost, err := m.dimSrcCosts(src)
+	if err != nil {
+		return err
+	}
+	for lo := 0; lo < m.M; {
+		hi := lo + 1
+		budget := cost[lo]
+		for hi < m.M && hi-lo < mstepBatchDims && budget+cost[hi] <= mstepBatchSrcEvents {
+			budget += cost[hi]
+			hi++
+		}
+		data, err := m.buildDimDataBatch(src, conf, lo, hi, scr)
+		if err != nil {
+			return err
+		}
+		err = parallel.DoContext(ctx, workers, hi-lo, func(bi int) error {
+			i := lo + bi
+			norm := m.optimizeDim(i, data[bi], conf, initStep, norms != nil)
+			if norms != nil {
+				norms[i] = norm
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		lo = hi
+	}
+	return nil
+}
+
+// dimSrcCosts counts, per dimension, how many source events its batch slot
+// will hold: the summed event counts of its source users (plus one so an
+// empty dimension still has positive cost and the packing loop advances).
+// One flat counting scan of the stream; exact, not an estimate.
+func (m *Model) dimSrcCosts(src eventSource) ([]int64, error) {
+	perUser := make([]int64, m.M)
+	if err := src.scan(func(_ float64, j int) { perUser[j]++ }); err != nil {
+		return nil, err
+	}
+	cost := make([]int64, m.M)
+	for i := range cost {
+		c := int64(1)
+		for _, j := range m.sources[i] {
+			c += perUser[j]
+		}
+		cost[i] = c
+	}
+	return cost, nil
+}

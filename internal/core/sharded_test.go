@@ -1,0 +1,237 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"chassis/internal/checkpoint"
+	"chassis/internal/colstore"
+	"chassis/internal/faultinject"
+	"chassis/internal/guard"
+	"chassis/internal/timeline"
+)
+
+// writeCorpusFile converts a sequence to a colstore file in uneven append
+// batches (so multi-batch writer paths run) and returns the path.
+func writeCorpusFile(t *testing.T, seq *timeline.Sequence, batch int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "corpus.colstore")
+	w, err := colstore.Create(path, colstore.Meta{Name: "unit", M: seq.M, Horizon: seq.Horizon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(seq.Activities); lo += batch {
+		hi := min(lo+batch, len(seq.Activities))
+		if err := w.Append(seq.Activities[lo:hi]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func openCorpus(t *testing.T, path string) *colstore.Reader {
+	t.Helper()
+	rd, err := colstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rd.Close() })
+	return rd
+}
+
+// shardableCfg is the supported-subset config the identity tests fit with.
+func shardableCfg() Config {
+	cfg := quickCfg(VariantLHP)
+	cfg.FixedKernel = true
+	return cfg
+}
+
+// TestShardedFitMatchesInMemory is the tentpole acceptance contract: the
+// out-of-core colstore fit produces a fingerprint-equal model (parameters
+// and forest bit-identical) to the in-memory fit of the same corpus, at
+// every worker count × shard size combination — shards of one scheduling
+// chunk, uneven multi-chunk shards, and one shard holding everything.
+func TestShardedFitMatchesInMemory(t *testing.T) {
+	forceSmallChunks(t, 48)
+	d := smallDataset(t, 41)
+	cfg := shardableCfg()
+
+	ref, err := Fit(d.Seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Fingerprint()
+
+	rd := openCorpus(t, writeCorpusFile(t, d.Seq, 57))
+	n := rd.NumEvents()
+	if n != d.Seq.Len() {
+		t.Fatalf("corpus holds %d events, sequence %d", n, d.Seq.Len())
+	}
+	for _, workers := range []int{1, 2, 8} {
+		for _, shard := range []int{1, 130, n} {
+			c := cfg
+			c.Workers = workers
+			c.ShardEvents = shard
+			m, err := FitSharded(context.Background(), rd, c)
+			if err != nil {
+				t.Fatalf("workers=%d shard=%d: %v", workers, shard, err)
+			}
+			if got := m.Fingerprint(); got != want {
+				t.Errorf("workers=%d shard=%d: fingerprint %s, in-memory %s", workers, shard, got, want)
+			}
+			for i := range ref.Mu {
+				if m.Mu[i] != ref.Mu[i] {
+					t.Fatalf("workers=%d shard=%d: Mu[%d] = %v, want %v", workers, shard, i, m.Mu[i], ref.Mu[i])
+				}
+			}
+			gotP, wantP := m.Forest.Parents(), ref.Forest.Parents()
+			for k := range wantP {
+				if gotP[k] != wantP[k] {
+					t.Fatalf("workers=%d shard=%d: parent[%d] = %d, want %d", workers, shard, k, gotP[k], wantP[k])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedFitExpKernel covers the parametric-exponential-kernel flavor of
+// the identity contract (the config the serve layer's fast paths want).
+func TestShardedFitExpKernel(t *testing.T) {
+	forceSmallChunks(t, 48)
+	d := smallDataset(t, 43)
+	cfg := quickCfg(VariantLHP)
+	cfg.ExpKernel = true
+
+	ref, err := Fit(d.Seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd := openCorpus(t, writeCorpusFile(t, d.Seq, 200))
+	c := cfg
+	c.ShardEvents = 100
+	c.Workers = 2
+	m, err := FitSharded(context.Background(), rd, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Fingerprint(), ref.Fingerprint(); got != want {
+		t.Errorf("exp-kernel sharded fingerprint %s, in-memory %s", got, want)
+	}
+}
+
+// TestShardedRejectsUnsupported pins the gate: every feature outside the
+// supported subset fails fast with *ShardedUnsupportedError instead of
+// fitting something silently different.
+func TestShardedRejectsUnsupported(t *testing.T) {
+	d := smallDataset(t, 44)
+	rd := openCorpus(t, writeCorpusFile(t, d.Seq, 500))
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"conformity", func(c *Config) { c.Variant = VariantL }},
+		{"nonlinear", func(c *Config) { c.Variant = VariantEHP }},
+		{"observed-trees", func(c *Config) { c.UseObservedTrees = true }},
+		{"track-history", func(c *Config) { c.TrackHistory = true }},
+		{"guard", func(c *Config) { c.Guard = guard.Policy{Enabled: true} }},
+		{"nonparametric-kernels", func(c *Config) { c.FixedKernel = false }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := shardableCfg()
+			tc.mut(&cfg)
+			_, err := FitSharded(context.Background(), rd, cfg)
+			var ue *ShardedUnsupportedError
+			if !errors.As(err, &ue) {
+				t.Fatalf("got %v, want *ShardedUnsupportedError", err)
+			}
+		})
+	}
+	if _, err := FitSharded(context.Background(), nil, shardableCfg()); err == nil {
+		t.Error("nil reader must fail")
+	}
+}
+
+// TestShardedCrashResume kills a checkpointing sharded fit mid-run and
+// resumes it — under a different worker count AND shard size — expecting the
+// final model to be fingerprint-equal to an uninterrupted run.
+func TestShardedCrashResume(t *testing.T) {
+	forceSmallChunks(t, 48)
+	d := smallDataset(t, 45)
+	cfg := shardableCfg()
+	rd := openCorpus(t, writeCorpusFile(t, d.Seq, 300))
+
+	base, err := FitSharded(context.Background(), rd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Fingerprint()
+
+	dir := t.TempDir()
+	cc := cfg
+	cc.CheckpointDir = dir
+	cc.CheckpointEvery = 1
+	cc.Workers = 2
+	cc.ShardEvents = 100
+	faultinject.CrashAfterIter = func(iter int) bool { return iter == 2 }
+	_, err = FitSharded(context.Background(), rd, cc)
+	faultinject.Reset()
+	if !errors.Is(err, faultinject.ErrInjectedCrash) {
+		t.Fatalf("crash-at-2 sharded fit: got %v, want ErrInjectedCrash", err)
+	}
+
+	cc.Resume = true
+	cc.Workers = 1
+	cc.ShardEvents = 1
+	m, err := FitSharded(context.Background(), rd, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Fingerprint(); got != want {
+		t.Errorf("resumed sharded fingerprint %s, uninterrupted %s", got, want)
+	}
+}
+
+// TestShardedRejectsForeignCheckpoint: a checkpoint written by the in-memory
+// driver (sequence-hash data fingerprint) must not be resumable by the
+// sharded driver (colstore footer fingerprint) — the hashes cover different
+// byte representations, so cross-resuming would skip the data guard.
+func TestShardedRejectsForeignCheckpoint(t *testing.T) {
+	d := smallDataset(t, 46)
+	dir := t.TempDir()
+	cfg := shardableCfg()
+	cfg.CheckpointDir = dir
+	cfg.CheckpointEvery = 1
+	if _, err := Fit(d.Seq, cfg); err != nil {
+		t.Fatal(err)
+	}
+	rd := openCorpus(t, writeCorpusFile(t, d.Seq, 500))
+	cfg.Resume = true
+	_, err := FitSharded(context.Background(), rd, cfg)
+	var mm *checkpoint.MismatchError
+	if !errors.As(err, &mm) || mm.Field != "data" {
+		t.Fatalf("got %v, want data MismatchError", err)
+	}
+}
+
+// TestShardedModelGuardsSequenceMethods: the sharded model carries no
+// training sequence; methods that re-read it must error, not panic.
+func TestShardedModelGuardsSequenceMethods(t *testing.T) {
+	d := smallDataset(t, 47)
+	rd := openCorpus(t, writeCorpusFile(t, d.Seq, 500))
+	m, err := FitSharded(context.Background(), rd, shardableCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.TrainLogLikelihood(); err == nil {
+		t.Error("TrainLogLikelihood on a sharded model must error")
+	}
+	if _, err := m.HeldOutLogLikelihood(d.Seq); err == nil {
+		t.Error("HeldOutLogLikelihood on a sharded model must error")
+	}
+}

@@ -1,0 +1,80 @@
+package dataio
+
+import (
+	"fmt"
+
+	"chassis/internal/cascade"
+	"chassis/internal/colstore"
+)
+
+// Colstore interchange: the binary columnar corpus format paper-scale
+// pipelines use in place of JSON. Small ground-truthed datasets round-trip
+// losslessly — the simulator's truth arrays ride in the footer meta — so
+// either format can feed any tool; corpora that only exist as streams
+// (cascade.GenerateStream) are colstore-only by construction.
+
+// SaveDatasetColstore writes the dataset as a colstore corpus. The sequence
+// must satisfy the writer's invariants (dense chronological IDs, earlier
+// parents), which every dataset produced by the generators or loaded
+// through ReadDataset already does.
+func SaveDatasetColstore(path string, d *cascade.Dataset) error {
+	w, err := colstore.Create(path, colstore.Meta{
+		Name: d.Name, M: d.Seq.M, Horizon: d.Seq.Horizon,
+		Influence: d.Influence, Opinions: d.Opinions, Conformity: d.Conformity,
+	})
+	if err != nil {
+		return err
+	}
+	// Append in bounded batches so writer buffering, not the corpus size,
+	// sets the flush cadence.
+	const batch = 8192
+	for lo := 0; lo < len(d.Seq.Activities); lo += batch {
+		hi := min(lo+batch, len(d.Seq.Activities))
+		if err := w.Append(d.Seq.Activities[lo:hi]); err != nil {
+			w.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// LoadDatasetColstore reads a colstore corpus into a fully materialized
+// dataset, restoring any ground-truth arrays from the footer meta. Use
+// colstore.Open directly for out-of-core access.
+func LoadDatasetColstore(path string) (*cascade.Dataset, error) {
+	rd, err := colstore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer rd.Close()
+	seq, err := rd.Sequence()
+	if err != nil {
+		return nil, err
+	}
+	if err := seq.Check(); err != nil {
+		return nil, fmt.Errorf("dataio: colstore dataset %q invalid: %w", rd.Meta().Name, err)
+	}
+	meta := rd.Meta()
+	return &cascade.Dataset{
+		Name: meta.Name, Seq: seq, Influence: meta.Influence,
+		Opinions: meta.Opinions, Conformity: meta.Conformity,
+	}, nil
+}
+
+// ConvertJSONToColstore rewrites a JSON dataset as a colstore corpus.
+func ConvertJSONToColstore(src, dst string) error {
+	d, err := LoadDataset(src)
+	if err != nil {
+		return err
+	}
+	return SaveDatasetColstore(dst, d)
+}
+
+// ConvertColstoreToJSON rewrites a colstore corpus as a JSON dataset.
+func ConvertColstoreToJSON(src, dst string) error {
+	d, err := LoadDatasetColstore(src)
+	if err != nil {
+		return err
+	}
+	return SaveDataset(dst, d)
+}

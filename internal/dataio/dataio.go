@@ -89,29 +89,98 @@ func ReadDatasetRepair(r io.Reader) (*cascade.Dataset, timeline.RepairReport, er
 	return d, rep, nil
 }
 
-// decodeDataset parses the wire form without validating the sequence.
+// decodeDataset parses the wire form without validating the sequence. The
+// activities array is decoded incrementally, one element at a time, so peak
+// memory is the final []timeline.Activity plus one wire-form activity —
+// never a second corpus-sized []activityJSON. Field order in the input does
+// not matter and unknown fields are skipped, as with a whole-value decode.
 func decodeDataset(r io.Reader) (*cascade.Dataset, error) {
-	var in datasetJSON
-	if err := json.NewDecoder(r).Decode(&in); err != nil {
+	dec := json.NewDecoder(r)
+	fail := func(err error) (*cascade.Dataset, error) {
 		return nil, fmt.Errorf("dataio: decoding dataset: %w", err)
 	}
-	seq := &timeline.Sequence{M: in.M, Horizon: in.Horizon}
-	seq.Activities = make([]timeline.Activity, len(in.Activities))
-	for i, a := range in.Activities {
+	tok, err := dec.Token()
+	if err != nil {
+		return fail(err)
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fail(fmt.Errorf("expected dataset object, got %v", tok))
+	}
+	out := &cascade.Dataset{}
+	seq := &timeline.Sequence{Activities: []timeline.Activity{}}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return fail(err)
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "name":
+			err = dec.Decode(&out.Name)
+		case "m":
+			err = dec.Decode(&seq.M)
+		case "horizon":
+			err = dec.Decode(&seq.Horizon)
+		case "activities":
+			seq.Activities, err = decodeActivities(dec)
+			if err != nil {
+				return nil, err // already wrapped with the activity index
+			}
+		case "influence":
+			err = dec.Decode(&out.Influence)
+		case "opinions":
+			err = dec.Decode(&out.Opinions)
+		case "conformity":
+			err = dec.Decode(&out.Conformity)
+		default:
+			var skip json.RawMessage
+			err = dec.Decode(&skip)
+		}
+		if err != nil {
+			return fail(err)
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return fail(err)
+	}
+	out.Seq = seq
+	return out, nil
+}
+
+// decodeActivities consumes one JSON array of wire-form activities element
+// by element. A JSON null is accepted as an empty array, matching the
+// whole-value decoder's treatment of "activities": null.
+func decodeActivities(dec *json.Decoder) ([]timeline.Activity, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("dataio: decoding dataset: %w", err)
+	}
+	if tok == nil {
+		return []timeline.Activity{}, nil
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '[' {
+		return nil, fmt.Errorf("dataio: decoding dataset: expected activities array, got %v", tok)
+	}
+	acts := []timeline.Activity{}
+	for i := 0; dec.More(); i++ {
+		var a activityJSON
+		if err := dec.Decode(&a); err != nil {
+			return nil, fmt.Errorf("dataio: decoding dataset: activity %d: %w", i, err)
+		}
 		kind, err := timeline.ParseKind(a.Kind)
 		if err != nil {
 			return nil, fmt.Errorf("dataio: activity %d: %w", i, err)
 		}
-		seq.Activities[i] = timeline.Activity{
+		acts = append(acts, timeline.Activity{
 			ID: timeline.ActivityID(a.ID), User: timeline.UserID(a.User),
 			Time: a.Time, Kind: kind, Text: a.Text, Polarity: a.Polarity,
 			Parent: timeline.ActivityID(a.Parent), Topic: a.Topic,
-		}
+		})
 	}
-	return &cascade.Dataset{
-		Name: in.Name, Seq: seq, Influence: in.Influence,
-		Opinions: in.Opinions, Conformity: in.Conformity,
-	}, nil
+	if _, err := dec.Token(); err != nil { // closing ']'
+		return nil, fmt.Errorf("dataio: decoding dataset: %w", err)
+	}
+	return acts, nil
 }
 
 // SaveDataset writes the dataset to a file.

@@ -100,11 +100,14 @@ func (w *IterJSONWriter) OnEStep(EStepStats) {}
 func (w *IterJSONWriter) OnMStep(MStepStats) {}
 
 // OnIterEnd implements FitObserver: append one snapshot line and flush it.
+// With a registry attached, memory gauges are refreshed first, so every
+// line carries the heap and peak-RSS state at that iteration boundary.
 func (w *IterJSONWriter) OnIterEnd(s IterStats) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	snap := iterSnapshot{IterStats: s}
 	if w.metrics != nil {
+		CaptureMemory(w.metrics)
 		ms := w.metrics.Snapshot()
 		snap.Metrics = &ms
 	}

@@ -1,0 +1,30 @@
+package obs
+
+import "runtime"
+
+// Memory gauges: one sampler shared by the CLIs' -metrics-json stream
+// (captured at every EM-iteration boundary by IterJSONWriter) and the serve
+// layer's /metrics endpoint (captured per scrape). The out-of-core fit's
+// acceptance criterion — peak resident memory well below the corpus size —
+// is read off mem_peak_rss_bytes.
+
+// CaptureMemory samples process memory into reg's gauges:
+//
+//	mem_heap_inuse_bytes  — bytes in in-use heap spans right now
+//	mem_heap_sys_bytes    — heap address space obtained from the OS
+//	mem_total_alloc_bytes — cumulative bytes allocated (monotone)
+//	mem_peak_rss_bytes    — kernel-reported peak resident set size
+//	                        (omitted where the platform cannot report it)
+func CaptureMemory(reg *Metrics) {
+	if reg == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	reg.Gauge("mem_heap_inuse_bytes").Set(float64(ms.HeapInuse))
+	reg.Gauge("mem_heap_sys_bytes").Set(float64(ms.HeapSys))
+	reg.Gauge("mem_total_alloc_bytes").Set(float64(ms.TotalAlloc))
+	if peak, ok := PeakRSSBytes(); ok {
+		reg.Gauge("mem_peak_rss_bytes").Set(float64(peak))
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !linux && !darwin
+
+package obs
+
+// PeakRSSBytes is unavailable on this platform; CaptureMemory omits the
+// mem_peak_rss_bytes gauge.
+func PeakRSSBytes() (int64, bool) { return 0, false }

@@ -1,0 +1,23 @@
+//go:build linux || darwin
+
+package obs
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// PeakRSSBytes returns the process's high-water resident set size as the
+// kernel accounts it (getrusage ru_maxrss), which tracks real page usage —
+// mmapped colstore pages included — rather than Go heap bookkeeping.
+func PeakRSSBytes() (int64, bool) {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0, false
+	}
+	peak := int64(ru.Maxrss)
+	if runtime.GOOS == "linux" {
+		peak *= 1024 // linux reports kilobytes; darwin reports bytes
+	}
+	return peak, true
+}

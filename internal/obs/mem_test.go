@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestCaptureMemory(t *testing.T) {
+	CaptureMemory(nil) // nil registry is a no-op, not a panic
+
+	reg := NewMetrics()
+	CaptureMemory(reg)
+	snap := reg.Snapshot()
+	for _, name := range []string{"mem_heap_inuse_bytes", "mem_heap_sys_bytes", "mem_total_alloc_bytes"} {
+		if v, ok := snap.Gauges[name]; !ok || v <= 0 {
+			t.Errorf("gauge %s = %g, %v; want positive", name, v, ok)
+		}
+	}
+	if runtime.GOOS == "linux" || runtime.GOOS == "darwin" {
+		peak, ok := PeakRSSBytes()
+		if !ok || peak <= 0 {
+			t.Fatalf("PeakRSSBytes = %d, %v on %s", peak, ok, runtime.GOOS)
+		}
+		if snap.Gauges["mem_peak_rss_bytes"] != float64(peak) && snap.Gauges["mem_peak_rss_bytes"] <= 0 {
+			t.Errorf("mem_peak_rss_bytes gauge missing: %v", snap.Gauges)
+		}
+		// The kernel high-water mark can only grow.
+		again, _ := PeakRSSBytes()
+		if again < peak {
+			t.Errorf("peak RSS shrank: %d -> %d", peak, again)
+		}
+		// Peak RSS bounds heap-in-use: the process's resident high-water
+		// mark cannot be below live heap pages.
+		if float64(peak) < snap.Gauges["mem_heap_inuse_bytes"] {
+			t.Errorf("peak RSS %d below heap in use %g", peak, snap.Gauges["mem_heap_inuse_bytes"])
+		}
+	}
+}
+
+// TestIterJSONWriterCapturesMemory: every -metrics-json line carries the
+// memory gauges when a registry is attached.
+func TestIterJSONWriterCapturesMemory(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "iters.jsonl")
+	w, err := NewIterJSONWriter(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Attach(NewMetrics())
+	w.OnIterEnd(IterStats{Iter: 1, Seconds: 0.5})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var line struct {
+		Metrics struct {
+			Gauges map[string]float64 `json:"gauges"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal(blob, &line); err != nil {
+		t.Fatal(err)
+	}
+	if line.Metrics.Gauges["mem_heap_inuse_bytes"] <= 0 {
+		t.Errorf("snapshot line missing memory gauges: %v", line.Metrics.Gauges)
+	}
+}

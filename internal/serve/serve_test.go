@@ -217,6 +217,8 @@ func TestReadyzAndMetrics(t *testing.T) {
 		"chassis_serve_next_requests 1",
 		"chassis_serve_next_latency_count 1",
 		"chassis_serve_dispatch_batches",
+		"chassis_mem_heap_inuse_bytes",
+		"chassis_mem_peak_rss_bytes",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics exposition missing %q in:\n%s", want, out)

@@ -615,9 +615,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics renders the registry in the Prometheus text exposition
 // format — the internal/obs snapshot the fit CLIs already report through,
-// plus the serve.* server instruments.
+// plus the serve.* server instruments. Memory gauges are refreshed per
+// scrape so heap and peak-RSS readings are current.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	obs.CaptureMemory(s.metrics)
 	if err := s.metrics.Snapshot().WriteText(w); err != nil {
 		s.logf("metrics scrape failed: %v", err)
 	}
