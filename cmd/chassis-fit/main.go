@@ -50,15 +50,16 @@ type fitFlags struct {
 	repair        bool
 	guard         bool
 	expKernel     bool
+	inferTrees    bool
 }
 
 func main() {
 	var f fitFlags
 	flag.StringVar(&f.in, "in", "", "input dataset (JSON or colstore from chassis-sim)")
 	flag.StringVar(&f.dataFormat, "data-format", "json", "input format: json or colstore (binary columnar corpus)")
-	flag.IntVar(&f.shardEvents, "shard-events", 0, "out-of-core fit: E-step shard size in events (0 = load the corpus in memory); requires -data-format colstore and -strategy L-HP, results are bit-identical at any setting")
+	flag.IntVar(&f.shardEvents, "shard-events", 0, "out-of-core fit: E-step shard size in events (0 = load the corpus in memory); requires -data-format colstore and -strategy L-HP or CHASSIS-L/LI/LN, results are bit-identical at any setting")
 	flag.StringVar(&f.strategy, "strategy", "CHASSIS-L", "strategy: "+strings.Join(experiments.AllStrategies, ", "))
-	flag.Float64Var(&f.split, "split", 0.7, "training fraction (0 < f < 1)")
+	flag.Float64Var(&f.split, "split", 0.7, "training fraction (0 < f < 1, or exactly 1 to train on the whole dataset with no held-out evaluation)")
 	flag.IntVar(&f.em, "em", 10, "EM iterations for the CHASSIS/HP family")
 	flag.Int64Var(&f.seed, "seed", 42, "random seed")
 	flag.IntVar(&f.workers, "workers", 0, "worker goroutines for the parallel fit (0 = all cores); results are identical at any setting")
@@ -70,6 +71,7 @@ func main() {
 	flag.BoolVar(&f.repair, "repair", false, "auto-repair dirty input (sort, dedup, neutralize non-finite polarities) instead of rejecting it")
 	flag.BoolVar(&f.guard, "guard", false, "enable numerical guardrails: roll back and retry with a smaller M-step on non-finite parameters, gradient explosions, or likelihood regressions")
 	flag.BoolVar(&f.expKernel, "expkernel", false, "fit with a fixed parametric exponential triggering kernel instead of the nonparametric grid; the saved model then serves the exponential fast path (CHASSIS/HP family)")
+	flag.BoolVar(&f.inferTrees, "infer-trees", false, "hide the dataset's connectivity from the fit, forcing diffusion-tree inference (the Table 1 setting; sharded fits always infer)")
 	obsFlags := cliobs.Register(flag.CommandLine)
 	version := cliobs.RegisterVersion(flag.CommandLine)
 	flag.Parse()
@@ -135,12 +137,17 @@ func run(sess *cliobs.Session, f fitFlags) error {
 	}
 	fmt.Printf("dataset %s: %d activities, %d users, horizon %.1f\n",
 		ds.Name, ds.Seq.Len(), ds.Seq.M, ds.Seq.Horizon)
-	train, test, err := ds.Seq.Split(split)
-	if err != nil {
-		return err
+	// -split 1 trains on the whole dataset with no held-out evaluation — the
+	// configuration whose fitted model is comparable (by fingerprint) with an
+	// out-of-core -shard-events fit of the same corpus.
+	train, test := ds.Seq, (*chassis.Sequence)(nil)
+	if split != 1 {
+		if train, test, err = ds.Seq.Split(split); err != nil {
+			return err
+		}
 	}
 	s, err := experiments.NewStrategy(strategy, experiments.FitOptions{
-		EMIters: em, Workers: workers,
+		EMIters: em, Workers: workers, InferTrees: f.inferTrees,
 		Observer: sess.Observer, Metrics: sess.Metrics,
 		CheckpointDir: f.ckptDir, CheckpointEvery: f.ckptEvery, Resume: f.resume,
 		Guard: guard.Policy{Enabled: f.guard}, ExpKernel: f.expKernel,
@@ -154,11 +161,18 @@ func run(sess *cliobs.Session, f fitFlags) error {
 	if n := sess.Snapshots(); n > 0 {
 		fmt.Printf("wrote %d iteration snapshots\n", n)
 	}
-	held, err := s.HeldOut(test)
-	if err != nil {
-		return err
+	if mp, ok := s.(experiments.ModelProvider); ok {
+		// The same digest FitSharded prints: the end-to-end identity check in
+		// CI diffs this line against the out-of-core fit's.
+		fmt.Printf("%s: fitted %s\n", strategy, mp.Model().Fingerprint())
 	}
-	fmt.Printf("%s: held-out LL = %.2f over %d test activities\n", strategy, held, test.Len())
+	var held float64
+	if test != nil {
+		if held, err = s.HeldOut(test); err != nil {
+			return err
+		}
+		fmt.Printf("%s: held-out LL = %.2f over %d test activities\n", strategy, held, test.Len())
+	}
 
 	if len(ds.Influence) > 0 {
 		inf, err := s.Influence()
@@ -222,17 +236,31 @@ func run(sess *cliobs.Session, f fitFlags) error {
 	return nil
 }
 
+// shardedStrategies maps the -strategy names the out-of-core driver accepts
+// to their core variants: the L-HP baseline plus the linear-link conformity
+// family (the conformity pair history is rebuilt per refresh from a
+// streaming colstore scan). Nonlinear links and nonparametric kernels stay
+// in-memory only.
+var shardedStrategies = map[string]core.Variant{
+	"L-HP":       core.VariantLHP,
+	"CHASSIS-L":  core.VariantL,
+	"CHASSIS-LI": core.VariantLI,
+	"CHASSIS-LN": core.VariantLN,
+}
+
 // runSharded is the out-of-core path: the corpus stays on disk and the
 // E-step walks it shard-by-shard, so peak memory is bounded by the shard
-// size rather than the corpus. Only the L-HP baseline (linear link, fixed or
-// parametric-exponential kernel) has a sharded driver; the result is
-// bit-identical to the in-memory fit at any -workers/-shard-events setting.
-// There is no train/test split — the whole corpus is training data and
-// held-out evaluation needs an in-memory sequence — so the tool reports the
-// model fingerprint and peak RSS instead of likelihoods.
+// size rather than the corpus. The L-HP baseline and the linear-link
+// conformity variants (CHASSIS-L/LI/LN, fixed or parametric-exponential
+// kernel) have sharded drivers; the result is bit-identical to the in-memory
+// fit at any -workers/-shard-events setting. There is no train/test split —
+// the whole corpus is training data and held-out evaluation needs an
+// in-memory sequence — so the tool reports the model fingerprint and peak
+// RSS instead of likelihoods.
 func runSharded(sess *cliobs.Session, f fitFlags) error {
-	if f.strategy != "L-HP" {
-		return fmt.Errorf("sharded fits support -strategy L-HP only (got %s): conformity-aware variants need per-pair history over the whole stream", f.strategy)
+	variant, ok := shardedStrategies[f.strategy]
+	if !ok {
+		return fmt.Errorf("sharded fits support -strategy L-HP, CHASSIS-L, CHASSIS-LI, or CHASSIS-LN (got %s): nonlinear links and nonparametric kernels need the full sequence in memory", f.strategy)
 	}
 	if f.guard {
 		return errors.New("sharded fits do not support -guard (its likelihood regression check needs the full sequence)")
@@ -253,7 +281,7 @@ func runSharded(sess *cliobs.Session, f fitFlags) error {
 		}
 	}
 	cfg := core.Config{
-		Variant: core.VariantLHP, EMIters: f.em, Seed: f.seed, Workers: f.workers,
+		Variant: variant, EMIters: f.em, Seed: f.seed, Workers: f.workers,
 		ShardEvents: f.shardEvents, FixedKernel: true, ExpKernel: f.expKernel,
 		CheckpointDir: f.ckptDir, CheckpointEvery: f.ckptEvery, Resume: f.resume,
 	}
@@ -293,7 +321,13 @@ func runSharded(sess *cliobs.Session, f fitFlags) error {
 	if f.out != "" {
 		summary := &dataio.ModelSummary{
 			Strategy: f.strategy, Dataset: rd.Meta().Name, M: rd.M(),
-			Mu: m.Mu, Influence: m.Alpha, Iterations: m.Iterations,
+			Mu: m.Mu, Iterations: m.Iterations,
+		}
+		if !variant.ConformityAware {
+			// The effective influence of a conformity variant averages time-
+			// varying excitation over the training events — an in-memory
+			// quantity; -savefull keeps the full parameters either way.
+			summary.Influence = m.Alpha
 		}
 		if err := dataio.SaveModel(f.out, summary); err != nil {
 			return err

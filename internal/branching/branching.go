@@ -15,9 +15,13 @@ import (
 	"chassis/internal/timeline"
 )
 
-// Forest is an immutable branching structure over n activities.
+// Forest is an immutable branching structure over n activities. Parents are
+// stored compactly as int32 (any negative value marks an immigrant; the
+// canonical sentinel is -1, matching timeline.NoParent), which halves the
+// resident size of streamed parent assignments — the only per-event state an
+// out-of-core E-step keeps across the whole corpus.
 type Forest struct {
-	parents  []timeline.ActivityID
+	parents  []int32
 	children [][]int32
 	roots    []int32
 	depth    []int32
@@ -30,20 +34,40 @@ type Forest struct {
 // immigrants). Parents must have smaller indices than their children —
 // the chronological property every valid branching structure satisfies.
 func FromParents(parents []timeline.ActivityID) (*Forest, error) {
+	compact := make([]int32, len(parents))
+	for i, p := range parents {
+		if p == timeline.NoParent {
+			compact[i] = -1
+		} else {
+			compact[i] = int32(p)
+		}
+	}
+	return FromParents32(compact)
+}
+
+// FromParents32 is FromParents over the compact int32 representation the
+// streamed (sharded) E-step fills: -1 marks immigrants. The slice is adopted,
+// not copied — the forest owns it afterwards (it also backs the level-0 LCA
+// lifting table), so the caller must not mutate it. Use FromParents when the
+// buffer is reused.
+func FromParents32(parents []int32) (*Forest, error) {
 	n := len(parents)
 	f := &Forest{
-		parents:  append([]timeline.ActivityID(nil), parents...),
+		parents:  parents,
 		children: make([][]int32, n),
 		depth:    make([]int32, n),
 		treeID:   make([]int32, n),
 	}
 	for i, p := range parents {
-		if p == timeline.NoParent {
+		if p < 0 {
+			if p != -1 {
+				return nil, fmt.Errorf("branching: node %d has out-of-range parent %d", i, p)
+			}
 			f.roots = append(f.roots, int32(i))
 			f.treeID[i] = int32(len(f.roots) - 1)
 			continue
 		}
-		if p < 0 || int(p) >= n {
+		if int(p) >= n {
 			return nil, fmt.Errorf("branching: node %d has out-of-range parent %d", i, p)
 		}
 		if int(p) >= i {
@@ -53,7 +77,8 @@ func FromParents(parents []timeline.ActivityID) (*Forest, error) {
 		f.depth[i] = f.depth[p] + 1
 		f.treeID[i] = f.treeID[p]
 	}
-	// Binary-lifting table for LCA queries.
+	// Binary-lifting table for LCA queries; the compact parent vector doubles
+	// as level 0 (immigrants are already -1).
 	maxDepth := int32(0)
 	for _, d := range f.depth {
 		if d > maxDepth {
@@ -62,15 +87,7 @@ func FromParents(parents []timeline.ActivityID) (*Forest, error) {
 	}
 	f.maxLog = bits.Len32(uint32(maxDepth)) + 1
 	f.up = make([][]int32, f.maxLog)
-	base := make([]int32, n)
-	for i, p := range parents {
-		if p == timeline.NoParent {
-			base[i] = -1
-		} else {
-			base[i] = int32(p)
-		}
-	}
-	f.up[0] = base
+	f.up[0] = parents
 	for l := 1; l < f.maxLog; l++ {
 		prev := f.up[l-1]
 		cur := make([]int32, n)
@@ -95,15 +112,19 @@ func FromSequence(seq *timeline.Sequence) (*Forest, error) {
 func (f *Forest) Len() int { return len(f.parents) }
 
 // Parent returns the parent of node i (NoParent for immigrants).
-func (f *Forest) Parent(i int) timeline.ActivityID { return f.parents[i] }
+func (f *Forest) Parent(i int) timeline.ActivityID { return timeline.ActivityID(f.parents[i]) }
 
 // Parents returns a copy of the full parent assignment.
 func (f *Forest) Parents() []timeline.ActivityID {
-	return append([]timeline.ActivityID(nil), f.parents...)
+	out := make([]timeline.ActivityID, len(f.parents))
+	for i, p := range f.parents {
+		out[i] = timeline.ActivityID(p)
+	}
+	return out
 }
 
 // IsImmigrant reports whether node i has no parent.
-func (f *Forest) IsImmigrant(i int) bool { return f.parents[i] == timeline.NoParent }
+func (f *Forest) IsImmigrant(i int) bool { return f.parents[i] < 0 }
 
 // Children returns the direct offspring of node i.
 func (f *Forest) Children(i int) []int {
@@ -210,7 +231,7 @@ func (f *Forest) PathToRoot(i int) []int {
 func (f *Forest) OffspringCountByUser(seq *timeline.Sequence) []int {
 	out := make([]int, seq.M)
 	for i := range f.parents {
-		if f.parents[i] != timeline.NoParent {
+		if f.parents[i] >= 0 {
 			out[seq.Activities[i].User]++
 		}
 	}
@@ -291,13 +312,13 @@ func CompareEdges(inferred, truth *Forest) (Score, error) {
 	var hit, inf, tru int
 	for i := 0; i < inferred.Len(); i++ {
 		pi, pt := inferred.parents[i], truth.parents[i]
-		if pi != timeline.NoParent {
+		if pi >= 0 {
 			inf++
 		}
-		if pt != timeline.NoParent {
+		if pt >= 0 {
 			tru++
 		}
-		if pi != timeline.NoParent && pi == pt {
+		if pi >= 0 && pi == pt {
 			hit++
 		}
 	}

@@ -349,6 +349,29 @@ func (r *Reader) Scan(lo, hi int, fn func(g int, t float64, user int)) error {
 	return nil
 }
 
+// ScanPolar is Scan extended with the polarity column — the three columns a
+// streamed conformity build consumes (conformity.Accumulator.Append), still
+// one zero-copy pass per block with everything else left on disk. Callback
+// order and event indexing are identical to Scan.
+func (r *Reader) ScanPolar(lo, hi int, fn func(g int, t float64, user int, polarity float64)) error {
+	if lo < 0 || hi > r.total || lo > hi {
+		return fmt.Errorf("colstore: scan range [%d,%d) outside corpus [0,%d)", lo, hi, r.total)
+	}
+	for g := lo; g < hi; {
+		bv := &r.blocks[r.blockOf(g)]
+		i := g - bv.lo
+		stop := bv.n
+		if bv.lo+stop > hi {
+			stop = hi - bv.lo
+		}
+		for ; i < stop; i++ {
+			fn(g, bv.times[i], int(bv.users[i]), bv.polar[i])
+			g++
+		}
+	}
+	return nil
+}
+
 // Materialize converts the [lo, hi) event window into activities, reusing
 // dst's backing array when it is large enough. IDs and parent links are
 // global event indices; with withParents false, parents are stripped to

@@ -1,0 +1,164 @@
+package conformity
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"chassis/internal/branching"
+	"chassis/internal/rng"
+	"chassis/internal/timeline"
+)
+
+// randomSeq builds a random polarity-annotated cascade sequence plus its
+// observed forest, the fixture for streamed-vs-in-memory identity checks.
+func randomSeq(seed int64, n, m int) (*timeline.Sequence, *branching.Forest, error) {
+	r := rng.New(seed)
+	np := timeline.NoParent
+	seq := &timeline.Sequence{M: m, Horizon: float64(n) + 2}
+	for i := 0; i < n; i++ {
+		parent := np
+		if i > 0 && r.Bernoulli(0.75) {
+			parent = timeline.ActivityID(r.Intn(i))
+		}
+		seq.Activities = append(seq.Activities, timeline.Activity{
+			ID: timeline.ActivityID(i), User: timeline.UserID(r.Intn(m)),
+			Time: float64(i) + r.Float64()*0.5, Polarity: r.Uniform(-1, 1),
+			Parent: parent,
+		})
+	}
+	f, err := branching.FromSequence(seq)
+	return seq, f, err
+}
+
+// TestAccumulatorMatchesNew: streaming the same events through an
+// Accumulator and finalizing against the same forest must produce a
+// Computer that answers every query bit-identically to New — the identity
+// the out-of-core sharded fit's fingerprint contract rests on.
+func TestAccumulatorMatchesNew(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		seq, f, err := randomSeq(seed, 90, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := New(seq, f, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc := NewAccumulator(seq.M, Options{})
+		for k := range seq.Activities {
+			a := &seq.Activities[k]
+			if err := acc.Append(a.Time, int(a.User), a.Polarity); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if acc.Len() != seq.Len() {
+			t.Fatalf("accumulator holds %d events, appended %d", acc.Len(), seq.Len())
+		}
+		got, err := acc.Finalize(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		wantPairs, gotPairs := want.ActivePairs(), got.ActivePairs()
+		if len(wantPairs) != len(gotPairs) {
+			t.Fatalf("seed %d: %d active pairs streamed, %d in-memory", seed, len(gotPairs), len(wantPairs))
+		}
+		for idx := range wantPairs {
+			if wantPairs[idx] != gotPairs[idx] {
+				t.Fatalf("seed %d: pair %d differs: %+v vs %+v", seed, idx, gotPairs[idx], wantPairs[idx])
+			}
+		}
+		r := rng.New(seed + 1000)
+		for trial := 0; trial < 200; trial++ {
+			i, j := r.Intn(seq.M), r.Intn(seq.M)
+			tm := r.Uniform(0, seq.Horizon)
+			beta := r.Uniform(0.01, 20)
+			ga, gd := got.InformationalGrad(i, j, tm, beta)
+			wa, wd := want.InformationalGrad(i, j, tm, beta)
+			for name, pair := range map[string][2]float64{
+				"informational":  {ga, wa},
+				"dBeta":          {gd, wd},
+				"normative":      {got.Normative(i, j, tm), want.Normative(i, j, tm)},
+				"context-stance": {got.ContextStance(i, j, tm), want.ContextStance(i, j, tm)},
+			} {
+				if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+					t.Fatalf("seed %d: %s(%d,%d,%g) = %g streamed, %g in-memory",
+						seed, name, i, j, tm, pair[0], pair[1])
+				}
+			}
+			if got.InteractionCount(i, j) != want.InteractionCount(i, j) {
+				t.Fatalf("seed %d: InteractionCount(%d,%d) differs", seed, i, j)
+			}
+		}
+	}
+}
+
+// TestAccumulatorOutOfOrder: a time regression must surface as
+// *OutOfOrderError, not silently desynchronize the columns from the forest.
+func TestAccumulatorOutOfOrder(t *testing.T) {
+	acc := NewAccumulator(2, Options{})
+	if err := acc.Append(1, 0, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Append(1, 1, -0.5); err != nil {
+		t.Fatalf("duplicate timestamp must be legal: %v", err)
+	}
+	err := acc.Append(0.5, 0, 0.1)
+	var oe *OutOfOrderError
+	if !errors.As(err, &oe) {
+		t.Fatalf("out-of-order append returned %v, want *OutOfOrderError", err)
+	}
+	if oe.Index != 2 || oe.Time != 0.5 || oe.Prev != 1 {
+		t.Fatalf("error fields %+v, want index 2, t=0.5, prev=1", oe)
+	}
+	if acc.Len() != 2 {
+		t.Fatalf("rejected append must not grow the columns: len %d", acc.Len())
+	}
+}
+
+// TestPairBudget: both construction paths enforce MaxActivePairs with the
+// typed overflow error at the same threshold, and a sufficient budget
+// changes nothing.
+func TestPairBudget(t *testing.T) {
+	seq, f, err := randomSeq(5, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := New(seq, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := len(full.ActivePairs())
+	if need < 3 {
+		t.Fatalf("fixture too small: %d pairs", need)
+	}
+
+	_, err = New(seq, f, Options{MaxActivePairs: need - 1})
+	var pe *PairBudgetError
+	if !errors.As(err, &pe) {
+		t.Fatalf("under-budget New returned %v, want *PairBudgetError", err)
+	}
+	if pe.Budget != need-1 {
+		t.Fatalf("budget in error = %d, want %d", pe.Budget, need-1)
+	}
+
+	acc := NewAccumulator(seq.M, Options{MaxActivePairs: need - 1})
+	for k := range seq.Activities {
+		a := &seq.Activities[k]
+		if err := acc.Append(a.Time, int(a.User), a.Polarity); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := acc.Finalize(f); !errors.As(err, &pe) {
+		t.Fatalf("under-budget Finalize returned %v, want *PairBudgetError", err)
+	}
+
+	ok, err := New(seq, f, Options{MaxActivePairs: need})
+	if err != nil {
+		t.Fatalf("exact budget must fit: %v", err)
+	}
+	if got := ok.Normative(1, 0, seq.Horizon); math.Float64bits(got) != math.Float64bits(full.Normative(1, 0, seq.Horizon)) {
+		t.Fatal("a sufficient budget must not change results")
+	}
+}

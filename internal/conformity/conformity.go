@@ -17,6 +17,11 @@
 // All quantities are time-varying; a Computer answers point-in-time queries
 // against prefix structures built once per (sequence, forest) pair, so the
 // EM loop can rebuild them cheaply after each E-step.
+//
+// Two construction paths feed the SAME column-based build, so they agree
+// bit-for-bit: New for an in-memory sequence, and Accumulator for streamed
+// corpora (the out-of-core sharded fit appends (time, user, polarity)
+// triples shard by shard, then finalizes against the iteration's forest).
 package conformity
 
 import (
@@ -36,6 +41,13 @@ type Options struct {
 	// (Scenario 1) pairs plus a deterministic stride sample of cross-path
 	// (Scenario 2) pairs. 0 means the default of 20000.
 	MaxTreePairs int
+	// MaxActivePairs bounds how many ordered (receiver, source) pairs a
+	// build may materialize — the working-set knob for out-of-core fits,
+	// where per-pair series are the only conformity state that grows with
+	// the corpus rather than with shard size. Exceeding the budget aborts
+	// the build with *PairBudgetError instead of silently dropping pairs
+	// (a dropped pair would change fitted parameters). 0 means unlimited.
+	MaxActivePairs int
 	// IncludeSelf also tracks a user's conformity to themselves. The paper
 	// pairs distinct individuals, so the default is false.
 	IncludeSelf bool
@@ -52,6 +64,25 @@ func (o *Options) fill() {
 	}
 }
 
+// PairBudgetError reports that a conformity build needed more ordered pairs
+// than Options.MaxActivePairs allows. The caller should either raise the
+// budget or shrink the pair support (e.g. a larger stride cap).
+type PairBudgetError struct{ Budget int }
+
+func (e *PairBudgetError) Error() string {
+	return fmt.Sprintf("conformity: active-pair budget of %d exceeded", e.Budget)
+}
+
+// OutOfOrderError reports a non-chronological append to an Accumulator.
+type OutOfOrderError struct {
+	Index      int     // position of the offending event
+	Time, Prev float64 // its time and the preceding event's time
+}
+
+func (e *OutOfOrderError) Error() string {
+	return fmt.Sprintf("conformity: event %d at t=%g precedes the previous event at t=%g", e.Index, e.Time, e.Prev)
+}
+
 type pairKey struct{ i, j int32 }
 
 // PairKey identifies an ordered (receiver, source) user pair with recorded
@@ -63,9 +94,14 @@ type pairData struct {
 	norm *series // cascade-level contributions: (x_j, y_i)
 }
 
-// Computer answers conformity queries for one (sequence, forest) pair.
+// Computer answers conformity queries for one (sequence, forest) pair. It
+// holds only the event columns (times, users, polarities) — never Activity
+// structs — so both the in-memory and the streamed build share it.
 type Computer struct {
-	seq    *timeline.Sequence
+	m      int
+	times  []float64
+	polar  []float64
+	users  []int32
 	forest *branching.Forest
 	opts   Options
 	pairs  map[pairKey]*pairData
@@ -80,56 +116,140 @@ func New(seq *timeline.Sequence, forest *branching.Forest, opts Options) (*Compu
 	if seq == nil || forest == nil {
 		return nil, errors.New("conformity: nil sequence or forest")
 	}
-	if forest.Len() != seq.Len() {
-		return nil, fmt.Errorf("conformity: forest covers %d nodes, sequence has %d", forest.Len(), seq.Len())
+	n := seq.Len()
+	times := make([]float64, n)
+	polar := make([]float64, n)
+	users := make([]int32, n)
+	for k := range seq.Activities {
+		a := &seq.Activities[k]
+		times[k] = a.Time
+		polar[k] = a.Polarity
+		users[k] = int32(a.User)
+	}
+	return fromColumns(seq.M, times, users, polar, forest, opts)
+}
+
+// fromColumns is the shared build entry: both New and Accumulator.Finalize
+// land here, which is what makes the streamed computer bit-identical to the
+// in-memory one.
+func fromColumns(m int, times []float64, users []int32, polar []float64, forest *branching.Forest, opts Options) (*Computer, error) {
+	if forest == nil {
+		return nil, errors.New("conformity: nil forest")
+	}
+	if forest.Len() != len(times) {
+		return nil, fmt.Errorf("conformity: forest covers %d nodes, sequence has %d", forest.Len(), len(times))
 	}
 	opts.fill()
 	c := &Computer{
-		seq:            seq,
+		m:              m,
+		times:          times,
+		polar:          polar,
+		users:          users,
 		forest:         forest,
 		opts:           opts,
 		pairs:          make(map[pairKey]*pairData),
-		offspringTimes: make([][]float64, seq.M),
+		offspringTimes: make([][]float64, m),
 	}
-	c.buildInformational()
-	c.buildNormative()
+	if err := c.buildInformational(); err != nil {
+		return nil, err
+	}
+	if err := c.buildNormative(); err != nil {
+		return nil, err
+	}
 	return c, nil
 }
 
-func (c *Computer) pair(i, j int32, create bool) *pairData {
+// Accumulator buffers a chronological stream of (time, user, polarity)
+// events — e.g. one colstore shard scan at a time — and finalizes into a
+// Computer once the iteration's parent assignments are known. Its memory is
+// three flat columns (20 bytes/event), the floor for conformity extraction:
+// normative pairs relate events arbitrarily far apart in time, so no online
+// build can discard history before the forest arrives.
+type Accumulator struct {
+	m     int
+	opts  Options
+	times []float64
+	users []int32
+	polar []float64
+}
+
+// NewAccumulator prepares a streamed conformity build over m users.
+func NewAccumulator(m int, opts Options) *Accumulator {
+	return &Accumulator{m: m, opts: opts}
+}
+
+// Append records one event. Events must arrive in nondecreasing time order
+// (the colstore write path already guarantees this); a violation returns
+// *OutOfOrderError, since a silently reordered stream would desynchronize
+// the columns from the forest's activity indexes.
+func (a *Accumulator) Append(t float64, user int, polarity float64) error {
+	if n := len(a.times); n > 0 && t < a.times[n-1] {
+		return &OutOfOrderError{Index: n, Time: t, Prev: a.times[n-1]}
+	}
+	a.times = append(a.times, t)
+	a.users = append(a.users, int32(user))
+	a.polar = append(a.polar, polarity)
+	return nil
+}
+
+// Len returns how many events have been appended.
+func (a *Accumulator) Len() int { return len(a.times) }
+
+// Finalize builds the Computer against the given forest, which must cover
+// exactly the appended events (activity index k = append order k). The
+// accumulator's columns are handed over, not copied; the accumulator can be
+// reused only after fresh Appends.
+func (a *Accumulator) Finalize(forest *branching.Forest) (*Computer, error) {
+	return fromColumns(a.m, a.times, a.users, a.polar, forest, a.opts)
+}
+
+// pair returns the series pair for (i, j), creating it when create is set.
+// Creation enforces Options.MaxActivePairs: the budget trips exactly when a
+// NEW pair would exceed it, identically in both construction paths.
+func (c *Computer) pair(i, j int32, create bool) (*pairData, error) {
 	k := pairKey{i, j}
 	p, ok := c.pairs[k]
 	if !ok && create {
+		if c.opts.MaxActivePairs > 0 && len(c.pairs) >= c.opts.MaxActivePairs {
+			return nil, &PairBudgetError{Budget: c.opts.MaxActivePairs}
+		}
 		p = &pairData{info: newSeries(), norm: newSeries()}
 		c.pairs[k] = p
 	}
-	return p
+	return p, nil
+}
+
+// query is the read-only pair lookup used by the point-in-time queries.
+func (c *Computer) query(i, j int) *pairData {
+	return c.pairs[pairKey{int32(i), int32(j)}]
 }
 
 // buildInformational walks parent-child pairs in chronological (index)
 // order, feeding both the per-pair interaction series and the per-user
 // offspring counters.
-func (c *Computer) buildInformational() {
-	acts := c.seq.Activities
-	for k := range acts {
+func (c *Computer) buildInformational() error {
+	for k := range c.times {
 		parent := c.forest.Parent(k)
 		if parent == timeline.NoParent {
 			continue
 		}
-		child := &acts[k]
-		i := int32(child.User)
-		c.offspringTimes[i] = append(c.offspringTimes[i], child.Time)
-		p := &acts[parent]
-		j := int32(p.User)
+		i := c.users[k]
+		c.offspringTimes[i] = append(c.offspringTimes[i], c.times[k])
+		j := c.users[parent]
 		if i == j && !c.opts.IncludeSelf {
 			continue
 		}
-		c.pair(i, j, true).info.add(child.Time, p.Polarity, child.Polarity)
+		p, err := c.pair(i, j, true)
+		if err != nil {
+			return err
+		}
+		p.info.add(c.times[k], c.polar[parent], c.polar[k])
 	}
 	// Activity order is chronological, but guard against ties reordering.
 	for i := range c.offspringTimes {
 		sort.Float64s(c.offspringTimes[i])
 	}
+	return nil
 }
 
 // normContribution is one (x, y) sample destined for a pair's normative
@@ -142,14 +262,35 @@ type normContribution struct {
 	lca  int32 // -1 for Scenario 1 (same path)
 }
 
+// corrOrSeed reads a Scenario-2 side accumulator: the Pearson correlation
+// once it holds two or more samples, and before that the sign agreement
+// sign(x·y) of the single contribution just added. Pearson is undefined for
+// one sample — PearsonAcc.Corr() returns 0 there, and feeding that 0 into
+// the series would permanently void every pair's FIRST cross-path
+// contribution as a (0, 0) sample diluting all later prefix correlations.
+// The sign-agreement seed is the same small-evidence fallback corrAt itself
+// uses, so a pair's normative stance is meaningful from its first
+// recalibrated sample on. (With ≥ 2 samples a zero-variance side still
+// reads 0 from Corr() — "no measurable stance" — unchanged.)
+func corrOrSeed(a *stats.PearsonAcc, x, y float64) float64 {
+	if a.N() >= 2 {
+		return a.Corr()
+	}
+	if p := x * y; p > 0 {
+		return 1
+	} else if p < 0 {
+		return -1
+	}
+	return 0
+}
+
 // buildNormative enumerates, per cascade, ordered activity pairs of
 // distinct users, splits them into Scenario 1 (ancestor) and Scenario 2
 // (cross-path, recalibrated through the LCA), sorts all contributions
 // globally by time, and streams them through running accumulators so each
 // pair's normative series grows chronologically — exactly the "scanning all
 // information cascades up to time t" procedure of Section 5.2.
-func (c *Computer) buildNormative() {
-	acts := c.seq.Activities
+func (c *Computer) buildNormative() error {
 	var contribs []normContribution
 	for treeID := 0; treeID < c.forest.NumTrees(); treeID++ {
 		nodes := c.forest.Tree(treeID)
@@ -165,14 +306,12 @@ func (c *Computer) buildNormative() {
 		count := 0
 		for b := 1; b < n; b++ {
 			e2 := nodes[b]
-			a2 := &acts[e2]
 			for a := 0; a < b; a++ {
 				e1 := nodes[a]
-				a1 := &acts[e1]
-				if a1.User == a2.User && !c.opts.IncludeSelf {
+				if c.users[e1] == c.users[e2] && !c.opts.IncludeSelf {
 					continue
 				}
-				if a1.Time >= a2.Time {
+				if c.times[e1] >= c.times[e2] {
 					continue
 				}
 				isAncestor := c.forest.IsAncestor(e1, e2)
@@ -189,7 +328,7 @@ func (c *Computer) buildNormative() {
 					}
 				}
 				nc := normContribution{
-					t: a2.Time, i: int32(a2.User), j: int32(a1.User),
+					t: c.times[e2], i: c.users[e2], j: c.users[e1],
 					e1: int32(e1), e2: int32(e2), lca: -1,
 				}
 				if !isAncestor {
@@ -215,21 +354,25 @@ func (c *Computer) buildNormative() {
 		return a
 	}
 	for _, nc := range contribs {
-		p := c.pair(nc.i, nc.j, true)
+		p, err := c.pair(nc.i, nc.j, true)
+		if err != nil {
+			return err
+		}
 		if nc.lca < 0 {
 			// Scenario 1: direct polarity pair.
-			p.norm.add(nc.t, acts[nc.e1].Polarity, acts[nc.e2].Polarity)
+			p.norm.add(nc.t, c.polar[nc.e1], c.polar[nc.e2])
 			continue
 		}
 		// Scenario 2: recalibrate through the LCA.
 		k := accKey{nc.i, nc.j}
-		lcaPol := acts[nc.lca].Polarity
+		lcaPol := c.polar[nc.lca]
 		aj := getAcc(qj, k)
 		ai := getAcc(qi, k)
-		aj.Add(acts[nc.e1].Polarity, lcaPol)
-		ai.Add(acts[nc.e2].Polarity, lcaPol)
-		p.norm.add(nc.t, aj.Corr(), ai.Corr())
+		aj.Add(c.polar[nc.e1], lcaPol)
+		ai.Add(c.polar[nc.e2], lcaPol)
+		p.norm.add(nc.t, corrOrSeed(aj, c.polar[nc.e1], lcaPol), corrOrSeed(ai, c.polar[nc.e2], lcaPol))
 	}
+	return nil
 }
 
 // offspringCountAt returns ℕᵢ(t): user i's offspring activities up to t.
@@ -257,7 +400,7 @@ func (c *Computer) InfluenceDegree(i, j int, t, beta float64) float64 {
 
 // InfluenceDegreeGrad returns Φᵢⱼ(t) and ∂Φᵢⱼ(t)/∂β.
 func (c *Computer) InfluenceDegreeGrad(i, j int, t, beta float64) (phi, dBeta float64) {
-	p := c.pair(int32(i), int32(j), false)
+	p := c.query(i, j)
 	if p == nil || p.info.len() == 0 {
 		return 0, 0
 	}
@@ -273,7 +416,7 @@ func (c *Computer) InfluenceDegreeGrad(i, j int, t, beta float64) (phi, dBeta fl
 // ContextStance returns Ψᵢⱼ(t): the Pearson correlation of polarities over
 // the j→i parent-child interactions up to t, in [-1, 1].
 func (c *Computer) ContextStance(i, j int, t float64) float64 {
-	p := c.pair(int32(i), int32(j), false)
+	p := c.query(i, j)
 	if p == nil {
 		return 0
 	}
@@ -292,9 +435,49 @@ func (c *Computer) InformationalGrad(i, j int, t, beta float64) (alpha, dBeta fl
 	return phi * psi, dphi * psi
 }
 
+// GradCursor sweeps αᴵᵢⱼ(t) and its β-derivative at nondecreasing query
+// times for one fixed (i, j, β), consuming each interaction sample once
+// across the sweep — the linear-time replacement for calling
+// InformationalGrad per source event inside the M-step objective, and
+// bit-identical to it at every query point (the decay recursion's state
+// does not depend on where queries fall between samples).
+type GradCursor struct {
+	c   *Computer
+	p   *pairData
+	i   int
+	cur decayCursor
+}
+
+// InformationalCursor starts a monotone αᴵᵢⱼ sweep at decay rate beta.
+func (c *Computer) InformationalCursor(i, j int, beta float64) GradCursor {
+	g := GradCursor{c: c, i: i}
+	if p := c.query(i, j); p != nil && p.info.len() > 0 {
+		g.p = p
+		g.cur = p.info.cursor(beta)
+	}
+	return g
+}
+
+// At returns αᴵᵢⱼ(t) and ∂αᴵᵢⱼ(t)/∂β. Query times must be nondecreasing
+// across calls on one cursor.
+func (g *GradCursor) At(t float64) (alpha, dBeta float64) {
+	if g.p == nil {
+		return 0, 0
+	}
+	n := g.c.offspringCountAt(g.i, t)
+	if n == 0 {
+		return 0, 0
+	}
+	sum, dsum := g.cur.at(t)
+	inv := 1 / float64(n)
+	phi, dphi := sum*inv, dsum*inv
+	psi := g.p.info.corrAt(t)
+	return phi * psi, dphi * psi
+}
+
 // Normative returns αᴺᵢⱼ(t) of Eq. 5.2.
 func (c *Computer) Normative(i, j int, t float64) float64 {
-	p := c.pair(int32(i), int32(j), false)
+	p := c.query(i, j)
 	if p == nil {
 		return 0
 	}
@@ -304,7 +487,7 @@ func (c *Computer) Normative(i, j int, t float64) float64 {
 // InteractionCount returns how many parent-child interactions j→i exist in
 // the whole window (the size of N_ij(T)).
 func (c *Computer) InteractionCount(i, j int) int {
-	p := c.pair(int32(i), int32(j), false)
+	p := c.query(i, j)
 	if p == nil {
 		return 0
 	}

@@ -206,14 +206,53 @@ func TestNormativeScenario2UsesLCA(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Pair (2,1): cross-path contributions at t=3 and t=12 (Scenario 2).
-	// After the second contribution both q-series hold two aligned points,
-	// so the recalibrated correlations are +1/+1 → the final normative
-	// series is ((0,0) then (1,1)): Pearson 1, sign agreements (0, +1) →
-	// 0.5, blended (2·1 + 3·0.5)/5 = 0.7.
+	// The first contribution's q-series hold one sample each, so both sides
+	// read their sign-agreement seed: sign(0.8·0.9) = sign(0.7·0.9) = +1 →
+	// (1, 1). (Before the seed rule, a 1-sample Pearson read 0 and the first
+	// cross-path contribution of every pair was voided to (0, 0).) After the
+	// second contribution both q-series hold two aligned points, so the
+	// recalibrated correlations are +1/+1 → the normative series is
+	// ((1,1), (1,1)): zero variance on both sides, so corrAt falls back to
+	// the mean sign agreement (1 + 1)/2 = 1.
 	got := c.Normative(2, 1, 20)
-	approx(t, got, 0.7, 1e-9, "Scenario-2 αN(2,1)")
-	// Prefix before the second cascade: single (0,0) sample → 0.
-	approx(t, c.Normative(2, 1, 5), 0, 0, "Scenario-2 prefix")
+	approx(t, got, 1, 1e-9, "Scenario-2 αN(2,1)")
+	// Prefix after the first cascade: the single seeded (1, 1) sample —
+	// agreeing stance from the first recalibrated observation on.
+	approx(t, c.Normative(2, 1, 5), 1, 1e-12, "Scenario-2 prefix")
+}
+
+// TestScenario2FirstContributionNotVoided is the regression pin for the
+// 1-sample recalibration bug: Scenario-2 used to feed PearsonAcc.Corr() of a
+// single-sample accumulator (which reads 0) into series.add, landing every
+// pair's FIRST cross-path contribution as a degenerate (0, 0) sample that
+// diluted all later prefix correlations. The fix seeds 1-sample reads with
+// the contribution's sign agreement instead.
+func TestScenario2FirstContributionNotVoided(t *testing.T) {
+	// One root with two branches by different users: exactly one Scenario-2
+	// contribution exists, so its sample IS the pair's whole normative
+	// series.
+	np := timeline.NoParent
+	seq := &timeline.Sequence{M: 3, Horizon: 10}
+	seq.Activities = []timeline.Activity{
+		{ID: 0, User: 0, Time: 1, Polarity: 0.9, Parent: np},
+		{ID: 1, User: 1, Time: 2, Polarity: 0.8, Parent: 0},
+		{ID: 2, User: 2, Time: 3, Polarity: -0.7, Parent: 0},
+	}
+	f, err := branching.FromSequence(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(seq, f, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pair (2,1): e1 = a1 (0.8 vs LCA 0.9 → agree, +1), e2 = a2 (−0.7 vs
+	// 0.9 → disagree, −1). Single (+1, −1) sample → sign agreement −1.
+	approx(t, c.Normative(2, 1, 10), -1, 1e-12, "first Scenario-2 sample")
+	// The buggy behavior read 0 here (a voided (0,0) sample).
+	if c.Normative(2, 1, 10) == 0 {
+		t.Fatal("first cross-path contribution was voided to (0,0)")
+	}
 }
 
 func TestActivePairs(t *testing.T) {

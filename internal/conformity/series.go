@@ -98,16 +98,69 @@ func (s *series) corrAt(t float64) float64 {
 // len returns the total number of samples.
 func (s *series) len() int { return len(s.times) }
 
+// decayCursor incrementally evaluates Σ_{times[k] ≤ t} e^{−β(t−times[k])}
+// and its β-derivative for ONE fixed β at nondecreasing query times, via the
+// exponential recursion (the same trick as internal/hawkes/fastpath.go):
+//
+//	A_k = A_{k−1}·e^{−βΔ} + 1,   B_k = e^{−βΔ}·(B_{k−1} + Δ·A_{k−1}),
+//
+// with Δ = t_k − t_{k−1}, so a query at t ≥ t_k needs only δ = t − t_k:
+//
+//	sum = A_k·e^{−βδ},   dSum/dβ = −(B_k + δ·A_k)·e^{−βδ}.
+//
+// Each sample is consumed once across the cursor's lifetime, so a monotone
+// sweep of q queries over a k-sample series costs O(k + q) instead of the
+// naive rescan's O(k·q) — the difference between a linear and a quadratic
+// M-step β-gradient over a pair's history. Querying never mutates the
+// recursion state, so interleaving queries with sample consumption yields
+// bit-identical floats to a one-shot evaluation at the final time.
+type decayCursor struct {
+	s    *series
+	beta float64
+	idx  int     // samples consumed so far
+	a    float64 // A_k: decayed count at the last consumed sample
+	b    float64 // B_k: decayed age sum at the last consumed sample
+	last float64 // time of the last consumed sample
+}
+
+// cursor starts a monotone decay-sum sweep at the given decay rate.
+func (s *series) cursor(beta float64) decayCursor {
+	return decayCursor{s: s, beta: beta}
+}
+
+// at returns the decayed sum and its β-derivative at time t. Query times
+// must be nondecreasing across calls; samples with time ≤ t are consumed
+// (the tie rule matches countAt's Nextafter upper bound: a sample exactly at
+// t counts, with e^0 = 1).
+func (c *decayCursor) at(t float64) (sum, dBeta float64) {
+	ts := c.s.times
+	for c.idx < len(ts) && ts[c.idx] <= t {
+		tk := ts[c.idx]
+		if c.idx == 0 {
+			c.a, c.b = 1, 0
+		} else {
+			dt := tk - c.last
+			e := math.Exp(-c.beta * dt)
+			c.b = e * (c.b + dt*c.a)
+			c.a = c.a*e + 1
+		}
+		c.last = tk
+		c.idx++
+	}
+	if c.idx == 0 {
+		return 0, 0
+	}
+	delta := t - c.last
+	e := math.Exp(-c.beta * delta)
+	return c.a * e, -(c.b + delta*c.a) * e
+}
+
 // decaySumAt returns Σ_{times[k] ≤ t} e^{−β(t−times[k])} and its derivative
 // with respect to β, −Σ (t−times[k])·e^{−β(t−times[k])} — the numerator of
 // the influence degree Φ (Eq. 5.1) and what the M-step's β-gradient needs.
+// One-shot wrapper over the recursion cursor; callers issuing many queries
+// at the same β should hold a cursor instead.
 func (s *series) decaySumAt(t, beta float64) (sum, dBeta float64) {
-	k := s.countAt(t)
-	for idx := 0; idx < k; idx++ {
-		dt := t - s.times[idx]
-		e := math.Exp(-beta * dt)
-		sum += e
-		dBeta -= dt * e
-	}
-	return sum, dBeta
+	c := s.cursor(beta)
+	return c.at(t)
 }

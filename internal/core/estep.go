@@ -54,7 +54,7 @@ func windowStartIn(win []timeline.Activity, off int, t float64) int {
 func (m *Model) bootstrapForest(ctx context.Context, seq *timeline.Sequence) (*branching.Forest, error) {
 	base := rng.New(m.cfg.Seed).Split(101)
 	n := seq.Len()
-	parents := make([]timeline.ActivityID, n)
+	parents := make([]int32, n)
 	workers := parallel.Workers(m.cfg.Workers)
 	err := parallel.ForEachChunkContext(ctx, workers, n, estepChunkSize, func(c parallel.Range) error {
 		r := base.Split(int64(c.Index) + 1)
@@ -64,7 +64,7 @@ func (m *Model) bootstrapForest(ctx context.Context, seq *timeline.Sequence) (*b
 	if err != nil {
 		return nil, err
 	}
-	return branching.FromParents(parents)
+	return branching.FromParents32(parents)
 }
 
 // bootstrapChunk is the bootstrap's chunk body, shared between the in-memory
@@ -74,7 +74,7 @@ func (m *Model) bootstrapForest(ctx context.Context, seq *timeline.Sequence) (*b
 // window, the parents slots — are global; win is only the storage they are
 // read through. Keeping one body guarantees both fits perform the identical
 // float operations in the identical order on the identical RNG stream.
-func (m *Model) bootstrapChunk(win []timeline.Activity, off int, c parallel.Range, r *rng.RNG, parents []timeline.ActivityID) {
+func (m *Model) bootstrapChunk(win []timeline.Activity, off int, c parallel.Range, r *rng.RNG, parents []int32) {
 	ker := m.Kernels[0]
 	support := ker.Support()
 	hi := off + len(win)
@@ -90,7 +90,7 @@ func (m *Model) bootstrapChunk(win []timeline.Activity, off int, c parallel.Rang
 	}()
 	lo := windowStartIn(win, off, win[c.Lo-off].Time-support)
 	for k := c.Lo; k < c.Hi; k++ {
-		parents[k] = timeline.NoParent
+		parents[k] = -1
 		ak := &win[k-off]
 		for lo < hi && win[lo-off].Time < ak.Time-support {
 			lo++
@@ -114,7 +114,7 @@ func (m *Model) bootstrapChunk(win []timeline.Activity, off int, c parallel.Rang
 			}
 		}
 		if pick := r.Categorical(weights); pick > 0 {
-			parents[k] = timeline.ActivityID(cands[pick-1])
+			parents[k] = int32(cands[pick-1])
 		}
 	}
 }
@@ -165,7 +165,7 @@ func (m *Model) eStepMode(ctx context.Context, seq *timeline.Sequence, conf *con
 	base := rng.New(m.cfg.Seed).Split(211 + int64(m.estepCalls))
 	exc := excitation{m: m, conf: conf}
 	n := seq.Len()
-	parents := make([]timeline.ActivityID, n)
+	parents := make([]int32, n)
 	maxSupport := 0.0
 	for _, ker := range m.Kernels {
 		if s := ker.Support(); s > maxSupport {
@@ -201,7 +201,7 @@ func (m *Model) eStepMode(ctx context.Context, seq *timeline.Sequence, conf *con
 			stats.entropy = sum / float64(cnt)
 		}
 	}
-	return branching.FromParents(parents)
+	return branching.FromParents32(parents)
 }
 
 // eStepChunk is the E-step's chunk body, shared between the in-memory fit
@@ -213,7 +213,7 @@ func (m *Model) eStepMode(ctx context.Context, seq *timeline.Sequence, conf *con
 // boundary changes which storage the floats are read from, never which
 // floats are read or in what order. That shared-body discipline is the
 // bit-identity argument for the out-of-core fit (DESIGN.md §15).
-func (m *Model) eStepChunk(win []timeline.Activity, off int, c parallel.Range, r *rng.RNG, exc excitation, maxSupport float64, mapMode bool, prev *branching.Forest, parents []timeline.ActivityID, entSum []float64, entCnt []int) {
+func (m *Model) eStepChunk(win []timeline.Activity, off int, c parallel.Range, r *rng.RNG, exc excitation, maxSupport float64, mapMode bool, prev *branching.Forest, parents []int32, entSum []float64, entCnt []int) {
 	hi := off + len(win)
 	// Pooled per-chunk scratch; see bootstrapChunk.
 	weights := scratch.Floats(0)
@@ -226,10 +226,10 @@ func (m *Model) eStepChunk(win []timeline.Activity, off int, c parallel.Range, r
 	}()
 	lo := windowStartIn(win, off, win[c.Lo-off].Time-maxSupport)
 	for k := c.Lo; k < c.Hi; k++ {
-		parents[k] = timeline.NoParent
+		parents[k] = -1
 		ak := &win[k-off]
 		if prev != nil && r.Bernoulli(0.5) {
-			parents[k] = prev.Parent(k)
+			parents[k] = int32(prev.Parent(k)) // NoParent == -1 passes through
 			continue
 		}
 		i := int(ak.User)
@@ -310,7 +310,7 @@ func (m *Model) eStepChunk(win []timeline.Activity, off int, c parallel.Range, r
 			pick = r.Categorical(weights)
 		}
 		if pick > 0 {
-			parents[k] = timeline.ActivityID(cands[pick-1])
+			parents[k] = int32(cands[pick-1])
 		}
 	}
 }

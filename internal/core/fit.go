@@ -627,18 +627,29 @@ func supportFromTimes(times []float64, horizon float64) float64 {
 // filled from the temporal co-occurrence ranking so newly-forming pairs can
 // still be picked up.
 func forestSources(seq *timeline.Sequence, forest *branching.Forest, coocc [][]int) [][]int {
-	m := seq.M
+	users := make([]uint32, seq.Len())
+	for k := range seq.Activities {
+		users[k] = uint32(seq.Activities[k].User)
+	}
+	return forestSourcesFromCols(users, seq.M, forest, coocc)
+}
+
+// forestSourcesFromCols is forestSources over a bare user column — the form
+// the sharded driver feeds straight from its flat columns. One ranking body
+// for both drivers keeps the conformity pair support (and the initParams RNG
+// consumption that follows it) bit-identical between them.
+func forestSourcesFromCols(users []uint32, m int, forest *branching.Forest, coocc [][]int) [][]int {
 	counts := make([]map[int]int, m)
 	for i := range counts {
 		counts[i] = make(map[int]int)
 	}
-	for k := range seq.Activities {
+	for k := range users {
 		p := forest.Parent(k)
 		if p == timeline.NoParent {
 			continue
 		}
-		i := int(seq.Activities[k].User)
-		j := int(seq.Activities[p].User)
+		i := int(users[k])
+		j := int(users[p])
 		if i != j {
 			counts[i][j]++
 		}

@@ -263,9 +263,25 @@ func (m *Model) objective(d *dimData, conf *conformity.Computer) infer.Objective
 	aI := make([]float64, len(d.src))   // αᴵ at the source event (current β)
 	daI := make([]float64, len(d.src))  // ∂αᴵ/∂β
 	clamped := make([]bool, len(d.src)) // linear-link zero-clamp mask
+	srcs := m.sources[d.i]
+	var curs []conformity.GradCursor
+	if l.useInformational {
+		curs = make([]conformity.GradCursor, len(srcs))
+	}
 
 	return func(x, grad []float64) float64 {
 		mu := x[0]
+		if l.useInformational {
+			// One monotone αᴵ cursor per source slot: β is fixed for the
+			// whole evaluation and d.src is chronological, so each pair's
+			// interaction history is consumed once per objective call —
+			// O(history + events) — instead of rescanned per source event.
+			// The cursor is bit-identical to InformationalGrad at every
+			// query point, so the fitted floats don't depend on this path.
+			for s, j := range srcs {
+				curs[s] = conf.InformationalCursor(d.i, j, x[l.betaIdx(s)])
+			}
+		}
 		// Refresh per-source-event weights under the current parameters.
 		for idx := range d.src {
 			e := &d.src[idx]
@@ -275,8 +291,7 @@ func (m *Model) objective(d *dimData, conf *conformity.Computer) infer.Objective
 				wt = x[l.alphaIdx(int(e.jIdx))]
 			} else {
 				if l.useInformational {
-					beta := x[l.betaIdx(int(e.jIdx))]
-					ai, dai := conf.InformationalGrad(d.i, int(e.j), e.t, beta)
+					ai, dai := curs[e.jIdx].At(e.t)
 					aI[idx], daI[idx] = ai, dai
 					wt += x[l.gammaIIdx(int(e.jIdx))] * ai
 				}

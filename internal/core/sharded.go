@@ -11,6 +11,7 @@ import (
 
 	"chassis/internal/branching"
 	"chassis/internal/colstore"
+	"chassis/internal/conformity"
 	"chassis/internal/faultinject"
 	"chassis/internal/hawkes"
 	"chassis/internal/kernel"
@@ -141,7 +142,7 @@ func (c colEvents) scan(fn func(t float64, user int)) error {
 // same chunk body — only the storage the chunks read through changes.
 func (m *Model) bootstrapForestSharded(ctx context.Context, sh *shardSource) (*branching.Forest, error) {
 	base := rng.New(m.cfg.Seed).Split(101)
-	parents := make([]timeline.ActivityID, len(sh.times))
+	parents := make([]int32, len(sh.times))
 	workers := parallel.Workers(m.cfg.Workers)
 	support := m.Kernels[0].Support()
 	err := sh.forEachShard(support, func(win []timeline.Activity, off int, chunks []parallel.Range) error {
@@ -155,19 +156,22 @@ func (m *Model) bootstrapForestSharded(ctx context.Context, sh *shardSource) (*b
 	if err != nil {
 		return nil, err
 	}
-	return branching.FromParents(parents)
+	return branching.FromParents32(parents)
 }
 
 // eStepSharded is eStepMode driven shard-by-shard. The per-chunk RNG
 // streams, entropy accumulators, and parents slots are all indexed by global
 // chunk/event position, so the inferred forest — and the reported entropy —
 // are bit-identical to the in-memory pass at any worker count and shard
-// size.
-func (m *Model) eStepSharded(ctx context.Context, sh *shardSource, mapMode bool, prev *branching.Forest, stats *estepStats) (*branching.Forest, error) {
+// size. conf is the iteration's frozen conformity snapshot (nil for the
+// baseline variants); the excitation it parameterizes is queried by
+// (receiver, source, time) only, which is why the shard windows never need
+// polarity columns.
+func (m *Model) eStepSharded(ctx context.Context, sh *shardSource, conf *conformity.Computer, mapMode bool, prev *branching.Forest, stats *estepStats) (*branching.Forest, error) {
 	m.estepCalls++
 	base := rng.New(m.cfg.Seed).Split(211 + int64(m.estepCalls))
-	exc := excitation{m: m}
-	parents := make([]timeline.ActivityID, len(sh.times))
+	exc := excitation{m: m, conf: conf}
+	parents := make([]int32, len(sh.times))
 	maxSupport := 0.0
 	for _, ker := range m.Kernels {
 		if s := ker.Support(); s > maxSupport {
@@ -205,7 +209,7 @@ func (m *Model) eStepSharded(ctx context.Context, sh *shardSource, mapMode bool,
 			stats.entropy = sum / float64(cnt)
 		}
 	}
-	return branching.FromParents(parents)
+	return branching.FromParents32(parents)
 }
 
 // FitSharded runs the EM fit out-of-core against a colstore corpus: the
@@ -213,11 +217,21 @@ func (m *Model) eStepSharded(ctx context.Context, sh *shardSource, mapMode bool,
 // windows, the M-step streams (time, user) columns through the batched
 // builder, and peak memory is bounded by O(events)·12 bytes of flat columns
 // plus one shard of activity structs plus one dimension batch — never the
-// materialized corpus. The supported configuration subset (linear-link
-// non-conformity variants with a fixed or parametric-exponential kernel) is
-// bit-identical to FitContext on the equivalent in-memory sequence at every
-// Workers and ShardEvents setting; see DESIGN.md §15 for the argument.
-// Unsupported features fail with *ShardedUnsupportedError.
+// materialized corpus. The supported configuration subset — linear-link
+// variants, conformity-aware (CHASSIS-L/LI/LN) or not (L-HP/E-HP), with a
+// fixed or parametric-exponential kernel — is bit-identical to FitContext on
+// the equivalent in-memory sequence at every Workers and ShardEvents
+// setting; see DESIGN.md §15–§16 for the argument. Unsupported features fail
+// with *ShardedUnsupportedError.
+//
+// Conformity-aware fits rebuild the pair-history computer from a streaming
+// colstore scan (times, users, polarities) once per conformity refresh,
+// through the same column-built path conformity.New uses — the snapshot, and
+// with it every fitted parameter, matches the in-memory fit bit for bit. The
+// transient scan state is O(events)·20 bytes plus the retained per-pair
+// series; Config.Conformity.MaxActivePairs bounds the latter, failing with
+// *conformity.PairBudgetError instead of exhausting memory on adversarially
+// dense corpora.
 //
 // Checkpointing and resume work as in FitContext, with the corpus identified
 // by the colstore footer fingerprint instead of the sequence hash. An
@@ -245,12 +259,8 @@ func FitSharded(ctx context.Context, rd *colstore.Reader, cfg Config, opts ...Op
 		return nil, err
 	}
 	switch {
-	case cfg.Variant.ConformityAware:
-		// Conformity needs per-pair interaction history over the whole
-		// stream; the out-of-core conformity computer is future work.
-		return nil, &ShardedUnsupportedError{Feature: "conformity-aware variants (use the L-HP/E-HP baselines)"}
 	case cfg.UseObservedTrees:
-		return nil, &ShardedUnsupportedError{Feature: "UseObservedTrees"}
+		return nil, &ShardedUnsupportedError{Feature: "UseObservedTrees (platform connectivity arrives with a sequence, not a colstore corpus)"}
 	case cfg.TrackHistory:
 		return nil, &ShardedUnsupportedError{Feature: "TrackHistory (training LL needs the full sequence)"}
 	case cfg.Guard.Enabled:
@@ -259,6 +269,9 @@ func FitSharded(ctx context.Context, rd *colstore.Reader, cfg Config, opts ...Op
 	if _, linear := link.(hawkes.LinearLink); !linear {
 		// Nonlinear compensators integrate over an Euler grid whose windows
 		// the batched streaming builder does not assemble.
+		if cfg.Variant.ConformityAware {
+			return nil, &ShardedUnsupportedError{Feature: "conformity-aware variants with nonlinear links (Euler-grid compensators need the full sequence; use CHASSIS-L/LI/LN)"}
+		}
 		return nil, &ShardedUnsupportedError{Feature: "nonlinear links"}
 	}
 
@@ -278,9 +291,23 @@ func FitSharded(ctx context.Context, rd *colstore.Reader, cfg Config, opts ...Op
 	if !cfg.FixedKernel {
 		// The nonparametric update (Eqs. 7.5–7.8) DFTs whole counting
 		// processes per dimension — inherently a full-sequence pass.
+		if cfg.Variant.ConformityAware {
+			return nil, &ShardedUnsupportedError{Feature: "conformity-aware variants with nonparametric kernel updates (the spectral pass needs the full sequence; set FixedKernel or ExpKernel)"}
+		}
 		return nil, &ShardedUnsupportedError{Feature: "nonparametric kernel updates (set FixedKernel or ExpKernel)"}
 	}
+	return fitShardedOn(ctx, rd, sh, cfg)
+}
 
+// fitShardedOn is FitSharded past validation: cfg is filled, gated, and has
+// its kernel support resolved, and sh already holds the corpus columns. The
+// conformity warm-start pilot recurses here with the L-HP pilot config so it
+// reuses the shard source instead of re-scanning the corpus.
+func fitShardedOn(ctx context.Context, rd *colstore.Reader, sh *shardSource, cfg Config) (*Model, error) {
+	link, err := cfg.Variant.Link()
+	if err != nil {
+		return nil, err
+	}
 	obsv := cfg.observer
 	metrics := cfg.metrics
 	if obsv != nil && metrics == nil {
@@ -288,9 +315,10 @@ func FitSharded(ctx context.Context, rd *colstore.Reader, cfg Config, opts ...Op
 		cfg.metrics = metrics
 	}
 
-	// Only the excitation matrix is allocated: the conformity parameter
-	// matrices stay nil for the (gated) non-conformity variants, exactly as
-	// LoadModel leaves them for persisted baseline models.
+	// Baseline variants allocate only the excitation matrix — the conformity
+	// parameter matrices stay nil, exactly as LoadModel leaves them for
+	// persisted baseline models. Conformity-aware variants get the same dense
+	// parameter set the in-memory fit carries.
 	m := &Model{
 		M: rd.M(), Variant: cfg.Variant, Horizon: rd.Horizon(),
 		Mu:      make([]float64, rd.M()),
@@ -298,6 +326,9 @@ func FitSharded(ctx context.Context, rd *colstore.Reader, cfg Config, opts ...Op
 		Kernels: make([]kernel.Kernel, rd.M()),
 		cfg:     cfg, link: link,
 		stepScale: 1,
+	}
+	if cfg.Variant.ConformityAware {
+		m.GammaI, m.GammaN, m.Beta = dense(m.M), dense(m.M), dense(m.M)
 	}
 
 	var ckpt *checkpointer
@@ -331,11 +362,59 @@ func FitSharded(ctx context.Context, rd *colstore.Reader, cfg Config, opts ...Op
 		}
 		m.sources = cooccurrenceFromCols(sh.times, sh.users, m.M, cfg.KernelSupport)
 		m.initParams(nil)
-		// Linear non-conformity fits never warm-start (see FitContext): the
-		// bootstrap forest is the initialization.
-		forest, err = m.bootstrapForestSharded(ctx, sh)
-		if err != nil {
-			return nil, wrapCancel("bootstrap", 0, err)
+		// Conformity-aware fits warm-start from a short sharded L-HP pilot —
+		// the same pilot FitContext runs, for the same reason (cold trees make
+		// conformity zero and EM collapses to the all-immigrant fixed point).
+		// Linear non-conformity fits never warm-start: the bootstrap forest is
+		// the initialization.
+		needWarm := cfg.Variant.ConformityAware && !cfg.NoWarmStart
+		if needWarm {
+			hpCfg := cfg
+			hpCfg.Variant = VariantLHP
+			hpCfg.EMIters = cfg.EMIters/3 + 2
+			hpCfg.NoWarmStart = true
+			hpCfg.TrackHistory = false
+			// Shares the metrics registry, never the observer or checkpoint —
+			// see the FitContext pilot for the contract.
+			hpCfg.observer = nil
+			hpCfg.CheckpointDir = ""
+			hpCfg.Resume = false
+			hp, err := fitShardedOn(ctx, rd, sh, hpCfg)
+			if err != nil {
+				return nil, wrapCancel("warmstart", 0, err)
+			}
+			copy(m.Kernels, hp.Kernels)
+			forest = hp.Forest
+			// Pin μ to a band around the pilot's exogenous estimate (only the
+			// linear branch of FitContext's band applies: nonlinear links never
+			// reach this driver).
+			m.muLo = make([]float64, m.M)
+			m.muHi = make([]float64, m.M)
+			for i, mu := range hp.Mu {
+				m.Mu[i] = mu
+				m.muLo[i] = mu * 0.25
+				m.muHi[i] = mu*cfg.MuBandHigh + 1e-6
+			}
+		} else {
+			forest, err = m.bootstrapForestSharded(ctx, sh)
+			if err != nil {
+				return nil, wrapCancel("bootstrap", 0, err)
+			}
+		}
+		if cfg.Variant.ConformityAware && forest != nil {
+			// Conformity variants draw their pair support from the diffusion
+			// trees (the pairs with interaction history); co-occurrence ranks
+			// fill the remaining slots. Same re-rank + re-init as FitContext,
+			// through the shared column-ranking body.
+			m.sources = forestSourcesFromCols(sh.users, m.M, forest, m.sources)
+			m.initParams(nil)
+			if m.muLo != nil {
+				// Re-initializing overwrote the pinned μ; restore the band
+				// centers.
+				for i := range m.Mu {
+					m.Mu[i] = (m.muLo[i] + m.muHi[i]) / 2
+				}
+			}
 		}
 	}
 
@@ -345,6 +424,40 @@ func FitSharded(ctx context.Context, rd *colstore.Reader, cfg Config, opts ...Op
 	}
 	if testRefreshEvery > 0 {
 		refreshEvery = testRefreshEvery
+	}
+	// buildConf streams the corpus columns straight off the colstore blocks
+	// into the conformity accumulator — pass 1 of the two-pass iteration
+	// (DESIGN.md §16). The polarity column is never resident in the shard
+	// source; only the accumulator's transient copy and the finalized
+	// computer's pair series live across the scan. Finalize feeds the exact
+	// column-built path conformity.New uses, so the snapshot is bit-identical
+	// to the in-memory fit's.
+	var conf *conformity.Computer
+	buildConf := func(f *branching.Forest) (*conformity.Computer, error) {
+		acc := conformity.NewAccumulator(m.M, cfg.Conformity)
+		var appendErr error
+		if err := rd.ScanPolar(0, rd.NumEvents(), func(g int, t float64, user int, pol float64) {
+			if appendErr == nil {
+				appendErr = acc.Append(t, user, pol)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		if appendErr != nil {
+			return nil, appendErr
+		}
+		return acc.Finalize(f)
+	}
+	rebuildConf := func() error {
+		if !cfg.Variant.ConformityAware {
+			return nil
+		}
+		var err error
+		conf, err = buildConf(forest)
+		return err
+	}
+	if err := rebuildConf(); err != nil {
+		return nil, err
 	}
 	eulerCounter := metrics.Counter("hawkes.euler_steps")
 
@@ -375,7 +488,7 @@ func FitSharded(ctx context.Context, rd *colstore.Reader, cfg Config, opts ...Op
 			ms = &mstepStats{}
 		}
 		msStart := time.Now()
-		if err = m.mStepStream(ctx, colEvents{sh}, nil, ms); err != nil {
+		if err = m.mStepStream(ctx, colEvents{sh}, conf, ms); err != nil {
 			err = wrapCancel("mstep", iterNo, err)
 			return
 		}
@@ -399,7 +512,7 @@ func FitSharded(ctx context.Context, rd *colstore.Reader, cfg Config, opts ...Op
 				es = &estepStats{}
 			}
 			eStart := time.Now()
-			forest, err = m.eStepSharded(ctx, sh, mapMode, forest, es)
+			forest, err = m.eStepSharded(ctx, sh, conf, mapMode, forest, es)
 			if err != nil {
 				err = wrapCancel("estep", iterNo, err)
 				return
@@ -416,6 +529,9 @@ func FitSharded(ctx context.Context, rd *colstore.Reader, cfg Config, opts ...Op
 					Entropy: st.Entropy, EntropyValid: st.EntropyValid,
 					Events: es.events, MAP: mapMode,
 				})
+			}
+			if err = rebuildConf(); err != nil {
+				return
 			}
 		}
 		m.Iterations = iterNo
@@ -449,12 +565,19 @@ func FitSharded(ctx context.Context, rd *colstore.Reader, cfg Config, opts ...Op
 			return nil, err
 		}
 	}
-	// Final MAP tree readout under the converged parameters.
-	forest, err = m.eStepSharded(ctx, sh, true, nil, nil)
+	// Final MAP tree readout under the converged parameters, then — for
+	// conformity-aware fits — the final conformity snapshot under the read-out
+	// trees, matching FitContext's epilogue.
+	forest, err = m.eStepSharded(ctx, sh, conf, true, nil, nil)
 	if err != nil {
 		return nil, wrapCancel("readout", 0, err)
 	}
 	m.Forest = forest
+	if cfg.Variant.ConformityAware {
+		if m.Conf, err = buildConf(forest); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
 }
 

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"chassis/internal/checkpoint"
 	"chassis/internal/colstore"
+	"chassis/internal/conformity"
 	"chassis/internal/faultinject"
 	"chassis/internal/guard"
 	"chassis/internal/timeline"
@@ -125,21 +127,25 @@ func TestShardedFitExpKernel(t *testing.T) {
 }
 
 // TestShardedRejectsUnsupported pins the gate: every feature outside the
-// supported subset fails fast with *ShardedUnsupportedError instead of
-// fitting something silently different.
+// supported subset fails fast with *ShardedUnsupportedError carrying a
+// feature message specific enough to act on — in particular the two
+// remaining conformity combinations (nonlinear link, nonparametric kernel)
+// name themselves instead of hiding behind the generic baseline gates.
 func TestShardedRejectsUnsupported(t *testing.T) {
 	d := smallDataset(t, 44)
 	rd := openCorpus(t, writeCorpusFile(t, d.Seq, 500))
 	cases := []struct {
 		name string
 		mut  func(*Config)
+		want string // substring of the typed error's Feature
 	}{
-		{"conformity", func(c *Config) { c.Variant = VariantL }},
-		{"nonlinear", func(c *Config) { c.Variant = VariantEHP }},
-		{"observed-trees", func(c *Config) { c.UseObservedTrees = true }},
-		{"track-history", func(c *Config) { c.TrackHistory = true }},
-		{"guard", func(c *Config) { c.Guard = guard.Policy{Enabled: true} }},
-		{"nonparametric-kernels", func(c *Config) { c.FixedKernel = false }},
+		{"nonlinear", func(c *Config) { c.Variant = VariantEHP }, "nonlinear links"},
+		{"conformity-nonlinear", func(c *Config) { c.Variant = VariantE }, "conformity-aware variants with nonlinear links"},
+		{"observed-trees", func(c *Config) { c.UseObservedTrees = true }, "UseObservedTrees"},
+		{"track-history", func(c *Config) { c.TrackHistory = true }, "TrackHistory"},
+		{"guard", func(c *Config) { c.Guard = guard.Policy{Enabled: true} }, "numerical guard"},
+		{"nonparametric-kernels", func(c *Config) { c.FixedKernel = false }, "nonparametric kernel updates"},
+		{"conformity-nonparametric", func(c *Config) { c.Variant = VariantL; c.FixedKernel = false }, "conformity-aware variants with nonparametric kernel updates"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -150,10 +156,109 @@ func TestShardedRejectsUnsupported(t *testing.T) {
 			if !errors.As(err, &ue) {
 				t.Fatalf("got %v, want *ShardedUnsupportedError", err)
 			}
+			if !strings.Contains(ue.Feature, tc.want) {
+				t.Fatalf("feature %q does not mention %q", ue.Feature, tc.want)
+			}
 		})
 	}
 	if _, err := FitSharded(context.Background(), nil, shardableCfg()); err == nil {
 		t.Error("nil reader must fail")
+	}
+}
+
+// TestShardedConformityFitMatchesInMemory extends the identity contract to
+// the lifted conformity-aware subset: the streamed per-iteration conformity
+// rebuild (colstore scan → accumulator → column-built computer) plus the
+// sharded L-HP warm-start pilot must reproduce the in-memory CHASSIS-L fit
+// bit for bit at every worker count × shard size.
+func TestShardedConformityFitMatchesInMemory(t *testing.T) {
+	forceSmallChunks(t, 48)
+	d := smallDataset(t, 48)
+	cfg := quickCfg(VariantL)
+	cfg.FixedKernel = true
+
+	ref, err := Fit(d.Seq, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Fingerprint()
+
+	rd := openCorpus(t, writeCorpusFile(t, d.Seq, 57))
+	n := rd.NumEvents()
+	for _, workers := range []int{1, 2, 8} {
+		for _, shard := range []int{1, 130, n} {
+			c := cfg
+			c.Workers = workers
+			c.ShardEvents = shard
+			m, err := FitSharded(context.Background(), rd, c)
+			if err != nil {
+				t.Fatalf("workers=%d shard=%d: %v", workers, shard, err)
+			}
+			if got := m.Fingerprint(); got != want {
+				t.Errorf("workers=%d shard=%d: fingerprint %s, in-memory %s", workers, shard, got, want)
+			}
+			if m.Conf == nil {
+				t.Fatalf("workers=%d shard=%d: sharded conformity fit carries no final conformity state", workers, shard)
+			}
+		}
+	}
+}
+
+// TestShardedConformityFlavors covers the remaining lifted combinations with
+// one fingerprint identity check each: the single-channel linear variants
+// (informational-only, normative-only) and the parametric-exponential-kernel
+// flavor of CHASSIS-L.
+func TestShardedConformityFlavors(t *testing.T) {
+	forceSmallChunks(t, 48)
+	d := smallDataset(t, 49)
+	rd := openCorpus(t, writeCorpusFile(t, d.Seq, 200))
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"informational-only", func(c *Config) { c.Variant = VariantLI }},
+		{"normative-only", func(c *Config) { c.Variant = VariantLN }},
+		{"exp-kernel", func(c *Config) { c.FixedKernel = false; c.ExpKernel = true }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := quickCfg(VariantL)
+			cfg.FixedKernel = true
+			tc.mut(&cfg)
+			ref, err := Fit(d.Seq, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := cfg
+			c.Workers = 2
+			c.ShardEvents = 100
+			m, err := FitSharded(context.Background(), rd, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := m.Fingerprint(), ref.Fingerprint(); got != want {
+				t.Errorf("sharded fingerprint %s, in-memory %s", got, want)
+			}
+		})
+	}
+}
+
+// TestShardedConformityPairBudget: the streaming rebuild honours the
+// active-pair budget, surfacing *conformity.PairBudgetError instead of
+// growing the pair map without bound.
+func TestShardedConformityPairBudget(t *testing.T) {
+	d := smallDataset(t, 50)
+	rd := openCorpus(t, writeCorpusFile(t, d.Seq, 500))
+	cfg := quickCfg(VariantL)
+	cfg.FixedKernel = true
+	cfg.Conformity.MaxActivePairs = 1
+	_, err := FitSharded(context.Background(), rd, cfg)
+	var pb *conformity.PairBudgetError
+	if !errors.As(err, &pb) {
+		t.Fatalf("got %v, want *conformity.PairBudgetError", err)
+	}
+	if pb.Budget != 1 {
+		t.Fatalf("budget in error = %d, want 1", pb.Budget)
 	}
 }
 
@@ -194,6 +299,48 @@ func TestShardedCrashResume(t *testing.T) {
 	}
 	if got := m.Fingerprint(); got != want {
 		t.Errorf("resumed sharded fingerprint %s, uninterrupted %s", got, want)
+	}
+}
+
+// TestShardedConformityCrashResume is the crash-resume contract for the
+// lifted conformity subset: the resumed fit rebuilds its conformity snapshot
+// from the checkpointed forest before continuing, so the final model matches
+// an uninterrupted run even across a worker-count and shard-size change.
+func TestShardedConformityCrashResume(t *testing.T) {
+	forceSmallChunks(t, 48)
+	d := smallDataset(t, 51)
+	cfg := quickCfg(VariantL)
+	cfg.FixedKernel = true
+	rd := openCorpus(t, writeCorpusFile(t, d.Seq, 300))
+
+	base, err := FitSharded(context.Background(), rd, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Fingerprint()
+
+	dir := t.TempDir()
+	cc := cfg
+	cc.CheckpointDir = dir
+	cc.CheckpointEvery = 1
+	cc.Workers = 2
+	cc.ShardEvents = 100
+	faultinject.CrashAfterIter = func(iter int) bool { return iter == 2 }
+	_, err = FitSharded(context.Background(), rd, cc)
+	faultinject.Reset()
+	if !errors.Is(err, faultinject.ErrInjectedCrash) {
+		t.Fatalf("crash-at-2 conformity sharded fit: got %v, want ErrInjectedCrash", err)
+	}
+
+	cc.Resume = true
+	cc.Workers = 1
+	cc.ShardEvents = 1
+	m, err := FitSharded(context.Background(), rd, cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Fingerprint(); got != want {
+		t.Errorf("resumed conformity sharded fingerprint %s, uninterrupted %s", got, want)
 	}
 }
 
